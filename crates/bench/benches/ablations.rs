@@ -1,0 +1,144 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! * the `t_push = 0` unbiased-randomness rule (§IV: buffering pairs for
+//!   10 ms merges their target samples);
+//! * `TTL_direct` (how many early rounds push full blocks before switching
+//!   to digests);
+//! * fan-out (with the TTL the analysis assigns to each fan-out);
+//! * the original protocol's pull period (the tail's direct driver).
+//!
+//! Each sweep prints latency/traffic rows at smoke scale; Criterion times
+//! one representative cell per sweep.
+
+use bench::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::Duration;
+use fabric_experiments::dissemination::{run_dissemination, DisseminationConfig};
+use fabric_gossip::config::{GossipConfig, PushMode};
+use gossip_analysis::ttl::ttl_for;
+
+fn smoke(gossip: GossipConfig) -> DisseminationConfig {
+    let mut cfg = DisseminationConfig::fig07_09_enhanced_f4()
+        .scaled(Scale::Smoke.dissemination_txs() * 2);
+    cfg.gossip = gossip;
+    cfg
+}
+
+fn row(label: &str, cfg: &DisseminationConfig) -> String {
+    let res = run_dissemination(cfg);
+    let pooled = res.pooled_cdf();
+    format!(
+        "{label:<28} mean {:>10} p99.9 {:>10} max {:>10} traffic {:>8.1} MB completeness {:.4}",
+        pooled.mean().to_string(),
+        pooled.quantile(0.999).to_string(),
+        pooled.max().to_string(),
+        res.peer_traffic_mb,
+        res.completeness,
+    )
+}
+
+fn sweep_tpush() {
+    println!("== Ablation: enhanced push buffering (t_push) ==");
+    for (label, tpush_ms) in [("t_push = 0 (paper)", 0u64), ("t_push = 10 ms (biased)", 10)] {
+        let mut gossip = GossipConfig::enhanced_f4();
+        if let PushMode::InfectUponContagion { tpush, .. } = &mut gossip.push {
+            *tpush = Duration::from_millis(tpush_ms);
+        }
+        println!("{}", row(label, &smoke(gossip)));
+    }
+    println!();
+}
+
+fn sweep_ttl_direct() {
+    println!("== Ablation: TTL_direct (direct-push rounds before digests) ==");
+    for ttl_direct in [0u32, 2, 4, 9] {
+        let gossip = GossipConfig::enhanced(4, 9, ttl_direct);
+        println!("{}", row(&format!("TTL_direct = {ttl_direct}"), &smoke(gossip)));
+    }
+    println!();
+}
+
+fn sweep_fout() {
+    println!("== Ablation: fan-out with analysis-assigned TTL (p_e = 1e-6) ==");
+    for fout in [2usize, 3, 4, 6] {
+        let ttl = ttl_for(100, fout, 1e-6);
+        let ttl_direct = if fout >= 4 { 2 } else { 3 };
+        let gossip = GossipConfig::enhanced(fout, ttl, ttl_direct.min(ttl));
+        println!("{}", row(&format!("fout = {fout} (TTL = {ttl})"), &smoke(gossip)));
+    }
+    println!();
+}
+
+fn sweep_pull_period() {
+    println!("== Ablation: original gossip pull period (the tail driver) ==");
+    for secs in [2u64, 4, 8] {
+        let mut gossip = GossipConfig::original_fabric();
+        gossip.pull.as_mut().unwrap().tpull = Duration::from_secs(secs);
+        println!("{}", row(&format!("t_pull = {secs} s"), &smoke(gossip)));
+    }
+    println!();
+}
+
+fn sweep_free_riders() {
+    println!("== Ablation: free-riding peers (receive, never forward) ==");
+    for riders_pct in [0usize, 10, 20, 30] {
+        let mut cfg = smoke(GossipConfig::enhanced_f4());
+        cfg.free_riders = cfg.peers * riders_pct / 100;
+        println!("{}", row(&format!("{riders_pct}% free riders"), &cfg));
+    }
+    println!();
+}
+
+fn sweep_orgs() {
+    println!("== Ablation: organizations (push confined per org) ==");
+    for orgs in [1usize, 2, 4] {
+        let mut cfg = smoke(GossipConfig::enhanced_f4());
+        cfg.orgs = orgs;
+        println!("{}", row(&format!("{orgs} org(s)"), &cfg));
+    }
+    println!();
+}
+
+fn sweep_network_size() {
+    println!("== Ablation: organization size (the paper's §VII scaling argument) ==");
+    // TTL re-derived per n from the analysis; tail should grow ~log n while
+    // per-peer traffic stays flat — "the good properties of epidemic
+    // algorithms shine as the number of peers increases".
+    for n in [50usize, 100, 200, 400] {
+        let ttl = ttl_for(n, 4, 1e-6);
+        let mut cfg = smoke(GossipConfig::enhanced(4, ttl, 2));
+        cfg.peers = n;
+        cfg.network = desim::NetworkConfig::lan(n + 2);
+        let res = run_dissemination(&cfg);
+        let pooled = res.pooled_cdf();
+        println!(
+            "n = {n:<4} (TTL {ttl:>2})  mean {:>10}  p99.9 {:>10}  per-peer traffic {:>6.1} MB  completeness {:.4}",
+            pooled.mean().to_string(),
+            pooled.quantile(0.999).to_string(),
+            res.peer_traffic_mb / n as f64,
+            res.completeness,
+        );
+    }
+    println!();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    sweep_tpush();
+    sweep_ttl_direct();
+    sweep_fout();
+    sweep_pull_period();
+    sweep_free_riders();
+    sweep_orgs();
+    sweep_network_size();
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let cfg = smoke(GossipConfig::enhanced(2, 19, 3));
+    group.bench_function("enhanced_f2_smoke", |b| {
+        b.iter(|| run_dissemination(&cfg).blocks)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

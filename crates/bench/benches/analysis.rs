@@ -1,0 +1,61 @@
+//! §IV's infect-and-die claim and the appendix's analytics: regenerates
+//! the numbers and times the analytic kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gossip_analysis::coverage::{infect_and_die_stats, infect_upon_contagion_miss_rate};
+use gossip_analysis::epidemic::{carrying_capacity, expected_digests, imperfect_dissemination_probability};
+use gossip_analysis::lambert::lambert_w0;
+use gossip_analysis::ttl::{ttl_for, TtlTable};
+use std::hint::black_box;
+
+fn regenerate() {
+    println!("== Section IV: infect-and-die (n=100, fout=3) ==");
+    let stats = infect_and_die_stats(100, 3, 10_000, 42);
+    println!(
+        "mean {:.1} peers (paper 94) | std {:.2} (paper 2.6) | {:.0} transmissions (paper 282) | miss rate {:.3}\n",
+        stats.mean, stats.std_dev, stats.mean_transmissions, stats.miss_fraction
+    );
+
+    println!("== Appendix: p_e bounds at n=100 ==");
+    for (fout, ttl) in [(4u32, 9u32), (2, 19), (4, 12)] {
+        let pe = imperfect_dissemination_probability(100.0, f64::from(fout), ttl);
+        println!("fout={fout} TTL={ttl}: p_e <= {pe:.3e}");
+    }
+    let mc = infect_upon_contagion_miss_rate(100, 4, 5, 20_000, 7);
+    let bound = imperfect_dissemination_probability(100.0, 4.0, 5);
+    println!("Monte-Carlo cross-check (fout=4, TTL=5): measured {mc:.4} vs bound {bound:.4}\n");
+
+    println!("== Appendix: carrying capacity γ/n ==");
+    for f in [2.0, 3.0, 4.0, 6.0] {
+        println!("fout={f}: γ/n = {:.4}", carrying_capacity(100.0, f) / 100.0);
+    }
+    println!();
+
+    println!("== TTL lookup table (p_e = 1e-6) ==");
+    let table = TtlTable::build(4, 1e-6, TtlTable::default_grid());
+    for (n, ttl) in table.entries() {
+        println!("n <= {n}: TTL = {ttl}");
+    }
+    println!();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    regenerate();
+
+    c.bench_function("lambert_w0", |b| {
+        b.iter(|| lambert_w0(black_box(-4.0 * (-4.0f64).exp())))
+    });
+    c.bench_function("pe_bound_n100_f4_ttl9", |b| {
+        b.iter(|| imperfect_dissemination_probability(black_box(100.0), 4.0, 9))
+    });
+    c.bench_function("expected_digests_n1000", |b| {
+        b.iter(|| expected_digests(black_box(1000.0), 4.0, 12))
+    });
+    c.bench_function("ttl_for_n1000", |b| b.iter(|| ttl_for(black_box(1000), 4, 1e-6)));
+    c.bench_function("infect_and_die_mc_100_trials", |b| {
+        b.iter(|| infect_and_die_stats(100, 3, 100, black_box(1)))
+    });
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figures 4–14: regenerates each figure's series at `quick` scale, then
+//! times a smoke-scale dissemination run per configuration so regressions
+//! in the simulator or protocol show up in Criterion history.
+//!
+//! Scale selection: set `REPRO_SCALE=full` to regenerate at the paper's
+//! 1 000-block scale (minutes).
+
+use bench::{run_scaled, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fabric_experiments::dissemination::{run_dissemination, DisseminationConfig};
+use fabric_experiments::report;
+
+fn print_scale() -> Scale {
+    std::env::var("REPRO_SCALE")
+        .ok()
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn regenerate_all() {
+    let scale = print_scale();
+    let figures: [(&str, DisseminationConfig); 5] = [
+        ("Figs 4/5/6 original", DisseminationConfig::fig04_06_original()),
+        ("Figs 7/8/9 enhanced f4 TTL9", DisseminationConfig::fig07_09_enhanced_f4()),
+        ("Fig 10 heavy leader", DisseminationConfig::fig10_heavy_leader()),
+        ("Fig 11 no digests", DisseminationConfig::fig11_no_digests()),
+        ("Figs 12/13/14 enhanced f2 TTL19", DisseminationConfig::fig12_14_enhanced_f2()),
+    ];
+    for (name, preset) in figures {
+        let result = run_scaled(preset, scale);
+        println!("{}", report::render_summary(name, &result));
+        println!("{}", report::render_peer_level(&format!("{name}: peer level"), &result));
+        println!("{}", report::render_block_level(&format!("{name}: block level"), &result));
+        println!("{}", report::render_bandwidth(&format!("{name}: bandwidth"), &result));
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    regenerate_all();
+
+    let mut group = c.benchmark_group("dissemination");
+    group.sample_size(10);
+    let cases: [(&str, DisseminationConfig); 3] = [
+        ("fig04_original", DisseminationConfig::fig04_06_original()),
+        ("fig07_enhanced_f4", DisseminationConfig::fig07_09_enhanced_f4()),
+        ("fig12_enhanced_f2", DisseminationConfig::fig12_14_enhanced_f2()),
+    ];
+    for (name, preset) in cases {
+        let cfg = preset.scaled(Scale::Smoke.dissemination_txs());
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let result = run_dissemination(&cfg);
+                assert_eq!(result.completeness, 1.0);
+                result.blocks
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

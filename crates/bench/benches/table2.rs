@@ -1,0 +1,62 @@
+//! Table II: invalidated transactions under different block periods,
+//! original vs enhanced gossip. Regenerates the table at `quick` scale
+//! (set `REPRO_SCALE=full` for the paper's 100×100 workload with five
+//! repetitions) and times one smoke-scale conflict run.
+
+use bench::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::Duration;
+use fabric_experiments::conflicts::{run_conflicts, run_table2, ConflictConfig};
+use fabric_experiments::report::render_table2;
+use fabric_gossip::config::GossipConfig;
+
+fn print_scale() -> Scale {
+    std::env::var("REPRO_SCALE")
+        .ok()
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn regenerate() {
+    let scale = print_scale();
+    let (keys, rounds, reps) = scale.table2_shape();
+    let template = ConflictConfig::paper(GossipConfig::enhanced_f4(), Duration::from_secs(2))
+        .scaled(keys, rounds);
+    let periods = [
+        Duration::from_secs(2),
+        Duration::from_millis(1500),
+        Duration::from_secs(1),
+        Duration::from_millis(750),
+    ];
+    let rows = run_table2(&template, &periods, reps);
+    println!("== Table II ({keys} keys x {rounds} rounds, {reps} run(s) averaged) ==");
+    println!("{}", render_table2(&rows));
+    println!(
+        "paper (100x100, 5 runs): 803/664 (-17%), 814/653 (-20%), 763/564 (-26%), 823/527 (-36%)\n"
+    );
+}
+
+fn bench_table2(c: &mut Criterion) {
+    regenerate();
+
+    let mut group = c.benchmark_group("conflicts");
+    group.sample_size(10);
+    let (keys, rounds, _) = Scale::Smoke.table2_shape();
+    for (name, gossip) in [
+        ("original_1s", GossipConfig::original_fabric()),
+        ("enhanced_1s", GossipConfig::enhanced_f4()),
+    ] {
+        let cfg = ConflictConfig::paper(gossip, Duration::from_secs(1)).scaled(keys, rounds);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let result = run_conflicts(&cfg);
+                assert_eq!(result.issued, (keys * rounds) as u64);
+                result.conflicts
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

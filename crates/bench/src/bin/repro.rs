@@ -1,0 +1,132 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [full|quick|smoke] [figures|table2|analysis|proposal|all]
+//! ```
+//!
+//! Prints the series behind Figures 4–14, Table II, the §IV infect-and-die
+//! claim and the appendix's p_e/TTL numbers. `full` matches the paper's
+//! scale (1 000 blocks, five Table II repetitions) and takes minutes;
+//! `quick` keeps every protocol parameter but shortens the workloads.
+
+use bench::{run_scaled, Scale};
+use desim::Duration;
+use fabric_experiments::conflicts::{run_table2, ConflictConfig};
+use fabric_experiments::dissemination::DisseminationConfig;
+use fabric_experiments::report;
+use fabric_gossip::config::GossipConfig;
+use gossip_analysis::coverage::infect_and_die_stats;
+use gossip_analysis::epidemic::imperfect_dissemination_probability;
+use gossip_analysis::ttl::TtlTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .first()
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Quick);
+    let what = args.get(1).map(String::as_str).unwrap_or("all");
+
+    println!("# fair-gossip reproduction — scale: {scale:?}, target: {what}\n");
+    match what {
+        "figures" => figures(scale),
+        "table2" => table2(scale),
+        "analysis" => analysis(),
+        "proposal" => proposal_conflicts(scale),
+        _ => {
+            analysis();
+            figures(scale);
+            table2(scale);
+            proposal_conflicts(scale);
+        }
+    }
+}
+
+/// Proposal-time conflicts (§II-C): three endorsers, read sets compared at
+/// the client. Not a paper table — the paper's Table II isolates
+/// validation-time conflicts with one endorser — but the experiment its
+/// §II-C analysis implies.
+fn proposal_conflicts(scale: Scale) {
+    let (keys, rounds, reps) = scale.table2_shape();
+    println!("== Proposal-time conflicts (3 endorsers, {keys} keys x {rounds} rounds, {reps} run(s)) ==");
+    for (label, gossip) in [
+        ("original", GossipConfig::original_fabric()),
+        ("enhanced", GossipConfig::enhanced_f4()),
+    ] {
+        let mut proposal = 0u64;
+        let mut validation = 0u64;
+        for r in 0..reps {
+            let mut cfg = ConflictConfig::paper(gossip.clone(), Duration::from_secs(1))
+                .scaled(keys, rounds);
+            cfg.endorsers = 3;
+            cfg.seed = 1 + 1000 * r as u64;
+            let res = fabric_experiments::conflicts::run_conflicts(&cfg);
+            proposal += res.proposal_conflicts;
+            validation += res.conflicts;
+        }
+        println!(
+            "{label:<10} proposal-time {:>7.1}  validation-time {:>7.1}  (avg per run)",
+            proposal as f64 / reps as f64,
+            validation as f64 / reps as f64,
+        );
+    }
+    println!();
+}
+
+fn figures(scale: Scale) {
+    let runs: [(&str, &str, DisseminationConfig); 5] = [
+        ("Figs 4/5/6", "original Fabric gossip", DisseminationConfig::fig04_06_original()),
+        ("Figs 7/8/9", "enhanced fout=4 TTL=9", DisseminationConfig::fig07_09_enhanced_f4()),
+        ("Fig 10", "enhanced, f_leader_out = fout = 4", DisseminationConfig::fig10_heavy_leader()),
+        ("Fig 11", "enhanced without digests", DisseminationConfig::fig11_no_digests()),
+        ("Figs 12/13/14", "enhanced fout=2 TTL=19", DisseminationConfig::fig12_14_enhanced_f2()),
+    ];
+    for (figs, label, preset) in runs {
+        let result = run_scaled(preset, scale);
+        println!("{}", report::render_summary(&format!("{figs} ({label})"), &result));
+        println!("{}", report::render_peer_level(&format!("{figs}: peer-level latency"), &result));
+        println!("{}", report::render_block_level(&format!("{figs}: block-level latency"), &result));
+        println!("{}", report::render_bandwidth(&format!("{figs}: bandwidth"), &result));
+    }
+}
+
+fn table2(scale: Scale) {
+    let (keys, rounds, reps) = scale.table2_shape();
+    let template = ConflictConfig::paper(GossipConfig::enhanced_f4(), Duration::from_secs(2))
+        .scaled(keys, rounds);
+    let periods = [
+        Duration::from_secs(2),
+        Duration::from_millis(1500),
+        Duration::from_secs(1),
+        Duration::from_millis(750),
+    ];
+    let rows = run_table2(&template, &periods, reps);
+    println!("== Table II: invalidated transactions ({keys} keys x {rounds} rounds, {reps} run(s) averaged) ==");
+    println!("{}", report::render_table2(&rows));
+    println!("paper reference (100 x 100, 5 runs): 803/664 (-17%), 814/653 (-20%), 763/564 (-26%), 823/527 (-36%)\n");
+}
+
+fn analysis() {
+    println!("== Section IV: infect-and-die coverage (n=100, fout=3) ==");
+    let stats = infect_and_die_stats(100, 3, 10_000, 42);
+    println!(
+        "measured: mean {:.1} peers, std {:.2}, {:.0} transmissions | paper: 94, 2.6, 282\n",
+        stats.mean, stats.std_dev, stats.mean_transmissions
+    );
+
+    println!("== Appendix: imperfect-dissemination probability at n=100 ==");
+    for (fout, ttl) in [(4u32, 9u32), (2, 19), (4, 12)] {
+        let pe = imperfect_dissemination_probability(100.0, f64::from(fout), ttl);
+        println!("fout={fout:<2} TTL={ttl:<3} p_e <= {pe:.3e}");
+    }
+    println!("paper: (4, 9) and (2, 19) target 1e-6; (4, 12) reaches 1e-12\n");
+
+    println!("== Appendix: TTL lookup table (p_e = 1e-6) ==");
+    for fout in [2usize, 3, 4, 6] {
+        let table = TtlTable::build(fout, 1e-6, TtlTable::default_grid());
+        let row: Vec<String> =
+            table.entries().iter().map(|(n, t)| format!("{n}->{t}")).collect();
+        println!("fout={fout}: {}", row.join("  "));
+    }
+    println!();
+}

@@ -1,0 +1,79 @@
+//! Shared plumbing for the benchmark targets and the `repro` CLI.
+//!
+//! Every figure and table of the paper maps to one function here; the
+//! Criterion benches time the underlying runs and print the regenerated
+//! series, while `repro` produces the full-scale outputs recorded in
+//! `EXPERIMENTS.md`.
+
+use fabric_experiments::dissemination::{run_dissemination, DisseminationConfig, DisseminationResult};
+
+/// Scale of a reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full paper scale: 100 peers, 1 000 blocks, five Table II runs.
+    Full,
+    /// Laptop-friendly: 100 peers, 120 blocks, two Table II runs.
+    Quick,
+    /// Smoke-test scale for CI and Criterion timing loops.
+    Smoke,
+}
+
+impl Scale {
+    /// Transactions for a dissemination run at this scale.
+    pub fn dissemination_txs(self) -> usize {
+        match self {
+            Scale::Full => 50_000,
+            Scale::Quick => 6_000,
+            Scale::Smoke => 1_000,
+        }
+    }
+
+    /// (keys, rounds, repetitions) for Table II at this scale.
+    pub fn table2_shape(self) -> (usize, usize, usize) {
+        match self {
+            Scale::Full => (100, 100, 5),
+            Scale::Quick => (100, 30, 2),
+            Scale::Smoke => (40, 10, 1),
+        }
+    }
+
+    /// Parses a CLI argument.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "full" => Some(Scale::Full),
+            "quick" => Some(Scale::Quick),
+            "smoke" => Some(Scale::Smoke),
+            _ => None,
+        }
+    }
+}
+
+/// Applies `scale` to a full-size dissemination preset and runs it.
+pub fn run_scaled(preset: DisseminationConfig, scale: Scale) -> DisseminationResult {
+    let cfg = match scale {
+        Scale::Full => preset,
+        _ => preset.scaled(scale.dissemination_txs()),
+    };
+    run_dissemination(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+
+    #[test]
+    fn scales_shrink_work() {
+        assert!(Scale::Smoke.dissemination_txs() < Scale::Quick.dissemination_txs());
+        assert!(Scale::Quick.dissemination_txs() < Scale::Full.dissemination_txs());
+        let (k, r, reps) = Scale::Smoke.table2_shape();
+        assert!(k * r > 0 && reps > 0);
+    }
+}

@@ -1,0 +1,610 @@
+//! The event loop: a deterministic executor for message-passing protocols.
+//!
+//! A [`Protocol`] implementation owns the state of *all* simulated nodes and
+//! reacts to message deliveries and timer expirations through a [`Ctx`]
+//! handle that can send messages, arm timers and manipulate the network.
+//! Events are totally ordered by `(time, insertion sequence)`, so a given
+//! seed always replays the exact same execution.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::metrics::NetMetrics;
+use crate::net::{NetState, NetworkConfig, NodeId};
+use crate::time::{Duration, Time};
+
+/// A wire message: anything the engine can transmit between nodes.
+///
+/// `wire_size` feeds both the bandwidth model (serialization delay) and the
+/// byte accounting; `kind` tags the message for per-kind statistics.
+pub trait Message: Clone + fmt::Debug {
+    /// Size of the message on the wire, in bytes (headers included).
+    fn wire_size(&self) -> usize;
+
+    /// A short static tag used to group metrics (e.g. `"block"`, `"digest"`).
+    fn kind(&self) -> &'static str {
+        "message"
+    }
+}
+
+/// A protocol under simulation. One value of this type holds the state of
+/// every node; the engine routes each event to it together with the node id
+/// it concerns.
+pub trait Protocol: Sized {
+    /// The message type exchanged between nodes.
+    type Msg: Message;
+    /// The timer payload type.
+    type Timer: fmt::Debug;
+
+    /// Called when `msg` sent by `from` is delivered at `to`.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, to: NodeId, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer armed for `node` expires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, node: NodeId, timer: Self::Timer);
+
+    /// Called when a node transitions up or down (default: ignored).
+    fn on_node_status(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, node: NodeId, up: bool) {
+        let _ = (ctx, node, up);
+    }
+}
+
+/// Handle to a pending timer, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+enum EventKind<M, T> {
+    /// Message reached `to`'s NIC; ingress processing not yet applied.
+    Arrive { from: NodeId, to: NodeId, msg: M },
+    /// Message fully processed and ready for the protocol handler.
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, id: TimerId, timer: T },
+    NodeStatus { node: NodeId, up: bool },
+}
+
+struct HeapEntry<M, T> {
+    at: Time,
+    seq: u64,
+    kind: EventKind<M, T>,
+}
+
+impl<M, T> PartialEq for HeapEntry<M, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M, T> Eq for HeapEntry<M, T> {}
+impl<M, T> PartialOrd for HeapEntry<M, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M, T> Ord for HeapEntry<M, T> {
+    // Inverted so that `BinaryHeap` (a max-heap) pops the earliest event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct EngineCore<M, T> {
+    time: Time,
+    seq: u64,
+    queue: BinaryHeap<HeapEntry<M, T>>,
+    net: NetState,
+    rng: StdRng,
+    metrics: NetMetrics,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    events_processed: u64,
+}
+
+impl<M: Message, T> EngineCore<M, T> {
+    fn push(&mut self, at: Time, kind: EventKind<M, T>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(HeapEntry { at, seq, kind });
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        if !self.net.is_up(from) {
+            self.metrics.record_drop_down();
+            return;
+        }
+        let size = msg.wire_size();
+        let kind = msg.kind();
+        let depart = self.net.egress_departure(from, self.time, size);
+        self.metrics.record_sent(from, depart, size, kind);
+        let loss = self.net.config().loss;
+        if loss > 0.0 && rand::RngExt::random::<f64>(&mut self.rng) < loss {
+            self.metrics.record_loss();
+            return;
+        }
+        if !self.net.link_up(from, to) {
+            self.metrics.record_drop_partition();
+            return;
+        }
+        let latency = self.net.config().latency.sample(&mut self.rng);
+        self.push(depart + latency, EventKind::Arrive { from, to, msg });
+    }
+}
+
+/// The engine handle passed to every protocol callback.
+///
+/// Through it the protocol reads the clock, draws randomness, sends
+/// messages, arms and cancels timers, occupies node CPU and manipulates the
+/// network (partitions, node crashes).
+pub struct Ctx<'a, M: Message, T> {
+    core: &'a mut EngineCore<M, T>,
+}
+
+impl<M: Message, T> Ctx<'_, M, T> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.core.time
+    }
+
+    /// The deterministic RNG shared by the whole simulation.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+
+    /// Sends `msg` from `from` to `to`, subject to the network model.
+    /// Messages to self are legal and traverse the loopback with the same
+    /// latency model as any other link.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.core.send(from, to, msg);
+    }
+
+    /// Arms a timer for `node` that fires `after` from now.
+    pub fn set_timer(&mut self, node: NodeId, after: Duration, timer: T) -> TimerId {
+        let id = TimerId(self.core.next_timer);
+        self.core.next_timer += 1;
+        let at = self.core.time + after;
+        self.core.push(at, EventKind::Timer { node, id, timer });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancelled.insert(id.0);
+    }
+
+    /// Occupies `node`'s processing capacity for `dur`, queueing subsequent
+    /// message deliveries behind the busy period (e.g. block validation).
+    pub fn occupy(&mut self, node: NodeId, dur: Duration) {
+        let now = self.core.time;
+        self.core.net.occupy(node, now, dur);
+    }
+
+    /// Read access to the network accounting collected so far.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.core.metrics
+    }
+
+    /// Mutable access to the network state (partitions, links, node status).
+    /// Prefer [`Ctx::set_node_status_after`] for node transitions so the
+    /// protocol receives its `on_node_status` callback.
+    pub fn net_mut(&mut self) -> &mut NetState {
+        &mut self.core.net
+    }
+
+    /// Read access to the network state.
+    pub fn net(&self) -> &NetState {
+        &self.core.net
+    }
+
+    /// Schedules a node up/down transition `after` from now; the protocol's
+    /// `on_node_status` hook fires when it takes effect.
+    pub fn set_node_status_after(&mut self, after: Duration, node: NodeId, up: bool) {
+        let at = self.core.time + after;
+        self.core.push(at, EventKind::NodeStatus { node, up });
+    }
+}
+
+impl<M: Message, T> fmt::Debug for Ctx<'_, M, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctx").field("now", &self.core.time).finish_non_exhaustive()
+    }
+}
+
+/// A deterministic discrete-event simulation of one [`Protocol`].
+///
+/// ```
+/// use desim::{Ctx, Duration, Message, NetworkConfig, NodeId, Protocol, Simulation};
+///
+/// #[derive(Clone, Debug)]
+/// struct Ping(u32);
+/// impl Message for Ping {
+///     fn wire_size(&self) -> usize { 16 }
+/// }
+///
+/// /// Forwards a token around the ring once.
+/// struct Ring { n: u32, hops: u32 }
+/// impl Protocol for Ring {
+///     type Msg = Ping;
+///     type Timer = ();
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, Ping, ()>, to: NodeId, _from: NodeId, msg: Ping) {
+///         self.hops += 1;
+///         if msg.0 > 0 {
+///             ctx.send(to, NodeId((to.0 + 1) % self.n), Ping(msg.0 - 1));
+///         }
+///     }
+///     fn on_timer(&mut self, _ctx: &mut Ctx<'_, Ping, ()>, _node: NodeId, _t: ()) {}
+/// }
+///
+/// let mut sim = Simulation::new(Ring { n: 4, hops: 0 }, NetworkConfig::ideal(4), 42);
+/// sim.with_ctx(|_, ctx| ctx.send(NodeId(0), NodeId(1), Ping(7)));
+/// sim.run_until_idle();
+/// assert_eq!(sim.protocol().hops, 8);
+/// ```
+pub struct Simulation<P: Protocol> {
+    protocol: P,
+    core: EngineCore<P::Msg, P::Timer>,
+}
+
+impl<P: Protocol> fmt::Debug for Simulation<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.core.time)
+            .field("pending_events", &self.core.queue.len())
+            .field("events_processed", &self.core.events_processed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Creates a simulation over `config` with a deterministic `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new(protocol: P, config: NetworkConfig, seed: u64) -> Self {
+        let metrics = NetMetrics::new(config.nodes, config.metrics_bucket);
+        Simulation {
+            protocol,
+            core: EngineCore {
+                time: Time::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                net: NetState::new(config),
+                rng: StdRng::seed_from_u64(seed),
+                metrics,
+                next_timer: 0,
+                cancelled: HashSet::new(),
+                events_processed: 0,
+            },
+        }
+    }
+
+    /// Runs `f` with the protocol and a context at the current time; used to
+    /// inject initial events or inspect state mid-run.
+    pub fn with_ctx<R>(&mut self, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg, P::Timer>) -> R) -> R {
+        let mut ctx = Ctx { core: &mut self.core };
+        f(&mut self.protocol, &mut ctx)
+    }
+
+    /// Processes the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(entry) = self.core.queue.pop() else {
+                return false;
+            };
+            debug_assert!(entry.at >= self.core.time, "event from the past");
+            self.core.time = entry.at;
+            match entry.kind {
+                EventKind::Arrive { from, to, msg } => {
+                    if !self.core.net.is_up(to) {
+                        self.core.metrics.record_drop_down();
+                        continue;
+                    }
+                    let at = entry.at;
+                    let deliver_at = {
+                        let core = &mut self.core;
+                        core.net.ingress_delivery(to, at, &mut core.rng)
+                    };
+                    if deliver_at == at {
+                        self.core.metrics.record_received(to, at, msg.wire_size());
+                        self.core.events_processed += 1;
+                        let mut ctx = Ctx { core: &mut self.core };
+                        self.protocol.on_message(&mut ctx, to, from, msg);
+                    } else {
+                        self.core.push(deliver_at, EventKind::Deliver { from, to, msg });
+                        continue;
+                    }
+                }
+                EventKind::Deliver { from, to, msg } => {
+                    if !self.core.net.is_up(to) {
+                        self.core.metrics.record_drop_down();
+                        continue;
+                    }
+                    self.core.metrics.record_received(to, entry.at, msg.wire_size());
+                    self.core.events_processed += 1;
+                    let mut ctx = Ctx { core: &mut self.core };
+                    self.protocol.on_message(&mut ctx, to, from, msg);
+                }
+                EventKind::Timer { node, id, timer } => {
+                    if self.core.cancelled.remove(&id.0) {
+                        continue;
+                    }
+                    if !self.core.net.is_up(node) {
+                        continue;
+                    }
+                    self.core.events_processed += 1;
+                    let mut ctx = Ctx { core: &mut self.core };
+                    self.protocol.on_timer(&mut ctx, node, timer);
+                }
+                EventKind::NodeStatus { node, up } => {
+                    self.core.net.set_up(node, up);
+                    self.core.events_processed += 1;
+                    let mut ctx = Ctx { core: &mut self.core };
+                    self.protocol.on_node_status(&mut ctx, node, up);
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Processes every event scheduled at or before `t`, then advances the
+    /// clock to exactly `t`.
+    pub fn run_until(&mut self, t: Time) {
+        while let Some(entry) = self.core.queue.peek() {
+            if entry.at > t {
+                break;
+            }
+            self.step();
+        }
+        self.core.time = self.core.time.max(t);
+    }
+
+    /// Runs for `d` of virtual time from the current instant.
+    pub fn run_for(&mut self, d: Duration) {
+        let target = self.core.time + d;
+        self.run_until(target);
+    }
+
+    /// Processes events until the queue drains.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.core.time
+    }
+
+    /// Number of events handled so far (deliveries, timers, transitions).
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// The network accounting collected so far.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.core.metrics
+    }
+
+    /// Shared access to the protocol state.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Exclusive access to the protocol state.
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
+    /// Consumes the simulation, returning the protocol state.
+    pub fn into_protocol(self) -> P {
+        self.protocol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Note(&'static str, u64);
+    impl Message for Note {
+        fn wire_size(&self) -> usize {
+            self.1 as usize
+        }
+        fn kind(&self) -> &'static str {
+            self.0
+        }
+    }
+
+    /// Records every callback with its timestamp; sends/schedules nothing.
+    #[derive(Default)]
+    struct Recorder {
+        log: Vec<(u64, String)>,
+    }
+    impl Protocol for Recorder {
+        type Msg = Note;
+        type Timer = &'static str;
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Note, &'static str>, to: NodeId, from: NodeId, msg: Note) {
+            self.log.push((ctx.now().as_nanos(), format!("msg {} {}->{}", msg.0, from, to)));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Note, &'static str>, node: NodeId, timer: &'static str) {
+            self.log.push((ctx.now().as_nanos(), format!("timer {timer} @{node}")));
+        }
+        fn on_node_status(&mut self, ctx: &mut Ctx<'_, Note, &'static str>, node: NodeId, up: bool) {
+            self.log.push((ctx.now().as_nanos(), format!("status {node} up={up}")));
+        }
+    }
+
+    fn ideal(n: usize) -> NetworkConfig {
+        NetworkConfig::ideal(n)
+    }
+
+    #[test]
+    fn same_timestamp_events_fire_in_insertion_order() {
+        let mut sim = Simulation::new(Recorder::default(), ideal(3), 1);
+        sim.with_ctx(|_, ctx| {
+            ctx.set_timer(NodeId(0), Duration::from_secs(1), "a");
+            ctx.set_timer(NodeId(1), Duration::from_secs(1), "b");
+            ctx.set_timer(NodeId(2), Duration::from_secs(1), "c");
+        });
+        sim.run_until_idle();
+        let names: Vec<_> = sim.protocol().log.iter().map(|(_, s)| s.clone()).collect();
+        assert_eq!(names, vec!["timer a @n0", "timer b @n1", "timer c @n2"]);
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        let mut sim = Simulation::new(Recorder::default(), ideal(1), 1);
+        sim.with_ctx(|_, ctx| {
+            let id = ctx.set_timer(NodeId(0), Duration::from_secs(1), "dead");
+            ctx.set_timer(NodeId(0), Duration::from_secs(2), "alive");
+            ctx.cancel_timer(id);
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.protocol().log.len(), 1);
+        assert!(sim.protocol().log[0].1.contains("alive"));
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary_and_advances_clock() {
+        let mut sim = Simulation::new(Recorder::default(), ideal(1), 1);
+        sim.with_ctx(|_, ctx| {
+            ctx.set_timer(NodeId(0), Duration::from_secs(1), "early");
+            ctx.set_timer(NodeId(0), Duration::from_secs(5), "late");
+        });
+        sim.run_until(Time::from_secs(3));
+        assert_eq!(sim.protocol().log.len(), 1);
+        assert_eq!(sim.now(), Time::from_secs(3));
+        sim.run_until_idle();
+        assert_eq!(sim.protocol().log.len(), 2);
+        assert_eq!(sim.now(), Time::from_secs(5));
+    }
+
+    #[test]
+    fn messages_to_down_nodes_are_dropped_and_counted() {
+        let mut sim = Simulation::new(Recorder::default(), ideal(2), 1);
+        sim.with_ctx(|_, ctx| {
+            ctx.net_mut().set_up(NodeId(1), false);
+            ctx.send(NodeId(0), NodeId(1), Note("x", 8));
+        });
+        sim.run_until_idle();
+        assert!(sim.protocol().log.is_empty());
+        assert_eq!(sim.metrics().drops_down(), 1);
+        // Bytes still count as sent: the sender did transmit.
+        assert_eq!(sim.metrics().total_sent(NodeId(0)), 8);
+    }
+
+    #[test]
+    fn partitioned_links_drop_messages() {
+        let mut sim = Simulation::new(Recorder::default(), ideal(2), 1);
+        sim.with_ctx(|_, ctx| {
+            ctx.net_mut().set_link_down(NodeId(0), NodeId(1));
+            ctx.send(NodeId(0), NodeId(1), Note("x", 8));
+        });
+        sim.run_until_idle();
+        assert!(sim.protocol().log.is_empty());
+        assert_eq!(sim.metrics().drops_partition(), 1);
+    }
+
+    #[test]
+    fn node_status_transitions_invoke_hook() {
+        let mut sim = Simulation::new(Recorder::default(), ideal(2), 1);
+        sim.with_ctx(|_, ctx| {
+            ctx.set_node_status_after(Duration::from_secs(1), NodeId(1), false);
+            ctx.set_node_status_after(Duration::from_secs(2), NodeId(1), true);
+        });
+        sim.run_until_idle();
+        let names: Vec<_> = sim.protocol().log.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(names, vec!["status n1 up=false", "status n1 up=true"]);
+    }
+
+    #[test]
+    fn occupy_defers_delivery_and_preserves_order() {
+        let mut cfg = ideal(2);
+        cfg.proc_delay = LatencyModelFixture::zero();
+        let mut sim = Simulation::new(Recorder::default(), cfg, 1);
+        sim.with_ctx(|_, ctx| {
+            ctx.occupy(NodeId(1), Duration::from_millis(50));
+            ctx.send(NodeId(0), NodeId(1), Note("first", 8));
+            ctx.send(NodeId(0), NodeId(1), Note("second", 8));
+        });
+        sim.run_until_idle();
+        let log = &sim.protocol().log;
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].0, Duration::from_millis(50).as_nanos());
+        assert!(log[0].1.contains("first"));
+        assert!(log[1].1.contains("second"));
+    }
+
+    /// Tiny helper so the test above reads clearly.
+    struct LatencyModelFixture;
+    impl LatencyModelFixture {
+        fn zero() -> crate::net::LatencyModel {
+            crate::net::LatencyModel::ZERO
+        }
+    }
+
+    #[test]
+    fn lossy_network_drops_roughly_the_right_fraction() {
+        let mut cfg = ideal(2);
+        cfg.loss = 0.5;
+        let mut sim = Simulation::new(Recorder::default(), cfg, 99);
+        sim.with_ctx(|_, ctx| {
+            for _ in 0..1000 {
+                ctx.send(NodeId(0), NodeId(1), Note("x", 1));
+            }
+        });
+        sim.run_until_idle();
+        let delivered = sim.protocol().log.len();
+        let lost = sim.metrics().losses() as usize;
+        assert_eq!(delivered + lost, 1000);
+        assert!((350..=650).contains(&lost), "lost {lost} of 1000 at p=0.5");
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_traces() {
+        let run = |seed| {
+            let mut cfg = NetworkConfig::lan(5);
+            cfg.loss = 0.1;
+            let mut sim = Simulation::new(Recorder::default(), cfg, seed);
+            sim.with_ctx(|_, ctx| {
+                for i in 0..20u32 {
+                    ctx.send(NodeId(i % 5), NodeId((i + 1) % 5), Note("x", 100));
+                    ctx.set_timer(NodeId(i % 5), Duration::from_millis(u64::from(i)), "t");
+                }
+            });
+            sim.run_until_idle();
+            sim.into_protocol().log
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn bandwidth_serialization_orders_departures() {
+        // 8 Mbps => 1 ms per 1000-byte message.
+        let mut cfg = ideal(3);
+        cfg.egress_bandwidth_bps = Some(8_000_000);
+        let mut sim = Simulation::new(Recorder::default(), cfg, 1);
+        sim.with_ctx(|_, ctx| {
+            ctx.send(NodeId(0), NodeId(1), Note("a", 1000));
+            ctx.send(NodeId(0), NodeId(2), Note("b", 1000));
+        });
+        sim.run_until_idle();
+        let log = &sim.protocol().log;
+        assert_eq!(log[0].0, Duration::from_millis(1).as_nanos());
+        assert_eq!(log[1].0, Duration::from_millis(2).as_nanos());
+    }
+
+    #[test]
+    fn events_processed_counts_work() {
+        let mut sim = Simulation::new(Recorder::default(), ideal(2), 1);
+        sim.with_ctx(|_, ctx| {
+            ctx.send(NodeId(0), NodeId(1), Note("x", 1));
+            ctx.set_timer(NodeId(0), Duration::from_secs(1), "t");
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.events_processed(), 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Byte and message accounting for the simulated network.
+//!
+//! Every message the engine transmits is recorded here: bytes sent are
+//! attributed to the sender at departure time, bytes received to the receiver
+//! at delivery time, both bucketed over fixed-width time windows (the paper
+//! aggregates bandwidth over 10-second intervals). Message counts are also
+//! tallied per message *kind* so experiments can separate block payloads from
+//! digests, pull chatter and background traffic.
+
+use std::collections::BTreeMap;
+
+use crate::net::NodeId;
+use crate::time::{Duration, Time};
+
+/// Per-node, per-bucket byte counters plus per-kind message tallies.
+#[derive(Debug, Clone)]
+pub struct NetMetrics {
+    bucket: Duration,
+    sent: Vec<Vec<u64>>,
+    received: Vec<Vec<u64>>,
+    kinds: BTreeMap<&'static str, KindStats>,
+    dropped_loss: u64,
+    dropped_down: u64,
+    dropped_partition: u64,
+}
+
+/// Count and byte volume for one message kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Number of messages sent of this kind.
+    pub count: u64,
+    /// Total bytes sent of this kind.
+    pub bytes: u64,
+}
+
+impl NetMetrics {
+    /// Creates a collector for `nodes` nodes with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn new(nodes: usize, bucket: Duration) -> Self {
+        assert!(!bucket.is_zero(), "metrics bucket width must be positive");
+        NetMetrics {
+            bucket,
+            sent: vec![Vec::new(); nodes],
+            received: vec![Vec::new(); nodes],
+            kinds: BTreeMap::new(),
+            dropped_loss: 0,
+            dropped_down: 0,
+            dropped_partition: 0,
+        }
+    }
+
+    /// The bucket width used for the time series.
+    pub fn bucket_width(&self) -> Duration {
+        self.bucket
+    }
+
+    fn bucket_index(&self, at: Time) -> usize {
+        (at.as_nanos() / self.bucket.as_nanos()) as usize
+    }
+
+    fn add(series: &mut Vec<u64>, idx: usize, bytes: u64) {
+        if series.len() <= idx {
+            series.resize(idx + 1, 0);
+        }
+        series[idx] += bytes;
+    }
+
+    /// Records a sent message (called by the engine at departure time).
+    pub fn record_sent(&mut self, from: NodeId, at: Time, bytes: usize, kind: &'static str) {
+        let idx = self.bucket_index(at);
+        Self::add(&mut self.sent[from.index()], idx, bytes as u64);
+        let entry = self.kinds.entry(kind).or_default();
+        entry.count += 1;
+        entry.bytes += bytes as u64;
+    }
+
+    /// Records a received message (called by the engine at delivery time).
+    pub fn record_received(&mut self, to: NodeId, at: Time, bytes: usize) {
+        let idx = self.bucket_index(at);
+        Self::add(&mut self.received[to.index()], idx, bytes as u64);
+    }
+
+    /// Records a message lost to random packet loss.
+    pub fn record_loss(&mut self) {
+        self.dropped_loss += 1;
+    }
+
+    /// Records a message dropped because an endpoint was down.
+    pub fn record_drop_down(&mut self) {
+        self.dropped_down += 1;
+    }
+
+    /// Records a message dropped by a partitioned link.
+    pub fn record_drop_partition(&mut self) {
+        self.dropped_partition += 1;
+    }
+
+    /// Messages lost to random packet loss so far.
+    pub fn losses(&self) -> u64 {
+        self.dropped_loss
+    }
+
+    /// Messages dropped because an endpoint was down.
+    pub fn drops_down(&self) -> u64 {
+        self.dropped_down
+    }
+
+    /// Messages dropped on partitioned links.
+    pub fn drops_partition(&self) -> u64 {
+        self.dropped_partition
+    }
+
+    /// Raw per-bucket bytes sent by `node`.
+    pub fn sent_series(&self, node: NodeId) -> &[u64] {
+        &self.sent[node.index()]
+    }
+
+    /// Raw per-bucket bytes received by `node`.
+    pub fn received_series(&self, node: NodeId) -> &[u64] {
+        &self.received[node.index()]
+    }
+
+    /// Total bytes sent by `node`.
+    pub fn total_sent(&self, node: NodeId) -> u64 {
+        self.sent[node.index()].iter().sum()
+    }
+
+    /// Total bytes received by `node`.
+    pub fn total_received(&self, node: NodeId) -> u64 {
+        self.received[node.index()].iter().sum()
+    }
+
+    /// Total bytes sent across all nodes.
+    pub fn network_total_sent(&self) -> u64 {
+        (0..self.sent.len()).map(|i| self.total_sent(NodeId(i as u32))).sum()
+    }
+
+    /// Per-kind statistics, ordered by kind name.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, KindStats)> + '_ {
+        self.kinds.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Statistics for a single kind, if any message of that kind was sent.
+    pub fn kind(&self, kind: &str) -> Option<KindStats> {
+        self.kinds.get(kind).copied()
+    }
+
+    /// Bandwidth series for `node` in MB/s per bucket, summing sent and
+    /// received bytes as the paper's per-peer "network utilization" does.
+    /// The series is padded with zeros up to `until`.
+    pub fn utilization_mbps(&self, node: NodeId, until: Time) -> Vec<f64> {
+        let buckets = self.bucket_index(until) + 1;
+        let secs = self.bucket.as_secs_f64();
+        let sent = &self.sent[node.index()];
+        let recv = &self.received[node.index()];
+        (0..buckets)
+            .map(|i| {
+                let s = sent.get(i).copied().unwrap_or(0);
+                let r = recv.get(i).copied().unwrap_or(0);
+                (s + r) as f64 / 1e6 / secs
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate_by_time_window() {
+        let mut m = NetMetrics::new(2, Duration::from_secs(10));
+        let n = NodeId(0);
+        m.record_sent(n, Time::from_secs(1), 100, "block");
+        m.record_sent(n, Time::from_secs(9), 50, "block");
+        m.record_sent(n, Time::from_secs(10), 25, "digest");
+        assert_eq!(m.sent_series(n), &[150, 25]);
+        assert_eq!(m.total_sent(n), 175);
+    }
+
+    #[test]
+    fn kind_stats_tally_count_and_bytes() {
+        let mut m = NetMetrics::new(1, Duration::from_secs(1));
+        let n = NodeId(0);
+        m.record_sent(n, Time::ZERO, 10, "block");
+        m.record_sent(n, Time::ZERO, 30, "block");
+        m.record_sent(n, Time::ZERO, 5, "digest");
+        assert_eq!(m.kind("block"), Some(KindStats { count: 2, bytes: 40 }));
+        assert_eq!(m.kind("digest"), Some(KindStats { count: 1, bytes: 5 }));
+        assert_eq!(m.kind("pull"), None);
+        let kinds: Vec<_> = m.kinds().map(|(k, _)| k).collect();
+        assert_eq!(kinds, vec!["block", "digest"]);
+    }
+
+    #[test]
+    fn utilization_combines_directions_and_pads() {
+        let mut m = NetMetrics::new(2, Duration::from_secs(10));
+        let n = NodeId(1);
+        m.record_sent(n, Time::from_secs(5), 10_000_000, "block");
+        m.record_received(n, Time::from_secs(5), 10_000_000);
+        let series = m.utilization_mbps(n, Time::from_secs(35));
+        assert_eq!(series.len(), 4);
+        assert!((series[0] - 2.0).abs() < 1e-9); // 20 MB over 10 s
+        assert_eq!(series[1], 0.0);
+    }
+
+    #[test]
+    fn drop_counters_are_independent() {
+        let mut m = NetMetrics::new(1, Duration::from_secs(1));
+        m.record_loss();
+        m.record_loss();
+        m.record_drop_down();
+        m.record_drop_partition();
+        assert_eq!(m.losses(), 2);
+        assert_eq!(m.drops_down(), 1);
+        assert_eq!(m.drops_partition(), 1);
+    }
+
+    #[test]
+    fn network_total_sums_all_nodes() {
+        let mut m = NetMetrics::new(3, Duration::from_secs(1));
+        m.record_sent(NodeId(0), Time::ZERO, 1, "x");
+        m.record_sent(NodeId(1), Time::ZERO, 2, "x");
+        m.record_sent(NodeId(2), Time::ZERO, 3, "x");
+        assert_eq!(m.network_total_sent(), 6);
+    }
+}

@@ -1,0 +1,469 @@
+//! Network model: nodes, links, latency distributions and bandwidth queues.
+//!
+//! The model is deliberately simple but captures the two effects that matter
+//! for gossip fidelity:
+//!
+//! * **egress serialization** — a node with a finite-bandwidth NIC sends
+//!   messages one after another, so a peer pushing a 160 KB block to four
+//!   neighbours pays four serialization delays back to back (this is the
+//!   leader-peer contention the paper's `f_leader_out = 1` removes);
+//! * **receiver processing** — every delivered message occupies the receiver
+//!   for a sampled processing delay, and the application can additionally
+//!   occupy a node (e.g. block validation at 50 ms per transaction), delaying
+//!   subsequent deliveries.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::time::{Duration, Time};
+
+/// Identifier of a simulated node (peer, orderer, client, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index of this node, for direct vector addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A one-way link latency distribution.
+///
+/// All variants are sampled with the simulation's deterministic RNG, so a
+/// given seed always produces the same latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Fixed latency for every message.
+    Constant(Duration),
+    /// Uniformly distributed latency in `[min, max]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        min: Duration,
+        /// Upper bound (inclusive).
+        max: Duration,
+    },
+    /// LAN-like latency: `base` plus exponential jitter with mean `jitter`,
+    /// with probability `spike_prob` multiplied by `spike_mult` (models GC
+    /// pauses, CPU scheduling hiccups and switch queueing on a busy cluster).
+    Lan {
+        /// Floor latency of the link.
+        base: Duration,
+        /// Mean of the exponential jitter added to `base`.
+        jitter: Duration,
+        /// Probability that a message hits a slow path.
+        spike_prob: f64,
+        /// Multiplier applied to the sampled latency on the slow path.
+        spike_mult: u32,
+    },
+}
+
+impl LatencyModel {
+    /// No latency at all; useful for logic-only unit tests.
+    pub const ZERO: LatencyModel = LatencyModel::Constant(Duration::ZERO);
+
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut StdRng) -> Duration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                if max <= min {
+                    min
+                } else {
+                    Duration::from_nanos(rng.random_range(min.as_nanos()..=max.as_nanos()))
+                }
+            }
+            LatencyModel::Lan { base, jitter, spike_prob, spike_mult } => {
+                let u: f64 = rng.random::<f64>().max(1e-12);
+                let exp = jitter.mul_f64(-u.ln());
+                let mut d = base + exp;
+                if spike_prob > 0.0 && rng.random::<f64>() < spike_prob {
+                    d = d * u64::from(spike_mult.max(1));
+                }
+                d
+            }
+        }
+    }
+
+    /// The mean of the distribution (spikes included).
+    pub fn mean(&self) -> Duration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => (min + max) / 2,
+            LatencyModel::Lan { base, jitter, spike_prob, spike_mult } => {
+                let plain = base + jitter;
+                let spiked = plain * u64::from(spike_mult.max(1));
+                Duration::from_nanos(
+                    (plain.as_nanos() as f64 * (1.0 - spike_prob)
+                        + spiked.as_nanos() as f64 * spike_prob) as u64,
+                )
+            }
+        }
+    }
+}
+
+/// Static description of the simulated network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Number of nodes; ids are `0..nodes`.
+    pub nodes: usize,
+    /// Link latency model applied to every (from, to) pair.
+    pub latency: LatencyModel,
+    /// Egress NIC capacity in bits per second; `None` means infinite.
+    pub egress_bandwidth_bps: Option<u64>,
+    /// Per-message processing delay paid at the receiver before delivery.
+    pub proc_delay: LatencyModel,
+    /// Independent loss probability per message, in `[0, 1]`.
+    pub loss: f64,
+    /// Width of the byte-accounting buckets used by the metrics collector.
+    pub metrics_bucket: Duration,
+}
+
+impl NetworkConfig {
+    /// A perfect network: zero latency, infinite bandwidth, no loss.
+    /// Useful for protocol-logic tests where physics only gets in the way.
+    pub fn ideal(nodes: usize) -> Self {
+        NetworkConfig {
+            nodes,
+            latency: LatencyModel::ZERO,
+            egress_bandwidth_bps: None,
+            proc_delay: LatencyModel::ZERO,
+            loss: 0.0,
+            metrics_bucket: Duration::from_secs(10),
+        }
+    }
+
+    /// A 1 Gbps LAN resembling the paper's testbed: 15 servers, 8 cores
+    /// each, everything in Docker containers. The latency constants model
+    /// switch + container networking; the per-message processing delay
+    /// models gRPC handling, protobuf decoding and Go runtime pauses
+    /// (the occasional 30–60 ms spike is a GC/scheduling hiccup).
+    pub fn lan(nodes: usize) -> Self {
+        NetworkConfig {
+            nodes,
+            latency: LatencyModel::Lan {
+                base: Duration::from_micros(250),
+                jitter: Duration::from_micros(400),
+                spike_prob: 0.01,
+                spike_mult: 20,
+            },
+            egress_bandwidth_bps: Some(1_000_000_000),
+            proc_delay: LatencyModel::Lan {
+                base: Duration::from_micros(1_500),
+                jitter: Duration::from_micros(2_000),
+                spike_prob: 0.01,
+                spike_mult: 25,
+            },
+            loss: 0.0,
+            metrics_bucket: Duration::from_secs(10),
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("network must have at least one node".into());
+        }
+        if !(0.0..=1.0).contains(&self.loss) {
+            return Err(format!("loss probability {} outside [0, 1]", self.loss));
+        }
+        if self.metrics_bucket.is_zero() {
+            return Err("metrics bucket width must be positive".into());
+        }
+        if let Some(0) = self.egress_bandwidth_bps {
+            return Err("egress bandwidth must be positive when set".into());
+        }
+        Ok(())
+    }
+}
+
+/// Mutable network state: NIC queues, link/node status.
+#[derive(Debug)]
+pub struct NetState {
+    config: NetworkConfig,
+    /// Instant at which each node's egress NIC becomes free.
+    egress_free: Vec<Time>,
+    /// Instant at which each node's ingress processing becomes free.
+    ingress_free: Vec<Time>,
+    node_up: Vec<bool>,
+    down_links: HashSet<(u32, u32)>,
+}
+
+impl NetState {
+    /// Builds the state for a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`NetworkConfig::validate`]).
+    pub fn new(config: NetworkConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid network config: {e}");
+        }
+        let n = config.nodes;
+        NetState {
+            config,
+            egress_free: vec![Time::ZERO; n],
+            ingress_free: vec![Time::ZERO; n],
+            node_up: vec![true; n],
+            down_links: HashSet::new(),
+        }
+    }
+
+    /// The static configuration this state was built from.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Number of nodes in the network.
+    pub fn len(&self) -> usize {
+        self.config.nodes
+    }
+
+    /// `true` when the network has no nodes (never, post-validation).
+    pub fn is_empty(&self) -> bool {
+        self.config.nodes == 0
+    }
+
+    /// Whether `node` is currently up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.node_up.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// Marks `node` up or down. Messages to or from a down node are dropped.
+    pub fn set_up(&mut self, node: NodeId, up: bool) {
+        if let Some(slot) = self.node_up.get_mut(node.index()) {
+            *slot = up;
+        }
+        if up {
+            // A rebooted node starts with idle NIC and CPU.
+            self.egress_free[node.index()] = Time::ZERO;
+            self.ingress_free[node.index()] = Time::ZERO;
+        }
+    }
+
+    fn link_key(a: NodeId, b: NodeId) -> (u32, u32) {
+        (a.0.min(b.0), a.0.max(b.0))
+    }
+
+    /// Cuts the (bidirectional) link between `a` and `b`.
+    pub fn set_link_down(&mut self, a: NodeId, b: NodeId) {
+        self.down_links.insert(Self::link_key(a, b));
+    }
+
+    /// Restores the link between `a` and `b`.
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId) {
+        self.down_links.remove(&Self::link_key(a, b));
+    }
+
+    /// Whether the link between `a` and `b` currently carries traffic.
+    pub fn link_up(&self, a: NodeId, b: NodeId) -> bool {
+        !self.down_links.contains(&Self::link_key(a, b))
+    }
+
+    /// Partitions the network into the given groups: links between nodes of
+    /// different groups go down, links within a group come up.
+    pub fn partition(&mut self, groups: &[Vec<NodeId>]) {
+        self.down_links.clear();
+        for (gi, group) in groups.iter().enumerate() {
+            for other in groups.iter().skip(gi + 1) {
+                for &a in group {
+                    for &b in other {
+                        self.set_link_down(a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heals all partitions and cut links.
+    pub fn heal(&mut self) {
+        self.down_links.clear();
+    }
+
+    /// Computes the departure instant of a message of `size` bytes leaving
+    /// `from` at `now`, advancing the egress queue.
+    pub fn egress_departure(&mut self, from: NodeId, now: Time, size: usize) -> Time {
+        let ser = match self.config.egress_bandwidth_bps {
+            None => Duration::ZERO,
+            Some(bps) => {
+                let bits = size as u64 * 8;
+                Duration::from_nanos(bits.saturating_mul(1_000_000_000) / bps)
+            }
+        };
+        let start = now.max(self.egress_free[from.index()]);
+        let depart = start + ser;
+        self.egress_free[from.index()] = depart;
+        depart
+    }
+
+    /// Computes the delivery instant of a message arriving at `to` at
+    /// `arrival`, advancing the ingress processing queue by a sampled
+    /// processing delay.
+    pub fn ingress_delivery(&mut self, to: NodeId, arrival: Time, rng: &mut StdRng) -> Time {
+        let proc = self.config.proc_delay.sample(rng);
+        let start = arrival.max(self.ingress_free[to.index()]);
+        let deliver = start + proc;
+        self.ingress_free[to.index()] = deliver;
+        deliver
+    }
+
+    /// Occupies `node`'s processing capacity for `dur` starting at `now`;
+    /// subsequent deliveries queue behind it. Used to model CPU-bound work
+    /// such as block validation.
+    pub fn occupy(&mut self, node: NodeId, now: Time, dur: Duration) {
+        let start = now.max(self.ingress_free[node.index()]);
+        self.ingress_free[node.index()] = start + dur;
+    }
+
+    /// Instant at which `node`'s ingress processing becomes free.
+    pub fn ingress_free_at(&self, node: NodeId) -> Time {
+        self.ingress_free[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_latency_is_constant() {
+        let m = LatencyModel::Constant(Duration::from_millis(3));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), Duration::from_millis(3));
+        }
+        assert_eq!(m.mean(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn uniform_latency_within_bounds() {
+        let m = LatencyModel::Uniform { min: Duration::from_millis(1), max: Duration::from_millis(5) };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = m.sample(&mut r);
+            assert!(d >= Duration::from_millis(1) && d <= Duration::from_millis(5));
+        }
+        assert_eq!(m.mean(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let m = LatencyModel::Uniform { min: Duration::from_millis(2), max: Duration::from_millis(2) };
+        assert_eq!(m.sample(&mut rng()), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn lan_latency_at_least_base() {
+        let m = LatencyModel::Lan {
+            base: Duration::from_micros(100),
+            jitter: Duration::from_micros(50),
+            spike_prob: 0.1,
+            spike_mult: 10,
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(m.sample(&mut r) >= Duration::from_micros(100));
+        }
+    }
+
+    #[test]
+    fn lan_mean_accounts_for_spikes() {
+        let m = LatencyModel::Lan {
+            base: Duration::from_micros(100),
+            jitter: Duration::from_micros(100),
+            spike_prob: 0.5,
+            spike_mult: 3,
+        };
+        // plain mean 200us, spiked 600us, 50/50 => 400us
+        assert_eq!(m.mean(), Duration::from_micros(400));
+    }
+
+    #[test]
+    fn egress_queue_serializes_back_to_back_sends() {
+        let mut cfg = NetworkConfig::ideal(2);
+        cfg.egress_bandwidth_bps = Some(8_000_000_000); // 1 GB/s => 1 ns per byte
+        let mut net = NetState::new(cfg);
+        let a = NodeId(0);
+        let d1 = net.egress_departure(a, Time::ZERO, 1000);
+        let d2 = net.egress_departure(a, Time::ZERO, 1000);
+        assert_eq!(d1, Time::from_nanos(1000));
+        assert_eq!(d2, Time::from_nanos(2000));
+        // A later send after the queue drained starts fresh.
+        let d3 = net.egress_departure(a, Time::from_nanos(10_000), 1000);
+        assert_eq!(d3, Time::from_nanos(11_000));
+    }
+
+    #[test]
+    fn infinite_bandwidth_departs_immediately() {
+        let mut net = NetState::new(NetworkConfig::ideal(2));
+        let d = net.egress_departure(NodeId(0), Time::from_secs(1), 1 << 30);
+        assert_eq!(d, Time::from_secs(1));
+    }
+
+    #[test]
+    fn occupy_delays_subsequent_deliveries() {
+        let mut net = NetState::new(NetworkConfig::ideal(2));
+        let n = NodeId(1);
+        net.occupy(n, Time::ZERO, Duration::from_millis(50));
+        let mut r = rng();
+        let deliver = net.ingress_delivery(n, Time::from_millis(10), &mut r);
+        assert_eq!(deliver, Time::from_millis(50));
+    }
+
+    #[test]
+    fn partition_cuts_cross_group_links_only() {
+        let mut net = NetState::new(NetworkConfig::ideal(4));
+        let (a, b, c, d) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+        net.partition(&[vec![a, b], vec![c, d]]);
+        assert!(net.link_up(a, b));
+        assert!(net.link_up(c, d));
+        assert!(!net.link_up(a, c));
+        assert!(!net.link_up(b, d));
+        net.heal();
+        assert!(net.link_up(a, c));
+    }
+
+    #[test]
+    fn node_down_and_reboot() {
+        let mut net = NetState::new(NetworkConfig::ideal(2));
+        let n = NodeId(0);
+        assert!(net.is_up(n));
+        net.set_up(n, false);
+        assert!(!net.is_up(n));
+        net.set_up(n, true);
+        assert!(net.is_up(n));
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(NetworkConfig::ideal(0).validate().is_err());
+        let mut c = NetworkConfig::ideal(1);
+        c.loss = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = NetworkConfig::ideal(1);
+        c.egress_bandwidth_bps = Some(0);
+        assert!(c.validate().is_err());
+        let mut c = NetworkConfig::ideal(1);
+        c.metrics_bucket = Duration::ZERO;
+        assert!(c.validate().is_err());
+        assert!(NetworkConfig::lan(100).validate().is_ok());
+    }
+}

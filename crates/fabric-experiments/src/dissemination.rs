@@ -1,0 +1,320 @@
+//! The dissemination experiment (§V-A/B/C): 1 000 blocks of ≈160 KB
+//! through a 100-peer organization, measuring per-peer and per-block
+//! latency plus bandwidth — Figures 4 through 14.
+
+use desim::{Duration, KindStats, NetworkConfig, Simulation};
+use fabric_gossip::config::GossipConfig;
+use fabric_orderer::cutter::BatchConfig;
+use fabric_orderer::service::OrdererConfig;
+use fabric_types::ids::PeerId;
+use fabric_workload::schedule::{payload_schedule, PayloadWorkload};
+use gossip_metrics::bandwidth::{BandwidthComparison, BandwidthSeries};
+use gossip_metrics::latency::{Extremes, LatencyRecorder};
+
+use crate::net::{FabricNet, NetParams};
+
+/// Everything a dissemination run needs.
+#[derive(Debug, Clone)]
+pub struct DisseminationConfig {
+    /// Organization size (paper: 100).
+    pub peers: usize,
+    /// The gossip protocol under test.
+    pub gossip: GossipConfig,
+    /// Transaction workload (paper: 50 000 tx ⇒ 1 000 blocks).
+    pub workload: PayloadWorkload,
+    /// Physical network model.
+    pub network: NetworkConfig,
+    /// Ordering service (batching + consensus latency).
+    pub orderer: OrdererConfig,
+    /// Extra idle time simulated after the last block, showing the
+    /// background-traffic floor (Fig. 6 runs 500 s of idle tail).
+    pub idle_tail: Duration,
+    /// Constant background traffic added to the bandwidth series (the
+    /// paper's ≈0.4 MB/s of non-dissemination system chatter).
+    pub background_mbps: f64,
+    /// Number of organizations (contiguous peer split; 1 = the paper's
+    /// evaluation deployment).
+    pub orgs: usize,
+    /// Peers (taken from the high end of the roster) that free-ride:
+    /// receive and serve but never forward.
+    pub free_riders: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl DisseminationConfig {
+    fn base(gossip: GossipConfig) -> Self {
+        DisseminationConfig {
+            peers: 100,
+            gossip,
+            workload: PayloadWorkload::default(),
+            network: NetworkConfig::lan(102),
+            orderer: OrdererConfig::kafka(BatchConfig::paper_dissemination()),
+            idle_tail: Duration::from_secs(500),
+            background_mbps: 0.4,
+            orgs: 1,
+            free_riders: 0,
+            seed: 1,
+        }
+    }
+
+    /// Figures 4, 5 and 6: the original Fabric gossip baseline.
+    pub fn fig04_06_original() -> Self {
+        Self::base(GossipConfig::original_fabric())
+    }
+
+    /// Figures 7, 8 and 9: enhanced gossip, `fout = 4`, `TTL = 9`.
+    pub fn fig07_09_enhanced_f4() -> Self {
+        Self::base(GossipConfig::enhanced_f4())
+    }
+
+    /// Figure 10: enhanced gossip with `f_leader_out = fout = 4` (the
+    /// leader-overload ablation).
+    pub fn fig10_heavy_leader() -> Self {
+        Self::base(GossipConfig::enhanced_heavy_leader())
+    }
+
+    /// Figure 11: enhanced gossip without digests. The paper aborts this
+    /// configuration after ≈160 s; 100 blocks cover the same span.
+    pub fn fig11_no_digests() -> Self {
+        let mut cfg = Self::base(GossipConfig::enhanced_no_digests());
+        cfg.workload = PayloadWorkload::shortened(5_000); // 100 blocks
+        cfg.idle_tail = Duration::from_secs(20);
+        cfg
+    }
+
+    /// Figures 12, 13 and 14: enhanced gossip, `fout = 2`, `TTL = 19`.
+    pub fn fig12_14_enhanced_f2() -> Self {
+        Self::base(GossipConfig::enhanced_f2())
+    }
+
+    /// Scales the run down to `total_txs` transactions (tests, examples,
+    /// quick benches). 50 transactions = one block.
+    pub fn scaled(mut self, total_txs: usize) -> Self {
+        self.workload.total_txs = total_txs;
+        self.idle_tail = Duration::from_secs(20);
+        self
+    }
+}
+
+/// What a dissemination run produces.
+#[derive(Debug)]
+pub struct DisseminationResult {
+    /// Blocks cut and disseminated.
+    pub blocks: u64,
+    /// Fraction of (block, peer) deliveries that happened (1.0 = every
+    /// peer received every block).
+    pub completeness: f64,
+    /// Fastest/median/slowest peer CDFs (Figs. 4/7/12).
+    pub peer_extremes: Option<Extremes>,
+    /// Fastest/median/slowest block CDFs (Figs. 5/8/13).
+    pub block_extremes: Option<Extremes>,
+    /// Leader vs regular peer bandwidth (Figs. 6/9/10/11/14), background
+    /// included.
+    pub bandwidth: BandwidthComparison,
+    /// Dissemination bytes sent by all peers (no background), in MB.
+    pub peer_traffic_mb: f64,
+    /// Bytes sent by the leader peer alone (no background), in MB.
+    pub leader_sent_mb: f64,
+    /// Bytes sent by the sampled regular peer (no background), in MB.
+    pub regular_sent_mb: f64,
+    /// Per-message-kind statistics.
+    pub kinds: Vec<(String, KindStats)>,
+    /// Simulation events processed (performance accounting).
+    pub events: u64,
+    /// The raw latency matrix for custom analysis.
+    pub latency: LatencyRecorder,
+}
+
+impl DisseminationResult {
+    /// Pooled latency CDF over every (block, peer) delivery.
+    pub fn pooled_cdf(&self) -> gossip_metrics::cdf::Cdf {
+        let peers = self.latency.all_peer_cdfs();
+        let mut all = Vec::new();
+        for c in peers {
+            all.extend_from_slice(c.samples());
+        }
+        gossip_metrics::cdf::Cdf::new(all)
+    }
+}
+
+/// Runs one dissemination experiment to completion.
+pub fn run_dissemination(cfg: &DisseminationConfig) -> DisseminationResult {
+    let schedule = payload_schedule(&cfg.workload);
+    let last_issue = schedule.last().map(|s| s.at).unwrap_or(desim::Time::ZERO);
+
+    let mut params = NetParams::new(cfg.peers, cfg.gossip.clone(), cfg.orderer.clone());
+    // Dissemination blocks carry 50 padded transactions; validation at the
+    // paper's conflict-experiment cost would saturate peers, and the paper
+    // does not report it as a factor here — keep it light but nonzero.
+    params.validation_per_tx = Duration::from_micros(300);
+    params.endorsers = vec![PeerId(1)];
+    params.full_ledgers = false;
+    params.orgs = cfg.orgs;
+
+    let mut network = cfg.network.clone();
+    network.nodes = FabricNet::node_count(&params);
+
+    let mut net = FabricNet::new(params, schedule);
+    assert!(cfg.free_riders < cfg.peers, "at least one peer must forward");
+    for i in (cfg.peers - cfg.free_riders)..cfg.peers {
+        net.set_forwarding(i, false);
+    }
+    let mut sim = Simulation::new(net, network, cfg.seed);
+    sim.with_ctx(|net, ctx| net.start(ctx));
+
+    // Ordering lag + dissemination tail: generous 40 s drain window, then
+    // the idle tail the bandwidth figures show.
+    let drain = Duration::from_secs(40);
+    sim.run_until(last_issue + drain);
+    sim.run_for(cfg.idle_tail);
+    let end = sim.now();
+    // The active phase (over which the figures' dotted averages run) ends
+    // shortly after the last transaction; the drain and idle tail only
+    // carry background chatter.
+    let active_end = last_issue + Duration::from_secs(5);
+
+    let bucket_secs = sim.metrics().bucket_width().as_secs_f64();
+    let leader_node = desim::NodeId(0);
+    // "A regular peer chosen at random": any non-leader, non-endorser peer.
+    let regular_node = desim::NodeId(cfg.peers as u32 - 1);
+    let leader = BandwidthSeries::new(
+        "leader peer",
+        sim.metrics().utilization_mbps(leader_node, end),
+        bucket_secs,
+    )
+    .with_background(cfg.background_mbps);
+    let regular = BandwidthSeries::new(
+        "regular peer",
+        sim.metrics().utilization_mbps(regular_node, end),
+        bucket_secs,
+    )
+    .with_background(cfg.background_mbps);
+    let active_buckets =
+        (active_end.as_secs_f64() / bucket_secs).ceil() as usize;
+
+    let peer_traffic_mb = (0..cfg.peers)
+        .map(|i| sim.metrics().total_sent(desim::NodeId(i as u32)))
+        .sum::<u64>() as f64
+        / 1e6;
+    let leader_sent_mb = sim.metrics().total_sent(leader_node) as f64 / 1e6;
+    let regular_sent_mb = sim.metrics().total_sent(regular_node) as f64 / 1e6;
+    let kinds: Vec<(String, KindStats)> =
+        sim.metrics().kinds().map(|(k, v)| (k.to_owned(), v)).collect();
+    let events = sim.events_processed();
+
+    let net = sim.into_protocol();
+    let latency = net.latency.clone();
+    DisseminationResult {
+        blocks: net.blocks_cut(),
+        completeness: latency.completeness(),
+        peer_extremes: latency.peer_extremes(),
+        block_extremes: latency.block_extremes(),
+        bandwidth: BandwidthComparison { leader, regular, active_buckets },
+        peer_traffic_mb,
+        leader_sent_mb,
+        regular_sent_mb,
+        kinds,
+        events,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(cfg: DisseminationConfig, txs: usize) -> DisseminationResult {
+        let mut cfg = cfg.scaled(txs);
+        cfg.peers = 40;
+        cfg.network = NetworkConfig::lan(42);
+        run_dissemination(&cfg)
+    }
+
+    #[test]
+    fn enhanced_run_delivers_every_block_fast() {
+        let res = quick(DisseminationConfig::fig07_09_enhanced_f4(), 500);
+        assert_eq!(res.blocks, 10);
+        assert_eq!(res.completeness, 1.0, "every peer must receive every block");
+        assert_eq!(res.latency.block_count(), 10);
+        let slowest = res.block_extremes.as_ref().unwrap().slowest.1.max();
+        assert!(
+            slowest < Duration::from_millis(800),
+            "enhanced tail should be sub-second, got {slowest}"
+        );
+    }
+
+    #[test]
+    fn original_run_completes_but_with_a_heavy_tail() {
+        let res = quick(DisseminationConfig::fig04_06_original(), 500);
+        assert_eq!(res.completeness, 1.0, "pull must eventually deliver everything");
+        let slowest = res.block_extremes.as_ref().unwrap().slowest.1.max();
+        assert!(
+            slowest > Duration::from_millis(900),
+            "original tail should span into the pull phase, got {slowest}"
+        );
+    }
+
+    #[test]
+    fn enhanced_beats_original_on_tail_latency_and_bandwidth() {
+        let orig = quick(DisseminationConfig::fig04_06_original(), 1000);
+        let enh = quick(DisseminationConfig::fig07_09_enhanced_f4(), 1000);
+        let orig_tail = orig.pooled_cdf().quantile(0.999);
+        let enh_tail = enh.pooled_cdf().quantile(0.999);
+        assert!(
+            enh_tail * 5 < orig_tail,
+            "p99.9: enhanced {enh_tail} vs original {orig_tail}"
+        );
+        assert!(
+            enh.peer_traffic_mb < orig.peer_traffic_mb * 0.75,
+            "traffic: enhanced {:.1} MB vs original {:.1} MB",
+            enh.peer_traffic_mb,
+            orig.peer_traffic_mb
+        );
+    }
+
+    #[test]
+    fn heavy_leader_ablation_shows_the_imbalance() {
+        let fair = quick(DisseminationConfig::fig07_09_enhanced_f4(), 600);
+        let heavy = quick(DisseminationConfig::fig10_heavy_leader(), 600);
+        // With f_leader_out = 1 the leader injects each block once; with
+        // f_leader_out = fout = 4 it injects four copies on top of its
+        // regular forwarding share.
+        assert!(
+            heavy.leader_sent_mb > fair.leader_sent_mb * 1.7,
+            "f_leader_out = fout must overload the leader's egress: fair {:.1} MB vs heavy {:.1} MB",
+            fair.leader_sent_mb,
+            heavy.leader_sent_mb
+        );
+        // And the leader-vs-regular utilization gap widens as in Fig. 10.
+        assert!(
+            heavy.bandwidth.leader_ratio() > fair.bandwidth.leader_ratio(),
+            "utilization ratio: fair {:.2} vs heavy {:.2}",
+            fair.bandwidth.leader_ratio(),
+            heavy.bandwidth.leader_ratio()
+        );
+    }
+
+    #[test]
+    fn no_digest_ablation_blows_up_traffic() {
+        let with = quick(DisseminationConfig::fig07_09_enhanced_f4(), 600);
+        let without = quick(DisseminationConfig::fig11_no_digests(), 600);
+        assert!(
+            without.peer_traffic_mb > with.peer_traffic_mb * 3.0,
+            "no digests: {:.1} MB vs with digests: {:.1} MB",
+            without.peer_traffic_mb,
+            with.peer_traffic_mb
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        let a = quick(DisseminationConfig::fig07_09_enhanced_f4(), 300);
+        let b = quick(DisseminationConfig::fig07_09_enhanced_f4(), 300);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.peer_traffic_mb, b.peer_traffic_mb);
+        let qa = a.pooled_cdf().quantile(0.5);
+        let qb = b.pooled_cdf().quantile(0.5);
+        assert_eq!(qa, qb);
+    }
+}

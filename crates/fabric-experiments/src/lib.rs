@@ -1,0 +1,32 @@
+//! # fabric-experiments — the paper's evaluation, end to end
+//!
+//! Wires every substrate into one deterministic simulation
+//! ([`net::FabricNet`]): a client issuing the paper's workloads, an
+//! ordering service cutting blocks, and an organization of gossip peers
+//! validating and committing them. On top, one runner per experiment
+//! family:
+//!
+//! * [`dissemination`] — Figs. 4–14: latency and bandwidth of block
+//!   dissemination, original vs enhanced, with the leader-fan-out and
+//!   no-digest ablations;
+//! * [`conflicts`] — Table II: invalidated transactions under different
+//!   block periods;
+//! * [`report`] — paper-style text rendering of every figure and table.
+//!
+//! ```no_run
+//! use fabric_experiments::dissemination::{run_dissemination, DisseminationConfig};
+//! let result = run_dissemination(&DisseminationConfig::fig07_09_enhanced_f4());
+//! assert_eq!(result.completeness, 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod conflicts;
+pub mod dissemination;
+pub mod net;
+pub mod report;
+
+pub use conflicts::{run_conflicts, run_table2, ConflictConfig, ConflictResult, Table2Row};
+pub use dissemination::{run_dissemination, DisseminationConfig, DisseminationResult};
+pub use net::{FabricNet, NetMsg, NetParams, NetTimer};

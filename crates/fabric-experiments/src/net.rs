@@ -1,0 +1,667 @@
+//! The simulated Fabric network: client, ordering service and gossip peers
+//! as one [`desim::Protocol`].
+//!
+//! Node layout for an organization of `n` peers:
+//!
+//! * nodes `0 .. n` — the peers (gossip + optional ledger);
+//! * node `n` — the ordering service;
+//! * node `n + 1` — the client application.
+//!
+//! The full execute-order-validate pipeline runs in virtual time: the
+//! client sends proposals to the endorsing peer, which simulates the
+//! chaincode against its committed state and signs; the client forwards the
+//! endorsed transaction to the orderer; the block cutter batches; consensus
+//! is modeled by the configured latency; cut blocks go to the current
+//! leader peer, and gossip takes it from there. Every peer pays the
+//! configured validation cost per delivered transaction, which queues its
+//! message processing exactly like a busy CPU would.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use desim::{Ctx, Duration, NodeId, Time};
+use fabric_gossip::config::GossipConfig;
+use fabric_gossip::effects::Effects;
+use fabric_gossip::messages::{GossipMsg, GossipTimer};
+use fabric_gossip::peer::GossipPeer;
+use fabric_ledger::ledger::Ledger;
+use fabric_orderer::service::{OrdererConfig, OrderingService};
+use fabric_types::block::{Block, BlockRef};
+use fabric_types::ids::{ClientId, PeerId, TxId};
+use fabric_types::msp::Msp;
+use fabric_types::transaction::{EndorsementPolicy, Transaction};
+use fabric_workload::client::endorse_invocation;
+use fabric_workload::schedule::ScheduledInvocation;
+use gossip_metrics::latency::LatencyRecorder;
+
+/// Messages on the simulated wire.
+#[derive(Debug, Clone)]
+pub enum NetMsg {
+    /// Peer-to-peer gossip.
+    Gossip(GossipMsg),
+    /// Client → endorsing peer: proposal `schedule[index]`.
+    Propose {
+        /// Index into the experiment's invocation schedule.
+        index: usize,
+    },
+    /// Endorsing peer → client: the signed transaction for one proposal.
+    Endorsed {
+        /// Index into the experiment's invocation schedule.
+        index: usize,
+        /// The endorsed transaction (reads taken at this endorser's state).
+        tx: Box<Transaction>,
+    },
+    /// Client → orderer: submit for ordering.
+    Submit(Box<Transaction>),
+    /// Orderer → leader peer: a freshly cut block.
+    DeliverBlock(BlockRef),
+}
+
+impl desim::Message for NetMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            NetMsg::Gossip(g) => g.wire_size(),
+            NetMsg::Propose { .. } => 320, // chaincode name, args, client cert
+            NetMsg::Endorsed { tx, .. } => 48 + tx.wire_size(),
+            NetMsg::Submit(tx) => 48 + tx.wire_size(),
+            NetMsg::DeliverBlock(b) => 48 + b.wire_size(),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            NetMsg::Gossip(g) => g.kind(),
+            NetMsg::Propose { .. } => "propose",
+            NetMsg::Endorsed { .. } => "endorsed",
+            NetMsg::Submit(_) => "submit",
+            NetMsg::DeliverBlock(_) => "orderer-deliver",
+        }
+    }
+}
+
+/// Timers of the simulated network.
+#[derive(Debug)]
+pub enum NetTimer {
+    /// A gossip timer of one peer.
+    Peer(GossipTimer),
+    /// The client's next scheduled submission is due.
+    ClientIssue,
+    /// The orderer's batch timeout for `epoch`.
+    BatchTimeout {
+        /// The batch epoch the timer guards (stale epochs are ignored).
+        epoch: u64,
+    },
+    /// Consensus finished for a cut block; deliver it to the leader.
+    DeliverCut(BlockRef),
+    /// A peer finished validating the oldest block in its commit queue.
+    CommitDone,
+}
+
+/// Static parameters of the simulated deployment.
+#[derive(Debug, Clone)]
+pub struct NetParams {
+    /// Total number of peers in the channel.
+    pub peers: usize,
+    /// Number of organizations; peers are split contiguously (org `i`
+    /// owns peers `[i·k, (i+1)·k)`). Push and pull stay inside each
+    /// organization; StateInfo and recovery cross organizations, and the
+    /// ordering service feeds one leader per organization — Fig. 1 of the
+    /// paper.
+    pub orgs: usize,
+    /// Gossip configuration shared by every peer.
+    pub gossip: GossipConfig,
+    /// Ordering service configuration (batching + consensus latency).
+    pub orderer: OrdererConfig,
+    /// Validation CPU cost per transaction at commit (paper §V-D: 50 ms).
+    pub validation_per_tx: Duration,
+    /// CPU cost of simulating + signing one endorsement.
+    pub endorse_cost: Duration,
+    /// The endorsing peers. §V-D uses one; with several, the client
+    /// compares read sets across endorsements and discards mismatches —
+    /// the paper's *proposal-time* conflicts (§II-C).
+    pub endorsers: Vec<PeerId>,
+    /// Maintain a full ledger on every peer (`true`) or only on the
+    /// endorser (`false`, saves memory in dissemination runs).
+    pub full_ledgers: bool,
+    /// The channel endorsement policy.
+    pub policy: EndorsementPolicy,
+}
+
+impl NetParams {
+    /// Sensible defaults for a dissemination experiment over `peers` peers.
+    pub fn new(peers: usize, gossip: GossipConfig, orderer: OrdererConfig) -> Self {
+        NetParams {
+            peers,
+            orgs: 1,
+            gossip,
+            orderer,
+            validation_per_tx: Duration::from_micros(500),
+            endorse_cost: Duration::from_millis(2),
+            endorsers: vec![PeerId(1)],
+            full_ledgers: false,
+            policy: EndorsementPolicy::AnyMember,
+        }
+    }
+}
+
+struct PeerNode {
+    gossip: GossipPeer,
+    ledger: Option<Ledger>,
+    /// Blocks fully committed (validated + applied or counted).
+    committed: u64,
+    /// Commit failures (chain violations) — should stay zero.
+    commit_errors: u64,
+    /// Blocks delivered in order, awaiting the validation delay.
+    pending_commits: VecDeque<BlockRef>,
+    /// Instant the peer's (serial) validation pipeline frees up.
+    validation_free: Time,
+}
+
+/// The whole simulated deployment, implementing [`desim::Protocol`].
+#[derive(Debug)]
+pub struct FabricNet {
+    params: NetParams,
+    msp: Arc<Msp>,
+    peers: Vec<PeerNode>,
+    orderer: OrderingService,
+    schedule: Arc<Vec<ScheduledInvocation>>,
+    next_invocation: usize,
+    issued: u64,
+    endorse_failures: u64,
+    /// Endorsed transactions collected per in-flight proposal.
+    pending_endorsements: std::collections::BTreeMap<usize, Vec<Transaction>>,
+    /// Proposals discarded because endorsers returned mismatched read sets.
+    proposal_conflicts: u64,
+    /// Per-(block, peer) dissemination latency (t0 = leader reception).
+    pub latency: LatencyRecorder,
+}
+
+impl std::fmt::Debug for PeerNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerNode")
+            .field("peer", &self.gossip.id())
+            .field("committed", &self.committed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FabricNet {
+    /// Builds the deployment. The network config passed to the simulation
+    /// must have `params.peers + 2` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid gossip configuration or an endorser id outside the
+    /// roster.
+    pub fn new(params: NetParams, schedule: Vec<ScheduledInvocation>) -> Self {
+        assert!(!params.endorsers.is_empty(), "at least one endorsing peer");
+        assert!(
+            params.endorsers.iter().all(|e| e.index() < params.peers),
+            "endorsers must be peers"
+        );
+        assert!(params.orgs >= 1 && params.orgs <= params.peers, "need 1..=peers organizations");
+        let mut msp = Msp::new();
+        let channel: Vec<PeerId> = (0..params.peers as u32).map(PeerId).collect();
+        let per_org = params.peers.div_ceil(params.orgs);
+        for id in &channel {
+            msp.enroll(*id, fabric_types::ids::OrgId((id.index() / per_org) as u16));
+        }
+        let msp = Arc::new(msp);
+        let peers: Vec<PeerNode> = channel
+            .iter()
+            .map(|id| {
+                let org_lo = (id.index() / per_org) * per_org;
+                let org_hi = (org_lo + per_org).min(params.peers);
+                let org_roster: Vec<PeerId> =
+                    (org_lo as u32..org_hi as u32).map(PeerId).collect();
+                let needs_ledger = params.full_ledgers || params.endorsers.contains(id);
+                PeerNode {
+                    gossip: GossipPeer::new(*id, org_roster, params.gossip.clone())
+                        .with_channel(channel.clone()),
+                    ledger: needs_ledger
+                        .then(|| Ledger::new(msp.clone(), params.policy.clone())),
+                    committed: 0,
+                    commit_errors: 0,
+                    pending_commits: VecDeque::new(),
+                    validation_free: Time::ZERO,
+                }
+            })
+            .collect();
+        let orderer =
+            OrderingService::new(params.orderer.clone(), Block::genesis().hash(), 1);
+        let latency = LatencyRecorder::new(params.peers);
+        FabricNet {
+            params,
+            msp,
+            peers,
+            orderer,
+            schedule: Arc::new(schedule),
+            next_invocation: 0,
+            issued: 0,
+            endorse_failures: 0,
+            pending_endorsements: std::collections::BTreeMap::new(),
+            proposal_conflicts: 0,
+            latency,
+        }
+    }
+
+    /// The node id of the ordering service.
+    pub fn orderer_node(&self) -> NodeId {
+        NodeId(self.params.peers as u32)
+    }
+
+    /// The node id of the client.
+    pub fn client_node(&self) -> NodeId {
+        NodeId(self.params.peers as u32 + 1)
+    }
+
+    /// Total nodes the network config must provide.
+    pub fn node_count(params: &NetParams) -> usize {
+        params.peers + 2
+    }
+
+    /// The experiment parameters.
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+
+    /// Proposals issued by the client so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Endorsement failures observed (should stay zero).
+    pub fn endorse_failures(&self) -> u64 {
+        self.endorse_failures
+    }
+
+    /// Proposals the client discarded because endorsers disagreed on read
+    /// versions (proposal-time conflicts, §II-C).
+    pub fn proposal_conflicts(&self) -> u64 {
+        self.proposal_conflicts
+    }
+
+    /// Blocks cut by the ordering service.
+    pub fn blocks_cut(&self) -> u64 {
+        self.orderer.blocks_cut()
+    }
+
+    /// The gossip state of peer `i`.
+    pub fn gossip(&self, i: usize) -> &GossipPeer {
+        &self.peers[i].gossip
+    }
+
+    /// The ledger of peer `i`, if it maintains one.
+    pub fn ledger(&self, i: usize) -> Option<&Ledger> {
+        self.peers[i].ledger.as_ref()
+    }
+
+    /// Blocks committed (delivered in order) by peer `i`.
+    pub fn committed(&self, i: usize) -> u64 {
+        self.peers[i].committed
+    }
+
+    /// Turns peer `i` into a free-rider (or back): it keeps receiving and
+    /// serving requests but stops forwarding (see
+    /// [`GossipPeer::set_forwarding`]). Call before `start`.
+    pub fn set_forwarding(&mut self, i: usize, forwarding: bool) {
+        self.peers[i].gossip.set_forwarding(forwarding);
+    }
+
+    /// Commit errors across all peers (chain violations; should be zero).
+    pub fn commit_errors(&self) -> u64 {
+        self.peers.iter().map(|p| p.commit_errors).sum()
+    }
+
+    /// The id of the peer currently acting as leader, if any (first
+    /// claimant in a multi-organization deployment).
+    pub fn current_leader(&self) -> Option<PeerId> {
+        self.peers.iter().find(|p| p.gossip.is_leader()).map(|p| p.gossip.id())
+    }
+
+    /// Every peer currently claiming leadership (normally one per
+    /// organization).
+    pub fn current_leaders(&self) -> Vec<PeerId> {
+        self.peers.iter().filter(|p| p.gossip.is_leader()).map(|p| p.gossip.id()).collect()
+    }
+
+    /// The organization (by index) of a peer, per the contiguous split.
+    pub fn org_of(&self, peer: PeerId) -> usize {
+        let per_org = self.params.peers.div_ceil(self.params.orgs);
+        peer.index() / per_org
+    }
+
+    /// Starts the experiment: initializes every peer's timers and arms the
+    /// client's first submission. Call once through `Simulation::with_ctx`.
+    pub fn start(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>) {
+        let validation = self.params.validation_per_tx;
+        for i in 0..self.peers.len() {
+            let node = NodeId(i as u32);
+            let PeerNode { gossip, pending_commits, validation_free, .. } = &mut self.peers[i];
+            let mut fx = SimFx {
+                ctx,
+                me: node,
+                pending_commits,
+                validation_free,
+                latency: &mut self.latency,
+                validation_per_tx: validation,
+            };
+            gossip.init(&mut fx);
+        }
+        if let Some(first) = self.schedule.first() {
+            let delay = first.at.since(Time::ZERO);
+            ctx.set_timer(self.client_node(), delay, NetTimer::ClientIssue);
+        }
+    }
+
+    fn peer_message(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NetTimer>,
+        to: NodeId,
+        from: NodeId,
+        msg: GossipMsg,
+    ) {
+        let validation = self.params.validation_per_tx;
+        let PeerNode { gossip, pending_commits, validation_free, .. } = &mut self.peers[to.index()];
+        let mut fx = SimFx {
+            ctx,
+            me: to,
+            pending_commits,
+            validation_free,
+            latency: &mut self.latency,
+            validation_per_tx: validation,
+        };
+        gossip.on_message(&mut fx, PeerId(from.0), msg);
+    }
+
+    fn handle_propose(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, to: NodeId, index: usize) {
+        let invocation = self.schedule[index].clone();
+        let endorser = PeerId(to.0);
+        debug_assert!(self.params.endorsers.contains(&endorser), "proposals go to endorsers");
+        let state = self.peers[endorser.index()]
+            .ledger
+            .as_ref()
+            .expect("every endorser maintains a ledger")
+            .state();
+        let tx_id = TxId(index as u64 + 1);
+        match endorse_invocation(&invocation, tx_id, ClientId(0), endorser, state, &self.msp) {
+            Ok(tx) => {
+                ctx.occupy(to, self.params.endorse_cost);
+                ctx.send(to, self.client_node(), NetMsg::Endorsed { index, tx: Box::new(tx) });
+            }
+            Err(_) => {
+                self.endorse_failures += 1;
+            }
+        }
+    }
+
+    /// Collects one endorsement; once all endorsers answered, compares the
+    /// read sets (the client-side detection of §II-C) and either submits
+    /// the merged proposal or discards it as a proposal-time conflict.
+    fn handle_endorsed(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, index: usize, tx: Transaction) {
+        let wanted = self.params.endorsers.len();
+        let entry = self.pending_endorsements.entry(index).or_default();
+        entry.push(tx);
+        if entry.len() < wanted {
+            return;
+        }
+        let collected = self.pending_endorsements.remove(&index).expect("just inserted");
+        let first = &collected[0];
+        let consistent = collected.iter().all(|t| t.rwset == first.rwset);
+        if !consistent {
+            // Version numbers differ across endorsements: the client
+            // detects the mismatch, wastes the round trip, and must try
+            // again later (not modeled — the paper's experiment does not
+            // resubmit either).
+            self.proposal_conflicts += 1;
+            return;
+        }
+        // Identical read/write sets mean identical digests: merge every
+        // endorser's signature into one proposal.
+        let mut merged = collected[0].clone();
+        for other in &collected[1..] {
+            merged.endorsements.extend(other.endorsements.iter().copied());
+        }
+        ctx.send(self.client_node(), self.orderer_node(), NetMsg::Submit(Box::new(merged)));
+    }
+
+    fn handle_submit(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, tx: Transaction) {
+        let outcome = self.orderer.submit(tx);
+        if let Some(epoch) = outcome.arm_timer {
+            let timeout = self.orderer.batch_timeout();
+            ctx.set_timer(self.orderer_node(), timeout, NetTimer::BatchTimeout { epoch });
+        }
+        for block in outcome.blocks {
+            self.schedule_consensus(ctx, block);
+        }
+    }
+
+    fn schedule_consensus(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, block: Block) {
+        let delay = self.params.orderer.consensus_delay.sample(ctx.rng());
+        ctx.set_timer(self.orderer_node(), delay, NetTimer::DeliverCut(Arc::new(block)));
+    }
+
+    fn deliver_cut(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, block: BlockRef) {
+        // One delivery per organization, to that organization's leader(s).
+        let leaders: Vec<NodeId> = self
+            .peers
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| p.gossip.is_leader() && ctx.net().is_up(NodeId(*i as u32)))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        let orgs_covered: std::collections::BTreeSet<usize> =
+            leaders.iter().map(|n| self.org_of(PeerId(n.0))).collect();
+        if orgs_covered.len() < self.params.orgs {
+            // Some organization has no live leader (election in progress):
+            // retry shortly, like a leader re-connecting to the ordering
+            // service would. Re-delivery to covered organizations is
+            // harmless — peers deduplicate content.
+            ctx.set_timer(
+                self.orderer_node(),
+                Duration::from_millis(500),
+                NetTimer::DeliverCut(block.clone()),
+            );
+        }
+        for leader in leaders {
+            ctx.send(self.orderer_node(), leader, NetMsg::DeliverBlock(block.clone()));
+        }
+    }
+
+    fn issue_due(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>) {
+        let now = ctx.now();
+        let endorser_nodes: Vec<NodeId> =
+            self.params.endorsers.iter().map(|e| NodeId(e.0)).collect();
+        while self.next_invocation < self.schedule.len()
+            && self.schedule[self.next_invocation].at <= now
+        {
+            let index = self.next_invocation;
+            self.next_invocation += 1;
+            self.issued += 1;
+            for node in &endorser_nodes {
+                ctx.send(self.client_node(), *node, NetMsg::Propose { index });
+            }
+        }
+        if self.next_invocation < self.schedule.len() {
+            let next_at = self.schedule[self.next_invocation].at;
+            ctx.set_timer(self.client_node(), next_at.since(now), NetTimer::ClientIssue);
+        }
+    }
+}
+
+impl desim::Protocol for FabricNet {
+    type Msg = NetMsg;
+    type Timer = NetTimer;
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NetTimer>,
+        to: NodeId,
+        from: NodeId,
+        msg: NetMsg,
+    ) {
+        match msg {
+            NetMsg::Gossip(g) => self.peer_message(ctx, to, from, g),
+            NetMsg::DeliverBlock(block) => {
+                // Dissemination officially starts when the contact peer
+                // receives the block from the ordering service.
+                self.latency.start_block(block.number(), ctx.now());
+                let validation = self.params.validation_per_tx;
+                let PeerNode { gossip, pending_commits, validation_free, .. } =
+                    &mut self.peers[to.index()];
+                let mut fx = SimFx {
+                    ctx,
+                    me: to,
+                    pending_commits,
+                    validation_free,
+                    latency: &mut self.latency,
+                    validation_per_tx: validation,
+                };
+                gossip.on_block_from_orderer(&mut fx, block);
+            }
+            NetMsg::Propose { index } => self.handle_propose(ctx, to, index),
+            NetMsg::Endorsed { index, tx } => {
+                debug_assert_eq!(to, self.client_node());
+                self.handle_endorsed(ctx, index, *tx);
+            }
+            NetMsg::Submit(tx) => {
+                debug_assert_eq!(to, self.orderer_node());
+                self.handle_submit(ctx, *tx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, node: NodeId, timer: NetTimer) {
+        match timer {
+            NetTimer::Peer(t) => {
+                let validation = self.params.validation_per_tx;
+                let PeerNode { gossip, pending_commits, validation_free, .. } =
+                    &mut self.peers[node.index()];
+                let mut fx = SimFx {
+                    ctx,
+                    me: node,
+                    pending_commits,
+                    validation_free,
+                    latency: &mut self.latency,
+                    validation_per_tx: validation,
+                };
+                gossip.on_timer(&mut fx, t);
+            }
+            NetTimer::ClientIssue => self.issue_due(ctx),
+            NetTimer::BatchTimeout { epoch } => {
+                if let Some(block) = self.orderer.on_batch_timeout(epoch) {
+                    self.schedule_consensus(ctx, block);
+                }
+            }
+            NetTimer::DeliverCut(block) => self.deliver_cut(ctx, block),
+            NetTimer::CommitDone => {
+                let peer = &mut self.peers[node.index()];
+                let Some(block) = peer.pending_commits.pop_front() else {
+                    return;
+                };
+                if let Some(ledger) = peer.ledger.as_mut() {
+                    if ledger.commit(block).is_err() {
+                        peer.commit_errors += 1;
+                    }
+                }
+                peer.committed += 1;
+            }
+        }
+    }
+
+    fn on_node_status(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NetTimer>,
+        node: NodeId,
+        up: bool,
+    ) {
+        if node.index() >= self.peers.len() {
+            return;
+        }
+        if !up {
+            // A crash loses volatile gossip state: leadership, buffers,
+            // fetches, and the RAM-only commit queue.
+            let peer = &mut self.peers[node.index()];
+            peer.gossip.on_crash();
+            peer.pending_commits.clear();
+            peer.validation_free = Time::ZERO;
+            return;
+        }
+        // A rebooted peer re-arms its periodic timers (its old ones died
+        // with it — the engine drops timers of down nodes) and re-validates
+        // any stored blocks whose in-flight validation the crash destroyed.
+        let validation = self.params.validation_per_tx;
+        let PeerNode { gossip, ledger, pending_commits, validation_free, .. } =
+            &mut self.peers[node.index()];
+        if let Some(ledger) = ledger.as_ref() {
+            let store = gossip.store();
+            for n in ledger.height()..store.height() {
+                if let Some(block) = store.get(n) {
+                    let cost = validation * block.txs.len() as u64;
+                    let start = ctx.now().max(*validation_free);
+                    let done = start + cost;
+                    *validation_free = done;
+                    pending_commits.push_back(block.clone());
+                    ctx.set_timer(node, done.since(ctx.now()), NetTimer::CommitDone);
+                }
+            }
+        }
+        let mut fx = SimFx {
+            ctx,
+            me: node,
+            pending_commits,
+            validation_free,
+            latency: &mut self.latency,
+            validation_per_tx: validation,
+        };
+        gossip.init(&mut fx);
+    }
+}
+
+/// The [`Effects`] adapter: a gossip peer's view of the simulation.
+struct SimFx<'a, 'c> {
+    ctx: &'a mut Ctx<'c, NetMsg, NetTimer>,
+    me: NodeId,
+    pending_commits: &'a mut VecDeque<BlockRef>,
+    validation_free: &'a mut Time,
+    latency: &'a mut LatencyRecorder,
+    validation_per_tx: Duration,
+}
+
+impl Effects for SimFx<'_, '_> {
+    fn now(&self) -> Time {
+        self.ctx.now()
+    }
+
+    fn send(&mut self, to: PeerId, msg: GossipMsg) {
+        self.ctx.send(self.me, NodeId(to.0), NetMsg::Gossip(msg));
+    }
+
+    fn schedule(&mut self, after: Duration, timer: GossipTimer) {
+        self.ctx.set_timer(self.me, after, NetTimer::Peer(timer));
+    }
+
+    fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        self.ctx.rng()
+    }
+
+    fn block_received(&mut self, block_num: u64) {
+        self.latency.record(block_num, self.me.index(), self.ctx.now());
+    }
+
+    fn deliver(&mut self, block: BlockRef) {
+        // "New blocks are only used by peers after their validation, which
+        // takes a time proportional to the number of transactions" (§V-D):
+        // the block's writes become visible — and the endorser starts
+        // reading them — only once the serial validation pipeline has
+        // chewed through it. Proposals endorsed in the meantime read the
+        // pre-commit state, exactly the window that produces conflicts.
+        let cost = self.validation_per_tx * block.txs.len() as u64;
+        let now = self.ctx.now();
+        let start = now.max(*self.validation_free);
+        let done = start + cost;
+        *self.validation_free = done;
+        self.pending_commits.push_back(block);
+        self.ctx.set_timer(self.me, done.since(now), NetTimer::CommitDone);
+    }
+}

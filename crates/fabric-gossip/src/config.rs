@@ -1,0 +1,371 @@
+//! Gossip configuration: the original Fabric parameters and the paper's
+//! enhanced variants.
+//!
+//! Table I of the paper maps one-to-one onto fields here:
+//!
+//! | Enhancement | Field |
+//! |---|---|
+//! | Infect-upon-contagion push | [`PushMode::InfectUponContagion`] |
+//! | Digests for the push phase | [`PushMode::InfectUponContagion::digests`] |
+//! | Randomized initial gossiper | [`GossipConfig::f_leader_out`] ` = 1` |
+//! | Removal of the pull component | [`GossipConfig::pull`] ` = None` |
+
+use desim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// How the push phase forwards blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PushMode {
+    /// Stock Fabric: a peer pushes a block once, on first reception, to
+    /// `fout` random peers, then never again ("infect and die"). Newly
+    /// received blocks wait in a buffer flushed when full or after `tpush`;
+    /// every flush shares one random target sample.
+    InfectAndDie {
+        /// Buffer flush timer (Fabric default: 10 ms).
+        tpush: Duration,
+        /// Buffer capacity forcing an early flush (Fabric default: 10).
+        buffer_cap: usize,
+    },
+    /// The paper's protocol: a peer forwards a block once per *distinct
+    /// counter value* it receives it with, until the counter reaches `ttl`.
+    InfectUponContagion {
+        /// Stop forwarding once a block's counter reaches this value.
+        ttl: u32,
+        /// Counters `<= ttl_direct` push the full block; larger counters
+        /// push a digest first (ignored when `digests` is false).
+        ttl_direct: u32,
+        /// Whether to announce with digests instead of pushing full blocks.
+        digests: bool,
+        /// Forward buffering timer. The paper sets this to zero for data
+        /// blocks to keep every `(block, counter)` pair on an independent
+        /// random sample; nonzero values reproduce the bias ablation.
+        tpush: Duration,
+    },
+}
+
+/// Pull engine parameters (stock Fabric; removed by the enhanced protocol).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PullConfig {
+    /// Number of random peers contacted per pull round (Fabric: 3).
+    pub fin: usize,
+    /// Pull round period (Fabric: 4 s).
+    pub tpull: Duration,
+    /// How long the requester gathers digest responses before sending its
+    /// block requests (Fabric's `digestWaitTime`: 1 s).
+    pub digest_wait: Duration,
+    /// How many recent block numbers a digest response advertises.
+    pub digest_window: u64,
+}
+
+impl Default for PullConfig {
+    fn default() -> Self {
+        PullConfig {
+            fin: 3,
+            tpull: Duration::from_secs(4),
+            digest_wait: Duration::from_secs(1),
+            digest_window: 64,
+        }
+    }
+}
+
+/// Recovery (anti-entropy/state transfer) parameters. Kept by both
+/// protocols: it also serves crash recovery and late joiners.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Recovery check period (Fabric: 10 s).
+    pub interval: Duration,
+    /// Maximum blocks per recovery request.
+    pub batch_max: u64,
+    /// StateInfo (ledger height metadata) broadcast period (Fabric: 4 s).
+    pub state_info_interval: Duration,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            interval: Duration::from_secs(10),
+            batch_max: 16,
+            state_info_interval: Duration::from_secs(4),
+        }
+    }
+}
+
+/// Membership heartbeat parameters (background "alive" traffic).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipConfig {
+    /// Alive message period (Fabric: 5 s).
+    pub alive_interval: Duration,
+    /// A peer unheard of for this long counts as dead.
+    pub alive_timeout: Duration,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            alive_interval: Duration::from_secs(5),
+            alive_timeout: Duration::from_secs(25),
+        }
+    }
+}
+
+/// Leader election parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElectionConfig {
+    /// When `false`, peer 0 is the static leader (Fabric's
+    /// `orgLeader = true` deployment style).
+    pub dynamic: bool,
+    /// Leader heartbeat period.
+    pub heartbeat_interval: Duration,
+    /// Without a leader heartbeat for this long, a new leader stands up.
+    pub leader_timeout: Duration,
+}
+
+impl Default for ElectionConfig {
+    fn default() -> Self {
+        ElectionConfig {
+            dynamic: false,
+            heartbeat_interval: Duration::from_secs(5),
+            leader_timeout: Duration::from_secs(15),
+        }
+    }
+}
+
+/// Retry policy for fetching block content announced by a push digest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FetchConfig {
+    /// Re-request content from another advertiser after this long.
+    pub timeout: Duration,
+    /// Give up after this many attempts (recovery then takes over).
+    pub max_attempts: u32,
+}
+
+impl Default for FetchConfig {
+    fn default() -> Self {
+        FetchConfig { timeout: Duration::from_millis(500), max_attempts: 5 }
+    }
+}
+
+/// Complete gossip-layer configuration for one peer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GossipConfig {
+    /// Push fan-out for regular peers.
+    pub fout: usize,
+    /// Push fan-out of the leader peer when it receives a block from the
+    /// ordering service. Stock Fabric uses `fout`; the enhanced protocol
+    /// sets 1 and lets the chosen peer start the dissemination.
+    pub f_leader_out: usize,
+    /// Push phase behaviour.
+    pub push: PushMode,
+    /// Pull engine; `None` disables it (enhanced protocol).
+    pub pull: Option<PullConfig>,
+    /// Recovery / state transfer.
+    pub recovery: RecoveryConfig,
+    /// Membership heartbeats.
+    pub membership: MembershipConfig,
+    /// Leader election.
+    pub election: ElectionConfig,
+    /// Push-digest fetch retries.
+    pub fetch: FetchConfig,
+}
+
+impl GossipConfig {
+    /// Stock Fabric v1.2 defaults: `fout = 3`, `tpush = 10 ms` infect-and-
+    /// die push, `fin = 3` / `tpull = 4 s` pull, 10 s recovery.
+    pub fn original_fabric() -> Self {
+        GossipConfig {
+            fout: 3,
+            f_leader_out: 3,
+            push: PushMode::InfectAndDie { tpush: Duration::from_millis(10), buffer_cap: 10 },
+            pull: Some(PullConfig::default()),
+            recovery: RecoveryConfig::default(),
+            membership: MembershipConfig::default(),
+            election: ElectionConfig::default(),
+            fetch: FetchConfig::default(),
+        }
+    }
+
+    /// The paper's first enhanced configuration: `fout = ⌊ln 100⌋ = 4`,
+    /// `TTL = 9`, `TTL_direct = 2` — imperfect-dissemination probability
+    /// 1e-6 at n = 100. Pull removed, `f_leader_out = 1`, `tpush = 0`.
+    pub fn enhanced_f4() -> Self {
+        Self::enhanced(4, 9, 2)
+    }
+
+    /// The paper's second enhanced configuration: `fout = 2`, `TTL = 19`,
+    /// `TTL_direct = 3` — same 1e-6 guarantee with smoother load.
+    pub fn enhanced_f2() -> Self {
+        Self::enhanced(2, 19, 3)
+    }
+
+    /// An enhanced configuration with explicit parameters.
+    pub fn enhanced(fout: usize, ttl: u32, ttl_direct: u32) -> Self {
+        GossipConfig {
+            fout,
+            f_leader_out: 1,
+            push: PushMode::InfectUponContagion {
+                ttl,
+                ttl_direct,
+                digests: true,
+                tpush: Duration::ZERO,
+            },
+            pull: None,
+            recovery: RecoveryConfig::default(),
+            membership: MembershipConfig::default(),
+            election: ElectionConfig::default(),
+            fetch: FetchConfig::default(),
+        }
+    }
+
+    /// Figure 10's ablation: enhanced protocol but the leader keeps the
+    /// full fan-out, overloading its NIC.
+    pub fn enhanced_heavy_leader() -> Self {
+        let mut cfg = Self::enhanced_f4();
+        cfg.f_leader_out = cfg.fout;
+        cfg
+    }
+
+    /// Figure 11's ablation: enhanced protocol without digests — every
+    /// forward carries the full block, blowing bandwidth up by ~an order of
+    /// magnitude.
+    pub fn enhanced_no_digests() -> Self {
+        let mut cfg = Self::enhanced_f4();
+        if let PushMode::InfectUponContagion { digests, .. } = &mut cfg.push {
+            *digests = false;
+        }
+        cfg
+    }
+
+    /// The TTL of the push phase (0 for infect-and-die).
+    pub fn ttl(&self) -> u32 {
+        match self.push {
+            PushMode::InfectAndDie { .. } => 0,
+            PushMode::InfectUponContagion { ttl, .. } => ttl,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fout == 0 {
+            return Err("fout must be positive".into());
+        }
+        if self.f_leader_out == 0 {
+            return Err("f_leader_out must be positive".into());
+        }
+        match &self.push {
+            PushMode::InfectAndDie { buffer_cap, .. } => {
+                if *buffer_cap == 0 {
+                    return Err("push buffer capacity must be positive".into());
+                }
+            }
+            PushMode::InfectUponContagion { ttl, ttl_direct, .. } => {
+                if *ttl == 0 {
+                    return Err("TTL must be positive".into());
+                }
+                if ttl_direct > ttl {
+                    return Err(format!("TTL_direct {ttl_direct} exceeds TTL {ttl}"));
+                }
+            }
+        }
+        if let Some(pull) = &self.pull {
+            if pull.fin == 0 {
+                return Err("fin must be positive".into());
+            }
+            if pull.tpull.is_zero() {
+                return Err("tpull must be positive".into());
+            }
+            if pull.digest_wait >= pull.tpull {
+                return Err("digest_wait must be shorter than tpull".into());
+            }
+            if pull.digest_window == 0 {
+                return Err("pull digest window must be positive".into());
+            }
+        }
+        if self.recovery.interval.is_zero() || self.recovery.state_info_interval.is_zero() {
+            return Err("recovery intervals must be positive".into());
+        }
+        if self.recovery.batch_max == 0 {
+            return Err("recovery batch_max must be positive".into());
+        }
+        if self.membership.alive_interval.is_zero() {
+            return Err("alive interval must be positive".into());
+        }
+        if self.fetch.max_attempts == 0 {
+            return Err("fetch max_attempts must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_validate() {
+        assert!(GossipConfig::original_fabric().validate().is_ok());
+        assert!(GossipConfig::enhanced_f4().validate().is_ok());
+        assert!(GossipConfig::enhanced_f2().validate().is_ok());
+        assert!(GossipConfig::enhanced_heavy_leader().validate().is_ok());
+        assert!(GossipConfig::enhanced_no_digests().validate().is_ok());
+    }
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let orig = GossipConfig::original_fabric();
+        assert_eq!(orig.fout, 3);
+        assert_eq!(orig.f_leader_out, 3);
+        assert!(matches!(orig.push, PushMode::InfectAndDie { .. }));
+        assert_eq!(orig.pull.as_ref().unwrap().fin, 3);
+        assert_eq!(orig.pull.as_ref().unwrap().tpull, Duration::from_secs(4));
+        assert_eq!(orig.recovery.interval, Duration::from_secs(10));
+
+        let e4 = GossipConfig::enhanced_f4();
+        assert_eq!(e4.fout, 4);
+        assert_eq!(e4.f_leader_out, 1);
+        assert_eq!(e4.ttl(), 9);
+        assert!(e4.pull.is_none());
+
+        let e2 = GossipConfig::enhanced_f2();
+        assert_eq!(e2.fout, 2);
+        assert_eq!(e2.ttl(), 19);
+    }
+
+    #[test]
+    fn ablation_presets_flip_the_right_knob() {
+        let heavy = GossipConfig::enhanced_heavy_leader();
+        assert_eq!(heavy.f_leader_out, heavy.fout);
+        let plain = GossipConfig::enhanced_no_digests();
+        assert!(matches!(plain.push, PushMode::InfectUponContagion { digests: false, .. }));
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = GossipConfig::original_fabric();
+        c.fout = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GossipConfig::enhanced_f4();
+        if let PushMode::InfectUponContagion { ttl_direct, .. } = &mut c.push {
+            *ttl_direct = 100;
+        }
+        assert!(c.validate().is_err());
+
+        let mut c = GossipConfig::original_fabric();
+        c.pull.as_mut().unwrap().fin = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GossipConfig::original_fabric();
+        c.recovery.batch_max = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ttl_is_zero_for_infect_and_die() {
+        assert_eq!(GossipConfig::original_fabric().ttl(), 0);
+        assert_eq!(GossipConfig::enhanced_f2().ttl(), 19);
+    }
+}

@@ -1,0 +1,46 @@
+//! The side-effect boundary of the gossip state machine.
+//!
+//! [`crate::peer::GossipPeer`] is sans-io: it never sleeps, sends or reads a
+//! clock directly. Every interaction with the outside world goes through an
+//! [`Effects`] implementation — the discrete-event simulation provides one,
+//! the real-threads runtime another, and unit tests use
+//! [`crate::testing::MockEffects`] to assert on exactly what the protocol
+//! did.
+
+use desim::{Duration, Time};
+use rand::rngs::StdRng;
+
+use fabric_types::block::BlockRef;
+use fabric_types::ids::PeerId;
+
+use crate::messages::{GossipMsg, GossipTimer};
+
+/// Host environment of one gossip peer.
+pub trait Effects {
+    /// Current time.
+    fn now(&self) -> Time;
+
+    /// Sends `msg` to `to` (another peer of the organization).
+    fn send(&mut self, to: PeerId, msg: GossipMsg);
+
+    /// Arms `timer` to fire for this peer `after` from now.
+    fn schedule(&mut self, after: Duration, timer: GossipTimer);
+
+    /// Deterministic randomness source.
+    fn rng(&mut self) -> &mut StdRng;
+
+    /// Called exactly once per block, on first reception of its content —
+    /// the measurement point of the paper's latency figures.
+    fn block_received(&mut self, block_num: u64) {
+        let _ = block_num;
+    }
+
+    /// Called when `block` becomes deliverable in height order — the
+    /// ledger-commit point.
+    fn deliver(&mut self, block: BlockRef);
+
+    /// Called when this peer gains or loses organization leadership.
+    fn leadership_changed(&mut self, is_leader: bool) {
+        let _ = is_leader;
+    }
+}

@@ -1,0 +1,60 @@
+//! # fabric-gossip — fair and efficient block dissemination
+//!
+//! The paper's contribution, as a reusable library: the gossip layer that
+//! broadcasts new blocks from the organization's leader peer to every other
+//! peer. Two complete protocols are provided behind one configuration type:
+//!
+//! * **Original Fabric v1.2 gossip** ([`GossipConfig::original_fabric`]):
+//!   infect-and-die push (`fout = 3`, 10 ms buffer), a four-phase pull
+//!   engine every 4 s, and 10 s recovery — the baseline whose heavy tail the
+//!   paper measures;
+//! * **Enhanced gossip** ([`GossipConfig::enhanced_f4`],
+//!   [`GossipConfig::enhanced_f2`]): infect-upon-contagion push with a
+//!   per-`(block, counter)` TTL, digests above `TTL_direct`, a randomized
+//!   initial gossiper (`f_leader_out = 1`), and no pull.
+//!
+//! The state machine ([`peer::GossipPeer`]) is sans-io: it runs under the
+//! deterministic simulator (crate `fabric-experiments`), under the bundled
+//! real-threads runtime ([`runtime::ThreadedNet`]), or under
+//! [`testing::MockEffects`] in tests.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use fabric_gossip::config::GossipConfig;
+//! use fabric_gossip::peer::GossipPeer;
+//! use fabric_gossip::testing::MockEffects;
+//! use fabric_types::block::Block;
+//! use fabric_types::ids::PeerId;
+//!
+//! // A five-peer organization; peer 0 is the leader.
+//! let roster: Vec<PeerId> = (0..5).map(PeerId).collect();
+//! let mut leader = GossipPeer::new(PeerId(0), roster, GossipConfig::enhanced_f4());
+//! let mut fx = MockEffects::new(1);
+//! leader.init(&mut fx);
+//!
+//! // The ordering service hands the leader a block: with f_leader_out = 1
+//! // it forwards the full content to exactly one random peer.
+//! let block = Arc::new(Block::new(1, Block::genesis().hash(), vec![]));
+//! leader.on_block_from_orderer(&mut fx, block);
+//! assert_eq!(fx.sent_of_kind("block").len(), 1);
+//! assert_eq!(fx.delivered_numbers(), vec![1]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod effects;
+pub mod membership;
+pub mod messages;
+pub mod peer;
+pub mod runtime;
+pub mod store;
+pub mod testing;
+
+pub use config::{GossipConfig, PullConfig, PushMode, RecoveryConfig};
+pub use effects::Effects;
+pub use membership::Membership;
+pub use messages::{GossipMsg, GossipTimer};
+pub use peer::{GossipPeer, PeerStats};
+pub use store::BlockStore;

@@ -1,0 +1,206 @@
+//! Membership view and uniform peer sampling.
+//!
+//! Within an organization every peer knows every other peer (Fabric builds
+//! this view with its discovery/alive gossip; here the view is seeded with
+//! the full roster and kept fresh by heartbeats). Sampling excludes the
+//! local peer and, optionally, peers believed dead.
+
+use desim::{Duration, Time};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use fabric_types::ids::PeerId;
+
+/// The local peer's view of its organization.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    self_id: PeerId,
+    peers: Vec<PeerId>,
+    /// Last time each roster entry was heard from (index-aligned with
+    /// `peers`); `None` until first contact, treated as alive at startup.
+    last_heard: Vec<Option<Time>>,
+    alive_timeout: Duration,
+}
+
+impl Membership {
+    /// Builds the view for `self_id` over the full `roster` (which may or
+    /// may not include `self_id`; it is never sampled either way).
+    pub fn new(self_id: PeerId, roster: Vec<PeerId>, alive_timeout: Duration) -> Self {
+        let peers: Vec<PeerId> = roster.into_iter().filter(|p| *p != self_id).collect();
+        let last_heard = vec![None; peers.len()];
+        Membership { self_id, peers, last_heard, alive_timeout }
+    }
+
+    /// The local peer id.
+    pub fn self_id(&self) -> PeerId {
+        self.self_id
+    }
+
+    /// All other peers in the organization.
+    pub fn peers(&self) -> &[PeerId] {
+        &self.peers
+    }
+
+    /// Number of other peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// `true` when the peer is alone in its organization.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Records that `peer` was heard from at `now`.
+    pub fn mark_alive(&mut self, peer: PeerId, now: Time) {
+        if let Some(idx) = self.peers.iter().position(|p| *p == peer) {
+            self.last_heard[idx] = Some(now);
+        }
+    }
+
+    /// Whether `peer` is believed alive at `now`: heard from within the
+    /// timeout. Peers never heard from get a startup grace of one timeout
+    /// from time zero, after which silence means death.
+    pub fn believes_alive(&self, peer: PeerId, now: Time) -> bool {
+        match self.peers.iter().position(|p| *p == peer) {
+            Some(idx) => match self.last_heard[idx] {
+                None => now.since(Time::ZERO) <= self.alive_timeout,
+                Some(t) => now.since(t) <= self.alive_timeout,
+            },
+            None => false,
+        }
+    }
+
+    /// Peers believed alive at `now`, in id order.
+    pub fn alive_peers(&self, now: Time) -> Vec<PeerId> {
+        self.peers.iter().copied().filter(|p| self.believes_alive(*p, now)).collect()
+    }
+
+    /// Draws up to `k` distinct peers uniformly at random, excluding self.
+    ///
+    /// Partial Fisher–Yates over a scratch copy: O(k) swaps, exact
+    /// uniformity, deterministic under the simulation RNG.
+    pub fn sample(&self, rng: &mut StdRng, k: usize) -> Vec<PeerId> {
+        self.sample_filtered(rng, k, |_| true)
+    }
+
+    /// Like [`Membership::sample`] but only over peers passing `keep`.
+    pub fn sample_filtered(
+        &self,
+        rng: &mut StdRng,
+        k: usize,
+        keep: impl Fn(PeerId) -> bool,
+    ) -> Vec<PeerId> {
+        let mut pool: Vec<PeerId> = self.peers.iter().copied().filter(|p| keep(*p)).collect();
+        let take = k.min(pool.len());
+        for i in 0..take {
+            let j = rng.random_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(take);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn membership(n: u32) -> Membership {
+        Membership::new(
+            PeerId(0),
+            (0..n).map(PeerId).collect(),
+            Duration::from_secs(25),
+        )
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn roster_excludes_self() {
+        let m = membership(5);
+        assert_eq!(m.len(), 4);
+        assert!(!m.peers().contains(&PeerId(0)));
+    }
+
+    #[test]
+    fn sample_never_returns_self_or_duplicates() {
+        let m = membership(10);
+        let mut r = rng(3);
+        for _ in 0..100 {
+            let s = m.sample(&mut r, 4);
+            assert_eq!(s.len(), 4);
+            assert!(!s.contains(&PeerId(0)));
+            let mut dedup = s.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 4);
+        }
+    }
+
+    #[test]
+    fn sample_caps_at_population() {
+        let m = membership(4);
+        let s = m.sample(&mut rng(1), 10);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        let m = membership(11); // 10 candidates
+        let mut r = rng(42);
+        let mut counts: HashMap<PeerId, u32> = HashMap::new();
+        for _ in 0..10_000 {
+            for p in m.sample(&mut r, 3) {
+                *counts.entry(p).or_default() += 1;
+            }
+        }
+        // Each of 10 peers should appear ~3000 times.
+        for p in m.peers() {
+            let c = counts[p];
+            assert!((2600..=3400).contains(&c), "peer {p} drawn {c} times");
+        }
+    }
+
+    #[test]
+    fn alive_tracking_times_out() {
+        let mut m = membership(3);
+        let t0 = Time::ZERO;
+        // Startup grace: everyone counts as alive.
+        assert!(m.believes_alive(PeerId(1), t0));
+        m.mark_alive(PeerId(1), Time::from_secs(10));
+        assert!(m.believes_alive(PeerId(1), Time::from_secs(30)));
+        assert!(!m.believes_alive(PeerId(1), Time::from_secs(40)));
+        assert!(!m.believes_alive(PeerId(99), t0), "strangers are not alive");
+    }
+
+    #[test]
+    fn alive_peers_lists_survivors() {
+        let mut m = membership(4);
+        let now = Time::from_secs(100);
+        m.mark_alive(PeerId(1), Time::from_secs(99));
+        m.mark_alive(PeerId(2), Time::from_secs(10)); // stale
+        // PeerId(3) was never heard from and the startup grace has lapsed.
+        assert_eq!(m.alive_peers(now), vec![PeerId(1)]);
+    }
+
+    #[test]
+    fn startup_grace_expires_for_silent_peers() {
+        let m = membership(3);
+        assert!(m.believes_alive(PeerId(1), Time::from_secs(10)));
+        assert!(!m.believes_alive(PeerId(1), Time::from_secs(30)));
+    }
+
+    #[test]
+    fn sample_filtered_respects_predicate() {
+        let m = membership(10);
+        let mut r = rng(7);
+        let s = m.sample_filtered(&mut r, 5, |p| p.0 % 2 == 0);
+        assert!(!s.is_empty());
+        assert!(s.iter().all(|p| p.0 % 2 == 0));
+    }
+}

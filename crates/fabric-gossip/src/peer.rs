@@ -1,0 +1,753 @@
+//! The gossip peer state machine: push (both protocols), pull, recovery,
+//! membership heartbeats and leader election.
+//!
+//! One [`GossipPeer`] value holds the gossip state of a single peer. It is
+//! driven entirely by three entry points — [`GossipPeer::init`],
+//! [`GossipPeer::on_message`], [`GossipPeer::on_timer`] — plus
+//! [`GossipPeer::on_block_from_orderer`] on the leader, and performs all
+//! I/O through [`Effects`].
+
+use std::collections::{BTreeMap, HashSet};
+
+use desim::{Duration, Time};
+use rand::RngExt;
+
+use fabric_types::block::BlockRef;
+use fabric_types::ids::PeerId;
+
+use crate::config::{GossipConfig, PushMode};
+use crate::effects::Effects;
+use crate::messages::{GossipMsg, GossipTimer};
+use crate::membership::Membership;
+use crate::store::BlockStore;
+
+/// A fetch in flight for block content announced by push digests.
+#[derive(Debug, Clone, Default)]
+struct PendingFetch {
+    /// Counters received in digests while the content was missing; each one
+    /// owes a forward once the content arrives.
+    counters: Vec<u32>,
+    /// Peers that advertised the block (retry candidates).
+    advertisers: Vec<PeerId>,
+    /// Fetch attempts made so far.
+    attempts: u32,
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Debug, Clone, Default)]
+pub struct PeerStats {
+    /// First content reception time per block number.
+    pub first_seen: BTreeMap<u64, Time>,
+    /// Content receptions for blocks already held.
+    pub duplicate_blocks: u64,
+    /// Push digests received.
+    pub digests_received: u64,
+    /// Full blocks sent (push, pull and recovery responses).
+    pub blocks_sent: u64,
+    /// Push digests sent.
+    pub digests_sent: u64,
+    /// Push content fetch requests issued.
+    pub fetch_requests: u64,
+    /// Pull rounds initiated.
+    pub pull_rounds: u64,
+    /// Recovery requests issued.
+    pub recovery_requests: u64,
+}
+
+/// The gossip state machine of one peer.
+///
+/// See the crate docs for a runnable end-to-end example.
+#[derive(Debug)]
+pub struct GossipPeer {
+    id: PeerId,
+    cfg: GossipConfig,
+    /// Same-organization peers: the only legal targets for push and pull.
+    membership: Membership,
+    /// All channel peers (every organization): StateInfo and recovery may
+    /// cross organization boundaries (§III of the paper).
+    channel: Membership,
+    /// Whether this peer forwards blocks (false models a free-rider).
+    forwarding: bool,
+    store: BlockStore,
+
+    // ---- push: original (infect-and-die) ----
+    /// Blocks awaiting the buffered push flush.
+    push_buffer: Vec<BlockRef>,
+    /// Whether a PushFlush timer is armed.
+    flush_armed: bool,
+
+    // ---- push: enhanced (infect-upon-contagion) ----
+    /// `(block, counter)` pairs already processed.
+    seen_pairs: HashSet<(u64, u32)>,
+    /// Content fetches in flight, by block number.
+    pending_fetch: BTreeMap<u64, PendingFetch>,
+    /// Pairs awaiting a buffered forward (`tpush > 0` ablation).
+    forward_buffer: Vec<(BlockRef, u32)>,
+
+    // ---- pull ----
+    pull_nonce: u64,
+    /// Advertisers per missing block, gathered during the digest-wait
+    /// window of the current pull round.
+    pull_offers: BTreeMap<u64, Vec<PeerId>>,
+
+    // ---- recovery ----
+    /// Last advertised ledger height per peer.
+    peer_heights: BTreeMap<PeerId, u64>,
+
+    // ---- election ----
+    is_leader: bool,
+    last_leader_seen: Option<(PeerId, Time)>,
+
+    stats: PeerStats,
+}
+
+impl GossipPeer {
+    /// Creates the peer `id` within `roster` (all peers of the
+    /// organization, self included or not).
+    ///
+    /// With static election (the default), the lowest-id peer of the roster
+    /// is the leader from the start, mirroring a Fabric deployment with
+    /// `orgLeader` pinned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(id: PeerId, roster: Vec<PeerId>, cfg: GossipConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid gossip config: {e}");
+        }
+        let lowest = roster.iter().copied().min().unwrap_or(id).min(id);
+        let is_leader = !cfg.election.dynamic && id == lowest;
+        let membership = Membership::new(id, roster.clone(), cfg.membership.alive_timeout);
+        let channel = Membership::new(id, roster, cfg.membership.alive_timeout);
+        GossipPeer {
+            id,
+            cfg,
+            membership,
+            channel,
+            forwarding: true,
+            store: BlockStore::new(),
+            push_buffer: Vec::new(),
+            flush_armed: false,
+            seen_pairs: HashSet::new(),
+            pending_fetch: BTreeMap::new(),
+            forward_buffer: Vec::new(),
+            pull_nonce: 0,
+            pull_offers: BTreeMap::new(),
+            peer_heights: BTreeMap::new(),
+            is_leader,
+            last_leader_seen: None,
+            stats: PeerStats::default(),
+        }
+    }
+
+    /// This peer's id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GossipConfig {
+        &self.cfg
+    }
+
+    /// Whether this peer currently acts as the organization leader.
+    pub fn is_leader(&self) -> bool {
+        self.is_leader
+    }
+
+    /// Contiguous ledger height (next expected block number).
+    pub fn height(&self) -> u64 {
+        self.store.height()
+    }
+
+    /// The gossip block store.
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> &PeerStats {
+        &self.stats
+    }
+
+    /// The same-organization membership view.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// The channel-wide membership view (all organizations).
+    pub fn channel(&self) -> &Membership {
+        &self.channel
+    }
+
+    /// Widens the channel view beyond the organization: StateInfo
+    /// broadcasts and recovery requests may then target foreign peers,
+    /// while push and pull stay confined to the organization — Fabric's
+    /// access-control rule, preserved by the paper.
+    pub fn with_channel(mut self, channel_roster: Vec<PeerId>) -> Self {
+        self.channel =
+            Membership::new(self.id, channel_roster, self.cfg.membership.alive_timeout);
+        self
+    }
+
+    /// Turns this peer into a free-rider: it receives, stores and delivers
+    /// blocks but never forwards anything (the adversarial behaviour the
+    /// paper's discussion section raises). Pull and recovery requests are
+    /// still answered — a silent dropper, not a liar.
+    pub fn set_forwarding(&mut self, forwarding: bool) {
+        self.forwarding = forwarding;
+    }
+
+    /// Whether this peer forwards blocks.
+    pub fn forwarding(&self) -> bool {
+        self.forwarding
+    }
+
+    /// Arms the periodic timers. Call once at startup (and again after a
+    /// simulated reboot). Periods get a uniformly random initial phase so
+    /// rounds de-synchronize across peers, as in a real deployment.
+    pub fn init(&mut self, fx: &mut dyn Effects) {
+        if let Some(pull) = &self.cfg.pull {
+            let phase = random_phase(fx, pull.tpull);
+            fx.schedule(phase, GossipTimer::PullRound);
+        }
+        let recovery_phase = random_phase(fx, self.cfg.recovery.interval);
+        fx.schedule(recovery_phase, GossipTimer::RecoveryRound);
+        let si_phase = random_phase(fx, self.cfg.recovery.state_info_interval);
+        fx.schedule(si_phase, GossipTimer::StateInfoRound);
+        let alive_phase = random_phase(fx, self.cfg.membership.alive_interval);
+        fx.schedule(alive_phase, GossipTimer::AliveRound);
+        if self.cfg.election.dynamic {
+            let tick = random_phase(fx, self.cfg.election.heartbeat_interval);
+            fx.schedule(tick, GossipTimer::ElectionTick);
+        }
+    }
+
+    /// Models a process crash: volatile state — leadership, push buffers,
+    /// fetches in flight, pull bookkeeping, membership freshness — is lost.
+    /// The block store survives (blocks are persisted through the ledger).
+    /// After a reboot, call [`GossipPeer::init`] to re-arm the timers;
+    /// recovery then catches the peer up.
+    pub fn on_crash(&mut self) {
+        self.is_leader = false;
+        self.last_leader_seen = None;
+        self.push_buffer.clear();
+        self.forward_buffer.clear();
+        self.flush_armed = false;
+        self.pending_fetch.clear();
+        self.pull_offers.clear();
+        self.peer_heights.clear();
+    }
+
+    /// Entry point for a block delivered by the ordering service (the
+    /// leader's path, or any peer an orderer chooses to seed).
+    pub fn on_block_from_orderer(&mut self, fx: &mut dyn Effects, block: BlockRef) {
+        let num = block.number();
+        let is_new = self.accept_content(fx, &block);
+        if !is_new {
+            return;
+        }
+        if !self.forwarding {
+            return;
+        }
+        match self.cfg.push {
+            PushMode::InfectAndDie { .. } => {
+                // The leader pushes through the same buffered emitter as any
+                // first reception (f_leader_out == fout in stock Fabric).
+                self.buffer_for_push(fx, block);
+            }
+            PushMode::InfectUponContagion { .. } => {
+                // Hand the block to f_leader_out random peers with counter 0;
+                // they start the infect-upon-contagion dissemination.
+                self.seen_pairs.insert((num, 0));
+                let targets = {
+                    let k = self.cfg.f_leader_out;
+                    self.membership.sample(fx.rng(), k)
+                };
+                for t in targets {
+                    self.stats.blocks_sent += 1;
+                    fx.send(t, GossipMsg::BlockPush { block: block.clone(), counter: 0 });
+                }
+            }
+        }
+    }
+
+    /// Entry point for every gossip message.
+    pub fn on_message(&mut self, fx: &mut dyn Effects, from: PeerId, msg: GossipMsg) {
+        let now = fx.now();
+        self.membership.mark_alive(from, now);
+        self.channel.mark_alive(from, now);
+        match msg {
+            GossipMsg::BlockPush { block, counter } => self.on_block_push(fx, from, block, counter),
+            GossipMsg::PushDigest { block_num, counter } => {
+                self.on_push_digest(fx, from, block_num, counter)
+            }
+            GossipMsg::PushRequest { block_num, counter } => {
+                if let Some(block) = self.store.get(block_num) {
+                    let block = block.clone();
+                    self.stats.blocks_sent += 1;
+                    fx.send(from, GossipMsg::BlockPush { block, counter });
+                }
+            }
+            GossipMsg::PullHello { nonce } => {
+                let window = self.cfg.pull.as_ref().map(|p| p.digest_window).unwrap_or(64);
+                let block_nums = self.store.recent(window);
+                fx.send(from, GossipMsg::PullDigestResponse { nonce, block_nums });
+            }
+            GossipMsg::PullDigestResponse { nonce, block_nums } => {
+                self.on_pull_digest(fx, from, nonce, block_nums)
+            }
+            GossipMsg::PullRequest { nonce, block_nums } => {
+                let blocks: Vec<BlockRef> =
+                    block_nums.iter().filter_map(|n| self.store.get(*n).cloned()).collect();
+                if !blocks.is_empty() {
+                    self.stats.blocks_sent += blocks.len() as u64;
+                    fx.send(from, GossipMsg::PullResponse { nonce, blocks });
+                }
+            }
+            GossipMsg::PullResponse { nonce: _, blocks } => {
+                for block in blocks {
+                    self.accept_content(fx, &block);
+                }
+            }
+            GossipMsg::StateInfo { height } => {
+                let entry = self.peer_heights.entry(from).or_insert(0);
+                *entry = (*entry).max(height);
+            }
+            GossipMsg::RecoveryRequest { from: lo, to } => {
+                let blocks = self.store.consecutive_run(lo, to, self.cfg.recovery.batch_max);
+                if !blocks.is_empty() {
+                    self.stats.blocks_sent += blocks.len() as u64;
+                    fx.send(from, GossipMsg::RecoveryResponse { blocks });
+                }
+            }
+            GossipMsg::RecoveryResponse { blocks } => {
+                for block in blocks {
+                    self.accept_content(fx, &block);
+                }
+            }
+            GossipMsg::Alive => {} // mark_alive above is the whole effect
+            GossipMsg::LeaderHeartbeat { leader } => self.on_leader_heartbeat(fx, leader, now),
+        }
+    }
+
+    /// Entry point for every timer armed through [`Effects::schedule`].
+    pub fn on_timer(&mut self, fx: &mut dyn Effects, timer: GossipTimer) {
+        match timer {
+            GossipTimer::PushFlush => self.on_push_flush(fx),
+            GossipTimer::PullRound => self.on_pull_round(fx),
+            GossipTimer::PullDigestWait { nonce } => self.on_pull_digest_wait(fx, nonce),
+            GossipTimer::RecoveryRound => self.on_recovery_round(fx),
+            GossipTimer::StateInfoRound => self.on_state_info_round(fx),
+            GossipTimer::AliveRound => self.on_alive_round(fx),
+            GossipTimer::ElectionTick => self.on_election_tick(fx),
+            GossipTimer::FetchRetry { block_num, attempt } => {
+                self.on_fetch_retry(fx, block_num, attempt)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Content acceptance (common to every arrival path)
+    // ------------------------------------------------------------------
+
+    /// Stores new content, fires the reception hook and delivers any newly
+    /// contiguous run. Returns whether the content was new.
+    fn accept_content(&mut self, fx: &mut dyn Effects, block: &BlockRef) -> bool {
+        match self.store.insert(block.clone()) {
+            None => {
+                self.stats.duplicate_blocks += 1;
+                false
+            }
+            Some(deliverable) => {
+                let num = block.number();
+                self.stats.first_seen.insert(num, fx.now());
+                fx.block_received(num);
+                for b in deliverable {
+                    fx.deliver(b);
+                }
+                true
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Push — both protocols
+    // ------------------------------------------------------------------
+
+    fn on_block_push(&mut self, fx: &mut dyn Effects, _from: PeerId, block: BlockRef, counter: u32) {
+        let num = block.number();
+        let is_new = self.accept_content(fx, &block);
+        if !self.forwarding {
+            return;
+        }
+        match self.cfg.push {
+            PushMode::InfectAndDie { .. } => {
+                // Infect and die: forward only on first content reception.
+                if is_new {
+                    self.buffer_for_push(fx, block);
+                }
+            }
+            PushMode::InfectUponContagion { ttl, .. } => {
+                // Forward once per distinct counter; content arrival also
+                // settles the forwards owed by digests that preceded it.
+                let mut owed: Vec<u32> = Vec::new();
+                if is_new {
+                    if let Some(pending) = self.pending_fetch.remove(&num) {
+                        owed.extend(pending.counters);
+                    }
+                }
+                if self.seen_pairs.insert((num, counter)) {
+                    owed.push(counter);
+                }
+                owed.sort_unstable();
+                owed.dedup();
+                for c in owed {
+                    if c < ttl {
+                        self.queue_forward(fx, block.clone(), c + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_push_digest(&mut self, fx: &mut dyn Effects, from: PeerId, block_num: u64, counter: u32) {
+        self.stats.digests_received += 1;
+        let PushMode::InfectUponContagion { ttl, .. } = self.cfg.push else {
+            return; // digests are not part of the original protocol
+        };
+        if !self.forwarding {
+            // A free-rider still fetches content it lacks (it wants the
+            // chain) but never re-announces it.
+            if !self.seen_pairs.insert((block_num, counter)) || self.store.has(block_num) {
+                return;
+            }
+            let pending = self.pending_fetch.entry(block_num).or_default();
+            pending.counters.push(counter);
+            if !pending.advertisers.contains(&from) {
+                pending.advertisers.push(from);
+            }
+            if pending.attempts == 0 {
+                pending.attempts = 1;
+                self.stats.fetch_requests += 1;
+                fx.send(from, GossipMsg::PushRequest { block_num, counter });
+                let timeout = self.cfg.fetch.timeout;
+                fx.schedule(timeout, GossipTimer::FetchRetry { block_num, attempt: 1 });
+            }
+            return;
+        }
+        if !self.seen_pairs.insert((block_num, counter)) {
+            return;
+        }
+        if self.store.has(block_num) {
+            if counter < ttl {
+                let block = self.store.get(block_num).expect("store.has checked").clone();
+                self.queue_forward(fx, block, counter + 1);
+            }
+            return;
+        }
+        // Content missing: fetch it, remembering the counter so the forward
+        // happens when the block arrives.
+        let pending = self.pending_fetch.entry(block_num).or_default();
+        pending.counters.push(counter);
+        if !pending.advertisers.contains(&from) {
+            pending.advertisers.push(from);
+        }
+        let first_request = pending.attempts == 0;
+        if first_request {
+            pending.attempts = 1;
+            self.stats.fetch_requests += 1;
+            fx.send(from, GossipMsg::PushRequest { block_num, counter });
+            let timeout = self.cfg.fetch.timeout;
+            fx.schedule(timeout, GossipTimer::FetchRetry { block_num, attempt: 1 });
+        }
+    }
+
+    fn on_fetch_retry(&mut self, fx: &mut dyn Effects, block_num: u64, attempt: u32) {
+        if self.store.has(block_num) {
+            return; // fetched in the meantime
+        }
+        let max_attempts = self.cfg.fetch.max_attempts;
+        let Some(pending) = self.pending_fetch.get_mut(&block_num) else {
+            return;
+        };
+        if attempt >= max_attempts {
+            // Give up; the recovery component will catch this block up.
+            self.pending_fetch.remove(&block_num);
+            return;
+        }
+        pending.attempts = attempt + 1;
+        let counter = pending.counters.last().copied().unwrap_or(0);
+        // Prefer an advertiser we have not asked yet (they rotate by
+        // attempt); any advertiser certainly has the content.
+        let advertisers = pending.advertisers.clone();
+        let target = advertisers
+            .get(attempt as usize % advertisers.len().max(1))
+            .copied()
+            .unwrap_or_else(|| {
+                self.membership.sample(fx.rng(), 1).first().copied().unwrap_or(self.id)
+            });
+        self.stats.fetch_requests += 1;
+        fx.send(target, GossipMsg::PushRequest { block_num, counter });
+        let timeout = self.cfg.fetch.timeout;
+        fx.schedule(timeout, GossipTimer::FetchRetry { block_num, attempt: attempt + 1 });
+    }
+
+    /// Original protocol: stage a first-reception block in the push buffer.
+    fn buffer_for_push(&mut self, fx: &mut dyn Effects, block: BlockRef) {
+        let PushMode::InfectAndDie { tpush, buffer_cap } = self.cfg.push else {
+            unreachable!("buffer_for_push is an infect-and-die path");
+        };
+        self.push_buffer.push(block);
+        if self.push_buffer.len() >= buffer_cap || tpush.is_zero() {
+            self.flush_push_buffer(fx);
+        } else if !self.flush_armed {
+            self.flush_armed = true;
+            fx.schedule(tpush, GossipTimer::PushFlush);
+        }
+    }
+
+    /// Enhanced protocol: forward `(block, counter)`, immediately or via the
+    /// `tpush` buffer (the bias ablation).
+    fn queue_forward(&mut self, fx: &mut dyn Effects, block: BlockRef, counter: u32) {
+        let PushMode::InfectUponContagion { tpush, .. } = self.cfg.push else {
+            unreachable!("queue_forward is an infect-upon-contagion path");
+        };
+        if tpush.is_zero() {
+            self.forward_pairs(fx, &[(block, counter)]);
+        } else {
+            self.forward_buffer.push((block, counter));
+            if !self.flush_armed {
+                self.flush_armed = true;
+                fx.schedule(tpush, GossipTimer::PushFlush);
+            }
+        }
+    }
+
+    fn on_push_flush(&mut self, fx: &mut dyn Effects) {
+        self.flush_armed = false;
+        match self.cfg.push {
+            PushMode::InfectAndDie { .. } => self.flush_push_buffer(fx),
+            PushMode::InfectUponContagion { .. } => {
+                let items = std::mem::take(&mut self.forward_buffer);
+                if !items.is_empty() {
+                    self.forward_pairs(fx, &items);
+                }
+            }
+        }
+    }
+
+    /// Infect-and-die flush: one random target sample shared by every
+    /// buffered block (the bias the paper describes), then die.
+    fn flush_push_buffer(&mut self, fx: &mut dyn Effects) {
+        if self.push_buffer.is_empty() {
+            return;
+        }
+        let blocks = std::mem::take(&mut self.push_buffer);
+        let targets = {
+            let k = self.cfg.fout;
+            self.membership.sample(fx.rng(), k)
+        };
+        for block in &blocks {
+            for t in &targets {
+                self.stats.blocks_sent += 1;
+                fx.send(*t, GossipMsg::BlockPush { block: block.clone(), counter: 0 });
+            }
+        }
+    }
+
+    /// Enhanced forward of one or more pairs sharing a target sample (a
+    /// single pair when `tpush = 0`, the unbiased setting).
+    fn forward_pairs(&mut self, fx: &mut dyn Effects, items: &[(BlockRef, u32)]) {
+        let PushMode::InfectUponContagion { ttl_direct, digests, .. } = self.cfg.push else {
+            unreachable!("forward_pairs is an infect-upon-contagion path");
+        };
+        let targets = {
+            let k = self.cfg.fout;
+            self.membership.sample(fx.rng(), k)
+        };
+        for (block, counter) in items {
+            let direct = !digests || *counter <= ttl_direct;
+            for t in &targets {
+                if direct {
+                    self.stats.blocks_sent += 1;
+                    fx.send(*t, GossipMsg::BlockPush { block: block.clone(), counter: *counter });
+                } else {
+                    self.stats.digests_sent += 1;
+                    fx.send(
+                        *t,
+                        GossipMsg::PushDigest { block_num: block.number(), counter: *counter },
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pull
+    // ------------------------------------------------------------------
+
+    fn on_pull_round(&mut self, fx: &mut dyn Effects) {
+        let Some(pull) = self.cfg.pull.clone() else {
+            return;
+        };
+        self.pull_nonce += 1;
+        self.pull_offers.clear();
+        self.stats.pull_rounds += 1;
+        let nonce = self.pull_nonce;
+        let targets = self.membership.sample(fx.rng(), pull.fin);
+        for t in targets {
+            fx.send(t, GossipMsg::PullHello { nonce });
+        }
+        // Fabric's pull engine gathers digests for `digestWaitTime` before
+        // deciding what to request from whom.
+        fx.schedule(pull.digest_wait, GossipTimer::PullDigestWait { nonce });
+        fx.schedule(pull.tpull, GossipTimer::PullRound);
+    }
+
+    fn on_pull_digest(&mut self, _fx: &mut dyn Effects, from: PeerId, nonce: u64, block_nums: Vec<u64>) {
+        if nonce != self.pull_nonce {
+            return; // stale round
+        }
+        for num in block_nums {
+            if !self.store.has(num) {
+                let offers = self.pull_offers.entry(num).or_default();
+                if !offers.contains(&from) {
+                    offers.push(from);
+                }
+            }
+        }
+    }
+
+    /// Digest-wait expiry: pick a random advertiser per missing block and
+    /// send the grouped requests.
+    fn on_pull_digest_wait(&mut self, fx: &mut dyn Effects, nonce: u64) {
+        if nonce != self.pull_nonce {
+            return; // a newer round superseded this one
+        }
+        let offers = std::mem::take(&mut self.pull_offers);
+        let mut per_target: BTreeMap<PeerId, Vec<u64>> = BTreeMap::new();
+        for (num, advertisers) in offers {
+            if self.store.has(num) || advertisers.is_empty() {
+                continue;
+            }
+            let pick = fx.rng().random_range(0..advertisers.len());
+            per_target.entry(advertisers[pick]).or_default().push(num);
+        }
+        for (target, block_nums) in per_target {
+            fx.send(target, GossipMsg::PullRequest { nonce, block_nums });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery and StateInfo
+    // ------------------------------------------------------------------
+
+    fn on_state_info_round(&mut self, fx: &mut dyn Effects) {
+        let height = self.store.height();
+        // StateInfo metadata crosses organization boundaries (§III).
+        let targets = {
+            let k = self.cfg.fout;
+            self.channel.sample(fx.rng(), k)
+        };
+        for t in targets {
+            fx.send(t, GossipMsg::StateInfo { height });
+        }
+        let interval = self.cfg.recovery.state_info_interval;
+        fx.schedule(interval, GossipTimer::StateInfoRound);
+    }
+
+    fn on_recovery_round(&mut self, fx: &mut dyn Effects) {
+        let my_height = self.store.height();
+        let best = self.peer_heights.values().copied().max().unwrap_or(0);
+        if best > my_height {
+            // Ask one of the most advanced peers for the missing run.
+            let candidates: Vec<PeerId> = self
+                .peer_heights
+                .iter()
+                .filter(|(_, h)| **h == best)
+                .map(|(p, _)| *p)
+                .collect();
+            let pick = fx.rng().random_range(0..candidates.len());
+            let target = candidates[pick];
+            let to = (best - 1).min(my_height + self.cfg.recovery.batch_max - 1);
+            self.stats.recovery_requests += 1;
+            fx.send(target, GossipMsg::RecoveryRequest { from: my_height, to });
+        }
+        let interval = self.cfg.recovery.interval;
+        fx.schedule(interval, GossipTimer::RecoveryRound);
+    }
+
+    fn on_alive_round(&mut self, fx: &mut dyn Effects) {
+        let targets = {
+            let k = self.cfg.fout;
+            self.membership.sample(fx.rng(), k)
+        };
+        for t in targets {
+            fx.send(t, GossipMsg::Alive);
+        }
+        let interval = self.cfg.membership.alive_interval;
+        fx.schedule(interval, GossipTimer::AliveRound);
+    }
+
+    // ------------------------------------------------------------------
+    // Leader election
+    // ------------------------------------------------------------------
+
+    fn on_leader_heartbeat(&mut self, fx: &mut dyn Effects, leader: PeerId, now: Time) {
+        self.last_leader_seen = Some((leader, now));
+        if self.is_leader && leader < self.id {
+            // A lower-id leader exists: step down (deterministic tie-break).
+            self.is_leader = false;
+            fx.leadership_changed(false);
+        }
+    }
+
+    fn on_election_tick(&mut self, fx: &mut dyn Effects) {
+        let now = fx.now();
+        if self.is_leader {
+            self.broadcast_leadership(fx);
+        } else {
+            let leader_fresh = matches!(
+                self.last_leader_seen,
+                Some((_, at)) if now.since(at) <= self.cfg.election.leader_timeout
+            );
+            if !leader_fresh {
+                // No live leader. The lowest-id peer believed alive stands
+                // up; everyone runs the same rule, so exactly the live
+                // minimum claims leadership.
+                let lowest_alive = self
+                    .membership
+                    .alive_peers(now)
+                    .into_iter()
+                    .chain(std::iter::once(self.id))
+                    .min()
+                    .expect("iterator contains self");
+                if lowest_alive == self.id {
+                    self.is_leader = true;
+                    fx.leadership_changed(true);
+                    self.broadcast_leadership(fx);
+                }
+            }
+        }
+        let interval = self.cfg.election.heartbeat_interval;
+        fx.schedule(interval, GossipTimer::ElectionTick);
+    }
+
+    fn broadcast_leadership(&mut self, fx: &mut dyn Effects) {
+        let me = self.id;
+        for p in self.membership.peers().to_vec() {
+            fx.send(p, GossipMsg::LeaderHeartbeat { leader: me });
+        }
+    }
+}
+
+/// Uniform random phase in `[0, period)`, so periodic rounds interleave
+/// across peers instead of firing in lockstep.
+fn random_phase(fx: &mut dyn Effects, period: Duration) -> Duration {
+    if period.is_zero() {
+        return Duration::ZERO;
+    }
+    Duration::from_nanos(fx.rng().random_range(0..period.as_nanos()))
+}

@@ -1,0 +1,298 @@
+//! The peer-local ledger: hash-chained block storage plus materialized state.
+
+use std::fmt;
+use std::sync::Arc;
+
+use fabric_types::block::{Block, BlockRef};
+use fabric_types::crypto::Hash256;
+use fabric_types::msp::Msp;
+use fabric_types::rwset::Version;
+use fabric_types::transaction::EndorsementPolicy;
+
+use crate::state::StateDb;
+use crate::validate::{validate_block, BlockValidation};
+
+/// Why a block was rejected at commit time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitError {
+    /// The block's number is not the next height.
+    NotNext {
+        /// The height the ledger expected.
+        expected: u64,
+        /// The height the block carries.
+        got: u64,
+    },
+    /// The block's previous-hash link does not match the chain tip.
+    BrokenLink,
+    /// The block's data hash does not match its transactions.
+    DataTampered,
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::NotNext { expected, got } => {
+                write!(f, "block {got} is not the next height (expected {expected})")
+            }
+            CommitError::BrokenLink => write!(f, "previous-hash link does not match chain tip"),
+            CommitError::DataTampered => write!(f, "data hash does not match transactions"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+/// Summary of one committed block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitSummary {
+    /// Height of the committed block.
+    pub block_num: u64,
+    /// Per-transaction validation outcome.
+    pub validation: BlockValidation,
+}
+
+/// Cumulative validation statistics across all committed blocks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerStats {
+    /// Transactions whose writes were applied.
+    pub valid_txs: u64,
+    /// Transactions invalidated by an MVCC (validation-time) conflict.
+    pub mvcc_conflicts: u64,
+    /// Transactions invalidated by an endorsement-policy failure.
+    pub endorsement_failures: u64,
+}
+
+impl LedgerStats {
+    /// Total invalidated transactions.
+    pub fn invalid_txs(&self) -> u64 {
+        self.mvcc_conflicts + self.endorsement_failures
+    }
+}
+
+/// A peer's copy of the blockchain and its world state.
+///
+/// Blocks must be committed in height order; out-of-order delivery is the
+/// gossip layer's problem (its payload buffer reorders). The genesis block
+/// is implicit: a fresh ledger has height 1 in the sense that block number 1
+/// is the next expected block, with the genesis block pre-committed.
+///
+/// ```
+/// use std::sync::Arc;
+/// use fabric_ledger::ledger::Ledger;
+/// use fabric_types::block::Block;
+/// use fabric_types::msp::Msp;
+/// use fabric_types::transaction::EndorsementPolicy;
+///
+/// let mut ledger = Ledger::new(Arc::new(Msp::single_org(3)), EndorsementPolicy::AnyMember);
+/// let next = Block::new(1, ledger.latest_hash(), vec![]);
+/// ledger.commit(Arc::new(next)).unwrap();
+/// assert_eq!(ledger.height(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    msp: Arc<Msp>,
+    policy: EndorsementPolicy,
+    blocks: Vec<BlockRef>,
+    state: StateDb,
+    stats: LedgerStats,
+}
+
+impl Ledger {
+    /// Creates a ledger holding only the genesis block.
+    pub fn new(msp: Arc<Msp>, policy: EndorsementPolicy) -> Self {
+        Ledger {
+            msp,
+            policy,
+            blocks: vec![Arc::new(Block::genesis())],
+            state: StateDb::new(),
+            stats: LedgerStats::default(),
+        }
+    }
+
+    /// Chain height: number of blocks committed, genesis included.
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Hash of the chain tip.
+    pub fn latest_hash(&self) -> Hash256 {
+        self.blocks.last().expect("ledger always holds genesis").hash()
+    }
+
+    /// The block at height `number`, if committed.
+    pub fn block(&self, number: u64) -> Option<&BlockRef> {
+        self.blocks.get(number as usize)
+    }
+
+    /// Whether the block at height `number` is committed.
+    pub fn contains(&self, number: u64) -> bool {
+        (number as usize) < self.blocks.len()
+    }
+
+    /// All committed blocks in height order.
+    pub fn blocks(&self) -> &[BlockRef] {
+        &self.blocks
+    }
+
+    /// The materialized world state.
+    pub fn state(&self) -> &StateDb {
+        &self.state
+    }
+
+    /// Cumulative validation statistics.
+    pub fn stats(&self) -> LedgerStats {
+        self.stats
+    }
+
+    /// Validates and commits the next block: checks chain linkage and data
+    /// integrity, runs endorsement-policy and MVCC validation, applies the
+    /// writes of valid transactions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CommitError`] without mutating anything when the block is
+    /// not the next height, does not link to the tip, or is corrupted.
+    pub fn commit(&mut self, block: BlockRef) -> Result<CommitSummary, CommitError> {
+        let expected = self.height();
+        if block.number() != expected {
+            return Err(CommitError::NotNext { expected, got: block.number() });
+        }
+        if block.header.prev_hash != self.latest_hash() {
+            return Err(CommitError::BrokenLink);
+        }
+        if !block.data_intact() {
+            return Err(CommitError::DataTampered);
+        }
+        let validation = validate_block(&self.msp, &self.policy, &block, &self.state);
+        for (tx_num, (tx, flag)) in block.txs.iter().zip(validation.flags.iter()).enumerate() {
+            if flag.is_valid() {
+                let version = Version::new(block.number(), tx_num as u32);
+                self.state.apply(version, &tx.rwset.writes);
+                self.stats.valid_txs += 1;
+            } else {
+                match flag {
+                    crate::validate::TxValidation::MvccConflict => self.stats.mvcc_conflicts += 1,
+                    crate::validate::TxValidation::EndorsementFailure => {
+                        self.stats.endorsement_failures += 1
+                    }
+                    crate::validate::TxValidation::Valid => unreachable!(),
+                }
+            }
+        }
+        let block_num = block.number();
+        self.blocks.push(block);
+        Ok(CommitSummary { block_num, validation })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateReader;
+    use fabric_types::ids::{ClientId, PeerId, TxId};
+    use fabric_types::rwset::RwSet;
+    use fabric_types::transaction::Transaction;
+
+    fn ledger() -> Ledger {
+        Ledger::new(Arc::new(Msp::single_org(3)), EndorsementPolicy::AnyMember)
+    }
+
+    fn endorsed_increment(
+        led: &Ledger,
+        id: u64,
+        key: &str,
+        read_version: Option<fabric_types::rwset::Version>,
+        value: u64,
+    ) -> Transaction {
+        let rwset = RwSet::builder().read(key, read_version).write_u64(key, value).build();
+        let mut tx = Transaction::new(TxId(id), "increment", ClientId(0), rwset);
+        tx.endorse(&led.msp, PeerId(0));
+        tx
+    }
+
+    #[test]
+    fn fresh_ledger_has_genesis() {
+        let led = ledger();
+        assert_eq!(led.height(), 1);
+        assert!(led.contains(0));
+        assert!(!led.contains(1));
+        assert_eq!(led.block(0).unwrap().number(), 0);
+    }
+
+    #[test]
+    fn commit_applies_valid_writes_and_advances_state() {
+        let mut led = ledger();
+        let tx = endorsed_increment(&led, 1, "k", None, 1);
+        let block = Arc::new(Block::new(1, led.latest_hash(), vec![tx]));
+        let summary = led.commit(block).unwrap();
+        assert_eq!(summary.block_num, 1);
+        assert_eq!(summary.validation.valid_count(), 1);
+        assert_eq!(led.height(), 2);
+        assert_eq!(led.state().counter_sum(), Some(1));
+        assert_eq!(led.stats().valid_txs, 1);
+    }
+
+    #[test]
+    fn commit_rejects_wrong_height() {
+        let mut led = ledger();
+        let block = Arc::new(Block::new(5, led.latest_hash(), vec![]));
+        assert_eq!(led.commit(block), Err(CommitError::NotNext { expected: 1, got: 5 }));
+        assert_eq!(led.height(), 1);
+    }
+
+    #[test]
+    fn commit_rejects_broken_link() {
+        let mut led = ledger();
+        let block = Arc::new(Block::new(1, Hash256([9; 32]), vec![]));
+        assert_eq!(led.commit(block), Err(CommitError::BrokenLink));
+    }
+
+    #[test]
+    fn commit_rejects_tampered_data() {
+        let mut led = ledger();
+        let tx = endorsed_increment(&led, 1, "k", None, 1);
+        let mut block = Block::new(1, led.latest_hash(), vec![]);
+        block.txs.push(tx); // bypasses data_hash computation
+        assert_eq!(led.commit(Arc::new(block)), Err(CommitError::DataTampered));
+    }
+
+    #[test]
+    fn conflicting_tx_counts_as_mvcc_conflict() {
+        let mut led = ledger();
+        let tx1 = endorsed_increment(&led, 1, "k", None, 1);
+        let tx2 = endorsed_increment(&led, 2, "k", None, 1); // same base read
+        let block = Arc::new(Block::new(1, led.latest_hash(), vec![tx1, tx2]));
+        let summary = led.commit(block).unwrap();
+        assert_eq!(summary.validation.mvcc_conflicts(), 1);
+        assert_eq!(led.stats().mvcc_conflicts, 1);
+        assert_eq!(led.state().counter_sum(), Some(1));
+    }
+
+    #[test]
+    fn stale_read_across_blocks_conflicts() {
+        let mut led = ledger();
+        let tx1 = endorsed_increment(&led, 1, "k", None, 1);
+        let b1 = Arc::new(Block::new(1, led.latest_hash(), vec![tx1]));
+        led.commit(b1).unwrap();
+        // Endorsed before block 1 committed: still reads version None.
+        let tx2 = endorsed_increment(&led, 2, "k", None, 1);
+        let b2 = Arc::new(Block::new(2, led.latest_hash(), vec![tx2]));
+        let summary = led.commit(b2).unwrap();
+        assert_eq!(summary.validation.mvcc_conflicts(), 1);
+        assert_eq!(led.stats().invalid_txs(), 1);
+    }
+
+    #[test]
+    fn chain_of_commits_preserves_linkage() {
+        let mut led = ledger();
+        for n in 1..=20 {
+            let tx = endorsed_increment(&led, n, "k", led.state().get_version(&"k".into()), n);
+            let block = Arc::new(Block::new(n, led.latest_hash(), vec![tx]));
+            led.commit(block).unwrap();
+        }
+        assert_eq!(led.height(), 21);
+        assert_eq!(fabric_types::block::verify_chain(led.blocks()), Ok(()));
+        assert_eq!(led.stats().valid_txs, 20);
+        assert_eq!(led.state().counter_sum(), Some(20));
+    }
+}

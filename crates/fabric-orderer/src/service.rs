@@ -1,0 +1,255 @@
+//! The ordering service: consensus pipeline model and block assembly.
+//!
+//! The paper's testbed ran a crash-fault-tolerant ordering service of four
+//! Kafka brokers and three ZooKeeper nodes. Its internals never vary in the
+//! evaluation — what matters to the gossip study is (a) Fabric's block
+//! cutting behaviour and (b) the end-to-end delay a proposal experiences
+//! between submission and the cut block leaving the orderer. This module
+//! implements (a) exactly (see [`crate::cutter`]) and models (b) with a
+//! sampled [`LatencyModel`] (`consensus_delay`), the calibration knob
+//! documented in `DESIGN.md` and `EXPERIMENTS.md`.
+//!
+//! The service is a sans-io state machine: it never sleeps or sends — the
+//! embedding (simulation or threads) arms batch timers when told to and
+//! delivers cut blocks after the sampled consensus delay.
+
+use desim::{Duration, LatencyModel};
+use serde::{Deserialize, Serialize};
+
+use fabric_types::block::Block;
+use fabric_types::crypto::Hash256;
+use fabric_types::transaction::Transaction;
+
+use crate::cutter::{BatchConfig, BlockCutter};
+
+/// Ordering-service parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrdererConfig {
+    /// Block cutting parameters.
+    pub batch: BatchConfig,
+    /// End-to-end consensus pipeline delay per block: Kafka produce,
+    /// replication, consume and block signing. Sampled once per cut block.
+    pub consensus_delay: LatencyModel,
+}
+
+impl OrdererConfig {
+    /// A Kafka-flavoured pipeline: mean delay a few hundred milliseconds,
+    /// with jitter, roughly matching published Fabric v1.x ordering
+    /// latencies under moderate load.
+    pub fn kafka(batch: BatchConfig) -> Self {
+        OrdererConfig {
+            batch,
+            consensus_delay: LatencyModel::Lan {
+                base: Duration::from_millis(120),
+                jitter: Duration::from_millis(80),
+                spike_prob: 0.01,
+                spike_mult: 5,
+            },
+        }
+    }
+
+    /// An idealized instant pipeline, for protocol-logic tests.
+    pub fn instant(batch: BatchConfig) -> Self {
+        OrdererConfig { batch, consensus_delay: LatencyModel::ZERO }
+    }
+}
+
+/// What a submission produced.
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// Blocks cut by this submission, in order (zero, one or two).
+    pub blocks: Vec<Block>,
+    /// When `Some(epoch)`, a fresh batch started pending and the embedding
+    /// must arm the batch timer for that epoch.
+    pub arm_timer: Option<u64>,
+}
+
+/// The ordering service state machine.
+///
+/// ```
+/// use fabric_orderer::{BatchConfig, OrdererConfig, OrderingService};
+/// use fabric_types::block::Block;
+/// use fabric_types::ids::{ClientId, TxId};
+/// use fabric_types::rwset::RwSet;
+/// use fabric_types::transaction::Transaction;
+///
+/// let genesis = Block::genesis();
+/// let mut orderer = OrderingService::new(
+///     OrdererConfig::instant(BatchConfig::paper_dissemination()),
+///     genesis.hash(),
+///     1,
+/// );
+/// let mut outcome = None;
+/// for i in 0..50 {
+///     let tx = Transaction::new(TxId(i), "cc", ClientId(0), RwSet::default());
+///     outcome = Some(orderer.submit(tx));
+/// }
+/// let blocks = outcome.unwrap().blocks;
+/// assert_eq!(blocks.len(), 1);
+/// assert!(blocks[0].follows(&genesis));
+/// ```
+#[derive(Debug)]
+pub struct OrderingService {
+    config: OrdererConfig,
+    cutter: BlockCutter,
+    next_number: u64,
+    prev_hash: Hash256,
+    /// Bumped every time the pending batch empties; stale batch timers
+    /// compare epochs instead of being cancelled.
+    batch_epoch: u64,
+    blocks_cut: u64,
+}
+
+impl OrderingService {
+    /// Creates the service. `prev_hash` is the hash of the last block
+    /// already on the chain (usually genesis), `next_number` the height the
+    /// first cut block will carry.
+    pub fn new(config: OrdererConfig, prev_hash: Hash256, next_number: u64) -> Self {
+        let cutter = BlockCutter::new(config.batch.clone());
+        OrderingService { config, cutter, next_number, prev_hash, batch_epoch: 0, blocks_cut: 0 }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &OrdererConfig {
+        &self.config
+    }
+
+    /// The batch timeout the embedding should use when arming timers.
+    pub fn batch_timeout(&self) -> Duration {
+        self.config.batch.batch_timeout
+    }
+
+    /// Current batch epoch (see [`SubmitOutcome::arm_timer`]).
+    pub fn batch_epoch(&self) -> u64 {
+        self.batch_epoch
+    }
+
+    /// Number of blocks cut so far.
+    pub fn blocks_cut(&self) -> u64 {
+        self.blocks_cut
+    }
+
+    /// Transactions waiting in the pending batch.
+    pub fn pending_count(&self) -> usize {
+        self.cutter.pending_count()
+    }
+
+    /// Accepts a transaction proposal in arrival order. Fabric orderers do
+    /// not validate proposals — neither does this one.
+    pub fn submit(&mut self, tx: Transaction) -> SubmitOutcome {
+        let (batches, started_fresh) = self.cutter.ordered(tx);
+        let blocks: Vec<Block> = batches.into_iter().map(|b| self.assemble(b)).collect();
+        let arm_timer = started_fresh.then_some(self.batch_epoch);
+        SubmitOutcome { blocks, arm_timer }
+    }
+
+    /// Batch timer expiry for `epoch`. Returns the cut block, or `None`
+    /// when the timer was stale (the batch it guarded was already cut) or
+    /// nothing was pending.
+    pub fn on_batch_timeout(&mut self, epoch: u64) -> Option<Block> {
+        if epoch != self.batch_epoch {
+            return None;
+        }
+        let batch = self.cutter.cut();
+        if batch.is_empty() {
+            return None;
+        }
+        Some(self.assemble(batch))
+    }
+
+    fn assemble(&mut self, txs: Vec<Transaction>) -> Block {
+        let block = Block::new(self.next_number, self.prev_hash, txs);
+        self.prev_hash = block.hash();
+        self.next_number += 1;
+        self.batch_epoch += 1;
+        self.blocks_cut += 1;
+        block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_types::block::verify_chain;
+    use fabric_types::ids::{ClientId, TxId};
+    use fabric_types::rwset::RwSet;
+    use std::sync::Arc;
+
+    fn tx(id: u64) -> Transaction {
+        Transaction::new(TxId(id), "cc", ClientId(0), RwSet::default())
+    }
+
+    fn service(max_count: usize) -> OrderingService {
+        let batch = BatchConfig {
+            max_message_count: max_count,
+            preferred_max_bytes: 1 << 20,
+            batch_timeout: Duration::from_secs(2),
+        };
+        OrderingService::new(OrdererConfig::instant(batch), Block::genesis().hash(), 1)
+    }
+
+    #[test]
+    fn blocks_chain_in_order() {
+        let mut orderer = service(2);
+        let mut blocks = vec![Arc::new(Block::genesis())];
+        for i in 0..10 {
+            for b in orderer.submit(tx(i)).blocks {
+                blocks.push(Arc::new(b));
+            }
+        }
+        assert_eq!(blocks.len(), 6); // genesis + 5 blocks of 2
+        assert_eq!(verify_chain(&blocks), Ok(()));
+        assert_eq!(orderer.blocks_cut(), 5);
+    }
+
+    #[test]
+    fn first_tx_requests_timer_with_epoch() {
+        let mut orderer = service(10);
+        let outcome = orderer.submit(tx(1));
+        assert_eq!(outcome.arm_timer, Some(0));
+        let outcome = orderer.submit(tx(2));
+        assert_eq!(outcome.arm_timer, None);
+    }
+
+    #[test]
+    fn timeout_cuts_pending_batch() {
+        let mut orderer = service(10);
+        let epoch = orderer.submit(tx(1)).arm_timer.unwrap();
+        orderer.submit(tx(2));
+        let block = orderer.on_batch_timeout(epoch).unwrap();
+        assert_eq!(block.txs.len(), 2);
+        assert_eq!(block.number(), 1);
+        assert_eq!(orderer.pending_count(), 0);
+    }
+
+    #[test]
+    fn stale_timeout_is_ignored() {
+        let mut orderer = service(2);
+        let epoch = orderer.submit(tx(1)).arm_timer.unwrap();
+        // Fills the batch: cut happens by count, epoch advances.
+        let cut = orderer.submit(tx(2));
+        assert_eq!(cut.blocks.len(), 1);
+        // New batch starts pending; the old timer must not cut it.
+        orderer.submit(tx(3));
+        assert_eq!(orderer.on_batch_timeout(epoch), None);
+        assert_eq!(orderer.pending_count(), 1);
+    }
+
+    #[test]
+    fn empty_timeout_returns_none() {
+        let mut orderer = service(10);
+        assert_eq!(orderer.on_batch_timeout(0), None);
+    }
+
+    #[test]
+    fn numbering_continues_across_timeout_and_count_cuts() {
+        let mut orderer = service(2);
+        orderer.submit(tx(1));
+        let b1 = orderer.on_batch_timeout(orderer.batch_epoch()).unwrap();
+        assert_eq!(b1.number(), 1);
+        orderer.submit(tx(2));
+        let b2 = orderer.submit(tx(3)).blocks.pop().unwrap();
+        assert_eq!(b2.number(), 2);
+        assert!(b2.header.prev_hash == b1.hash());
+    }
+}

@@ -1,0 +1,230 @@
+//! State keys, values, versions and transaction read/write sets.
+//!
+//! Fabric's execute-order-validate model hinges on versioned reads: a
+//! simulated chaincode records, for every key it reads, the version of the
+//! value it observed (the `(block, tx)` coordinate of the write that
+//! produced it). At validation time the read versions must still match the
+//! committed state, otherwise the transaction is invalidated.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A state key. Fabric keys are strings; experiments use short synthetic
+/// names such as `"asset17"`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key(pub String);
+
+impl Key {
+    /// Builds a key from anything string-like.
+    pub fn new(s: impl Into<String>) -> Self {
+        Key(s.into())
+    }
+
+    /// Byte length of the key on the wire.
+    pub fn wire_size(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key(s.to_owned())
+    }
+}
+
+/// A state value: opaque bytes, with helpers for the integer counters used
+/// by the paper's conflict workload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Value(pub Vec<u8>);
+
+impl Value {
+    /// Encodes a `u64` counter value.
+    pub fn from_u64(v: u64) -> Self {
+        Value(v.to_be_bytes().to_vec())
+    }
+
+    /// Decodes a counter value written by [`Value::from_u64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        let bytes: [u8; 8] = self.0.as_slice().try_into().ok()?;
+        Some(u64::from_be_bytes(bytes))
+    }
+
+    /// Byte length of the value on the wire.
+    pub fn wire_size(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// The commit coordinate of a write: which transaction of which block
+/// produced the current value of a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Version {
+    /// Block number of the committing block.
+    pub block_num: u64,
+    /// Index of the transaction within that block.
+    pub tx_num: u32,
+}
+
+impl Version {
+    /// Builds a version from its coordinates.
+    pub fn new(block_num: u64, tx_num: u32) -> Self {
+        Version { block_num, tx_num }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}.{}", self.block_num, self.tx_num)
+    }
+}
+
+/// One read recorded during simulation: the key and the version observed
+/// (`None` when the key did not exist yet).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadItem {
+    /// The key that was read.
+    pub key: Key,
+    /// The version observed, or `None` for an absent key.
+    pub version: Option<Version>,
+}
+
+/// One write recorded during simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteItem {
+    /// The key being written.
+    pub key: Key,
+    /// The new value.
+    pub value: Value,
+}
+
+/// The read/write set produced by simulating a chaincode.
+///
+/// ```
+/// use fabric_types::rwset::{RwSet, Version};
+/// let rwset = RwSet::builder()
+///     .read("counter7", Some(Version::new(3, 1)))
+///     .write_u64("counter7", 42)
+///     .build();
+/// assert_eq!(rwset.reads.len(), 1);
+/// assert_eq!(rwset.writes.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RwSet {
+    /// Keys read, with the versions observed.
+    pub reads: Vec<ReadItem>,
+    /// Keys written, with the new values.
+    pub writes: Vec<WriteItem>,
+}
+
+impl RwSet {
+    /// Starts building a read/write set.
+    pub fn builder() -> RwSetBuilder {
+        RwSetBuilder::default()
+    }
+
+    /// Whether the sets touch `key` at all.
+    pub fn touches(&self, key: &Key) -> bool {
+        self.reads.iter().any(|r| &r.key == key) || self.writes.iter().any(|w| &w.key == key)
+    }
+
+    /// Approximate wire size: keys, values, and a per-item version/length
+    /// overhead comparable to Fabric's protobuf encoding.
+    pub fn wire_size(&self) -> usize {
+        const PER_ITEM: usize = 16;
+        let reads: usize = self.reads.iter().map(|r| r.key.wire_size() + PER_ITEM).sum();
+        let writes: usize =
+            self.writes.iter().map(|w| w.key.wire_size() + w.value.wire_size() + PER_ITEM).sum();
+        reads + writes
+    }
+}
+
+/// Incremental builder for [`RwSet`].
+#[derive(Debug, Default)]
+pub struct RwSetBuilder {
+    rwset: RwSet,
+}
+
+impl RwSetBuilder {
+    /// Records a read of `key` at `version`.
+    pub fn read(mut self, key: impl Into<String>, version: Option<Version>) -> Self {
+        self.rwset.reads.push(ReadItem { key: Key::new(key), version });
+        self
+    }
+
+    /// Records a write of `value` to `key`.
+    pub fn write(mut self, key: impl Into<String>, value: Value) -> Self {
+        self.rwset.writes.push(WriteItem { key: Key::new(key), value });
+        self
+    }
+
+    /// Records a write of a counter value to `key`.
+    pub fn write_u64(self, key: impl Into<String>, value: u64) -> Self {
+        self.write(key, Value::from_u64(value))
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> RwSet {
+        self.rwset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_ordering_is_block_then_tx() {
+        assert!(Version::new(1, 5) < Version::new(2, 0));
+        assert!(Version::new(2, 0) < Version::new(2, 1));
+        assert_eq!(Version::new(3, 3), Version::new(3, 3));
+    }
+
+    #[test]
+    fn value_u64_round_trip() {
+        assert_eq!(Value::from_u64(12345).as_u64(), Some(12345));
+        assert_eq!(Value(vec![1, 2, 3]).as_u64(), None);
+        assert_eq!(Value::default().as_u64(), None);
+    }
+
+    #[test]
+    fn builder_collects_items_in_order() {
+        let s = RwSet::builder()
+            .read("a", None)
+            .read("b", Some(Version::new(1, 0)))
+            .write_u64("b", 9)
+            .build();
+        assert_eq!(s.reads[0].key, Key::from("a"));
+        assert_eq!(s.reads[0].version, None);
+        assert_eq!(s.reads[1].version, Some(Version::new(1, 0)));
+        assert_eq!(s.writes[0].value.as_u64(), Some(9));
+    }
+
+    #[test]
+    fn touches_checks_both_sets() {
+        let s = RwSet::builder().read("r", None).write_u64("w", 1).build();
+        assert!(s.touches(&Key::from("r")));
+        assert!(s.touches(&Key::from("w")));
+        assert!(!s.touches(&Key::from("x")));
+    }
+
+    #[test]
+    fn wire_size_grows_with_content() {
+        let small = RwSet::builder().write_u64("k", 1).build();
+        let big = RwSet::builder().write_u64("k", 1).write_u64("another-key", 2).build();
+        assert!(big.wire_size() > small.wire_size());
+        assert_eq!(RwSet::default().wire_size(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Version::new(4, 2).to_string(), "v4.2");
+        assert_eq!(Key::from("asset1").to_string(), "asset1");
+    }
+}

@@ -1,0 +1,122 @@
+//! Client-side transaction assembly: simulate at an endorser, sign, build
+//! the proposal the orderer will batch.
+
+use fabric_ledger::chaincode::{Chaincode, ChaincodeError, ChaincodeInput, IncrementChaincode, PayloadChaincode};
+use fabric_ledger::state::StateDb;
+use fabric_types::ids::{ClientId, PeerId, TxId};
+use fabric_types::msp::Msp;
+use fabric_types::transaction::Transaction;
+
+use crate::schedule::{ChaincodeKind, ScheduledInvocation};
+
+/// Simulates `invocation` against `endorser_state` (the endorser's
+/// committed world state), signs the result as `endorser`, and assembles
+/// the transaction proposal.
+///
+/// This is the client↔endorser round trip of Fabric's execute phase,
+/// collapsed into a function: the experiment layer accounts its latency
+/// separately.
+///
+/// # Errors
+///
+/// Propagates [`ChaincodeError`] from simulation; returns an error if the
+/// endorser is not enrolled in the MSP.
+pub fn endorse_invocation(
+    invocation: &ScheduledInvocation,
+    tx_id: TxId,
+    client: ClientId,
+    endorser: PeerId,
+    endorser_state: &StateDb,
+    msp: &Msp,
+) -> Result<Transaction, ChaincodeError> {
+    let input = ChaincodeInput::new(invocation.args.iter().cloned());
+    let (name, rwset) = match invocation.chaincode {
+        ChaincodeKind::Increment => {
+            let cc = IncrementChaincode;
+            (cc.name().to_owned(), cc.simulate(&input, endorser_state)?)
+        }
+        ChaincodeKind::Payload => {
+            let cc = PayloadChaincode::new(invocation.padding as usize);
+            (cc.name().to_owned(), cc.simulate(&input, endorser_state)?)
+        }
+    };
+    let mut tx = Transaction::new(tx_id, name, client, rwset).with_padding(invocation.padding);
+    if !tx.endorse(msp, endorser) {
+        return Err(ChaincodeError::BadArguments(format!("endorser {endorser} not enrolled")));
+    }
+    Ok(tx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Time;
+    use fabric_types::rwset::{Key, Value, Version, WriteItem};
+    use fabric_types::transaction::EndorsementPolicy;
+
+    fn invocation(kind: ChaincodeKind, arg: &str) -> ScheduledInvocation {
+        ScheduledInvocation {
+            at: Time::ZERO,
+            chaincode: kind,
+            args: vec![arg.to_owned()],
+            padding: 100,
+        }
+    }
+
+    #[test]
+    fn endorse_increment_reads_endorser_state() {
+        let msp = Msp::single_org(3);
+        let mut state = StateDb::new();
+        state.apply(
+            Version::new(5, 2),
+            &[WriteItem { key: Key::from("counter3"), value: Value::from_u64(9) }],
+        );
+        let tx = endorse_invocation(
+            &invocation(ChaincodeKind::Increment, "counter3"),
+            TxId(1),
+            ClientId(0),
+            PeerId(1),
+            &state,
+            &msp,
+        )
+        .unwrap();
+        assert_eq!(tx.rwset.reads[0].version, Some(Version::new(5, 2)));
+        assert_eq!(tx.rwset.writes[0].value.as_u64(), Some(10));
+        assert_eq!(tx.payload_padding, 100);
+        // The endorsement verifies under the policy.
+        let policy = EndorsementPolicy::single(PeerId(1));
+        assert!(policy.is_satisfied(&msp, &tx.digest(), &tx.endorsements));
+    }
+
+    #[test]
+    fn endorse_payload_writes_delta_row() {
+        let msp = Msp::single_org(2);
+        let state = StateDb::new();
+        let tx = endorse_invocation(
+            &invocation(ChaincodeKind::Payload, "row42"),
+            TxId(2),
+            ClientId(0),
+            PeerId(0),
+            &state,
+            &msp,
+        )
+        .unwrap();
+        assert!(tx.rwset.reads.is_empty());
+        assert_eq!(tx.rwset.writes[0].key, Key::from("delta:row42"));
+    }
+
+    #[test]
+    fn unenrolled_endorser_is_an_error() {
+        let msp = Msp::single_org(1);
+        let state = StateDb::new();
+        let err = endorse_invocation(
+            &invocation(ChaincodeKind::Payload, "row1"),
+            TxId(3),
+            ClientId(0),
+            PeerId(9),
+            &state,
+            &msp,
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Transaction schedules: what the client submits, and when.
+//!
+//! Two generators reproduce the paper's workloads:
+//!
+//! * [`payload_schedule`] — §V-A: 50 000 sequential transactions sized so
+//!   that a 50-transaction block of ≈160 KB is cut roughly every 1.5 s
+//!   (1 000 blocks total);
+//! * [`increment_schedule`] — §V-D: 100 integer counters incremented 100
+//!   times each (10 000 transactions) at a fixed 5 tx/s, with a fresh
+//!   random permutation of the counter order in every round.
+
+use desim::{Duration, Time};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which chaincode an invocation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaincodeKind {
+    /// [`fabric_ledger::IncrementChaincode`] — the conflict workload.
+    Increment,
+    /// [`fabric_ledger::PayloadChaincode`] — the dissemination workload.
+    Payload,
+}
+
+/// One scheduled chaincode invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledInvocation {
+    /// When the client issues the proposal.
+    pub at: Time,
+    /// Target chaincode.
+    pub chaincode: ChaincodeKind,
+    /// Invocation arguments.
+    pub args: Vec<String>,
+    /// Wire padding applied to the resulting transaction.
+    pub padding: u32,
+}
+
+/// Parameters of the dissemination workload (§V-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PayloadWorkload {
+    /// Total transactions to issue (paper: 50 000).
+    pub total_txs: usize,
+    /// Issue rate in transactions per second (paper: one 50-tx block per
+    /// ≈1.5 s ⇒ ≈33.3 tx/s).
+    pub rate_per_sec: f64,
+    /// Per-transaction wire padding; 50 × ≈3.2 KB ≈ the paper's 160 KB
+    /// blocks.
+    pub tx_padding: u32,
+}
+
+impl Default for PayloadWorkload {
+    fn default() -> Self {
+        PayloadWorkload { total_txs: 50_000, rate_per_sec: 50.0 / 1.5, tx_padding: 3_100 }
+    }
+}
+
+impl PayloadWorkload {
+    /// A scaled-down copy with `total_txs` transactions (same rate/sizes),
+    /// for tests and quick examples.
+    pub fn shortened(total_txs: usize) -> Self {
+        PayloadWorkload { total_txs, ..Default::default() }
+    }
+}
+
+/// Parameters of the conflict workload (§V-D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncrementWorkload {
+    /// Number of distinct counters (paper: 100).
+    pub keys: usize,
+    /// Rounds; each round increments every counter once (paper: 100).
+    pub rounds: usize,
+    /// Issue rate in transactions per second (paper: 5).
+    pub rate_per_sec: f64,
+}
+
+impl Default for IncrementWorkload {
+    fn default() -> Self {
+        IncrementWorkload { keys: 100, rounds: 100, rate_per_sec: 5.0 }
+    }
+}
+
+impl IncrementWorkload {
+    /// Total transactions the schedule will contain.
+    pub fn total_txs(&self) -> usize {
+        self.keys * self.rounds
+    }
+}
+
+fn issue_time(index: usize, rate_per_sec: f64) -> Time {
+    Time::ZERO + Duration::from_secs_f64(index as f64 / rate_per_sec)
+}
+
+/// Generates the dissemination schedule: conflict-free payload writes, one
+/// unique delta row per transaction.
+pub fn payload_schedule(cfg: &PayloadWorkload) -> Vec<ScheduledInvocation> {
+    assert!(cfg.rate_per_sec > 0.0, "rate must be positive");
+    (0..cfg.total_txs)
+        .map(|i| ScheduledInvocation {
+            at: issue_time(i, cfg.rate_per_sec),
+            chaincode: ChaincodeKind::Payload,
+            args: vec![format!("row{i}")],
+            padding: cfg.tx_padding,
+        })
+        .collect()
+}
+
+/// Generates the conflict schedule: `rounds` random permutations of the
+/// counter keys, issued back to back at the configured rate. Deterministic
+/// in `seed`.
+pub fn increment_schedule(cfg: &IncrementWorkload, seed: u64) -> Vec<ScheduledInvocation> {
+    assert!(cfg.rate_per_sec > 0.0, "rate must be positive");
+    assert!(cfg.keys > 0 && cfg.rounds > 0, "empty workload");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..cfg.keys).collect();
+    let mut out = Vec::with_capacity(cfg.total_txs());
+    let mut index = 0usize;
+    for _ in 0..cfg.rounds {
+        // Fresh Fisher–Yates permutation per round, as in the paper.
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        for &key in &order {
+            out.push(ScheduledInvocation {
+                at: issue_time(index, cfg.rate_per_sec),
+                chaincode: ChaincodeKind::Increment,
+                args: vec![format!("counter{key}")],
+                padding: 64,
+            });
+            index += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn payload_schedule_matches_paper_scale() {
+        let cfg = PayloadWorkload::default();
+        let sched = payload_schedule(&cfg);
+        assert_eq!(sched.len(), 50_000);
+        // 50 000 tx at one 50-tx block per 1.5 s span 1 500 s.
+        let last = sched.last().unwrap().at;
+        assert!((last.as_secs_f64() - 1_500.0).abs() < 1.0);
+        // All rows unique (conflict-free by construction).
+        let rows: HashSet<&String> = sched.iter().map(|s| &s.args[0]).collect();
+        assert_eq!(rows.len(), 50_000);
+    }
+
+    #[test]
+    fn payload_tx_padding_yields_160kb_blocks() {
+        let cfg = PayloadWorkload::default();
+        // 50 transactions of (padding + framing ≈ 100 B) ≈ 160 KB.
+        let block_bytes = 50 * (cfg.tx_padding as usize + 100);
+        assert!((150_000..=170_000).contains(&block_bytes), "got {block_bytes}");
+    }
+
+    #[test]
+    fn increment_schedule_is_rounds_of_permutations() {
+        let cfg = IncrementWorkload { keys: 10, rounds: 5, rate_per_sec: 5.0 };
+        let sched = increment_schedule(&cfg, 42);
+        assert_eq!(sched.len(), 50);
+        for round in 0..5 {
+            let keys: HashSet<&String> =
+                sched[round * 10..(round + 1) * 10].iter().map(|s| &s.args[0]).collect();
+            assert_eq!(keys.len(), 10, "round {round} must touch every key once");
+        }
+    }
+
+    #[test]
+    fn increment_schedule_paces_at_the_configured_rate() {
+        let cfg = IncrementWorkload::default();
+        let sched = increment_schedule(&cfg, 1);
+        assert_eq!(sched.len(), 10_000);
+        let dt = sched[1].at.since(sched[0].at);
+        assert_eq!(dt, Duration::from_millis(200), "5 tx/s means one every 200 ms");
+        let last = sched.last().unwrap().at;
+        assert!((last.as_secs_f64() - 1_999.8).abs() < 0.5);
+    }
+
+    #[test]
+    fn increment_schedule_is_deterministic_in_seed() {
+        let cfg = IncrementWorkload { keys: 20, rounds: 3, rate_per_sec: 5.0 };
+        assert_eq!(increment_schedule(&cfg, 7), increment_schedule(&cfg, 7));
+        assert_ne!(increment_schedule(&cfg, 7), increment_schedule(&cfg, 8));
+    }
+
+    #[test]
+    fn rounds_are_permuted_differently() {
+        let cfg = IncrementWorkload { keys: 50, rounds: 2, rate_per_sec: 5.0 };
+        let sched = increment_schedule(&cfg, 3);
+        let round1: Vec<&String> = sched[..50].iter().map(|s| &s.args[0]).collect();
+        let round2: Vec<&String> = sched[50..].iter().map(|s| &s.args[0]).collect();
+        assert_ne!(round1, round2, "identical permutations are astronomically unlikely");
+    }
+
+    #[test]
+    fn schedules_are_time_sorted() {
+        let sched = payload_schedule(&PayloadWorkload::shortened(100));
+        assert!(sched.windows(2).all(|w| w[0].at <= w[1].at));
+        let sched = increment_schedule(&IncrementWorkload::default(), 1);
+        assert!(sched.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}

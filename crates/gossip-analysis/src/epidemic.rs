@@ -1,0 +1,182 @@
+//! Epidemic growth of the infect-upon-contagion push phase.
+//!
+//! Implements the appendix end to end: the ψ recursion bounding the
+//! expected number of peers reached per round, the logistic closed form
+//! `X(t)`, the carrying capacity γ via Lambert W, the expected digest count
+//! `m`, and the imperfect-dissemination probability bound
+//! `p_e ≤ n·(1 − 1/n)^m`.
+
+use crate::lambert::lambert_w0;
+
+/// ψ(r): the appendix's recursive upper bound on `E[X_r]`, the expected
+/// number of peers receiving at least one push digest in round `r`.
+/// `ψ(0) = 1`, `ψ(r+1) = n·(1 − (1 − 1/n)^{f·ψ(r)})`.
+pub fn psi(n: f64, fout: f64, r: u32) -> f64 {
+    assert!(n >= 2.0 && fout >= 1.0, "need n >= 2 and fout >= 1");
+    let q = 1.0 - 1.0 / n;
+    let mut value = 1.0;
+    for _ in 0..r {
+        value = n * (1.0 - q.powf(fout * value));
+    }
+    value
+}
+
+/// γ: the carrying capacity of the epidemic,
+/// `γ = n·(f + W(−f·e^{−f}))/f` (appendix, via Corless et al.).
+/// Equivalently `n·c` where `c` solves `c = 1 − e^{−f·c}`.
+pub fn carrying_capacity(n: f64, fout: f64) -> f64 {
+    assert!(fout > 1.0, "the epidemic needs fout > 1 to take off");
+    let w = lambert_w0(-fout * (-fout).exp());
+    n * (fout + w) / fout
+}
+
+/// `X(t)`: the logistic solution of the appendix's differential equation,
+/// `X(t) = γ·f^t / (γ + f^t − 1)` with `X(0) = 1`.
+pub fn logistic_x(n: f64, fout: f64, t: f64) -> f64 {
+    let gamma = carrying_capacity(n, fout);
+    let ft = fout.powf(t);
+    gamma * ft / (gamma + ft - 1.0)
+}
+
+/// `m`: the expected number of push digests transmitted over `ttl` rounds,
+/// `m = f·Σ_{i=0}^{ttl−1} ψ(i)`.
+pub fn expected_digests(n: f64, fout: f64, ttl: u32) -> f64 {
+    let q = 1.0 - 1.0 / n;
+    let mut value = 1.0;
+    let mut sum = 0.0;
+    for _ in 0..ttl {
+        sum += value;
+        value = n * (1.0 - q.powf(fout * value));
+    }
+    fout * sum
+}
+
+/// The appendix's estimate of rounds needed to transmit `m` digests:
+/// `r ≥ log_f(γ·f^{m/(γ·f)} − γ + 1) + 1`.
+pub fn rounds_for_digests(n: f64, fout: f64, m: f64) -> f64 {
+    let gamma = carrying_capacity(n, fout);
+    let inner = gamma * fout.powf(m / (gamma * fout)) - gamma + 1.0;
+    inner.ln() / fout.ln() + 1.0
+}
+
+/// `p_e(n, f, ttl)`: upper bound on the probability that the push phase
+/// misses at least one peer, `p_e ≤ n·(1 − 1/n)^m`, clamped to `[0, 1]`.
+///
+/// ```
+/// use gossip_analysis::epidemic::imperfect_dissemination_probability;
+/// // The paper's two operating points both guarantee p_e ≤ 1e-6 at n=100.
+/// assert!(imperfect_dissemination_probability(100.0, 4.0, 9) <= 1e-6);
+/// assert!(imperfect_dissemination_probability(100.0, 2.0, 19) <= 1e-6);
+/// ```
+pub fn imperfect_dissemination_probability(n: f64, fout: f64, ttl: u32) -> f64 {
+    let m = expected_digests(n, fout, ttl);
+    let q = 1.0 - 1.0 / n;
+    // n·q^m in log space to survive m in the thousands.
+    let log_pe = n.ln() + m * q.ln();
+    log_pe.exp().min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psi_is_monotone_and_bounded() {
+        let mut prev = psi(100.0, 4.0, 0);
+        assert_eq!(prev, 1.0);
+        for r in 1..30 {
+            let cur = psi(100.0, 4.0, r);
+            assert!(cur >= prev - 1e-12, "ψ must be monotonically increasing");
+            assert!(cur <= 100.0, "ψ is bounded by n");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn psi_converges_to_carrying_capacity() {
+        for &f in &[2.0, 3.0, 4.0] {
+            let gamma = carrying_capacity(100.0, f);
+            let limit = psi(100.0, f, 200);
+            assert!(
+                (limit - gamma).abs() < 0.5,
+                "ψ_∞ = {limit:.2} vs γ = {gamma:.2} for f = {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn carrying_capacity_matches_known_fractions() {
+        // c = 1 − e^{−fc}: c(2) ≈ 0.7968, c(3) ≈ 0.9405, c(4) ≈ 0.9802.
+        assert!((carrying_capacity(100.0, 2.0) - 79.68).abs() < 0.05);
+        assert!((carrying_capacity(100.0, 3.0) - 94.05).abs() < 0.05);
+        assert!((carrying_capacity(100.0, 4.0) - 98.02).abs() < 0.05);
+    }
+
+    #[test]
+    fn logistic_starts_at_one_and_saturates() {
+        assert!((logistic_x(100.0, 4.0, 0.0) - 1.0).abs() < 1e-9);
+        let gamma = carrying_capacity(100.0, 4.0);
+        assert!((logistic_x(100.0, 4.0, 50.0) - gamma).abs() < 1e-6);
+        // ψ dominates X (the appendix proves ψ(r) ≥ X(r) for f ≥ 2).
+        for r in 0..12 {
+            assert!(
+                psi(100.0, 4.0, r) >= logistic_x(100.0, 4.0, f64::from(r)) - 1e-9,
+                "round {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_operating_points_meet_the_target() {
+        let pe_f4 = imperfect_dissemination_probability(100.0, 4.0, 9);
+        let pe_f2 = imperfect_dissemination_probability(100.0, 2.0, 19);
+        assert!(pe_f4 <= 1e-6, "fout=4, TTL=9 gives pe = {pe_f4:.3e}");
+        assert!(pe_f2 <= 1e-6, "fout=2, TTL=19 gives pe = {pe_f2:.3e}");
+        // And not absurdly below the target either (same regime the paper
+        // reports; the ψ bound is slightly conservative).
+        assert!(pe_f4 >= 1e-10);
+        assert!(pe_f2 >= 1e-10);
+        // "Increasing TTL from 9 to 12 with fout = 4 leads to pe = 1e-12."
+        let pe_f4_12 = imperfect_dissemination_probability(100.0, 4.0, 12);
+        assert!(pe_f4_12 <= 1e-12, "fout=4, TTL=12 gives pe = {pe_f4_12:.3e}");
+    }
+
+    #[test]
+    fn pe_decreases_with_ttl_and_fout() {
+        let mut prev = 1.0;
+        for ttl in 1..15 {
+            let pe = imperfect_dissemination_probability(100.0, 4.0, ttl);
+            assert!(pe <= prev + 1e-15, "pe must shrink as TTL grows");
+            prev = pe;
+        }
+        let pe2 = imperfect_dissemination_probability(100.0, 2.0, 10);
+        let pe4 = imperfect_dissemination_probability(100.0, 4.0, 10);
+        assert!(pe4 < pe2, "larger fan-out reaches peers faster");
+    }
+
+    #[test]
+    fn pe_is_clamped_to_one() {
+        assert_eq!(imperfect_dissemination_probability(100.0, 2.0, 1), 1.0);
+    }
+
+    #[test]
+    fn expected_digests_grows_linearly_in_fout_early() {
+        let m1 = expected_digests(100.0, 4.0, 1);
+        assert!((m1 - 4.0).abs() < 1e-9, "one round: f digests from one peer");
+        let m2 = expected_digests(100.0, 4.0, 2);
+        assert!(m2 > m1 + 4.0, "round two adds at least the first wave's recipients");
+    }
+
+    #[test]
+    fn rounds_estimate_is_consistent_with_digest_count() {
+        // Feeding m(ttl) back should give roughly ttl rounds.
+        for ttl in [6u32, 9, 12] {
+            let m = expected_digests(100.0, 4.0, ttl);
+            let r = rounds_for_digests(100.0, 4.0, m);
+            assert!(
+                (r - f64::from(ttl)).abs() <= 2.0,
+                "ttl = {ttl}: estimated {r:.2} rounds"
+            );
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The principal branch of the Lambert W function.
+//!
+//! The appendix expresses the carrying capacity of the infect-upon-contagion
+//! epidemic through `W(-f·e^{-f})`, the largest solution of `x = W·e^W`.
+//! Halley's method converges cubically from a branch-aware initial guess;
+//! ten iterations reach machine precision over the whole domain.
+
+/// `W_0(x)`: the principal branch of the Lambert W function, defined for
+/// `x ≥ -1/e`.
+///
+/// # Panics
+///
+/// Panics if `x < -1/e` (outside the real domain) or `x` is NaN.
+///
+/// ```
+/// use gossip_analysis::lambert::lambert_w0;
+/// let omega = lambert_w0(1.0); // the omega constant
+/// assert!((omega - 0.567_143_290_409_784).abs() < 1e-12);
+/// ```
+pub fn lambert_w0(x: f64) -> f64 {
+    assert!(!x.is_nan(), "lambert_w0 of NaN");
+    let min_x = -(-1.0f64).exp(); // -1/e
+    assert!(
+        x >= min_x - 1e-15,
+        "lambert_w0 domain is x >= -1/e ≈ -0.3679, got {x}"
+    );
+    if x == 0.0 {
+        return 0.0;
+    }
+    // Initial guess: series near the branch point, log asymptote for large
+    // x, and the identity map near zero.
+    let mut w = if x < -0.25 {
+        // Near -1/e: W ≈ -1 + p - p²/3 with p = sqrt(2(e·x + 1)).
+        let p = (2.0 * (std::f64::consts::E * x + 1.0)).max(0.0).sqrt();
+        -1.0 + p - p * p / 3.0
+    } else if x < 2.0 {
+        // Small |x|: W ≈ x(1 - x + 1.5x²) truncated series.
+        x * (1.0 - x + 1.5 * x * x).max(0.1)
+    } else {
+        // Large x: W ≈ ln x - ln ln x.
+        let l = x.ln();
+        l - l.ln().max(0.0)
+    };
+    // Halley iteration.
+    for _ in 0..40 {
+        let ew = w.exp();
+        let f = w * ew - x;
+        if f.abs() < 1e-16 * (1.0 + x.abs()) {
+            break;
+        }
+        let denom = ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+        let step = f / denom;
+        w -= step;
+        if step.abs() < 1e-16 * (1.0 + w.abs()) {
+            break;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(lambert_w0(0.0), 0.0);
+        assert!((lambert_w0(1.0) - 0.567_143_290_409_784).abs() < 1e-12);
+        assert!((lambert_w0(std::f64::consts::E) - 1.0).abs() < 1e-12);
+        // W(-1/e) = -1 at the branch point.
+        let x = -(-1.0f64).exp();
+        assert!((lambert_w0(x) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_w_exp_w_round_trips() {
+        for &x in &[-0.35, -0.3, -0.1, -0.01, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0, 1e6] {
+            let w = lambert_w0(x);
+            let back = w * w.exp();
+            assert!(
+                (back - x).abs() <= 1e-9 * (1.0 + x.abs()),
+                "W({x}) = {w}, W·e^W = {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_arguments() {
+        // W(-f e^{-f}) for the paper's fan-outs; the identity
+        // c = (f + W(-f e^{-f}))/f must solve c = 1 - e^{-f c}.
+        for &f in &[2.0f64, 3.0, 4.0, 6.0] {
+            let w = lambert_w0(-f * (-f).exp());
+            let c = (f + w) / f;
+            assert!((c - (1.0 - (-f * c).exp())).abs() < 1e-10, "f = {f}");
+            assert!(c > 0.0 && c < 1.0);
+        }
+        // Spot value: fraction for f = 2 is ≈ 0.7968.
+        let w2 = lambert_w0(-2.0 * (-2.0f64).exp());
+        assert!(((2.0 + w2) / 2.0 - 0.7968).abs() < 1e-3);
+    }
+
+    #[test]
+    fn principal_branch_is_ge_minus_one() {
+        for &x in &[-0.36, -0.2, -0.05, 0.0, 3.0] {
+            assert!(lambert_w0(x) >= -1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn domain_violation_panics() {
+        lambert_w0(-1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Fairness statistics.
+//!
+//! "Fair" in the paper means two things: peers receive blocks at similar
+//! times (no starving tail), and no peer — the leader in particular —
+//! carries a disproportionate share of the traffic. Jain's fairness index
+//! and simple dispersion summaries quantify both.
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`, 1.0 for perfectly equal
+/// allocations, `1/n` for a single peer doing all the work.
+///
+/// Returns 1.0 for an empty or all-zero allocation (nothing is unfair
+/// about nobody doing anything).
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary; `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary { mean, std_dev: var.sqrt(), min, max })
+    }
+
+    /// Coefficient of variation (`σ/μ`); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_equal_allocation_is_one() {
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn jain_single_worker_is_one_over_n() {
+        let idx = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_is_scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[2.0, 4.0, 6.0]).unwrap();
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.std_dev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert!((s.cv() - s.std_dev / 4.0).abs() < 1e-12);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn cv_of_zero_mean_is_zero() {
+        let s = Summary::of(&[0.0, 0.0]).unwrap();
+        assert_eq!(s.cv(), 0.0);
+    }
+}

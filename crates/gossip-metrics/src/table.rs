@@ -1,0 +1,66 @@
+//! Plain-text table rendering for the benches' paper-style output.
+
+/// Renders a monospace table with a header row and a separator, columns
+/// padded to the widest cell.
+///
+/// ```
+/// use gossip_metrics::table::render_table;
+/// let text = render_table(
+///     &["Block period", "Original", "Enhanced", "Difference"],
+///     &[vec!["2 s".into(), "803".into(), "664".into(), "-17%".into()]],
+/// );
+/// assert!(text.contains("Block period"));
+/// assert!(text.contains("-17%"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match the header");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let padded: Vec<String> =
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    out.push_str(&render_row(headers.to_vec(), &widths));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+    for row in rows {
+        out.push_str(&render_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align_to_widest_cell() {
+        let text = render_table(
+            &["a", "long-header"],
+            &[vec!["wide-cell-content".into(), "x".into()]],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(widths.iter().all(|w| *w == widths[0]), "rows must align: {widths:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn empty_rows_render_header_only() {
+        let text = render_table(&["x"], &[]);
+        assert_eq!(text.lines().count(), 2);
+    }
+}

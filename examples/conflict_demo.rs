@@ -1,0 +1,48 @@
+//! Validation-time conflicts: how gossip latency turns into invalidated
+//! transactions (a single cell of Table II, both protocols).
+//!
+//! ```text
+//! cargo run --release --example conflict_demo [period_ms]
+//! ```
+
+use fair_gossip::experiments::conflicts::{run_conflicts, ConflictConfig};
+use fair_gossip::gossip::config::GossipConfig;
+use fair_gossip::sim::Duration;
+
+fn main() {
+    let period_ms: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000);
+    let period = Duration::from_millis(period_ms);
+
+    // 50 counters x 20 rounds = 1 000 increments at 5 tx/s (200 s of
+    // traffic); the paper's full cell uses 100 x 100.
+    println!("1000 increments of 50 shared counters, 5 tx/s, block period {period}...\n");
+
+    for (label, gossip) in [
+        ("original gossip", GossipConfig::original_fabric()),
+        ("enhanced gossip", GossipConfig::enhanced_f4()),
+    ] {
+        let cfg = ConflictConfig::paper(gossip, period).scaled(50, 20);
+        let result = run_conflicts(&cfg);
+        println!(
+            "{label:<18} issued {:>5} | blocks {:>4} (avg {:>4.1} tx) | valid {:>5} | conflicts {:>4} ({:.1}%)",
+            result.issued,
+            result.blocks,
+            result.tx_per_block(),
+            result.valid,
+            result.conflicts,
+            100.0 * result.conflicts as f64 / result.issued as f64,
+        );
+        // The invariant that makes the count trustworthy: every valid
+        // increment added exactly one to some counter.
+        assert_eq!(result.counter_sum, result.valid);
+    }
+
+    println!(
+        "\nEvery conflict is an increment endorsed against a counter version that a \
+         concurrent increment had already consumed; faster dissemination shrinks \
+         that window. Invalid transactions stay in the chain but have no effect."
+    );
+}

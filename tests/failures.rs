@@ -1,0 +1,139 @@
+//! Failure injection: packet loss, crashed followers, crashed leaders with
+//! dynamic election, and network partitions. The gossip layer must keep
+//! every surviving peer converging.
+
+use fair_gossip::experiments::dissemination::{run_dissemination, DisseminationConfig};
+use fair_gossip::experiments::net::{FabricNet, NetParams};
+use fair_gossip::gossip::config::GossipConfig;
+use fair_gossip::orderer::cutter::BatchConfig;
+use fair_gossip::orderer::service::OrdererConfig;
+use fair_gossip::sim::{Duration, NetworkConfig, NodeId, Simulation, Time};
+use fair_gossip::workload::schedule::{payload_schedule, PayloadWorkload};
+
+/// Builds a running simulation with `peers` peers and `txs` transactions.
+fn simulation(
+    peers: usize,
+    txs: usize,
+    gossip: GossipConfig,
+    loss: f64,
+    seed: u64,
+) -> Simulation<FabricNet> {
+    let params = NetParams::new(
+        peers,
+        gossip,
+        OrdererConfig::kafka(BatchConfig::paper_dissemination()),
+    );
+    let workload = PayloadWorkload { total_txs: txs, ..PayloadWorkload::default() };
+    let schedule = payload_schedule(&workload);
+    let mut network = NetworkConfig::lan(FabricNet::node_count(&params));
+    network.loss = loss;
+    let net = FabricNet::new(params, schedule);
+    let mut sim = Simulation::new(net, network, seed);
+    sim.with_ctx(|net, ctx| net.start(ctx));
+    sim
+}
+
+#[test]
+fn enhanced_gossip_survives_two_percent_packet_loss() {
+    let mut cfg = DisseminationConfig::fig07_09_enhanced_f4().scaled(800);
+    cfg.peers = 50;
+    cfg.network = NetworkConfig::lan(52);
+    cfg.network.loss = 0.02;
+    let res = run_dissemination(&cfg);
+    assert_eq!(
+        res.completeness, 1.0,
+        "fetch retries + recovery must repair losses"
+    );
+}
+
+#[test]
+fn original_gossip_survives_packet_loss_via_pull() {
+    let mut cfg = DisseminationConfig::fig04_06_original().scaled(800);
+    cfg.peers = 50;
+    cfg.network = NetworkConfig::lan(52);
+    cfg.network.loss = 0.02;
+    let res = run_dissemination(&cfg);
+    assert_eq!(res.completeness, 1.0);
+}
+
+#[test]
+fn crashed_follower_catches_up_through_recovery() {
+    let mut sim = simulation(30, 2_000, GossipConfig::enhanced_f4(), 0.0, 5);
+    sim.run_until(Time::from_secs(10));
+    sim.with_ctx(|_, ctx| {
+        ctx.set_node_status_after(Duration::ZERO, NodeId(9), false);
+        // Reboot after 25 s — long enough to miss many blocks.
+        ctx.set_node_status_after(Duration::from_secs(25), NodeId(9), true);
+    });
+    // Run past the workload plus several recovery rounds.
+    sim.run_until(Time::from_secs(140));
+    let net = sim.protocol();
+    let healthy = net.gossip(5).height();
+    let rebooted = net.gossip(9).height();
+    assert!(healthy > 30, "the network must have made progress");
+    assert!(
+        healthy.saturating_sub(rebooted) <= 1,
+        "recovery must close the gap: healthy {healthy}, rebooted {rebooted}"
+    );
+}
+
+#[test]
+fn leader_crash_with_dynamic_election_keeps_blocks_flowing() {
+    let mut gossip = GossipConfig::enhanced_f4();
+    gossip.election.dynamic = true;
+    gossip.election.heartbeat_interval = Duration::from_secs(1);
+    gossip.election.leader_timeout = Duration::from_secs(3);
+    gossip.membership.alive_interval = Duration::from_secs(1);
+    gossip.membership.alive_timeout = Duration::from_secs(4);
+
+    let mut sim = simulation(30, 2_000, gossip, 0.0, 13);
+    sim.run_until(Time::from_secs(15));
+    let first_leader = sim.protocol().current_leader().expect("a leader stood up");
+    let height_before = sim.protocol().gossip(20).height();
+
+    sim.with_ctx(|_, ctx| {
+        ctx.set_node_status_after(Duration::ZERO, NodeId(first_leader.0), false);
+    });
+    sim.run_until(Time::from_secs(60));
+
+    let net = sim.protocol();
+    let second_leader = net.current_leader().expect("a replacement leader stood up");
+    assert_ne!(second_leader, first_leader, "a new peer must take over");
+    let height_after = net.gossip(20).height();
+    assert!(
+        height_after > height_before + 10,
+        "blocks must keep flowing after failover ({height_before} -> {height_after})"
+    );
+}
+
+#[test]
+fn partition_heals_and_recovery_reconciles() {
+    let mut sim = simulation(20, 1_500, GossipConfig::enhanced_f4(), 0.0, 21);
+    sim.run_until(Time::from_secs(8));
+
+    // Cut peers 15..20 off from everyone (orderer node 20 and client 21
+    // stay connected to the majority side).
+    sim.with_ctx(|_, ctx| {
+        let minority: Vec<NodeId> = (15..20).map(NodeId).collect();
+        let majority: Vec<NodeId> = (0..15).chain(20..22).map(NodeId).collect();
+        ctx.net_mut().partition(&[majority, minority]);
+    });
+    sim.run_until(Time::from_secs(30));
+    let minority_height = sim.protocol().gossip(17).height();
+    let majority_height = sim.protocol().gossip(3).height();
+    assert!(
+        majority_height > minority_height,
+        "the cut-off peers must fall behind ({majority_height} vs {minority_height})"
+    );
+
+    sim.with_ctx(|_, ctx| ctx.net_mut().heal());
+    sim.run_until(Time::from_secs(120));
+    let net = sim.protocol();
+    let reference = net.gossip(3).height();
+    for i in 15..20 {
+        assert!(
+            reference.saturating_sub(net.gossip(i).height()) <= 1,
+            "peer {i} must reconcile after the partition heals"
+        );
+    }
+}

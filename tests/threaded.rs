@@ -1,0 +1,73 @@
+//! The real-threads runtime under both protocols: same state machine, OS
+//! threads and wall-clock timers instead of the simulator.
+
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+use fair_gossip::gossip::config::GossipConfig;
+use fair_gossip::gossip::runtime::ThreadedNet;
+use fair_gossip::sim::Duration;
+use fair_gossip::types::block::{Block, BlockRef};
+
+fn chain(len: u64, padding: u32) -> Vec<BlockRef> {
+    let mut prev = Block::genesis().hash();
+    (1..=len)
+        .map(|n| {
+            let b = Block::new(n, prev, vec![]).with_padding(padding);
+            prev = b.hash();
+            Arc::new(b)
+        })
+        .collect()
+}
+
+#[test]
+fn enhanced_gossip_on_threads_delivers_a_chain() {
+    let net = ThreadedNet::spawn(16, GossipConfig::enhanced_f4(), 31);
+    for block in chain(8, 10_000) {
+        net.inject_block(block);
+        std::thread::sleep(StdDuration::from_millis(10));
+    }
+    std::thread::sleep(StdDuration::from_millis(400));
+    let outcomes = net.shutdown();
+    assert_eq!(outcomes.len(), 16);
+    for o in &outcomes {
+        assert_eq!(o.delivered, (1..=8).collect::<Vec<_>>(), "peer {}", o.peer.id());
+    }
+    // Digest-based dissemination: the content travels ~once per peer.
+    let blocks_sent: u64 = outcomes.iter().map(|o| o.peer.stats().blocks_sent).sum();
+    assert!(
+        blocks_sent <= 8 * 16 * 3,
+        "content transmissions should stay near n per block, got {blocks_sent}"
+    );
+}
+
+#[test]
+fn original_gossip_on_threads_completes_through_pull() {
+    let mut cfg = GossipConfig::original_fabric();
+    // Compress the pull cycle so the test ends quickly.
+    let pull = cfg.pull.as_mut().unwrap();
+    pull.tpull = Duration::from_millis(150);
+    pull.digest_wait = Duration::from_millis(40);
+    let net = ThreadedNet::spawn(12, cfg, 77);
+    for block in chain(5, 1_000) {
+        net.inject_block(block);
+    }
+    std::thread::sleep(StdDuration::from_millis(1_200));
+    let outcomes = net.shutdown();
+    for o in &outcomes {
+        assert_eq!(o.delivered, (1..=5).collect::<Vec<_>>(), "peer {}", o.peer.id());
+    }
+}
+
+#[test]
+fn thread_outcomes_expose_protocol_stats() {
+    let net = ThreadedNet::spawn(8, GossipConfig::enhanced_f4(), 5);
+    net.inject_block(chain(1, 50_000).pop().unwrap());
+    std::thread::sleep(StdDuration::from_millis(300));
+    let outcomes = net.shutdown();
+    let received: usize = outcomes.iter().map(|o| o.peer.stats().first_seen.len()).sum();
+    assert_eq!(received, 8, "every peer records its first reception");
+    let leader = &outcomes[0];
+    assert!(leader.peer.is_leader());
+    assert!(leader.peer.stats().blocks_sent >= 1, "the leader seeds the block");
+}
