@@ -18,8 +18,8 @@ use fabric_gossip::config::{GossipConfig, PushMode};
 use gossip_analysis::ttl::ttl_for;
 
 fn smoke(gossip: GossipConfig) -> DisseminationConfig {
-    let mut cfg = DisseminationConfig::fig07_09_enhanced_f4()
-        .scaled(Scale::Smoke.dissemination_txs() * 2);
+    let mut cfg =
+        DisseminationConfig::fig07_09_enhanced_f4().scaled(Scale::Smoke.dissemination_txs() * 2);
     cfg.gossip = gossip;
     cfg
 }
@@ -39,7 +39,10 @@ fn row(label: &str, cfg: &DisseminationConfig) -> String {
 
 fn sweep_tpush() {
     println!("== Ablation: enhanced push buffering (t_push) ==");
-    for (label, tpush_ms) in [("t_push = 0 (paper)", 0u64), ("t_push = 10 ms (biased)", 10)] {
+    for (label, tpush_ms) in [
+        ("t_push = 0 (paper)", 0u64),
+        ("t_push = 10 ms (biased)", 10),
+    ] {
         let mut gossip = GossipConfig::enhanced_f4();
         if let PushMode::InfectUponContagion { tpush, .. } = &mut gossip.push {
             *tpush = Duration::from_millis(tpush_ms);
@@ -53,7 +56,10 @@ fn sweep_ttl_direct() {
     println!("== Ablation: TTL_direct (direct-push rounds before digests) ==");
     for ttl_direct in [0u32, 2, 4, 9] {
         let gossip = GossipConfig::enhanced(4, 9, ttl_direct);
-        println!("{}", row(&format!("TTL_direct = {ttl_direct}"), &smoke(gossip)));
+        println!(
+            "{}",
+            row(&format!("TTL_direct = {ttl_direct}"), &smoke(gossip))
+        );
     }
     println!();
 }
@@ -64,7 +70,10 @@ fn sweep_fout() {
         let ttl = ttl_for(100, fout, 1e-6);
         let ttl_direct = if fout >= 4 { 2 } else { 3 };
         let gossip = GossipConfig::enhanced(fout, ttl, ttl_direct.min(ttl));
-        println!("{}", row(&format!("fout = {fout} (TTL = {ttl})"), &smoke(gossip)));
+        println!(
+            "{}",
+            row(&format!("fout = {fout} (TTL = {ttl})"), &smoke(gossip))
+        );
     }
     println!();
 }

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gossip_analysis::coverage::{infect_and_die_stats, infect_upon_contagion_miss_rate};
-use gossip_analysis::epidemic::{carrying_capacity, expected_digests, imperfect_dissemination_probability};
+use gossip_analysis::epidemic::{
+    carrying_capacity, expected_digests, imperfect_dissemination_probability,
+};
 use gossip_analysis::lambert::lambert_w0;
 use gossip_analysis::ttl::{ttl_for, TtlTable};
 use std::hint::black_box;
@@ -51,7 +53,9 @@ fn bench_analysis(c: &mut Criterion) {
     c.bench_function("expected_digests_n1000", |b| {
         b.iter(|| expected_digests(black_box(1000.0), 4.0, 12))
     });
-    c.bench_function("ttl_for_n1000", |b| b.iter(|| ttl_for(black_box(1000), 4, 1e-6)));
+    c.bench_function("ttl_for_n1000", |b| {
+        b.iter(|| ttl_for(black_box(1000), 4, 1e-6))
+    });
     c.bench_function("infect_and_die_mc_100_trials", |b| {
         b.iter(|| infect_and_die_stats(100, 3, 100, black_box(1)))
     });

@@ -20,18 +20,39 @@ fn print_scale() -> Scale {
 fn regenerate_all() {
     let scale = print_scale();
     let figures: [(&str, DisseminationConfig); 5] = [
-        ("Figs 4/5/6 original", DisseminationConfig::fig04_06_original()),
-        ("Figs 7/8/9 enhanced f4 TTL9", DisseminationConfig::fig07_09_enhanced_f4()),
-        ("Fig 10 heavy leader", DisseminationConfig::fig10_heavy_leader()),
+        (
+            "Figs 4/5/6 original",
+            DisseminationConfig::fig04_06_original(),
+        ),
+        (
+            "Figs 7/8/9 enhanced f4 TTL9",
+            DisseminationConfig::fig07_09_enhanced_f4(),
+        ),
+        (
+            "Fig 10 heavy leader",
+            DisseminationConfig::fig10_heavy_leader(),
+        ),
         ("Fig 11 no digests", DisseminationConfig::fig11_no_digests()),
-        ("Figs 12/13/14 enhanced f2 TTL19", DisseminationConfig::fig12_14_enhanced_f2()),
+        (
+            "Figs 12/13/14 enhanced f2 TTL19",
+            DisseminationConfig::fig12_14_enhanced_f2(),
+        ),
     ];
     for (name, preset) in figures {
         let result = run_scaled(preset, scale);
         println!("{}", report::render_summary(name, &result));
-        println!("{}", report::render_peer_level(&format!("{name}: peer level"), &result));
-        println!("{}", report::render_block_level(&format!("{name}: block level"), &result));
-        println!("{}", report::render_bandwidth(&format!("{name}: bandwidth"), &result));
+        println!(
+            "{}",
+            report::render_peer_level(&format!("{name}: peer level"), &result)
+        );
+        println!(
+            "{}",
+            report::render_block_level(&format!("{name}: block level"), &result)
+        );
+        println!(
+            "{}",
+            report::render_bandwidth(&format!("{name}: bandwidth"), &result)
+        );
     }
 }
 
@@ -42,8 +63,14 @@ fn bench_figures(c: &mut Criterion) {
     group.sample_size(10);
     let cases: [(&str, DisseminationConfig); 3] = [
         ("fig04_original", DisseminationConfig::fig04_06_original()),
-        ("fig07_enhanced_f4", DisseminationConfig::fig07_09_enhanced_f4()),
-        ("fig12_enhanced_f2", DisseminationConfig::fig12_14_enhanced_f2()),
+        (
+            "fig07_enhanced_f4",
+            DisseminationConfig::fig07_09_enhanced_f4(),
+        ),
+        (
+            "fig12_enhanced_f2",
+            DisseminationConfig::fig12_14_enhanced_f2(),
+        ),
     ];
     for (name, preset) in cases {
         let cfg = preset.scaled(Scale::Smoke.dissemination_txs());

@@ -1,0 +1,34 @@
+//! Zero-copy payload vs clone-per-hop baseline on the Fig. 4 dissemination
+//! shape (100 peers, fout = 3, ~160 KB blocks of 50 materialized-payload
+//! transactions). Identical seeds drive identical event schedules; the
+//! only difference is how each hop carries the block.
+
+use bench::zero_copy::{compare, run_flood, FloodConfig, OwnedBlock, SharedBlock};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_zero_copy(c: &mut Criterion) {
+    let cfg = FloodConfig::fig04(20);
+
+    let (owned, shared) = compare(cfg, 3);
+    let speedup = owned.as_secs_f64() / shared.as_secs_f64().max(1e-9);
+    println!(
+        "== zero-copy vs clone-per-hop (fig04 shape, {} blocks x {} peers) ==",
+        cfg.blocks, cfg.peers
+    );
+    println!("clone-per-hop baseline: {owned:?}");
+    println!("zero-copy BlockRef:     {shared:?}");
+    println!("speedup: {speedup:.2}x");
+
+    let mut group = c.benchmark_group("zero_copy");
+    group.sample_size(10);
+    group.bench_function("clone_per_hop_fig04", |b| {
+        b.iter(|| run_flood::<OwnedBlock>(cfg))
+    });
+    group.bench_function("shared_blockref_fig04", |b| {
+        b.iter(|| run_flood::<SharedBlock>(cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_zero_copy);
+criterion_main!(benches);

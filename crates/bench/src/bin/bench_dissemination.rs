@@ -1,0 +1,112 @@
+//! `bench_dissemination` — the perf-trajectory emitter.
+//!
+//! Times the fig04 and fig07 dissemination presets (wall-clock and
+//! events/second) and the clone-per-hop vs zero-copy payload comparison,
+//! then writes `BENCH_dissemination.json` so future changes have a
+//! baseline to compare against.
+//!
+//! ```text
+//! bench_dissemination [smoke|quick|full] [output.json]
+//! ```
+
+use std::time::Instant;
+
+use bench::zero_copy::{compare, FloodConfig};
+use bench::{run_scaled, Scale};
+use fabric_experiments::dissemination::DisseminationConfig;
+
+struct PresetRow {
+    name: &'static str,
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    blocks: u64,
+    completeness: f64,
+}
+
+fn time_preset(name: &'static str, preset: DisseminationConfig, scale: Scale) -> PresetRow {
+    let start = Instant::now();
+    let result = run_scaled(preset, scale);
+    let wall = start.elapsed().as_secs_f64();
+    PresetRow {
+        name,
+        wall_secs: wall,
+        events: result.events,
+        events_per_sec: result.events as f64 / wall.max(1e-9),
+        blocks: result.blocks,
+        completeness: result.completeness,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .first()
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Smoke);
+    let out_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_dissemination.json".to_owned());
+
+    eprintln!("# bench_dissemination — scale {scale:?}");
+
+    let presets = vec![
+        time_preset(
+            "fig04_06_original",
+            DisseminationConfig::fig04_06_original(),
+            scale,
+        ),
+        time_preset(
+            "fig07_09_enhanced_f4",
+            DisseminationConfig::fig07_09_enhanced_f4(),
+            scale,
+        ),
+    ];
+    for row in &presets {
+        eprintln!(
+            "{:<22} wall {:>8.3} s | {:>9} events | {:>12.0} events/s | {} blocks | completeness {:.4}",
+            row.name, row.wall_secs, row.events, row.events_per_sec, row.blocks, row.completeness
+        );
+    }
+
+    // Zero-copy vs clone-per-hop on the fig04 flood shape.
+    let flood = FloodConfig::fig04(20);
+    let (owned, shared) = compare(flood, 3);
+    let speedup = owned.as_secs_f64() / shared.as_secs_f64().max(1e-9);
+    eprintln!(
+        "zero-copy speedup over clone-per-hop baseline: {speedup:.2}x (baseline {owned:?}, zero-copy {shared:?})"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    json.push_str("  \"presets\": [\n");
+    for (i, row) in presets.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}, \"blocks\": {}, \"completeness\": {:.6}}}{}\n",
+            row.name,
+            row.wall_secs,
+            row.events,
+            row.events_per_sec,
+            row.blocks,
+            row.completeness,
+            if i + 1 < presets.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"zero_copy\": {{\"baseline_secs\": {:.6}, \"shared_secs\": {:.6}, \"speedup\": {:.3}, \"peers\": {}, \"blocks\": {}}}\n",
+        owned.as_secs_f64(),
+        shared.as_secs_f64(),
+        speedup,
+        flood.peers,
+        flood.blocks
+    ));
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -48,7 +48,9 @@ fn main() {
 /// §II-C analysis implies.
 fn proposal_conflicts(scale: Scale) {
     let (keys, rounds, reps) = scale.table2_shape();
-    println!("== Proposal-time conflicts (3 endorsers, {keys} keys x {rounds} rounds, {reps} run(s)) ==");
+    println!(
+        "== Proposal-time conflicts (3 endorsers, {keys} keys x {rounds} rounds, {reps} run(s)) =="
+    );
     for (label, gossip) in [
         ("original", GossipConfig::original_fabric()),
         ("enhanced", GossipConfig::enhanced_f4()),
@@ -56,8 +58,8 @@ fn proposal_conflicts(scale: Scale) {
         let mut proposal = 0u64;
         let mut validation = 0u64;
         for r in 0..reps {
-            let mut cfg = ConflictConfig::paper(gossip.clone(), Duration::from_secs(1))
-                .scaled(keys, rounds);
+            let mut cfg =
+                ConflictConfig::paper(gossip.clone(), Duration::from_secs(1)).scaled(keys, rounds);
             cfg.endorsers = 3;
             cfg.seed = 1 + 1000 * r as u64;
             let res = fabric_experiments::conflicts::run_conflicts(&cfg);
@@ -75,18 +77,50 @@ fn proposal_conflicts(scale: Scale) {
 
 fn figures(scale: Scale) {
     let runs: [(&str, &str, DisseminationConfig); 5] = [
-        ("Figs 4/5/6", "original Fabric gossip", DisseminationConfig::fig04_06_original()),
-        ("Figs 7/8/9", "enhanced fout=4 TTL=9", DisseminationConfig::fig07_09_enhanced_f4()),
-        ("Fig 10", "enhanced, f_leader_out = fout = 4", DisseminationConfig::fig10_heavy_leader()),
-        ("Fig 11", "enhanced without digests", DisseminationConfig::fig11_no_digests()),
-        ("Figs 12/13/14", "enhanced fout=2 TTL=19", DisseminationConfig::fig12_14_enhanced_f2()),
+        (
+            "Figs 4/5/6",
+            "original Fabric gossip",
+            DisseminationConfig::fig04_06_original(),
+        ),
+        (
+            "Figs 7/8/9",
+            "enhanced fout=4 TTL=9",
+            DisseminationConfig::fig07_09_enhanced_f4(),
+        ),
+        (
+            "Fig 10",
+            "enhanced, f_leader_out = fout = 4",
+            DisseminationConfig::fig10_heavy_leader(),
+        ),
+        (
+            "Fig 11",
+            "enhanced without digests",
+            DisseminationConfig::fig11_no_digests(),
+        ),
+        (
+            "Figs 12/13/14",
+            "enhanced fout=2 TTL=19",
+            DisseminationConfig::fig12_14_enhanced_f2(),
+        ),
     ];
     for (figs, label, preset) in runs {
         let result = run_scaled(preset, scale);
-        println!("{}", report::render_summary(&format!("{figs} ({label})"), &result));
-        println!("{}", report::render_peer_level(&format!("{figs}: peer-level latency"), &result));
-        println!("{}", report::render_block_level(&format!("{figs}: block-level latency"), &result));
-        println!("{}", report::render_bandwidth(&format!("{figs}: bandwidth"), &result));
+        println!(
+            "{}",
+            report::render_summary(&format!("{figs} ({label})"), &result)
+        );
+        println!(
+            "{}",
+            report::render_peer_level(&format!("{figs}: peer-level latency"), &result)
+        );
+        println!(
+            "{}",
+            report::render_block_level(&format!("{figs}: block-level latency"), &result)
+        );
+        println!(
+            "{}",
+            report::render_bandwidth(&format!("{figs}: bandwidth"), &result)
+        );
     }
 }
 
@@ -124,8 +158,11 @@ fn analysis() {
     println!("== Appendix: TTL lookup table (p_e = 1e-6) ==");
     for fout in [2usize, 3, 4, 6] {
         let table = TtlTable::build(fout, 1e-6, TtlTable::default_grid());
-        let row: Vec<String> =
-            table.entries().iter().map(|(n, t)| format!("{n}->{t}")).collect();
+        let row: Vec<String> = table
+            .entries()
+            .iter()
+            .map(|(n, t)| format!("{n}->{t}"))
+            .collect();
         println!("fout={fout}: {}", row.join("  "));
     }
     println!();

@@ -5,7 +5,11 @@
 //! series, while `repro` produces the full-scale outputs recorded in
 //! `EXPERIMENTS.md`.
 
-use fabric_experiments::dissemination::{run_dissemination, DisseminationConfig, DisseminationResult};
+use fabric_experiments::dissemination::{
+    run_dissemination, DisseminationConfig, DisseminationResult,
+};
+
+pub mod zero_copy;
 
 /// Scale of a reproduction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -7,7 +7,7 @@
 //! seed always replays the exact same execution.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use rand::rngs::StdRng;
@@ -41,13 +41,29 @@ pub trait Protocol: Sized {
     type Timer: fmt::Debug;
 
     /// Called when `msg` sent by `from` is delivered at `to`.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, to: NodeId, from: NodeId, msg: Self::Msg);
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        to: NodeId,
+        from: NodeId,
+        msg: Self::Msg,
+    );
 
     /// Called when a timer armed for `node` expires.
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, node: NodeId, timer: Self::Timer);
+    fn on_timer(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        node: NodeId,
+        timer: Self::Timer,
+    );
 
     /// Called when a node transitions up or down (default: ignored).
-    fn on_node_status(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, node: NodeId, up: bool) {
+    fn on_node_status(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        node: NodeId,
+        up: bool,
+    ) {
         let _ = (ctx, node, up);
     }
 }
@@ -58,11 +74,26 @@ pub struct TimerId(u64);
 
 enum EventKind<M, T> {
     /// Message reached `to`'s NIC; ingress processing not yet applied.
-    Arrive { from: NodeId, to: NodeId, msg: M },
+    Arrive {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
     /// Message fully processed and ready for the protocol handler.
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, id: TimerId, timer: T },
-    NodeStatus { node: NodeId, up: bool },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        timer: T,
+    },
+    NodeStatus {
+        node: NodeId,
+        up: bool,
+    },
 }
 
 struct HeapEntry<M, T> {
@@ -85,9 +116,62 @@ impl<M, T> PartialOrd for HeapEntry<M, T> {
 impl<M, T> Ord for HeapEntry<M, T> {
     // Inverted so that `BinaryHeap` (a max-heap) pops the earliest event.
     fn cmp(&self, other: &Self) -> Ordering {
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
+
+/// Cancelled-timer tracking as a growable bitset.
+///
+/// Timer ids are dense (allocated from zero), so one bit per armed timer
+/// replaces the seed's per-event `HashSet<u64>` lookup on the hot path:
+/// `remove` is a shift-and-mask, and the common no-cancellation case is a
+/// single integer compare (`live == 0`).
+#[derive(Debug, Default)]
+struct CancelSet {
+    words: Vec<u64>,
+    /// Number of bits currently set; lets the hot path skip entirely when
+    /// nothing is cancelled.
+    live: usize,
+}
+
+impl CancelSet {
+    fn insert(&mut self, id: u64) {
+        let word = (id / 64) as usize;
+        if self.words.len() <= word {
+            self.words.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (id % 64);
+        if self.words[word] & bit == 0 {
+            self.words[word] |= bit;
+            self.live += 1;
+        }
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        if self.live == 0 {
+            return false;
+        }
+        let word = (id / 64) as usize;
+        let Some(slot) = self.words.get_mut(word) else {
+            return false;
+        };
+        let bit = 1u64 << (id % 64);
+        if *slot & bit != 0 {
+            *slot &= !bit;
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Initial event-queue capacity: enough for the steady-state backlog of a
+/// 100-peer dissemination run, avoiding the doubling churn of a cold heap.
+const INITIAL_QUEUE_CAPACITY: usize = 4096;
 
 struct EngineCore<M, T> {
     time: Time,
@@ -97,8 +181,10 @@ struct EngineCore<M, T> {
     rng: StdRng,
     metrics: NetMetrics,
     next_timer: u64,
-    cancelled: HashSet<u64>,
+    cancelled: CancelSet,
     events_processed: u64,
+    /// Loss probability hoisted out of the config for the per-send check.
+    loss: f64,
 }
 
 impl<M: Message, T> EngineCore<M, T> {
@@ -117,7 +203,7 @@ impl<M: Message, T> EngineCore<M, T> {
         let kind = msg.kind();
         let depart = self.net.egress_departure(from, self.time, size);
         self.metrics.record_sent(from, depart, size, kind);
-        let loss = self.net.config().loss;
+        let loss = self.loss;
         if loss > 0.0 && rand::RngExt::random::<f64>(&mut self.rng) < loss {
             self.metrics.record_loss();
             return;
@@ -206,7 +292,9 @@ impl<M: Message, T> Ctx<'_, M, T> {
 
 impl<M: Message, T> fmt::Debug for Ctx<'_, M, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Ctx").field("now", &self.core.time).finish_non_exhaustive()
+        f.debug_struct("Ctx")
+            .field("now", &self.core.time)
+            .finish_non_exhaustive()
     }
 }
 
@@ -263,26 +351,33 @@ impl<P: Protocol> Simulation<P> {
     /// Panics if `config` fails validation.
     pub fn new(protocol: P, config: NetworkConfig, seed: u64) -> Self {
         let metrics = NetMetrics::new(config.nodes, config.metrics_bucket);
+        let loss = config.loss;
         Simulation {
             protocol,
             core: EngineCore {
                 time: Time::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: BinaryHeap::with_capacity(INITIAL_QUEUE_CAPACITY),
                 net: NetState::new(config),
                 rng: StdRng::seed_from_u64(seed),
                 metrics,
                 next_timer: 0,
-                cancelled: HashSet::new(),
+                cancelled: CancelSet::default(),
                 events_processed: 0,
+                loss,
             },
         }
     }
 
     /// Runs `f` with the protocol and a context at the current time; used to
     /// inject initial events or inspect state mid-run.
-    pub fn with_ctx<R>(&mut self, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg, P::Timer>) -> R) -> R {
-        let mut ctx = Ctx { core: &mut self.core };
+    pub fn with_ctx<R>(
+        &mut self,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg, P::Timer>) -> R,
+    ) -> R {
+        let mut ctx = Ctx {
+            core: &mut self.core,
+        };
         f(&mut self.protocol, &mut ctx)
     }
 
@@ -309,10 +404,13 @@ impl<P: Protocol> Simulation<P> {
                     if deliver_at == at {
                         self.core.metrics.record_received(to, at, msg.wire_size());
                         self.core.events_processed += 1;
-                        let mut ctx = Ctx { core: &mut self.core };
+                        let mut ctx = Ctx {
+                            core: &mut self.core,
+                        };
                         self.protocol.on_message(&mut ctx, to, from, msg);
                     } else {
-                        self.core.push(deliver_at, EventKind::Deliver { from, to, msg });
+                        self.core
+                            .push(deliver_at, EventKind::Deliver { from, to, msg });
                         continue;
                     }
                 }
@@ -321,26 +419,34 @@ impl<P: Protocol> Simulation<P> {
                         self.core.metrics.record_drop_down();
                         continue;
                     }
-                    self.core.metrics.record_received(to, entry.at, msg.wire_size());
+                    self.core
+                        .metrics
+                        .record_received(to, entry.at, msg.wire_size());
                     self.core.events_processed += 1;
-                    let mut ctx = Ctx { core: &mut self.core };
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                    };
                     self.protocol.on_message(&mut ctx, to, from, msg);
                 }
                 EventKind::Timer { node, id, timer } => {
-                    if self.core.cancelled.remove(&id.0) {
+                    if self.core.cancelled.remove(id.0) {
                         continue;
                     }
                     if !self.core.net.is_up(node) {
                         continue;
                     }
                     self.core.events_processed += 1;
-                    let mut ctx = Ctx { core: &mut self.core };
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                    };
                     self.protocol.on_timer(&mut ctx, node, timer);
                 }
                 EventKind::NodeStatus { node, up } => {
                     self.core.net.set_up(node, up);
                     self.core.events_processed += 1;
-                    let mut ctx = Ctx { core: &mut self.core };
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                    };
                     self.protocol.on_node_status(&mut ctx, node, up);
                 }
             }
@@ -400,6 +506,50 @@ impl<P: Protocol> Simulation<P> {
     pub fn into_protocol(self) -> P {
         self.protocol
     }
+
+    /// Drives a batch of independent simulations across cores and returns
+    /// each `drive` result in input order.
+    ///
+    /// Every simulation owns its clock, queue and RNG, so the parallel fan
+    /// out is exactly equivalent to driving them one after another — the
+    /// entry point the experiment layer's figure/table sweeps build on.
+    ///
+    /// ```
+    /// use desim::{NetworkConfig, NodeId, Simulation};
+    /// # use desim::{Ctx, Message, Protocol};
+    /// # #[derive(Clone, Debug)]
+    /// # struct Ping;
+    /// # impl Message for Ping { fn wire_size(&self) -> usize { 8 } }
+    /// # struct Count(u64);
+    /// # impl Protocol for Count {
+    /// #     type Msg = Ping;
+    /// #     type Timer = ();
+    /// #     fn on_message(&mut self, _: &mut Ctx<'_, Ping, ()>, _: NodeId, _: NodeId, _: Ping) { self.0 += 1; }
+    /// #     fn on_timer(&mut self, _: &mut Ctx<'_, Ping, ()>, _: NodeId, _: ()) {}
+    /// # }
+    /// let sims: Vec<_> = (0..4u64)
+    ///     .map(|seed| {
+    ///         let mut sim = Simulation::new(Count(0), NetworkConfig::ideal(2), seed);
+    ///         sim.with_ctx(|_, ctx| ctx.send(NodeId(0), NodeId(1), Ping));
+    ///         sim
+    ///     })
+    ///     .collect();
+    /// let counts = Simulation::run_batch(sims, |mut sim| {
+    ///     sim.run_until_idle();
+    ///     sim.into_protocol().0
+    /// });
+    /// assert_eq!(counts, vec![1, 1, 1, 1]);
+    /// ```
+    pub fn run_batch<F, R>(sims: Vec<Simulation<P>>, drive: F) -> Vec<R>
+    where
+        P: Send,
+        P::Msg: Send,
+        P::Timer: Send,
+        R: Send,
+        F: Fn(Simulation<P>) -> R + Sync,
+    {
+        crate::batch::run_batch(sims, drive)
+    }
 }
 
 #[cfg(test)]
@@ -425,14 +575,35 @@ mod tests {
     impl Protocol for Recorder {
         type Msg = Note;
         type Timer = &'static str;
-        fn on_message(&mut self, ctx: &mut Ctx<'_, Note, &'static str>, to: NodeId, from: NodeId, msg: Note) {
-            self.log.push((ctx.now().as_nanos(), format!("msg {} {}->{}", msg.0, from, to)));
+        fn on_message(
+            &mut self,
+            ctx: &mut Ctx<'_, Note, &'static str>,
+            to: NodeId,
+            from: NodeId,
+            msg: Note,
+        ) {
+            self.log.push((
+                ctx.now().as_nanos(),
+                format!("msg {} {}->{}", msg.0, from, to),
+            ));
         }
-        fn on_timer(&mut self, ctx: &mut Ctx<'_, Note, &'static str>, node: NodeId, timer: &'static str) {
-            self.log.push((ctx.now().as_nanos(), format!("timer {timer} @{node}")));
+        fn on_timer(
+            &mut self,
+            ctx: &mut Ctx<'_, Note, &'static str>,
+            node: NodeId,
+            timer: &'static str,
+        ) {
+            self.log
+                .push((ctx.now().as_nanos(), format!("timer {timer} @{node}")));
         }
-        fn on_node_status(&mut self, ctx: &mut Ctx<'_, Note, &'static str>, node: NodeId, up: bool) {
-            self.log.push((ctx.now().as_nanos(), format!("status {node} up={up}")));
+        fn on_node_status(
+            &mut self,
+            ctx: &mut Ctx<'_, Note, &'static str>,
+            node: NodeId,
+            up: bool,
+        ) {
+            self.log
+                .push((ctx.now().as_nanos(), format!("status {node} up={up}")));
         }
     }
 

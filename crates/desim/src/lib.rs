@@ -48,11 +48,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod engine;
 mod metrics;
 mod net;
 mod time;
 
+pub use batch::{run_batch, run_batch_with_workers};
 pub use engine::{Ctx, Message, Protocol, Simulation, TimerId};
 pub use metrics::{KindStats, NetMetrics};
 pub use net::{LatencyModel, NetState, NetworkConfig, NodeId};

@@ -135,7 +135,9 @@ impl NetMetrics {
 
     /// Total bytes sent across all nodes.
     pub fn network_total_sent(&self) -> u64 {
-        (0..self.sent.len()).map(|i| self.total_sent(NodeId(i as u32))).sum()
+        (0..self.sent.len())
+            .map(|i| self.total_sent(NodeId(i as u32)))
+            .sum()
     }
 
     /// Per-kind statistics, ordered by kind name.
@@ -188,7 +190,13 @@ mod tests {
         m.record_sent(n, Time::ZERO, 10, "block");
         m.record_sent(n, Time::ZERO, 30, "block");
         m.record_sent(n, Time::ZERO, 5, "digest");
-        assert_eq!(m.kind("block"), Some(KindStats { count: 2, bytes: 40 }));
+        assert_eq!(
+            m.kind("block"),
+            Some(KindStats {
+                count: 2,
+                bytes: 40
+            })
+        );
         assert_eq!(m.kind("digest"), Some(KindStats { count: 1, bytes: 5 }));
         assert_eq!(m.kind("pull"), None);
         let kinds: Vec<_> = m.kinds().map(|(k, _)| k).collect();

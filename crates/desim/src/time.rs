@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 /// let t = Time::ZERO + Duration::from_millis(250);
 /// assert_eq!(t.as_secs_f64(), 0.25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Time(u64);
 
 /// A span of virtual time, in nanoseconds.
@@ -28,7 +30,9 @@ pub struct Time(u64);
 /// use desim::Duration;
 /// assert_eq!(Duration::from_secs(2) / 4, Duration::from_millis(500));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(u64);
 
 impl Time {
@@ -113,7 +117,10 @@ impl Duration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration seconds must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration seconds must be finite and non-negative"
+        );
         Duration((s * 1e9).round() as u64)
     }
 
@@ -153,7 +160,10 @@ impl Duration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> Duration {
-        assert!(factor.is_finite() && factor >= 0.0, "duration factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "duration factor must be finite and non-negative"
+        );
         Duration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -302,9 +312,21 @@ mod tests {
 
     #[test]
     fn min_max_helpers() {
-        assert_eq!(Time::from_secs(1).max(Time::from_secs(2)), Time::from_secs(2));
-        assert_eq!(Time::from_secs(1).min(Time::from_secs(2)), Time::from_secs(1));
-        assert_eq!(Duration::from_secs(1).max(Duration::from_secs(2)), Duration::from_secs(2));
-        assert_eq!(Duration::from_secs(1).min(Duration::from_secs(2)), Duration::from_secs(1));
+        assert_eq!(
+            Time::from_secs(1).max(Time::from_secs(2)),
+            Time::from_secs(2)
+        );
+        assert_eq!(
+            Time::from_secs(1).min(Time::from_secs(2)),
+            Time::from_secs(1)
+        );
+        assert_eq!(
+            Duration::from_secs(1).max(Duration::from_secs(2)),
+            Duration::from_secs(2)
+        );
+        assert_eq!(
+            Duration::from_secs(1).min(Duration::from_secs(2)),
+            Duration::from_secs(1)
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! Property tests for the simulation engine: causality, per-link FIFO,
 //! byte accounting and replay determinism under arbitrary traffic.
 
-use desim::{Ctx, Duration, LatencyModel, Message, NetworkConfig, NodeId, Protocol, Simulation, Time};
+use desim::{
+    Ctx, Duration, LatencyModel, Message, NetworkConfig, NodeId, Protocol, Simulation, Time,
+};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
@@ -26,7 +28,8 @@ impl Protocol for Sink {
     type Msg = Packet;
     type Timer = ();
     fn on_message(&mut self, ctx: &mut Ctx<'_, Packet, ()>, to: NodeId, from: NodeId, msg: Packet) {
-        self.deliveries.push((ctx.now().as_nanos(), to.0, from.0, msg.seq));
+        self.deliveries
+            .push((ctx.now().as_nanos(), to.0, from.0, msg.seq));
     }
     fn on_timer(&mut self, _: &mut Ctx<'_, Packet, ()>, _: NodeId, _: ()) {}
 }
@@ -40,7 +43,14 @@ fn run(plan: &[(u32, u32, u16)], cfg: NetworkConfig, seed: u64) -> Vec<(u64, u32
     let mut sim = Simulation::new(Sink::default(), cfg, seed);
     sim.with_ctx(|_, ctx| {
         for (i, (from, to, size)) in plan.iter().enumerate() {
-            ctx.send(NodeId(*from), NodeId(*to), Packet { seq: i as u64, size: *size });
+            ctx.send(
+                NodeId(*from),
+                NodeId(*to),
+                Packet {
+                    seq: i as u64,
+                    size: *size,
+                },
+            );
         }
     });
     sim.run_until_idle();

@@ -77,7 +77,11 @@ impl ConflictConfig {
 
     /// A scaled-down copy (fewer keys/rounds) for tests and examples.
     pub fn scaled(mut self, keys: usize, rounds: usize) -> Self {
-        self.workload = IncrementWorkload { keys, rounds, ..self.workload };
+        self.workload = IncrementWorkload {
+            keys,
+            rounds,
+            ..self.workload
+        };
         self
     }
 }
@@ -122,11 +126,13 @@ pub fn run_conflicts(cfg: &ConflictConfig) -> ConflictResult {
     let last_issue = schedule.last().map(|s| s.at).unwrap_or(desim::Time::ZERO);
 
     let batch = BatchConfig::paper_conflicts(cfg.period);
-    let orderer = OrdererConfig { batch, consensus_delay: cfg.pipeline };
+    let orderer = OrdererConfig {
+        batch,
+        consensus_delay: cfg.pipeline,
+    };
     let mut params = NetParams::new(cfg.peers, cfg.gossip.clone(), orderer);
     params.validation_per_tx = cfg.validation_per_tx;
-    params.endorsers =
-        (1..=cfg.endorsers as u32).map(PeerId).collect();
+    params.endorsers = (1..=cfg.endorsers as u32).map(PeerId).collect();
     if cfg.endorsers > 1 {
         // Proposal-time experiments demand every endorser's signature, as
         // a real multi-endorser policy would.
@@ -149,7 +155,9 @@ pub fn run_conflicts(cfg: &ConflictConfig) -> ConflictResult {
 
     let net = sim.into_protocol();
     let endorser = net.params().endorsers[0].index();
-    let ledger = net.ledger(endorser).expect("the endorser maintains a ledger");
+    let ledger = net
+        .ledger(endorser)
+        .expect("the endorser maintains a ledger");
     let stats = ledger.stats();
     let counter_sum = ledger.state().counter_sum().unwrap_or(0);
     let result = ConflictResult {
@@ -165,7 +173,10 @@ pub fn run_conflicts(cfg: &ConflictConfig) -> ConflictResult {
         result.valid + result.conflicts + result.proposal_conflicts + stats.endorsement_failures,
         "transaction accounting must balance"
     );
-    assert_eq!(result.counter_sum, result.valid, "every valid increment adds one");
+    assert_eq!(
+        result.counter_sum, result.valid,
+        "every valid increment adds one"
+    );
     assert_eq!(net.commit_errors(), 0, "no chain violations expected");
     result
 }
@@ -203,42 +214,16 @@ impl Table2Row {
 /// averaged. `template` carries everything but period/gossip/seed (use
 /// [`ConflictConfig::paper`] semantics via `ConflictConfig::scaled` for
 /// quicker sweeps).
-pub fn run_table2(
-    template: &ConflictConfig,
-    periods: &[Duration],
-    runs: usize,
-) -> Vec<Table2Row> {
+///
+/// The `periods × runs × {original, enhanced}` grid is a set of fully
+/// independent simulations, so the cells fan out across cores through
+/// [`crate::parallel::run_conflicts_batch`]; seeds per cell are identical
+/// to the serial formulation, so the rows are too.
+pub fn run_table2(template: &ConflictConfig, periods: &[Duration], runs: usize) -> Vec<Table2Row> {
     assert!(runs > 0, "at least one run per cell");
-    periods
-        .iter()
-        .map(|&period| {
-            let mut orig_sum = 0.0;
-            let mut enh_sum = 0.0;
-            let mut txpb_sum = 0.0;
-            for r in 0..runs {
-                let mut o = template.clone();
-                o.period = period;
-                o.gossip = GossipConfig::original_fabric();
-                o.seed = template.seed + 1000 * r as u64;
-                let or = run_conflicts(&o);
-                orig_sum += or.conflicts as f64;
-                txpb_sum += or.tx_per_block();
-
-                let mut e = template.clone();
-                e.period = period;
-                e.gossip = GossipConfig::enhanced_f4();
-                e.seed = template.seed + 1000 * r as u64;
-                let er = run_conflicts(&e);
-                enh_sum += er.conflicts as f64;
-            }
-            Table2Row {
-                period,
-                tx_per_block: txpb_sum / runs as f64,
-                original: orig_sum / runs as f64,
-                enhanced: enh_sum / runs as f64,
-            }
-        })
-        .collect()
+    let cells = crate::parallel::table2_cells(template, periods, runs);
+    let results = crate::parallel::run_conflicts_batch(cells);
+    crate::parallel::table2_rows(periods, runs, &results)
 }
 
 #[cfg(test)]
@@ -246,8 +231,8 @@ mod tests {
     use super::*;
 
     fn quick(gossip: GossipConfig, period_ms: u64, seed: u64) -> ConflictResult {
-        let mut cfg = ConflictConfig::paper(gossip, Duration::from_millis(period_ms))
-            .scaled(20, 10); // 200 transactions, 40 s of traffic
+        let mut cfg =
+            ConflictConfig::paper(gossip, Duration::from_millis(period_ms)).scaled(20, 10); // 200 transactions, 40 s of traffic
         cfg.peers = 30;
         cfg.network = NetworkConfig::lan(32);
         cfg.seed = seed;
@@ -269,7 +254,11 @@ mod tests {
         // permutation gaps, some increments must collide even at this
         // scale (20 keys ⇒ mean gap 4 s ≈ the window).
         let res = quick(GossipConfig::original_fabric(), 1000, 5);
-        assert!(res.conflicts > 10, "expected collisions, got {}", res.conflicts);
+        assert!(
+            res.conflicts > 10,
+            "expected collisions, got {}",
+            res.conflicts
+        );
         assert!(res.conflicts < res.issued / 2, "but not a meltdown");
     }
 
@@ -292,7 +281,11 @@ mod tests {
                 .scaled(15, 8);
         template.peers = 25;
         template.network = NetworkConfig::lan(27);
-        let rows = run_table2(&template, &[Duration::from_secs(2), Duration::from_secs(1)], 1);
+        let rows = run_table2(
+            &template,
+            &[Duration::from_secs(2), Duration::from_secs(1)],
+            1,
+        );
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert!(row.original >= 0.0 && row.enhanced >= 0.0);
@@ -315,8 +308,9 @@ mod tests {
         // read versions; the client detects the mismatch. A multi-second
         // pipeline guarantees windows in which one endorser has committed
         // a block the other has not.
-        let mut cfg = ConflictConfig::paper(GossipConfig::original_fabric(), Duration::from_secs(1))
-            .scaled(20, 10);
+        let mut cfg =
+            ConflictConfig::paper(GossipConfig::original_fabric(), Duration::from_secs(1))
+                .scaled(20, 10);
         cfg.peers = 30;
         cfg.network = NetworkConfig::lan(32);
         cfg.endorsers = 3;

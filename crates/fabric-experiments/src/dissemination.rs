@@ -156,7 +156,10 @@ pub fn run_dissemination(cfg: &DisseminationConfig) -> DisseminationResult {
     network.nodes = FabricNet::node_count(&params);
 
     let mut net = FabricNet::new(params, schedule);
-    assert!(cfg.free_riders < cfg.peers, "at least one peer must forward");
+    assert!(
+        cfg.free_riders < cfg.peers,
+        "at least one peer must forward"
+    );
     for i in (cfg.peers - cfg.free_riders)..cfg.peers {
         net.set_forwarding(i, false);
     }
@@ -190,8 +193,7 @@ pub fn run_dissemination(cfg: &DisseminationConfig) -> DisseminationResult {
         bucket_secs,
     )
     .with_background(cfg.background_mbps);
-    let active_buckets =
-        (active_end.as_secs_f64() / bucket_secs).ceil() as usize;
+    let active_buckets = (active_end.as_secs_f64() / bucket_secs).ceil() as usize;
 
     let peer_traffic_mb = (0..cfg.peers)
         .map(|i| sim.metrics().total_sent(desim::NodeId(i as u32)))
@@ -199,8 +201,11 @@ pub fn run_dissemination(cfg: &DisseminationConfig) -> DisseminationResult {
         / 1e6;
     let leader_sent_mb = sim.metrics().total_sent(leader_node) as f64 / 1e6;
     let regular_sent_mb = sim.metrics().total_sent(regular_node) as f64 / 1e6;
-    let kinds: Vec<(String, KindStats)> =
-        sim.metrics().kinds().map(|(k, v)| (k.to_owned(), v)).collect();
+    let kinds: Vec<(String, KindStats)> = sim
+        .metrics()
+        .kinds()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect();
     let events = sim.events_processed();
 
     let net = sim.into_protocol();
@@ -210,7 +215,11 @@ pub fn run_dissemination(cfg: &DisseminationConfig) -> DisseminationResult {
         completeness: latency.completeness(),
         peer_extremes: latency.peer_extremes(),
         block_extremes: latency.block_extremes(),
-        bandwidth: BandwidthComparison { leader, regular, active_buckets },
+        bandwidth: BandwidthComparison {
+            leader,
+            regular,
+            active_buckets,
+        },
         peer_traffic_mb,
         leader_sent_mb,
         regular_sent_mb,
@@ -247,7 +256,10 @@ mod tests {
     #[test]
     fn original_run_completes_but_with_a_heavy_tail() {
         let res = quick(DisseminationConfig::fig04_06_original(), 500);
-        assert_eq!(res.completeness, 1.0, "pull must eventually deliver everything");
+        assert_eq!(
+            res.completeness, 1.0,
+            "pull must eventually deliver everything"
+        );
         let slowest = res.block_extremes.as_ref().unwrap().slowest.1.max();
         assert!(
             slowest > Duration::from_millis(900),

@@ -25,8 +25,10 @@
 pub mod conflicts;
 pub mod dissemination;
 pub mod net;
+pub mod parallel;
 pub mod report;
 
 pub use conflicts::{run_conflicts, run_table2, ConflictConfig, ConflictResult, Table2Row};
 pub use dissemination::{run_dissemination, DisseminationConfig, DisseminationResult};
 pub use net::{FabricNet, NetMsg, NetParams, NetTimer};
+pub use parallel::{run_conflicts_batch, run_dissemination_batch, run_seed_sweep};

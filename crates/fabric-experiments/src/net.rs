@@ -199,7 +199,10 @@ impl FabricNet {
             params.endorsers.iter().all(|e| e.index() < params.peers),
             "endorsers must be peers"
         );
-        assert!(params.orgs >= 1 && params.orgs <= params.peers, "need 1..=peers organizations");
+        assert!(
+            params.orgs >= 1 && params.orgs <= params.peers,
+            "need 1..=peers organizations"
+        );
         let mut msp = Msp::new();
         let channel: Vec<PeerId> = (0..params.peers as u32).map(PeerId).collect();
         let per_org = params.peers.div_ceil(params.orgs);
@@ -212,14 +215,12 @@ impl FabricNet {
             .map(|id| {
                 let org_lo = (id.index() / per_org) * per_org;
                 let org_hi = (org_lo + per_org).min(params.peers);
-                let org_roster: Vec<PeerId> =
-                    (org_lo as u32..org_hi as u32).map(PeerId).collect();
+                let org_roster: Vec<PeerId> = (org_lo as u32..org_hi as u32).map(PeerId).collect();
                 let needs_ledger = params.full_ledgers || params.endorsers.contains(id);
                 PeerNode {
                     gossip: GossipPeer::new(*id, org_roster, params.gossip.clone())
                         .with_channel(channel.clone()),
-                    ledger: needs_ledger
-                        .then(|| Ledger::new(msp.clone(), params.policy.clone())),
+                    ledger: needs_ledger.then(|| Ledger::new(msp.clone(), params.policy.clone())),
                     committed: 0,
                     commit_errors: 0,
                     pending_commits: VecDeque::new(),
@@ -227,8 +228,7 @@ impl FabricNet {
                 }
             })
             .collect();
-        let orderer =
-            OrderingService::new(params.orderer.clone(), Block::genesis().hash(), 1);
+        let orderer = OrderingService::new(params.orderer.clone(), Block::genesis().hash(), 1);
         let latency = LatencyRecorder::new(params.peers);
         FabricNet {
             params,
@@ -316,13 +316,20 @@ impl FabricNet {
     /// The id of the peer currently acting as leader, if any (first
     /// claimant in a multi-organization deployment).
     pub fn current_leader(&self) -> Option<PeerId> {
-        self.peers.iter().find(|p| p.gossip.is_leader()).map(|p| p.gossip.id())
+        self.peers
+            .iter()
+            .find(|p| p.gossip.is_leader())
+            .map(|p| p.gossip.id())
     }
 
     /// Every peer currently claiming leadership (normally one per
     /// organization).
     pub fn current_leaders(&self) -> Vec<PeerId> {
-        self.peers.iter().filter(|p| p.gossip.is_leader()).map(|p| p.gossip.id()).collect()
+        self.peers
+            .iter()
+            .filter(|p| p.gossip.is_leader())
+            .map(|p| p.gossip.id())
+            .collect()
     }
 
     /// The organization (by index) of a peer, per the contiguous split.
@@ -337,7 +344,12 @@ impl FabricNet {
         let validation = self.params.validation_per_tx;
         for i in 0..self.peers.len() {
             let node = NodeId(i as u32);
-            let PeerNode { gossip, pending_commits, validation_free, .. } = &mut self.peers[i];
+            let PeerNode {
+                gossip,
+                pending_commits,
+                validation_free,
+                ..
+            } = &mut self.peers[i];
             let mut fx = SimFx {
                 ctx,
                 me: node,
@@ -362,7 +374,12 @@ impl FabricNet {
         msg: GossipMsg,
     ) {
         let validation = self.params.validation_per_tx;
-        let PeerNode { gossip, pending_commits, validation_free, .. } = &mut self.peers[to.index()];
+        let PeerNode {
+            gossip,
+            pending_commits,
+            validation_free,
+            ..
+        } = &mut self.peers[to.index()];
         let mut fx = SimFx {
             ctx,
             me: to,
@@ -377,7 +394,10 @@ impl FabricNet {
     fn handle_propose(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, to: NodeId, index: usize) {
         let invocation = self.schedule[index].clone();
         let endorser = PeerId(to.0);
-        debug_assert!(self.params.endorsers.contains(&endorser), "proposals go to endorsers");
+        debug_assert!(
+            self.params.endorsers.contains(&endorser),
+            "proposals go to endorsers"
+        );
         let state = self.peers[endorser.index()]
             .ledger
             .as_ref()
@@ -387,7 +407,14 @@ impl FabricNet {
         match endorse_invocation(&invocation, tx_id, ClientId(0), endorser, state, &self.msp) {
             Ok(tx) => {
                 ctx.occupy(to, self.params.endorse_cost);
-                ctx.send(to, self.client_node(), NetMsg::Endorsed { index, tx: Box::new(tx) });
+                ctx.send(
+                    to,
+                    self.client_node(),
+                    NetMsg::Endorsed {
+                        index,
+                        tx: Box::new(tx),
+                    },
+                );
             }
             Err(_) => {
                 self.endorse_failures += 1;
@@ -398,14 +425,22 @@ impl FabricNet {
     /// Collects one endorsement; once all endorsers answered, compares the
     /// read sets (the client-side detection of §II-C) and either submits
     /// the merged proposal or discards it as a proposal-time conflict.
-    fn handle_endorsed(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, index: usize, tx: Transaction) {
+    fn handle_endorsed(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NetTimer>,
+        index: usize,
+        tx: Transaction,
+    ) {
         let wanted = self.params.endorsers.len();
         let entry = self.pending_endorsements.entry(index).or_default();
         entry.push(tx);
         if entry.len() < wanted {
             return;
         }
-        let collected = self.pending_endorsements.remove(&index).expect("just inserted");
+        let collected = self
+            .pending_endorsements
+            .remove(&index)
+            .expect("just inserted");
         let first = &collected[0];
         let consistent = collected.iter().all(|t| t.rwset == first.rwset);
         if !consistent {
@@ -420,16 +455,26 @@ impl FabricNet {
         // endorser's signature into one proposal.
         let mut merged = collected[0].clone();
         for other in &collected[1..] {
-            merged.endorsements.extend(other.endorsements.iter().copied());
+            merged
+                .endorsements
+                .extend(other.endorsements.iter().copied());
         }
-        ctx.send(self.client_node(), self.orderer_node(), NetMsg::Submit(Box::new(merged)));
+        ctx.send(
+            self.client_node(),
+            self.orderer_node(),
+            NetMsg::Submit(Box::new(merged)),
+        );
     }
 
     fn handle_submit(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, tx: Transaction) {
         let outcome = self.orderer.submit(tx);
         if let Some(epoch) = outcome.arm_timer {
             let timeout = self.orderer.batch_timeout();
-            ctx.set_timer(self.orderer_node(), timeout, NetTimer::BatchTimeout { epoch });
+            ctx.set_timer(
+                self.orderer_node(),
+                timeout,
+                NetTimer::BatchTimeout { epoch },
+            );
         }
         for block in outcome.blocks {
             self.schedule_consensus(ctx, block);
@@ -438,7 +483,11 @@ impl FabricNet {
 
     fn schedule_consensus(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, block: Block) {
         let delay = self.params.orderer.consensus_delay.sample(ctx.rng());
-        ctx.set_timer(self.orderer_node(), delay, NetTimer::DeliverCut(Arc::new(block)));
+        ctx.set_timer(
+            self.orderer_node(),
+            delay,
+            NetTimer::DeliverCut(BlockRef::new(block)),
+        );
     }
 
     fn deliver_cut(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, block: BlockRef) {
@@ -464,7 +513,11 @@ impl FabricNet {
             );
         }
         for leader in leaders {
-            ctx.send(self.orderer_node(), leader, NetMsg::DeliverBlock(block.clone()));
+            ctx.send(
+                self.orderer_node(),
+                leader,
+                NetMsg::DeliverBlock(block.clone()),
+            );
         }
     }
 
@@ -484,7 +537,11 @@ impl FabricNet {
         }
         if self.next_invocation < self.schedule.len() {
             let next_at = self.schedule[self.next_invocation].at;
-            ctx.set_timer(self.client_node(), next_at.since(now), NetTimer::ClientIssue);
+            ctx.set_timer(
+                self.client_node(),
+                next_at.since(now),
+                NetTimer::ClientIssue,
+            );
         }
     }
 }
@@ -507,8 +564,12 @@ impl desim::Protocol for FabricNet {
                 // receives the block from the ordering service.
                 self.latency.start_block(block.number(), ctx.now());
                 let validation = self.params.validation_per_tx;
-                let PeerNode { gossip, pending_commits, validation_free, .. } =
-                    &mut self.peers[to.index()];
+                let PeerNode {
+                    gossip,
+                    pending_commits,
+                    validation_free,
+                    ..
+                } = &mut self.peers[to.index()];
                 let mut fx = SimFx {
                     ctx,
                     me: to,
@@ -535,8 +596,12 @@ impl desim::Protocol for FabricNet {
         match timer {
             NetTimer::Peer(t) => {
                 let validation = self.params.validation_per_tx;
-                let PeerNode { gossip, pending_commits, validation_free, .. } =
-                    &mut self.peers[node.index()];
+                let PeerNode {
+                    gossip,
+                    pending_commits,
+                    validation_free,
+                    ..
+                } = &mut self.peers[node.index()];
                 let mut fx = SimFx {
                     ctx,
                     me: node,
@@ -569,12 +634,7 @@ impl desim::Protocol for FabricNet {
         }
     }
 
-    fn on_node_status(
-        &mut self,
-        ctx: &mut Ctx<'_, NetMsg, NetTimer>,
-        node: NodeId,
-        up: bool,
-    ) {
+    fn on_node_status(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, node: NodeId, up: bool) {
         if node.index() >= self.peers.len() {
             return;
         }
@@ -591,8 +651,13 @@ impl desim::Protocol for FabricNet {
         // with it — the engine drops timers of down nodes) and re-validates
         // any stored blocks whose in-flight validation the crash destroyed.
         let validation = self.params.validation_per_tx;
-        let PeerNode { gossip, ledger, pending_commits, validation_free, .. } =
-            &mut self.peers[node.index()];
+        let PeerNode {
+            gossip,
+            ledger,
+            pending_commits,
+            validation_free,
+            ..
+        } = &mut self.peers[node.index()];
         if let Some(ledger) = ledger.as_ref() {
             let store = gossip.store();
             for n in ledger.height()..store.height() {
@@ -646,7 +711,8 @@ impl Effects for SimFx<'_, '_> {
     }
 
     fn block_received(&mut self, block_num: u64) {
-        self.latency.record(block_num, self.me.index(), self.ctx.now());
+        self.latency
+            .record(block_num, self.me.index(), self.ctx.now());
     }
 
     fn deliver(&mut self, block: BlockRef) {
@@ -662,6 +728,7 @@ impl Effects for SimFx<'_, '_> {
         let done = start + cost;
         *self.validation_free = done;
         self.pending_commits.push_back(block);
-        self.ctx.set_timer(self.me, done.since(now), NetTimer::CommitDone);
+        self.ctx
+            .set_timer(self.me, done.since(now), NetTimer::CommitDone);
     }
 }

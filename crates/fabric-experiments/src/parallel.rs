@@ -1,0 +1,128 @@
+//! Parallel experiment harness: fan independent `(config, seed)` cells of
+//! the figure/table presets across cores.
+//!
+//! Reproducing the full figure set means dozens of independent
+//! simulations — five dissemination presets × seeds, plus a 2 × periods ×
+//! runs conflict grid. Each cell is deterministic and self-contained, so
+//! they parallelize with **zero effect on results**: every function here
+//! returns exactly what the equivalent serial loop would (the determinism
+//! tests assert it). Built on [`desim::run_batch`].
+
+use desim::Duration;
+use fabric_gossip::config::GossipConfig;
+
+use crate::conflicts::{run_conflicts, ConflictConfig, ConflictResult, Table2Row};
+use crate::dissemination::{run_dissemination, DisseminationConfig, DisseminationResult};
+
+/// Runs every dissemination cell in parallel; results come back in input
+/// order.
+pub fn run_dissemination_batch(cells: Vec<DisseminationConfig>) -> Vec<DisseminationResult> {
+    desim::run_batch(cells, |cfg| run_dissemination(&cfg))
+}
+
+/// Runs every conflict cell in parallel; results come back in input order.
+pub fn run_conflicts_batch(cells: Vec<ConflictConfig>) -> Vec<ConflictResult> {
+    desim::run_batch(cells, |cfg| run_conflicts(&cfg))
+}
+
+/// Runs `template` once per seed (parallel), returning results in seed
+/// order — the multi-seed averaging pattern of the paper's tables.
+pub fn run_seed_sweep(template: &DisseminationConfig, seeds: &[u64]) -> Vec<DisseminationResult> {
+    let cells = seeds
+        .iter()
+        .map(|&seed| {
+            let mut cfg = template.clone();
+            cfg.seed = seed;
+            cfg
+        })
+        .collect();
+    run_dissemination_batch(cells)
+}
+
+/// The conflict cells behind one Table II regeneration, in deterministic
+/// order: for each period, for each run, the original-gossip cell then the
+/// enhanced-gossip cell, both at the same seed.
+pub(crate) fn table2_cells(
+    template: &ConflictConfig,
+    periods: &[Duration],
+    runs: usize,
+) -> Vec<ConflictConfig> {
+    let mut cells = Vec::with_capacity(periods.len() * runs * 2);
+    for &period in periods {
+        for r in 0..runs {
+            let seed = template.seed + 1000 * r as u64;
+            for gossip in [GossipConfig::original_fabric(), GossipConfig::enhanced_f4()] {
+                let mut cell = template.clone();
+                cell.period = period;
+                cell.gossip = gossip;
+                cell.seed = seed;
+                cells.push(cell);
+            }
+        }
+    }
+    cells
+}
+
+/// Folds the cell results of [`table2_cells`] back into per-period rows.
+pub(crate) fn table2_rows(
+    periods: &[Duration],
+    runs: usize,
+    results: &[ConflictResult],
+) -> Vec<Table2Row> {
+    debug_assert_eq!(results.len(), periods.len() * runs * 2);
+    results
+        .chunks(runs * 2)
+        .zip(periods)
+        .map(|(chunk, &period)| {
+            let mut original = 0.0;
+            let mut enhanced = 0.0;
+            let mut tx_per_block = 0.0;
+            for pair in chunk.chunks(2) {
+                original += pair[0].conflicts as f64;
+                tx_per_block += pair[0].tx_per_block();
+                enhanced += pair[1].conflicts as f64;
+            }
+            Table2Row {
+                period,
+                tx_per_block: tx_per_block / runs as f64,
+                original: original / runs as f64,
+                enhanced: enhanced / runs as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::NetworkConfig;
+
+    fn tiny(seed: u64) -> DisseminationConfig {
+        let mut cfg = DisseminationConfig::fig07_09_enhanced_f4().scaled(200);
+        cfg.peers = 15;
+        cfg.network = NetworkConfig::lan(17);
+        cfg.seed = seed;
+        cfg
+    }
+
+    #[test]
+    fn batch_matches_serial_run_for_run() {
+        let cells: Vec<DisseminationConfig> = (1..=4).map(tiny).collect();
+        let parallel = run_dissemination_batch(cells.clone());
+        for (cfg, got) in cells.iter().zip(&parallel) {
+            let serial = run_dissemination(cfg);
+            assert_eq!(serial.events, got.events, "seed {}", cfg.seed);
+            assert_eq!(serial.blocks, got.blocks);
+            assert_eq!(serial.peer_traffic_mb, got.peer_traffic_mb);
+        }
+    }
+
+    #[test]
+    fn seed_sweep_orders_by_seed() {
+        let template = tiny(0);
+        let results = run_seed_sweep(&template, &[3, 1]);
+        assert_eq!(results.len(), 2);
+        let direct3 = run_dissemination(&tiny(3));
+        assert_eq!(results[0].events, direct3.events);
+    }
+}

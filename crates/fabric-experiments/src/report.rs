@@ -12,12 +12,22 @@ use crate::dissemination::DisseminationResult;
 /// Renders a peer-level latency figure (Figs. 4/7/12): the three CDF
 /// series at the paper's y ticks.
 pub fn render_peer_level(title: &str, result: &DisseminationResult) -> String {
-    render_extremes(title, result.peer_extremes.as_ref(), PEER_LEVEL_TICKS, "peer")
+    render_extremes(
+        title,
+        result.peer_extremes.as_ref(),
+        PEER_LEVEL_TICKS,
+        "peer",
+    )
 }
 
 /// Renders a block-level latency figure (Figs. 5/8/13).
 pub fn render_block_level(title: &str, result: &DisseminationResult) -> String {
-    render_extremes(title, result.block_extremes.as_ref(), BLOCK_LEVEL_TICKS, "block")
+    render_extremes(
+        title,
+        result.block_extremes.as_ref(),
+        BLOCK_LEVEL_TICKS,
+        "block",
+    )
 }
 
 fn render_extremes(
@@ -89,7 +99,14 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
         })
         .collect();
     render_table(
-        &["Block period", "Tx/block", "Validation", "Original", "Enhanced", "Difference"],
+        &[
+            "Block period",
+            "Tx/block",
+            "Validation",
+            "Original",
+            "Enhanced",
+            "Difference",
+        ],
         &body,
     )
 }

@@ -14,7 +14,11 @@ fn params(peers: usize, max_count: usize, timeout: Duration) -> NetParams {
         preferred_max_bytes: 1 << 20,
         batch_timeout: timeout,
     };
-    NetParams::new(peers, GossipConfig::enhanced_f4(), OrdererConfig::instant(batch))
+    NetParams::new(
+        peers,
+        GossipConfig::enhanced_f4(),
+        OrdererConfig::instant(batch),
+    )
 }
 
 fn increment_sim(
@@ -24,7 +28,11 @@ fn increment_sim(
     max_count: usize,
     timeout: Duration,
 ) -> Simulation<FabricNet> {
-    let workload = IncrementWorkload { keys, rounds, rate_per_sec: 10.0 };
+    let workload = IncrementWorkload {
+        keys,
+        rounds,
+        rate_per_sec: 10.0,
+    };
     let schedule = increment_schedule(&workload, 42);
     let p = params(peers, max_count, timeout);
     let network = NetworkConfig::lan(FabricNet::node_count(&p));
@@ -72,7 +80,11 @@ fn endorser_ledger_matches_gossip_delivery() {
 fn validation_delay_defers_commit_but_not_reception() {
     // One block of 5 transactions at 50 ms each: the endorser receives the
     // block promptly but commits only ~250 ms later.
-    let workload = IncrementWorkload { keys: 5, rounds: 1, rate_per_sec: 100.0 };
+    let workload = IncrementWorkload {
+        keys: 5,
+        rounds: 1,
+        rate_per_sec: 100.0,
+    };
     let schedule = increment_schedule(&workload, 1);
     let mut p = params(6, 5, Duration::from_secs(5));
     p.validation_per_tx = Duration::from_millis(50);
@@ -87,10 +99,18 @@ fn validation_delay_defers_commit_but_not_reception() {
     let net = sim.protocol();
     assert_eq!(net.blocks_cut(), 1);
     assert_eq!(net.gossip(1).height(), 2, "content received");
-    assert_eq!(net.ledger(1).unwrap().height(), 1, "commit still validating");
+    assert_eq!(
+        net.ledger(1).unwrap().height(),
+        1,
+        "commit still validating"
+    );
 
     sim.run_until(Time::from_secs(2));
-    assert_eq!(sim.protocol().ledger(1).unwrap().height(), 2, "commit landed");
+    assert_eq!(
+        sim.protocol().ledger(1).unwrap().height(),
+        2,
+        "commit landed"
+    );
 }
 
 #[test]

@@ -141,7 +141,10 @@ pub struct FetchConfig {
 
 impl Default for FetchConfig {
     fn default() -> Self {
-        FetchConfig { timeout: Duration::from_millis(500), max_attempts: 5 }
+        FetchConfig {
+            timeout: Duration::from_millis(500),
+            max_attempts: 5,
+        }
     }
 }
 
@@ -175,7 +178,10 @@ impl GossipConfig {
         GossipConfig {
             fout: 3,
             f_leader_out: 3,
-            push: PushMode::InfectAndDie { tpush: Duration::from_millis(10), buffer_cap: 10 },
+            push: PushMode::InfectAndDie {
+                tpush: Duration::from_millis(10),
+                buffer_cap: 10,
+            },
             pull: Some(PullConfig::default()),
             recovery: RecoveryConfig::default(),
             membership: MembershipConfig::default(),
@@ -261,7 +267,9 @@ impl GossipConfig {
                     return Err("push buffer capacity must be positive".into());
                 }
             }
-            PushMode::InfectUponContagion { ttl, ttl_direct, .. } => {
+            PushMode::InfectUponContagion {
+                ttl, ttl_direct, ..
+            } => {
                 if *ttl == 0 {
                     return Err("TTL must be positive".into());
                 }
@@ -339,7 +347,10 @@ mod tests {
         let heavy = GossipConfig::enhanced_heavy_leader();
         assert_eq!(heavy.f_leader_out, heavy.fout);
         let plain = GossipConfig::enhanced_no_digests();
-        assert!(matches!(plain.push, PushMode::InfectUponContagion { digests: false, .. }));
+        assert!(matches!(
+            plain.push,
+            PushMode::InfectUponContagion { digests: false, .. }
+        ));
     }
 
     #[test]

@@ -19,11 +19,10 @@
 //! [`testing::MockEffects`] in tests.
 //!
 //! ```
-//! use std::sync::Arc;
 //! use fabric_gossip::config::GossipConfig;
 //! use fabric_gossip::peer::GossipPeer;
 //! use fabric_gossip::testing::MockEffects;
-//! use fabric_types::block::Block;
+//! use fabric_types::block::{Block, BlockRef};
 //! use fabric_types::ids::PeerId;
 //!
 //! // A five-peer organization; peer 0 is the leader.
@@ -34,7 +33,7 @@
 //!
 //! // The ordering service hands the leader a block: with f_leader_out = 1
 //! // it forwards the full content to exactly one random peer.
-//! let block = Arc::new(Block::new(1, Block::genesis().hash(), vec![]));
+//! let block = BlockRef::new(Block::new(1, Block::genesis().hash(), vec![]));
 //! leader.on_block_from_orderer(&mut fx, block);
 //! assert_eq!(fx.sent_of_kind("block").len(), 1);
 //! assert_eq!(fx.delivered_numbers(), vec![1]);

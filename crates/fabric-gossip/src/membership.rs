@@ -28,7 +28,12 @@ impl Membership {
     pub fn new(self_id: PeerId, roster: Vec<PeerId>, alive_timeout: Duration) -> Self {
         let peers: Vec<PeerId> = roster.into_iter().filter(|p| *p != self_id).collect();
         let last_heard = vec![None; peers.len()];
-        Membership { self_id, peers, last_heard, alive_timeout }
+        Membership {
+            self_id,
+            peers,
+            last_heard,
+            alive_timeout,
+        }
     }
 
     /// The local peer id.
@@ -73,7 +78,11 @@ impl Membership {
 
     /// Peers believed alive at `now`, in id order.
     pub fn alive_peers(&self, now: Time) -> Vec<PeerId> {
-        self.peers.iter().copied().filter(|p| self.believes_alive(*p, now)).collect()
+        self.peers
+            .iter()
+            .copied()
+            .filter(|p| self.believes_alive(*p, now))
+            .collect()
     }
 
     /// Draws up to `k` distinct peers uniformly at random, excluding self.
@@ -184,7 +193,7 @@ mod tests {
         let now = Time::from_secs(100);
         m.mark_alive(PeerId(1), Time::from_secs(99));
         m.mark_alive(PeerId(2), Time::from_secs(10)); // stale
-        // PeerId(3) was never heard from and the startup grace has lapsed.
+                                                      // PeerId(3) was never heard from and the startup grace has lapsed.
         assert_eq!(m.alive_peers(now), vec![PeerId(1)]);
     }
 

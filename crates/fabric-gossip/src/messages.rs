@@ -166,15 +166,16 @@ mod tests {
     use super::*;
     use desim::Message as _;
     use fabric_types::block::Block;
-    use std::sync::Arc;
-
     fn block(padding: u32) -> BlockRef {
-        Arc::new(Block::genesis().with_padding(padding))
+        BlockRef::new(Block::genesis().with_padding(padding))
     }
 
     #[test]
     fn block_push_size_is_dominated_by_payload() {
-        let msg = GossipMsg::BlockPush { block: block(160_000), counter: 3 };
+        let msg = GossipMsg::BlockPush {
+            block: block(160_000),
+            counter: 3,
+        };
         assert!(msg.wire_size() > 160_000);
         assert!(msg.wire_size() < 161_000);
         assert_eq!(msg.kind(), "block");
@@ -182,26 +183,44 @@ mod tests {
 
     #[test]
     fn digests_are_small() {
-        let d = GossipMsg::PushDigest { block_num: 7, counter: 5 };
+        let d = GossipMsg::PushDigest {
+            block_num: 7,
+            counter: 5,
+        };
         assert!(d.wire_size() < 64);
         assert_eq!(d.kind(), "push-digest");
-        let r = GossipMsg::PushRequest { block_num: 7, counter: 5 };
+        let r = GossipMsg::PushRequest {
+            block_num: 7,
+            counter: 5,
+        };
         assert!(r.wire_size() < 64);
     }
 
     #[test]
     fn pull_sizes_scale_with_content() {
-        let digest = GossipMsg::PullDigestResponse { nonce: 1, block_nums: vec![1, 2, 3] };
-        let digest_bigger = GossipMsg::PullDigestResponse { nonce: 1, block_nums: (0..10).collect() };
+        let digest = GossipMsg::PullDigestResponse {
+            nonce: 1,
+            block_nums: vec![1, 2, 3],
+        };
+        let digest_bigger = GossipMsg::PullDigestResponse {
+            nonce: 1,
+            block_nums: (0..10).collect(),
+        };
         assert!(digest_bigger.wire_size() > digest.wire_size());
-        let resp = GossipMsg::PullResponse { nonce: 1, blocks: vec![block(1000), block(1000)] };
+        let resp = GossipMsg::PullResponse {
+            nonce: 1,
+            blocks: vec![block(1000), block(1000)],
+        };
         assert!(resp.wire_size() > 2000);
         assert_eq!(resp.kind(), "block-pull");
     }
 
     #[test]
     fn metadata_sizes_are_fixed() {
-        assert_eq!(GossipMsg::StateInfo { height: 9 }.wire_size(), GossipMsg::StateInfo { height: 1_000_000 }.wire_size());
+        assert_eq!(
+            GossipMsg::StateInfo { height: 9 }.wire_size(),
+            GossipMsg::StateInfo { height: 1_000_000 }.wire_size()
+        );
         assert_eq!(GossipMsg::Alive.wire_size(), 150);
         assert_eq!(GossipMsg::Alive.kind(), "alive");
     }
@@ -209,13 +228,37 @@ mod tests {
     #[test]
     fn every_variant_has_a_distinct_kind() {
         let kinds = [
-            GossipMsg::BlockPush { block: block(0), counter: 0 }.kind(),
-            GossipMsg::PushDigest { block_num: 0, counter: 0 }.kind(),
-            GossipMsg::PushRequest { block_num: 0, counter: 0 }.kind(),
+            GossipMsg::BlockPush {
+                block: block(0),
+                counter: 0,
+            }
+            .kind(),
+            GossipMsg::PushDigest {
+                block_num: 0,
+                counter: 0,
+            }
+            .kind(),
+            GossipMsg::PushRequest {
+                block_num: 0,
+                counter: 0,
+            }
+            .kind(),
             GossipMsg::PullHello { nonce: 0 }.kind(),
-            GossipMsg::PullDigestResponse { nonce: 0, block_nums: vec![] }.kind(),
-            GossipMsg::PullRequest { nonce: 0, block_nums: vec![] }.kind(),
-            GossipMsg::PullResponse { nonce: 0, blocks: vec![] }.kind(),
+            GossipMsg::PullDigestResponse {
+                nonce: 0,
+                block_nums: vec![],
+            }
+            .kind(),
+            GossipMsg::PullRequest {
+                nonce: 0,
+                block_nums: vec![],
+            }
+            .kind(),
+            GossipMsg::PullResponse {
+                nonce: 0,
+                blocks: vec![],
+            }
+            .kind(),
             GossipMsg::StateInfo { height: 0 }.kind(),
             GossipMsg::RecoveryRequest { from: 0, to: 0 }.kind(),
             GossipMsg::RecoveryResponse { blocks: vec![] }.kind(),

@@ -17,8 +17,8 @@ use fabric_types::ids::PeerId;
 
 use crate::config::{GossipConfig, PushMode};
 use crate::effects::Effects;
-use crate::messages::{GossipMsg, GossipTimer};
 use crate::membership::Membership;
+use crate::messages::{GossipMsg, GossipTimer};
 use crate::store::BlockStore;
 
 /// A fetch in flight for block content announced by push digests.
@@ -103,11 +103,24 @@ pub struct GossipPeer {
 
 impl GossipPeer {
     /// Creates the peer `id` within `roster` (all peers of the
-    /// organization, self included or not).
+    /// organization, self included or not — the peer never samples itself
+    /// either way).
     ///
     /// With static election (the default), the lowest-id peer of the roster
     /// is the leader from the start, mirroring a Fabric deployment with
-    /// `orgLeader` pinned.
+    /// `orgLeader` pinned. Static leadership semantics, exactly:
+    ///
+    /// * roster **contains** `id` → this peer leads iff `id` is the
+    ///   roster's minimum;
+    /// * roster **is empty** → the peer is alone in its organization and
+    ///   leads;
+    /// * roster **excludes** `id` → the caller deliberately listed an
+    ///   organization this peer is not a full member of (a late joiner or
+    ///   observer): the peer never self-elects statically, *even if* its id
+    ///   is lower than every roster entry. (The seed implementation
+    ///   computed `min(roster ∪ {id})`, silently making such an observer
+    ///   the leader; dynamic election is the supported path for a peer
+    ///   that should eventually lead an organization it joined late.)
     ///
     /// # Panics
     ///
@@ -116,8 +129,15 @@ impl GossipPeer {
         if let Err(e) = cfg.validate() {
             panic!("invalid gossip config: {e}");
         }
-        let lowest = roster.iter().copied().min().unwrap_or(id).min(id);
-        let is_leader = !cfg.election.dynamic && id == lowest;
+        // A roster containing `id` has min <= id, so `id == lowest` alone
+        // encodes both "member" and "lowest member"; a roster excluding
+        // `id` either has a smaller minimum (not lowest) or only larger
+        // entries (id != lowest) — never a static leader.
+        let statically_leads = match roster.iter().copied().min() {
+            None => true, // alone in the organization
+            Some(lowest) => id == lowest,
+        };
+        let is_leader = !cfg.election.dynamic && statically_leads;
         let membership = Membership::new(id, roster.clone(), cfg.membership.alive_timeout);
         let channel = Membership::new(id, roster, cfg.membership.alive_timeout);
         GossipPeer {
@@ -186,8 +206,7 @@ impl GossipPeer {
     /// while push and pull stay confined to the organization — Fabric's
     /// access-control rule, preserved by the paper.
     pub fn with_channel(mut self, channel_roster: Vec<PeerId>) -> Self {
-        self.channel =
-            Membership::new(self.id, channel_roster, self.cfg.membership.alive_timeout);
+        self.channel = Membership::new(self.id, channel_roster, self.cfg.membership.alive_timeout);
         self
     }
 
@@ -267,7 +286,13 @@ impl GossipPeer {
                 };
                 for t in targets {
                     self.stats.blocks_sent += 1;
-                    fx.send(t, GossipMsg::BlockPush { block: block.clone(), counter: 0 });
+                    fx.send(
+                        t,
+                        GossipMsg::BlockPush {
+                            block: block.clone(),
+                            counter: 0,
+                        },
+                    );
                 }
             }
         }
@@ -291,7 +316,12 @@ impl GossipPeer {
                 }
             }
             GossipMsg::PullHello { nonce } => {
-                let window = self.cfg.pull.as_ref().map(|p| p.digest_window).unwrap_or(64);
+                let window = self
+                    .cfg
+                    .pull
+                    .as_ref()
+                    .map(|p| p.digest_window)
+                    .unwrap_or(64);
                 let block_nums = self.store.recent(window);
                 fx.send(from, GossipMsg::PullDigestResponse { nonce, block_nums });
             }
@@ -299,8 +329,10 @@ impl GossipPeer {
                 self.on_pull_digest(fx, from, nonce, block_nums)
             }
             GossipMsg::PullRequest { nonce, block_nums } => {
-                let blocks: Vec<BlockRef> =
-                    block_nums.iter().filter_map(|n| self.store.get(*n).cloned()).collect();
+                let blocks: Vec<BlockRef> = block_nums
+                    .iter()
+                    .filter_map(|n| self.store.get(*n).cloned())
+                    .collect();
                 if !blocks.is_empty() {
                     self.stats.blocks_sent += blocks.len() as u64;
                     fx.send(from, GossipMsg::PullResponse { nonce, blocks });
@@ -316,7 +348,9 @@ impl GossipPeer {
                 *entry = (*entry).max(height);
             }
             GossipMsg::RecoveryRequest { from: lo, to } => {
-                let blocks = self.store.consecutive_run(lo, to, self.cfg.recovery.batch_max);
+                let blocks = self
+                    .store
+                    .consecutive_run(lo, to, self.cfg.recovery.batch_max);
                 if !blocks.is_empty() {
                     self.stats.blocks_sent += blocks.len() as u64;
                     fx.send(from, GossipMsg::RecoveryResponse { blocks });
@@ -376,7 +410,13 @@ impl GossipPeer {
     // Push — both protocols
     // ------------------------------------------------------------------
 
-    fn on_block_push(&mut self, fx: &mut dyn Effects, _from: PeerId, block: BlockRef, counter: u32) {
+    fn on_block_push(
+        &mut self,
+        fx: &mut dyn Effects,
+        _from: PeerId,
+        block: BlockRef,
+        counter: u32,
+    ) {
         let num = block.number();
         let is_new = self.accept_content(fx, &block);
         if !self.forwarding {
@@ -433,7 +473,13 @@ impl GossipPeer {
                 self.stats.fetch_requests += 1;
                 fx.send(from, GossipMsg::PushRequest { block_num, counter });
                 let timeout = self.cfg.fetch.timeout;
-                fx.schedule(timeout, GossipTimer::FetchRetry { block_num, attempt: 1 });
+                fx.schedule(
+                    timeout,
+                    GossipTimer::FetchRetry {
+                        block_num,
+                        attempt: 1,
+                    },
+                );
             }
             return;
         }
@@ -442,7 +488,11 @@ impl GossipPeer {
         }
         if self.store.has(block_num) {
             if counter < ttl {
-                let block = self.store.get(block_num).expect("store.has checked").clone();
+                let block = self
+                    .store
+                    .get(block_num)
+                    .expect("store.has checked")
+                    .clone();
                 self.queue_forward(fx, block, counter + 1);
             }
             return;
@@ -460,7 +510,13 @@ impl GossipPeer {
             self.stats.fetch_requests += 1;
             fx.send(from, GossipMsg::PushRequest { block_num, counter });
             let timeout = self.cfg.fetch.timeout;
-            fx.schedule(timeout, GossipTimer::FetchRetry { block_num, attempt: 1 });
+            fx.schedule(
+                timeout,
+                GossipTimer::FetchRetry {
+                    block_num,
+                    attempt: 1,
+                },
+            );
         }
     }
 
@@ -486,12 +542,22 @@ impl GossipPeer {
             .get(attempt as usize % advertisers.len().max(1))
             .copied()
             .unwrap_or_else(|| {
-                self.membership.sample(fx.rng(), 1).first().copied().unwrap_or(self.id)
+                self.membership
+                    .sample(fx.rng(), 1)
+                    .first()
+                    .copied()
+                    .unwrap_or(self.id)
             });
         self.stats.fetch_requests += 1;
         fx.send(target, GossipMsg::PushRequest { block_num, counter });
         let timeout = self.cfg.fetch.timeout;
-        fx.schedule(timeout, GossipTimer::FetchRetry { block_num, attempt: attempt + 1 });
+        fx.schedule(
+            timeout,
+            GossipTimer::FetchRetry {
+                block_num,
+                attempt: attempt + 1,
+            },
+        );
     }
 
     /// Original protocol: stage a first-reception block in the push buffer.
@@ -552,7 +618,13 @@ impl GossipPeer {
         for block in &blocks {
             for t in &targets {
                 self.stats.blocks_sent += 1;
-                fx.send(*t, GossipMsg::BlockPush { block: block.clone(), counter: 0 });
+                fx.send(
+                    *t,
+                    GossipMsg::BlockPush {
+                        block: block.clone(),
+                        counter: 0,
+                    },
+                );
             }
         }
     }
@@ -560,7 +632,12 @@ impl GossipPeer {
     /// Enhanced forward of one or more pairs sharing a target sample (a
     /// single pair when `tpush = 0`, the unbiased setting).
     fn forward_pairs(&mut self, fx: &mut dyn Effects, items: &[(BlockRef, u32)]) {
-        let PushMode::InfectUponContagion { ttl_direct, digests, .. } = self.cfg.push else {
+        let PushMode::InfectUponContagion {
+            ttl_direct,
+            digests,
+            ..
+        } = self.cfg.push
+        else {
             unreachable!("forward_pairs is an infect-upon-contagion path");
         };
         let targets = {
@@ -572,12 +649,21 @@ impl GossipPeer {
             for t in &targets {
                 if direct {
                     self.stats.blocks_sent += 1;
-                    fx.send(*t, GossipMsg::BlockPush { block: block.clone(), counter: *counter });
+                    fx.send(
+                        *t,
+                        GossipMsg::BlockPush {
+                            block: block.clone(),
+                            counter: *counter,
+                        },
+                    );
                 } else {
                     self.stats.digests_sent += 1;
                     fx.send(
                         *t,
-                        GossipMsg::PushDigest { block_num: block.number(), counter: *counter },
+                        GossipMsg::PushDigest {
+                            block_num: block.number(),
+                            counter: *counter,
+                        },
                     );
                 }
             }
@@ -606,7 +692,13 @@ impl GossipPeer {
         fx.schedule(pull.tpull, GossipTimer::PullRound);
     }
 
-    fn on_pull_digest(&mut self, _fx: &mut dyn Effects, from: PeerId, nonce: u64, block_nums: Vec<u64>) {
+    fn on_pull_digest(
+        &mut self,
+        _fx: &mut dyn Effects,
+        from: PeerId,
+        nonce: u64,
+        block_nums: Vec<u64>,
+    ) {
         if nonce != self.pull_nonce {
             return; // stale round
         }
@@ -673,7 +765,13 @@ impl GossipPeer {
             let target = candidates[pick];
             let to = (best - 1).min(my_height + self.cfg.recovery.batch_max - 1);
             self.stats.recovery_requests += 1;
-            fx.send(target, GossipMsg::RecoveryRequest { from: my_height, to });
+            fx.send(
+                target,
+                GossipMsg::RecoveryRequest {
+                    from: my_height,
+                    to,
+                },
+            );
         }
         let interval = self.cfg.recovery.interval;
         fx.schedule(interval, GossipTimer::RecoveryRound);
@@ -750,4 +848,67 @@ fn random_phase(fx: &mut dyn Effects, period: Duration) -> Duration {
         return Duration::ZERO;
     }
     Duration::from_nanos(fx.rng().random_range(0..period.as_nanos()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peers(ids: &[u32]) -> Vec<PeerId> {
+        ids.iter().copied().map(PeerId).collect()
+    }
+
+    #[test]
+    fn lowest_roster_member_statically_leads() {
+        let roster = peers(&[0, 1, 2, 3]);
+        assert!(
+            GossipPeer::new(PeerId(0), roster.clone(), GossipConfig::enhanced_f4()).is_leader()
+        );
+        assert!(
+            !GossipPeer::new(PeerId(1), roster.clone(), GossipConfig::enhanced_f4()).is_leader()
+        );
+        assert!(!GossipPeer::new(PeerId(3), roster, GossipConfig::enhanced_f4()).is_leader());
+    }
+
+    #[test]
+    fn roster_minimum_leads_even_when_ids_are_sparse() {
+        let roster = peers(&[5, 9, 12]);
+        assert!(
+            GossipPeer::new(PeerId(5), roster.clone(), GossipConfig::enhanced_f4()).is_leader()
+        );
+        assert!(!GossipPeer::new(PeerId(9), roster, GossipConfig::enhanced_f4()).is_leader());
+    }
+
+    #[test]
+    fn peer_excluded_from_roster_never_statically_self_elects() {
+        // The caller handed this peer a roster that deliberately excludes
+        // it — a late joiner / observer. Before the fix, min(roster ∪ {id})
+        // silently crowned it leader because its id is lowest.
+        let observer = GossipPeer::new(PeerId(0), peers(&[1, 2, 3]), GossipConfig::enhanced_f4());
+        assert!(
+            !observer.is_leader(),
+            "an observer excluded from the roster must not claim static leadership"
+        );
+        // Higher-id observers were never leaders; still are not.
+        let late = GossipPeer::new(PeerId(7), peers(&[1, 2, 3]), GossipConfig::enhanced_f4());
+        assert!(!late.is_leader());
+    }
+
+    #[test]
+    fn empty_roster_means_alone_and_leading() {
+        let alone = GossipPeer::new(PeerId(4), Vec::new(), GossipConfig::enhanced_f4());
+        assert!(alone.is_leader());
+        assert!(alone.membership().is_empty());
+    }
+
+    #[test]
+    fn dynamic_election_starts_without_a_static_leader() {
+        let mut cfg = GossipConfig::enhanced_f4();
+        cfg.election.dynamic = true;
+        let peer = GossipPeer::new(PeerId(0), peers(&[0, 1, 2]), cfg);
+        assert!(
+            !peer.is_leader(),
+            "dynamic mode elects through heartbeats, not construction"
+        );
+    }
 }

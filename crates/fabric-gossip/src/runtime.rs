@@ -53,7 +53,9 @@ impl PartialOrd for TimerEntry {
 }
 impl Ord for TimerEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at.cmp(&other.at).then_with(|| self.seq.cmp(&other.seq))
+        self.at
+            .cmp(&other.at)
+            .then_with(|| self.seq.cmp(&other.seq))
     }
 }
 
@@ -89,7 +91,11 @@ impl Effects for ThreadFx<'_> {
     fn schedule(&mut self, after: Duration, timer: GossipTimer) {
         let at = self.now() + after;
         *self.timer_seq += 1;
-        self.timers.push(Reverse(TimerEntry { at, seq: *self.timer_seq, timer }));
+        self.timers.push(Reverse(TimerEntry {
+            at,
+            seq: *self.timer_seq,
+            timer,
+        }));
     }
 
     fn rng(&mut self) -> &mut StdRng {
@@ -113,14 +119,13 @@ pub struct PeerOutcome {
 /// A running in-process gossip network, one thread per peer.
 ///
 /// ```no_run
-/// use std::sync::Arc;
 /// use fabric_gossip::config::GossipConfig;
 /// use fabric_gossip::runtime::ThreadedNet;
-/// use fabric_types::block::Block;
+/// use fabric_types::block::{Block, BlockRef};
 /// use fabric_types::ids::PeerId;
 ///
 /// let net = ThreadedNet::spawn(8, GossipConfig::enhanced_f4(), 42);
-/// net.inject_block(Arc::new(Block::new(1, Block::genesis().hash(), vec![])));
+/// net.inject_block(BlockRef::new(Block::new(1, Block::genesis().hash(), vec![])));
 /// std::thread::sleep(std::time::Duration::from_millis(200));
 /// let outcomes = net.shutdown();
 /// assert!(outcomes.iter().all(|o| o.delivered == vec![1]));
@@ -156,7 +161,11 @@ impl ThreadedNet {
                 run_peer(&mut peer, id, rx, senders, start, peer_seed)
             }));
         }
-        ThreadedNet { senders, handles, leader: PeerId(0) }
+        ThreadedNet {
+            senders,
+            handles,
+            leader: PeerId(0),
+        }
     }
 
     /// The static leader's id.
@@ -278,7 +287,10 @@ fn run_peer(
         }
     }
 
-    PeerOutcome { peer: std::mem::replace(peer, GossipPeer::new(id, vec![id], minimal_cfg())), delivered }
+    PeerOutcome {
+        peer: std::mem::replace(peer, GossipPeer::new(id, vec![id], minimal_cfg())),
+        delivered,
+    }
 }
 
 /// A throwaway configuration for the placeholder peer left behind when a
@@ -291,7 +303,6 @@ fn minimal_cfg() -> GossipConfig {
 mod tests {
     use super::*;
     use fabric_types::block::Block;
-    use std::sync::Arc;
 
     fn wait_until(deadline_ms: u64, mut done: impl FnMut() -> bool) -> bool {
         let start = Instant::now();
@@ -308,8 +319,8 @@ mod tests {
     fn threaded_net_disseminates_blocks_to_everyone() {
         let net = ThreadedNet::spawn(8, GossipConfig::enhanced_f4(), 7);
         let genesis = Block::genesis();
-        let b1 = Arc::new(Block::new(1, genesis.hash(), vec![]));
-        let b2 = Arc::new(Block::new(2, b1.hash(), vec![]));
+        let b1 = BlockRef::new(Block::new(1, genesis.hash(), vec![]));
+        let b2 = BlockRef::new(Block::new(2, b1.hash(), vec![]));
         net.inject_block(b1);
         net.inject_block(b2);
         assert!(wait_until(2_000, || true));
@@ -317,7 +328,12 @@ mod tests {
         let outcomes = net.shutdown();
         assert_eq!(outcomes.len(), 8);
         for o in &outcomes {
-            assert_eq!(o.delivered, vec![1, 2], "peer {} missed blocks", o.peer.id());
+            assert_eq!(
+                o.delivered,
+                vec![1, 2],
+                "peer {} missed blocks",
+                o.peer.id()
+            );
         }
     }
 
@@ -329,12 +345,17 @@ mod tests {
         cfg.pull.as_mut().unwrap().tpull = Duration::from_millis(100);
         cfg.pull.as_mut().unwrap().digest_wait = Duration::from_millis(30);
         let net = ThreadedNet::spawn(8, cfg, 11);
-        let b1 = Arc::new(Block::new(1, Block::genesis().hash(), vec![]));
+        let b1 = BlockRef::new(Block::new(1, Block::genesis().hash(), vec![]));
         net.inject_block(b1);
         std::thread::sleep(std::time::Duration::from_millis(600));
         let outcomes = net.shutdown();
         for o in &outcomes {
-            assert_eq!(o.delivered, vec![1], "peer {} missed the block", o.peer.id());
+            assert_eq!(
+                o.delivered,
+                vec![1],
+                "peer {} missed the block",
+                o.peer.id()
+            );
         }
     }
 }

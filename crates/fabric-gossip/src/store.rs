@@ -22,7 +22,10 @@ pub struct BlockStore {
 impl BlockStore {
     /// An empty store expecting block 1.
     pub fn new() -> Self {
-        BlockStore { blocks: BTreeMap::new(), next_expected: 1 }
+        BlockStore {
+            blocks: BTreeMap::new(),
+            next_expected: 1,
+        }
     }
 
     /// Whether block `num` is present.
@@ -108,10 +111,8 @@ mod tests {
     use super::*;
     use fabric_types::block::Block;
     use fabric_types::crypto::Hash256;
-    use std::sync::Arc;
-
     fn block(num: u64) -> BlockRef {
-        Arc::new(Block::new(num, Hash256::ZERO, vec![]))
+        BlockRef::new(Block::new(num, Hash256::ZERO, vec![]))
     }
 
     #[test]
@@ -129,7 +130,10 @@ mod tests {
         assert_eq!(store.insert(block(3)).unwrap().len(), 0);
         assert_eq!(store.height(), 1);
         let run = store.insert(block(1)).unwrap();
-        assert_eq!(run.iter().map(|b| b.number()).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            run.iter().map(|b| b.number()).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert_eq!(store.height(), 4);
     }
 
@@ -176,7 +180,10 @@ mod tests {
             store.insert(block(n));
         }
         let run = store.consecutive_run(1, 6, 10);
-        assert_eq!(run.iter().map(|b| b.number()).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            run.iter().map(|b| b.number()).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         let capped = store.consecutive_run(1, 6, 2);
         assert_eq!(capped.len(), 2);
         assert!(store.consecutive_run(4, 6, 10).is_empty());

@@ -1,8 +1,6 @@
 //! Protocol-level tests of the gossip state machine, driven through
 //! `MockEffects` and a lockstep message router (no simulator involved).
 
-use std::sync::Arc;
-
 use desim::{Duration, Message as _, Time};
 use fabric_gossip::config::{GossipConfig, PushMode};
 use fabric_gossip::messages::{GossipMsg, GossipTimer};
@@ -12,7 +10,9 @@ use fabric_types::block::{Block, BlockRef};
 use fabric_types::ids::PeerId;
 
 fn block(num: u64) -> BlockRef {
-    Arc::new(Block::new(num, fabric_types::crypto::Hash256::ZERO, vec![]).with_padding(160_000))
+    BlockRef::new(
+        Block::new(num, fabric_types::crypto::Hash256::ZERO, vec![]).with_padding(160_000),
+    )
 }
 
 fn roster(n: u32) -> Vec<PeerId> {
@@ -34,10 +34,13 @@ impl Lockstep {
 
     fn with_seed(n: u32, cfg: &GossipConfig, seed: u64) -> Self {
         let ids = roster(n);
-        let peers: Vec<GossipPeer> =
-            ids.iter().map(|id| GossipPeer::new(*id, ids.clone(), cfg.clone())).collect();
-        let fxs: Vec<MockEffects> =
-            (0..n).map(|i| MockEffects::new(seed * 7919 + 1000 + u64::from(i))).collect();
+        let peers: Vec<GossipPeer> = ids
+            .iter()
+            .map(|id| GossipPeer::new(*id, ids.clone(), cfg.clone()))
+            .collect();
+        let fxs: Vec<MockEffects> = (0..n)
+            .map(|i| MockEffects::new(seed * 7919 + 1000 + u64::from(i)))
+            .collect();
         Lockstep { peers, fxs }
     }
 
@@ -90,18 +93,28 @@ fn enhanced_push_reaches_all_peers_with_n_plus_o_n_block_transfers() {
     net.inject_to_leader(block(1));
     net.run_to_quiescence();
 
-    assert_eq!(net.peers_with_block(1), 100, "push phase must inform everyone");
+    assert_eq!(
+        net.peers_with_block(1),
+        100,
+        "push phase must inform everyone"
+    );
 
     // The paper: with digests, large blocks are transmitted n + o(n) times.
     let blocks_sent = net.total_blocks_sent();
-    assert!(blocks_sent >= 99, "at least n-1 transfers needed, got {blocks_sent}");
+    assert!(
+        blocks_sent >= 99,
+        "at least n-1 transfers needed, got {blocks_sent}"
+    );
     assert!(
         blocks_sent <= 160,
         "block transfers should be n + o(n), got {blocks_sent} for n = 100"
     );
     // Digests do the fan-out work: k·ln(n) per peer across TTL rounds.
     let digests = net.total_digests_sent();
-    assert!(digests > 300, "digests should carry the epidemic, got {digests}");
+    assert!(
+        digests > 300,
+        "digests should carry the epidemic, got {digests}"
+    );
 }
 
 #[test]
@@ -116,7 +129,10 @@ fn enhanced_push_without_digests_floods_full_blocks() {
     let blocks_sent = net.total_blocks_sent();
     // Figure 11: every forward carries the full block; traffic blows up by
     // roughly an order of magnitude versus the digest variant.
-    assert!(blocks_sent > 1000, "expected a full-block flood, got {blocks_sent}");
+    assert!(
+        blocks_sent > 1000,
+        "expected a full-block flood, got {blocks_sent}"
+    );
 }
 
 #[test]
@@ -142,14 +158,31 @@ fn infect_and_die_forwards_once_and_dies() {
     let mut peer = GossipPeer::new(PeerId(5), ids, cfg);
     let mut fx = MockEffects::new(9);
 
-    peer.on_message(&mut fx, PeerId(1), GossipMsg::BlockPush { block: block(1), counter: 0 });
+    peer.on_message(
+        &mut fx,
+        PeerId(1),
+        GossipMsg::BlockPush {
+            block: block(1),
+            counter: 0,
+        },
+    );
     let first = fx.take_sent();
     assert_eq!(first.len(), 3, "fout = 3 pushes on first reception");
     assert!(first.iter().all(|(_, m)| m.kind() == "block"));
 
     // Second reception of the same block: infected peers stay silent.
-    peer.on_message(&mut fx, PeerId(2), GossipMsg::BlockPush { block: block(1), counter: 0 });
-    assert!(fx.take_sent().is_empty(), "infect-and-die must not forward twice");
+    peer.on_message(
+        &mut fx,
+        PeerId(2),
+        GossipMsg::BlockPush {
+            block: block(1),
+            counter: 0,
+        },
+    );
+    assert!(
+        fx.take_sent().is_empty(),
+        "infect-and-die must not forward twice"
+    );
     assert_eq!(peer.stats().duplicate_blocks, 1);
 }
 
@@ -163,7 +196,14 @@ fn pull_received_blocks_are_not_pushed() {
     let mut peer = GossipPeer::new(PeerId(5), ids, cfg);
     let mut fx = MockEffects::new(9);
 
-    peer.on_message(&mut fx, PeerId(1), GossipMsg::PullResponse { nonce: 0, blocks: vec![block(1)] });
+    peer.on_message(
+        &mut fx,
+        PeerId(1),
+        GossipMsg::PullResponse {
+            nonce: 0,
+            blocks: vec![block(1)],
+        },
+    );
     assert!(
         fx.take_sent().is_empty(),
         "blocks obtained via pull only feed pull responses, never push"
@@ -179,14 +219,33 @@ fn ttl_stops_the_enhanced_dissemination() {
     let mut fx = MockEffects::new(9);
 
     // Counter below TTL: forward with counter + 1.
-    peer.on_message(&mut fx, PeerId(1), GossipMsg::BlockPush { block: block(1), counter: 8 });
+    peer.on_message(
+        &mut fx,
+        PeerId(1),
+        GossipMsg::BlockPush {
+            block: block(1),
+            counter: 8,
+        },
+    );
     let sent = fx.take_sent();
     assert_eq!(sent.len(), 4);
-    assert!(sent.iter().all(|(_, m)| matches!(m, GossipMsg::BlockPush { counter: 9, .. })));
+    assert!(sent
+        .iter()
+        .all(|(_, m)| matches!(m, GossipMsg::BlockPush { counter: 9, .. })));
 
     // Counter at TTL: accept, do not forward.
-    peer.on_message(&mut fx, PeerId(2), GossipMsg::BlockPush { block: block(2), counter: 9 });
-    assert!(fx.take_sent().is_empty(), "counter = TTL must not be forwarded");
+    peer.on_message(
+        &mut fx,
+        PeerId(2),
+        GossipMsg::BlockPush {
+            block: block(2),
+            counter: 9,
+        },
+    );
+    assert!(
+        fx.take_sent().is_empty(),
+        "counter = TTL must not be forwarded"
+    );
 }
 
 #[test]
@@ -196,16 +255,39 @@ fn same_pair_is_forwarded_once_but_new_counters_reinfect() {
     let mut peer = GossipPeer::new(PeerId(5), ids, cfg);
     let mut fx = MockEffects::new(9);
 
-    peer.on_message(&mut fx, PeerId(1), GossipMsg::BlockPush { block: block(1), counter: 3 });
+    peer.on_message(
+        &mut fx,
+        PeerId(1),
+        GossipMsg::BlockPush {
+            block: block(1),
+            counter: 3,
+        },
+    );
     assert_eq!(fx.take_sent().len(), 2);
     // Same (block, counter): ignored.
-    peer.on_message(&mut fx, PeerId(2), GossipMsg::BlockPush { block: block(1), counter: 3 });
+    peer.on_message(
+        &mut fx,
+        PeerId(2),
+        GossipMsg::BlockPush {
+            block: block(1),
+            counter: 3,
+        },
+    );
     assert!(fx.take_sent().is_empty());
     // Same block, fresh counter: infect-upon-contagion forwards again.
-    peer.on_message(&mut fx, PeerId(3), GossipMsg::BlockPush { block: block(1), counter: 7 });
+    peer.on_message(
+        &mut fx,
+        PeerId(3),
+        GossipMsg::BlockPush {
+            block: block(1),
+            counter: 7,
+        },
+    );
     let sent = fx.take_sent();
     assert_eq!(sent.len(), 2);
-    assert!(sent.iter().all(|(_, m)| matches!(m, GossipMsg::BlockPush { counter: 8, .. })));
+    assert!(sent
+        .iter()
+        .all(|(_, m)| matches!(m, GossipMsg::BlockPush { counter: 8, .. })));
 }
 
 #[test]
@@ -216,18 +298,45 @@ fn digest_triggers_fetch_then_owed_forwards() {
     let mut fx = MockEffects::new(9);
 
     // Digest for unknown content: exactly one fetch request to the sender.
-    peer.on_message(&mut fx, PeerId(1), GossipMsg::PushDigest { block_num: 1, counter: 4 });
+    peer.on_message(
+        &mut fx,
+        PeerId(1),
+        GossipMsg::PushDigest {
+            block_num: 1,
+            counter: 4,
+        },
+    );
     let sent = fx.take_sent();
     assert_eq!(sent.len(), 1);
     assert_eq!(sent[0].0, PeerId(1));
-    assert!(matches!(sent[0].1, GossipMsg::PushRequest { block_num: 1, counter: 4 }));
+    assert!(matches!(
+        sent[0].1,
+        GossipMsg::PushRequest {
+            block_num: 1,
+            counter: 4
+        }
+    ));
     // A second digest with another counter queues, without a second fetch.
-    peer.on_message(&mut fx, PeerId(2), GossipMsg::PushDigest { block_num: 1, counter: 6 });
+    peer.on_message(
+        &mut fx,
+        PeerId(2),
+        GossipMsg::PushDigest {
+            block_num: 1,
+            counter: 6,
+        },
+    );
     assert!(fx.take_sent().is_empty());
 
     // Content arrives (echoing counter 4): forwards are owed for counters 4
     // and 6, i.e. digests with counters 5 and 7 to fout = 4 targets each.
-    peer.on_message(&mut fx, PeerId(1), GossipMsg::BlockPush { block: block(1), counter: 4 });
+    peer.on_message(
+        &mut fx,
+        PeerId(1),
+        GossipMsg::BlockPush {
+            block: block(1),
+            counter: 4,
+        },
+    );
     let sent = fx.take_sent();
     let digests: Vec<u32> = sent
         .iter()
@@ -248,12 +357,28 @@ fn digest_for_known_content_forwards_without_fetch() {
     let mut peer = GossipPeer::new(PeerId(5), ids, cfg);
     let mut fx = MockEffects::new(9);
 
-    peer.on_message(&mut fx, PeerId(1), GossipMsg::BlockPush { block: block(1), counter: 5 });
+    peer.on_message(
+        &mut fx,
+        PeerId(1),
+        GossipMsg::BlockPush {
+            block: block(1),
+            counter: 5,
+        },
+    );
     fx.take_sent();
-    peer.on_message(&mut fx, PeerId(2), GossipMsg::PushDigest { block_num: 1, counter: 7 });
+    peer.on_message(
+        &mut fx,
+        PeerId(2),
+        GossipMsg::PushDigest {
+            block_num: 1,
+            counter: 7,
+        },
+    );
     let sent = fx.take_sent();
     assert_eq!(sent.len(), 4, "known content reinfects straight away");
-    assert!(sent.iter().all(|(_, m)| matches!(m, GossipMsg::PushDigest { counter: 8, .. })));
+    assert!(sent
+        .iter()
+        .all(|(_, m)| matches!(m, GossipMsg::PushDigest { counter: 8, .. })));
     assert_eq!(peer.stats().fetch_requests, 0);
 }
 
@@ -265,12 +390,26 @@ fn ttl_direct_switches_between_blocks_and_digests() {
     let mut fx = MockEffects::new(9);
 
     // counter 1 -> forwards counter 2 <= ttl_direct: full blocks.
-    peer.on_message(&mut fx, PeerId(1), GossipMsg::BlockPush { block: block(1), counter: 1 });
+    peer.on_message(
+        &mut fx,
+        PeerId(1),
+        GossipMsg::BlockPush {
+            block: block(1),
+            counter: 1,
+        },
+    );
     let sent = fx.take_sent();
     assert!(sent.iter().all(|(_, m)| m.kind() == "block"));
 
     // counter 2 -> forwards counter 3 > ttl_direct: digests.
-    peer.on_message(&mut fx, PeerId(2), GossipMsg::BlockPush { block: block(2), counter: 2 });
+    peer.on_message(
+        &mut fx,
+        PeerId(2),
+        GossipMsg::BlockPush {
+            block: block(2),
+            counter: 2,
+        },
+    );
     let sent = fx.take_sent();
     assert!(sent.iter().all(|(_, m)| m.kind() == "push-digest"));
 }
@@ -282,16 +421,37 @@ fn push_request_is_served_from_the_store() {
     let mut peer = GossipPeer::new(PeerId(5), ids, cfg);
     let mut fx = MockEffects::new(9);
 
-    peer.on_message(&mut fx, PeerId(1), GossipMsg::BlockPush { block: block(1), counter: 9 });
+    peer.on_message(
+        &mut fx,
+        PeerId(1),
+        GossipMsg::BlockPush {
+            block: block(1),
+            counter: 9,
+        },
+    );
     fx.take_sent();
-    peer.on_message(&mut fx, PeerId(3), GossipMsg::PushRequest { block_num: 1, counter: 6 });
+    peer.on_message(
+        &mut fx,
+        PeerId(3),
+        GossipMsg::PushRequest {
+            block_num: 1,
+            counter: 6,
+        },
+    );
     let sent = fx.take_sent();
     assert_eq!(sent.len(), 1);
     assert_eq!(sent[0].0, PeerId(3));
     assert!(matches!(sent[0].1, GossipMsg::BlockPush { counter: 6, .. }));
 
     // Unknown content: silence (the requester's retry timer handles it).
-    peer.on_message(&mut fx, PeerId(3), GossipMsg::PushRequest { block_num: 99, counter: 1 });
+    peer.on_message(
+        &mut fx,
+        PeerId(3),
+        GossipMsg::PushRequest {
+            block_num: 99,
+            counter: 1,
+        },
+    );
     assert!(fx.take_sent().is_empty());
 }
 
@@ -303,24 +463,65 @@ fn fetch_retry_rotates_advertisers_and_gives_up() {
     let mut peer = GossipPeer::new(PeerId(5), ids, cfg);
     let mut fx = MockEffects::new(9);
 
-    peer.on_message(&mut fx, PeerId(1), GossipMsg::PushDigest { block_num: 1, counter: 4 });
-    peer.on_message(&mut fx, PeerId(2), GossipMsg::PushDigest { block_num: 1, counter: 5 });
+    peer.on_message(
+        &mut fx,
+        PeerId(1),
+        GossipMsg::PushDigest {
+            block_num: 1,
+            counter: 4,
+        },
+    );
+    peer.on_message(
+        &mut fx,
+        PeerId(2),
+        GossipMsg::PushDigest {
+            block_num: 1,
+            counter: 5,
+        },
+    );
     fx.take_sent();
 
     // First retry goes to the rotation's next advertiser.
-    peer.on_timer(&mut fx, GossipTimer::FetchRetry { block_num: 1, attempt: 1 });
+    peer.on_timer(
+        &mut fx,
+        GossipTimer::FetchRetry {
+            block_num: 1,
+            attempt: 1,
+        },
+    );
     let sent = fx.take_sent();
     assert_eq!(sent.len(), 1);
-    assert!(matches!(sent[0].1, GossipMsg::PushRequest { block_num: 1, .. }));
+    assert!(matches!(
+        sent[0].1,
+        GossipMsg::PushRequest { block_num: 1, .. }
+    ));
 
-    peer.on_timer(&mut fx, GossipTimer::FetchRetry { block_num: 1, attempt: 2 });
+    peer.on_timer(
+        &mut fx,
+        GossipTimer::FetchRetry {
+            block_num: 1,
+            attempt: 2,
+        },
+    );
     assert_eq!(fx.take_sent().len(), 1);
 
     // Attempt limit reached: give up silently (recovery's job now).
-    peer.on_timer(&mut fx, GossipTimer::FetchRetry { block_num: 1, attempt: 3 });
+    peer.on_timer(
+        &mut fx,
+        GossipTimer::FetchRetry {
+            block_num: 1,
+            attempt: 3,
+        },
+    );
     assert!(fx.take_sent().is_empty());
     // After giving up, further retries are no-ops.
-    peer.on_timer(&mut fx, GossipTimer::FetchRetry { block_num: 1, attempt: 2 });
+    peer.on_timer(
+        &mut fx,
+        GossipTimer::FetchRetry {
+            block_num: 1,
+            attempt: 2,
+        },
+    );
     assert!(fx.take_sent().is_empty());
 }
 
@@ -338,7 +539,10 @@ fn pull_engine_four_phase_flow() {
     responder.on_message(
         &mut sfx,
         PeerId(0),
-        GossipMsg::PullResponse { nonce: 0, blocks: vec![block(1), block(2), block(3)] },
+        GossipMsg::PullResponse {
+            nonce: 0,
+            blocks: vec![block(1), block(2), block(3)],
+        },
     );
     sfx.take_sent();
 
@@ -346,7 +550,9 @@ fn pull_engine_four_phase_flow() {
     requester.on_timer(&mut rfx, GossipTimer::PullRound);
     let hello = rfx.take_sent();
     assert_eq!(hello.len(), 1);
-    let GossipMsg::PullHello { nonce } = hello[0].1 else { panic!("expected hello") };
+    let GossipMsg::PullHello { nonce } = hello[0].1 else {
+        panic!("expected hello")
+    };
 
     // Phase 2: responder answers with its digest.
     responder.on_message(&mut sfx, PeerId(1), GossipMsg::PullHello { nonce });
@@ -360,7 +566,10 @@ fn pull_engine_four_phase_flow() {
     // Phase 3: digests accumulate during the digest-wait window; at its
     // expiry the requester asks for everything it lacks.
     requester.on_message(&mut rfx, PeerId(2), digest[0].1.clone());
-    assert!(rfx.take_sent().is_empty(), "requests wait for the digest window");
+    assert!(
+        rfx.take_sent().is_empty(),
+        "requests wait for the digest window"
+    );
     requester.on_timer(&mut rfx, GossipTimer::PullDigestWait { nonce });
     let request = rfx.take_sent();
     assert_eq!(request.len(), 1);
@@ -394,7 +603,10 @@ fn stale_pull_responses_are_ignored() {
     peer.on_message(
         &mut fx,
         PeerId(2),
-        GossipMsg::PullDigestResponse { nonce: 1, block_nums: vec![1, 2] },
+        GossipMsg::PullDigestResponse {
+            nonce: 1,
+            block_nums: vec![1, 2],
+        },
     );
     peer.on_timer(&mut fx, GossipTimer::PullDigestWait { nonce: 1 });
     assert!(fx.take_sent().is_empty());
@@ -411,11 +623,27 @@ fn pull_round_requests_each_block_from_one_advertiser() {
     peer.on_timer(&mut fx, GossipTimer::PullRound);
     let hellos = fx.take_sent();
     assert_eq!(hellos.len(), 2);
-    let GossipMsg::PullHello { nonce } = hellos[0].1 else { panic!() };
+    let GossipMsg::PullHello { nonce } = hellos[0].1 else {
+        panic!()
+    };
 
     // Two responders advertise overlapping digests within the wait window.
-    peer.on_message(&mut fx, PeerId(2), GossipMsg::PullDigestResponse { nonce, block_nums: vec![1, 2] });
-    peer.on_message(&mut fx, PeerId(3), GossipMsg::PullDigestResponse { nonce, block_nums: vec![2, 3] });
+    peer.on_message(
+        &mut fx,
+        PeerId(2),
+        GossipMsg::PullDigestResponse {
+            nonce,
+            block_nums: vec![1, 2],
+        },
+    );
+    peer.on_message(
+        &mut fx,
+        PeerId(3),
+        GossipMsg::PullDigestResponse {
+            nonce,
+            block_nums: vec![2, 3],
+        },
+    );
     assert!(fx.take_sent().is_empty());
 
     peer.on_timer(&mut fx, GossipTimer::PullDigestWait { nonce });
@@ -432,7 +660,9 @@ fn pull_round_requests_each_block_from_one_advertiser() {
     assert_eq!(requested, vec![1, 2, 3]);
     // Block 1 can only come from peer 2; block 3 only from peer 3.
     for (to, m) in &requests {
-        let GossipMsg::PullRequest { block_nums, .. } = m else { unreachable!() };
+        let GossipMsg::PullRequest { block_nums, .. } = m else {
+            unreachable!()
+        };
         if block_nums.contains(&1) {
             assert_eq!(*to, PeerId(2));
         }
@@ -452,7 +682,14 @@ fn recovery_catches_up_from_the_highest_peer() {
     let mut afx = MockEffects::new(2);
 
     for n in 1..=5 {
-        ahead.on_message(&mut afx, PeerId(0), GossipMsg::BlockPush { block: block(n), counter: 9 });
+        ahead.on_message(
+            &mut afx,
+            PeerId(0),
+            GossipMsg::BlockPush {
+                block: block(n),
+                counter: 9,
+            },
+        );
     }
     afx.take_sent();
     assert_eq!(ahead.height(), 6);
@@ -466,7 +703,9 @@ fn recovery_catches_up_from_the_highest_peer() {
         .find(|(_, m)| matches!(m, GossipMsg::RecoveryRequest { .. }))
         .expect("expected a recovery request");
     assert_eq!(req.0, PeerId(2));
-    let GossipMsg::RecoveryRequest { from, to } = req.1 else { panic!() };
+    let GossipMsg::RecoveryRequest { from, to } = req.1 else {
+        panic!()
+    };
     assert_eq!(from, 1);
     assert_eq!(to, 5);
 
@@ -488,7 +727,8 @@ fn recovery_stays_quiet_when_caught_up() {
     peer.on_timer(&mut fx, GossipTimer::RecoveryRound);
     let sent = fx.take_sent();
     assert!(
-        sent.iter().all(|(_, m)| !matches!(m, GossipMsg::RecoveryRequest { .. })),
+        sent.iter()
+            .all(|(_, m)| !matches!(m, GossipMsg::RecoveryRequest { .. })),
         "no recovery when heights match"
     );
 }
@@ -522,11 +762,17 @@ fn dynamic_election_stands_up_lowest_alive_and_steps_down() {
     peer.on_timer(&mut fx, GossipTimer::ElectionTick);
     assert!(peer.is_leader(), "lowest alive id must claim leadership");
     let sent = fx.take_sent();
-    assert!(sent.iter().any(|(_, m)| matches!(m, GossipMsg::LeaderHeartbeat { .. })));
+    assert!(sent
+        .iter()
+        .any(|(_, m)| matches!(m, GossipMsg::LeaderHeartbeat { .. })));
     assert_eq!(fx.leadership, vec![true]);
 
     // A lower-id leader reappears: step down.
-    peer.on_message(&mut fx, PeerId(0), GossipMsg::LeaderHeartbeat { leader: PeerId(0) });
+    peer.on_message(
+        &mut fx,
+        PeerId(0),
+        GossipMsg::LeaderHeartbeat { leader: PeerId(0) },
+    );
     assert!(!peer.is_leader());
     assert_eq!(fx.leadership, vec![true, false]);
 }
@@ -579,10 +825,21 @@ fn every_peer_delivers_blocks_in_order_despite_shuffled_arrival() {
     let mut peer = GossipPeer::new(PeerId(1), ids, cfg);
     let mut fx = MockEffects::new(1);
     for num in [3u64, 1, 4, 2] {
-        peer.on_message(&mut fx, PeerId(0), GossipMsg::BlockPush { block: block(num), counter: 9 });
+        peer.on_message(
+            &mut fx,
+            PeerId(0),
+            GossipMsg::BlockPush {
+                block: block(num),
+                counter: 9,
+            },
+        );
     }
     assert_eq!(fx.delivered_numbers(), vec![1, 2, 3, 4]);
-    assert_eq!(fx.received, vec![3, 1, 4, 2], "reception order is arrival order");
+    assert_eq!(
+        fx.received,
+        vec![3, 1, 4, 2],
+        "reception order is arrival order"
+    );
 }
 
 #[test]
@@ -593,7 +850,11 @@ fn lockstep_harness_sanity_check() {
     net.inject_to_leader(block(1));
     net.run_to_quiescence();
     assert_eq!(net.peers_with_block(1), 10);
-    assert_eq!(net.total_sent_of_kind("anything"), 0, "sent queues are drained");
+    assert_eq!(
+        net.total_sent_of_kind("anything"),
+        0,
+        "sent queues are drained"
+    );
 }
 
 #[test]
@@ -604,17 +865,40 @@ fn crash_resets_volatile_state_but_keeps_the_store() {
     let mut fx = MockEffects::new(4);
     assert!(peer.is_leader(), "peer 0 is the static leader");
 
-    peer.on_message(&mut fx, PeerId(1), GossipMsg::BlockPush { block: block(1), counter: 9 });
+    peer.on_message(
+        &mut fx,
+        PeerId(1),
+        GossipMsg::BlockPush {
+            block: block(1),
+            counter: 9,
+        },
+    );
     // A digest leaves a fetch pending for block 2.
-    peer.on_message(&mut fx, PeerId(2), GossipMsg::PushDigest { block_num: 2, counter: 3 });
+    peer.on_message(
+        &mut fx,
+        PeerId(2),
+        GossipMsg::PushDigest {
+            block_num: 2,
+            counter: 3,
+        },
+    );
     fx.take_sent();
 
     peer.on_crash();
     assert!(!peer.is_leader(), "leadership is volatile");
     assert!(peer.store().has(1), "persisted blocks survive");
     // The fetch-retry timer for the pre-crash request must now be inert.
-    peer.on_timer(&mut fx, GossipTimer::FetchRetry { block_num: 2, attempt: 1 });
-    assert!(fx.take_sent().is_empty(), "pending fetches died with the process");
+    peer.on_timer(
+        &mut fx,
+        GossipTimer::FetchRetry {
+            block_num: 2,
+            attempt: 1,
+        },
+    );
+    assert!(
+        fx.take_sent().is_empty(),
+        "pending fetches died with the process"
+    );
 }
 
 #[test]
@@ -629,12 +913,29 @@ fn buffered_enhanced_push_shares_one_target_sample() {
     let mut peer = GossipPeer::new(PeerId(5), ids, cfg);
     let mut fx = MockEffects::new(6);
 
-    peer.on_message(&mut fx, PeerId(1), GossipMsg::BlockPush { block: block(1), counter: 1 });
-    peer.on_message(&mut fx, PeerId(2), GossipMsg::BlockPush { block: block(1), counter: 4 });
+    peer.on_message(
+        &mut fx,
+        PeerId(1),
+        GossipMsg::BlockPush {
+            block: block(1),
+            counter: 1,
+        },
+    );
+    peer.on_message(
+        &mut fx,
+        PeerId(2),
+        GossipMsg::BlockPush {
+            block: block(1),
+            counter: 4,
+        },
+    );
     assert!(fx.take_sent().is_empty(), "forwards wait in the buffer");
     let timers = fx.take_scheduled();
     assert_eq!(
-        timers.iter().filter(|(_, t)| *t == GossipTimer::PushFlush).count(),
+        timers
+            .iter()
+            .filter(|(_, t)| *t == GossipTimer::PushFlush)
+            .count(),
         1,
         "one flush timer guards the buffer"
     );
@@ -654,7 +955,10 @@ fn buffered_enhanced_push_shares_one_target_sample() {
         .collect();
     targets_a.sort_unstable();
     targets_b.sort_unstable();
-    assert_eq!(targets_a, targets_b, "both pairs hit the SAME sample — the bias");
+    assert_eq!(
+        targets_a, targets_b,
+        "both pairs hit the SAME sample — the bias"
+    );
 }
 
 #[test]
@@ -668,9 +972,23 @@ fn unbuffered_enhanced_push_samples_independently() {
     let mut fx = MockEffects::new(6);
     let mut all_same = true;
     for b in 1..=6u64 {
-        peer.on_message(&mut fx, PeerId(1), GossipMsg::BlockPush { block: block(b), counter: 1 });
+        peer.on_message(
+            &mut fx,
+            PeerId(1),
+            GossipMsg::BlockPush {
+                block: block(b),
+                counter: 1,
+            },
+        );
         let first: Vec<PeerId> = fx.take_sent().into_iter().map(|(to, _)| to).collect();
-        peer.on_message(&mut fx, PeerId(2), GossipMsg::BlockPush { block: block(b), counter: 4 });
+        peer.on_message(
+            &mut fx,
+            PeerId(2),
+            GossipMsg::BlockPush {
+                block: block(b),
+                counter: 4,
+            },
+        );
         let second: Vec<PeerId> = fx.take_sent().into_iter().map(|(to, _)| to).collect();
         let mut a = first.clone();
         let mut b2 = second.clone();
@@ -691,7 +1009,10 @@ fn stats_count_the_message_economy() {
     net.run_to_quiescence();
     let digests_received: u64 = net.peers.iter().map(|p| p.stats().digests_received).sum();
     let digests_sent = net.total_digests_sent();
-    assert_eq!(digests_received, digests_sent, "lossless routing conserves digests");
+    assert_eq!(
+        digests_received, digests_sent,
+        "lossless routing conserves digests"
+    );
     let fetches: u64 = net.peers.iter().map(|p| p.stats().fetch_requests).sum();
     assert!(fetches > 0, "digest-first dissemination requires fetches");
     let pull_rounds: u64 = net.peers.iter().map(|p| p.stats().pull_rounds).sum();

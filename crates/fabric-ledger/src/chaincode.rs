@@ -48,7 +48,9 @@ impl ChaincodeInput {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        ChaincodeInput { args: args.into_iter().map(Into::into).collect() }
+        ChaincodeInput {
+            args: args.into_iter().map(Into::into).collect(),
+        }
     }
 }
 
@@ -66,7 +68,11 @@ pub trait Chaincode {
     /// # Errors
     ///
     /// Returns [`ChaincodeError::BadArguments`] for malformed inputs.
-    fn simulate(&self, input: &ChaincodeInput, state: &dyn StateReader) -> Result<RwSet, ChaincodeError>;
+    fn simulate(
+        &self,
+        input: &ChaincodeInput,
+        state: &dyn StateReader,
+    ) -> Result<RwSet, ChaincodeError>;
 }
 
 /// The Table II workload: increments one named integer counter.
@@ -82,7 +88,11 @@ impl Chaincode for IncrementChaincode {
         "increment"
     }
 
-    fn simulate(&self, input: &ChaincodeInput, state: &dyn StateReader) -> Result<RwSet, ChaincodeError> {
+    fn simulate(
+        &self,
+        input: &ChaincodeInput,
+        state: &dyn StateReader,
+    ) -> Result<RwSet, ChaincodeError> {
         let key = input
             .args
             .first()
@@ -97,7 +107,10 @@ impl Chaincode for IncrementChaincode {
             }
             None => (0, None),
         };
-        Ok(RwSet::builder().read(key.clone(), version).write_u64(key.clone(), current + 1).build())
+        Ok(RwSet::builder()
+            .read(key.clone(), version)
+            .write_u64(key.clone(), current + 1)
+            .build())
     }
 }
 
@@ -126,7 +139,11 @@ impl Chaincode for PayloadChaincode {
         "high-throughput"
     }
 
-    fn simulate(&self, input: &ChaincodeInput, _state: &dyn StateReader) -> Result<RwSet, ChaincodeError> {
+    fn simulate(
+        &self,
+        input: &ChaincodeInput,
+        _state: &dyn StateReader,
+    ) -> Result<RwSet, ChaincodeError> {
         let row = input
             .args
             .first()
@@ -134,7 +151,9 @@ impl Chaincode for PayloadChaincode {
         // The value itself stays tiny; transaction padding carries the bulk
         // (see `Transaction::payload_padding`), so the state DB does not
         // balloon during long dissemination runs.
-        Ok(RwSet::builder().write(format!("delta:{row}"), Value::from_u64(1)).build())
+        Ok(RwSet::builder()
+            .write(format!("delta:{row}"), Value::from_u64(1))
+            .build())
     }
 }
 
@@ -159,7 +178,10 @@ mod tests {
         let mut state = StateDb::new();
         state.apply(
             Version::new(4, 2),
-            &[WriteItem { key: Key::from("counter7"), value: Value::from_u64(41) }],
+            &[WriteItem {
+                key: Key::from("counter7"),
+                value: Value::from_u64(41),
+            }],
         );
         let rwset = IncrementChaincode
             .simulate(&ChaincodeInput::new(["counter7"]), &state)
@@ -177,9 +199,14 @@ mod tests {
         ));
         state.apply(
             Version::new(1, 0),
-            &[WriteItem { key: Key::from("blob"), value: Value(vec![1, 2, 3]) }],
+            &[WriteItem {
+                key: Key::from("blob"),
+                value: Value(vec![1, 2, 3]),
+            }],
         );
-        assert!(IncrementChaincode.simulate(&ChaincodeInput::new(["blob"]), &state).is_err());
+        assert!(IncrementChaincode
+            .simulate(&ChaincodeInput::new(["blob"]), &state)
+            .is_err());
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl fmt::Display for CommitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CommitError::NotNext { expected, got } => {
-                write!(f, "block {got} is not the next height (expected {expected})")
+                write!(
+                    f,
+                    "block {got} is not the next height (expected {expected})"
+                )
             }
             CommitError::BrokenLink => write!(f, "previous-hash link does not match chain tip"),
             CommitError::DataTampered => write!(f, "data hash does not match transactions"),
@@ -85,7 +88,7 @@ impl LedgerStats {
 ///
 /// let mut ledger = Ledger::new(Arc::new(Msp::single_org(3)), EndorsementPolicy::AnyMember);
 /// let next = Block::new(1, ledger.latest_hash(), vec![]);
-/// ledger.commit(Arc::new(next)).unwrap();
+/// ledger.commit(next.into()).unwrap();
 /// assert_eq!(ledger.height(), 2);
 /// ```
 #[derive(Debug, Clone)]
@@ -103,7 +106,7 @@ impl Ledger {
         Ledger {
             msp,
             policy,
-            blocks: vec![Arc::new(Block::genesis())],
+            blocks: vec![BlockRef::new(Block::genesis())],
             state: StateDb::new(),
             stats: LedgerStats::default(),
         }
@@ -116,7 +119,10 @@ impl Ledger {
 
     /// Hash of the chain tip.
     pub fn latest_hash(&self) -> Hash256 {
-        self.blocks.last().expect("ledger always holds genesis").hash()
+        self.blocks
+            .last()
+            .expect("ledger always holds genesis")
+            .hash()
     }
 
     /// The block at height `number`, if committed.
@@ -155,7 +161,10 @@ impl Ledger {
     pub fn commit(&mut self, block: BlockRef) -> Result<CommitSummary, CommitError> {
         let expected = self.height();
         if block.number() != expected {
-            return Err(CommitError::NotNext { expected, got: block.number() });
+            return Err(CommitError::NotNext {
+                expected,
+                got: block.number(),
+            });
         }
         if block.header.prev_hash != self.latest_hash() {
             return Err(CommitError::BrokenLink);
@@ -181,7 +190,10 @@ impl Ledger {
         }
         let block_num = block.number();
         self.blocks.push(block);
-        Ok(CommitSummary { block_num, validation })
+        Ok(CommitSummary {
+            block_num,
+            validation,
+        })
     }
 }
 
@@ -204,7 +216,10 @@ mod tests {
         read_version: Option<fabric_types::rwset::Version>,
         value: u64,
     ) -> Transaction {
-        let rwset = RwSet::builder().read(key, read_version).write_u64(key, value).build();
+        let rwset = RwSet::builder()
+            .read(key, read_version)
+            .write_u64(key, value)
+            .build();
         let mut tx = Transaction::new(TxId(id), "increment", ClientId(0), rwset);
         tx.endorse(&led.msp, PeerId(0));
         tx
@@ -223,7 +238,7 @@ mod tests {
     fn commit_applies_valid_writes_and_advances_state() {
         let mut led = ledger();
         let tx = endorsed_increment(&led, 1, "k", None, 1);
-        let block = Arc::new(Block::new(1, led.latest_hash(), vec![tx]));
+        let block = BlockRef::new(Block::new(1, led.latest_hash(), vec![tx]));
         let summary = led.commit(block).unwrap();
         assert_eq!(summary.block_num, 1);
         assert_eq!(summary.validation.valid_count(), 1);
@@ -235,15 +250,21 @@ mod tests {
     #[test]
     fn commit_rejects_wrong_height() {
         let mut led = ledger();
-        let block = Arc::new(Block::new(5, led.latest_hash(), vec![]));
-        assert_eq!(led.commit(block), Err(CommitError::NotNext { expected: 1, got: 5 }));
+        let block = BlockRef::new(Block::new(5, led.latest_hash(), vec![]));
+        assert_eq!(
+            led.commit(block),
+            Err(CommitError::NotNext {
+                expected: 1,
+                got: 5
+            })
+        );
         assert_eq!(led.height(), 1);
     }
 
     #[test]
     fn commit_rejects_broken_link() {
         let mut led = ledger();
-        let block = Arc::new(Block::new(1, Hash256([9; 32]), vec![]));
+        let block = BlockRef::new(Block::new(1, Hash256([9; 32]), vec![]));
         assert_eq!(led.commit(block), Err(CommitError::BrokenLink));
     }
 
@@ -253,7 +274,10 @@ mod tests {
         let tx = endorsed_increment(&led, 1, "k", None, 1);
         let mut block = Block::new(1, led.latest_hash(), vec![]);
         block.txs.push(tx); // bypasses data_hash computation
-        assert_eq!(led.commit(Arc::new(block)), Err(CommitError::DataTampered));
+        assert_eq!(
+            led.commit(BlockRef::new(block)),
+            Err(CommitError::DataTampered)
+        );
     }
 
     #[test]
@@ -261,7 +285,7 @@ mod tests {
         let mut led = ledger();
         let tx1 = endorsed_increment(&led, 1, "k", None, 1);
         let tx2 = endorsed_increment(&led, 2, "k", None, 1); // same base read
-        let block = Arc::new(Block::new(1, led.latest_hash(), vec![tx1, tx2]));
+        let block = BlockRef::new(Block::new(1, led.latest_hash(), vec![tx1, tx2]));
         let summary = led.commit(block).unwrap();
         assert_eq!(summary.validation.mvcc_conflicts(), 1);
         assert_eq!(led.stats().mvcc_conflicts, 1);
@@ -272,11 +296,11 @@ mod tests {
     fn stale_read_across_blocks_conflicts() {
         let mut led = ledger();
         let tx1 = endorsed_increment(&led, 1, "k", None, 1);
-        let b1 = Arc::new(Block::new(1, led.latest_hash(), vec![tx1]));
+        let b1 = BlockRef::new(Block::new(1, led.latest_hash(), vec![tx1]));
         led.commit(b1).unwrap();
         // Endorsed before block 1 committed: still reads version None.
         let tx2 = endorsed_increment(&led, 2, "k", None, 1);
-        let b2 = Arc::new(Block::new(2, led.latest_hash(), vec![tx2]));
+        let b2 = BlockRef::new(Block::new(2, led.latest_hash(), vec![tx2]));
         let summary = led.commit(b2).unwrap();
         assert_eq!(summary.validation.mvcc_conflicts(), 1);
         assert_eq!(led.stats().invalid_txs(), 1);
@@ -287,7 +311,7 @@ mod tests {
         let mut led = ledger();
         for n in 1..=20 {
             let tx = endorsed_increment(&led, n, "k", led.state().get_version(&"k".into()), n);
-            let block = Arc::new(Block::new(n, led.latest_hash(), vec![tx]));
+            let block = BlockRef::new(Block::new(n, led.latest_hash(), vec![tx]));
             led.commit(block).unwrap();
         }
         assert_eq!(led.height(), 21);

@@ -24,7 +24,9 @@ pub mod ledger;
 pub mod state;
 pub mod validate;
 
-pub use chaincode::{Chaincode, ChaincodeError, ChaincodeInput, IncrementChaincode, PayloadChaincode};
+pub use chaincode::{
+    Chaincode, ChaincodeError, ChaincodeInput, IncrementChaincode, PayloadChaincode,
+};
 pub use ledger::{CommitError, CommitSummary, Ledger, LedgerStats};
 pub use state::{StateDb, StateReader};
 pub use validate::{validate_block, BlockValidation, TxValidation};

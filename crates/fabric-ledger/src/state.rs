@@ -45,7 +45,8 @@ impl StateDb {
     /// Applies the writes of one committed transaction at `version`.
     pub fn apply(&mut self, version: Version, writes: &[WriteItem]) {
         for w in writes {
-            self.entries.insert(w.key.clone(), (w.value.clone(), version));
+            self.entries
+                .insert(w.key.clone(), (w.value.clone(), version));
         }
     }
 
@@ -87,7 +88,10 @@ mod tests {
     use super::*;
 
     fn w(key: &str, v: u64) -> WriteItem {
-        WriteItem { key: Key::from(key), value: Value::from_u64(v) }
+        WriteItem {
+            key: Key::from(key),
+            value: Value::from_u64(v),
+        }
     }
 
     #[test]
@@ -122,7 +126,13 @@ mod tests {
         let mut db = StateDb::new();
         db.apply(Version::new(1, 0), &[w("a", 10), w("b", 32)]);
         assert_eq!(db.counter_sum(), Some(42));
-        db.apply(Version::new(1, 1), &[WriteItem { key: Key::from("c"), value: Value(vec![1]) }]);
+        db.apply(
+            Version::new(1, 1),
+            &[WriteItem {
+                key: Key::from("c"),
+                value: Value(vec![1]),
+            }],
+        );
         assert_eq!(db.counter_sum(), None);
     }
 }

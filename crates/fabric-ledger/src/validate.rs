@@ -56,7 +56,10 @@ impl BlockValidation {
 
     /// Number of MVCC (validation-time) conflicts.
     pub fn mvcc_conflicts(&self) -> usize {
-        self.flags.iter().filter(|f| **f == TxValidation::MvccConflict).count()
+        self.flags
+            .iter()
+            .filter(|f| **f == TxValidation::MvccConflict)
+            .count()
     }
 }
 
@@ -99,7 +102,10 @@ fn validate_tx(
         return TxValidation::EndorsementFailure;
     }
     for read in &tx.rwset.reads {
-        let current = overlay.get(&read.key).copied().or_else(|| state.get_version(&read.key));
+        let current = overlay
+            .get(&read.key)
+            .copied()
+            .or_else(|| state.get_version(&read.key));
         if current != read.version {
             return TxValidation::MvccConflict;
         }
@@ -121,13 +127,24 @@ mod tests {
         let mut state = StateDb::new();
         state.apply(
             Version::new(1, 0),
-            &[WriteItem { key: Key::from("k"), value: Value::from_u64(0) }],
+            &[WriteItem {
+                key: Key::from("k"),
+                value: Value::from_u64(0),
+            }],
         );
         (msp, policy, state)
     }
 
-    fn increment_tx(msp: &Msp, id: u64, read_version: Option<Version>, new_value: u64) -> Transaction {
-        let rwset = RwSet::builder().read("k", read_version).write_u64("k", new_value).build();
+    fn increment_tx(
+        msp: &Msp,
+        id: u64,
+        read_version: Option<Version>,
+        new_value: u64,
+    ) -> Transaction {
+        let rwset = RwSet::builder()
+            .read("k", read_version)
+            .write_u64("k", new_value)
+            .build();
         let mut tx = Transaction::new(TxId(id), "increment", ClientId(0), rwset);
         tx.endorse(msp, PeerId(1));
         tx
@@ -148,7 +165,13 @@ mod tests {
     fn stale_read_is_mvcc_conflict() {
         let (msp, policy, mut state) = setup();
         // Another write bumped k to version (2, 0) after the endorsement.
-        state.apply(Version::new(2, 0), &[WriteItem { key: Key::from("k"), value: Value::from_u64(5) }]);
+        state.apply(
+            Version::new(2, 0),
+            &[WriteItem {
+                key: Key::from("k"),
+                value: Value::from_u64(5),
+            }],
+        );
         let tx = increment_tx(&msp, 1, Some(Version::new(1, 0)), 1);
         let block = Block::new(3, Hash256::ZERO, vec![tx]);
         let v = validate_block(&msp, &policy, &block, &state);
@@ -165,7 +188,10 @@ mod tests {
         let tx2 = increment_tx(&msp, 2, Some(Version::new(1, 0)), 1);
         let block = Block::new(2, Hash256::ZERO, vec![tx1, tx2]);
         let v = validate_block(&msp, &policy, &block, &state);
-        assert_eq!(v.flags, vec![TxValidation::Valid, TxValidation::MvccConflict]);
+        assert_eq!(
+            v.flags,
+            vec![TxValidation::Valid, TxValidation::MvccConflict]
+        );
         assert_eq!(v.mvcc_conflicts(), 1);
     }
 
@@ -178,13 +204,19 @@ mod tests {
         let tx2 = increment_tx(&msp, 2, Some(Version::new(1, 0)), 1);
         let block = Block::new(2, Hash256::ZERO, vec![tx1, tx2]);
         let v = validate_block(&msp, &policy, &block, &state);
-        assert_eq!(v.flags, vec![TxValidation::MvccConflict, TxValidation::Valid]);
+        assert_eq!(
+            v.flags,
+            vec![TxValidation::MvccConflict, TxValidation::Valid]
+        );
     }
 
     #[test]
     fn missing_endorsement_fails_policy() {
         let (msp, policy, state) = setup();
-        let rwset = RwSet::builder().read("k", Some(Version::new(1, 0))).write_u64("k", 1).build();
+        let rwset = RwSet::builder()
+            .read("k", Some(Version::new(1, 0)))
+            .write_u64("k", 1)
+            .build();
         let tx = Transaction::new(TxId(1), "increment", ClientId(0), rwset);
         let block = Block::new(2, Hash256::ZERO, vec![tx]);
         let v = validate_block(&msp, &policy, &block, &state);
@@ -194,7 +226,10 @@ mod tests {
     #[test]
     fn read_of_absent_key_matches_none_version() {
         let (msp, policy, state) = setup();
-        let rwset = RwSet::builder().read("new-key", None).write_u64("new-key", 1).build();
+        let rwset = RwSet::builder()
+            .read("new-key", None)
+            .write_u64("new-key", 1)
+            .build();
         let mut tx = Transaction::new(TxId(9), "create", ClientId(0), rwset);
         tx.endorse(&msp, PeerId(0));
         let block = Block::new(2, Hash256::ZERO, vec![tx]);
@@ -206,13 +241,19 @@ mod tests {
     fn two_creates_of_same_key_conflict_in_block() {
         let (msp, policy, state) = setup();
         let make = |id: u64| {
-            let rwset = RwSet::builder().read("fresh", None).write_u64("fresh", 1).build();
+            let rwset = RwSet::builder()
+                .read("fresh", None)
+                .write_u64("fresh", 1)
+                .build();
             let mut tx = Transaction::new(TxId(id), "create", ClientId(0), rwset);
             tx.endorse(&msp, PeerId(0));
             tx
         };
         let block = Block::new(2, Hash256::ZERO, vec![make(1), make(2)]);
         let v = validate_block(&msp, &policy, &block, &state);
-        assert_eq!(v.flags, vec![TxValidation::Valid, TxValidation::MvccConflict]);
+        assert_eq!(
+            v.flags,
+            vec![TxValidation::Valid, TxValidation::MvccConflict]
+        );
     }
 }

@@ -84,7 +84,11 @@ impl BlockCutter {
         if let Err(e) = config.validate() {
             panic!("invalid batch config: {e}");
         }
-        BlockCutter { config, pending: Vec::new(), pending_bytes: 0 }
+        BlockCutter {
+            config,
+            pending: Vec::new(),
+            pending_bytes: 0,
+        }
     }
 
     /// The batching parameters.
@@ -210,7 +214,9 @@ mod tests {
     #[test]
     fn paper_configs_are_valid() {
         assert!(BatchConfig::paper_dissemination().validate().is_ok());
-        assert!(BatchConfig::paper_conflicts(Duration::from_millis(750)).validate().is_ok());
+        assert!(BatchConfig::paper_conflicts(Duration::from_millis(750))
+            .validate()
+            .is_ok());
         assert_eq!(BatchConfig::paper_dissemination().max_message_count, 50);
     }
 

@@ -50,7 +50,10 @@ impl OrdererConfig {
 
     /// An idealized instant pipeline, for protocol-logic tests.
     pub fn instant(batch: BatchConfig) -> Self {
-        OrdererConfig { batch, consensus_delay: LatencyModel::ZERO }
+        OrdererConfig {
+            batch,
+            consensus_delay: LatencyModel::ZERO,
+        }
     }
 }
 
@@ -106,7 +109,14 @@ impl OrderingService {
     /// first cut block will carry.
     pub fn new(config: OrdererConfig, prev_hash: Hash256, next_number: u64) -> Self {
         let cutter = BlockCutter::new(config.batch.clone());
-        OrderingService { config, cutter, next_number, prev_hash, batch_epoch: 0, blocks_cut: 0 }
+        OrderingService {
+            config,
+            cutter,
+            next_number,
+            prev_hash,
+            batch_epoch: 0,
+            blocks_cut: 0,
+        }
     }
 
     /// The service configuration.
@@ -171,9 +181,9 @@ impl OrderingService {
 mod tests {
     use super::*;
     use fabric_types::block::verify_chain;
+    use fabric_types::block::BlockRef;
     use fabric_types::ids::{ClientId, TxId};
     use fabric_types::rwset::RwSet;
-    use std::sync::Arc;
 
     fn tx(id: u64) -> Transaction {
         Transaction::new(TxId(id), "cc", ClientId(0), RwSet::default())
@@ -191,10 +201,10 @@ mod tests {
     #[test]
     fn blocks_chain_in_order() {
         let mut orderer = service(2);
-        let mut blocks = vec![Arc::new(Block::genesis())];
+        let mut blocks = vec![BlockRef::new(Block::genesis())];
         for i in 0..10 {
             for b in orderer.submit(tx(i)).blocks {
-                blocks.push(Arc::new(b));
+                blocks.push(BlockRef::new(b));
             }
         }
         assert_eq!(blocks.len(), 6); // genesis + 5 blocks of 2

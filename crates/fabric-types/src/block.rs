@@ -35,7 +35,7 @@ impl BlockHeader {
 /// last-config pointers).
 ///
 /// Blocks are immutable once cut; dissemination code shares them as
-/// [`Arc<Block>`] so a 100-peer simulation stores each block once.
+/// [`BlockRef`] so a 100-peer simulation stores each block once.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Block {
     /// The chained header.
@@ -46,15 +46,82 @@ pub struct Block {
     pub padding: u32,
 }
 
-/// Shared handle to an immutable block.
-pub type BlockRef = Arc<Block>;
+/// Shared, zero-copy handle to an immutable block.
+///
+/// The block content lives in one `Arc` allocation: cloning a `BlockRef`
+/// (as every gossip hop does when fanning a block out to its targets) is a
+/// reference-count bump, never a payload copy. The wire size is computed
+/// once at construction and cached, so the simulator's per-hop byte
+/// accounting — which reads the size at both departure and delivery —
+/// never re-walks the transaction list.
+///
+/// `BlockRef` dereferences to [`Block`], so all read accessors
+/// (`number()`, `hash()`, `txs`, ...) are available directly. The inherent
+/// [`BlockRef::wire_size`] shadows [`Block::wire_size`] with the cached
+/// value.
+#[derive(Debug, Clone)]
+pub struct BlockRef {
+    inner: Arc<Block>,
+    wire_size: usize,
+}
+
+impl BlockRef {
+    /// Wraps `block` in a shared handle, precomputing its wire size.
+    pub fn new(block: Block) -> Self {
+        let wire_size = block.wire_size();
+        BlockRef {
+            inner: Arc::new(block),
+            wire_size,
+        }
+    }
+
+    /// Cached size of the block on the wire, in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.wire_size
+    }
+
+    /// Whether two handles share the same allocation (used by tests to
+    /// prove dissemination never duplicates a payload).
+    pub fn ptr_eq(a: &BlockRef, b: &BlockRef) -> bool {
+        Arc::ptr_eq(&a.inner, &b.inner)
+    }
+}
+
+impl std::ops::Deref for BlockRef {
+    type Target = Block;
+    fn deref(&self) -> &Block {
+        &self.inner
+    }
+}
+
+impl From<Block> for BlockRef {
+    fn from(block: Block) -> Self {
+        BlockRef::new(block)
+    }
+}
+
+impl PartialEq for BlockRef {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer equality is the overwhelmingly common case (shared
+        // payloads); fall back to structural comparison across runs.
+        Arc::ptr_eq(&self.inner, &other.inner) || *self.inner == *other.inner
+    }
+}
 
 impl Block {
     /// Builds a block linking to `prev_hash`, computing the data hash over
     /// the given transactions.
     pub fn new(number: u64, prev_hash: Hash256, txs: Vec<Transaction>) -> Self {
         let data_hash = Self::data_hash(&txs);
-        Block { header: BlockHeader { number, prev_hash, data_hash }, txs, padding: 0 }
+        Block {
+            header: BlockHeader {
+                number,
+                prev_hash,
+                data_hash,
+            },
+            txs,
+            padding: 0,
+        }
     }
 
     /// The genesis block: number 0, zero previous hash, no transactions.
@@ -133,14 +200,23 @@ mod tests {
     use crate::rwset::RwSet;
 
     fn tx(id: u64) -> Transaction {
-        Transaction::new(TxId(id), "cc", ClientId(0), RwSet::builder().write_u64("k", id).build())
+        Transaction::new(
+            TxId(id),
+            "cc",
+            ClientId(0),
+            RwSet::builder().write_u64("k", id).build(),
+        )
     }
 
     fn chain(len: usize) -> Vec<BlockRef> {
-        let mut blocks = vec![Arc::new(Block::genesis())];
+        let mut blocks = vec![BlockRef::new(Block::genesis())];
         for n in 1..len as u64 {
             let prev = blocks.last().unwrap().hash();
-            blocks.push(Arc::new(Block::new(n, prev, vec![tx(n * 10), tx(n * 10 + 1)])));
+            blocks.push(BlockRef::new(Block::new(
+                n,
+                prev,
+                vec![tx(n * 10), tx(n * 10 + 1)],
+            )));
         }
         blocks
     }
@@ -173,7 +249,7 @@ mod tests {
         let mut blocks = chain(5);
         // Replace block 3 with one that links to block 1 instead of 2.
         let bogus = Block::new(3, blocks[1].hash(), vec![tx(99)]);
-        blocks[3] = Arc::new(bogus);
+        blocks[3] = BlockRef::new(bogus);
         assert_eq!(verify_chain(&blocks), Err(3));
     }
 
@@ -183,7 +259,7 @@ mod tests {
         let mut tampered = (*blocks[1]).clone();
         tampered.txs.push(tx(12345));
         let mut blocks2 = blocks.clone();
-        blocks2[1] = Arc::new(tampered);
+        blocks2[1] = BlockRef::new(tampered);
         assert_eq!(verify_chain(&blocks2), Err(1));
     }
 
@@ -200,6 +276,27 @@ mod tests {
         let mut d = h;
         d.data_hash = Hash256([2; 32]);
         assert_ne!(h.hash(), d.hash());
+    }
+
+    #[test]
+    fn blockref_caches_wire_size_and_shares_the_allocation() {
+        let block = Block::new(1, Hash256::ZERO, vec![tx(1), tx(2)]).with_padding(160_000);
+        let computed = block.wire_size();
+        let shared = BlockRef::new(block);
+        assert_eq!(shared.wire_size(), computed);
+        let hop = shared.clone();
+        assert!(
+            BlockRef::ptr_eq(&shared, &hop),
+            "clone must be a pointer bump"
+        );
+        assert_eq!(hop.wire_size(), computed);
+        assert_eq!(shared, hop);
+        // A structurally equal but separately allocated block still compares
+        // equal (cross-run comparisons in the determinism tests rely on it).
+        let rebuilt =
+            BlockRef::new(Block::new(1, Hash256::ZERO, vec![tx(1), tx(2)]).with_padding(160_000));
+        assert!(!BlockRef::ptr_eq(&shared, &rebuilt));
+        assert_eq!(shared, rebuilt);
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl Msp {
     pub fn enroll(&mut self, peer: PeerId, org: OrgId) -> Identity {
         let serial = self.next_serial;
         self.next_serial += 1;
-        let identity = Identity { peer, org, cert_serial: serial };
+        let identity = Identity {
+            peer,
+            org,
+            cert_serial: serial,
+        };
         let key = SecretKey::derive("msp-enroll", u64::from(peer.0) << 16 | u64::from(org.0));
         self.members.insert(peer, (identity, key));
         identity

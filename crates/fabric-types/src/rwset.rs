@@ -138,9 +138,16 @@ impl RwSet {
     /// overhead comparable to Fabric's protobuf encoding.
     pub fn wire_size(&self) -> usize {
         const PER_ITEM: usize = 16;
-        let reads: usize = self.reads.iter().map(|r| r.key.wire_size() + PER_ITEM).sum();
-        let writes: usize =
-            self.writes.iter().map(|w| w.key.wire_size() + w.value.wire_size() + PER_ITEM).sum();
+        let reads: usize = self
+            .reads
+            .iter()
+            .map(|r| r.key.wire_size() + PER_ITEM)
+            .sum();
+        let writes: usize = self
+            .writes
+            .iter()
+            .map(|w| w.key.wire_size() + w.value.wire_size() + PER_ITEM)
+            .sum();
         reads + writes
     }
 }
@@ -154,13 +161,19 @@ pub struct RwSetBuilder {
 impl RwSetBuilder {
     /// Records a read of `key` at `version`.
     pub fn read(mut self, key: impl Into<String>, version: Option<Version>) -> Self {
-        self.rwset.reads.push(ReadItem { key: Key::new(key), version });
+        self.rwset.reads.push(ReadItem {
+            key: Key::new(key),
+            version,
+        });
         self
     }
 
     /// Records a write of `value` to `key`.
     pub fn write(mut self, key: impl Into<String>, value: Value) -> Self {
-        self.rwset.writes.push(WriteItem { key: Key::new(key), value });
+        self.rwset.writes.push(WriteItem {
+            key: Key::new(key),
+            value,
+        });
         self
     }
 
@@ -217,7 +230,10 @@ mod tests {
     #[test]
     fn wire_size_grows_with_content() {
         let small = RwSet::builder().write_u64("k", 1).build();
-        let big = RwSet::builder().write_u64("k", 1).write_u64("another-key", 2).build();
+        let big = RwSet::builder()
+            .write_u64("k", 1)
+            .write_u64("another-key", 2)
+            .build();
         assert!(big.wire_size() > small.wire_size());
         assert_eq!(RwSet::default().wire_size(), 0);
     }

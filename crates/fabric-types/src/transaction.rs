@@ -40,17 +40,23 @@ pub enum EndorsementPolicy {
 impl EndorsementPolicy {
     /// A policy satisfied by one signature from the given peer.
     pub fn single(endorser: PeerId) -> Self {
-        EndorsementPolicy::OutOf { required: 1, candidates: vec![endorser] }
+        EndorsementPolicy::OutOf {
+            required: 1,
+            candidates: vec![endorser],
+        }
     }
 
     /// Checks the policy against a transaction digest and its endorsements,
     /// verifying every counted signature through the MSP.
     pub fn is_satisfied(&self, msp: &Msp, digest: &Hash256, endorsements: &[Endorsement]) -> bool {
         match self {
-            EndorsementPolicy::AnyMember => endorsements
-                .iter()
-                .any(|e| msp.is_member(e.endorser) && msp.verify(e.endorser, &digest.0, &e.signature)),
-            EndorsementPolicy::OutOf { required, candidates } => {
+            EndorsementPolicy::AnyMember => endorsements.iter().any(|e| {
+                msp.is_member(e.endorser) && msp.verify(e.endorser, &digest.0, &e.signature)
+            }),
+            EndorsementPolicy::OutOf {
+                required,
+                candidates,
+            } => {
                 let mut seen: Vec<PeerId> = Vec::new();
                 for e in endorsements {
                     if candidates.contains(&e.endorser)
@@ -136,7 +142,10 @@ impl Transaction {
         let digest = self.digest();
         match msp.sign_as(endorser, &digest.0) {
             Some(signature) => {
-                self.endorsements.push(Endorsement { endorser, signature });
+                self.endorsements.push(Endorsement {
+                    endorser,
+                    signature,
+                });
                 true
             }
             None => false,

@@ -1,7 +1,9 @@
 //! Client-side transaction assembly: simulate at an endorser, sign, build
 //! the proposal the orderer will batch.
 
-use fabric_ledger::chaincode::{Chaincode, ChaincodeError, ChaincodeInput, IncrementChaincode, PayloadChaincode};
+use fabric_ledger::chaincode::{
+    Chaincode, ChaincodeError, ChaincodeInput, IncrementChaincode, PayloadChaincode,
+};
 use fabric_ledger::state::StateDb;
 use fabric_types::ids::{ClientId, PeerId, TxId};
 use fabric_types::msp::Msp;
@@ -42,7 +44,9 @@ pub fn endorse_invocation(
     };
     let mut tx = Transaction::new(tx_id, name, client, rwset).with_padding(invocation.padding);
     if !tx.endorse(msp, endorser) {
-        return Err(ChaincodeError::BadArguments(format!("endorser {endorser} not enrolled")));
+        return Err(ChaincodeError::BadArguments(format!(
+            "endorser {endorser} not enrolled"
+        )));
     }
     Ok(tx)
 }
@@ -69,7 +73,10 @@ mod tests {
         let mut state = StateDb::new();
         state.apply(
             Version::new(5, 2),
-            &[WriteItem { key: Key::from("counter3"), value: Value::from_u64(9) }],
+            &[WriteItem {
+                key: Key::from("counter3"),
+                value: Value::from_u64(9),
+            }],
         );
         let tx = endorse_invocation(
             &invocation(ChaincodeKind::Increment, "counter3"),

@@ -51,7 +51,11 @@ pub struct PayloadWorkload {
 
 impl Default for PayloadWorkload {
     fn default() -> Self {
-        PayloadWorkload { total_txs: 50_000, rate_per_sec: 50.0 / 1.5, tx_padding: 3_100 }
+        PayloadWorkload {
+            total_txs: 50_000,
+            rate_per_sec: 50.0 / 1.5,
+            tx_padding: 3_100,
+        }
     }
 }
 
@@ -59,7 +63,10 @@ impl PayloadWorkload {
     /// A scaled-down copy with `total_txs` transactions (same rate/sizes),
     /// for tests and quick examples.
     pub fn shortened(total_txs: usize) -> Self {
-        PayloadWorkload { total_txs, ..Default::default() }
+        PayloadWorkload {
+            total_txs,
+            ..Default::default()
+        }
     }
 }
 
@@ -76,7 +83,11 @@ pub struct IncrementWorkload {
 
 impl Default for IncrementWorkload {
     fn default() -> Self {
-        IncrementWorkload { keys: 100, rounds: 100, rate_per_sec: 5.0 }
+        IncrementWorkload {
+            keys: 100,
+            rounds: 100,
+            rate_per_sec: 5.0,
+        }
     }
 }
 
@@ -157,17 +168,26 @@ mod tests {
         let cfg = PayloadWorkload::default();
         // 50 transactions of (padding + framing ≈ 100 B) ≈ 160 KB.
         let block_bytes = 50 * (cfg.tx_padding as usize + 100);
-        assert!((150_000..=170_000).contains(&block_bytes), "got {block_bytes}");
+        assert!(
+            (150_000..=170_000).contains(&block_bytes),
+            "got {block_bytes}"
+        );
     }
 
     #[test]
     fn increment_schedule_is_rounds_of_permutations() {
-        let cfg = IncrementWorkload { keys: 10, rounds: 5, rate_per_sec: 5.0 };
+        let cfg = IncrementWorkload {
+            keys: 10,
+            rounds: 5,
+            rate_per_sec: 5.0,
+        };
         let sched = increment_schedule(&cfg, 42);
         assert_eq!(sched.len(), 50);
         for round in 0..5 {
-            let keys: HashSet<&String> =
-                sched[round * 10..(round + 1) * 10].iter().map(|s| &s.args[0]).collect();
+            let keys: HashSet<&String> = sched[round * 10..(round + 1) * 10]
+                .iter()
+                .map(|s| &s.args[0])
+                .collect();
             assert_eq!(keys.len(), 10, "round {round} must touch every key once");
         }
     }
@@ -178,25 +198,40 @@ mod tests {
         let sched = increment_schedule(&cfg, 1);
         assert_eq!(sched.len(), 10_000);
         let dt = sched[1].at.since(sched[0].at);
-        assert_eq!(dt, Duration::from_millis(200), "5 tx/s means one every 200 ms");
+        assert_eq!(
+            dt,
+            Duration::from_millis(200),
+            "5 tx/s means one every 200 ms"
+        );
         let last = sched.last().unwrap().at;
         assert!((last.as_secs_f64() - 1_999.8).abs() < 0.5);
     }
 
     #[test]
     fn increment_schedule_is_deterministic_in_seed() {
-        let cfg = IncrementWorkload { keys: 20, rounds: 3, rate_per_sec: 5.0 };
+        let cfg = IncrementWorkload {
+            keys: 20,
+            rounds: 3,
+            rate_per_sec: 5.0,
+        };
         assert_eq!(increment_schedule(&cfg, 7), increment_schedule(&cfg, 7));
         assert_ne!(increment_schedule(&cfg, 7), increment_schedule(&cfg, 8));
     }
 
     #[test]
     fn rounds_are_permuted_differently() {
-        let cfg = IncrementWorkload { keys: 50, rounds: 2, rate_per_sec: 5.0 };
+        let cfg = IncrementWorkload {
+            keys: 50,
+            rounds: 2,
+            rate_per_sec: 5.0,
+        };
         let sched = increment_schedule(&cfg, 3);
         let round1: Vec<&String> = sched[..50].iter().map(|s| &s.args[0]).collect();
         let round2: Vec<&String> = sched[50..].iter().map(|s| &s.args[0]).collect();
-        assert_ne!(round1, round2, "identical permutations are astronomically unlikely");
+        assert_ne!(
+            round1, round2,
+            "identical permutations are astronomically unlikely"
+        );
     }
 
     #[test]

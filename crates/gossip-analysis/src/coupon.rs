@@ -94,7 +94,10 @@ mod tests {
     #[test]
     fn zero_or_few_draws_always_miss() {
         assert_eq!(coupon_miss_probability(10, 0.0), 1.0);
-        assert!(coupon_miss_probability(10, 5.0) > 0.99, "5 draws cannot cover 10 coupons");
+        assert!(
+            coupon_miss_probability(10, 5.0) > 0.99,
+            "5 draws cannot cover 10 coupons"
+        );
     }
 
     #[test]

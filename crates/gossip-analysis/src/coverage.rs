@@ -113,7 +113,11 @@ pub fn infect_and_die_stats(n: usize, fout: usize, trials: usize, seed: u64) -> 
         coverages.push(covered as f64);
     }
     let mean = coverages.iter().sum::<f64>() / trials as f64;
-    let var = coverages.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / trials as f64;
+    let var = coverages
+        .iter()
+        .map(|c| (c - mean) * (c - mean))
+        .sum::<f64>()
+        / trials as f64;
     CoverageStats {
         mean,
         std_dev: var.sqrt(),
@@ -172,7 +176,11 @@ mod tests {
     fn monte_carlo_matches_the_papers_mean_std_and_transmissions() {
         let stats = infect_and_die_stats(100, 3, 4000, 42);
         assert!((stats.mean - 94.0).abs() < 1.0, "mean = {:.2}", stats.mean);
-        assert!((stats.std_dev - 2.6).abs() < 0.8, "std = {:.2}", stats.std_dev);
+        assert!(
+            (stats.std_dev - 2.6).abs() < 0.8,
+            "std = {:.2}",
+            stats.std_dev
+        );
         assert!(
             (stats.mean_transmissions - 282.0).abs() < 4.0,
             "transmissions = {:.1}",
@@ -207,7 +215,10 @@ mod tests {
     fn monte_carlo_miss_rate_tracks_the_analytic_bound() {
         // Pick a TTL where pe is measurable (~1e-2): fout = 4, TTL = 5.
         let bound = imperfect_dissemination_probability(100.0, 4.0, 5);
-        assert!(bound > 1e-3 && bound < 1.0, "test needs a measurable pe, got {bound:.3e}");
+        assert!(
+            bound > 1e-3 && bound < 1.0,
+            "test needs a measurable pe, got {bound:.3e}"
+        );
         let mc = infect_upon_contagion_miss_rate(100, 4, 5, 4000, 11);
         assert!(
             mc <= bound * 3.0,

@@ -138,7 +138,10 @@ mod tests {
         assert!(pe_f2 >= 1e-10);
         // "Increasing TTL from 9 to 12 with fout = 4 leads to pe = 1e-12."
         let pe_f4_12 = imperfect_dissemination_probability(100.0, 4.0, 12);
-        assert!(pe_f4_12 <= 1e-12, "fout=4, TTL=12 gives pe = {pe_f4_12:.3e}");
+        assert!(
+            pe_f4_12 <= 1e-12,
+            "fout=4, TTL=12 gives pe = {pe_f4_12:.3e}"
+        );
     }
 
     #[test]
@@ -162,9 +165,15 @@ mod tests {
     #[test]
     fn expected_digests_grows_linearly_in_fout_early() {
         let m1 = expected_digests(100.0, 4.0, 1);
-        assert!((m1 - 4.0).abs() < 1e-9, "one round: f digests from one peer");
+        assert!(
+            (m1 - 4.0).abs() < 1e-9,
+            "one round: f digests from one peer"
+        );
         let m2 = expected_digests(100.0, 4.0, 2);
-        assert!(m2 > m1 + 4.0, "round two adds at least the first wave's recipients");
+        assert!(
+            m2 > m1 + 4.0,
+            "round two adds at least the first wave's recipients"
+        );
     }
 
     #[test]

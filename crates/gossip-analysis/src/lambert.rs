@@ -74,7 +74,9 @@ mod tests {
 
     #[test]
     fn identity_w_exp_w_round_trips() {
-        for &x in &[-0.35, -0.3, -0.1, -0.01, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0, 1e6] {
+        for &x in &[
+            -0.35, -0.3, -0.1, -0.01, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0, 1e6,
+        ] {
             let w = lambert_w0(x);
             let back = w * w.exp();
             assert!(

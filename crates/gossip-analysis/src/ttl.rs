@@ -26,7 +26,10 @@ use crate::epidemic::imperfect_dissemination_probability;
 pub fn ttl_for(n: usize, fout: usize, target_pe: f64) -> u32 {
     assert!(n >= 2, "need at least two peers");
     assert!(fout >= 2, "the push phase needs fout >= 2 to saturate");
-    assert!(target_pe > 0.0 && target_pe < 1.0, "target_pe must be in (0, 1)");
+    assert!(
+        target_pe > 0.0 && target_pe < 1.0,
+        "target_pe must be in (0, 1)"
+    );
     for ttl in 1..10_000 {
         if imperfect_dissemination_probability(n as f64, fout as f64, ttl) <= target_pe {
             return ttl;
@@ -52,9 +55,19 @@ impl TtlTable {
     /// Panics on an empty or unsorted grid, or invalid parameters.
     pub fn build(fout: usize, target_pe: f64, sizes: &[usize]) -> Self {
         assert!(!sizes.is_empty(), "the grid needs at least one size");
-        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "grid sizes must be strictly increasing");
-        let entries = sizes.iter().map(|&n| (n, ttl_for(n, fout, target_pe))).collect();
-        TtlTable { fout, target_pe, entries }
+        assert!(
+            sizes.windows(2).all(|w| w[0] < w[1]),
+            "grid sizes must be strictly increasing"
+        );
+        let entries = sizes
+            .iter()
+            .map(|&n| (n, ttl_for(n, fout, target_pe)))
+            .collect();
+        TtlTable {
+            fout,
+            target_pe,
+            entries,
+        }
     }
 
     /// The default grid used in examples and benches: the paper's n = 100
@@ -82,7 +95,10 @@ impl TtlTable {
     /// `≥ n` (the "lowest upper bound" rule). `None` if `n` exceeds the
     /// grid.
     pub fn lookup(&self, n: usize) -> Option<u32> {
-        self.entries.iter().find(|(max_n, _)| *max_n >= n).map(|(_, ttl)| *ttl)
+        self.entries
+            .iter()
+            .find(|(max_n, _)| *max_n >= n)
+            .map(|(_, ttl)| *ttl)
     }
 }
 
@@ -129,7 +145,10 @@ mod tests {
     fn table_entries_are_monotone() {
         let table = TtlTable::build(4, 1e-6, TtlTable::default_grid());
         let ttls: Vec<u32> = table.entries().iter().map(|(_, t)| *t).collect();
-        assert!(ttls.windows(2).all(|w| w[0] <= w[1]), "TTL must grow with n: {ttls:?}");
+        assert!(
+            ttls.windows(2).all(|w| w[0] <= w[1]),
+            "TTL must grow with n: {ttls:?}"
+        );
         assert_eq!(table.fout(), 4);
         assert_eq!(table.target_pe(), 1e-6);
     }

@@ -24,14 +24,21 @@ impl BandwidthSeries {
     /// Wraps a raw MB/s series.
     pub fn new(label: impl Into<String>, mbps: Vec<f64>, bucket_secs: f64) -> Self {
         assert!(bucket_secs > 0.0, "bucket width must be positive");
-        BandwidthSeries { label: label.into(), mbps, bucket_secs }
+        BandwidthSeries {
+            label: label.into(),
+            mbps,
+            bucket_secs,
+        }
     }
 
     /// Adds a constant background rate to every bucket (system chatter not
     /// modeled by the protocol: container runtime, monitoring, Kafka
     /// polling — the paper's idle-network floor).
     pub fn with_background(mut self, background_mbps: f64) -> Self {
-        assert!(background_mbps >= 0.0, "background rate must be non-negative");
+        assert!(
+            background_mbps >= 0.0,
+            "background rate must be non-negative"
+        );
         for v in &mut self.mbps {
             *v += background_mbps;
         }
@@ -66,7 +73,11 @@ impl BandwidthSeries {
     pub fn render(&self) -> String {
         let mut out = format!("# {}\n", self.label);
         for (i, v) in self.mbps.iter().enumerate() {
-            out.push_str(&format!("{:>8.0}  {:>8.3}\n", i as f64 * self.bucket_secs, v));
+            out.push_str(&format!(
+                "{:>8.0}  {:>8.3}\n",
+                i as f64 * self.bucket_secs,
+                v
+            ));
         }
         out
     }

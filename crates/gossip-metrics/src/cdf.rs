@@ -16,8 +16,9 @@ pub const PEER_LEVEL_TICKS: &[f64] = &[
 ];
 
 /// The y ticks of the paper's block-level plots (Figs. 5, 8, 13).
-pub const BLOCK_LEVEL_TICKS: &[f64] =
-    &[0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.995];
+pub const BLOCK_LEVEL_TICKS: &[f64] = &[
+    0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.995,
+];
 
 /// An empirical cumulative distribution over durations.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -106,14 +107,25 @@ pub fn logit(p: f64) -> f64 {
 pub fn logistic_fit_r2(cdf: &Cdf) -> f64 {
     assert!(!cdf.is_empty(), "logistic fit of an empty CDF");
     let qs: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
-    let points: Vec<(f64, f64)> =
-        qs.iter().map(|&q| (cdf.quantile(q).as_secs_f64(), logit(q))).collect();
+    let points: Vec<(f64, f64)> = qs
+        .iter()
+        .map(|&q| (cdf.quantile(q).as_secs_f64(), logit(q)))
+        .collect();
     let n = points.len() as f64;
     let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
     let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
-    let sxx: f64 = points.iter().map(|(x, _)| (x - mean_x) * (x - mean_x)).sum();
-    let sxy: f64 = points.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
-    let syy: f64 = points.iter().map(|(_, y)| (y - mean_y) * (y - mean_y)).sum();
+    let sxx: f64 = points
+        .iter()
+        .map(|(x, _)| (x - mean_x) * (x - mean_x))
+        .sum();
+    let sxy: f64 = points
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let syy: f64 = points
+        .iter()
+        .map(|(_, y)| (y - mean_y) * (y - mean_y))
+        .sum();
     // Guard against an (effectively) constant x with a relative epsilon:
     // plain `== 0.0` misses the rounding dust of the mean subtraction.
     if sxx <= 1e-24 * (1.0 + mean_x * mean_x) || syy == 0.0 {
@@ -144,7 +156,10 @@ impl ProbabilityPlot {
     /// Extracts the plot for `cdf` at the given y `ticks`.
     pub fn from_cdf(label: impl Into<String>, cdf: &Cdf, ticks: &[f64]) -> Self {
         let points = ticks.iter().map(|&q| (q, cdf.quantile(q))).collect();
-        ProbabilityPlot { label: label.into(), points }
+        ProbabilityPlot {
+            label: label.into(),
+            points,
+        }
     }
 
     /// Renders the series as aligned text rows (`tick  latency`).
@@ -247,7 +262,10 @@ mod tests {
             })
             .collect();
         let bad = logistic_fit_r2(&Cdf::new(two_phase));
-        assert!(bad < good, "a phase break must fit worse: {bad:.4} vs {good:.4}");
+        assert!(
+            bad < good,
+            "a phase break must fit worse: {bad:.4} vs {good:.4}"
+        );
     }
 
     #[test]

@@ -46,7 +46,12 @@ impl Summary {
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Some(Summary { mean, std_dev: var.sqrt(), min, max })
+        Some(Summary {
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        })
     }
 
     /// Coefficient of variation (`σ/μ`); 0 when the mean is 0.

@@ -31,15 +31,19 @@ struct BlockRecord {
 impl LatencyRecorder {
     /// A recorder for `peers` peers.
     pub fn new(peers: usize) -> Self {
-        LatencyRecorder { peers, blocks: BTreeMap::new() }
+        LatencyRecorder {
+            peers,
+            blocks: BTreeMap::new(),
+        }
     }
 
     /// Marks the start of `block`'s dissemination (leader reception).
     /// Re-marking an already started block is ignored.
     pub fn start_block(&mut self, block: u64, at: Time) {
-        self.blocks
-            .entry(block)
-            .or_insert_with(|| BlockRecord { start: at, latencies: vec![None; self.peers] });
+        self.blocks.entry(block).or_insert_with(|| BlockRecord {
+            start: at,
+            latencies: vec![None; self.peers],
+        });
     }
 
     /// Records `peer`'s first reception of `block` at `at`. Receptions for
@@ -76,7 +80,10 @@ impl LatencyRecorder {
 
     /// All latencies of one peer across blocks (missing cells skipped).
     pub fn peer_latencies(&self, peer: usize) -> Vec<Duration> {
-        self.blocks.values().filter_map(|r| r.latencies[peer]).collect()
+        self.blocks
+            .values()
+            .filter_map(|r| r.latencies[peer])
+            .collect()
     }
 
     /// All latencies of one block across peers (missing cells skipped).
@@ -89,7 +96,9 @@ impl LatencyRecorder {
 
     /// Per-peer CDFs, one per peer, in peer order.
     pub fn all_peer_cdfs(&self) -> Vec<Cdf> {
-        (0..self.peers).map(|p| Cdf::new(self.peer_latencies(p))).collect()
+        (0..self.peers)
+            .map(|p| Cdf::new(self.peer_latencies(p)))
+            .collect()
     }
 
     /// Per-block CDFs keyed by block number.
@@ -104,7 +113,12 @@ impl LatencyRecorder {
     /// paper's peer-level figures select their three series.
     /// `None` if no data was recorded.
     pub fn peer_extremes(&self) -> Option<Extremes> {
-        Self::extremes(self.all_peer_cdfs().into_iter().enumerate().map(|(i, c)| (i as u64, c)))
+        Self::extremes(
+            self.all_peer_cdfs()
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| (i as u64, c)),
+        )
     }
 
     /// The fastest, median and slowest *blocks* by mean latency
@@ -156,11 +170,14 @@ mod tests {
         rec.record(1, 1, t(150));
         rec.record(1, 2, t(400));
         let lats = rec.block_latencies(1);
-        assert_eq!(lats, vec![
-            Duration::ZERO,
-            Duration::from_millis(50),
-            Duration::from_millis(300),
-        ]);
+        assert_eq!(
+            lats,
+            vec![
+                Duration::ZERO,
+                Duration::from_millis(50),
+                Duration::from_millis(300),
+            ]
+        );
         assert_eq!(rec.completeness(), 1.0);
     }
 
@@ -195,8 +212,14 @@ mod tests {
         rec.record(1, 1, t(20));
         rec.record(2, 0, t(130));
         rec.record(2, 1, t(140));
-        assert_eq!(rec.peer_latencies(0), vec![Duration::from_millis(10), Duration::from_millis(30)]);
-        assert_eq!(rec.block_latencies(2), vec![Duration::from_millis(30), Duration::from_millis(40)]);
+        assert_eq!(
+            rec.peer_latencies(0),
+            vec![Duration::from_millis(10), Duration::from_millis(30)]
+        );
+        assert_eq!(
+            rec.block_latencies(2),
+            vec![Duration::from_millis(30), Duration::from_millis(40)]
+        );
     }
 
     #[test]

@@ -23,15 +23,21 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let render_row = |cells: Vec<&str>, widths: &[usize]| -> String {
-        let padded: Vec<String> =
-            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
         format!("| {} |\n", padded.join(" | "))
     };
     out.push_str(&render_row(headers.to_vec(), &widths));
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
     for row in rows {
-        out.push_str(&render_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push_str(&render_row(
+            row.iter().map(String::as_str).collect(),
+            &widths,
+        ));
     }
     out
 }
@@ -49,7 +55,10 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
-        assert!(widths.iter().all(|w| *w == widths[0]), "rows must align: {widths:?}");
+        assert!(
+            widths.iter().all(|w| *w == widths[0]),
+            "rows must align: {widths:?}"
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! cargo run --release --example compare_gossip [blocks]
 //! ```
 
-use fair_gossip::experiments::dissemination::{run_dissemination, DisseminationConfig, DisseminationResult};
+use fair_gossip::experiments::dissemination::{
+    run_dissemination, DisseminationConfig, DisseminationResult,
+};
 use fair_gossip::metrics::table::render_table;
 
 fn run(label: &str, config: DisseminationConfig) -> (String, DisseminationResult) {
@@ -23,9 +25,18 @@ fn main() {
     let txs = blocks * 50;
 
     let runs = vec![
-        run("original (fout=3, pull 4s)", DisseminationConfig::fig04_06_original().scaled(txs)),
-        run("enhanced (fout=4, TTL=9)", DisseminationConfig::fig07_09_enhanced_f4().scaled(txs)),
-        run("enhanced (fout=2, TTL=19)", DisseminationConfig::fig12_14_enhanced_f2().scaled(txs)),
+        run(
+            "original (fout=3, pull 4s)",
+            DisseminationConfig::fig04_06_original().scaled(txs),
+        ),
+        run(
+            "enhanced (fout=4, TTL=9)",
+            DisseminationConfig::fig07_09_enhanced_f4().scaled(txs),
+        ),
+        run(
+            "enhanced (fout=2, TTL=19)",
+            DisseminationConfig::fig12_14_enhanced_f2().scaled(txs),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -38,27 +49,47 @@ fn main() {
             format!("{}", pooled.quantile(0.999)),
             format!("{}", pooled.max()),
             format!("{:.1}", result.peer_traffic_mb),
-            format!("{:.3}", result.bandwidth.regular.average(Some(result.bandwidth.active_buckets))),
+            format!(
+                "{:.3}",
+                result
+                    .bandwidth
+                    .regular
+                    .average(Some(result.bandwidth.active_buckets))
+            ),
         ]);
     }
     println!();
     println!(
         "{}",
         render_table(
-            &["configuration", "p50", "p95", "p99.9", "max", "peer MB", "regular MB/s"],
+            &[
+                "configuration",
+                "p50",
+                "p95",
+                "p99.9",
+                "max",
+                "peer MB",
+                "regular MB/s"
+            ],
             &rows,
         )
     );
 
     let orig = &runs[0].1;
     let enh = &runs[1].1;
-    let tail_speedup =
-        orig.pooled_cdf().quantile(0.999).as_secs_f64() / enh.pooled_cdf().quantile(0.999).as_secs_f64();
+    let tail_speedup = orig.pooled_cdf().quantile(0.999).as_secs_f64()
+        / enh.pooled_cdf().quantile(0.999).as_secs_f64();
     let traffic_saving = 100.0 * (1.0 - enh.peer_traffic_mb / orig.peer_traffic_mb);
     let bw_saving = 100.0
         * (1.0
-            - enh.bandwidth.regular.average(Some(enh.bandwidth.active_buckets))
-                / orig.bandwidth.regular.average(Some(orig.bandwidth.active_buckets)));
+            - enh
+                .bandwidth
+                .regular
+                .average(Some(enh.bandwidth.active_buckets))
+                / orig
+                    .bandwidth
+                    .regular
+                    .average(Some(orig.bandwidth.active_buckets)));
     println!("tail (p99.9) speedup enhanced vs original: {tail_speedup:.1}x  (paper: >10x)");
     println!("dissemination traffic saving:              {traffic_saving:.0}%");
     println!("regular-peer bandwidth saving (with background): {bw_saving:.0}%  (paper: >40%)");

@@ -7,8 +7,8 @@
 
 use fair_gossip::experiments::dissemination::DisseminationConfig;
 use fair_gossip::experiments::net::{FabricNet, NetParams};
-use fair_gossip::orderer::service::OrdererConfig;
 use fair_gossip::orderer::cutter::BatchConfig;
+use fair_gossip::orderer::service::OrdererConfig;
 use fair_gossip::sim::{Duration, NetworkConfig, NodeId, Simulation};
 use fair_gossip::workload::schedule::{payload_schedule, PayloadWorkload};
 
@@ -26,7 +26,10 @@ fn main() {
         gossip,
         OrdererConfig::kafka(BatchConfig::paper_dissemination()),
     );
-    let workload = PayloadWorkload { total_txs: 3_000, ..PayloadWorkload::default() };
+    let workload = PayloadWorkload {
+        total_txs: 3_000,
+        ..PayloadWorkload::default()
+    };
     let schedule = payload_schedule(&workload);
 
     let mut network = NetworkConfig::lan(FabricNet::node_count(&params));
@@ -39,7 +42,10 @@ fn main() {
     // Let the dynamic election settle and some blocks flow.
     sim.run_until(fair_gossip::sim::Time::from_secs(20));
     let leader_before = sim.protocol().current_leader().expect("a leader stood up");
-    println!("t=20s   leader is {leader_before}, height(peer 5) = {}", sim.protocol().gossip(5).height());
+    println!(
+        "t=20s   leader is {leader_before}, height(peer 5) = {}",
+        sim.protocol().gossip(5).height()
+    );
 
     // Crash the leader and a follower.
     sim.with_ctx(|_, ctx| {
@@ -62,7 +68,10 @@ fn main() {
     let reference = net.gossip(5).height();
     let rebooted = net.gossip(17).height();
     println!("t=120s  height(peer 5) = {reference}, height(peer17) = {rebooted}");
-    assert!(reference > 20, "the network made progress through the failures");
+    assert!(
+        reference > 20,
+        "the network made progress through the failures"
+    );
     assert!(
         reference - rebooted <= 1,
         "recovery must have caught the rebooted peer up (gap {})",

@@ -22,7 +22,10 @@ fn main() {
     let pooled = result.pooled_cdf();
 
     println!("blocks cut:            {}", result.blocks);
-    println!("deliveries recorded:   {:.1}% of (block, peer) pairs", result.completeness * 100.0);
+    println!(
+        "deliveries recorded:   {:.1}% of (block, peer) pairs",
+        result.completeness * 100.0
+    );
     println!("median latency:        {}", pooled.quantile(0.5));
     println!("p99 latency:           {}", pooled.quantile(0.99));
     println!("worst latency:         {}", pooled.max());
@@ -30,10 +33,16 @@ fn main() {
 
     println!("\nmessage mix:");
     for (kind, stats) in &result.kinds {
-        println!("  {kind:<18} {:>8} msgs {:>12} bytes", stats.count, stats.bytes);
+        println!(
+            "  {kind:<18} {:>8} msgs {:>12} bytes",
+            stats.count, stats.bytes
+        );
     }
 
-    let ex = result.block_extremes.as_ref().expect("blocks were disseminated");
+    let ex = result
+        .block_extremes
+        .as_ref()
+        .expect("blocks were disseminated");
     println!(
         "\nslowest block (#{}) reached the last peer after {}",
         ex.slowest.0,

@@ -5,7 +5,7 @@
 //! cargo run --release --example threaded_gossip
 //! ```
 
-use std::sync::Arc;
+use fair_gossip::types::block::BlockRef;
 use std::time::{Duration as StdDuration, Instant};
 
 use fair_gossip::gossip::config::GossipConfig;
@@ -26,7 +26,7 @@ fn main() {
     for n in 1..=BLOCKS {
         let block = Block::new(n, prev, vec![]).with_padding(160_000);
         prev = block.hash();
-        net.inject_block(Arc::new(block));
+        net.inject_block(BlockRef::new(block));
         std::thread::sleep(StdDuration::from_millis(20));
     }
 
@@ -44,8 +44,10 @@ fn main() {
 
     println!("elapsed:                    {elapsed:?}");
     println!("peers with all {BLOCKS} blocks:   {complete}/{PEERS}");
-    println!("full-block transmissions:   {total_blocks_sent} ({:.2} per block per peer)",
-        total_blocks_sent as f64 / (BLOCKS as f64 * PEERS as f64));
+    println!(
+        "full-block transmissions:   {total_blocks_sent} ({:.2} per block per peer)",
+        total_blocks_sent as f64 / (BLOCKS as f64 * PEERS as f64)
+    );
     println!("push digests sent:          {total_digests}");
 
     for o in &outcomes {

@@ -7,13 +7,21 @@
 //! ```
 
 use fair_gossip::analysis::coverage::infect_and_die_expected_coverage;
-use fair_gossip::analysis::epidemic::{carrying_capacity, expected_digests, imperfect_dissemination_probability};
+use fair_gossip::analysis::epidemic::{
+    carrying_capacity, expected_digests, imperfect_dissemination_probability,
+};
 use fair_gossip::analysis::ttl::{ttl_for, TtlTable};
 use fair_gossip::metrics::table::render_table;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
-    let target: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1e-6);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let target: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1e-6);
 
     println!("TTL planning for n = {n} peers, target miss probability {target:.0e}\n");
 
@@ -27,12 +35,18 @@ fn main() {
             ttl.to_string(),
             format!("{pe:.2e}"),
             format!("{digests:.0}"),
-            format!("{:.1}%", 100.0 * carrying_capacity(n as f64, fout as f64) / n as f64),
+            format!(
+                "{:.1}%",
+                100.0 * carrying_capacity(n as f64, fout as f64) / n as f64
+            ),
         ]);
     }
     println!(
         "{}",
-        render_table(&["fout", "TTL", "p_e", "digests/block", "push-only coverage"], &rows)
+        render_table(
+            &["fout", "TTL", "p_e", "digests/block", "push-only coverage"],
+            &rows
+        )
     );
 
     println!(

@@ -11,9 +11,9 @@ use fair_gossip::orderer::cutter::BatchConfig;
 use fair_gossip::orderer::service::OrdererConfig;
 use fair_gossip::sim::{NetworkConfig, Simulation, Time};
 use fair_gossip::types::block::Block;
+use fair_gossip::types::block::BlockRef;
 use fair_gossip::types::ids::PeerId;
 use fair_gossip::workload::schedule::{payload_schedule, PayloadWorkload};
-use std::sync::Arc;
 
 #[test]
 fn free_rider_receives_but_never_forwards() {
@@ -23,21 +23,46 @@ fn free_rider_receives_but_never_forwards() {
     assert!(!peer.forwarding());
     let mut fx = MockEffects::new(1);
 
-    let block = Arc::new(Block::new(1, fair_gossip::types::crypto::Hash256::ZERO, vec![]));
-    peer.on_message(&mut fx, PeerId(1), GossipMsg::BlockPush { block, counter: 2 });
+    let block = BlockRef::new(Block::new(
+        1,
+        fair_gossip::types::crypto::Hash256::ZERO,
+        vec![],
+    ));
+    peer.on_message(
+        &mut fx,
+        PeerId(1),
+        GossipMsg::BlockPush { block, counter: 2 },
+    );
     assert!(peer.store().has(1), "a free-rider still wants the chain");
     assert_eq!(fx.delivered_numbers(), vec![1]);
     assert!(fx.take_sent().is_empty(), "but it forwards nothing");
 
     // Digest for unknown content: it fetches (self-interest) without
     // re-announcing.
-    peer.on_message(&mut fx, PeerId(2), GossipMsg::PushDigest { block_num: 2, counter: 3 });
+    peer.on_message(
+        &mut fx,
+        PeerId(2),
+        GossipMsg::PushDigest {
+            block_num: 2,
+            counter: 3,
+        },
+    );
     let sent = fx.take_sent();
     assert_eq!(sent.len(), 1);
-    assert!(matches!(sent[0].1, GossipMsg::PushRequest { block_num: 2, .. }));
+    assert!(matches!(
+        sent[0].1,
+        GossipMsg::PushRequest { block_num: 2, .. }
+    ));
 
     // It still serves explicit requests — a silent dropper, not a liar.
-    peer.on_message(&mut fx, PeerId(3), GossipMsg::PushRequest { block_num: 1, counter: 2 });
+    peer.on_message(
+        &mut fx,
+        PeerId(3),
+        GossipMsg::PushRequest {
+            block_num: 1,
+            counter: 2,
+        },
+    );
     assert_eq!(fx.take_sent().len(), 1);
 }
 
@@ -48,7 +73,10 @@ fn run_with_free_riders(fraction: f64, seed: u64) -> (f64, u64) {
         GossipConfig::enhanced_f4(),
         OrdererConfig::kafka(BatchConfig::paper_dissemination()),
     );
-    let workload = PayloadWorkload { total_txs: 1_000, ..PayloadWorkload::default() };
+    let workload = PayloadWorkload {
+        total_txs: 1_000,
+        ..PayloadWorkload::default()
+    };
     let schedule = payload_schedule(&workload);
     let network = NetworkConfig::lan(FabricNet::node_count(&params));
     let mut net = FabricNet::new(params, schedule);

@@ -11,7 +11,11 @@ use fair_gossip::sim::{Duration, NetworkConfig, Simulation, Time};
 use fair_gossip::types::block::verify_chain;
 use fair_gossip::workload::schedule::{payload_schedule, PayloadWorkload};
 
-fn dissemination(preset: DisseminationConfig, peers: usize, txs: usize) -> fair_gossip::experiments::DisseminationResult {
+fn dissemination(
+    preset: DisseminationConfig,
+    peers: usize,
+    txs: usize,
+) -> fair_gossip::experiments::DisseminationResult {
     let mut cfg = preset.scaled(txs);
     cfg.peers = peers;
     cfg.network = NetworkConfig::lan(peers + 2);
@@ -37,8 +41,14 @@ fn headline_claim_tail_latency_improves_by_an_order_of_magnitude() {
 fn headline_claim_bandwidth_drops_by_about_forty_percent() {
     let orig = dissemination(DisseminationConfig::fig04_06_original(), 60, 1500);
     let enh = dissemination(DisseminationConfig::fig07_09_enhanced_f4(), 60, 1500);
-    let orig_avg = orig.bandwidth.regular.average(Some(orig.bandwidth.active_buckets));
-    let enh_avg = enh.bandwidth.regular.average(Some(enh.bandwidth.active_buckets));
+    let orig_avg = orig
+        .bandwidth
+        .regular
+        .average(Some(orig.bandwidth.active_buckets));
+    let enh_avg = enh
+        .bandwidth
+        .regular
+        .average(Some(enh.bandwidth.active_buckets));
     let saving = 100.0 * (1.0 - enh_avg / orig_avg);
     assert!(
         (25.0..=60.0).contains(&saving),
@@ -71,8 +81,7 @@ fn conflicts_reduce_with_enhanced_gossip_on_average() {
             (GossipConfig::original_fabric(), &mut orig_total),
             (GossipConfig::enhanced_f4(), &mut enh_total),
         ] {
-            let mut cfg =
-                ConflictConfig::paper(gossip, Duration::from_secs(1)).scaled(40, 15);
+            let mut cfg = ConflictConfig::paper(gossip, Duration::from_secs(1)).scaled(40, 15);
             cfg.peers = 40;
             cfg.network = NetworkConfig::lan(42);
             cfg.seed = 100 + seed;
@@ -96,7 +105,10 @@ fn every_ledger_converges_to_the_same_chain() {
         OrdererConfig::kafka(BatchConfig::paper_dissemination()),
     );
     params.full_ledgers = true;
-    let workload = PayloadWorkload { total_txs: 500, ..PayloadWorkload::default() };
+    let workload = PayloadWorkload {
+        total_txs: 500,
+        ..PayloadWorkload::default()
+    };
     let schedule = payload_schedule(&workload);
     let network = NetworkConfig::lan(FabricNet::node_count(&params));
     let net = FabricNet::new(params, schedule);
@@ -107,13 +119,25 @@ fn every_ledger_converges_to_the_same_chain() {
     let net = sim.protocol();
     assert_eq!(net.commit_errors(), 0);
     let reference = net.ledger(0).unwrap();
-    assert_eq!(reference.height(), net.blocks_cut() + 1, "genesis + every cut block");
+    assert_eq!(
+        reference.height(),
+        net.blocks_cut() + 1,
+        "genesis + every cut block"
+    );
     assert_eq!(verify_chain(reference.blocks()), Ok(()));
     for i in 1..peers {
         let ledger = net.ledger(i).unwrap();
         assert_eq!(ledger.height(), reference.height(), "peer {i} height");
-        assert_eq!(ledger.latest_hash(), reference.latest_hash(), "peer {i} tip");
-        assert_eq!(ledger.stats(), reference.stats(), "peer {i} validation stats");
+        assert_eq!(
+            ledger.latest_hash(),
+            reference.latest_hash(),
+            "peer {i} tip"
+        );
+        assert_eq!(
+            ledger.stats(),
+            reference.stats(),
+            "peer {i} validation stats"
+        );
     }
 }
 
@@ -157,5 +181,8 @@ fn enhanced_curves_are_near_linear_on_the_logit_plot() {
         enh_fit > orig_fit,
         "enhanced must look more logistic: R² {enh_fit:.4} vs original {orig_fit:.4}"
     );
-    assert!(enh_fit > 0.8, "enhanced must be close to a straight line: R² {enh_fit:.4}");
+    assert!(
+        enh_fit > 0.8,
+        "enhanced must be close to a straight line: R² {enh_fit:.4}"
+    );
 }

@@ -23,7 +23,10 @@ fn simulation(
         gossip,
         OrdererConfig::kafka(BatchConfig::paper_dissemination()),
     );
-    let workload = PayloadWorkload { total_txs: txs, ..PayloadWorkload::default() };
+    let workload = PayloadWorkload {
+        total_txs: txs,
+        ..PayloadWorkload::default()
+    };
     let schedule = payload_schedule(&workload);
     let mut network = NetworkConfig::lan(FabricNet::node_count(&params));
     network.loss = loss;

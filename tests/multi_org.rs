@@ -17,7 +17,10 @@ fn multi_org_sim(peers: usize, orgs: usize, txs: usize, seed: u64) -> Simulation
         OrdererConfig::kafka(BatchConfig::paper_dissemination()),
     );
     params.orgs = orgs;
-    let workload = PayloadWorkload { total_txs: txs, ..PayloadWorkload::default() };
+    let workload = PayloadWorkload {
+        total_txs: txs,
+        ..PayloadWorkload::default()
+    };
     let schedule = payload_schedule(&workload);
     let network = NetworkConfig::lan(FabricNet::node_count(&params));
     let net = FabricNet::new(params, schedule);
@@ -56,7 +59,11 @@ fn every_peer_of_every_org_receives_every_block() {
     sim.run_until(Time::from_secs(120));
     let net = sim.protocol();
     assert_eq!(net.blocks_cut(), 20);
-    assert_eq!(net.latency.completeness(), 1.0, "all three organizations must converge");
+    assert_eq!(
+        net.latency.completeness(),
+        1.0,
+        "all three organizations must converge"
+    );
     // Latency fairness across organizations: mean reception latency per
     // org should be in the same ballpark (no starved organization).
     let mut org_means = Vec::new();

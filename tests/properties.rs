@@ -57,7 +57,7 @@ proptest! {
         let mut store = BlockStore::new();
         let mut delivered = Vec::new();
         for n in &shuffled {
-            if let Some(run) = store.insert(Arc::new(Block::new(*n, Hash256::ZERO, vec![]))) {
+            if let Some(run) = store.insert(Block::new(*n, Hash256::ZERO, vec![]).into()) {
                 delivered.extend(run.iter().map(|b| b.number()));
             }
         }
@@ -177,7 +177,7 @@ proptest! {
                     tx
                 })
                 .collect();
-            let block = Arc::new(Block::new(height as u64 + 1, ledger.latest_hash(), txs));
+            let block = Block::new(height as u64 + 1, ledger.latest_hash(), txs).into();
             let summary = ledger.commit(block).unwrap();
             prop_assert_eq!(summary.validation.invalid_count(), 0);
         }

@@ -1,7 +1,6 @@
 //! The real-threads runtime under both protocols: same state machine, OS
 //! threads and wall-clock timers instead of the simulator.
 
-use std::sync::Arc;
 use std::time::Duration as StdDuration;
 
 use fair_gossip::gossip::config::GossipConfig;
@@ -15,7 +14,7 @@ fn chain(len: u64, padding: u32) -> Vec<BlockRef> {
         .map(|n| {
             let b = Block::new(n, prev, vec![]).with_padding(padding);
             prev = b.hash();
-            Arc::new(b)
+            BlockRef::new(b)
         })
         .collect()
 }
@@ -31,7 +30,12 @@ fn enhanced_gossip_on_threads_delivers_a_chain() {
     let outcomes = net.shutdown();
     assert_eq!(outcomes.len(), 16);
     for o in &outcomes {
-        assert_eq!(o.delivered, (1..=8).collect::<Vec<_>>(), "peer {}", o.peer.id());
+        assert_eq!(
+            o.delivered,
+            (1..=8).collect::<Vec<_>>(),
+            "peer {}",
+            o.peer.id()
+        );
     }
     // Digest-based dissemination: the content travels ~once per peer.
     let blocks_sent: u64 = outcomes.iter().map(|o| o.peer.stats().blocks_sent).sum();
@@ -55,7 +59,12 @@ fn original_gossip_on_threads_completes_through_pull() {
     std::thread::sleep(StdDuration::from_millis(1_200));
     let outcomes = net.shutdown();
     for o in &outcomes {
-        assert_eq!(o.delivered, (1..=5).collect::<Vec<_>>(), "peer {}", o.peer.id());
+        assert_eq!(
+            o.delivered,
+            (1..=5).collect::<Vec<_>>(),
+            "peer {}",
+            o.peer.id()
+        );
     }
 }
 
@@ -65,9 +74,15 @@ fn thread_outcomes_expose_protocol_stats() {
     net.inject_block(chain(1, 50_000).pop().unwrap());
     std::thread::sleep(StdDuration::from_millis(300));
     let outcomes = net.shutdown();
-    let received: usize = outcomes.iter().map(|o| o.peer.stats().first_seen.len()).sum();
+    let received: usize = outcomes
+        .iter()
+        .map(|o| o.peer.stats().first_seen.len())
+        .sum();
     assert_eq!(received, 8, "every peer records its first reception");
     let leader = &outcomes[0];
     assert!(leader.peer.is_leader());
-    assert!(leader.peer.stats().blocks_sent >= 1, "the leader seeds the block");
+    assert!(
+        leader.peer.stats().blocks_sent >= 1,
+        "the leader seeds the block"
+    );
 }

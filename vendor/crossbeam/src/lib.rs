@@ -1,0 +1,44 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the channel API this workspace uses is provided, implemented
+//! directly on `std::sync::mpsc` (whose `Sender` is `Clone` and whose
+//! `Receiver` supports `recv_timeout`, which is all the threaded gossip
+//! runtime needs).
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(2));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        drop(tx2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`: re-exports the no-op derive macros.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward
+//! compatibility annotations; no code path serializes at runtime.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

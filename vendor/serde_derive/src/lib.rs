@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! Nothing in this workspace serializes at runtime — the derives only have
+//! to exist so the `#[derive(Serialize, Deserialize)]` annotations compile.
+//! Emitting an empty token stream implements nothing and costs nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
