@@ -1,19 +1,26 @@
 //! `bench_dissemination` — the perf-trajectory emitter.
 //!
-//! Times the fig04 and fig07 dissemination presets (wall-clock and
-//! events/second) and the clone-per-hop vs zero-copy payload comparison,
-//! then writes `BENCH_dissemination.json` so future changes have a
-//! baseline to compare against.
+//! Times the fig04 and fig07 dissemination presets plus the multi-channel
+//! preset (wall-clock and events/second) and the clone-per-hop vs
+//! zero-copy payload comparison, then writes `BENCH_dissemination.json` so
+//! future changes have a baseline to compare against.
 //!
 //! ```text
 //! bench_dissemination [smoke|quick|full] [output.json]
+//! bench_dissemination compare <new.json> <baseline.json>
 //! ```
+//!
+//! `compare` is CI's warn-only perf gate: it diffs the two files'
+//! events/second and wall-clock per preset, prints `::warning::` lines on
+//! regressions past the thresholds, and always exits 0 — wall-clock noise
+//! must not fail a PR, only surface on it.
 
 use std::time::Instant;
 
 use bench::zero_copy::{compare, FloodConfig};
-use bench::{run_scaled, Scale};
+use bench::{multichannel_preset, run_scaled, Scale};
 use fabric_experiments::dissemination::DisseminationConfig;
+use fabric_experiments::multichannel::run_multichannel;
 
 struct PresetRow {
     name: &'static str,
@@ -38,8 +45,105 @@ fn time_preset(name: &'static str, preset: DisseminationConfig, scale: Scale) ->
     }
 }
 
+fn time_multichannel(scale: Scale) -> PresetRow {
+    let cfg = multichannel_preset(scale);
+    let start = Instant::now();
+    let result = run_multichannel(&cfg);
+    let wall = start.elapsed().as_secs_f64();
+    PresetRow {
+        name: "multichannel",
+        wall_secs: wall,
+        events: result.events,
+        events_per_sec: result.events as f64 / wall.max(1e-9),
+        blocks: result.channels.iter().map(|c| c.blocks).sum(),
+        completeness: result
+            .channels
+            .iter()
+            .map(|c| c.completeness)
+            .fold(1.0f64, f64::min),
+    }
+}
+
+/// Pulls a numeric field out of a one-preset-per-line JSON row. The emitter
+/// above writes each preset on its own line, so a line-local scan is exact
+/// (no vendored JSON parser exists in this offline workspace).
+fn field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn preset_rows(path: &str) -> Vec<(String, f64, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("::warning::perf-diff: cannot read {path}");
+        return Vec::new();
+    };
+    text.lines()
+        .filter(|l| l.contains("\"name\": "))
+        .filter_map(|l| {
+            let name = l
+                .split("\"name\": \"")
+                .nth(1)?
+                .split('"')
+                .next()?
+                .to_owned();
+            Some((name, field(l, "wall_secs")?, field(l, "events_per_sec")?))
+        })
+        .collect()
+}
+
+/// Warn-only perf diff: tolerate 25 % wall-clock growth / 20 % events-per-
+/// second loss before flagging (CI machines are noisy; the thresholds catch
+/// engine regressions, not scheduler jitter).
+fn run_compare(new_path: &str, baseline_path: &str) {
+    let new = preset_rows(new_path);
+    let base = preset_rows(baseline_path);
+    if new.is_empty() || base.is_empty() {
+        eprintln!("::warning::perf-diff: missing preset rows; skipping comparison");
+        return;
+    }
+    eprintln!("# perf diff: {new_path} vs baseline {baseline_path} (warn-only)");
+    for (name, wall, eps) in &new {
+        let Some((_, base_wall, base_eps)) = base.iter().find(|(n, _, _)| n == name) else {
+            eprintln!("{name:<22} NEW (no baseline row)");
+            continue;
+        };
+        let wall_ratio = wall / base_wall.max(1e-9);
+        let eps_ratio = eps / base_eps.max(1e-9);
+        eprintln!(
+            "{name:<22} wall {wall:>8.3} s ({:+.1} %) | {eps:>12.0} events/s ({:+.1} %)",
+            (wall_ratio - 1.0) * 100.0,
+            (eps_ratio - 1.0) * 100.0,
+        );
+        if wall_ratio > 1.25 || eps_ratio < 0.80 {
+            eprintln!(
+                "::warning::perf regression in {name}: wall {base_wall:.3} s -> {wall:.3} s, \
+                 {base_eps:.0} -> {eps:.0} events/s"
+            );
+        }
+    }
+    for (name, _, _) in &base {
+        if !new.iter().any(|(n, _, _)| n == name) {
+            eprintln!("::warning::perf-diff: preset {name} disappeared from the new run");
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        let new_path = args.get(1).map(String::as_str).unwrap_or("BENCH_new.json");
+        let baseline = args
+            .get(2)
+            .map(String::as_str)
+            .unwrap_or("BENCH_dissemination.json");
+        run_compare(new_path, baseline);
+        return;
+    }
     let scale = args
         .first()
         .and_then(|s| Scale::parse(s))
@@ -62,6 +166,7 @@ fn main() {
             DisseminationConfig::fig07_09_enhanced_f4(),
             scale,
         ),
+        time_multichannel(scale),
     ];
     for row in &presets {
         eprintln!(

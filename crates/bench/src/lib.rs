@@ -8,6 +8,7 @@
 use fabric_experiments::dissemination::{
     run_dissemination, DisseminationConfig, DisseminationResult,
 };
+use fabric_experiments::multichannel::MultiChannelConfig;
 
 pub mod zero_copy;
 
@@ -49,6 +50,17 @@ impl Scale {
             "smoke" => Some(Scale::Smoke),
             _ => None,
         }
+    }
+}
+
+/// The multi-channel benchmark preset at this scale: overlapping
+/// membership windows with skewed per-channel block rates (see
+/// [`MultiChannelConfig::skewed`]).
+pub fn multichannel_preset(scale: Scale) -> MultiChannelConfig {
+    match scale {
+        Scale::Full => MultiChannelConfig::skewed(8, 200, 1_000),
+        Scale::Quick => MultiChannelConfig::skewed(4, 100, 240),
+        Scale::Smoke => MultiChannelConfig::skewed(2, 30, 40),
     }
 }
 

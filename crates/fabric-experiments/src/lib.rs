@@ -11,6 +11,9 @@
 //!   no-digest ablations;
 //! * [`conflicts`] — Table II: invalidated transactions under different
 //!   block periods;
+//! * [`multichannel`] — beyond the paper: C channels × N peers with
+//!   overlapping memberships and skewed per-channel block rates, reporting
+//!   per-channel latency CDFs and Jain's fairness;
 //! * [`report`] — paper-style text rendering of every figure and table.
 //!
 //! ```no_run
@@ -24,11 +27,15 @@
 
 pub mod conflicts;
 pub mod dissemination;
+pub mod multichannel;
 pub mod net;
 pub mod parallel;
 pub mod report;
 
 pub use conflicts::{run_conflicts, run_table2, ConflictConfig, ConflictResult, Table2Row};
 pub use dissemination::{run_dissemination, DisseminationConfig, DisseminationResult};
+pub use multichannel::{
+    run_multichannel, ChannelPlan, MultiChannelConfig, MultiChannelNet, MultiChannelResult,
+};
 pub use net::{FabricNet, NetMsg, NetParams, NetTimer};
 pub use parallel::{run_conflicts_batch, run_dissemination_batch, run_seed_sweep};

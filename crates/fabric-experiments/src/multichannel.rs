@@ -1,0 +1,568 @@
+//! Multi-channel dissemination scenarios: C channels × N peers with
+//! overlapping memberships and skewed per-channel block rates.
+//!
+//! Fabric scopes gossip per channel, and channel count is a first-order
+//! throughput and fairness lever (Wang & Chu's bottleneck analysis). This
+//! module exercises exactly that axis: every peer joins the channels whose
+//! membership window covers it, each channel elects its own leader and
+//! runs its own push/pull/recovery instance, and the per-channel
+//! [`LatencyRecorder`]s plus the per-channel byte breakdown in
+//! [`fabric_gossip::PeerStats`] feed latency CDFs and Jain's fairness
+//! **per channel** — the view peer-global totals cannot provide.
+//!
+//! Unlike [`crate::net::FabricNet`] (which drives the full
+//! execute-order-validate pipeline on one channel), the orderer here is
+//! abstracted to per-channel injection timers with configurable periods:
+//! the paper's dissemination clock starts at leader reception anyway, and
+//! skewed injection is the point of the scenario.
+
+use desim::{Ctx, Duration, NetworkConfig, NodeId, Simulation, Time};
+use fabric_gossip::config::GossipConfig;
+use fabric_gossip::effects::Effects;
+use fabric_gossip::messages::{ChannelMsg, GossipMsg, GossipTimer};
+use fabric_gossip::peer::GossipPeer;
+use fabric_types::block::{Block, BlockRef};
+use fabric_types::crypto::Hash256;
+use fabric_types::ids::{ChannelId, PeerId};
+use gossip_metrics::fairness::FairnessReport;
+use gossip_metrics::latency::LatencyRecorder;
+
+/// One channel of a multi-channel scenario.
+#[derive(Debug, Clone)]
+pub struct ChannelPlan {
+    /// The peers joined to this channel (its single organization).
+    pub members: Vec<PeerId>,
+    /// Period between block injections at this channel's leader.
+    pub block_interval: Duration,
+    /// Blocks the channel's ordering service will inject.
+    pub blocks: u64,
+    /// Payload padding per block, in bytes.
+    pub payload: u32,
+}
+
+/// Everything a multi-channel run needs.
+#[derive(Debug, Clone)]
+pub struct MultiChannelConfig {
+    /// Total peers in the deployment (channels cover subsets of them).
+    pub peers: usize,
+    /// One plan per channel; channel `c` gets id `ChannelId(c)`.
+    pub plans: Vec<ChannelPlan>,
+    /// Gossip configuration shared by every channel instance.
+    pub gossip: GossipConfig,
+    /// Physical network model.
+    pub network: NetworkConfig,
+    /// Extra idle time after the last injection window.
+    pub idle_tail: Duration,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl MultiChannelConfig {
+    /// The standard skewed preset: `channels` overlapping membership
+    /// windows over `peers` peers, with channel `c` publishing at
+    /// `base_interval · (c + 1)` — channel 0 is the busiest — and block
+    /// counts scaled so every channel stays active for a similar span.
+    ///
+    /// Windows are sized at roughly `2·peers/(channels+1)` with ~50 %
+    /// overlap between neighbours, so interior peers serve two channels:
+    /// the overlapping-org-membership shape of real consortium networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is 0 or `peers < 2 · channels`.
+    pub fn skewed(channels: usize, peers: usize, base_blocks: u64) -> Self {
+        assert!(channels >= 1, "need at least one channel");
+        assert!(peers >= 2 * channels, "need >= 2 peers per channel");
+        let window = (2 * peers).div_ceil(channels + 1).max(2);
+        let stride = if channels == 1 {
+            0
+        } else {
+            (peers - window) / (channels - 1)
+        };
+        let base_interval = Duration::from_millis(500);
+        let plans: Vec<ChannelPlan> = (0..channels)
+            .map(|c| {
+                let lo = c * stride;
+                let hi = (lo + window).min(peers);
+                ChannelPlan {
+                    members: (lo as u32..hi as u32).map(PeerId).collect(),
+                    block_interval: base_interval * (c as u64 + 1),
+                    blocks: (base_blocks / (c as u64 + 1)).max(1),
+                    payload: 32_768,
+                }
+            })
+            .collect();
+        MultiChannelConfig {
+            peers,
+            plans,
+            gossip: GossipConfig::enhanced_f4(),
+            network: NetworkConfig::lan(peers),
+            idle_tail: Duration::from_secs(10),
+            seed: 1,
+        }
+    }
+}
+
+/// Timers of the multi-channel deployment.
+#[derive(Debug)]
+pub enum McTimer {
+    /// A gossip timer of one peer's channel instance.
+    Peer {
+        /// The channel instance the timer belongs to.
+        channel: ChannelId,
+        /// The gossip timer payload.
+        timer: GossipTimer,
+    },
+    /// The channel's ordering service injects its next block at the
+    /// leader.
+    Inject {
+        /// The channel being injected.
+        channel: ChannelId,
+    },
+}
+
+/// Per-channel chain bookkeeping for the abstract orderer.
+#[derive(Debug)]
+struct ChainState {
+    next_num: u64,
+    prev_hash: Hash256,
+}
+
+/// The multi-channel deployment as a [`desim::Protocol`]: node `i` is peer
+/// `i`; there are no extra nodes (injection rides on leader timers).
+#[derive(Debug)]
+pub struct MultiChannelNet {
+    cfg: MultiChannelConfig,
+    peers: Vec<GossipPeer>,
+    /// Channel → leader peer (lowest member id).
+    leaders: Vec<PeerId>,
+    /// Channel → peer index → dense member slot (None for non-members).
+    slots: Vec<Vec<Option<usize>>>,
+    chains: Vec<ChainState>,
+    /// One latency matrix per channel, sized to the channel's membership.
+    pub latency: Vec<LatencyRecorder>,
+}
+
+impl MultiChannelNet {
+    /// Builds the deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty plan list, an invalid gossip configuration, or a
+    /// member id outside `0..peers`.
+    pub fn new(cfg: MultiChannelConfig) -> Self {
+        assert!(!cfg.plans.is_empty(), "need at least one channel plan");
+        let mut leaders = Vec::with_capacity(cfg.plans.len());
+        let mut slots = Vec::with_capacity(cfg.plans.len());
+        let mut latency = Vec::with_capacity(cfg.plans.len());
+        let mut chains = Vec::with_capacity(cfg.plans.len());
+        for (c, plan) in cfg.plans.iter().enumerate() {
+            let channel = ChannelId(c as u16);
+            assert!(!plan.members.is_empty(), "channel {channel} has no members");
+            assert!(
+                plan.members.iter().all(|p| p.index() < cfg.peers),
+                "channel {channel} member outside the deployment"
+            );
+            let mut slot_map = vec![None; cfg.peers];
+            for (slot, member) in plan.members.iter().enumerate() {
+                slot_map[member.index()] = Some(slot);
+            }
+            leaders.push(*plan.members.iter().min().expect("non-empty members"));
+            slots.push(slot_map);
+            latency.push(LatencyRecorder::new(plan.members.len()));
+            chains.push(ChainState {
+                next_num: 1,
+                prev_hash: Block::genesis().hash(),
+            });
+        }
+        let peers: Vec<GossipPeer> = (0..cfg.peers as u32)
+            .map(|i| {
+                let id = PeerId(i);
+                cfg.plans
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, plan)| plan.members.contains(&id))
+                    .fold(
+                        GossipPeer::with_channels(id, cfg.gossip.clone()),
+                        |peer, (c, plan)| {
+                            peer.join_channel(ChannelId(c as u16), plan.members.clone())
+                        },
+                    )
+            })
+            .collect();
+        MultiChannelNet {
+            cfg,
+            peers,
+            leaders,
+            slots,
+            chains,
+            latency,
+        }
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &MultiChannelConfig {
+        &self.cfg
+    }
+
+    /// The gossip state of peer `i`.
+    pub fn gossip(&self, i: usize) -> &GossipPeer {
+        &self.peers[i]
+    }
+
+    /// The leader of channel `c`.
+    pub fn leader_of(&self, c: usize) -> PeerId {
+        self.leaders[c]
+    }
+
+    /// Starts the run: initializes every peer's timers (all channels) and
+    /// arms each channel's first injection, staggered by its own interval.
+    pub fn start(&mut self, ctx: &mut Ctx<'_, ChannelMsg, McTimer>) {
+        for i in 0..self.peers.len() {
+            let node = NodeId(i as u32);
+            let mut fx = McFx {
+                ctx,
+                me: node,
+                slots: &self.slots,
+                latency: &mut self.latency,
+            };
+            self.peers[i].init(&mut fx);
+        }
+        for (c, plan) in self.cfg.plans.iter().enumerate() {
+            let channel = ChannelId(c as u16);
+            ctx.set_timer(
+                NodeId(self.leaders[c].0),
+                plan.block_interval,
+                McTimer::Inject { channel },
+            );
+        }
+    }
+
+    /// The virtual instant by which every channel has injected its last
+    /// block (the drain window starts here).
+    pub fn injection_end(&self) -> Time {
+        let mut end = Time::ZERO;
+        for plan in &self.cfg.plans {
+            end = end.max(Time::ZERO + plan.block_interval * (plan.blocks + 1));
+        }
+        end
+    }
+
+    fn inject(&mut self, ctx: &mut Ctx<'_, ChannelMsg, McTimer>, channel: ChannelId) {
+        let c = channel.index();
+        let plan = &self.cfg.plans[c];
+        let chain = &mut self.chains[c];
+        if chain.next_num > plan.blocks {
+            return;
+        }
+        let num = chain.next_num;
+        chain.next_num += 1;
+        let block = Block::new(num, chain.prev_hash, vec![]).with_padding(plan.payload);
+        chain.prev_hash = block.hash();
+        let block = BlockRef::new(block);
+        self.latency[c].start_block(num, ctx.now());
+        let leader = self.leaders[c];
+        let node = NodeId(leader.0);
+        {
+            let mut fx = McFx {
+                ctx,
+                me: node,
+                slots: &self.slots,
+                latency: &mut self.latency,
+            };
+            self.peers[leader.index()].on_block_from_orderer_on(&mut fx, channel, block);
+        }
+        if chain.next_num <= plan.blocks {
+            ctx.set_timer(node, plan.block_interval, McTimer::Inject { channel });
+        }
+    }
+}
+
+impl desim::Protocol for MultiChannelNet {
+    type Msg = ChannelMsg;
+    type Timer = McTimer;
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, ChannelMsg, McTimer>,
+        to: NodeId,
+        from: NodeId,
+        msg: ChannelMsg,
+    ) {
+        let mut fx = McFx {
+            ctx,
+            me: to,
+            slots: &self.slots,
+            latency: &mut self.latency,
+        };
+        self.peers[to.index()].on_channel_message(&mut fx, msg.channel, PeerId(from.0), msg.msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ChannelMsg, McTimer>, node: NodeId, timer: McTimer) {
+        match timer {
+            McTimer::Peer { channel, timer } => {
+                let mut fx = McFx {
+                    ctx,
+                    me: node,
+                    slots: &self.slots,
+                    latency: &mut self.latency,
+                };
+                self.peers[node.index()].on_channel_timer(&mut fx, channel, timer);
+            }
+            McTimer::Inject { channel } => self.inject(ctx, channel),
+        }
+    }
+}
+
+/// The [`Effects`] adapter: one peer's view of the multi-channel sim.
+struct McFx<'a, 'c> {
+    ctx: &'a mut Ctx<'c, ChannelMsg, McTimer>,
+    me: NodeId,
+    slots: &'a [Vec<Option<usize>>],
+    latency: &'a mut [LatencyRecorder],
+}
+
+impl Effects for McFx<'_, '_> {
+    fn now(&self) -> Time {
+        self.ctx.now()
+    }
+
+    fn send(&mut self, channel: ChannelId, to: PeerId, msg: GossipMsg) {
+        self.ctx
+            .send(self.me, NodeId(to.0), ChannelMsg { channel, msg });
+    }
+
+    fn schedule(&mut self, after: Duration, channel: ChannelId, timer: GossipTimer) {
+        self.ctx
+            .set_timer(self.me, after, McTimer::Peer { channel, timer });
+    }
+
+    fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        self.ctx.rng()
+    }
+
+    fn block_received(&mut self, channel: ChannelId, block_num: u64) {
+        let c = channel.index();
+        if let Some(slot) = self.slots[c][self.me.index()] {
+            self.latency[c].record(block_num, slot, self.ctx.now());
+        }
+    }
+
+    fn deliver(&mut self, _channel: ChannelId, _block: BlockRef) {
+        // The scenario measures dissemination; ledger commit costs are
+        // FabricNet's concern.
+    }
+}
+
+/// One channel's measured outcome.
+#[derive(Debug, Clone)]
+pub struct ChannelOutcome {
+    /// The channel.
+    pub channel: ChannelId,
+    /// Member count.
+    pub members: usize,
+    /// Blocks injected.
+    pub blocks: u64,
+    /// Fraction of (block, member) deliveries that happened.
+    pub completeness: f64,
+    /// Median dissemination latency over all (block, member) cells.
+    pub p50: Duration,
+    /// 99.9th percentile of the same pool.
+    pub p999: Duration,
+    /// Worst cell.
+    pub max: Duration,
+}
+
+/// What a multi-channel run produces.
+#[derive(Debug)]
+pub struct MultiChannelResult {
+    /// Per-channel outcomes, channel order.
+    pub channels: Vec<ChannelOutcome>,
+    /// Per-channel and overall Jain fairness over per-member gossip bytes.
+    pub fairness: FairnessReport,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Final virtual time.
+    pub sim_end: Time,
+    /// The final protocol state, for custom inspection.
+    pub net: MultiChannelNet,
+}
+
+/// Runs one multi-channel experiment to completion.
+pub fn run_multichannel(cfg: &MultiChannelConfig) -> MultiChannelResult {
+    let mut network = cfg.network.clone();
+    network.nodes = cfg.peers;
+    let mut net = MultiChannelNet::new(cfg.clone());
+    let injection_end = net.injection_end();
+    let mut sim = Simulation::new(net, network, cfg.seed);
+    sim.with_ctx(|net, ctx| net.start(ctx));
+    sim.run_until(injection_end + Duration::from_secs(40));
+    sim.run_for(cfg.idle_tail);
+    let events = sim.events_processed();
+    let sim_end = sim.now();
+    net = sim.into_protocol();
+
+    let mut outcomes = Vec::with_capacity(cfg.plans.len());
+    let mut fairness_rows: Vec<(String, Vec<(usize, f64)>)> = Vec::with_capacity(cfg.plans.len());
+    for (c, plan) in cfg.plans.iter().enumerate() {
+        let channel = ChannelId(c as u16);
+        let rec = &net.latency[c];
+        let mut pool = Vec::new();
+        for slot in 0..plan.members.len() {
+            pool.extend(rec.peer_latencies(slot));
+        }
+        let cdf = gossip_metrics::cdf::Cdf::new(pool);
+        let (p50, p999, max) = if cdf.is_empty() {
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO)
+        } else {
+            (cdf.quantile(0.5), cdf.quantile(0.999), cdf.max())
+        };
+        outcomes.push(ChannelOutcome {
+            channel,
+            members: plan.members.len(),
+            blocks: plan.blocks,
+            completeness: rec.completeness(),
+            p50,
+            p999,
+            max,
+        });
+        let shares: Vec<(usize, f64)> = plan
+            .members
+            .iter()
+            .map(|m| {
+                let bytes = net
+                    .gossip(m.index())
+                    .stats_on(channel)
+                    .map_or(0, |s| s.bytes_sent());
+                (m.index(), bytes as f64)
+            })
+            .collect();
+        fairness_rows.push((channel.to_string(), shares));
+    }
+    let fairness = FairnessReport::from_per_channel(&fairness_rows);
+    MultiChannelResult {
+        channels: outcomes,
+        fairness,
+        events,
+        sim_end,
+        net,
+    }
+}
+
+/// Plain-text rendering of a multi-channel run, preset-report style.
+pub fn render_multichannel(title: &str, result: &MultiChannelResult) -> String {
+    let mut out = format!("== {title} ==\n");
+    for c in &result.channels {
+        out.push_str(&format!(
+            "{} {:>3} members | {:>4} blocks | completeness {:.4} | p50 {} | p99.9 {} | max {}\n",
+            c.channel, c.members, c.blocks, c.completeness, c.p50, c.p999, c.max,
+        ));
+    }
+    out.push_str(&result.fairness.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(channels: usize, peers: usize, blocks: u64, seed: u64) -> MultiChannelResult {
+        let mut cfg = MultiChannelConfig::skewed(channels, peers, blocks);
+        cfg.seed = seed;
+        run_multichannel(&cfg)
+    }
+
+    #[test]
+    fn every_channel_reaches_all_its_members() {
+        let res = quick(3, 30, 12, 7);
+        assert_eq!(res.channels.len(), 3);
+        for c in &res.channels {
+            assert_eq!(
+                c.completeness, 1.0,
+                "channel {} must inform every member",
+                c.channel
+            );
+            assert!(c.blocks >= 1);
+        }
+        // Skew: channel 0 publishes the most blocks.
+        assert!(res.channels[0].blocks > res.channels[2].blocks);
+    }
+
+    #[test]
+    fn memberships_overlap_and_leaders_differ() {
+        let cfg = MultiChannelConfig::skewed(3, 30, 6);
+        let net = MultiChannelNet::new(cfg.clone());
+        // Consecutive channels share members (the overlap is the point).
+        let m0: std::collections::BTreeSet<_> = cfg.plans[0].members.iter().collect();
+        let m1: std::collections::BTreeSet<_> = cfg.plans[1].members.iter().collect();
+        assert!(
+            m0.intersection(&m1).next().is_some(),
+            "windows must overlap"
+        );
+        assert_ne!(net.leader_of(0), net.leader_of(1));
+        // An interior peer joined to two channels reports both.
+        let shared = **m0.intersection(&m1).next().unwrap();
+        assert!(net.gossip(shared.index()).channel_ids().len() >= 2);
+    }
+
+    #[test]
+    fn blocks_never_leak_across_channels() {
+        let res = quick(3, 30, 8, 3);
+        let cfg = res.net.config().clone();
+        for (c, plan) in cfg.plans.iter().enumerate() {
+            let channel = ChannelId(c as u16);
+            for p in 0..cfg.peers {
+                let member = plan.members.contains(&PeerId(p as u32));
+                let held = res.net.gossip(p).store_on(channel).map_or(0, |s| s.len());
+                if member {
+                    assert_eq!(held as u64, plan.blocks, "member {p} of {channel}");
+                } else {
+                    assert!(
+                        res.net.gossip(p).store_on(channel).is_none(),
+                        "non-member {p} must hold nothing of {channel}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_channel_stats_sum_to_peer_totals() {
+        let res = quick(2, 20, 6, 11);
+        for p in 0..20 {
+            let peer = res.net.gossip(p);
+            let total = peer.total_stats();
+            let mut summed = 0u64;
+            let mut blocks_sent = 0u64;
+            for ch in peer.channel_ids() {
+                let s = peer.stats_on(ch).unwrap();
+                summed += s.bytes_sent();
+                blocks_sent += s.blocks_sent;
+            }
+            assert_eq!(total.bytes_sent(), summed);
+            assert_eq!(total.blocks_sent, blocks_sent);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        let a = quick(2, 16, 5, 42);
+        let b = quick(2, 16, 5, 42);
+        assert_eq!(a.events, b.events);
+        for (x, y) in a.channels.iter().zip(&b.channels) {
+            assert_eq!(x.p50, y.p50);
+            assert_eq!(x.p999, y.p999);
+        }
+        assert_eq!(a.fairness.overall_jain, b.fairness.overall_jain);
+    }
+
+    #[test]
+    fn render_contains_per_channel_rows_and_fairness() {
+        let res = quick(2, 16, 4, 1);
+        let text = render_multichannel("multichannel", &res);
+        assert!(text.contains("ch0"));
+        assert!(text.contains("ch1"));
+        assert!(text.contains("jain"));
+        assert!(text.contains("overall"));
+    }
+}

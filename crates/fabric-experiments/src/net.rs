@@ -22,12 +22,12 @@ use std::sync::Arc;
 use desim::{Ctx, Duration, NodeId, Time};
 use fabric_gossip::config::GossipConfig;
 use fabric_gossip::effects::Effects;
-use fabric_gossip::messages::{GossipMsg, GossipTimer};
+use fabric_gossip::messages::{ChannelMsg, GossipMsg, GossipTimer};
 use fabric_gossip::peer::GossipPeer;
 use fabric_ledger::ledger::Ledger;
 use fabric_orderer::service::{OrdererConfig, OrderingService};
 use fabric_types::block::{Block, BlockRef};
-use fabric_types::ids::{ClientId, PeerId, TxId};
+use fabric_types::ids::{ChannelId, ClientId, PeerId, TxId};
 use fabric_types::msp::Msp;
 use fabric_types::transaction::{EndorsementPolicy, Transaction};
 use fabric_workload::client::endorse_invocation;
@@ -37,8 +37,8 @@ use gossip_metrics::latency::LatencyRecorder;
 /// Messages on the simulated wire.
 #[derive(Debug, Clone)]
 pub enum NetMsg {
-    /// Peer-to-peer gossip.
-    Gossip(GossipMsg),
+    /// Peer-to-peer gossip: a channel-tagged envelope.
+    Gossip(ChannelMsg),
     /// Client → endorsing peer: proposal `schedule[index]`.
     Propose {
         /// Index into the experiment's invocation schedule.
@@ -82,8 +82,13 @@ impl desim::Message for NetMsg {
 /// Timers of the simulated network.
 #[derive(Debug)]
 pub enum NetTimer {
-    /// A gossip timer of one peer.
-    Peer(GossipTimer),
+    /// A gossip timer of one peer's channel instance.
+    Peer {
+        /// The channel instance the timer belongs to.
+        channel: ChannelId,
+        /// The gossip timer payload.
+        timer: GossipTimer,
+    },
     /// The client's next scheduled submission is due.
     ClientIssue,
     /// The orderer's batch timeout for `epoch`.
@@ -371,7 +376,7 @@ impl FabricNet {
         ctx: &mut Ctx<'_, NetMsg, NetTimer>,
         to: NodeId,
         from: NodeId,
-        msg: GossipMsg,
+        envelope: ChannelMsg,
     ) {
         let validation = self.params.validation_per_tx;
         let PeerNode {
@@ -388,7 +393,7 @@ impl FabricNet {
             latency: &mut self.latency,
             validation_per_tx: validation,
         };
-        gossip.on_message(&mut fx, PeerId(from.0), msg);
+        gossip.on_channel_message(&mut fx, envelope.channel, PeerId(from.0), envelope.msg);
     }
 
     fn handle_propose(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, to: NodeId, index: usize) {
@@ -594,7 +599,7 @@ impl desim::Protocol for FabricNet {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, node: NodeId, timer: NetTimer) {
         match timer {
-            NetTimer::Peer(t) => {
+            NetTimer::Peer { channel, timer } => {
                 let validation = self.params.validation_per_tx;
                 let PeerNode {
                     gossip,
@@ -610,7 +615,7 @@ impl desim::Protocol for FabricNet {
                     latency: &mut self.latency,
                     validation_per_tx: validation,
                 };
-                gossip.on_timer(&mut fx, t);
+                gossip.on_channel_timer(&mut fx, channel, timer);
             }
             NetTimer::ClientIssue => self.issue_due(ctx),
             NetTimer::BatchTimeout { epoch } => {
@@ -698,24 +703,31 @@ impl Effects for SimFx<'_, '_> {
         self.ctx.now()
     }
 
-    fn send(&mut self, to: PeerId, msg: GossipMsg) {
-        self.ctx.send(self.me, NodeId(to.0), NetMsg::Gossip(msg));
+    fn send(&mut self, channel: ChannelId, to: PeerId, msg: GossipMsg) {
+        self.ctx.send(
+            self.me,
+            NodeId(to.0),
+            NetMsg::Gossip(ChannelMsg { channel, msg }),
+        );
     }
 
-    fn schedule(&mut self, after: Duration, timer: GossipTimer) {
-        self.ctx.set_timer(self.me, after, NetTimer::Peer(timer));
+    fn schedule(&mut self, after: Duration, channel: ChannelId, timer: GossipTimer) {
+        self.ctx
+            .set_timer(self.me, after, NetTimer::Peer { channel, timer });
     }
 
     fn rng(&mut self) -> &mut rand::rngs::StdRng {
         self.ctx.rng()
     }
 
-    fn block_received(&mut self, block_num: u64) {
+    fn block_received(&mut self, _channel: ChannelId, block_num: u64) {
+        // FabricNet drives the full transaction pipeline on one channel;
+        // the multi-channel scenarios live in `crate::multichannel`.
         self.latency
             .record(block_num, self.me.index(), self.ctx.now());
     }
 
-    fn deliver(&mut self, block: BlockRef) {
+    fn deliver(&mut self, _channel: ChannelId, block: BlockRef) {
         // "New blocks are only used by peers after their validation, which
         // takes a time proportional to the number of transactions" (§V-D):
         // the block's writes become visible — and the endorser starts

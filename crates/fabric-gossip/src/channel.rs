@@ -1,0 +1,401 @@
+//! Per-channel protocol state: the shared core and the engine bundle.
+//!
+//! A Fabric peer joined to several channels runs one independent gossip
+//! instance per channel. [`ChannelState`] is that instance: it owns the
+//! [`ChannelCore`] (membership views, block store, per-channel counters)
+//! and the three protocol engines — [`crate::push::PushEngine`],
+//! [`crate::pull::PullEngine`] and [`crate::leadership::LeadershipEngine`] —
+//! and dispatches messages and timers to them. [`crate::peer::GossipPeer`]
+//! is nothing more than a multiplexer over these values.
+
+use std::collections::BTreeMap;
+
+use desim::{Duration, Message as _, Time};
+use rand::RngExt;
+
+use fabric_types::block::BlockRef;
+use fabric_types::ids::{ChannelId, PeerId};
+
+use crate::config::GossipConfig;
+use crate::effects::Effects;
+use crate::leadership::LeadershipEngine;
+use crate::membership::Membership;
+use crate::messages::{GossipMsg, GossipTimer};
+use crate::pull::PullEngine;
+use crate::push::PushEngine;
+use crate::store::BlockStore;
+
+/// Counters exposed for experiments and tests, kept **per channel**.
+///
+/// A peer joined to several channels owns one `PeerStats` per channel;
+/// [`crate::peer::GossipPeer::total_stats`] sums them back into the
+/// peer-global view (numeric counters and byte counters add up exactly;
+/// `first_seen` stays per-channel because block numbers collide across
+/// channels).
+#[derive(Debug, Clone, Default)]
+pub struct PeerStats {
+    /// First content reception time per block number.
+    pub first_seen: BTreeMap<u64, Time>,
+    /// Content receptions for blocks already held.
+    pub duplicate_blocks: u64,
+    /// Push digests received.
+    pub digests_received: u64,
+    /// Full blocks sent (push, pull and recovery responses).
+    pub blocks_sent: u64,
+    /// Push digests sent.
+    pub digests_sent: u64,
+    /// Push content fetch requests issued.
+    pub fetch_requests: u64,
+    /// Pull rounds initiated.
+    pub pull_rounds: u64,
+    /// Recovery requests issued.
+    pub recovery_requests: u64,
+    /// Bytes put on the wire by this channel instance, per message kind
+    /// (the metrics tags of [`GossipMsg::kind`]). Dissemination fairness is
+    /// judged on this breakdown; per-channel values sum to the peer totals.
+    pub bytes_sent_by_kind: BTreeMap<&'static str, u64>,
+}
+
+impl PeerStats {
+    /// Total bytes sent across every message kind.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent_by_kind.values().sum()
+    }
+
+    /// Bytes sent for one message kind (0 when the kind never occurred).
+    pub fn bytes_of_kind(&self, kind: &str) -> u64 {
+        self.bytes_sent_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Adds `other`'s numeric and byte counters into `self`.
+    ///
+    /// `first_seen` is intentionally left untouched: block numbers are only
+    /// meaningful within one channel, so a cross-channel union would
+    /// conflate unrelated blocks.
+    pub fn absorb(&mut self, other: &PeerStats) {
+        self.duplicate_blocks += other.duplicate_blocks;
+        self.digests_received += other.digests_received;
+        self.blocks_sent += other.blocks_sent;
+        self.digests_sent += other.digests_sent;
+        self.fetch_requests += other.fetch_requests;
+        self.pull_rounds += other.pull_rounds;
+        self.recovery_requests += other.recovery_requests;
+        for (kind, bytes) in &other.bytes_sent_by_kind {
+            *self.bytes_sent_by_kind.entry(kind).or_insert(0) += bytes;
+        }
+    }
+}
+
+/// State shared by every engine of one channel instance: identity,
+/// configuration, membership views, the block store and the counters.
+///
+/// Engines receive `&mut ChannelCore` alongside their own private state, so
+/// each engine file reads as pure protocol logic over an explicit, shared
+/// substrate — and each is unit-testable with a bare core plus
+/// [`crate::testing::MockEffects`].
+#[derive(Debug)]
+pub struct ChannelCore {
+    /// The channel this instance serves.
+    pub channel: ChannelId,
+    /// The local peer.
+    pub self_id: PeerId,
+    /// The active configuration.
+    pub cfg: GossipConfig,
+    /// Same-organization peers: the only legal targets for push and pull.
+    pub membership: Membership,
+    /// All channel peers (every organization): StateInfo and recovery may
+    /// cross organization boundaries (§III of the paper).
+    pub channel_view: Membership,
+    /// Whether this peer forwards blocks (false models a free-rider).
+    pub forwarding: bool,
+    /// The channel's block store.
+    pub store: BlockStore,
+    /// Per-channel protocol counters.
+    pub stats: PeerStats,
+}
+
+impl ChannelCore {
+    /// Builds the core for `self_id` on `channel`, with the organization
+    /// roster doubling as the channel-wide view until widened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(
+        channel: ChannelId,
+        self_id: PeerId,
+        roster: Vec<PeerId>,
+        cfg: GossipConfig,
+    ) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid gossip config: {e}");
+        }
+        let membership = Membership::new(self_id, roster.clone(), cfg.membership.alive_timeout);
+        let channel_view = Membership::new(self_id, roster, cfg.membership.alive_timeout);
+        ChannelCore {
+            channel,
+            self_id,
+            cfg,
+            membership,
+            channel_view,
+            forwarding: true,
+            store: BlockStore::new(),
+            stats: PeerStats::default(),
+        }
+    }
+
+    /// Sends `msg` to `to` on this core's channel, recording the byte cost
+    /// in the per-kind breakdown. Every engine send goes through here so
+    /// the fairness accounting can never miss a message.
+    pub fn send(&mut self, fx: &mut dyn Effects, to: PeerId, msg: GossipMsg) {
+        *self.stats.bytes_sent_by_kind.entry(msg.kind()).or_insert(0) += msg.wire_size() as u64;
+        fx.send(self.channel, to, msg);
+    }
+
+    /// Arms `timer` on this core's channel.
+    pub fn schedule(&mut self, fx: &mut dyn Effects, after: Duration, timer: GossipTimer) {
+        fx.schedule(after, self.channel, timer);
+    }
+
+    /// Stores new content, fires the reception hook and delivers any newly
+    /// contiguous run. Returns whether the content was new. Common to every
+    /// arrival path (push, pull, recovery).
+    pub fn accept_content(&mut self, fx: &mut dyn Effects, block: &BlockRef) -> bool {
+        match self.store.insert(block.clone()) {
+            None => {
+                self.stats.duplicate_blocks += 1;
+                false
+            }
+            Some(deliverable) => {
+                let num = block.number();
+                self.stats.first_seen.insert(num, fx.now());
+                fx.block_received(self.channel, num);
+                for b in deliverable {
+                    fx.deliver(self.channel, b);
+                }
+                true
+            }
+        }
+    }
+}
+
+/// One channel's complete gossip instance: core + engines.
+#[derive(Debug)]
+pub struct ChannelState {
+    core: ChannelCore,
+    push: PushEngine,
+    pull: PullEngine,
+    leadership: LeadershipEngine,
+}
+
+impl ChannelState {
+    /// Builds the instance. `statically_leads` seeds static leadership (it
+    /// is ignored under dynamic election, which starts leaderless).
+    pub fn new(core: ChannelCore, statically_leads: bool) -> Self {
+        let is_leader = !core.cfg.election.dynamic && statically_leads;
+        ChannelState {
+            core,
+            push: PushEngine::default(),
+            pull: PullEngine::default(),
+            leadership: LeadershipEngine::new(is_leader),
+        }
+    }
+
+    /// The shared core (membership views, store, counters).
+    pub fn core(&self) -> &ChannelCore {
+        &self.core
+    }
+
+    /// Mutable access to the shared core (free-rider toggling, view
+    /// widening — the multiplexer's builder paths).
+    pub fn core_mut(&mut self) -> &mut ChannelCore {
+        &mut self.core
+    }
+
+    /// Whether this channel instance currently acts as organization leader.
+    pub fn is_leader(&self) -> bool {
+        self.leadership.is_leader()
+    }
+
+    /// Arms the periodic timers of this channel instance. Periods get a
+    /// uniformly random initial phase so rounds de-synchronize across
+    /// peers, as in a real deployment.
+    pub fn init(&mut self, fx: &mut dyn Effects) {
+        if let Some(pull) = &self.core.cfg.pull {
+            let phase = random_phase(fx, pull.tpull);
+            self.core.schedule(fx, phase, GossipTimer::PullRound);
+        }
+        let recovery_phase = random_phase(fx, self.core.cfg.recovery.interval);
+        self.core
+            .schedule(fx, recovery_phase, GossipTimer::RecoveryRound);
+        let si_phase = random_phase(fx, self.core.cfg.recovery.state_info_interval);
+        self.core
+            .schedule(fx, si_phase, GossipTimer::StateInfoRound);
+        let alive_phase = random_phase(fx, self.core.cfg.membership.alive_interval);
+        self.core.schedule(fx, alive_phase, GossipTimer::AliveRound);
+        if self.core.cfg.election.dynamic {
+            let tick = random_phase(fx, self.core.cfg.election.heartbeat_interval);
+            self.core.schedule(fx, tick, GossipTimer::ElectionTick);
+        }
+    }
+
+    /// Models a process crash: volatile state — leadership, push buffers,
+    /// fetches in flight, pull bookkeeping, membership freshness — is lost.
+    /// The block store survives (blocks are persisted through the ledger).
+    pub fn on_crash(&mut self) {
+        self.push.clear_volatile();
+        self.pull.clear_volatile();
+        self.leadership.clear_volatile();
+    }
+
+    /// Entry point for a block delivered by the ordering service (the
+    /// leader's path, or any peer an orderer chooses to seed).
+    pub fn on_block_from_orderer(&mut self, fx: &mut dyn Effects, block: BlockRef) {
+        self.push.on_block_from_orderer(&mut self.core, fx, block);
+    }
+
+    /// Entry point for every gossip message on this channel.
+    pub fn on_message(&mut self, fx: &mut dyn Effects, from: PeerId, msg: GossipMsg) {
+        let now = fx.now();
+        self.core.membership.mark_alive(from, now);
+        self.core.channel_view.mark_alive(from, now);
+        match msg {
+            GossipMsg::BlockPush { block, counter } => {
+                self.push
+                    .on_block_push(&mut self.core, fx, from, block, counter)
+            }
+            GossipMsg::PushDigest { block_num, counter } => {
+                self.push
+                    .on_push_digest(&mut self.core, fx, from, block_num, counter)
+            }
+            GossipMsg::PushRequest { block_num, counter } => {
+                self.push
+                    .on_push_request(&mut self.core, fx, from, block_num, counter)
+            }
+            GossipMsg::PullHello { nonce } => self.pull.on_hello(&mut self.core, fx, from, nonce),
+            GossipMsg::PullDigestResponse { nonce, block_nums } => {
+                self.pull
+                    .on_digest_response(&mut self.core, from, nonce, block_nums)
+            }
+            GossipMsg::PullRequest { nonce, block_nums } => {
+                self.pull
+                    .on_request(&mut self.core, fx, from, nonce, block_nums)
+            }
+            GossipMsg::PullResponse { nonce: _, blocks } => {
+                for block in blocks {
+                    self.core.accept_content(fx, &block);
+                }
+            }
+            GossipMsg::StateInfo { height } => self.leadership.on_state_info(from, height),
+            GossipMsg::RecoveryRequest { from: lo, to } => {
+                self.leadership
+                    .on_recovery_request(&mut self.core, fx, from, lo, to)
+            }
+            GossipMsg::RecoveryResponse { blocks } => {
+                for block in blocks {
+                    self.core.accept_content(fx, &block);
+                }
+            }
+            GossipMsg::Alive => {} // mark_alive above is the whole effect
+            GossipMsg::LeaderHeartbeat { leader } => {
+                self.leadership
+                    .on_leader_heartbeat(&mut self.core, fx, leader, now)
+            }
+        }
+    }
+
+    /// Entry point for every timer armed through [`Effects::schedule`] on
+    /// this channel.
+    pub fn on_timer(&mut self, fx: &mut dyn Effects, timer: GossipTimer) {
+        match timer {
+            GossipTimer::PushFlush => self.push.on_flush(&mut self.core, fx),
+            GossipTimer::PullRound => self.pull.on_round(&mut self.core, fx),
+            GossipTimer::PullDigestWait { nonce } => {
+                self.pull.on_digest_wait(&mut self.core, fx, nonce)
+            }
+            GossipTimer::RecoveryRound => self.leadership.on_recovery_round(&mut self.core, fx),
+            GossipTimer::StateInfoRound => self.leadership.on_state_info_round(&mut self.core, fx),
+            GossipTimer::AliveRound => self.on_alive_round(fx),
+            GossipTimer::ElectionTick => self.leadership.on_election_tick(&mut self.core, fx),
+            GossipTimer::FetchRetry { block_num, attempt } => {
+                self.push
+                    .on_fetch_retry(&mut self.core, fx, block_num, attempt)
+            }
+        }
+    }
+
+    /// Membership heartbeats: the background "alive" traffic that keeps the
+    /// organization view fresh. Small enough to live on the dispatcher.
+    fn on_alive_round(&mut self, fx: &mut dyn Effects) {
+        let targets = {
+            let k = self.core.cfg.fout;
+            self.core.membership.sample(fx.rng(), k)
+        };
+        for t in targets {
+            self.core.send(fx, t, GossipMsg::Alive);
+        }
+        let interval = self.core.cfg.membership.alive_interval;
+        self.core.schedule(fx, interval, GossipTimer::AliveRound);
+    }
+}
+
+/// Uniform random phase in `[0, period)`, so periodic rounds interleave
+/// across peers instead of firing in lockstep.
+pub(crate) fn random_phase(fx: &mut dyn Effects, period: Duration) -> Duration {
+    if period.is_zero() {
+        return Duration::ZERO;
+    }
+    Duration::from_nanos(fx.rng().random_range(0..period.as_nanos()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_absorb_sums_counters_and_bytes() {
+        let mut a = PeerStats {
+            blocks_sent: 3,
+            ..PeerStats::default()
+        };
+        a.bytes_sent_by_kind.insert("block", 1000);
+        let mut b = PeerStats {
+            blocks_sent: 2,
+            duplicate_blocks: 7,
+            ..PeerStats::default()
+        };
+        b.bytes_sent_by_kind.insert("block", 500);
+        b.bytes_sent_by_kind.insert("alive", 150);
+        a.absorb(&b);
+        assert_eq!(a.blocks_sent, 5);
+        assert_eq!(a.duplicate_blocks, 7);
+        assert_eq!(a.bytes_of_kind("block"), 1500);
+        assert_eq!(a.bytes_of_kind("alive"), 150);
+        assert_eq!(a.bytes_sent(), 1650);
+    }
+
+    #[test]
+    fn core_send_accounts_bytes_per_kind() {
+        use crate::testing::MockEffects;
+        let mut core = ChannelCore::new(
+            ChannelId(3),
+            PeerId(0),
+            (0..4).map(PeerId).collect(),
+            GossipConfig::enhanced_f4(),
+        );
+        let mut fx = MockEffects::new(1);
+        core.send(&mut fx, PeerId(1), GossipMsg::Alive);
+        core.send(
+            &mut fx,
+            PeerId(2),
+            GossipMsg::PushDigest {
+                block_num: 1,
+                counter: 0,
+            },
+        );
+        assert_eq!(core.stats.bytes_of_kind("alive"), 150);
+        assert!(core.stats.bytes_of_kind("push-digest") > 0);
+        assert_eq!(fx.sent_on.len(), 2);
+        assert!(fx.sent_on.iter().all(|(ch, _, _)| *ch == ChannelId(3)));
+    }
+}

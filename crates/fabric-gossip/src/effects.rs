@@ -6,12 +6,18 @@
 //! the real-threads runtime another, and unit tests use
 //! [`crate::testing::MockEffects`] to assert on exactly what the protocol
 //! did.
+//!
+//! Every side effect is tagged with the [`ChannelId`] it belongs to: a peer
+//! joined to several channels runs one protocol instance per channel, and
+//! the host environment routes messages, timers and deliveries back to the
+//! right instance. Single-channel deployments use [`ChannelId::DEFAULT`]
+//! throughout.
 
 use desim::{Duration, Time};
 use rand::rngs::StdRng;
 
 use fabric_types::block::BlockRef;
-use fabric_types::ids::PeerId;
+use fabric_types::ids::{ChannelId, PeerId};
 
 use crate::messages::{GossipMsg, GossipTimer};
 
@@ -20,27 +26,29 @@ pub trait Effects {
     /// Current time.
     fn now(&self) -> Time;
 
-    /// Sends `msg` to `to` (another peer of the organization).
-    fn send(&mut self, to: PeerId, msg: GossipMsg);
+    /// Sends `msg` to `to` on `channel` (another peer of the organization).
+    fn send(&mut self, channel: ChannelId, to: PeerId, msg: GossipMsg);
 
-    /// Arms `timer` to fire for this peer `after` from now.
-    fn schedule(&mut self, after: Duration, timer: GossipTimer);
+    /// Arms `timer` to fire for this peer's `channel` instance `after` from
+    /// now.
+    fn schedule(&mut self, after: Duration, channel: ChannelId, timer: GossipTimer);
 
     /// Deterministic randomness source.
     fn rng(&mut self) -> &mut StdRng;
 
-    /// Called exactly once per block, on first reception of its content —
-    /// the measurement point of the paper's latency figures.
-    fn block_received(&mut self, block_num: u64) {
-        let _ = block_num;
+    /// Called exactly once per block per channel, on first reception of its
+    /// content — the measurement point of the paper's latency figures.
+    fn block_received(&mut self, channel: ChannelId, block_num: u64) {
+        let _ = (channel, block_num);
     }
 
-    /// Called when `block` becomes deliverable in height order — the
-    /// ledger-commit point.
-    fn deliver(&mut self, block: BlockRef);
+    /// Called when `block` becomes deliverable in height order on
+    /// `channel` — the ledger-commit point.
+    fn deliver(&mut self, channel: ChannelId, block: BlockRef);
 
-    /// Called when this peer gains or loses organization leadership.
-    fn leadership_changed(&mut self, is_leader: bool) {
-        let _ = is_leader;
+    /// Called when this peer gains or loses organization leadership on
+    /// `channel`.
+    fn leadership_changed(&mut self, channel: ChannelId, is_leader: bool) {
+        let _ = (channel, is_leader);
     }
 }

@@ -1,0 +1,242 @@
+//! Leader election and state transfer (StateInfo + recovery).
+//!
+//! Fabric couples the two concerns: the elected leader is the peer that
+//! pulls blocks from the ordering service, while StateInfo height metadata
+//! and the recovery (anti-entropy) rounds keep every peer's ledger
+//! converging regardless of who leads — including across organization
+//! boundaries (§III of the paper). Both live here as one engine because
+//! they share the per-peer height view and the crash-volatility rules.
+//!
+//! The engine owns only election/recovery-private state; everything shared
+//! lives in the [`ChannelCore`] passed into every entry point.
+
+use std::collections::BTreeMap;
+
+use desim::Time;
+use rand::RngExt;
+
+use fabric_types::ids::PeerId;
+
+use crate::channel::ChannelCore;
+use crate::effects::Effects;
+use crate::messages::{GossipMsg, GossipTimer};
+
+/// Election and state-transfer state of one channel instance.
+#[derive(Debug)]
+pub struct LeadershipEngine {
+    is_leader: bool,
+    last_leader_seen: Option<(PeerId, Time)>,
+    /// Last advertised ledger height per peer.
+    peer_heights: BTreeMap<PeerId, u64>,
+}
+
+impl LeadershipEngine {
+    /// A fresh engine; `is_leader` seeds static leadership.
+    pub fn new(is_leader: bool) -> Self {
+        LeadershipEngine {
+            is_leader,
+            last_leader_seen: None,
+            peer_heights: BTreeMap::new(),
+        }
+    }
+
+    /// Whether this channel instance currently acts as leader.
+    pub fn is_leader(&self) -> bool {
+        self.is_leader
+    }
+
+    /// Drops what a process crash would lose: leadership is volatile, as is
+    /// the height view and the last-heartbeat memory.
+    pub fn clear_volatile(&mut self) {
+        self.is_leader = false;
+        self.last_leader_seen = None;
+        self.peer_heights.clear();
+    }
+
+    /// A peer advertised its ledger height.
+    pub fn on_state_info(&mut self, from: PeerId, height: u64) {
+        let entry = self.peer_heights.entry(from).or_insert(0);
+        *entry = (*entry).max(height);
+    }
+
+    /// The StateInfoRound timer: broadcast our height across the channel.
+    pub fn on_state_info_round(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) {
+        let height = core.store.height();
+        // StateInfo metadata crosses organization boundaries (§III).
+        let targets = {
+            let k = core.cfg.fout;
+            core.channel_view.sample(fx.rng(), k)
+        };
+        for t in targets {
+            core.send(fx, t, GossipMsg::StateInfo { height });
+        }
+        let interval = core.cfg.recovery.state_info_interval;
+        core.schedule(fx, interval, GossipTimer::StateInfoRound);
+    }
+
+    /// The RecoveryRound timer: if somebody is ahead, ask one of the most
+    /// advanced peers for the missing run.
+    pub fn on_recovery_round(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) {
+        let my_height = core.store.height();
+        let best = self.peer_heights.values().copied().max().unwrap_or(0);
+        if best > my_height {
+            let candidates: Vec<PeerId> = self
+                .peer_heights
+                .iter()
+                .filter(|(_, h)| **h == best)
+                .map(|(p, _)| *p)
+                .collect();
+            let pick = fx.rng().random_range(0..candidates.len());
+            let target = candidates[pick];
+            let to = (best - 1).min(my_height + core.cfg.recovery.batch_max - 1);
+            core.stats.recovery_requests += 1;
+            core.send(
+                fx,
+                target,
+                GossipMsg::RecoveryRequest {
+                    from: my_height,
+                    to,
+                },
+            );
+        }
+        let interval = core.cfg.recovery.interval;
+        core.schedule(fx, interval, GossipTimer::RecoveryRound);
+    }
+
+    /// Serves a recovery request with a consecutive run from the store.
+    pub fn on_recovery_request(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        from: PeerId,
+        lo: u64,
+        to: u64,
+    ) {
+        let blocks = core
+            .store
+            .consecutive_run(lo, to, core.cfg.recovery.batch_max);
+        if !blocks.is_empty() {
+            core.stats.blocks_sent += blocks.len() as u64;
+            core.send(fx, from, GossipMsg::RecoveryResponse { blocks });
+        }
+    }
+
+    /// A leader heartbeat arrived.
+    pub fn on_leader_heartbeat(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        leader: PeerId,
+        now: Time,
+    ) {
+        self.last_leader_seen = Some((leader, now));
+        if self.is_leader && leader < core.self_id {
+            // A lower-id leader exists: step down (deterministic tie-break).
+            self.is_leader = false;
+            fx.leadership_changed(core.channel, false);
+        }
+    }
+
+    /// The ElectionTick timer: heartbeat while leading; stand up as the
+    /// lowest live id when the leader went silent.
+    pub fn on_election_tick(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) {
+        let now = fx.now();
+        if self.is_leader {
+            self.broadcast_leadership(core, fx);
+        } else {
+            let leader_fresh = matches!(
+                self.last_leader_seen,
+                Some((_, at)) if now.since(at) <= core.cfg.election.leader_timeout
+            );
+            if !leader_fresh {
+                // No live leader. The lowest-id peer believed alive stands
+                // up; everyone runs the same rule, so exactly the live
+                // minimum claims leadership.
+                let lowest_alive = core
+                    .membership
+                    .alive_peers(now)
+                    .into_iter()
+                    .chain(std::iter::once(core.self_id))
+                    .min()
+                    .expect("iterator contains self");
+                if lowest_alive == core.self_id {
+                    self.is_leader = true;
+                    fx.leadership_changed(core.channel, true);
+                    self.broadcast_leadership(core, fx);
+                }
+            }
+        }
+        let interval = core.cfg.election.heartbeat_interval;
+        core.schedule(fx, interval, GossipTimer::ElectionTick);
+    }
+
+    fn broadcast_leadership(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) {
+        let me = core.self_id;
+        for p in core.membership.peers().to_vec() {
+            core.send(fx, p, GossipMsg::LeaderHeartbeat { leader: me });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GossipConfig;
+    use crate::testing::MockEffects;
+    use fabric_types::block::{Block, BlockRef};
+    use fabric_types::ids::ChannelId;
+
+    fn core(self_id: u32) -> ChannelCore {
+        ChannelCore::new(
+            ChannelId::DEFAULT,
+            PeerId(self_id),
+            (0..4).map(PeerId).collect(),
+            GossipConfig::enhanced_f4(),
+        )
+    }
+
+    #[test]
+    fn engine_alone_requests_recovery_from_the_highest_peer() {
+        let mut c = core(1);
+        let mut e = LeadershipEngine::new(false);
+        let mut fx = MockEffects::new(1);
+        e.on_state_info(PeerId(2), 6);
+        e.on_state_info(PeerId(2), 4); // heights never regress
+        e.on_recovery_round(&mut c, &mut fx);
+        let sent = fx.take_sent();
+        let req = sent
+            .iter()
+            .find(|(_, m)| matches!(m, GossipMsg::RecoveryRequest { .. }))
+            .expect("a recovery request");
+        assert_eq!(req.0, PeerId(2));
+        assert!(matches!(
+            req.1,
+            GossipMsg::RecoveryRequest { from: 1, to: 5 }
+        ));
+        assert_eq!(c.stats.recovery_requests, 1);
+    }
+
+    #[test]
+    fn serves_consecutive_runs_and_steps_down_for_lower_ids() {
+        let mut c = core(1);
+        let mut e = LeadershipEngine::new(true);
+        let mut fx = MockEffects::new(1);
+        for n in 1..=3 {
+            c.store.insert(BlockRef::new(Block::new(
+                n,
+                fabric_types::crypto::Hash256::ZERO,
+                vec![],
+            )));
+        }
+        e.on_recovery_request(&mut c, &mut fx, PeerId(3), 1, 3);
+        let sent = fx.take_sent();
+        assert!(matches!(
+            &sent[0].1,
+            GossipMsg::RecoveryResponse { blocks } if blocks.len() == 3
+        ));
+
+        e.on_leader_heartbeat(&mut c, &mut fx, PeerId(0), Time::ZERO);
+        assert!(!e.is_leader(), "lower-id leader forces a step-down");
+        assert_eq!(fx.leadership, vec![false]);
+    }
+}

@@ -18,6 +18,27 @@
 //! real-threads runtime ([`runtime::ThreadedNet`]), or under
 //! [`testing::MockEffects`] in tests.
 //!
+//! ## Module map: multiplexer → engines → effects
+//!
+//! Gossip in Fabric is scoped per *channel*; a peer joined to several
+//! channels runs one independent protocol instance per channel:
+//!
+//! * [`peer::GossipPeer`] — the **multiplexer**: routes messages, timers
+//!   and orderer deliveries to the right channel instance and fans out
+//!   lifecycle events (`init`, `on_crash`);
+//! * [`channel::ChannelState`] — one channel's instance: the shared
+//!   [`channel::ChannelCore`] (membership views, block store, per-channel
+//!   [`channel::PeerStats`]) plus the three **engines**:
+//!   * [`push::PushEngine`] — infect-and-die and infect-upon-contagion
+//!     push, digests, content-fetch retries;
+//!   * [`pull::PullEngine`] — the four-phase pull (hello → digest →
+//!     request → response);
+//!   * [`leadership::LeadershipEngine`] — election plus state transfer
+//!     (StateInfo heights and recovery);
+//! * [`effects::Effects`] — the side-effect boundary every engine drives;
+//!   all I/O is tagged with its [`fabric_types::ids::ChannelId`], and the
+//!   wire unit is [`messages::ChannelMsg`] (channel tag + payload).
+//!
 //! ```
 //! use fabric_gossip::config::GossipConfig;
 //! use fabric_gossip::peer::GossipPeer;
@@ -42,18 +63,26 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod channel;
 pub mod config;
 pub mod effects;
+pub mod leadership;
 pub mod membership;
 pub mod messages;
 pub mod peer;
+pub mod pull;
+pub mod push;
 pub mod runtime;
 pub mod store;
 pub mod testing;
 
+pub use channel::{ChannelCore, ChannelState};
 pub use config::{GossipConfig, PullConfig, PushMode, RecoveryConfig};
 pub use effects::Effects;
+pub use leadership::LeadershipEngine;
 pub use membership::Membership;
-pub use messages::{GossipMsg, GossipTimer};
+pub use messages::{ChannelMsg, GossipMsg, GossipTimer};
 pub use peer::{GossipPeer, PeerStats};
+pub use pull::PullEngine;
+pub use push::PushEngine;
 pub use store::BlockStore;

@@ -85,6 +85,23 @@ impl Membership {
             .collect()
     }
 
+    /// Carries learned liveness over from `prev` for peers present in both
+    /// views, keeping the freshest timestamp. Used when a deployment widens
+    /// a channel view: rebuilding the view must never make a known-alive
+    /// peer look silent.
+    pub fn adopt_liveness(&mut self, prev: &Membership) {
+        for (idx, p) in self.peers.iter().enumerate() {
+            if let Some(prev_idx) = prev.peers.iter().position(|q| q == p) {
+                if let Some(t) = prev.last_heard[prev_idx] {
+                    self.last_heard[idx] = Some(match self.last_heard[idx] {
+                        Some(cur) => cur.max(t),
+                        None => t,
+                    });
+                }
+            }
+        }
+    }
+
     /// Draws up to `k` distinct peers uniformly at random, excluding self.
     ///
     /// Partial Fisher–Yates over a scratch copy: O(k) swaps, exact
@@ -202,6 +219,25 @@ mod tests {
         let m = membership(3);
         assert!(m.believes_alive(PeerId(1), Time::from_secs(10)));
         assert!(!m.believes_alive(PeerId(1), Time::from_secs(30)));
+    }
+
+    #[test]
+    fn adopt_liveness_keeps_the_freshest_timestamp() {
+        let mut old = membership(4);
+        old.mark_alive(PeerId(1), Time::from_secs(50));
+        old.mark_alive(PeerId(2), Time::from_secs(60));
+        let mut widened = Membership::new(
+            PeerId(0),
+            (0..6).map(PeerId).collect(),
+            Duration::from_secs(25),
+        );
+        widened.mark_alive(PeerId(2), Time::from_secs(70)); // already fresher
+        widened.adopt_liveness(&old);
+        let now = Time::from_secs(70);
+        assert!(widened.believes_alive(PeerId(1), now), "carried over");
+        assert!(widened.believes_alive(PeerId(2), now));
+        // Peer 4 exists only in the widened view: startup-grace rules apply.
+        assert!(!widened.believes_alive(PeerId(4), Time::from_secs(70)));
     }
 
     #[test]

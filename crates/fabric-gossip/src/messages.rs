@@ -6,10 +6,39 @@
 //! bandwidth figures rests on these sizes.
 
 use fabric_types::block::BlockRef;
-use fabric_types::ids::PeerId;
+use fabric_types::ids::{ChannelId, PeerId};
 
 /// Framing overhead per gossip envelope (signature, channel MAC, tags).
+///
+/// The channel MAC is part of this fixed overhead, so routing a message on
+/// a non-default channel does not change its wire size — byte accounting is
+/// identical whether a deployment runs one channel or many.
 const ENVELOPE: usize = 16;
+
+/// The wire unit between two peers: a [`GossipMsg`] tagged with the channel
+/// it belongs to.
+///
+/// Fabric scopes gossip per channel; the envelope's channel MAC (already
+/// counted in `ENVELOPE`) is what carries that scope on the wire, so the
+/// tag adds no bytes — [`desim::Message::wire_size`] delegates to the
+/// payload unchanged.
+#[derive(Debug, Clone)]
+pub struct ChannelMsg {
+    /// The channel this envelope belongs to.
+    pub channel: ChannelId,
+    /// The gossip payload.
+    pub msg: GossipMsg,
+}
+
+impl desim::Message for ChannelMsg {
+    fn wire_size(&self) -> usize {
+        self.msg.wire_size()
+    }
+
+    fn kind(&self) -> &'static str {
+        self.msg.kind()
+    }
+}
 
 /// A gossip message between two peers of the same organization.
 #[derive(Debug, Clone)]
@@ -223,6 +252,28 @@ mod tests {
         );
         assert_eq!(GossipMsg::Alive.wire_size(), 150);
         assert_eq!(GossipMsg::Alive.kind(), "alive");
+    }
+
+    #[test]
+    fn channel_tag_is_free_on_the_wire() {
+        // The channel MAC lives inside ENVELOPE: tagging an envelope with
+        // any channel must not change its size or kind — single-channel
+        // byte accounting stays identical to the pre-channel wire format.
+        let payload = GossipMsg::BlockPush {
+            block: block(4_096),
+            counter: 1,
+        };
+        let tagged = ChannelMsg {
+            channel: ChannelId(7),
+            msg: payload.clone(),
+        };
+        assert_eq!(tagged.wire_size(), payload.wire_size());
+        assert_eq!(tagged.kind(), payload.kind());
+        let default_tag = ChannelMsg {
+            channel: ChannelId::DEFAULT,
+            msg: payload.clone(),
+        };
+        assert_eq!(default_tag.wire_size(), tagged.wire_size());
     }
 
     #[test]

@@ -1,110 +1,66 @@
-//! The gossip peer state machine: push (both protocols), pull, recovery,
-//! membership heartbeats and leader election.
+//! The gossip peer: a thin multiplexer over per-channel protocol
+//! instances.
 //!
-//! One [`GossipPeer`] value holds the gossip state of a single peer. It is
-//! driven entirely by three entry points — [`GossipPeer::init`],
-//! [`GossipPeer::on_message`], [`GossipPeer::on_timer`] — plus
-//! [`GossipPeer::on_block_from_orderer`] on the leader, and performs all
-//! I/O through [`Effects`].
-
-use std::collections::{BTreeMap, HashSet};
-
-use desim::{Duration, Time};
-use rand::RngExt;
+//! One [`GossipPeer`] value holds the gossip state of a single peer across
+//! every channel it has joined. All protocol logic lives in the per-channel
+//! engines ([`crate::push`], [`crate::pull`], [`crate::leadership`])
+//! bundled into a [`ChannelState`] per joined channel; this type only
+//! routes entry points to the right instance:
+//!
+//! * [`GossipPeer::init`], [`GossipPeer::on_crash`] — fan out to every
+//!   channel;
+//! * [`GossipPeer::on_channel_message`], [`GossipPeer::on_channel_timer`],
+//!   [`GossipPeer::on_block_from_orderer_on`] — route to one channel;
+//! * the historical single-channel entry points ([`GossipPeer::on_message`]
+//!   et al.) operate on [`ChannelId::DEFAULT`], so single-channel code and
+//!   tests read exactly as before.
+//!
+//! All I/O goes through [`Effects`], tagged with the channel it belongs to.
 
 use fabric_types::block::BlockRef;
-use fabric_types::ids::PeerId;
+use fabric_types::ids::{ChannelId, PeerId};
 
-use crate::config::{GossipConfig, PushMode};
+use crate::channel::{ChannelCore, ChannelState};
+use crate::config::GossipConfig;
 use crate::effects::Effects;
 use crate::membership::Membership;
 use crate::messages::{GossipMsg, GossipTimer};
 use crate::store::BlockStore;
 
-/// A fetch in flight for block content announced by push digests.
-#[derive(Debug, Clone, Default)]
-struct PendingFetch {
-    /// Counters received in digests while the content was missing; each one
-    /// owes a forward once the content arrives.
-    counters: Vec<u32>,
-    /// Peers that advertised the block (retry candidates).
-    advertisers: Vec<PeerId>,
-    /// Fetch attempts made so far.
-    attempts: u32,
+pub use crate::channel::PeerStats;
+
+/// Static-leadership rule shared by every channel: the lowest-id *member*
+/// of the roster leads. See [`GossipPeer::new`] for the exact semantics.
+fn statically_leads(id: PeerId, roster: &[PeerId]) -> bool {
+    // A roster containing `id` has min <= id, so `id == lowest` alone
+    // encodes both "member" and "lowest member"; a roster excluding
+    // `id` either has a smaller minimum (not lowest) or only larger
+    // entries (id != lowest) — never a static leader.
+    match roster.iter().copied().min() {
+        None => true, // alone in the organization
+        Some(lowest) => id == lowest,
+    }
 }
 
-/// Counters exposed for experiments and tests.
-#[derive(Debug, Clone, Default)]
-pub struct PeerStats {
-    /// First content reception time per block number.
-    pub first_seen: BTreeMap<u64, Time>,
-    /// Content receptions for blocks already held.
-    pub duplicate_blocks: u64,
-    /// Push digests received.
-    pub digests_received: u64,
-    /// Full blocks sent (push, pull and recovery responses).
-    pub blocks_sent: u64,
-    /// Push digests sent.
-    pub digests_sent: u64,
-    /// Push content fetch requests issued.
-    pub fetch_requests: u64,
-    /// Pull rounds initiated.
-    pub pull_rounds: u64,
-    /// Recovery requests issued.
-    pub recovery_requests: u64,
-}
-
-/// The gossip state machine of one peer.
+/// The gossip state machine of one peer: per-channel instances behind a
+/// multiplexer.
 ///
 /// See the crate docs for a runnable end-to-end example.
 #[derive(Debug)]
 pub struct GossipPeer {
     id: PeerId,
     cfg: GossipConfig,
-    /// Same-organization peers: the only legal targets for push and pull.
-    membership: Membership,
-    /// All channel peers (every organization): StateInfo and recovery may
-    /// cross organization boundaries (§III of the paper).
-    channel: Membership,
-    /// Whether this peer forwards blocks (false models a free-rider).
-    forwarding: bool,
-    store: BlockStore,
-
-    // ---- push: original (infect-and-die) ----
-    /// Blocks awaiting the buffered push flush.
-    push_buffer: Vec<BlockRef>,
-    /// Whether a PushFlush timer is armed.
-    flush_armed: bool,
-
-    // ---- push: enhanced (infect-upon-contagion) ----
-    /// `(block, counter)` pairs already processed.
-    seen_pairs: HashSet<(u64, u32)>,
-    /// Content fetches in flight, by block number.
-    pending_fetch: BTreeMap<u64, PendingFetch>,
-    /// Pairs awaiting a buffered forward (`tpush > 0` ablation).
-    forward_buffer: Vec<(BlockRef, u32)>,
-
-    // ---- pull ----
-    pull_nonce: u64,
-    /// Advertisers per missing block, gathered during the digest-wait
-    /// window of the current pull round.
-    pull_offers: BTreeMap<u64, Vec<PeerId>>,
-
-    // ---- recovery ----
-    /// Last advertised ledger height per peer.
-    peer_heights: BTreeMap<PeerId, u64>,
-
-    // ---- election ----
-    is_leader: bool,
-    last_leader_seen: Option<(PeerId, Time)>,
-
-    stats: PeerStats,
+    /// Joined channels, sorted by [`ChannelId`] so `init`/`on_crash` fan
+    /// out deterministically.
+    channels: Vec<(ChannelId, ChannelState)>,
+    /// Set by [`GossipPeer::init`]; guards the builder-only methods.
+    initialized: bool,
 }
 
 impl GossipPeer {
     /// Creates the peer `id` within `roster` (all peers of the
     /// organization, self included or not — the peer never samples itself
-    /// either way).
+    /// either way), joined to the single [`ChannelId::DEFAULT`] channel.
     ///
     /// With static election (the default), the lowest-id peer of the roster
     /// is the leader from the start, mirroring a Fabric deployment with
@@ -126,39 +82,54 @@ impl GossipPeer {
     ///
     /// Panics if `cfg` fails validation.
     pub fn new(id: PeerId, roster: Vec<PeerId>, cfg: GossipConfig) -> Self {
+        Self::with_channels(id, cfg).join_channel(ChannelId::DEFAULT, roster)
+    }
+
+    /// Builder entry point for multi-channel peers: a peer with **no**
+    /// joined channels. Chain [`GossipPeer::join_channel`] once per
+    /// channel, then call [`GossipPeer::init`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn with_channels(id: PeerId, cfg: GossipConfig) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid gossip config: {e}");
         }
-        // A roster containing `id` has min <= id, so `id == lowest` alone
-        // encodes both "member" and "lowest member"; a roster excluding
-        // `id` either has a smaller minimum (not lowest) or only larger
-        // entries (id != lowest) — never a static leader.
-        let statically_leads = match roster.iter().copied().min() {
-            None => true, // alone in the organization
-            Some(lowest) => id == lowest,
-        };
-        let is_leader = !cfg.election.dynamic && statically_leads;
-        let membership = Membership::new(id, roster.clone(), cfg.membership.alive_timeout);
-        let channel = Membership::new(id, roster, cfg.membership.alive_timeout);
         GossipPeer {
             id,
             cfg,
-            membership,
-            channel,
-            forwarding: true,
-            store: BlockStore::new(),
-            push_buffer: Vec::new(),
-            flush_armed: false,
-            seen_pairs: HashSet::new(),
-            pending_fetch: BTreeMap::new(),
-            forward_buffer: Vec::new(),
-            pull_nonce: 0,
-            pull_offers: BTreeMap::new(),
-            peer_heights: BTreeMap::new(),
-            is_leader,
-            last_leader_seen: None,
-            stats: PeerStats::default(),
+            channels: Vec::new(),
+            initialized: false,
         }
+    }
+
+    /// Joins `channel` with `roster` as the organization view (the static
+    /// leadership rule of [`GossipPeer::new`] applies per channel). The
+    /// channel-wide view starts equal to the organization view; widen it
+    /// with [`GossipPeer::widen_channel_view`].
+    ///
+    /// Builder-only: joining channels is deployment-time configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after [`GossipPeer::init`] or when `channel` is
+    /// already joined.
+    pub fn join_channel(mut self, channel: ChannelId, roster: Vec<PeerId>) -> Self {
+        assert!(
+            !self.initialized,
+            "join_channel is builder-only: channels must be joined before init"
+        );
+        assert!(
+            !self.channels.iter().any(|(ch, _)| *ch == channel),
+            "channel {channel} joined twice"
+        );
+        let leads = statically_leads(self.id, &roster);
+        let core = ChannelCore::new(channel, self.id, roster, self.cfg.clone());
+        let state = ChannelState::new(core, leads);
+        let at = self.channels.partition_point(|(ch, _)| *ch < channel);
+        self.channels.insert(at, (channel, state));
+        self
     }
 
     /// This peer's id.
@@ -171,688 +142,267 @@ impl GossipPeer {
         &self.cfg
     }
 
-    /// Whether this peer currently acts as the organization leader.
+    /// Channels this peer has joined, in id order.
+    pub fn channel_ids(&self) -> Vec<ChannelId> {
+        self.channels.iter().map(|(ch, _)| *ch).collect()
+    }
+
+    /// Whether `channel` is joined.
+    pub fn has_channel(&self, channel: ChannelId) -> bool {
+        self.state(channel).is_some()
+    }
+
+    fn state(&self, channel: ChannelId) -> Option<&ChannelState> {
+        self.channels
+            .iter()
+            .find(|(ch, _)| *ch == channel)
+            .map(|(_, s)| s)
+    }
+
+    fn state_mut(&mut self, channel: ChannelId) -> Option<&mut ChannelState> {
+        self.channels
+            .iter_mut()
+            .find(|(ch, _)| *ch == channel)
+            .map(|(_, s)| s)
+    }
+
+    fn default_state(&self) -> &ChannelState {
+        self.state(ChannelId::DEFAULT)
+            .expect("peer has not joined the default channel; use the *_on accessors")
+    }
+
+    fn default_state_mut(&mut self) -> &mut ChannelState {
+        self.state_mut(ChannelId::DEFAULT)
+            .expect("peer has not joined the default channel; use the *_on accessors")
+    }
+
+    // ------------------------------------------------------------------
+    // Single-channel (default-channel) view — the historical API
+    // ------------------------------------------------------------------
+
+    /// Whether this peer currently acts as the organization leader (on the
+    /// default channel).
     pub fn is_leader(&self) -> bool {
-        self.is_leader
+        self.default_state().is_leader()
     }
 
-    /// Contiguous ledger height (next expected block number).
+    /// Contiguous ledger height (next expected block number) on the
+    /// default channel.
     pub fn height(&self) -> u64 {
-        self.store.height()
+        self.default_state().core().store.height()
     }
 
-    /// The gossip block store.
+    /// The gossip block store of the default channel.
     pub fn store(&self) -> &BlockStore {
-        &self.store
+        &self.default_state().core().store
     }
 
-    /// Protocol counters.
+    /// Protocol counters of the default channel.
     pub fn stats(&self) -> &PeerStats {
-        &self.stats
+        &self.default_state().core().stats
     }
 
-    /// The same-organization membership view.
+    /// The same-organization membership view of the default channel.
     pub fn membership(&self) -> &Membership {
-        &self.membership
+        &self.default_state().core().membership
     }
 
-    /// The channel-wide membership view (all organizations).
+    /// The channel-wide membership view of the default channel (all
+    /// organizations).
     pub fn channel(&self) -> &Membership {
-        &self.channel
+        &self.default_state().core().channel_view
     }
 
-    /// Widens the channel view beyond the organization: StateInfo
+    /// Widens the default channel's view beyond the organization —
+    /// equivalent to [`GossipPeer::widen_channel_view`] on
+    /// [`ChannelId::DEFAULT`]; see there for the contract.
+    pub fn with_channel(self, channel_roster: Vec<PeerId>) -> Self {
+        self.widen_channel_view(ChannelId::DEFAULT, channel_roster)
+    }
+
+    /// Widens `channel`'s view beyond the organization: StateInfo
     /// broadcasts and recovery requests may then target foreign peers,
     /// while push and pull stay confined to the organization — Fabric's
     /// access-control rule, preserved by the paper.
-    pub fn with_channel(mut self, channel_roster: Vec<PeerId>) -> Self {
-        self.channel = Membership::new(self.id, channel_roster, self.cfg.membership.alive_timeout);
+    ///
+    /// **Builder-only.** The view is deployment-time configuration; calling
+    /// this after [`GossipPeer::init`] would race the live protocol and is
+    /// rejected. Liveness already learned about peers present in both the
+    /// old and the new roster is carried over, so re-widening (e.g. widen,
+    /// then widen again with more organizations) can never make a
+    /// known-alive peer look silent. (The seed implementation rebuilt the
+    /// view from scratch, silently dropping every `last_heard` timestamp.)
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after [`GossipPeer::init`] or on a channel that
+    /// was never joined.
+    pub fn widen_channel_view(mut self, channel: ChannelId, channel_roster: Vec<PeerId>) -> Self {
+        assert!(
+            !self.initialized,
+            "widen_channel_view/with_channel is builder-only: \
+             channel views must be set before init"
+        );
+        let id = self.id;
+        let timeout = self.cfg.membership.alive_timeout;
+        let state = self
+            .state_mut(channel)
+            .unwrap_or_else(|| panic!("cannot widen unjoined channel {channel}"));
+        let mut widened = Membership::new(id, channel_roster, timeout);
+        widened.adopt_liveness(&state.core().channel_view);
+        state.core_mut().channel_view = widened;
         self
     }
 
-    /// Turns this peer into a free-rider: it receives, stores and delivers
-    /// blocks but never forwards anything (the adversarial behaviour the
-    /// paper's discussion section raises). Pull and recovery requests are
-    /// still answered — a silent dropper, not a liar.
+    /// Turns this peer into a free-rider on every joined channel: it
+    /// receives, stores and delivers blocks but never forwards anything
+    /// (the adversarial behaviour the paper's discussion section raises).
+    /// Pull and recovery requests are still answered — a silent dropper,
+    /// not a liar.
     pub fn set_forwarding(&mut self, forwarding: bool) {
-        self.forwarding = forwarding;
-    }
-
-    /// Whether this peer forwards blocks.
-    pub fn forwarding(&self) -> bool {
-        self.forwarding
-    }
-
-    /// Arms the periodic timers. Call once at startup (and again after a
-    /// simulated reboot). Periods get a uniformly random initial phase so
-    /// rounds de-synchronize across peers, as in a real deployment.
-    pub fn init(&mut self, fx: &mut dyn Effects) {
-        if let Some(pull) = &self.cfg.pull {
-            let phase = random_phase(fx, pull.tpull);
-            fx.schedule(phase, GossipTimer::PullRound);
+        for (_, state) in &mut self.channels {
+            state.core_mut().forwarding = forwarding;
         }
-        let recovery_phase = random_phase(fx, self.cfg.recovery.interval);
-        fx.schedule(recovery_phase, GossipTimer::RecoveryRound);
-        let si_phase = random_phase(fx, self.cfg.recovery.state_info_interval);
-        fx.schedule(si_phase, GossipTimer::StateInfoRound);
-        let alive_phase = random_phase(fx, self.cfg.membership.alive_interval);
-        fx.schedule(alive_phase, GossipTimer::AliveRound);
-        if self.cfg.election.dynamic {
-            let tick = random_phase(fx, self.cfg.election.heartbeat_interval);
-            fx.schedule(tick, GossipTimer::ElectionTick);
+    }
+
+    /// Whether this peer forwards blocks (on the default channel).
+    pub fn forwarding(&self) -> bool {
+        self.default_state().core().forwarding
+    }
+
+    /// Entry point for a block delivered by the ordering service on the
+    /// default channel.
+    pub fn on_block_from_orderer(&mut self, fx: &mut dyn Effects, block: BlockRef) {
+        self.default_state_mut().on_block_from_orderer(fx, block);
+    }
+
+    /// Entry point for every gossip message on the default channel.
+    pub fn on_message(&mut self, fx: &mut dyn Effects, from: PeerId, msg: GossipMsg) {
+        self.default_state_mut().on_message(fx, from, msg);
+    }
+
+    /// Entry point for every timer armed through [`Effects::schedule`] on
+    /// the default channel.
+    pub fn on_timer(&mut self, fx: &mut dyn Effects, timer: GossipTimer) {
+        self.default_state_mut().on_timer(fx, timer);
+    }
+
+    // ------------------------------------------------------------------
+    // Channel-aware entry points and accessors
+    // ------------------------------------------------------------------
+
+    /// Routes an incoming gossip message to its channel instance. Messages
+    /// for channels this peer never joined are dropped — gossip scope is
+    /// the isolation boundary, so stray cross-channel traffic must never
+    /// touch any store.
+    pub fn on_channel_message(
+        &mut self,
+        fx: &mut dyn Effects,
+        channel: ChannelId,
+        from: PeerId,
+        msg: GossipMsg,
+    ) {
+        if let Some(state) = self.state_mut(channel) {
+            state.on_message(fx, from, msg);
+        }
+    }
+
+    /// Routes a timer to its channel instance (timers of unjoined channels
+    /// are inert).
+    pub fn on_channel_timer(
+        &mut self,
+        fx: &mut dyn Effects,
+        channel: ChannelId,
+        timer: GossipTimer,
+    ) {
+        if let Some(state) = self.state_mut(channel) {
+            state.on_timer(fx, timer);
+        }
+    }
+
+    /// Entry point for a block the ordering service delivers on `channel`.
+    /// Blocks for unjoined channels are dropped (isolation again).
+    pub fn on_block_from_orderer_on(
+        &mut self,
+        fx: &mut dyn Effects,
+        channel: ChannelId,
+        block: BlockRef,
+    ) {
+        if let Some(state) = self.state_mut(channel) {
+            state.on_block_from_orderer(fx, block);
+        }
+    }
+
+    /// Whether this peer leads `channel`'s organization (false when not
+    /// joined).
+    pub fn is_leader_on(&self, channel: ChannelId) -> bool {
+        self.state(channel).is_some_and(|s| s.is_leader())
+    }
+
+    /// Contiguous ledger height on `channel` (0 when not joined).
+    pub fn height_on(&self, channel: ChannelId) -> u64 {
+        self.state(channel).map_or(0, |s| s.core().store.height())
+    }
+
+    /// The block store of `channel`, if joined.
+    pub fn store_on(&self, channel: ChannelId) -> Option<&BlockStore> {
+        self.state(channel).map(|s| &s.core().store)
+    }
+
+    /// The protocol counters of `channel`, if joined.
+    pub fn stats_on(&self, channel: ChannelId) -> Option<&PeerStats> {
+        self.state(channel).map(|s| &s.core().stats)
+    }
+
+    /// The organization membership view of `channel`, if joined.
+    pub fn membership_on(&self, channel: ChannelId) -> Option<&Membership> {
+        self.state(channel).map(|s| &s.core().membership)
+    }
+
+    /// Peer-global counters: every per-channel [`PeerStats`] summed
+    /// (numeric and per-kind byte counters add exactly; `first_seen` stays
+    /// per-channel — block numbers collide across channels).
+    pub fn total_stats(&self) -> PeerStats {
+        let mut total = PeerStats::default();
+        for (_, state) in &self.channels {
+            total.absorb(&state.core().stats);
+        }
+        total
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle (all channels)
+    // ------------------------------------------------------------------
+
+    /// Arms the periodic timers of every joined channel, in channel-id
+    /// order. Call once at startup (and again after a simulated reboot).
+    /// Periods get a uniformly random initial phase so rounds
+    /// de-synchronize across peers, as in a real deployment.
+    pub fn init(&mut self, fx: &mut dyn Effects) {
+        self.initialized = true;
+        for (_, state) in &mut self.channels {
+            state.init(fx);
         }
     }
 
     /// Models a process crash: volatile state — leadership, push buffers,
-    /// fetches in flight, pull bookkeeping, membership freshness — is lost.
-    /// The block store survives (blocks are persisted through the ledger).
-    /// After a reboot, call [`GossipPeer::init`] to re-arm the timers;
-    /// recovery then catches the peer up.
+    /// fetches in flight, pull bookkeeping, membership freshness — is lost
+    /// on every channel. The block stores survive (blocks are persisted
+    /// through the ledger). After a reboot, call [`GossipPeer::init`] to
+    /// re-arm the timers; recovery then catches the peer up.
     pub fn on_crash(&mut self) {
-        self.is_leader = false;
-        self.last_leader_seen = None;
-        self.push_buffer.clear();
-        self.forward_buffer.clear();
-        self.flush_armed = false;
-        self.pending_fetch.clear();
-        self.pull_offers.clear();
-        self.peer_heights.clear();
-    }
-
-    /// Entry point for a block delivered by the ordering service (the
-    /// leader's path, or any peer an orderer chooses to seed).
-    pub fn on_block_from_orderer(&mut self, fx: &mut dyn Effects, block: BlockRef) {
-        let num = block.number();
-        let is_new = self.accept_content(fx, &block);
-        if !is_new {
-            return;
-        }
-        if !self.forwarding {
-            return;
-        }
-        match self.cfg.push {
-            PushMode::InfectAndDie { .. } => {
-                // The leader pushes through the same buffered emitter as any
-                // first reception (f_leader_out == fout in stock Fabric).
-                self.buffer_for_push(fx, block);
-            }
-            PushMode::InfectUponContagion { .. } => {
-                // Hand the block to f_leader_out random peers with counter 0;
-                // they start the infect-upon-contagion dissemination.
-                self.seen_pairs.insert((num, 0));
-                let targets = {
-                    let k = self.cfg.f_leader_out;
-                    self.membership.sample(fx.rng(), k)
-                };
-                for t in targets {
-                    self.stats.blocks_sent += 1;
-                    fx.send(
-                        t,
-                        GossipMsg::BlockPush {
-                            block: block.clone(),
-                            counter: 0,
-                        },
-                    );
-                }
-            }
+        for (_, state) in &mut self.channels {
+            state.on_crash();
         }
     }
-
-    /// Entry point for every gossip message.
-    pub fn on_message(&mut self, fx: &mut dyn Effects, from: PeerId, msg: GossipMsg) {
-        let now = fx.now();
-        self.membership.mark_alive(from, now);
-        self.channel.mark_alive(from, now);
-        match msg {
-            GossipMsg::BlockPush { block, counter } => self.on_block_push(fx, from, block, counter),
-            GossipMsg::PushDigest { block_num, counter } => {
-                self.on_push_digest(fx, from, block_num, counter)
-            }
-            GossipMsg::PushRequest { block_num, counter } => {
-                if let Some(block) = self.store.get(block_num) {
-                    let block = block.clone();
-                    self.stats.blocks_sent += 1;
-                    fx.send(from, GossipMsg::BlockPush { block, counter });
-                }
-            }
-            GossipMsg::PullHello { nonce } => {
-                let window = self
-                    .cfg
-                    .pull
-                    .as_ref()
-                    .map(|p| p.digest_window)
-                    .unwrap_or(64);
-                let block_nums = self.store.recent(window);
-                fx.send(from, GossipMsg::PullDigestResponse { nonce, block_nums });
-            }
-            GossipMsg::PullDigestResponse { nonce, block_nums } => {
-                self.on_pull_digest(fx, from, nonce, block_nums)
-            }
-            GossipMsg::PullRequest { nonce, block_nums } => {
-                let blocks: Vec<BlockRef> = block_nums
-                    .iter()
-                    .filter_map(|n| self.store.get(*n).cloned())
-                    .collect();
-                if !blocks.is_empty() {
-                    self.stats.blocks_sent += blocks.len() as u64;
-                    fx.send(from, GossipMsg::PullResponse { nonce, blocks });
-                }
-            }
-            GossipMsg::PullResponse { nonce: _, blocks } => {
-                for block in blocks {
-                    self.accept_content(fx, &block);
-                }
-            }
-            GossipMsg::StateInfo { height } => {
-                let entry = self.peer_heights.entry(from).or_insert(0);
-                *entry = (*entry).max(height);
-            }
-            GossipMsg::RecoveryRequest { from: lo, to } => {
-                let blocks = self
-                    .store
-                    .consecutive_run(lo, to, self.cfg.recovery.batch_max);
-                if !blocks.is_empty() {
-                    self.stats.blocks_sent += blocks.len() as u64;
-                    fx.send(from, GossipMsg::RecoveryResponse { blocks });
-                }
-            }
-            GossipMsg::RecoveryResponse { blocks } => {
-                for block in blocks {
-                    self.accept_content(fx, &block);
-                }
-            }
-            GossipMsg::Alive => {} // mark_alive above is the whole effect
-            GossipMsg::LeaderHeartbeat { leader } => self.on_leader_heartbeat(fx, leader, now),
-        }
-    }
-
-    /// Entry point for every timer armed through [`Effects::schedule`].
-    pub fn on_timer(&mut self, fx: &mut dyn Effects, timer: GossipTimer) {
-        match timer {
-            GossipTimer::PushFlush => self.on_push_flush(fx),
-            GossipTimer::PullRound => self.on_pull_round(fx),
-            GossipTimer::PullDigestWait { nonce } => self.on_pull_digest_wait(fx, nonce),
-            GossipTimer::RecoveryRound => self.on_recovery_round(fx),
-            GossipTimer::StateInfoRound => self.on_state_info_round(fx),
-            GossipTimer::AliveRound => self.on_alive_round(fx),
-            GossipTimer::ElectionTick => self.on_election_tick(fx),
-            GossipTimer::FetchRetry { block_num, attempt } => {
-                self.on_fetch_retry(fx, block_num, attempt)
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Content acceptance (common to every arrival path)
-    // ------------------------------------------------------------------
-
-    /// Stores new content, fires the reception hook and delivers any newly
-    /// contiguous run. Returns whether the content was new.
-    fn accept_content(&mut self, fx: &mut dyn Effects, block: &BlockRef) -> bool {
-        match self.store.insert(block.clone()) {
-            None => {
-                self.stats.duplicate_blocks += 1;
-                false
-            }
-            Some(deliverable) => {
-                let num = block.number();
-                self.stats.first_seen.insert(num, fx.now());
-                fx.block_received(num);
-                for b in deliverable {
-                    fx.deliver(b);
-                }
-                true
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Push — both protocols
-    // ------------------------------------------------------------------
-
-    fn on_block_push(
-        &mut self,
-        fx: &mut dyn Effects,
-        _from: PeerId,
-        block: BlockRef,
-        counter: u32,
-    ) {
-        let num = block.number();
-        let is_new = self.accept_content(fx, &block);
-        if !self.forwarding {
-            return;
-        }
-        match self.cfg.push {
-            PushMode::InfectAndDie { .. } => {
-                // Infect and die: forward only on first content reception.
-                if is_new {
-                    self.buffer_for_push(fx, block);
-                }
-            }
-            PushMode::InfectUponContagion { ttl, .. } => {
-                // Forward once per distinct counter; content arrival also
-                // settles the forwards owed by digests that preceded it.
-                let mut owed: Vec<u32> = Vec::new();
-                if is_new {
-                    if let Some(pending) = self.pending_fetch.remove(&num) {
-                        owed.extend(pending.counters);
-                    }
-                }
-                if self.seen_pairs.insert((num, counter)) {
-                    owed.push(counter);
-                }
-                owed.sort_unstable();
-                owed.dedup();
-                for c in owed {
-                    if c < ttl {
-                        self.queue_forward(fx, block.clone(), c + 1);
-                    }
-                }
-            }
-        }
-    }
-
-    fn on_push_digest(&mut self, fx: &mut dyn Effects, from: PeerId, block_num: u64, counter: u32) {
-        self.stats.digests_received += 1;
-        let PushMode::InfectUponContagion { ttl, .. } = self.cfg.push else {
-            return; // digests are not part of the original protocol
-        };
-        if !self.forwarding {
-            // A free-rider still fetches content it lacks (it wants the
-            // chain) but never re-announces it.
-            if !self.seen_pairs.insert((block_num, counter)) || self.store.has(block_num) {
-                return;
-            }
-            let pending = self.pending_fetch.entry(block_num).or_default();
-            pending.counters.push(counter);
-            if !pending.advertisers.contains(&from) {
-                pending.advertisers.push(from);
-            }
-            if pending.attempts == 0 {
-                pending.attempts = 1;
-                self.stats.fetch_requests += 1;
-                fx.send(from, GossipMsg::PushRequest { block_num, counter });
-                let timeout = self.cfg.fetch.timeout;
-                fx.schedule(
-                    timeout,
-                    GossipTimer::FetchRetry {
-                        block_num,
-                        attempt: 1,
-                    },
-                );
-            }
-            return;
-        }
-        if !self.seen_pairs.insert((block_num, counter)) {
-            return;
-        }
-        if self.store.has(block_num) {
-            if counter < ttl {
-                let block = self
-                    .store
-                    .get(block_num)
-                    .expect("store.has checked")
-                    .clone();
-                self.queue_forward(fx, block, counter + 1);
-            }
-            return;
-        }
-        // Content missing: fetch it, remembering the counter so the forward
-        // happens when the block arrives.
-        let pending = self.pending_fetch.entry(block_num).or_default();
-        pending.counters.push(counter);
-        if !pending.advertisers.contains(&from) {
-            pending.advertisers.push(from);
-        }
-        let first_request = pending.attempts == 0;
-        if first_request {
-            pending.attempts = 1;
-            self.stats.fetch_requests += 1;
-            fx.send(from, GossipMsg::PushRequest { block_num, counter });
-            let timeout = self.cfg.fetch.timeout;
-            fx.schedule(
-                timeout,
-                GossipTimer::FetchRetry {
-                    block_num,
-                    attempt: 1,
-                },
-            );
-        }
-    }
-
-    fn on_fetch_retry(&mut self, fx: &mut dyn Effects, block_num: u64, attempt: u32) {
-        if self.store.has(block_num) {
-            return; // fetched in the meantime
-        }
-        let max_attempts = self.cfg.fetch.max_attempts;
-        let Some(pending) = self.pending_fetch.get_mut(&block_num) else {
-            return;
-        };
-        if attempt >= max_attempts {
-            // Give up; the recovery component will catch this block up.
-            self.pending_fetch.remove(&block_num);
-            return;
-        }
-        pending.attempts = attempt + 1;
-        let counter = pending.counters.last().copied().unwrap_or(0);
-        // Prefer an advertiser we have not asked yet (they rotate by
-        // attempt); any advertiser certainly has the content.
-        let advertisers = pending.advertisers.clone();
-        let target = advertisers
-            .get(attempt as usize % advertisers.len().max(1))
-            .copied()
-            .unwrap_or_else(|| {
-                self.membership
-                    .sample(fx.rng(), 1)
-                    .first()
-                    .copied()
-                    .unwrap_or(self.id)
-            });
-        self.stats.fetch_requests += 1;
-        fx.send(target, GossipMsg::PushRequest { block_num, counter });
-        let timeout = self.cfg.fetch.timeout;
-        fx.schedule(
-            timeout,
-            GossipTimer::FetchRetry {
-                block_num,
-                attempt: attempt + 1,
-            },
-        );
-    }
-
-    /// Original protocol: stage a first-reception block in the push buffer.
-    fn buffer_for_push(&mut self, fx: &mut dyn Effects, block: BlockRef) {
-        let PushMode::InfectAndDie { tpush, buffer_cap } = self.cfg.push else {
-            unreachable!("buffer_for_push is an infect-and-die path");
-        };
-        self.push_buffer.push(block);
-        if self.push_buffer.len() >= buffer_cap || tpush.is_zero() {
-            self.flush_push_buffer(fx);
-        } else if !self.flush_armed {
-            self.flush_armed = true;
-            fx.schedule(tpush, GossipTimer::PushFlush);
-        }
-    }
-
-    /// Enhanced protocol: forward `(block, counter)`, immediately or via the
-    /// `tpush` buffer (the bias ablation).
-    fn queue_forward(&mut self, fx: &mut dyn Effects, block: BlockRef, counter: u32) {
-        let PushMode::InfectUponContagion { tpush, .. } = self.cfg.push else {
-            unreachable!("queue_forward is an infect-upon-contagion path");
-        };
-        if tpush.is_zero() {
-            self.forward_pairs(fx, &[(block, counter)]);
-        } else {
-            self.forward_buffer.push((block, counter));
-            if !self.flush_armed {
-                self.flush_armed = true;
-                fx.schedule(tpush, GossipTimer::PushFlush);
-            }
-        }
-    }
-
-    fn on_push_flush(&mut self, fx: &mut dyn Effects) {
-        self.flush_armed = false;
-        match self.cfg.push {
-            PushMode::InfectAndDie { .. } => self.flush_push_buffer(fx),
-            PushMode::InfectUponContagion { .. } => {
-                let items = std::mem::take(&mut self.forward_buffer);
-                if !items.is_empty() {
-                    self.forward_pairs(fx, &items);
-                }
-            }
-        }
-    }
-
-    /// Infect-and-die flush: one random target sample shared by every
-    /// buffered block (the bias the paper describes), then die.
-    fn flush_push_buffer(&mut self, fx: &mut dyn Effects) {
-        if self.push_buffer.is_empty() {
-            return;
-        }
-        let blocks = std::mem::take(&mut self.push_buffer);
-        let targets = {
-            let k = self.cfg.fout;
-            self.membership.sample(fx.rng(), k)
-        };
-        for block in &blocks {
-            for t in &targets {
-                self.stats.blocks_sent += 1;
-                fx.send(
-                    *t,
-                    GossipMsg::BlockPush {
-                        block: block.clone(),
-                        counter: 0,
-                    },
-                );
-            }
-        }
-    }
-
-    /// Enhanced forward of one or more pairs sharing a target sample (a
-    /// single pair when `tpush = 0`, the unbiased setting).
-    fn forward_pairs(&mut self, fx: &mut dyn Effects, items: &[(BlockRef, u32)]) {
-        let PushMode::InfectUponContagion {
-            ttl_direct,
-            digests,
-            ..
-        } = self.cfg.push
-        else {
-            unreachable!("forward_pairs is an infect-upon-contagion path");
-        };
-        let targets = {
-            let k = self.cfg.fout;
-            self.membership.sample(fx.rng(), k)
-        };
-        for (block, counter) in items {
-            let direct = !digests || *counter <= ttl_direct;
-            for t in &targets {
-                if direct {
-                    self.stats.blocks_sent += 1;
-                    fx.send(
-                        *t,
-                        GossipMsg::BlockPush {
-                            block: block.clone(),
-                            counter: *counter,
-                        },
-                    );
-                } else {
-                    self.stats.digests_sent += 1;
-                    fx.send(
-                        *t,
-                        GossipMsg::PushDigest {
-                            block_num: block.number(),
-                            counter: *counter,
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Pull
-    // ------------------------------------------------------------------
-
-    fn on_pull_round(&mut self, fx: &mut dyn Effects) {
-        let Some(pull) = self.cfg.pull.clone() else {
-            return;
-        };
-        self.pull_nonce += 1;
-        self.pull_offers.clear();
-        self.stats.pull_rounds += 1;
-        let nonce = self.pull_nonce;
-        let targets = self.membership.sample(fx.rng(), pull.fin);
-        for t in targets {
-            fx.send(t, GossipMsg::PullHello { nonce });
-        }
-        // Fabric's pull engine gathers digests for `digestWaitTime` before
-        // deciding what to request from whom.
-        fx.schedule(pull.digest_wait, GossipTimer::PullDigestWait { nonce });
-        fx.schedule(pull.tpull, GossipTimer::PullRound);
-    }
-
-    fn on_pull_digest(
-        &mut self,
-        _fx: &mut dyn Effects,
-        from: PeerId,
-        nonce: u64,
-        block_nums: Vec<u64>,
-    ) {
-        if nonce != self.pull_nonce {
-            return; // stale round
-        }
-        for num in block_nums {
-            if !self.store.has(num) {
-                let offers = self.pull_offers.entry(num).or_default();
-                if !offers.contains(&from) {
-                    offers.push(from);
-                }
-            }
-        }
-    }
-
-    /// Digest-wait expiry: pick a random advertiser per missing block and
-    /// send the grouped requests.
-    fn on_pull_digest_wait(&mut self, fx: &mut dyn Effects, nonce: u64) {
-        if nonce != self.pull_nonce {
-            return; // a newer round superseded this one
-        }
-        let offers = std::mem::take(&mut self.pull_offers);
-        let mut per_target: BTreeMap<PeerId, Vec<u64>> = BTreeMap::new();
-        for (num, advertisers) in offers {
-            if self.store.has(num) || advertisers.is_empty() {
-                continue;
-            }
-            let pick = fx.rng().random_range(0..advertisers.len());
-            per_target.entry(advertisers[pick]).or_default().push(num);
-        }
-        for (target, block_nums) in per_target {
-            fx.send(target, GossipMsg::PullRequest { nonce, block_nums });
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Recovery and StateInfo
-    // ------------------------------------------------------------------
-
-    fn on_state_info_round(&mut self, fx: &mut dyn Effects) {
-        let height = self.store.height();
-        // StateInfo metadata crosses organization boundaries (§III).
-        let targets = {
-            let k = self.cfg.fout;
-            self.channel.sample(fx.rng(), k)
-        };
-        for t in targets {
-            fx.send(t, GossipMsg::StateInfo { height });
-        }
-        let interval = self.cfg.recovery.state_info_interval;
-        fx.schedule(interval, GossipTimer::StateInfoRound);
-    }
-
-    fn on_recovery_round(&mut self, fx: &mut dyn Effects) {
-        let my_height = self.store.height();
-        let best = self.peer_heights.values().copied().max().unwrap_or(0);
-        if best > my_height {
-            // Ask one of the most advanced peers for the missing run.
-            let candidates: Vec<PeerId> = self
-                .peer_heights
-                .iter()
-                .filter(|(_, h)| **h == best)
-                .map(|(p, _)| *p)
-                .collect();
-            let pick = fx.rng().random_range(0..candidates.len());
-            let target = candidates[pick];
-            let to = (best - 1).min(my_height + self.cfg.recovery.batch_max - 1);
-            self.stats.recovery_requests += 1;
-            fx.send(
-                target,
-                GossipMsg::RecoveryRequest {
-                    from: my_height,
-                    to,
-                },
-            );
-        }
-        let interval = self.cfg.recovery.interval;
-        fx.schedule(interval, GossipTimer::RecoveryRound);
-    }
-
-    fn on_alive_round(&mut self, fx: &mut dyn Effects) {
-        let targets = {
-            let k = self.cfg.fout;
-            self.membership.sample(fx.rng(), k)
-        };
-        for t in targets {
-            fx.send(t, GossipMsg::Alive);
-        }
-        let interval = self.cfg.membership.alive_interval;
-        fx.schedule(interval, GossipTimer::AliveRound);
-    }
-
-    // ------------------------------------------------------------------
-    // Leader election
-    // ------------------------------------------------------------------
-
-    fn on_leader_heartbeat(&mut self, fx: &mut dyn Effects, leader: PeerId, now: Time) {
-        self.last_leader_seen = Some((leader, now));
-        if self.is_leader && leader < self.id {
-            // A lower-id leader exists: step down (deterministic tie-break).
-            self.is_leader = false;
-            fx.leadership_changed(false);
-        }
-    }
-
-    fn on_election_tick(&mut self, fx: &mut dyn Effects) {
-        let now = fx.now();
-        if self.is_leader {
-            self.broadcast_leadership(fx);
-        } else {
-            let leader_fresh = matches!(
-                self.last_leader_seen,
-                Some((_, at)) if now.since(at) <= self.cfg.election.leader_timeout
-            );
-            if !leader_fresh {
-                // No live leader. The lowest-id peer believed alive stands
-                // up; everyone runs the same rule, so exactly the live
-                // minimum claims leadership.
-                let lowest_alive = self
-                    .membership
-                    .alive_peers(now)
-                    .into_iter()
-                    .chain(std::iter::once(self.id))
-                    .min()
-                    .expect("iterator contains self");
-                if lowest_alive == self.id {
-                    self.is_leader = true;
-                    fx.leadership_changed(true);
-                    self.broadcast_leadership(fx);
-                }
-            }
-        }
-        let interval = self.cfg.election.heartbeat_interval;
-        fx.schedule(interval, GossipTimer::ElectionTick);
-    }
-
-    fn broadcast_leadership(&mut self, fx: &mut dyn Effects) {
-        let me = self.id;
-        for p in self.membership.peers().to_vec() {
-            fx.send(p, GossipMsg::LeaderHeartbeat { leader: me });
-        }
-    }
-}
-
-/// Uniform random phase in `[0, period)`, so periodic rounds interleave
-/// across peers instead of firing in lockstep.
-fn random_phase(fx: &mut dyn Effects, period: Duration) -> Duration {
-    if period.is_zero() {
-        return Duration::ZERO;
-    }
-    Duration::from_nanos(fx.rng().random_range(0..period.as_nanos()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::GossipConfig;
+    use crate::testing::MockEffects;
+    use fabric_types::block::Block;
 
     fn peers(ids: &[u32]) -> Vec<PeerId> {
         ids.iter().copied().map(PeerId).collect()
@@ -910,5 +460,72 @@ mod tests {
             !peer.is_leader(),
             "dynamic mode elects through heartbeats, not construction"
         );
+    }
+
+    #[test]
+    fn leadership_is_independent_per_channel() {
+        let peer = GossipPeer::with_channels(PeerId(2), GossipConfig::enhanced_f4())
+            .join_channel(ChannelId(0), peers(&[0, 1, 2]))
+            .join_channel(ChannelId(1), peers(&[2, 3, 4]));
+        assert!(!peer.is_leader_on(ChannelId(0)), "peer 0 leads channel 0");
+        assert!(
+            peer.is_leader_on(ChannelId(1)),
+            "lowest member of channel 1"
+        );
+        assert!(!peer.is_leader_on(ChannelId(9)), "unjoined channel");
+        assert_eq!(peer.channel_ids(), vec![ChannelId(0), ChannelId(1)]);
+    }
+
+    #[test]
+    fn messages_for_unjoined_channels_never_touch_a_store() {
+        let mut peer = GossipPeer::new(PeerId(1), peers(&[0, 1, 2]), GossipConfig::enhanced_f4());
+        let mut fx = MockEffects::new(1);
+        let block =
+            fabric_types::block::BlockRef::new(Block::new(1, Block::genesis().hash(), vec![]));
+        peer.on_channel_message(
+            &mut fx,
+            ChannelId(7),
+            PeerId(0),
+            GossipMsg::BlockPush { block, counter: 0 },
+        );
+        assert!(!peer.store().has(1), "stray channel traffic must not leak");
+        assert!(fx.take_sent().is_empty());
+        assert!(fx.delivered.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "builder-only")]
+    fn widening_after_init_is_rejected() {
+        let mut peer = GossipPeer::new(PeerId(0), peers(&[0, 1]), GossipConfig::enhanced_f4());
+        let mut fx = MockEffects::new(1);
+        peer.init(&mut fx);
+        let _ = peer.with_channel(peers(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "joined twice")]
+    fn joining_a_channel_twice_is_rejected() {
+        let _ = GossipPeer::with_channels(PeerId(0), GossipConfig::enhanced_f4())
+            .join_channel(ChannelId(0), peers(&[0, 1]))
+            .join_channel(ChannelId(0), peers(&[0, 1]));
+    }
+
+    #[test]
+    fn widening_preserves_learned_liveness() {
+        use desim::{Duration, Time};
+        // A peer hears from peer 1 before the deployment widens its channel
+        // view (e.g. a reconfiguration adds an organization). The learned
+        // freshness must survive the widening.
+        let mut peer = GossipPeer::new(PeerId(0), peers(&[0, 1, 2]), GossipConfig::enhanced_f4());
+        let mut fx = MockEffects::new(1);
+        fx.now = Time::from_secs(40); // past the startup grace
+        peer.on_message(&mut fx, PeerId(1), GossipMsg::Alive);
+        let peer = peer.with_channel(peers(&[0, 1, 2, 3, 4, 5]));
+        assert!(
+            peer.channel()
+                .believes_alive(PeerId(1), Time::from_secs(40) + Duration::from_secs(5)),
+            "liveness learned before widening must carry over"
+        );
+        assert_eq!(peer.channel().len(), 5);
     }
 }

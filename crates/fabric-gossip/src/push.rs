@@ -1,0 +1,466 @@
+//! The push engine: infect-and-die (stock Fabric) and infect-upon-contagion
+//! (the paper's enhancement), including digest announcements and the
+//! content-fetch retry machinery.
+//!
+//! The engine owns only push-private state; everything shared with the
+//! other engines (store, membership, counters, configuration) lives in the
+//! [`ChannelCore`] passed into every entry point, which makes the protocol
+//! logic here directly unit-testable against a bare core and
+//! [`crate::testing::MockEffects`].
+
+use std::collections::{BTreeMap, HashSet};
+
+use fabric_types::block::BlockRef;
+use fabric_types::ids::PeerId;
+
+use crate::channel::ChannelCore;
+use crate::config::PushMode;
+use crate::effects::Effects;
+use crate::messages::{GossipMsg, GossipTimer};
+
+/// A fetch in flight for block content announced by push digests.
+#[derive(Debug, Clone, Default)]
+struct PendingFetch {
+    /// Counters received in digests while the content was missing; each one
+    /// owes a forward once the content arrives.
+    counters: Vec<u32>,
+    /// Peers that advertised the block (retry candidates).
+    advertisers: Vec<PeerId>,
+    /// Fetch attempts made so far.
+    attempts: u32,
+}
+
+/// Push-phase state of one channel instance.
+#[derive(Debug, Default)]
+pub struct PushEngine {
+    // ---- push: original (infect-and-die) ----
+    /// Blocks awaiting the buffered push flush.
+    push_buffer: Vec<BlockRef>,
+    /// Whether a PushFlush timer is armed.
+    flush_armed: bool,
+
+    // ---- push: enhanced (infect-upon-contagion) ----
+    /// `(block, counter)` pairs already processed.
+    seen_pairs: HashSet<(u64, u32)>,
+    /// Content fetches in flight, by block number.
+    pending_fetch: BTreeMap<u64, PendingFetch>,
+    /// Pairs awaiting a buffered forward (`tpush > 0` ablation).
+    forward_buffer: Vec<(BlockRef, u32)>,
+}
+
+impl PushEngine {
+    /// Drops everything a process crash would lose (buffers, in-flight
+    /// fetches, dedup memory is *kept* — it mirrors the store, which
+    /// survives).
+    pub fn clear_volatile(&mut self) {
+        self.push_buffer.clear();
+        self.forward_buffer.clear();
+        self.flush_armed = false;
+        self.pending_fetch.clear();
+    }
+
+    /// Entry point for a block delivered by the ordering service.
+    pub fn on_block_from_orderer(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        block: BlockRef,
+    ) {
+        let num = block.number();
+        let is_new = core.accept_content(fx, &block);
+        if !is_new {
+            return;
+        }
+        if !core.forwarding {
+            return;
+        }
+        match core.cfg.push {
+            PushMode::InfectAndDie { .. } => {
+                // The leader pushes through the same buffered emitter as any
+                // first reception (f_leader_out == fout in stock Fabric).
+                self.buffer_for_push(core, fx, block);
+            }
+            PushMode::InfectUponContagion { .. } => {
+                // Hand the block to f_leader_out random peers with counter 0;
+                // they start the infect-upon-contagion dissemination.
+                self.seen_pairs.insert((num, 0));
+                let targets = {
+                    let k = core.cfg.f_leader_out;
+                    core.membership.sample(fx.rng(), k)
+                };
+                for t in targets {
+                    core.stats.blocks_sent += 1;
+                    core.send(
+                        fx,
+                        t,
+                        GossipMsg::BlockPush {
+                            block: block.clone(),
+                            counter: 0,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Full block content arriving with a dissemination counter.
+    pub fn on_block_push(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        _from: PeerId,
+        block: BlockRef,
+        counter: u32,
+    ) {
+        let num = block.number();
+        let is_new = core.accept_content(fx, &block);
+        if !core.forwarding {
+            return;
+        }
+        match core.cfg.push {
+            PushMode::InfectAndDie { .. } => {
+                // Infect and die: forward only on first content reception.
+                if is_new {
+                    self.buffer_for_push(core, fx, block);
+                }
+            }
+            PushMode::InfectUponContagion { ttl, .. } => {
+                // Forward once per distinct counter; content arrival also
+                // settles the forwards owed by digests that preceded it.
+                let mut owed: Vec<u32> = Vec::new();
+                if is_new {
+                    if let Some(pending) = self.pending_fetch.remove(&num) {
+                        owed.extend(pending.counters);
+                    }
+                }
+                if self.seen_pairs.insert((num, counter)) {
+                    owed.push(counter);
+                }
+                owed.sort_unstable();
+                owed.dedup();
+                for c in owed {
+                    if c < ttl {
+                        self.queue_forward(core, fx, block.clone(), c + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A digest announcing content this peer may lack.
+    pub fn on_push_digest(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        from: PeerId,
+        block_num: u64,
+        counter: u32,
+    ) {
+        core.stats.digests_received += 1;
+        let PushMode::InfectUponContagion { ttl, .. } = core.cfg.push else {
+            return; // digests are not part of the original protocol
+        };
+        if !core.forwarding {
+            // A free-rider still fetches content it lacks (it wants the
+            // chain) but never re-announces it.
+            if !self.seen_pairs.insert((block_num, counter)) || core.store.has(block_num) {
+                return;
+            }
+            let pending = self.pending_fetch.entry(block_num).or_default();
+            pending.counters.push(counter);
+            if !pending.advertisers.contains(&from) {
+                pending.advertisers.push(from);
+            }
+            if pending.attempts == 0 {
+                pending.attempts = 1;
+                core.stats.fetch_requests += 1;
+                core.send(fx, from, GossipMsg::PushRequest { block_num, counter });
+                let timeout = core.cfg.fetch.timeout;
+                core.schedule(
+                    fx,
+                    timeout,
+                    GossipTimer::FetchRetry {
+                        block_num,
+                        attempt: 1,
+                    },
+                );
+            }
+            return;
+        }
+        if !self.seen_pairs.insert((block_num, counter)) {
+            return;
+        }
+        if core.store.has(block_num) {
+            if counter < ttl {
+                let block = core
+                    .store
+                    .get(block_num)
+                    .expect("store.has checked")
+                    .clone();
+                self.queue_forward(core, fx, block, counter + 1);
+            }
+            return;
+        }
+        // Content missing: fetch it, remembering the counter so the forward
+        // happens when the block arrives.
+        let pending = self.pending_fetch.entry(block_num).or_default();
+        pending.counters.push(counter);
+        if !pending.advertisers.contains(&from) {
+            pending.advertisers.push(from);
+        }
+        let first_request = pending.attempts == 0;
+        if first_request {
+            pending.attempts = 1;
+            core.stats.fetch_requests += 1;
+            core.send(fx, from, GossipMsg::PushRequest { block_num, counter });
+            let timeout = core.cfg.fetch.timeout;
+            core.schedule(
+                fx,
+                timeout,
+                GossipTimer::FetchRetry {
+                    block_num,
+                    attempt: 1,
+                },
+            );
+        }
+    }
+
+    /// Serves a content request issued after one of our digests.
+    pub fn on_push_request(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        from: PeerId,
+        block_num: u64,
+        counter: u32,
+    ) {
+        if let Some(block) = core.store.get(block_num) {
+            let block = block.clone();
+            core.stats.blocks_sent += 1;
+            core.send(fx, from, GossipMsg::BlockPush { block, counter });
+        }
+    }
+
+    /// The fetch-retry timer: re-request missing content, rotating through
+    /// the advertisers, until the attempt budget runs out.
+    pub fn on_fetch_retry(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        block_num: u64,
+        attempt: u32,
+    ) {
+        if core.store.has(block_num) {
+            return; // fetched in the meantime
+        }
+        let max_attempts = core.cfg.fetch.max_attempts;
+        let Some(pending) = self.pending_fetch.get_mut(&block_num) else {
+            return;
+        };
+        if attempt >= max_attempts {
+            // Give up; the recovery component will catch this block up.
+            self.pending_fetch.remove(&block_num);
+            return;
+        }
+        pending.attempts = attempt + 1;
+        let counter = pending.counters.last().copied().unwrap_or(0);
+        // Prefer an advertiser we have not asked yet (they rotate by
+        // attempt); any advertiser certainly has the content.
+        let advertisers = pending.advertisers.clone();
+        let target = advertisers
+            .get(attempt as usize % advertisers.len().max(1))
+            .copied()
+            .unwrap_or_else(|| {
+                core.membership
+                    .sample(fx.rng(), 1)
+                    .first()
+                    .copied()
+                    .unwrap_or(core.self_id)
+            });
+        core.stats.fetch_requests += 1;
+        core.send(fx, target, GossipMsg::PushRequest { block_num, counter });
+        let timeout = core.cfg.fetch.timeout;
+        core.schedule(
+            fx,
+            timeout,
+            GossipTimer::FetchRetry {
+                block_num,
+                attempt: attempt + 1,
+            },
+        );
+    }
+
+    /// Original protocol: stage a first-reception block in the push buffer.
+    fn buffer_for_push(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects, block: BlockRef) {
+        let PushMode::InfectAndDie { tpush, buffer_cap } = core.cfg.push else {
+            unreachable!("buffer_for_push is an infect-and-die path");
+        };
+        self.push_buffer.push(block);
+        if self.push_buffer.len() >= buffer_cap || tpush.is_zero() {
+            self.flush_push_buffer(core, fx);
+        } else if !self.flush_armed {
+            self.flush_armed = true;
+            core.schedule(fx, tpush, GossipTimer::PushFlush);
+        }
+    }
+
+    /// Enhanced protocol: forward `(block, counter)`, immediately or via the
+    /// `tpush` buffer (the bias ablation).
+    fn queue_forward(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        block: BlockRef,
+        counter: u32,
+    ) {
+        let PushMode::InfectUponContagion { tpush, .. } = core.cfg.push else {
+            unreachable!("queue_forward is an infect-upon-contagion path");
+        };
+        if tpush.is_zero() {
+            self.forward_pairs(core, fx, &[(block, counter)]);
+        } else {
+            self.forward_buffer.push((block, counter));
+            if !self.flush_armed {
+                self.flush_armed = true;
+                core.schedule(fx, tpush, GossipTimer::PushFlush);
+            }
+        }
+    }
+
+    /// The PushFlush timer: emit whatever the active protocol buffered.
+    pub fn on_flush(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) {
+        self.flush_armed = false;
+        match core.cfg.push {
+            PushMode::InfectAndDie { .. } => self.flush_push_buffer(core, fx),
+            PushMode::InfectUponContagion { .. } => {
+                let items = std::mem::take(&mut self.forward_buffer);
+                if !items.is_empty() {
+                    self.forward_pairs(core, fx, &items);
+                }
+            }
+        }
+    }
+
+    /// Infect-and-die flush: one random target sample shared by every
+    /// buffered block (the bias the paper describes), then die.
+    fn flush_push_buffer(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) {
+        if self.push_buffer.is_empty() {
+            return;
+        }
+        let blocks = std::mem::take(&mut self.push_buffer);
+        let targets = {
+            let k = core.cfg.fout;
+            core.membership.sample(fx.rng(), k)
+        };
+        for block in &blocks {
+            for t in &targets {
+                core.stats.blocks_sent += 1;
+                core.send(
+                    fx,
+                    *t,
+                    GossipMsg::BlockPush {
+                        block: block.clone(),
+                        counter: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Enhanced forward of one or more pairs sharing a target sample (a
+    /// single pair when `tpush = 0`, the unbiased setting).
+    fn forward_pairs(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        items: &[(BlockRef, u32)],
+    ) {
+        let PushMode::InfectUponContagion {
+            ttl_direct,
+            digests,
+            ..
+        } = core.cfg.push
+        else {
+            unreachable!("forward_pairs is an infect-upon-contagion path");
+        };
+        let targets = {
+            let k = core.cfg.fout;
+            core.membership.sample(fx.rng(), k)
+        };
+        for (block, counter) in items {
+            let direct = !digests || *counter <= ttl_direct;
+            for t in &targets {
+                if direct {
+                    core.stats.blocks_sent += 1;
+                    core.send(
+                        fx,
+                        *t,
+                        GossipMsg::BlockPush {
+                            block: block.clone(),
+                            counter: *counter,
+                        },
+                    );
+                } else {
+                    core.stats.digests_sent += 1;
+                    core.send(
+                        fx,
+                        *t,
+                        GossipMsg::PushDigest {
+                            block_num: block.number(),
+                            counter: *counter,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GossipConfig;
+    use crate::testing::MockEffects;
+    use fabric_types::block::Block;
+    use fabric_types::ids::ChannelId;
+
+    fn core(cfg: GossipConfig) -> ChannelCore {
+        ChannelCore::new(
+            ChannelId::DEFAULT,
+            PeerId(5),
+            (0..10).map(PeerId).collect(),
+            cfg,
+        )
+    }
+
+    fn block(num: u64) -> BlockRef {
+        BlockRef::new(Block::new(num, fabric_types::crypto::Hash256::ZERO, vec![]))
+    }
+
+    #[test]
+    fn engine_alone_forwards_per_distinct_counter() {
+        let mut c = core(GossipConfig::enhanced(4, 9, 9));
+        let mut e = PushEngine::default();
+        let mut fx = MockEffects::new(3);
+        e.on_block_push(&mut c, &mut fx, PeerId(1), block(1), 3);
+        assert_eq!(fx.take_sent().len(), 4, "fout targets on first counter");
+        e.on_block_push(&mut c, &mut fx, PeerId(2), block(1), 3);
+        assert!(fx.take_sent().is_empty(), "same pair is silent");
+        e.on_block_push(&mut c, &mut fx, PeerId(3), block(1), 5);
+        assert_eq!(fx.take_sent().len(), 4, "fresh counter re-infects");
+        assert_eq!(c.stats.duplicate_blocks, 2);
+    }
+
+    #[test]
+    fn crash_clears_fetches_but_not_dedup_memory() {
+        let mut c = core(GossipConfig::enhanced_f4());
+        let mut e = PushEngine::default();
+        let mut fx = MockEffects::new(3);
+        e.on_push_digest(&mut c, &mut fx, PeerId(1), 7, 2);
+        assert_eq!(c.stats.fetch_requests, 1);
+        fx.take_sent();
+        e.clear_volatile();
+        e.on_fetch_retry(&mut c, &mut fx, 7, 1);
+        assert!(fx.take_sent().is_empty(), "pending fetch died with crash");
+    }
+}

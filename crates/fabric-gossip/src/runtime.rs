@@ -20,16 +20,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fabric_types::block::BlockRef;
-use fabric_types::ids::PeerId;
+use fabric_types::ids::{ChannelId, PeerId};
 
 use crate::config::GossipConfig;
 use crate::effects::Effects;
-use crate::messages::{GossipMsg, GossipTimer};
+use crate::messages::{ChannelMsg, GossipMsg, GossipTimer};
 use crate::peer::GossipPeer;
 
 enum Envelope {
-    Msg { from: PeerId, msg: GossipMsg },
-    FromOrderer(BlockRef),
+    Msg { from: PeerId, envelope: ChannelMsg },
+    FromOrderer(ChannelId, BlockRef),
     Shutdown,
 }
 
@@ -37,6 +37,7 @@ enum Envelope {
 struct TimerEntry {
     at: Time,
     seq: u64,
+    channel: ChannelId,
     timer: GossipTimer,
 }
 
@@ -80,20 +81,24 @@ impl Effects for ThreadFx<'_> {
         Self::wall_now(self.start)
     }
 
-    fn send(&mut self, to: PeerId, msg: GossipMsg) {
+    fn send(&mut self, channel: ChannelId, to: PeerId, msg: GossipMsg) {
         if let Some(tx) = self.senders.get(to.index()) {
             // A receiver that already shut down is indistinguishable from a
             // crashed peer; dropping the message models exactly that.
-            let _ = tx.send(Envelope::Msg { from: self.me, msg });
+            let _ = tx.send(Envelope::Msg {
+                from: self.me,
+                envelope: ChannelMsg { channel, msg },
+            });
         }
     }
 
-    fn schedule(&mut self, after: Duration, timer: GossipTimer) {
+    fn schedule(&mut self, after: Duration, channel: ChannelId, timer: GossipTimer) {
         let at = self.now() + after;
         *self.timer_seq += 1;
         self.timers.push(Reverse(TimerEntry {
             at,
             seq: *self.timer_seq,
+            channel,
             timer,
         }));
     }
@@ -102,7 +107,7 @@ impl Effects for ThreadFx<'_> {
         self.rng
     }
 
-    fn deliver(&mut self, block: BlockRef) {
+    fn deliver(&mut self, _channel: ChannelId, block: BlockRef) {
         self.delivered.push(block.number());
     }
 }
@@ -183,9 +188,15 @@ impl ThreadedNet {
         self.senders.is_empty()
     }
 
-    /// Delivers `block` to the leader as the ordering service would.
+    /// Delivers `block` to the leader as the ordering service would (on
+    /// the default channel).
     pub fn inject_block(&self, block: BlockRef) {
-        let _ = self.senders[self.leader.index()].send(Envelope::FromOrderer(block));
+        self.inject_block_on(ChannelId::DEFAULT, block);
+    }
+
+    /// Delivers `block` to the leader on `channel`.
+    pub fn inject_block_on(&self, channel: ChannelId, block: BlockRef) {
+        let _ = self.senders[self.leader.index()].send(Envelope::FromOrderer(channel, block));
     }
 
     /// Stops every peer thread and returns their outcomes in peer order.
@@ -242,7 +253,7 @@ fn run_peer(
                         rng: &mut rng,
                         delivered: &mut delivered,
                     };
-                    peer.on_timer(&mut fx, entry.timer);
+                    peer.on_channel_timer(&mut fx, entry.channel, entry.timer);
                 }
                 _ => break,
             }
@@ -257,7 +268,7 @@ fn run_peer(
         };
 
         match rx.recv_timeout(wait) {
-            Ok(Envelope::Msg { from, msg }) => {
+            Ok(Envelope::Msg { from, envelope }) => {
                 let mut fx = ThreadFx {
                     start,
                     me: id,
@@ -267,9 +278,9 @@ fn run_peer(
                     rng: &mut rng,
                     delivered: &mut delivered,
                 };
-                peer.on_message(&mut fx, from, msg);
+                peer.on_channel_message(&mut fx, envelope.channel, from, envelope.msg);
             }
-            Ok(Envelope::FromOrderer(block)) => {
+            Ok(Envelope::FromOrderer(channel, block)) => {
                 let mut fx = ThreadFx {
                     start,
                     me: id,
@@ -279,7 +290,7 @@ fn run_peer(
                     rng: &mut rng,
                     delivered: &mut delivered,
                 };
-                peer.on_block_from_orderer(&mut fx, block);
+                peer.on_block_from_orderer_on(&mut fx, channel, block);
             }
             Ok(Envelope::Shutdown) => break,
             Err(RecvTimeoutError::Timeout) => continue,

@@ -24,6 +24,31 @@ impl fmt::Display for PeerId {
     }
 }
 
+/// Identity of a Fabric *channel* — an independent ledger with its own
+/// membership, leader election and gossip dissemination.
+///
+/// Channels are numbered densely from zero so per-channel state can live in
+/// small vectors; [`ChannelId::DEFAULT`] is the single channel of the
+/// paper's evaluation deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(pub u16);
+
+impl ChannelId {
+    /// The implicit channel of single-channel deployments.
+    pub const DEFAULT: ChannelId = ChannelId(0);
+
+    /// The channel's index, for direct vector addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
 /// Identity of an organization participating in the channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct OrgId(pub u16);

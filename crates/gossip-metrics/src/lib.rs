@@ -23,6 +23,6 @@ pub mod table;
 
 pub use bandwidth::{BandwidthComparison, BandwidthSeries};
 pub use cdf::{logistic_fit_r2, logit, Cdf, ProbabilityPlot, BLOCK_LEVEL_TICKS, PEER_LEVEL_TICKS};
-pub use fairness::{jain_index, Summary};
+pub use fairness::{jain_index, ChannelFairness, FairnessReport, Summary};
 pub use latency::{Extremes, LatencyRecorder};
 pub use table::render_table;
