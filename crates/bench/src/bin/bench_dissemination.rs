@@ -1,9 +1,9 @@
 //! `bench_dissemination` — the perf-trajectory emitter.
 //!
 //! Times the fig04 and fig07 dissemination presets plus the multi-channel
-//! preset (wall-clock and events/second) and the clone-per-hop vs
-//! zero-copy payload comparison, then writes `BENCH_dissemination.json` so
-//! future changes have a baseline to compare against.
+//! and churn presets (wall-clock and events/second) and the clone-per-hop
+//! vs zero-copy payload comparison, then writes `BENCH_dissemination.json`
+//! so future changes have a baseline to compare against.
 //!
 //! ```text
 //! bench_dissemination [smoke|quick|full] [output.json]
@@ -18,7 +18,8 @@
 use std::time::Instant;
 
 use bench::zero_copy::{compare, FloodConfig};
-use bench::{multichannel_preset, run_scaled, Scale};
+use bench::{churn_preset, multichannel_preset, run_scaled, Scale};
+use fabric_experiments::churn::run_churn;
 use fabric_experiments::dissemination::DisseminationConfig;
 use fabric_experiments::multichannel::run_multichannel;
 
@@ -52,6 +53,34 @@ fn time_multichannel(scale: Scale) -> PresetRow {
     let wall = start.elapsed().as_secs_f64();
     PresetRow {
         name: "multichannel",
+        wall_secs: wall,
+        events: result.events,
+        events_per_sec: result.events as f64 / wall.max(1e-9),
+        blocks: result.channels.iter().map(|c| c.blocks).sum(),
+        completeness: result
+            .channels
+            .iter()
+            .map(|c| c.completeness)
+            .fold(1.0f64, f64::min),
+    }
+}
+
+fn time_churn(scale: Scale) -> PresetRow {
+    let cfg = churn_preset(scale);
+    let start = Instant::now();
+    let result = run_churn(&cfg);
+    let wall = start.elapsed().as_secs_f64();
+    // Meaningfulness guard: the preset must actually demonstrate churn —
+    // a completed catch-up and a leader hand-off on the side channel.
+    let caught_up = result.catchups.iter().all(|c| c.completed_at.is_some());
+    let handed_off = result.channels[1].handoffs >= 1;
+    if !caught_up || !handed_off {
+        eprintln!(
+            "::warning::churn preset degenerated: caught_up={caught_up} handed_off={handed_off}"
+        );
+    }
+    PresetRow {
+        name: "churn",
         wall_secs: wall,
         events: result.events,
         events_per_sec: result.events as f64 / wall.max(1e-9),
@@ -167,6 +196,7 @@ fn main() {
             scale,
         ),
         time_multichannel(scale),
+        time_churn(scale),
     ];
     for row in &presets {
         eprintln!(

@@ -5,6 +5,7 @@
 //! series, while `repro` produces the full-scale outputs recorded in
 //! `EXPERIMENTS.md`.
 
+use fabric_experiments::churn::ChurnConfig;
 use fabric_experiments::dissemination::{
     run_dissemination, DisseminationConfig, DisseminationResult,
 };
@@ -61,6 +62,17 @@ pub fn multichannel_preset(scale: Scale) -> MultiChannelConfig {
         Scale::Full => MultiChannelConfig::skewed(8, 200, 1_000),
         Scale::Quick => MultiChannelConfig::skewed(4, 100, 240),
         Scale::Smoke => MultiChannelConfig::skewed(2, 30, 40),
+    }
+}
+
+/// The churn benchmark preset at this scale: two full-pipeline channels
+/// with a late joiner catching up mid-run and the side channel's leader
+/// leaving (see [`ChurnConfig::standard`]).
+pub fn churn_preset(scale: Scale) -> ChurnConfig {
+    match scale {
+        Scale::Full => ChurnConfig::standard(100, 40, 400),
+        Scale::Quick => ChurnConfig::standard(40, 16, 100),
+        Scale::Smoke => ChurnConfig::standard(16, 8, 20),
     }
 }
 

@@ -1,0 +1,403 @@
+//! Runtime channel-membership churn over the full transaction pipeline.
+//!
+//! The paper evaluates gossip on live Fabric channels where peers join,
+//! catch up from the channel via pull/state transfer, and leave. This
+//! scenario drives exactly that against the channel-routed
+//! [`FabricNet`] pipeline: two channels carry independent payload
+//! workloads end to end (client → endorser → orderer → leader → gossip),
+//! and the *side channel* churns mid-run —
+//!
+//! * **late joiners** enter at [`ChurnConfig::join_at`] and bootstrap to
+//!   the channel head through the existing StateInfo + recovery
+//!   machinery (catch-up latency is measured per joiner);
+//! * the side channel's **leader leaves** at
+//!   [`ChurnConfig::leader_leave_at`], forcing a leader hand-off (counted
+//!   through the `leadership_changed` effect) while the ordering service
+//!   retries delivery until the new leader stands up.
+//!
+//! The stable main channel doubles as the control group: its latency and
+//! fairness must stay unremarkable while the side channel churns.
+
+use desim::{Duration, NetworkConfig, Simulation, Time};
+use fabric_gossip::config::GossipConfig;
+use fabric_orderer::cutter::BatchConfig;
+use fabric_orderer::service::OrdererConfig;
+use fabric_types::ids::{ChannelId, PeerId};
+use fabric_types::transaction::EndorsementPolicy;
+use fabric_workload::schedule::{
+    merge_schedules, payload_schedule, retarget_schedule, PayloadWorkload,
+};
+use gossip_metrics::cdf::Cdf;
+use gossip_metrics::fairness::FairnessReport;
+
+use crate::net::{Catchup, ChannelSpec, ChurnAction, ChurnEvent, FabricNet, NetParams};
+
+/// Everything a churn run needs.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Total peers. Every peer is a member of the main channel
+    /// ([`ChannelId::DEFAULT`]); peers `0..side_members` start on the side
+    /// channel (`ChannelId(1)`), and the `joiners` highest-numbered side
+    /// candidates — peers `side_members..side_members + joiners` — enter
+    /// it at runtime.
+    pub peers: usize,
+    /// Initial membership of the side channel (≥ 2: its static leader is
+    /// peer 0 and its endorser peer 1).
+    pub side_members: usize,
+    /// Number of late joiners.
+    pub joiners: usize,
+    /// When the late joiners enter the side channel.
+    pub join_at: Time,
+    /// When the side channel's leader (peer 0) leaves it, forcing a
+    /// hand-off; `None` keeps the leader seated.
+    pub leader_leave_at: Option<Time>,
+    /// Gossip configuration shared by every peer (the preset tightens
+    /// recovery so catch-up is observable at bench scale).
+    pub gossip: GossipConfig,
+    /// Ordering service configuration, shared by both channels' chains.
+    pub orderer: OrdererConfig,
+    /// The main channel's workload.
+    pub main_workload: PayloadWorkload,
+    /// The side channel's workload.
+    pub side_workload: PayloadWorkload,
+    /// Physical network model.
+    pub network: NetworkConfig,
+    /// Drain window after the last scheduled transaction.
+    pub drain: Duration,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// The standard churn shape: `peers` peers, a side channel of
+    /// `side_members` + 1 late joiner, `blocks` blocks per channel at the
+    /// paper's 160 KB block size, join at one third of the run and the
+    /// side leader leaving at two thirds. Recovery is tightened (2 s
+    /// rounds, 64-block batches) so a joiner's catch-up completes within
+    /// the run rather than across many 10 s default rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `side_members < 2` or `peers <= side_members` (the
+    /// joiner must come from outside the side channel).
+    pub fn standard(peers: usize, side_members: usize, blocks: u64) -> Self {
+        assert!(side_members >= 2, "side channel needs a leader + endorser");
+        assert!(peers > side_members, "no peer left to join late");
+        let mut gossip = GossipConfig::enhanced_f4();
+        gossip.recovery.interval = Duration::from_secs(2);
+        gossip.recovery.batch_max = 64;
+        let txs = (blocks * 50) as usize;
+        let span = txs as f64 / PayloadWorkload::default().rate_per_sec;
+        ChurnConfig {
+            peers,
+            side_members,
+            joiners: 1,
+            join_at: Time::ZERO + Duration::from_secs_f64(span / 3.0),
+            leader_leave_at: Some(Time::ZERO + Duration::from_secs_f64(2.0 * span / 3.0)),
+            gossip,
+            orderer: OrdererConfig::kafka(BatchConfig::paper_dissemination()),
+            main_workload: PayloadWorkload::shortened(txs),
+            side_workload: PayloadWorkload::shortened(txs),
+            network: NetworkConfig::lan(peers + 2),
+            drain: Duration::from_secs(40),
+            seed: 1,
+        }
+    }
+
+    /// The side channel's id.
+    pub fn side_channel() -> ChannelId {
+        ChannelId(1)
+    }
+}
+
+/// One channel's measured outcome.
+#[derive(Debug, Clone)]
+pub struct ChurnChannelReport {
+    /// The channel.
+    pub channel: ChannelId,
+    /// Members at end of run.
+    pub members: usize,
+    /// Blocks cut on the channel.
+    pub blocks: u64,
+    /// Fraction of (block, slot) deliveries over **initial** members —
+    /// late joiners legitimately miss pre-join starts, so they are
+    /// excluded from the denominator.
+    pub completeness: f64,
+    /// Median dissemination latency over all recorded cells.
+    pub p50: Duration,
+    /// 99.9th percentile of the same pool.
+    pub p999: Duration,
+    /// Leadership acquisitions observed (hand-offs; static initial
+    /// leaders are seeded, not counted).
+    pub handoffs: u64,
+    /// Peers claiming leadership at end of run.
+    pub leaders: Vec<PeerId>,
+}
+
+/// What a churn run produces.
+#[derive(Debug)]
+pub struct ChurnResult {
+    /// Per-channel outcomes, channel order.
+    pub channels: Vec<ChurnChannelReport>,
+    /// One record per runtime join: target head and catch-up latency.
+    pub catchups: Vec<Catchup>,
+    /// Per-channel and overall Jain fairness over per-member gossip bytes
+    /// (members at end of run).
+    pub fairness: FairnessReport,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Final virtual time.
+    pub sim_end: Time,
+    /// The final protocol state, for custom inspection.
+    pub net: FabricNet,
+}
+
+/// Runs one churn experiment to completion.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (see [`ChurnConfig::standard`]).
+pub fn run_churn(cfg: &ChurnConfig) -> ChurnResult {
+    let side = ChurnConfig::side_channel();
+    let main_sched = payload_schedule(&cfg.main_workload);
+    let side_sched = retarget_schedule(payload_schedule(&cfg.side_workload), side);
+    let schedule = merge_schedules(vec![main_sched, side_sched]);
+    let last_issue = schedule.last().map(|s| s.at).unwrap_or(Time::ZERO);
+
+    let mut params = NetParams::new(cfg.peers, cfg.gossip.clone(), cfg.orderer.clone());
+    params.validation_per_tx = Duration::from_micros(300);
+    params.extra_channels = vec![ChannelSpec {
+        channel: side,
+        members: (0..cfg.side_members as u32).map(PeerId).collect(),
+        orgs: 1,
+        endorsers: vec![PeerId(1)],
+        policy: EndorsementPolicy::AnyMember,
+    }];
+    for j in 0..cfg.joiners {
+        params.churn.push(ChurnEvent {
+            at: cfg.join_at,
+            peer: PeerId((cfg.side_members + j) as u32),
+            channel: side,
+            action: ChurnAction::Join,
+        });
+    }
+    if let Some(at) = cfg.leader_leave_at {
+        params.churn.push(ChurnEvent {
+            at,
+            peer: PeerId(0),
+            channel: side,
+            action: ChurnAction::Leave,
+        });
+    }
+    assert!(
+        cfg.side_members + cfg.joiners <= cfg.peers,
+        "joiners must be existing deployment peers"
+    );
+
+    let mut network = cfg.network.clone();
+    network.nodes = FabricNet::node_count(&params);
+    let net = FabricNet::new(params, schedule);
+    let mut sim = Simulation::new(net, network, cfg.seed);
+    sim.with_ctx(|net, ctx| net.start(ctx));
+    sim.run_until(last_issue + cfg.drain);
+    let events = sim.events_processed();
+    let sim_end = sim.now();
+    let net = sim.into_protocol();
+
+    let initial_members = [cfg.peers, cfg.side_members];
+    let mut channels = Vec::with_capacity(2);
+    let mut fairness_rows: Vec<(String, Vec<(usize, f64)>)> = Vec::with_capacity(2);
+    for (c, initial) in initial_members.into_iter().enumerate() {
+        let channel = ChannelId(c as u16);
+        let rec = net.latency_on(channel).expect("channel exists");
+        let blocks = rec.block_count();
+        let mut pool = Vec::new();
+        let mut filled = 0usize;
+        for slot in 0..initial {
+            let lat = rec.peer_latencies(slot);
+            filled += lat.len();
+            pool.extend(lat);
+        }
+        // Joiner slots contribute latencies but not completeness cells.
+        // The recorder is sized over initial members + scheduled joiners —
+        // NOT the end-of-run member count, which a leaver shrinks back.
+        for slot in initial..rec.peers() {
+            pool.extend(rec.peer_latencies(slot));
+        }
+        let cdf = Cdf::new(pool);
+        let (p50, p999) = if cdf.is_empty() {
+            (Duration::ZERO, Duration::ZERO)
+        } else {
+            (cdf.quantile(0.5), cdf.quantile(0.999))
+        };
+        channels.push(ChurnChannelReport {
+            channel,
+            members: net.members_on(channel).len(),
+            blocks: net.blocks_cut_on(channel),
+            completeness: if blocks * initial == 0 {
+                1.0
+            } else {
+                filled as f64 / (blocks * initial) as f64
+            },
+            p50,
+            p999,
+            handoffs: net.handoffs_on(channel),
+            leaders: net.current_leaders_on(channel),
+        });
+        let shares: Vec<(usize, f64)> = net
+            .members_on(channel)
+            .iter()
+            .map(|m| {
+                let bytes = net
+                    .gossip(m.index())
+                    .stats_on(channel)
+                    .map_or(0, |s| s.bytes_sent());
+                (m.index(), bytes as f64)
+            })
+            .collect();
+        fairness_rows.push((channel.to_string(), shares));
+    }
+    let fairness = FairnessReport::from_per_channel(&fairness_rows);
+    ChurnResult {
+        channels,
+        catchups: net.catchups().to_vec(),
+        fairness,
+        events,
+        sim_end,
+        net,
+    }
+}
+
+/// Plain-text rendering of a churn run, preset-report style.
+pub fn render_churn(title: &str, result: &ChurnResult) -> String {
+    let mut out = format!("== {title} ==\n");
+    for c in &result.channels {
+        out.push_str(&format!(
+            "{} {:>3} members | {:>4} blocks | completeness {:.4} | p50 {} | p99.9 {} | \
+             handoffs {} | leaders {:?}\n",
+            c.channel, c.members, c.blocks, c.completeness, c.p50, c.p999, c.handoffs, c.leaders,
+        ));
+    }
+    for cu in &result.catchups {
+        match cu.latency() {
+            Some(lat) => out.push_str(&format!(
+                "{} joined {} at {} | head {} | caught up in {lat}\n",
+                cu.peer, cu.channel, cu.joined_at, cu.target,
+            )),
+            None => out.push_str(&format!(
+                "{} joined {} at {} | head {} | STILL CATCHING UP\n",
+                cu.peer, cu.channel, cu.joined_at, cu.target,
+            )),
+        }
+    }
+    out.push_str(&result.fairness.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(seed: u64) -> ChurnResult {
+        let mut cfg = ChurnConfig::standard(24, 10, 20);
+        cfg.network = NetworkConfig::lan(26);
+        cfg.seed = seed;
+        run_churn(&cfg)
+    }
+
+    #[test]
+    fn joiner_reaches_the_join_time_head_and_beyond() {
+        let res = quick(3);
+        assert_eq!(res.catchups.len(), 1);
+        let cu = &res.catchups[0];
+        assert_eq!(cu.peer, PeerId(10));
+        assert_eq!(cu.channel, ChannelId(1));
+        assert!(cu.target > 0, "the side channel must have a head to chase");
+        let lat = cu.latency().expect("catch-up must complete within the run");
+        assert!(lat > Duration::ZERO);
+        // The joiner keeps converging after catch-up: by end of run it
+        // holds (nearly) the full side chain, gap-free.
+        let height = res.net.gossip(10).height_on(ChannelId(1));
+        assert!(
+            height > cu.target,
+            "contiguous height {height} must pass the join-time head {}",
+            cu.target
+        );
+        // The joiner owns a latency slot past the initial members, and its
+        // post-join receptions are recorded there (the report's latency
+        // pool draws on it even after the leaver shrinks the member list).
+        let rec = res.net.latency_on(ChannelId(1)).unwrap();
+        assert_eq!(rec.peers(), 11, "10 initial members + 1 joiner slot");
+        assert!(
+            !rec.peer_latencies(10).is_empty(),
+            "the joiner's dissemination latencies must be recorded"
+        );
+    }
+
+    #[test]
+    fn leader_leave_forces_exactly_one_handoff() {
+        let res = quick(5);
+        let side = &res.channels[1];
+        assert_eq!(side.handoffs, 1, "one hand-off after the leader left");
+        assert_eq!(
+            side.leaders,
+            vec![PeerId(1)],
+            "the next-lowest member stands up"
+        );
+        // Peer 0 still leads the stable main channel.
+        let main = &res.channels[0];
+        assert_eq!(main.handoffs, 0);
+        assert_eq!(main.leaders, vec![PeerId(0)]);
+        assert!(
+            !res.net.gossip(0).has_channel(ChannelId(1)),
+            "the leaver dropped its side-channel instance"
+        );
+        // Dissemination survived the hand-off: blocks cut after the leave
+        // still reached the members (completeness counts initial members,
+        // including the leaver's pre-leave cells, so allow the cells the
+        // leaver missed after departing).
+        assert!(side.blocks > 10);
+        assert!(side.completeness > 0.8, "got {}", side.completeness);
+    }
+
+    #[test]
+    fn main_channel_is_undisturbed_by_side_churn() {
+        let res = quick(7);
+        let main = &res.channels[0];
+        assert_eq!(
+            main.completeness, 1.0,
+            "the stable channel must deliver everything to everyone"
+        );
+        assert!(main.blocks >= 19);
+        assert!(res.fairness.channels.len() == 2);
+        assert!(
+            res.fairness.channels[0].jain > 0.5,
+            "main-channel load should stay broadly balanced: {}",
+            res.fairness.channels[0].jain
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        let a = quick(11);
+        let b = quick(11);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.catchups[0].completed_at, b.catchups[0].completed_at);
+        assert_eq!(a.fairness.overall_jain, b.fairness.overall_jain);
+        for (x, y) in a.channels.iter().zip(&b.channels) {
+            assert_eq!(x.p50, y.p50);
+            assert_eq!(x.p999, y.p999);
+        }
+    }
+
+    #[test]
+    fn render_reports_catchup_handoffs_and_fairness() {
+        let res = quick(1);
+        let text = render_churn("churn", &res);
+        assert!(text.contains("ch0"));
+        assert!(text.contains("ch1"));
+        assert!(text.contains("caught up in"));
+        assert!(text.contains("handoffs"));
+        assert!(text.contains("jain"));
+    }
+}

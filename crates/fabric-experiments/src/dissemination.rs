@@ -209,7 +209,7 @@ pub fn run_dissemination(cfg: &DisseminationConfig) -> DisseminationResult {
     let events = sim.events_processed();
 
     let net = sim.into_protocol();
-    let latency = net.latency.clone();
+    let latency = net.latency().clone();
     DisseminationResult {
         blocks: net.blocks_cut(),
         completeness: latency.completeness(),

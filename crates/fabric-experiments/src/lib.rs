@@ -14,6 +14,9 @@
 //! * [`multichannel`] — beyond the paper: C channels × N peers with
 //!   overlapping memberships and skewed per-channel block rates, reporting
 //!   per-channel latency CDFs and Jain's fairness;
+//! * [`churn`] — beyond the paper: runtime channel membership over the
+//!   full pipeline — late joiners catching up via StateInfo + recovery
+//!   (catch-up latency) and a departing leader forcing a hand-off;
 //! * [`report`] — paper-style text rendering of every figure and table.
 //!
 //! ```no_run
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod churn;
 pub mod conflicts;
 pub mod dissemination;
 pub mod multichannel;
@@ -32,10 +36,11 @@ pub mod net;
 pub mod parallel;
 pub mod report;
 
+pub use churn::{run_churn, ChurnConfig, ChurnResult};
 pub use conflicts::{run_conflicts, run_table2, ConflictConfig, ConflictResult, Table2Row};
 pub use dissemination::{run_dissemination, DisseminationConfig, DisseminationResult};
 pub use multichannel::{
     run_multichannel, ChannelPlan, MultiChannelConfig, MultiChannelNet, MultiChannelResult,
 };
-pub use net::{FabricNet, NetMsg, NetParams, NetTimer};
+pub use net::{ChannelSpec, ChurnAction, ChurnEvent, FabricNet, NetMsg, NetParams, NetTimer};
 pub use parallel::{run_conflicts_batch, run_dissemination_batch, run_seed_sweep};

@@ -1,20 +1,31 @@
 //! The simulated Fabric network: client, ordering service and gossip peers
 //! as one [`desim::Protocol`].
 //!
-//! Node layout for an organization of `n` peers:
+//! Node layout for a deployment of `n` peers:
 //!
-//! * nodes `0 .. n` — the peers (gossip + optional ledger);
+//! * nodes `0 .. n` — the peers (gossip + optional ledgers);
 //! * node `n` — the ordering service;
 //! * node `n + 1` — the client application.
 //!
-//! The full execute-order-validate pipeline runs in virtual time: the
-//! client sends proposals to the endorsing peer, which simulates the
-//! chaincode against its committed state and signs; the client forwards the
-//! endorsed transaction to the orderer; the block cutter batches; consensus
-//! is modeled by the configured latency; cut blocks go to the current
-//! leader peer, and gossip takes it from there. Every peer pays the
-//! configured validation cost per delivered transaction, which queues its
-//! message processing exactly like a busy CPU would.
+//! The full execute-order-validate pipeline runs in virtual time and is
+//! **channel-routed end to end**: every scheduled invocation names its
+//! [`ChannelId`]; the client sends proposals to that channel's endorsers,
+//! which simulate the chaincode against their committed per-channel state
+//! and sign; the client forwards the endorsed transaction to the orderer,
+//! whose per-channel block cutter batches it; consensus is modeled by the
+//! configured latency; cut blocks go to the channel's current leader(s),
+//! and the channel's gossip instance takes it from there. Every peer pays
+//! the configured validation cost per delivered transaction on a single
+//! serial pipeline shared by its channels, which queues its message
+//! processing exactly like a busy CPU would.
+//!
+//! Single-channel deployments (the paper's evaluation shape) configure
+//! nothing: [`NetParams::new`] derives the [`ChannelId::DEFAULT`] channel
+//! from the legacy fields, and every event, byte and RNG draw matches the
+//! historical single-channel pipeline exactly. Multi-channel deployments
+//! add [`ChannelSpec`]s; runtime membership churn — peers joining a
+//! channel mid-run, catching up through StateInfo + recovery, and leaving
+//! again with forced leader re-election — is driven by [`ChurnEvent`]s.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -51,20 +62,34 @@ pub enum NetMsg {
         /// The endorsed transaction (reads taken at this endorser's state).
         tx: Box<Transaction>,
     },
-    /// Client → orderer: submit for ordering.
-    Submit(Box<Transaction>),
-    /// Orderer → leader peer: a freshly cut block.
-    DeliverBlock(BlockRef),
+    /// Client → orderer: submit for ordering on `channel`.
+    Submit {
+        /// The channel whose chain will batch the transaction.
+        channel: ChannelId,
+        /// The endorsed transaction.
+        tx: Box<Transaction>,
+    },
+    /// Orderer → leader peer: a freshly cut block of `channel`.
+    DeliverBlock {
+        /// The channel the block belongs to.
+        channel: ChannelId,
+        /// The cut block.
+        block: BlockRef,
+    },
 }
 
 impl desim::Message for NetMsg {
     fn wire_size(&self) -> usize {
+        // The channel tag of Submit/DeliverBlock rides inside the fixed
+        // framing overhead (like the channel MAC inside ChannelMsg's
+        // envelope), so wire sizes match the historical single-channel
+        // pipeline byte for byte.
         match self {
             NetMsg::Gossip(g) => g.wire_size(),
             NetMsg::Propose { .. } => 320, // chaincode name, args, client cert
             NetMsg::Endorsed { tx, .. } => 48 + tx.wire_size(),
-            NetMsg::Submit(tx) => 48 + tx.wire_size(),
-            NetMsg::DeliverBlock(b) => 48 + b.wire_size(),
+            NetMsg::Submit { tx, .. } => 48 + tx.wire_size(),
+            NetMsg::DeliverBlock { block, .. } => 48 + block.wire_size(),
         }
     }
 
@@ -73,8 +98,8 @@ impl desim::Message for NetMsg {
             NetMsg::Gossip(g) => g.kind(),
             NetMsg::Propose { .. } => "propose",
             NetMsg::Endorsed { .. } => "endorsed",
-            NetMsg::Submit(_) => "submit",
-            NetMsg::DeliverBlock(_) => "orderer-deliver",
+            NetMsg::Submit { .. } => "submit",
+            NetMsg::DeliverBlock { .. } => "orderer-deliver",
         }
     }
 }
@@ -91,49 +116,144 @@ pub enum NetTimer {
     },
     /// The client's next scheduled submission is due.
     ClientIssue,
-    /// The orderer's batch timeout for `epoch`.
+    /// The orderer's batch timeout for `epoch` on `channel`.
     BatchTimeout {
-        /// The batch epoch the timer guards (stale epochs are ignored).
+        /// The channel whose pending batch the timer guards.
+        channel: ChannelId,
+        /// The per-channel batch epoch (stale epochs are ignored).
         epoch: u64,
     },
-    /// Consensus finished for a cut block; deliver it to the leader.
-    DeliverCut(BlockRef),
+    /// Consensus finished for a cut block; deliver it to `channel`'s
+    /// leader(s).
+    DeliverCut {
+        /// The channel the block belongs to.
+        channel: ChannelId,
+        /// The cut block.
+        block: BlockRef,
+    },
     /// A peer finished validating the oldest block in its commit queue.
     CommitDone,
+    /// The churn event `params.churn[index]` is due.
+    Churn {
+        /// Index into [`NetParams::churn`].
+        index: usize,
+    },
+}
+
+/// One channel of the deployment: membership, organization split and
+/// endorsement configuration.
+#[derive(Debug, Clone)]
+pub struct ChannelSpec {
+    /// The channel id. Specs must cover a dense `0..channels` range
+    /// ([`ChannelId::DEFAULT`] is spec 0, derived from the legacy
+    /// [`NetParams`] fields).
+    pub channel: ChannelId,
+    /// The peers joined to this channel at start of run, in ascending id
+    /// order (enforced at build: the gossip layer's initial static
+    /// election picks the id minimum while departure re-election promotes
+    /// by roster seniority — the two coincide only on sorted rosters).
+    pub members: Vec<PeerId>,
+    /// Number of organizations; members are split contiguously. Push and
+    /// pull stay inside each organization; StateInfo and recovery cross
+    /// organizations, and the ordering service feeds one leader per
+    /// organization — Fig. 1 of the paper.
+    pub orgs: usize,
+    /// The channel's endorsing peers (must be members with ledgers).
+    pub endorsers: Vec<PeerId>,
+    /// The channel's endorsement policy.
+    pub policy: EndorsementPolicy,
+}
+
+/// What a churn event does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// The peer joins the channel at runtime and catches up to the head
+    /// via the StateInfo + recovery machinery.
+    Join,
+    /// The peer leaves the channel: it is dropped from every remaining
+    /// member's rosters and, if it led, leader re-election is forced.
+    Leave,
+}
+
+/// One scheduled runtime-membership change.
+///
+/// Churned channels must be single-organization (`orgs == 1`): runtime
+/// membership reshapes the roster, and the contiguous multi-organization
+/// split is a static deployment concept.
+#[derive(Debug, Clone)]
+pub struct ChurnEvent {
+    /// When the change happens.
+    pub at: Time,
+    /// The peer joining or leaving.
+    pub peer: PeerId,
+    /// The channel affected.
+    pub channel: ChannelId,
+    /// Join or leave.
+    pub action: ChurnAction,
+}
+
+/// The catch-up record of one runtime join: a late joiner must converge to
+/// the chain head the channel had at join time.
+#[derive(Debug, Clone)]
+pub struct Catchup {
+    /// The joining peer.
+    pub peer: PeerId,
+    /// The channel joined.
+    pub channel: ChannelId,
+    /// When the join happened.
+    pub joined_at: Time,
+    /// The channel's chain head (last cut block number) at join time.
+    pub target: u64,
+    /// When the joiner's contiguous height first covered `target`
+    /// (`None` while still catching up).
+    pub completed_at: Option<Time>,
+}
+
+impl Catchup {
+    /// Catch-up latency (join → head reached), when complete.
+    pub fn latency(&self) -> Option<Duration> {
+        self.completed_at.map(|t| t.since(self.joined_at))
+    }
 }
 
 /// Static parameters of the simulated deployment.
 #[derive(Debug, Clone)]
 pub struct NetParams {
-    /// Total number of peers in the channel.
+    /// Total number of peers in the deployment (every channel's members
+    /// draw from `0..peers`).
     pub peers: usize,
-    /// Number of organizations; peers are split contiguously (org `i`
-    /// owns peers `[i·k, (i+1)·k)`). Push and pull stay inside each
-    /// organization; StateInfo and recovery cross organizations, and the
-    /// ordering service feeds one leader per organization — Fig. 1 of the
-    /// paper.
+    /// Number of organizations of the **default channel**; peers are split
+    /// contiguously (org `i` owns peers `[i·k, (i+1)·k)`).
     pub orgs: usize,
     /// Gossip configuration shared by every peer.
     pub gossip: GossipConfig,
-    /// Ordering service configuration (batching + consensus latency).
+    /// Ordering service configuration (batching + consensus latency),
+    /// shared by every channel's chain.
     pub orderer: OrdererConfig,
     /// Validation CPU cost per transaction at commit (paper §V-D: 50 ms).
     pub validation_per_tx: Duration,
     /// CPU cost of simulating + signing one endorsement.
     pub endorse_cost: Duration,
-    /// The endorsing peers. §V-D uses one; with several, the client
-    /// compares read sets across endorsements and discards mismatches —
-    /// the paper's *proposal-time* conflicts (§II-C).
+    /// The **default channel's** endorsing peers. §V-D uses one; with
+    /// several, the client compares read sets across endorsements and
+    /// discards mismatches — the paper's *proposal-time* conflicts (§II-C).
     pub endorsers: Vec<PeerId>,
-    /// Maintain a full ledger on every peer (`true`) or only on the
-    /// endorser (`false`, saves memory in dissemination runs).
+    /// Maintain a full ledger on every member of every channel (`true`) or
+    /// only on endorsers (`false`, saves memory in dissemination runs).
     pub full_ledgers: bool,
-    /// The channel endorsement policy.
+    /// The **default channel's** endorsement policy.
     pub policy: EndorsementPolicy,
+    /// Further channels beyond the default one. Ids must continue the
+    /// dense range (`ChannelId(1)`, `ChannelId(2)`, …).
+    pub extra_channels: Vec<ChannelSpec>,
+    /// Runtime membership changes, any order (each is armed as its own
+    /// timer).
+    pub churn: Vec<ChurnEvent>,
 }
 
 impl NetParams {
-    /// Sensible defaults for a dissemination experiment over `peers` peers.
+    /// Sensible defaults for a dissemination experiment over `peers` peers
+    /// on the single default channel.
     pub fn new(peers: usize, gossip: GossipConfig, orderer: OrdererConfig) -> Self {
         NetParams {
             peers,
@@ -145,21 +265,78 @@ impl NetParams {
             endorsers: vec![PeerId(1)],
             full_ledgers: false,
             policy: EndorsementPolicy::AnyMember,
+            extra_channels: Vec::new(),
+            churn: Vec::new(),
         }
     }
+
+    /// Every channel of the deployment: the default channel derived from
+    /// the legacy fields, then the extra specs.
+    pub fn channel_specs(&self) -> Vec<ChannelSpec> {
+        let mut specs = Vec::with_capacity(1 + self.extra_channels.len());
+        specs.push(ChannelSpec {
+            channel: ChannelId::DEFAULT,
+            members: (0..self.peers as u32).map(PeerId).collect(),
+            orgs: self.orgs,
+            endorsers: self.endorsers.clone(),
+            policy: self.policy.clone(),
+        });
+        specs.extend(self.extra_channels.iter().cloned());
+        specs
+    }
+}
+
+/// Per-channel runtime state of the deployment.
+#[derive(Debug)]
+struct ChannelRuntime {
+    spec: ChannelSpec,
+    /// Current members (spec members ± churn).
+    members: Vec<PeerId>,
+    /// Peer index → latency-matrix slot. Sized over the peers that are
+    /// ever members (initial members plus scheduled joiners).
+    slots: Vec<Option<usize>>,
+    /// Peer index → organization (fixed at build; joiners are org 0 —
+    /// churned channels are single-organization).
+    org_of: Vec<Option<usize>>,
+    /// Per-(block, member-slot) dissemination latency (t0 = leader
+    /// reception).
+    latency: LatencyRecorder,
+    /// Leadership acquisitions observed on this channel (initial election
+    /// plus every hand-off).
+    handoffs: u64,
 }
 
 struct PeerNode {
     gossip: GossipPeer,
-    ledger: Option<Ledger>,
-    /// Blocks fully committed (validated + applied or counted).
-    committed: u64,
+    /// One ledger per channel this peer endorses on (or every joined
+    /// channel under `full_ledgers`).
+    ledgers: Vec<(ChannelId, Ledger)>,
+    /// Blocks fully committed (validated + applied or counted), per
+    /// channel.
+    committed: std::collections::BTreeMap<ChannelId, u64>,
     /// Commit failures (chain violations) — should stay zero.
     commit_errors: u64,
-    /// Blocks delivered in order, awaiting the validation delay.
-    pending_commits: VecDeque<BlockRef>,
+    /// Blocks delivered in order, awaiting the validation delay (one
+    /// serial pipeline across channels).
+    pending_commits: VecDeque<(ChannelId, BlockRef)>,
     /// Instant the peer's (serial) validation pipeline frees up.
     validation_free: Time,
+}
+
+impl PeerNode {
+    fn ledger(&self, channel: ChannelId) -> Option<&Ledger> {
+        self.ledgers
+            .iter()
+            .find(|(ch, _)| *ch == channel)
+            .map(|(_, l)| l)
+    }
+
+    fn ledger_mut(&mut self, channel: ChannelId) -> Option<&mut Ledger> {
+        self.ledgers
+            .iter_mut()
+            .find(|(ch, _)| *ch == channel)
+            .map(|(_, l)| l)
+    }
 }
 
 /// The whole simulated deployment, implementing [`desim::Protocol`].
@@ -168,6 +345,7 @@ pub struct FabricNet {
     params: NetParams,
     msp: Arc<Msp>,
     peers: Vec<PeerNode>,
+    channels: Vec<ChannelRuntime>,
     orderer: OrderingService,
     schedule: Arc<Vec<ScheduledInvocation>>,
     next_invocation: usize,
@@ -177,8 +355,8 @@ pub struct FabricNet {
     pending_endorsements: std::collections::BTreeMap<usize, Vec<Transaction>>,
     /// Proposals discarded because endorsers returned mismatched read sets.
     proposal_conflicts: u64,
-    /// Per-(block, peer) dissemination latency (t0 = leader reception).
-    pub latency: LatencyRecorder,
+    /// Catch-up records, one per runtime join, in event order.
+    catchups: Vec<Catchup>,
 }
 
 impl std::fmt::Debug for PeerNode {
@@ -196,49 +374,171 @@ impl FabricNet {
     ///
     /// # Panics
     ///
-    /// Panics on invalid gossip configuration or an endorser id outside the
-    /// roster.
+    /// Panics on invalid gossip configuration, a channel spec whose
+    /// members or endorsers fall outside the deployment, non-dense channel
+    /// ids, or churn events targeting multi-organization channels.
     pub fn new(params: NetParams, schedule: Vec<ScheduledInvocation>) -> Self {
-        assert!(!params.endorsers.is_empty(), "at least one endorsing peer");
-        assert!(
-            params.endorsers.iter().all(|e| e.index() < params.peers),
-            "endorsers must be peers"
-        );
-        assert!(
-            params.orgs >= 1 && params.orgs <= params.peers,
-            "need 1..=peers organizations"
-        );
+        let specs = params.channel_specs();
+        for (c, spec) in specs.iter().enumerate() {
+            assert_eq!(
+                spec.channel.index(),
+                c,
+                "channel ids must be dense: spec {c} names {}",
+                spec.channel
+            );
+            assert!(
+                !spec.members.is_empty(),
+                "channel {} has no members",
+                spec.channel
+            );
+            assert!(
+                spec.members.iter().all(|p| p.index() < params.peers),
+                "channel {} member outside the deployment",
+                spec.channel
+            );
+            assert!(
+                !spec.endorsers.is_empty(),
+                "channel {} needs at least one endorsing peer",
+                spec.channel
+            );
+            assert!(
+                spec.endorsers.iter().all(|e| spec.members.contains(e)),
+                "channel {} endorsers must be members",
+                spec.channel
+            );
+            assert!(
+                spec.orgs >= 1 && spec.orgs <= spec.members.len(),
+                "channel {} needs 1..=members organizations",
+                spec.channel
+            );
+            // Static re-election promotes by roster seniority (first
+            // sitting entry), while the initial election picks the id
+            // minimum — the two agree only on id-ordered rosters, so an
+            // unsorted spec could crown two leaders after a departure.
+            assert!(
+                spec.members.windows(2).all(|w| w[0] < w[1]),
+                "channel {} members must be listed in ascending id order",
+                spec.channel
+            );
+        }
+        for ev in &params.churn {
+            let spec = specs
+                .get(ev.channel.index())
+                .unwrap_or_else(|| panic!("churn targets unknown channel {}", ev.channel));
+            assert!(
+                spec.orgs == 1,
+                "churned channel {} must be single-organization",
+                ev.channel
+            );
+            assert!(
+                ev.peer.index() < params.peers,
+                "churn peer {} outside the deployment",
+                ev.peer
+            );
+            // Endorsers are the channel's execution substrate: their
+            // ledgers freeze on leave while the client keeps proposing to
+            // them, which would quietly corrupt every later read set.
+            assert!(
+                !(ev.action == ChurnAction::Leave && spec.endorsers.contains(&ev.peer)),
+                "churn must not remove endorser {} from channel {}",
+                ev.peer,
+                ev.channel
+            );
+        }
+
+        // MSP identities follow the default channel's organization split,
+        // as in the historical single-channel deployment.
         let mut msp = Msp::new();
-        let channel: Vec<PeerId> = (0..params.peers as u32).map(PeerId).collect();
         let per_org = params.peers.div_ceil(params.orgs);
-        for id in &channel {
-            msp.enroll(*id, fabric_types::ids::OrgId((id.index() / per_org) as u16));
+        for id in (0..params.peers as u32).map(PeerId) {
+            msp.enroll(id, fabric_types::ids::OrgId((id.index() / per_org) as u16));
         }
         let msp = Arc::new(msp);
-        let peers: Vec<PeerNode> = channel
-            .iter()
+
+        // Per-channel runtime state. The latency matrix covers everyone
+        // who is ever a member: initial members first (so single-channel
+        // slots are the identity map), then scheduled joiners.
+        let channels: Vec<ChannelRuntime> = specs
+            .into_iter()
+            .map(|spec| {
+                let mut eligible = spec.members.clone();
+                for ev in &params.churn {
+                    if ev.channel == spec.channel
+                        && ev.action == ChurnAction::Join
+                        && !eligible.contains(&ev.peer)
+                    {
+                        eligible.push(ev.peer);
+                    }
+                }
+                let mut slots = vec![None; params.peers];
+                for (slot, member) in eligible.iter().enumerate() {
+                    slots[member.index()] = Some(slot);
+                }
+                let mut org_of = vec![None; params.peers];
+                let per_org = spec.members.len().div_ceil(spec.orgs);
+                for (pos, member) in spec.members.iter().enumerate() {
+                    org_of[member.index()] = Some(pos / per_org);
+                }
+                for joiner in &eligible[spec.members.len()..] {
+                    org_of[joiner.index()] = Some(0);
+                }
+                let latency = LatencyRecorder::new(eligible.len());
+                ChannelRuntime {
+                    members: spec.members.clone(),
+                    slots,
+                    org_of,
+                    latency,
+                    handoffs: 0,
+                    spec,
+                }
+            })
+            .collect();
+
+        // Gossip peers: one instance per (member, channel), organization
+        // rosters confined per channel, channel views widened to the full
+        // membership.
+        let peers: Vec<PeerNode> = (0..params.peers as u32)
+            .map(PeerId)
             .map(|id| {
-                let org_lo = (id.index() / per_org) * per_org;
-                let org_hi = (org_lo + per_org).min(params.peers);
-                let org_roster: Vec<PeerId> = (org_lo as u32..org_hi as u32).map(PeerId).collect();
-                let needs_ledger = params.full_ledgers || params.endorsers.contains(id);
+                let mut gossip = GossipPeer::with_channels(id, params.gossip.clone());
+                let mut ledgers = Vec::new();
+                for rt in &channels {
+                    let spec = &rt.spec;
+                    if !spec.members.contains(&id) {
+                        continue;
+                    }
+                    let per_org = spec.members.len().div_ceil(spec.orgs);
+                    let pos = spec.members.iter().position(|m| *m == id).expect("member");
+                    let org_lo = (pos / per_org) * per_org;
+                    let org_hi = (org_lo + per_org).min(spec.members.len());
+                    let org_roster: Vec<PeerId> = spec.members[org_lo..org_hi].to_vec();
+                    gossip = gossip
+                        .join_channel(spec.channel, org_roster)
+                        .widen_channel_view(spec.channel, spec.members.clone());
+                    if params.full_ledgers || spec.endorsers.contains(&id) {
+                        ledgers.push((spec.channel, Ledger::new(msp.clone(), spec.policy.clone())));
+                    }
+                }
                 PeerNode {
-                    gossip: GossipPeer::new(*id, org_roster, params.gossip.clone())
-                        .with_channel(channel.clone()),
-                    ledger: needs_ledger.then(|| Ledger::new(msp.clone(), params.policy.clone())),
-                    committed: 0,
+                    gossip,
+                    ledgers,
+                    committed: std::collections::BTreeMap::new(),
                     commit_errors: 0,
                     pending_commits: VecDeque::new(),
                     validation_free: Time::ZERO,
                 }
             })
             .collect();
-        let orderer = OrderingService::new(params.orderer.clone(), Block::genesis().hash(), 1);
-        let latency = LatencyRecorder::new(params.peers);
+
+        let mut orderer = OrderingService::new(params.orderer.clone(), Block::genesis().hash(), 1);
+        for rt in &channels[1..] {
+            orderer.add_channel(rt.spec.channel, Block::genesis().hash(), 1);
+        }
         FabricNet {
             params,
             msp,
             peers,
+            channels,
             orderer,
             schedule: Arc::new(schedule),
             next_invocation: 0,
@@ -246,7 +546,7 @@ impl FabricNet {
             endorse_failures: 0,
             pending_endorsements: std::collections::BTreeMap::new(),
             proposal_conflicts: 0,
-            latency,
+            catchups: Vec::new(),
         }
     }
 
@@ -286,9 +586,42 @@ impl FabricNet {
         self.proposal_conflicts
     }
 
-    /// Blocks cut by the ordering service.
+    /// Blocks cut by the ordering service across every channel.
     pub fn blocks_cut(&self) -> u64 {
         self.orderer.blocks_cut()
+    }
+
+    /// Blocks cut on `channel`.
+    pub fn blocks_cut_on(&self, channel: ChannelId) -> u64 {
+        self.orderer.blocks_cut_on(channel)
+    }
+
+    /// The default channel's latency matrix (t0 = leader reception).
+    pub fn latency(&self) -> &LatencyRecorder {
+        &self.channels[0].latency
+    }
+
+    /// The latency matrix of `channel`, if it exists. Slots follow the
+    /// channel's initial member order, scheduled joiners appended.
+    pub fn latency_on(&self, channel: ChannelId) -> Option<&LatencyRecorder> {
+        self.channels.get(channel.index()).map(|rt| &rt.latency)
+    }
+
+    /// The current members of `channel` (spec members ± churn).
+    pub fn members_on(&self, channel: ChannelId) -> &[PeerId] {
+        &self.channels[channel.index()].members
+    }
+
+    /// Leadership acquisitions observed on `channel`: the initial election
+    /// under dynamic election (static leaders are seeded, not elected)
+    /// plus one per hand-off.
+    pub fn handoffs_on(&self, channel: ChannelId) -> u64 {
+        self.channels[channel.index()].handoffs
+    }
+
+    /// Catch-up records of every runtime join so far, in event order.
+    pub fn catchups(&self) -> &[Catchup] {
+        &self.catchups
     }
 
     /// The gossip state of peer `i`.
@@ -296,14 +629,25 @@ impl FabricNet {
         &self.peers[i].gossip
     }
 
-    /// The ledger of peer `i`, if it maintains one.
+    /// The default-channel ledger of peer `i`, if it maintains one.
     pub fn ledger(&self, i: usize) -> Option<&Ledger> {
-        self.peers[i].ledger.as_ref()
+        self.peers[i].ledger(ChannelId::DEFAULT)
     }
 
-    /// Blocks committed (delivered in order) by peer `i`.
+    /// The ledger peer `i` maintains for `channel`, if any.
+    pub fn ledger_on(&self, i: usize, channel: ChannelId) -> Option<&Ledger> {
+        self.peers[i].ledger(channel)
+    }
+
+    /// Blocks committed (delivered in order) by peer `i`, summed over its
+    /// channels.
     pub fn committed(&self, i: usize) -> u64 {
-        self.peers[i].committed
+        self.peers[i].committed.values().sum()
+    }
+
+    /// Blocks peer `i` committed on `channel`.
+    pub fn committed_on(&self, i: usize, channel: ChannelId) -> u64 {
+        self.peers[i].committed.get(&channel).copied().unwrap_or(0)
     }
 
     /// Turns peer `i` into a free-rider (or back): it keeps receiving and
@@ -318,33 +662,37 @@ impl FabricNet {
         self.peers.iter().map(|p| p.commit_errors).sum()
     }
 
-    /// The id of the peer currently acting as leader, if any (first
-    /// claimant in a multi-organization deployment).
+    /// The id of the peer currently acting as leader on the default
+    /// channel, if any (first claimant in a multi-organization
+    /// deployment).
     pub fn current_leader(&self) -> Option<PeerId> {
-        self.peers
-            .iter()
-            .find(|p| p.gossip.is_leader())
-            .map(|p| p.gossip.id())
+        self.current_leaders_on(ChannelId::DEFAULT).first().copied()
     }
 
-    /// Every peer currently claiming leadership (normally one per
-    /// organization).
+    /// Every peer currently claiming leadership on the default channel
+    /// (normally one per organization).
     pub fn current_leaders(&self) -> Vec<PeerId> {
+        self.current_leaders_on(ChannelId::DEFAULT)
+    }
+
+    /// Every peer currently claiming leadership on `channel`.
+    pub fn current_leaders_on(&self, channel: ChannelId) -> Vec<PeerId> {
         self.peers
             .iter()
-            .filter(|p| p.gossip.is_leader())
+            .filter(|p| p.gossip.is_leader_on(channel))
             .map(|p| p.gossip.id())
             .collect()
     }
 
-    /// The organization (by index) of a peer, per the contiguous split.
+    /// The organization (by index) of a peer on the default channel, per
+    /// the contiguous split.
     pub fn org_of(&self, peer: PeerId) -> usize {
-        let per_org = self.params.peers.div_ceil(self.params.orgs);
-        peer.index() / per_org
+        self.channels[0].org_of[peer.index()].expect("every peer is on the default channel")
     }
 
-    /// Starts the experiment: initializes every peer's timers and arms the
-    /// client's first submission. Call once through `Simulation::with_ctx`.
+    /// Starts the experiment: initializes every peer's timers, arms the
+    /// client's first submission and every churn event. Call once through
+    /// `Simulation::with_ctx`.
     pub fn start(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>) {
         let validation = self.params.validation_per_tx;
         for i in 0..self.peers.len() {
@@ -360,7 +708,7 @@ impl FabricNet {
                 me: node,
                 pending_commits,
                 validation_free,
-                latency: &mut self.latency,
+                channels: &mut self.channels,
                 validation_per_tx: validation,
             };
             gossip.init(&mut fx);
@@ -368,6 +716,13 @@ impl FabricNet {
         if let Some(first) = self.schedule.first() {
             let delay = first.at.since(Time::ZERO);
             ctx.set_timer(self.client_node(), delay, NetTimer::ClientIssue);
+        }
+        for (index, ev) in self.params.churn.iter().enumerate() {
+            ctx.set_timer(
+                NodeId(ev.peer.0),
+                ev.at.since(Time::ZERO),
+                NetTimer::Churn { index },
+            );
         }
     }
 
@@ -390,23 +745,137 @@ impl FabricNet {
             me: to,
             pending_commits,
             validation_free,
-            latency: &mut self.latency,
+            channels: &mut self.channels,
             validation_per_tx: validation,
         };
         gossip.on_channel_message(&mut fx, envelope.channel, PeerId(from.0), envelope.msg);
+        self.check_catchups(to, ctx.now());
+    }
+
+    /// Marks pending catch-ups of this peer complete once its contiguous
+    /// height covers the join-time head.
+    fn check_catchups(&mut self, node: NodeId, now: Time) {
+        let peer = PeerId(node.0);
+        for c in self
+            .catchups
+            .iter_mut()
+            .filter(|c| c.completed_at.is_none() && c.peer == peer)
+        {
+            let height = self.peers[node.index()].gossip.height_on(c.channel);
+            if height > c.target {
+                c.completed_at = Some(now);
+            }
+        }
+    }
+
+    /// Applies churn event `index`: runtime join (with catch-up tracking)
+    /// or leave (with roster removal and forced re-election).
+    fn apply_churn(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, index: usize) {
+        let ev = self.params.churn[index].clone();
+        let now = ctx.now();
+        let validation = self.params.validation_per_tx;
+        let c = ev.channel.index();
+        match ev.action {
+            ChurnAction::Join => {
+                if self.channels[c].members.contains(&ev.peer) {
+                    return; // already a member — stale or duplicate event
+                }
+                // The joiner's organization roster is the membership as it
+                // stood before the join (a roster excluding self never
+                // self-elects statically — the late-joiner rule of
+                // `GossipPeer::new`).
+                let roster = self.channels[c].members.clone();
+                {
+                    let PeerNode {
+                        gossip,
+                        pending_commits,
+                        validation_free,
+                        ..
+                    } = &mut self.peers[ev.peer.index()];
+                    let mut fx = SimFx {
+                        ctx,
+                        me: NodeId(ev.peer.0),
+                        pending_commits,
+                        validation_free,
+                        channels: &mut self.channels,
+                        validation_per_tx: validation,
+                    };
+                    gossip.join_channel_live(&mut fx, ev.channel, roster);
+                }
+                self.channels[c].members.push(ev.peer);
+                // Discovery propagates the join to every sitting member.
+                let members = self.channels[c].members.clone();
+                for m in members {
+                    if m == ev.peer {
+                        continue;
+                    }
+                    let PeerNode {
+                        gossip,
+                        pending_commits,
+                        validation_free,
+                        ..
+                    } = &mut self.peers[m.index()];
+                    let mut fx = SimFx {
+                        ctx,
+                        me: NodeId(m.0),
+                        pending_commits,
+                        validation_free,
+                        channels: &mut self.channels,
+                        validation_per_tx: validation,
+                    };
+                    gossip.on_peer_joined(&mut fx, ev.channel, ev.peer);
+                }
+                let target = self.orderer.chain_head_on(ev.channel);
+                self.catchups.push(Catchup {
+                    peer: ev.peer,
+                    channel: ev.channel,
+                    joined_at: now,
+                    target,
+                    completed_at: (target == 0).then_some(now),
+                });
+            }
+            ChurnAction::Leave => {
+                let Some(pos) = self.channels[c].members.iter().position(|m| *m == ev.peer) else {
+                    return; // not a member — stale or duplicate event
+                };
+                self.channels[c].members.remove(pos);
+                self.peers[ev.peer.index()].gossip.leave_channel(ev.channel);
+                let members = self.channels[c].members.clone();
+                for m in members {
+                    let PeerNode {
+                        gossip,
+                        pending_commits,
+                        validation_free,
+                        ..
+                    } = &mut self.peers[m.index()];
+                    let mut fx = SimFx {
+                        ctx,
+                        me: NodeId(m.0),
+                        pending_commits,
+                        validation_free,
+                        channels: &mut self.channels,
+                        validation_per_tx: validation,
+                    };
+                    gossip.on_peer_left(&mut fx, ev.channel, ev.peer);
+                }
+            }
+        }
     }
 
     fn handle_propose(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, to: NodeId, index: usize) {
         let invocation = self.schedule[index].clone();
         let endorser = PeerId(to.0);
+        let channel = invocation.channel;
         debug_assert!(
-            self.params.endorsers.contains(&endorser),
-            "proposals go to endorsers"
+            self.channels[channel.index()]
+                .spec
+                .endorsers
+                .contains(&endorser),
+            "proposals go to the channel's endorsers"
         );
         let state = self.peers[endorser.index()]
-            .ledger
-            .as_ref()
-            .expect("every endorser maintains a ledger")
+            .ledger(channel)
+            .expect("every endorser maintains a ledger for its channel")
             .state();
         let tx_id = TxId(index as u64 + 1);
         match endorse_invocation(&invocation, tx_id, ClientId(0), endorser, state, &self.msp) {
@@ -427,16 +896,18 @@ impl FabricNet {
         }
     }
 
-    /// Collects one endorsement; once all endorsers answered, compares the
-    /// read sets (the client-side detection of §II-C) and either submits
-    /// the merged proposal or discards it as a proposal-time conflict.
+    /// Collects one endorsement; once all of the channel's endorsers
+    /// answered, compares the read sets (the client-side detection of
+    /// §II-C) and either submits the merged proposal on the channel or
+    /// discards it as a proposal-time conflict.
     fn handle_endorsed(
         &mut self,
         ctx: &mut Ctx<'_, NetMsg, NetTimer>,
         index: usize,
         tx: Transaction,
     ) {
-        let wanted = self.params.endorsers.len();
+        let channel = self.schedule[index].channel;
+        let wanted = self.channels[channel.index()].spec.endorsers.len();
         let entry = self.pending_endorsements.entry(index).or_default();
         entry.push(tx);
         if entry.len() < wanted {
@@ -467,46 +938,72 @@ impl FabricNet {
         ctx.send(
             self.client_node(),
             self.orderer_node(),
-            NetMsg::Submit(Box::new(merged)),
+            NetMsg::Submit {
+                channel,
+                tx: Box::new(merged),
+            },
         );
     }
 
-    fn handle_submit(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, tx: Transaction) {
-        let outcome = self.orderer.submit(tx);
+    fn handle_submit(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NetTimer>,
+        channel: ChannelId,
+        tx: Transaction,
+    ) {
+        let outcome = self.orderer.submit_on(channel, tx);
         if let Some(epoch) = outcome.arm_timer {
             let timeout = self.orderer.batch_timeout();
             ctx.set_timer(
                 self.orderer_node(),
                 timeout,
-                NetTimer::BatchTimeout { epoch },
+                NetTimer::BatchTimeout { channel, epoch },
             );
         }
         for block in outcome.blocks {
-            self.schedule_consensus(ctx, block);
+            self.schedule_consensus(ctx, channel, block);
         }
     }
 
-    fn schedule_consensus(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, block: Block) {
+    fn schedule_consensus(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NetTimer>,
+        channel: ChannelId,
+        block: Block,
+    ) {
         let delay = self.params.orderer.consensus_delay.sample(ctx.rng());
         ctx.set_timer(
             self.orderer_node(),
             delay,
-            NetTimer::DeliverCut(BlockRef::new(block)),
+            NetTimer::DeliverCut {
+                channel,
+                block: BlockRef::new(block),
+            },
         );
     }
 
-    fn deliver_cut(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, block: BlockRef) {
-        // One delivery per organization, to that organization's leader(s).
-        let leaders: Vec<NodeId> = self
-            .peers
+    fn deliver_cut(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NetTimer>,
+        channel: ChannelId,
+        block: BlockRef,
+    ) {
+        let rt = &self.channels[channel.index()];
+        // One delivery per organization, to that organization's leader(s)
+        // among the channel's current members.
+        let leaders: Vec<NodeId> = rt
+            .members
             .iter()
-            .enumerate()
-            .filter(|(i, p)| p.gossip.is_leader() && ctx.net().is_up(NodeId(*i as u32)))
-            .map(|(i, _)| NodeId(i as u32))
+            .filter(|m| {
+                self.peers[m.index()].gossip.is_leader_on(channel) && ctx.net().is_up(NodeId(m.0))
+            })
+            .map(|m| NodeId(m.0))
             .collect();
-        let orgs_covered: std::collections::BTreeSet<usize> =
-            leaders.iter().map(|n| self.org_of(PeerId(n.0))).collect();
-        if orgs_covered.len() < self.params.orgs {
+        let orgs_covered: std::collections::BTreeSet<usize> = leaders
+            .iter()
+            .filter_map(|n| rt.org_of[n.index()])
+            .collect();
+        if orgs_covered.len() < rt.spec.orgs {
             // Some organization has no live leader (election in progress):
             // retry shortly, like a leader re-connecting to the ordering
             // service would. Re-delivery to covered organizations is
@@ -514,30 +1011,39 @@ impl FabricNet {
             ctx.set_timer(
                 self.orderer_node(),
                 Duration::from_millis(500),
-                NetTimer::DeliverCut(block.clone()),
+                NetTimer::DeliverCut {
+                    channel,
+                    block: block.clone(),
+                },
             );
         }
         for leader in leaders {
             ctx.send(
                 self.orderer_node(),
                 leader,
-                NetMsg::DeliverBlock(block.clone()),
+                NetMsg::DeliverBlock {
+                    channel,
+                    block: block.clone(),
+                },
             );
         }
     }
 
     fn issue_due(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>) {
         let now = ctx.now();
-        let endorser_nodes: Vec<NodeId> =
-            self.params.endorsers.iter().map(|e| NodeId(e.0)).collect();
         while self.next_invocation < self.schedule.len()
             && self.schedule[self.next_invocation].at <= now
         {
             let index = self.next_invocation;
+            let channel = self.schedule[index].channel;
             self.next_invocation += 1;
             self.issued += 1;
-            for node in &endorser_nodes {
-                ctx.send(self.client_node(), *node, NetMsg::Propose { index });
+            for endorser in &self.channels[channel.index()].spec.endorsers {
+                ctx.send(
+                    self.client_node(),
+                    NodeId(endorser.0),
+                    NetMsg::Propose { index },
+                );
             }
         }
         if self.next_invocation < self.schedule.len() {
@@ -564,10 +1070,12 @@ impl desim::Protocol for FabricNet {
     ) {
         match msg {
             NetMsg::Gossip(g) => self.peer_message(ctx, to, from, g),
-            NetMsg::DeliverBlock(block) => {
+            NetMsg::DeliverBlock { channel, block } => {
                 // Dissemination officially starts when the contact peer
                 // receives the block from the ordering service.
-                self.latency.start_block(block.number(), ctx.now());
+                self.channels[channel.index()]
+                    .latency
+                    .start_block(block.number(), ctx.now());
                 let validation = self.params.validation_per_tx;
                 let PeerNode {
                     gossip,
@@ -580,19 +1088,20 @@ impl desim::Protocol for FabricNet {
                     me: to,
                     pending_commits,
                     validation_free,
-                    latency: &mut self.latency,
+                    channels: &mut self.channels,
                     validation_per_tx: validation,
                 };
-                gossip.on_block_from_orderer(&mut fx, block);
+                gossip.on_block_from_orderer_on(&mut fx, channel, block);
+                self.check_catchups(to, ctx.now());
             }
             NetMsg::Propose { index } => self.handle_propose(ctx, to, index),
             NetMsg::Endorsed { index, tx } => {
                 debug_assert_eq!(to, self.client_node());
                 self.handle_endorsed(ctx, index, *tx);
             }
-            NetMsg::Submit(tx) => {
+            NetMsg::Submit { channel, tx } => {
                 debug_assert_eq!(to, self.orderer_node());
-                self.handle_submit(ctx, *tx);
+                self.handle_submit(ctx, channel, *tx);
             }
         }
     }
@@ -612,30 +1121,32 @@ impl desim::Protocol for FabricNet {
                     me: node,
                     pending_commits,
                     validation_free,
-                    latency: &mut self.latency,
+                    channels: &mut self.channels,
                     validation_per_tx: validation,
                 };
                 gossip.on_channel_timer(&mut fx, channel, timer);
+                self.check_catchups(node, ctx.now());
             }
             NetTimer::ClientIssue => self.issue_due(ctx),
-            NetTimer::BatchTimeout { epoch } => {
-                if let Some(block) = self.orderer.on_batch_timeout(epoch) {
-                    self.schedule_consensus(ctx, block);
+            NetTimer::BatchTimeout { channel, epoch } => {
+                if let Some(block) = self.orderer.on_batch_timeout_on(channel, epoch) {
+                    self.schedule_consensus(ctx, channel, block);
                 }
             }
-            NetTimer::DeliverCut(block) => self.deliver_cut(ctx, block),
+            NetTimer::DeliverCut { channel, block } => self.deliver_cut(ctx, channel, block),
             NetTimer::CommitDone => {
                 let peer = &mut self.peers[node.index()];
-                let Some(block) = peer.pending_commits.pop_front() else {
+                let Some((channel, block)) = peer.pending_commits.pop_front() else {
                     return;
                 };
-                if let Some(ledger) = peer.ledger.as_mut() {
+                if let Some(ledger) = peer.ledger_mut(channel) {
                     if ledger.commit(block).is_err() {
                         peer.commit_errors += 1;
                     }
                 }
-                peer.committed += 1;
+                *peer.committed.entry(channel).or_insert(0) += 1;
             }
+            NetTimer::Churn { index } => self.apply_churn(ctx, index),
         }
     }
 
@@ -658,20 +1169,22 @@ impl desim::Protocol for FabricNet {
         let validation = self.params.validation_per_tx;
         let PeerNode {
             gossip,
-            ledger,
+            ledgers,
             pending_commits,
             validation_free,
             ..
         } = &mut self.peers[node.index()];
-        if let Some(ledger) = ledger.as_ref() {
-            let store = gossip.store();
+        for (channel, ledger) in ledgers.iter() {
+            let Some(store) = gossip.store_on(*channel) else {
+                continue;
+            };
             for n in ledger.height()..store.height() {
                 if let Some(block) = store.get(n) {
                     let cost = validation * block.txs.len() as u64;
                     let start = ctx.now().max(*validation_free);
                     let done = start + cost;
                     *validation_free = done;
-                    pending_commits.push_back(block.clone());
+                    pending_commits.push_back((*channel, block.clone()));
                     ctx.set_timer(node, done.since(ctx.now()), NetTimer::CommitDone);
                 }
             }
@@ -681,7 +1194,7 @@ impl desim::Protocol for FabricNet {
             me: node,
             pending_commits,
             validation_free,
-            latency: &mut self.latency,
+            channels: &mut self.channels,
             validation_per_tx: validation,
         };
         gossip.init(&mut fx);
@@ -692,9 +1205,9 @@ impl desim::Protocol for FabricNet {
 struct SimFx<'a, 'c> {
     ctx: &'a mut Ctx<'c, NetMsg, NetTimer>,
     me: NodeId,
-    pending_commits: &'a mut VecDeque<BlockRef>,
+    pending_commits: &'a mut VecDeque<(ChannelId, BlockRef)>,
     validation_free: &'a mut Time,
-    latency: &'a mut LatencyRecorder,
+    channels: &'a mut [ChannelRuntime],
     validation_per_tx: Duration,
 }
 
@@ -720,14 +1233,14 @@ impl Effects for SimFx<'_, '_> {
         self.ctx.rng()
     }
 
-    fn block_received(&mut self, _channel: ChannelId, block_num: u64) {
-        // FabricNet drives the full transaction pipeline on one channel;
-        // the multi-channel scenarios live in `crate::multichannel`.
-        self.latency
-            .record(block_num, self.me.index(), self.ctx.now());
+    fn block_received(&mut self, channel: ChannelId, block_num: u64) {
+        let rt = &mut self.channels[channel.index()];
+        if let Some(slot) = rt.slots[self.me.index()] {
+            rt.latency.record(block_num, slot, self.ctx.now());
+        }
     }
 
-    fn deliver(&mut self, _channel: ChannelId, block: BlockRef) {
+    fn deliver(&mut self, channel: ChannelId, block: BlockRef) {
         // "New blocks are only used by peers after their validation, which
         // takes a time proportional to the number of transactions" (§V-D):
         // the block's writes become visible — and the endorser starts
@@ -739,8 +1252,14 @@ impl Effects for SimFx<'_, '_> {
         let start = now.max(*self.validation_free);
         let done = start + cost;
         *self.validation_free = done;
-        self.pending_commits.push_back(block);
+        self.pending_commits.push_back((channel, block));
         self.ctx
             .set_timer(self.me, done.since(now), NetTimer::CommitDone);
+    }
+
+    fn leadership_changed(&mut self, channel: ChannelId, is_leader: bool) {
+        if is_leader {
+            self.channels[channel.index()].handoffs += 1;
+        }
     }
 }

@@ -101,6 +101,11 @@ pub struct ChannelCore {
     pub self_id: PeerId,
     /// The active configuration.
     pub cfg: GossipConfig,
+    /// The organization roster as configured (self included or not, exactly
+    /// as passed at join time), kept current under runtime join/leave. The
+    /// static-leadership rule is re-evaluated over this list when a member
+    /// departs.
+    pub roster: Vec<PeerId>,
     /// Same-organization peers: the only legal targets for push and pull.
     pub membership: Membership,
     /// All channel peers (every organization): StateInfo and recovery may
@@ -131,11 +136,12 @@ impl ChannelCore {
             panic!("invalid gossip config: {e}");
         }
         let membership = Membership::new(self_id, roster.clone(), cfg.membership.alive_timeout);
-        let channel_view = Membership::new(self_id, roster, cfg.membership.alive_timeout);
+        let channel_view = Membership::new(self_id, roster.clone(), cfg.membership.alive_timeout);
         ChannelCore {
             channel,
             self_id,
             cfg,
+            roster,
             membership,
             channel_view,
             forwarding: true,
@@ -176,6 +182,20 @@ impl ChannelCore {
                 true
             }
         }
+    }
+}
+
+/// Static-leadership rule shared by every channel: the lowest-id *member*
+/// of the roster leads. See [`crate::peer::GossipPeer::new`] for the exact
+/// semantics (a peer excluded from its roster never self-elects).
+pub(crate) fn statically_leads(id: PeerId, roster: &[PeerId]) -> bool {
+    // A roster containing `id` has min <= id, so `id == lowest` alone
+    // encodes both "member" and "lowest member"; a roster excluding
+    // `id` either has a smaller minimum (not lowest) or only larger
+    // entries (id != lowest) — never a static leader.
+    match roster.iter().copied().min() {
+        None => true, // alone in the organization
+        Some(lowest) => id == lowest,
     }
 }
 
@@ -322,6 +342,41 @@ impl ChannelState {
                     .on_fetch_retry(&mut self.core, fx, block_num, attempt)
             }
         }
+    }
+
+    /// A peer joined this channel at runtime: discovery adds it to both the
+    /// organization and the channel-wide view, immediately sampleable and
+    /// believed alive (the join announcement is first contact).
+    ///
+    /// Static leadership is **not** re-evaluated on a join: a newcomer with
+    /// a lower id does not depose a pinned leader (Fabric's `orgLeader`
+    /// semantics); under dynamic election the newcomer competes through the
+    /// ordinary heartbeat machinery.
+    pub fn on_peer_joined(&mut self, fx: &mut dyn Effects, peer: PeerId) {
+        if peer == self.core.self_id {
+            return;
+        }
+        let now = fx.now();
+        if !self.core.roster.contains(&peer) {
+            self.core.roster.push(peer);
+        }
+        self.core.membership.add_peer(peer, now);
+        self.core.channel_view.add_peer(peer, now);
+    }
+
+    /// A peer left this channel at runtime: it is removed from the roster
+    /// and both membership views (never sampled again), its advertised
+    /// height is forgotten, and leadership re-election is forced when the
+    /// departed peer was the known leader — see
+    /// [`LeadershipEngine::on_peer_left`].
+    pub fn on_peer_left(&mut self, fx: &mut dyn Effects, peer: PeerId) {
+        if peer == self.core.self_id {
+            return;
+        }
+        self.core.roster.retain(|p| *p != peer);
+        self.core.membership.remove_peer(peer);
+        self.core.channel_view.remove_peer(peer);
+        self.leadership.on_peer_left(&mut self.core, fx, peer);
     }
 
     /// Membership heartbeats: the background "alive" traffic that keeps the

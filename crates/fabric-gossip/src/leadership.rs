@@ -121,6 +121,39 @@ impl LeadershipEngine {
         }
     }
 
+    /// A peer left the channel: forget its advertised height and, when it
+    /// was the leader this peer last heard from, force re-election.
+    ///
+    /// * **Dynamic election** — the last-heartbeat memory is cleared, so
+    ///   the next [`GossipTimer::ElectionTick`] sees no fresh leader and
+    ///   the lowest live id stands up without waiting out
+    ///   `leader_timeout` (the leave was announced, not a silent crash).
+    /// * **Static election** — the roster is **seniority-ordered**
+    ///   (initial members as configured — id order in every shipped
+    ///   embedding — runtime joiners appended in join order, identically
+    ///   on every peer), and its *first* sitting entry claims leadership,
+    ///   mirroring an operator re-pinning `orgLeader` after
+    ///   decommissioning the old leader. Seniority, not the id minimum:
+    ///   a runtime joiner with a low id must not outrank the seated
+    ///   leader — and since every peer agrees on the append order, no
+    ///   departure can strand the channel with zero or two leaders
+    ///   (min-over-roster cannot promise that, because a joiner's own
+    ///   roster legitimately ranks it last).
+    pub fn on_peer_left(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects, peer: PeerId) {
+        self.peer_heights.remove(&peer);
+        let leader_left = matches!(self.last_leader_seen, Some((l, _)) if l == peer);
+        if leader_left {
+            self.last_leader_seen = None;
+        }
+        if !core.cfg.election.dynamic
+            && !self.is_leader
+            && core.roster.first() == Some(&core.self_id)
+        {
+            self.is_leader = true;
+            fx.leadership_changed(core.channel, true);
+        }
+    }
+
     /// A leader heartbeat arrived.
     pub fn on_leader_heartbeat(
         &mut self,
@@ -238,5 +271,48 @@ mod tests {
         e.on_leader_heartbeat(&mut c, &mut fx, PeerId(0), Time::ZERO);
         assert!(!e.is_leader(), "lower-id leader forces a step-down");
         assert_eq!(fx.leadership, vec![false]);
+    }
+
+    #[test]
+    fn static_departure_of_the_leader_promotes_the_new_lowest_member() {
+        // Peer 1 in a {0, 1, 2, 3} roster: peer 0 statically leads.
+        let mut c = core(1);
+        let mut e = LeadershipEngine::new(false);
+        let mut fx = MockEffects::new(1);
+        // A non-leader departure changes nothing.
+        c.roster.retain(|p| *p != PeerId(3));
+        e.on_peer_left(&mut c, &mut fx, PeerId(3));
+        assert!(!e.is_leader());
+        // The leader departs: peer 1 is now the lowest member and stands up.
+        c.roster.retain(|p| *p != PeerId(0));
+        e.on_peer_left(&mut c, &mut fx, PeerId(0));
+        assert!(e.is_leader(), "new lowest member must claim leadership");
+        assert_eq!(fx.leadership, vec![true]);
+    }
+
+    #[test]
+    fn dynamic_departure_clears_the_heartbeat_memory_and_height() {
+        let mut c = core(1);
+        c.cfg.election.dynamic = true;
+        let mut e = LeadershipEngine::new(false);
+        let mut fx = MockEffects::new(1);
+        e.on_state_info(PeerId(0), 12);
+        e.on_leader_heartbeat(&mut c, &mut fx, PeerId(0), Time::from_secs(1));
+        e.on_peer_left(&mut c, &mut fx, PeerId(0));
+        assert!(!e.is_leader(), "dynamic mode re-elects on the next tick");
+        // The departed leader's height must not drive recovery requests.
+        e.on_recovery_round(&mut c, &mut fx);
+        assert!(
+            !fx.take_sent()
+                .iter()
+                .any(|(_, m)| matches!(m, GossipMsg::RecoveryRequest { .. })),
+            "no recovery request toward a departed peer"
+        );
+        // The very next election tick stands this peer up (lowest alive id
+        // among the remaining members believed alive is irrelevant at time
+        // zero grace — self is lowest surviving claimant here).
+        fx.now = Time::from_secs(100);
+        e.on_election_tick(&mut c, &mut fx);
+        assert!(e.is_leader(), "announced leave skips the leader timeout");
     }
 }

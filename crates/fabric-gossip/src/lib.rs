@@ -25,7 +25,14 @@
 //!
 //! * [`peer::GossipPeer`] — the **multiplexer**: routes messages, timers
 //!   and orderer deliveries to the right channel instance and fans out
-//!   lifecycle events (`init`, `on_crash`);
+//!   lifecycle events (`init`, `on_crash`). Channel membership is a
+//!   runtime operation: [`peer::GossipPeer::join_channel_live`] creates an
+//!   instance mid-run (a late joiner catches up through StateInfo +
+//!   recovery), [`peer::GossipPeer::leave_channel`] drops one, and
+//!   [`peer::GossipPeer::on_peer_left`] forces leader re-election when
+//!   the departed peer led; per-channel configuration overrides
+//!   ([`peer::GossipPeer::join_channel_with_cfg`]) let one peer run
+//!   different protocols on different channels;
 //! * [`channel::ChannelState`] — one channel's instance: the shared
 //!   [`channel::ChannelCore`] (membership views, block store, per-channel
 //!   [`channel::PeerStats`]) plus the three **engines**:

@@ -85,6 +85,37 @@ impl Membership {
             .collect()
     }
 
+    /// Adds `peer` to the view at runtime (a channel join observed through
+    /// discovery). The join announcement counts as first contact, so the
+    /// newcomer is immediately sampleable and believed alive from `now`.
+    /// Adding `self_id` or an already-known peer is a no-op.
+    pub fn add_peer(&mut self, peer: PeerId, now: Time) {
+        if peer == self.self_id {
+            return;
+        }
+        match self.peers.iter().position(|p| *p == peer) {
+            Some(idx) => self.last_heard[idx] = Some(now),
+            None => {
+                self.peers.push(peer);
+                self.last_heard.push(Some(now));
+            }
+        }
+    }
+
+    /// Removes `peer` from the view at runtime (a channel leave). Returns
+    /// whether the peer was present. A removed peer is never sampled again
+    /// and is not believed alive.
+    pub fn remove_peer(&mut self, peer: PeerId) -> bool {
+        match self.peers.iter().position(|p| *p == peer) {
+            Some(idx) => {
+                self.peers.remove(idx);
+                self.last_heard.remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Carries learned liveness over from `prev` for peers present in both
     /// views, keeping the freshest timestamp. Used when a deployment widens
     /// a channel view: rebuilding the view must never make a known-alive
@@ -238,6 +269,33 @@ mod tests {
         assert!(widened.believes_alive(PeerId(2), now));
         // Peer 4 exists only in the widened view: startup-grace rules apply.
         assert!(!widened.believes_alive(PeerId(4), Time::from_secs(70)));
+    }
+
+    #[test]
+    fn add_peer_is_sampleable_and_alive_from_now() {
+        let mut m = membership(3);
+        let now = Time::from_secs(100);
+        m.add_peer(PeerId(9), now);
+        assert!(m.peers().contains(&PeerId(9)));
+        assert!(m.believes_alive(PeerId(9), now + Duration::from_secs(5)));
+        // Re-adding refreshes liveness instead of duplicating the entry.
+        m.add_peer(PeerId(9), now + Duration::from_secs(50));
+        assert_eq!(m.peers().iter().filter(|p| **p == PeerId(9)).count(), 1);
+        assert!(m.believes_alive(PeerId(9), Time::from_secs(160)));
+        // Adding self is inert.
+        m.add_peer(PeerId(0), now);
+        assert!(!m.peers().contains(&PeerId(0)));
+    }
+
+    #[test]
+    fn remove_peer_forgets_the_entry() {
+        let mut m = membership(4);
+        m.mark_alive(PeerId(2), Time::from_secs(10));
+        assert!(m.remove_peer(PeerId(2)));
+        assert!(!m.peers().contains(&PeerId(2)));
+        assert!(!m.believes_alive(PeerId(2), Time::from_secs(11)));
+        assert!(!m.remove_peer(PeerId(2)), "second removal is a no-op");
+        assert_eq!(m.len(), 2);
     }
 
     #[test]

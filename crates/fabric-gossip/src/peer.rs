@@ -20,7 +20,7 @@
 use fabric_types::block::BlockRef;
 use fabric_types::ids::{ChannelId, PeerId};
 
-use crate::channel::{ChannelCore, ChannelState};
+use crate::channel::{statically_leads, ChannelCore, ChannelState};
 use crate::config::GossipConfig;
 use crate::effects::Effects;
 use crate::membership::Membership;
@@ -28,19 +28,6 @@ use crate::messages::{GossipMsg, GossipTimer};
 use crate::store::BlockStore;
 
 pub use crate::channel::PeerStats;
-
-/// Static-leadership rule shared by every channel: the lowest-id *member*
-/// of the roster leads. See [`GossipPeer::new`] for the exact semantics.
-fn statically_leads(id: PeerId, roster: &[PeerId]) -> bool {
-    // A roster containing `id` has min <= id, so `id == lowest` alone
-    // encodes both "member" and "lowest member"; a roster excluding
-    // `id` either has a smaller minimum (not lowest) or only larger
-    // entries (id != lowest) — never a static leader.
-    match roster.iter().copied().min() {
-        None => true, // alone in the organization
-        Some(lowest) => id == lowest,
-    }
-}
 
 /// The gossip state machine of one peer: per-channel instances behind a
 /// multiplexer.
@@ -109,27 +96,192 @@ impl GossipPeer {
     /// channel-wide view starts equal to the organization view; widen it
     /// with [`GossipPeer::widen_channel_view`].
     ///
-    /// Builder-only: joining channels is deployment-time configuration.
+    /// Channel membership is a **runtime operation**: this builder form
+    /// chains before [`GossipPeer::init`]; after `init`, use
+    /// [`GossipPeer::join_channel_live`], which creates the instance and
+    /// arms its timers in one step.
     ///
     /// # Panics
     ///
-    /// Panics when called after [`GossipPeer::init`] or when `channel` is
-    /// already joined.
-    pub fn join_channel(mut self, channel: ChannelId, roster: Vec<PeerId>) -> Self {
+    /// Panics when called after [`GossipPeer::init`] (use the live
+    /// variants) or when `channel` is already joined.
+    pub fn join_channel(self, channel: ChannelId, roster: Vec<PeerId>) -> Self {
+        let cfg = self.cfg.clone();
+        self.join_channel_with_cfg(channel, roster, cfg)
+    }
+
+    /// Like [`GossipPeer::join_channel`] but with a channel-specific
+    /// configuration: one peer can run stock pull-assisted gossip on one
+    /// channel and the enhanced protocol on another. Every engine of the
+    /// instance — push mode, pull, recovery, election — follows `cfg`
+    /// instead of the peer default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after [`GossipPeer::init`] (a builder-joined
+    /// channel would sit timerless — use the live variants, which arm the
+    /// new instance's timers), when `channel` is already joined, or when
+    /// `cfg` fails validation.
+    pub fn join_channel_with_cfg(
+        mut self,
+        channel: ChannelId,
+        roster: Vec<PeerId>,
+        cfg: GossipConfig,
+    ) -> Self {
         assert!(
             !self.initialized,
-            "join_channel is builder-only: channels must be joined before init"
+            "the consuming join_channel builders leave the new channel timerless: \
+             after init, join at runtime with join_channel_live / join_channel_live_with_cfg"
         );
+        self.insert_channel(channel, roster, cfg);
+        self
+    }
+
+    /// Replaces the configuration of the already-joined `channel` — the
+    /// per-channel override knob for builder chains that start from
+    /// [`GossipPeer::new`] (which joins [`ChannelId::DEFAULT`] with the
+    /// peer default). The channel instance is rebuilt under `cfg` with its
+    /// roster — and any view widened through
+    /// [`GossipPeer::widen_channel_view`] — preserved.
+    ///
+    /// Builder-only: the rebuild discards protocol state, so it must
+    /// happen before [`GossipPeer::init`]. At runtime, reconfigure by
+    /// leaving and re-joining with
+    /// [`GossipPeer::join_channel_live_with_cfg`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after [`GossipPeer::init`], on a channel that was
+    /// never joined, or when `cfg` fails validation.
+    pub fn with_channel_cfg(mut self, channel: ChannelId, cfg: GossipConfig) -> Self {
+        assert!(
+            !self.initialized,
+            "with_channel_cfg is builder-only: reconfigure live channels by \
+             leaving and re-joining with join_channel_live_with_cfg"
+        );
+        let at = self
+            .channels
+            .iter()
+            .position(|(ch, _)| *ch == channel)
+            .unwrap_or_else(|| panic!("cannot configure unjoined channel {channel}"));
+        let (_, state) = self.channels.remove(at);
+        let roster = state.core().roster.clone();
+        let view: Vec<PeerId> = state.core().channel_view.peers().to_vec();
+        let timeout = cfg.membership.alive_timeout;
+        let id = self.id;
+        let st = self.insert_channel(channel, roster, cfg);
+        st.core_mut().channel_view = Membership::new(id, view, timeout);
+        self
+    }
+
+    /// Joins `channel` at runtime, with the peer-default configuration.
+    /// When the peer is already initialized the new instance's periodic
+    /// timers are armed immediately, so a **late joiner** starts
+    /// broadcasting StateInfo and running recovery (and pull, if
+    /// configured) right away — the existing state-transfer machinery
+    /// bootstraps it to the channel head with no extra protocol.
+    ///
+    /// Works before `init` too (equivalent to the builder form).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is already joined.
+    pub fn join_channel_live(
+        &mut self,
+        fx: &mut dyn Effects,
+        channel: ChannelId,
+        roster: Vec<PeerId>,
+    ) {
+        self.join_channel_live_with_cfg(fx, channel, roster, self.cfg.clone());
+    }
+
+    /// [`GossipPeer::join_channel_live`] with a channel-specific
+    /// configuration (the runtime variant of
+    /// [`GossipPeer::join_channel_with_cfg`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is already joined or `cfg` fails validation.
+    pub fn join_channel_live_with_cfg(
+        &mut self,
+        fx: &mut dyn Effects,
+        channel: ChannelId,
+        roster: Vec<PeerId>,
+        cfg: GossipConfig,
+    ) {
+        let initialized = self.initialized;
+        let id = self.id;
+        let state = self.insert_channel(channel, roster, cfg);
+        // Static leadership was just evaluated over the as-passed roster
+        // (a roster excluding self never self-elects — the late-joiner
+        // rule). From here on the roster is seniority-ordered shared
+        // state: append self so this peer ranks exactly where every
+        // sitting member's `on_peer_joined` ranks it, and departures
+        // re-elect consistently (see `LeadershipEngine::on_peer_left`).
+        if !state.core().roster.contains(&id) {
+            state.core_mut().roster.push(id);
+        }
+        if initialized {
+            state.init(fx);
+        }
+    }
+
+    /// Leaves `channel` at runtime: the instance is dropped wholesale —
+    /// store, views, counters and engines. Pending timers of the departed
+    /// channel become inert ([`GossipPeer::on_channel_timer`] drops timers
+    /// of unjoined channels), so no cancellation round-trip is needed.
+    /// Returns whether the channel was joined.
+    ///
+    /// The remaining members learn of the departure through
+    /// [`GossipPeer::on_peer_left`] (driven by the embedding's discovery
+    /// layer), which also forces leader re-election when the leaver led.
+    pub fn leave_channel(&mut self, channel: ChannelId) -> bool {
+        match self.channels.iter().position(|(ch, _)| *ch == channel) {
+            Some(at) => {
+                self.channels.remove(at);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Discovery observed `peer` joining `channel`: add it to this peer's
+    /// rosters and views (see [`ChannelState::on_peer_joined`]). Inert for
+    /// unjoined channels.
+    pub fn on_peer_joined(&mut self, fx: &mut dyn Effects, channel: ChannelId, peer: PeerId) {
+        if let Some(state) = self.state_mut(channel) {
+            state.on_peer_joined(fx, peer);
+        }
+    }
+
+    /// Discovery observed `peer` leaving `channel`: remove it from this
+    /// peer's rosters and views and force leader re-election when the
+    /// departed peer led (see [`ChannelState::on_peer_left`]). Inert for
+    /// unjoined channels.
+    pub fn on_peer_left(&mut self, fx: &mut dyn Effects, channel: ChannelId, peer: PeerId) {
+        if let Some(state) = self.state_mut(channel) {
+            state.on_peer_left(fx, peer);
+        }
+    }
+
+    /// Inserts the channel instance, keeping `channels` sorted. Shared by
+    /// every join path (builder and live).
+    fn insert_channel(
+        &mut self,
+        channel: ChannelId,
+        roster: Vec<PeerId>,
+        cfg: GossipConfig,
+    ) -> &mut ChannelState {
         assert!(
             !self.channels.iter().any(|(ch, _)| *ch == channel),
             "channel {channel} joined twice"
         );
         let leads = statically_leads(self.id, &roster);
-        let core = ChannelCore::new(channel, self.id, roster, self.cfg.clone());
+        let core = ChannelCore::new(channel, self.id, roster, cfg);
         let state = ChannelState::new(core, leads);
         let at = self.channels.partition_point(|(ch, _)| *ch < channel);
         self.channels.insert(at, (channel, state));
-        self
+        &mut self.channels[at].1
     }
 
     /// This peer's id.
@@ -137,9 +289,23 @@ impl GossipPeer {
         self.id
     }
 
-    /// The active configuration.
+    /// The peer-default configuration (channels joined without an explicit
+    /// override run under this; see [`GossipPeer::config_on`]).
     pub fn config(&self) -> &GossipConfig {
         &self.cfg
+    }
+
+    /// The configuration `channel`'s instance actually runs under —
+    /// differs from [`GossipPeer::config`] when the channel was joined
+    /// with a per-channel override. `None` when not joined.
+    pub fn config_on(&self, channel: ChannelId) -> Option<&GossipConfig> {
+        self.state(channel).map(|s| &s.core().cfg)
+    }
+
+    /// Whether [`GossipPeer::init`] has run (runtime joins arm their own
+    /// timers from then on).
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
     }
 
     /// Channels this peer has joined, in id order.
@@ -508,6 +674,143 @@ mod tests {
         let _ = GossipPeer::with_channels(PeerId(0), GossipConfig::enhanced_f4())
             .join_channel(ChannelId(0), peers(&[0, 1]))
             .join_channel(ChannelId(0), peers(&[0, 1]));
+    }
+
+    #[test]
+    fn runtime_join_after_init_arms_the_new_channels_timers() {
+        let mut peer = GossipPeer::new(PeerId(1), peers(&[0, 1, 2]), GossipConfig::enhanced_f4());
+        let mut fx = MockEffects::new(1);
+        peer.init(&mut fx);
+        let armed_before = fx.take_scheduled_on();
+        assert!(armed_before.iter().all(|(_, ch, _)| *ch == ChannelId(0)));
+
+        peer.join_channel_live(&mut fx, ChannelId(3), peers(&[1, 2, 3]));
+        assert!(peer.has_channel(ChannelId(3)));
+        let armed = fx.take_scheduled_on();
+        assert!(
+            armed.iter().any(|(_, ch, _)| *ch == ChannelId(3)),
+            "a live join must arm the new channel's timers immediately"
+        );
+        assert!(
+            armed.iter().all(|(_, ch, _)| *ch == ChannelId(3)),
+            "existing channels' timers must not be re-armed"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "timerless")]
+    fn builder_join_after_init_is_rejected_loudly() {
+        let mut peer = GossipPeer::new(PeerId(0), peers(&[0, 1]), GossipConfig::enhanced_f4());
+        let mut fx = MockEffects::new(1);
+        peer.init(&mut fx);
+        // The consuming builder would create a dormant, timerless channel;
+        // post-init joins must go through join_channel_live.
+        let _ = peer.join_channel(ChannelId(2), peers(&[0, 1]));
+    }
+
+    #[test]
+    fn runtime_join_before_init_stays_dormant_until_init() {
+        let mut peer = GossipPeer::with_channels(PeerId(0), GossipConfig::enhanced_f4());
+        let mut fx = MockEffects::new(1);
+        peer.join_channel_live(&mut fx, ChannelId(0), peers(&[0, 1]));
+        assert!(fx.take_scheduled_on().is_empty(), "not initialized yet");
+        peer.init(&mut fx);
+        assert!(!fx.take_scheduled_on().is_empty());
+    }
+
+    #[test]
+    fn leaving_a_channel_makes_its_traffic_and_timers_inert() {
+        let mut peer = GossipPeer::with_channels(PeerId(1), GossipConfig::enhanced_f4())
+            .join_channel(ChannelId(0), peers(&[0, 1, 2]))
+            .join_channel(ChannelId(1), peers(&[1, 2, 3]));
+        let mut fx = MockEffects::new(1);
+        peer.init(&mut fx);
+        fx.take_scheduled_on();
+        assert!(peer.leave_channel(ChannelId(1)));
+        assert!(!peer.leave_channel(ChannelId(1)), "second leave is a no-op");
+        assert_eq!(peer.channel_ids(), vec![ChannelId(0)]);
+        // Stray traffic and timers of the departed channel vanish.
+        let block = BlockRef::new(Block::new(1, Block::genesis().hash(), vec![]));
+        peer.on_channel_message(
+            &mut fx,
+            ChannelId(1),
+            PeerId(2),
+            GossipMsg::BlockPush { block, counter: 0 },
+        );
+        peer.on_channel_timer(&mut fx, ChannelId(1), GossipTimer::RecoveryRound);
+        assert!(fx.take_sent_on().is_empty());
+        assert!(fx.take_scheduled_on().is_empty());
+        assert!(fx.delivered.is_empty());
+    }
+
+    #[test]
+    fn rejoining_a_left_channel_starts_fresh() {
+        let mut peer = GossipPeer::new(PeerId(0), peers(&[0, 1]), GossipConfig::enhanced_f4());
+        let mut fx = MockEffects::new(1);
+        peer.init(&mut fx);
+        let block = BlockRef::new(Block::new(1, Block::genesis().hash(), vec![]));
+        peer.on_block_from_orderer(&mut fx, block);
+        assert_eq!(peer.height(), 2);
+        peer.leave_channel(ChannelId::DEFAULT);
+        peer.join_channel_live(&mut fx, ChannelId::DEFAULT, peers(&[0, 1]));
+        assert_eq!(peer.height(), 1, "a rejoin starts from an empty store");
+    }
+
+    #[test]
+    fn per_channel_cfg_override_via_join_channel_with_cfg() {
+        let peer = GossipPeer::with_channels(PeerId(0), GossipConfig::enhanced_f4())
+            .join_channel(ChannelId(0), peers(&[0, 1, 2]))
+            .join_channel_with_cfg(
+                ChannelId(1),
+                peers(&[0, 1, 2]),
+                GossipConfig::original_fabric(),
+            );
+        assert!(peer.config_on(ChannelId(0)).unwrap().pull.is_none());
+        assert!(
+            peer.config_on(ChannelId(1)).unwrap().pull.is_some(),
+            "channel 1 must run the stock pull-assisted protocol"
+        );
+        assert_eq!(peer.config_on(ChannelId(9)), None);
+    }
+
+    #[test]
+    fn with_channel_cfg_rebuilds_and_preserves_roster_and_view() {
+        let peer = GossipPeer::new(PeerId(0), peers(&[0, 1, 2]), GossipConfig::enhanced_f4())
+            .with_channel(peers(&[0, 1, 2, 3, 4]))
+            .with_channel_cfg(ChannelId::DEFAULT, GossipConfig::original_fabric());
+        assert!(peer.config_on(ChannelId::DEFAULT).unwrap().pull.is_some());
+        assert_eq!(peer.membership().len(), 2, "org roster preserved");
+        assert_eq!(peer.channel().len(), 4, "widened view preserved");
+        assert!(peer.is_leader(), "static leadership recomputed from roster");
+    }
+
+    #[test]
+    #[should_panic(expected = "builder-only")]
+    fn with_channel_cfg_after_init_is_rejected() {
+        let mut peer = GossipPeer::new(PeerId(0), peers(&[0, 1]), GossipConfig::enhanced_f4());
+        let mut fx = MockEffects::new(1);
+        peer.init(&mut fx);
+        let _ = peer.with_channel_cfg(ChannelId::DEFAULT, GossipConfig::original_fabric());
+    }
+
+    #[test]
+    fn peer_join_and_leave_notifications_maintain_the_rosters() {
+        let mut peer = GossipPeer::new(PeerId(1), peers(&[0, 1, 2]), GossipConfig::enhanced_f4());
+        let mut fx = MockEffects::new(1);
+        peer.init(&mut fx);
+        peer.on_peer_joined(&mut fx, ChannelId::DEFAULT, PeerId(7));
+        assert!(peer.membership().peers().contains(&PeerId(7)));
+        assert!(peer.channel().peers().contains(&PeerId(7)));
+        peer.on_peer_left(&mut fx, ChannelId::DEFAULT, PeerId(7));
+        assert!(!peer.membership().peers().contains(&PeerId(7)));
+        // Departure of the static leader promotes this peer (id 1 is the
+        // lowest remaining member).
+        assert!(!peer.is_leader());
+        peer.on_peer_left(&mut fx, ChannelId::DEFAULT, PeerId(0));
+        assert!(peer.is_leader(), "static re-election on leader departure");
+        // Notifications for unjoined channels are inert.
+        peer.on_peer_joined(&mut fx, ChannelId(9), PeerId(3));
+        assert!(!peer.has_channel(ChannelId(9)));
     }
 
     #[test]

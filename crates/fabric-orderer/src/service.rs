@@ -12,12 +12,23 @@
 //! The service is a sans-io state machine: it never sleeps or sends — the
 //! embedding (simulation or threads) arms batch timers when told to and
 //! delivers cut blocks after the sampled consensus delay.
+//!
+//! Like a real Fabric ordering service, one instance orders **many
+//! channels**: each registered channel owns an independent block cutter,
+//! block numbering and prev-hash chain, multiplexed behind the shared
+//! consenter model. Single-channel embeddings use the channel-less methods
+//! ([`OrderingService::submit`] et al.), which operate on
+//! [`ChannelId::DEFAULT`]; multi-channel embeddings register channels with
+//! [`OrderingService::add_channel`] and route with the `*_on` variants.
+//! Batch epochs are per-channel, so an embedding arming timers must carry
+//! the channel alongside the epoch.
 
 use desim::{Duration, LatencyModel};
 use serde::{Deserialize, Serialize};
 
 use fabric_types::block::Block;
 use fabric_types::crypto::Hash256;
+use fabric_types::ids::ChannelId;
 use fabric_types::transaction::Transaction;
 
 use crate::cutter::{BatchConfig, BlockCutter};
@@ -94,6 +105,15 @@ pub struct SubmitOutcome {
 #[derive(Debug)]
 pub struct OrderingService {
     config: OrdererConfig,
+    /// One independent chain per served channel, sorted by [`ChannelId`].
+    chains: Vec<(ChannelId, ChannelChain)>,
+}
+
+/// The per-channel half of the ordering service: Fabric runs one block
+/// cutter and one chain (independent numbering and prev-hash linkage) per
+/// channel, multiplexed behind a single consenter set.
+#[derive(Debug)]
+struct ChannelChain {
     cutter: BlockCutter,
     next_number: u64,
     prev_hash: Hash256,
@@ -103,15 +123,10 @@ pub struct OrderingService {
     blocks_cut: u64,
 }
 
-impl OrderingService {
-    /// Creates the service. `prev_hash` is the hash of the last block
-    /// already on the chain (usually genesis), `next_number` the height the
-    /// first cut block will carry.
-    pub fn new(config: OrdererConfig, prev_hash: Hash256, next_number: u64) -> Self {
-        let cutter = BlockCutter::new(config.batch.clone());
-        OrderingService {
-            config,
-            cutter,
+impl ChannelChain {
+    fn new(batch: BatchConfig, prev_hash: Hash256, next_number: u64) -> Self {
+        ChannelChain {
+            cutter: BlockCutter::new(batch),
             next_number,
             prev_hash,
             batch_epoch: 0,
@@ -119,44 +134,14 @@ impl OrderingService {
         }
     }
 
-    /// The service configuration.
-    pub fn config(&self) -> &OrdererConfig {
-        &self.config
-    }
-
-    /// The batch timeout the embedding should use when arming timers.
-    pub fn batch_timeout(&self) -> Duration {
-        self.config.batch.batch_timeout
-    }
-
-    /// Current batch epoch (see [`SubmitOutcome::arm_timer`]).
-    pub fn batch_epoch(&self) -> u64 {
-        self.batch_epoch
-    }
-
-    /// Number of blocks cut so far.
-    pub fn blocks_cut(&self) -> u64 {
-        self.blocks_cut
-    }
-
-    /// Transactions waiting in the pending batch.
-    pub fn pending_count(&self) -> usize {
-        self.cutter.pending_count()
-    }
-
-    /// Accepts a transaction proposal in arrival order. Fabric orderers do
-    /// not validate proposals — neither does this one.
-    pub fn submit(&mut self, tx: Transaction) -> SubmitOutcome {
+    fn submit(&mut self, tx: Transaction) -> SubmitOutcome {
         let (batches, started_fresh) = self.cutter.ordered(tx);
         let blocks: Vec<Block> = batches.into_iter().map(|b| self.assemble(b)).collect();
         let arm_timer = started_fresh.then_some(self.batch_epoch);
         SubmitOutcome { blocks, arm_timer }
     }
 
-    /// Batch timer expiry for `epoch`. Returns the cut block, or `None`
-    /// when the timer was stale (the batch it guarded was already cut) or
-    /// nothing was pending.
-    pub fn on_batch_timeout(&mut self, epoch: u64) -> Option<Block> {
+    fn on_batch_timeout(&mut self, epoch: u64) -> Option<Block> {
         if epoch != self.batch_epoch {
             return None;
         }
@@ -174,6 +159,156 @@ impl OrderingService {
         self.batch_epoch += 1;
         self.blocks_cut += 1;
         block
+    }
+}
+
+impl OrderingService {
+    /// Creates the service ordering the single [`ChannelId::DEFAULT`]
+    /// channel. `prev_hash` is the hash of the last block already on that
+    /// chain (usually genesis), `next_number` the height the first cut
+    /// block will carry. Register further channels with
+    /// [`OrderingService::add_channel`].
+    pub fn new(config: OrdererConfig, prev_hash: Hash256, next_number: u64) -> Self {
+        let chain = ChannelChain::new(config.batch.clone(), prev_hash, next_number);
+        OrderingService {
+            config,
+            chains: vec![(ChannelId::DEFAULT, chain)],
+        }
+    }
+
+    /// Registers `channel` with its own block cutter and chain state
+    /// (independent numbering and prev-hash linkage). Every channel shares
+    /// the service-wide batching parameters and consensus-delay model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is already served.
+    pub fn add_channel(&mut self, channel: ChannelId, prev_hash: Hash256, next_number: u64) {
+        assert!(
+            !self.chains.iter().any(|(ch, _)| *ch == channel),
+            "channel {channel} already served"
+        );
+        let chain = ChannelChain::new(self.config.batch.clone(), prev_hash, next_number);
+        let at = self.chains.partition_point(|(ch, _)| *ch < channel);
+        self.chains.insert(at, (channel, chain));
+    }
+
+    /// The channels this service orders, in id order.
+    pub fn channel_ids(&self) -> Vec<ChannelId> {
+        self.chains.iter().map(|(ch, _)| *ch).collect()
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &OrdererConfig {
+        &self.config
+    }
+
+    /// The batch timeout the embedding should use when arming timers (one
+    /// service-wide value; epochs are per-channel).
+    pub fn batch_timeout(&self) -> Duration {
+        self.config.batch.batch_timeout
+    }
+
+    fn chain(&self, channel: ChannelId) -> &ChannelChain {
+        self.chains
+            .iter()
+            .find(|(ch, _)| *ch == channel)
+            .map(|(_, c)| c)
+            .unwrap_or_else(|| panic!("channel {channel} is not served by this orderer"))
+    }
+
+    fn chain_mut(&mut self, channel: ChannelId) -> &mut ChannelChain {
+        self.chains
+            .iter_mut()
+            .find(|(ch, _)| *ch == channel)
+            .map(|(_, c)| c)
+            .unwrap_or_else(|| panic!("channel {channel} is not served by this orderer"))
+    }
+
+    /// Current batch epoch of the default channel (see
+    /// [`SubmitOutcome::arm_timer`]).
+    pub fn batch_epoch(&self) -> u64 {
+        self.batch_epoch_on(ChannelId::DEFAULT)
+    }
+
+    /// Current batch epoch of `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is not served.
+    pub fn batch_epoch_on(&self, channel: ChannelId) -> u64 {
+        self.chain(channel).batch_epoch
+    }
+
+    /// Number of blocks cut so far, summed over every channel.
+    pub fn blocks_cut(&self) -> u64 {
+        self.chains.iter().map(|(_, c)| c.blocks_cut).sum()
+    }
+
+    /// Number of blocks cut on `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is not served.
+    pub fn blocks_cut_on(&self, channel: ChannelId) -> u64 {
+        self.chain(channel).blocks_cut
+    }
+
+    /// The number of the last block cut on `channel` (0 when the chain
+    /// still sits at genesis) — the head a late joiner must catch up to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is not served.
+    pub fn chain_head_on(&self, channel: ChannelId) -> u64 {
+        self.chain(channel).next_number - 1
+    }
+
+    /// Transactions waiting in the default channel's pending batch.
+    pub fn pending_count(&self) -> usize {
+        self.pending_count_on(ChannelId::DEFAULT)
+    }
+
+    /// Transactions waiting in `channel`'s pending batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is not served.
+    pub fn pending_count_on(&self, channel: ChannelId) -> usize {
+        self.chain(channel).cutter.pending_count()
+    }
+
+    /// Accepts a transaction proposal for the default channel in arrival
+    /// order. Fabric orderers do not validate proposals — neither does
+    /// this one.
+    pub fn submit(&mut self, tx: Transaction) -> SubmitOutcome {
+        self.submit_on(ChannelId::DEFAULT, tx)
+    }
+
+    /// Accepts a transaction proposal for `channel` in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is not served — submission routing is the
+    /// embedding's contract, so a stray channel is a bug, not a condition.
+    pub fn submit_on(&mut self, channel: ChannelId, tx: Transaction) -> SubmitOutcome {
+        self.chain_mut(channel).submit(tx)
+    }
+
+    /// Batch timer expiry for `epoch` on the default channel. Returns the
+    /// cut block, or `None` when the timer was stale (the batch it guarded
+    /// was already cut) or nothing was pending.
+    pub fn on_batch_timeout(&mut self, epoch: u64) -> Option<Block> {
+        self.on_batch_timeout_on(ChannelId::DEFAULT, epoch)
+    }
+
+    /// Batch timer expiry for `epoch` on `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is not served.
+    pub fn on_batch_timeout_on(&mut self, channel: ChannelId, epoch: u64) -> Option<Block> {
+        self.chain_mut(channel).on_batch_timeout(epoch)
     }
 }
 
@@ -249,6 +384,64 @@ mod tests {
     fn empty_timeout_returns_none() {
         let mut orderer = service(10);
         assert_eq!(orderer.on_batch_timeout(0), None);
+    }
+
+    #[test]
+    fn channels_cut_and_number_independently() {
+        let mut orderer = service(2);
+        orderer.add_channel(ChannelId(1), Block::genesis().hash(), 1);
+        assert_eq!(orderer.channel_ids(), vec![ChannelId(0), ChannelId(1)]);
+
+        // Interleaved submissions: each channel batches on its own.
+        orderer.submit_on(ChannelId(0), tx(1));
+        orderer.submit_on(ChannelId(1), tx(2));
+        let b0 = orderer.submit_on(ChannelId(0), tx(3)).blocks.pop().unwrap();
+        let b1 = orderer.submit_on(ChannelId(1), tx(4)).blocks.pop().unwrap();
+        assert_eq!(b0.number(), 1, "channel 0 numbers from 1");
+        assert_eq!(b1.number(), 1, "channel 1 numbers from 1 independently");
+        assert!(b0.follows(&Block::genesis()));
+        assert!(b1.follows(&Block::genesis()));
+        assert_eq!(orderer.blocks_cut_on(ChannelId(0)), 1);
+        assert_eq!(orderer.blocks_cut_on(ChannelId(1)), 1);
+        assert_eq!(orderer.blocks_cut(), 2, "totals sum over channels");
+        assert_eq!(orderer.chain_head_on(ChannelId(0)), 1);
+
+        // Chains stay linked per channel across further cuts.
+        orderer.submit_on(ChannelId(1), tx(5));
+        let b2 = orderer.submit_on(ChannelId(1), tx(6)).blocks.pop().unwrap();
+        assert_eq!(b2.number(), 2);
+        assert_eq!(b2.header.prev_hash, b1.hash());
+    }
+
+    #[test]
+    fn batch_epochs_and_timeouts_are_per_channel() {
+        let mut orderer = service(10);
+        orderer.add_channel(ChannelId(1), Block::genesis().hash(), 1);
+        let e0 = orderer.submit_on(ChannelId(0), tx(1)).arm_timer.unwrap();
+        let e1 = orderer.submit_on(ChannelId(1), tx(2)).arm_timer.unwrap();
+        assert_eq!((e0, e1), (0, 0), "both channels start a fresh batch");
+        // Channel 0's timeout must not cut channel 1's pending batch.
+        let cut = orderer.on_batch_timeout_on(ChannelId(0), e0).unwrap();
+        assert_eq!(cut.txs.len(), 1);
+        assert_eq!(orderer.pending_count_on(ChannelId(1)), 1);
+        assert_eq!(orderer.batch_epoch_on(ChannelId(0)), 1);
+        assert_eq!(orderer.batch_epoch_on(ChannelId(1)), 0);
+        let cut = orderer.on_batch_timeout_on(ChannelId(1), e1).unwrap();
+        assert_eq!(cut.number(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already served")]
+    fn registering_a_channel_twice_is_rejected() {
+        let mut orderer = service(2);
+        orderer.add_channel(ChannelId::DEFAULT, Block::genesis().hash(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not served")]
+    fn submitting_to_an_unregistered_channel_is_a_bug() {
+        let mut orderer = service(2);
+        orderer.submit_on(ChannelId(9), tx(1));
     }
 
     #[test]

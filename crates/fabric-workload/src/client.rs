@@ -61,6 +61,7 @@ mod tests {
     fn invocation(kind: ChaincodeKind, arg: &str) -> ScheduledInvocation {
         ScheduledInvocation {
             at: Time::ZERO,
+            channel: fabric_types::ids::ChannelId::DEFAULT,
             chaincode: kind,
             args: vec![arg.to_owned()],
             padding: 100,

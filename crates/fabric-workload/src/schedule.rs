@@ -10,6 +10,7 @@
 //!   random permutation of the counter order in every round.
 
 use desim::{Duration, Time};
+use fabric_types::ids::ChannelId;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -28,12 +29,48 @@ pub enum ChaincodeKind {
 pub struct ScheduledInvocation {
     /// When the client issues the proposal.
     pub at: Time,
+    /// The channel the invocation targets: its endorsers simulate the
+    /// chaincode, its ordering chain batches the transaction, its members
+    /// receive the cut block. Generators produce [`ChannelId::DEFAULT`];
+    /// retarget with [`ScheduledInvocation::on_channel`] /
+    /// [`retarget_schedule`].
+    pub channel: ChannelId,
     /// Target chaincode.
     pub chaincode: ChaincodeKind,
     /// Invocation arguments.
     pub args: Vec<String>,
     /// Wire padding applied to the resulting transaction.
     pub padding: u32,
+}
+
+impl ScheduledInvocation {
+    /// Retargets the invocation at `channel`.
+    #[must_use]
+    pub fn on_channel(mut self, channel: ChannelId) -> Self {
+        self.channel = channel;
+        self
+    }
+}
+
+/// Retargets a whole schedule at `channel` (workload generators emit
+/// [`ChannelId::DEFAULT`]).
+pub fn retarget_schedule(
+    schedule: Vec<ScheduledInvocation>,
+    channel: ChannelId,
+) -> Vec<ScheduledInvocation> {
+    schedule
+        .into_iter()
+        .map(|s| s.on_channel(channel))
+        .collect()
+}
+
+/// Merges per-channel schedules into one time-sorted stream — the
+/// multi-channel client workload. The merge is stable: invocations due at
+/// the same instant keep their input-schedule order.
+pub fn merge_schedules(schedules: Vec<Vec<ScheduledInvocation>>) -> Vec<ScheduledInvocation> {
+    let mut merged: Vec<ScheduledInvocation> = schedules.into_iter().flatten().collect();
+    merged.sort_by_key(|s| s.at);
+    merged
 }
 
 /// Parameters of the dissemination workload (§V-A).
@@ -109,6 +146,7 @@ pub fn payload_schedule(cfg: &PayloadWorkload) -> Vec<ScheduledInvocation> {
     (0..cfg.total_txs)
         .map(|i| ScheduledInvocation {
             at: issue_time(i, cfg.rate_per_sec),
+            channel: ChannelId::DEFAULT,
             chaincode: ChaincodeKind::Payload,
             args: vec![format!("row{i}")],
             padding: cfg.tx_padding,
@@ -135,6 +173,7 @@ pub fn increment_schedule(cfg: &IncrementWorkload, seed: u64) -> Vec<ScheduledIn
         for &key in &order {
             out.push(ScheduledInvocation {
                 at: issue_time(index, cfg.rate_per_sec),
+                channel: ChannelId::DEFAULT,
                 chaincode: ChaincodeKind::Increment,
                 args: vec![format!("counter{key}")],
                 padding: 64,
@@ -240,5 +279,35 @@ mod tests {
         assert!(sched.windows(2).all(|w| w[0].at <= w[1].at));
         let sched = increment_schedule(&IncrementWorkload::default(), 1);
         assert!(sched.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn generators_target_the_default_channel() {
+        let sched = payload_schedule(&PayloadWorkload::shortened(10));
+        assert!(sched.iter().all(|s| s.channel == ChannelId::DEFAULT));
+    }
+
+    #[test]
+    fn retarget_and_merge_build_a_multichannel_workload() {
+        let ch0 = payload_schedule(&PayloadWorkload::shortened(6));
+        let ch1 = retarget_schedule(
+            payload_schedule(&PayloadWorkload {
+                total_txs: 4,
+                rate_per_sec: 2.0,
+                tx_padding: 100,
+            }),
+            ChannelId(1),
+        );
+        assert!(ch1.iter().all(|s| s.channel == ChannelId(1)));
+        let merged = merge_schedules(vec![ch0.clone(), ch1.clone()]);
+        assert_eq!(merged.len(), 10);
+        assert!(merged.windows(2).all(|w| w[0].at <= w[1].at));
+        // Stable at equal instants: both schedules start at t = 0 and the
+        // ch0 entry must come first.
+        assert_eq!(merged[0].channel, ChannelId::DEFAULT);
+        assert_eq!(merged[1].channel, ChannelId(1));
+        // Every input invocation survives the merge.
+        let ch1_count = merged.iter().filter(|s| s.channel == ChannelId(1)).count();
+        assert_eq!(ch1_count, 4);
     }
 }

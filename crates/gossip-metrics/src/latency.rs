@@ -58,6 +58,11 @@ impl LatencyRecorder {
         }
     }
 
+    /// Number of peer slots in the matrix (as sized at construction).
+    pub fn peers(&self) -> usize {
+        self.peers
+    }
+
     /// Number of blocks started.
     pub fn block_count(&self) -> usize {
         self.blocks.len()

@@ -90,7 +90,7 @@ fn run_with_free_riders(fraction: f64, seed: u64) -> (f64, u64) {
     sim.with_ctx(|net, ctx| net.start(ctx));
     sim.run_until(Time::from_secs(150));
     let net = sim.protocol();
-    (net.latency.completeness(), net.blocks_cut())
+    (net.latency().completeness(), net.blocks_cut())
 }
 
 #[test]

@@ -60,7 +60,7 @@ fn every_peer_of_every_org_receives_every_block() {
     let net = sim.protocol();
     assert_eq!(net.blocks_cut(), 20);
     assert_eq!(
-        net.latency.completeness(),
+        net.latency().completeness(),
         1.0,
         "all three organizations must converge"
     );
@@ -68,7 +68,7 @@ fn every_peer_of_every_org_receives_every_block() {
     // org should be in the same ballpark (no starved organization).
     let mut org_means = Vec::new();
     for org in 0..3 {
-        let cdfs = net.latency.all_peer_cdfs();
+        let cdfs = net.latency().all_peer_cdfs();
         let mean: f64 = (org * 20..(org + 1) * 20)
             .map(|i| cdfs[i].mean().as_secs_f64())
             .sum::<f64>()
