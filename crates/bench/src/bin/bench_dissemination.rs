@@ -1,9 +1,10 @@
 //! `bench_dissemination` — the perf-trajectory emitter.
 //!
-//! Times the fig04 and fig07 dissemination presets plus the multi-channel
-//! and churn presets (wall-clock and events/second) and the clone-per-hop
-//! vs zero-copy payload comparison, then writes `BENCH_dissemination.json`
-//! so future changes have a baseline to compare against.
+//! Times the fig04 and fig07 dissemination presets plus the multi-channel,
+//! churn and churn-waves presets (wall-clock and events/second) and the
+//! clone-per-hop vs zero-copy payload comparison, then writes
+//! `BENCH_dissemination.json` so future changes have a baseline to compare
+//! against.
 //!
 //! ```text
 //! bench_dissemination [smoke|quick|full] [output.json]
@@ -18,8 +19,9 @@
 use std::time::Instant;
 
 use bench::zero_copy::{compare, FloodConfig};
-use bench::{churn_preset, multichannel_preset, run_scaled, Scale};
+use bench::{churn_preset, churn_waves_preset, multichannel_preset, run_scaled, Scale};
 use fabric_experiments::churn::run_churn;
+use fabric_experiments::churn_waves::run_churn_waves;
 use fabric_experiments::dissemination::DisseminationConfig;
 use fabric_experiments::multichannel::run_multichannel;
 
@@ -90,6 +92,40 @@ fn time_churn(scale: Scale) -> PresetRow {
             .iter()
             .map(|c| c.completeness)
             .fold(1.0f64, f64::min),
+    }
+}
+
+fn time_churn_waves(scale: Scale) -> PresetRow {
+    let cfg = churn_waves_preset(scale);
+    let start = Instant::now();
+    let result = run_churn_waves(&cfg);
+    let wall = start.elapsed().as_secs_f64();
+    // Meaningfulness guard: every join/leave must converge through the
+    // discovery protocol and every wave must hand leadership off.
+    let total = result.convergence.len().max(1);
+    let done = result
+        .convergence
+        .iter()
+        .filter(|r| r.latency().is_some())
+        .count();
+    let converged = done == total;
+    let handed_off = result.channels[1..]
+        .iter()
+        .all(|c| c.handoffs as usize == cfg.waves);
+    if !converged || !handed_off {
+        eprintln!(
+            "::warning::churn_waves preset degenerated: converged={converged} handed_off={handed_off}"
+        );
+    }
+    PresetRow {
+        name: "churn_waves",
+        wall_secs: wall,
+        events: result.events,
+        events_per_sec: result.events as f64 / wall.max(1e-9),
+        blocks: result.channels.iter().map(|c| c.blocks).sum(),
+        // Convergence completeness stands in for delivery completeness:
+        // the fraction of join/leave records that fully converged.
+        completeness: done as f64 / total as f64,
     }
 }
 
@@ -197,6 +233,7 @@ fn main() {
         ),
         time_multichannel(scale),
         time_churn(scale),
+        time_churn_waves(scale),
     ];
     for row in &presets {
         eprintln!(

@@ -6,6 +6,7 @@
 //! `EXPERIMENTS.md`.
 
 use fabric_experiments::churn::ChurnConfig;
+use fabric_experiments::churn_waves::ChurnWavesConfig;
 use fabric_experiments::dissemination::{
     run_dissemination, DisseminationConfig, DisseminationResult,
 };
@@ -73,6 +74,18 @@ pub fn churn_preset(scale: Scale) -> ChurnConfig {
         Scale::Full => ChurnConfig::standard(100, 40, 400),
         Scale::Quick => ChurnConfig::standard(40, 16, 100),
         Scale::Smoke => ChurnConfig::standard(16, 8, 20),
+    }
+}
+
+/// The churn-waves benchmark preset at this scale: C churned side
+/// channels under the gossiped discovery protocol — waves of
+/// joiners/leavers plus a flash crowd, no membership oracle (see
+/// [`ChurnWavesConfig::standard`]).
+pub fn churn_waves_preset(scale: Scale) -> ChurnWavesConfig {
+    match scale {
+        Scale::Full => ChurnWavesConfig::standard(3, 16, 300),
+        Scale::Quick => ChurnWavesConfig::standard(2, 10, 100),
+        Scale::Smoke => ChurnWavesConfig::standard(2, 6, 20),
     }
 }
 

@@ -30,7 +30,9 @@ use fabric_workload::schedule::{
 use gossip_metrics::cdf::Cdf;
 use gossip_metrics::fairness::FairnessReport;
 
-use crate::net::{Catchup, ChannelSpec, ChurnAction, ChurnEvent, FabricNet, NetParams};
+use crate::net::{
+    Catchup, ChannelSpec, ChurnAction, ChurnEvent, DiscoveryMode, FabricNet, NetParams,
+};
 
 /// Everything a churn run needs.
 #[derive(Debug, Clone)]
@@ -66,6 +68,9 @@ pub struct ChurnConfig {
     pub drain: Duration,
     /// Simulation seed.
     pub seed: u64,
+    /// How join/leave propagates: the synchronous oracle (the PR 3
+    /// baseline) or the gossiped discovery protocol.
+    pub discovery: DiscoveryMode,
 }
 
 impl ChurnConfig {
@@ -101,7 +106,25 @@ impl ChurnConfig {
             network: NetworkConfig::lan(peers + 2),
             drain: Duration::from_secs(40),
             seed: 1,
+            discovery: DiscoveryMode::Oracle,
         }
+    }
+
+    /// Switches the run to the gossiped discovery protocol, with timers
+    /// tightened toward the oracle limit: 100 ms heartbeats, 200 ms
+    /// anti-entropy, a 1 s alive timeout. As the heartbeat period tends
+    /// to zero (and with loss disabled — [`NetworkConfig::lan`] is
+    /// lossless), discovery convergence becomes negligible next to the
+    /// 2 s recovery rounds, so catch-up latency and hand-off counts must
+    /// land within tolerance of the oracle run — the oracle-equivalence
+    /// property the test suite pins.
+    pub fn with_protocol_discovery(mut self) -> Self {
+        self.discovery = DiscoveryMode::Protocol;
+        self.gossip.discovery.protocol = true;
+        self.gossip.discovery.heartbeat_interval = Duration::from_millis(100);
+        self.gossip.discovery.anti_entropy_interval = Duration::from_millis(200);
+        self.gossip.membership.alive_timeout = Duration::from_secs(1);
+        self
     }
 
     /// The side channel's id.
@@ -166,6 +189,7 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnResult {
 
     let mut params = NetParams::new(cfg.peers, cfg.gossip.clone(), cfg.orderer.clone());
     params.validation_per_tx = Duration::from_micros(300);
+    params.discovery = cfg.discovery;
     params.extra_channels = vec![ChannelSpec {
         channel: side,
         members: (0..cfg.side_members as u32).map(PeerId).collect(),
@@ -388,6 +412,68 @@ mod tests {
             assert_eq!(x.p50, y.p50);
             assert_eq!(x.p999, y.p999);
         }
+    }
+
+    /// The oracle-equivalence property: with the heartbeat period driven
+    /// toward zero and loss disabled, the discovery-driven churn run must
+    /// reproduce the oracle run's catch-up latency and hand-off counts
+    /// within tolerance — the protocol changes *how* membership news
+    /// travels, not what the pipeline does with it.
+    #[test]
+    fn protocol_discovery_matches_the_oracle_run_within_tolerance() {
+        let mut oracle_cfg = ChurnConfig::standard(24, 10, 20);
+        oracle_cfg.network = NetworkConfig::lan(26);
+        oracle_cfg.seed = 3;
+        let protocol_cfg = oracle_cfg.clone().with_protocol_discovery();
+        let oracle = run_churn(&oracle_cfg);
+        let protocol = run_churn(&protocol_cfg);
+
+        // Hand-offs and final leaders agree exactly.
+        for (o, p) in oracle.channels.iter().zip(&protocol.channels) {
+            assert_eq!(
+                o.handoffs, p.handoffs,
+                "hand-offs diverged on {}",
+                o.channel
+            );
+            assert_eq!(o.leaders, p.leaders, "leaders diverged on {}", o.channel);
+            assert_eq!(o.members, p.members);
+        }
+
+        // Catch-up latency within tolerance: discovery adds at most the
+        // announcement round trip, which the tightened timers keep far
+        // below the 2 s recovery cadence that dominates catch-up.
+        assert_eq!(oracle.catchups.len(), protocol.catchups.len());
+        for (o, p) in oracle.catchups.iter().zip(&protocol.catchups) {
+            let o_lat = o
+                .latency()
+                .expect("oracle catch-up completes")
+                .as_secs_f64();
+            let p_lat = p
+                .latency()
+                .expect("protocol catch-up completes")
+                .as_secs_f64();
+            let ratio = p_lat / o_lat.max(1e-9);
+            assert!(
+                (0.4..=2.5).contains(&ratio),
+                "catch-up latency diverged: oracle {o_lat:.3}s vs protocol {p_lat:.3}s"
+            );
+        }
+
+        // The protocol run actually exercised discovery: every join and
+        // leave converged, and a finite leader-gap window was measured.
+        let side = ChurnConfig::side_channel();
+        let records = protocol.net.convergence_on(side);
+        assert_eq!(records.len(), 2, "one join + one leave record");
+        for r in records {
+            assert!(
+                r.latency().is_some(),
+                "convergence incomplete for peer {} (join: {})",
+                r.peer,
+                r.join
+            );
+        }
+        assert_eq!(protocol.net.leader_gaps_on(side).len(), 1);
+        assert!(oracle.net.convergence_on(side).is_empty());
     }
 
     #[test]

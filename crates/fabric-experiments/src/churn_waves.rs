@@ -1,0 +1,578 @@
+//! Churn at scale under the gossiped discovery protocol: waves of joiners
+//! and leavers plus a flash crowd, with convergence measured end to end.
+//!
+//! The PR 3 `churn` scenario drives one joiner and one leaving leader
+//! through the full pipeline with membership propagated by a synchronous
+//! oracle. This scenario removes the oracle entirely
+//! ([`DiscoveryMode::Protocol`]): C side channels churn in **waves** — at
+//! every wave instant, W fresh peers join each side channel (announcing
+//! themselves through their own heartbeats) while the W most senior
+//! sitting members, the current leader included, leave (silently: the
+//! sitting members must detect each departure by alive-timeout expiry) —
+//! and one side channel additionally absorbs a **flash crowd** of F
+//! simultaneous joiners. The stable default channel carries the main
+//! payload workload throughout, so discovery traffic competes with block
+//! dissemination for the same links — the bandwidth contention Wang &
+//! Chu's bottleneck analysis of Fabric flags as first-order.
+//!
+//! Reported per run:
+//!
+//! * **join convergence** — join → every sitting member's view includes
+//!   the joiner (plus the ledger catch-up latency, as in `churn`);
+//! * **stale-view duration** — leave → the last member reaps the leaver;
+//! * **leader-gap windows** — leader leave → successor claim (by
+//!   discovery seniority, not callback);
+//! * **fairness** — per-channel Jain over member bytes *including*
+//!   discovery overhead, with the discovery byte share broken out.
+
+use desim::{Duration, NetworkConfig, Simulation, Time};
+use fabric_gossip::config::GossipConfig;
+use fabric_orderer::cutter::BatchConfig;
+use fabric_orderer::service::OrdererConfig;
+use fabric_types::ids::{ChannelId, PeerId};
+use fabric_types::transaction::EndorsementPolicy;
+use fabric_workload::schedule::{
+    merge_schedules, payload_schedule, retarget_schedule, PayloadWorkload,
+};
+use gossip_metrics::fairness::FairnessReport;
+
+use crate::net::{
+    Catchup, ChannelSpec, ChurnAction, ChurnEvent, DiscoveryMode, FabricNet, NetParams,
+    ViewConvergence,
+};
+
+/// The per-kind metric tags that count as discovery overhead.
+pub const DISCOVERY_KINDS: [&str; 3] = ["alive-msg", "membership-request", "membership-response"];
+
+/// Everything a churn-waves run needs.
+#[derive(Debug, Clone)]
+pub struct ChurnWavesConfig {
+    /// Number of churned side channels (`ChannelId(1)..=ChannelId(C)`);
+    /// the stable default channel spans the whole deployment.
+    pub side_channels: usize,
+    /// Initial members per side channel (contiguous id blocks).
+    pub side_members: usize,
+    /// Join/leave wave pairs per side channel.
+    pub waves: usize,
+    /// Joiners *and* leavers per wave per channel.
+    pub wave_size: usize,
+    /// Time between waves (must exceed the discovery convergence time or
+    /// the waves pile up).
+    pub wave_interval: Duration,
+    /// When the first wave hits.
+    pub first_wave_at: Time,
+    /// Flash-crowd size: this many peers join side channel 1 at once.
+    pub flash_crowd: usize,
+    /// When the flash crowd hits.
+    pub flash_at: Time,
+    /// Gossip configuration (must run protocol discovery; see
+    /// [`ChurnWavesConfig::standard`] for the tuned preset).
+    pub gossip: GossipConfig,
+    /// Ordering service configuration, shared by every channel's chain.
+    pub orderer: OrdererConfig,
+    /// The stable main channel's workload.
+    pub main_workload: PayloadWorkload,
+    /// Each side channel's workload.
+    pub side_workload: PayloadWorkload,
+    /// Physical network model.
+    pub network: NetworkConfig,
+    /// Drain window after the last scheduled transaction.
+    pub drain: Duration,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl ChurnWavesConfig {
+    /// The standard waves shape over `side_channels` × `side_members`
+    /// with `blocks` blocks per channel: two waves of two, a flash crowd
+    /// of three on channel 1, discovery tuned for convergence within a
+    /// wave interval (500 ms heartbeats, 700 ms anti-entropy, 3 s alive
+    /// timeout) and recovery tightened as in the `churn` preset so
+    /// catch-up completes at bench scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the wave plan would exhaust a side channel (see
+    /// [`ChurnWavesConfig::validate`]).
+    pub fn standard(side_channels: usize, side_members: usize, blocks: u64) -> Self {
+        let mut gossip = GossipConfig::enhanced_f4().with_discovery_protocol();
+        gossip.discovery.heartbeat_interval = Duration::from_millis(500);
+        gossip.discovery.anti_entropy_interval = Duration::from_millis(700);
+        gossip.membership.alive_timeout = Duration::from_secs(3);
+        gossip.recovery.interval = Duration::from_secs(2);
+        gossip.recovery.batch_max = 64;
+        let txs = (blocks * 50) as usize;
+        let span = txs as f64 / PayloadWorkload::default().rate_per_sec;
+        let waves = 2;
+        let cfg = ChurnWavesConfig {
+            side_channels,
+            side_members,
+            waves,
+            wave_size: 2,
+            wave_interval: Duration::from_secs_f64((span / (waves as f64 + 2.0)).max(8.0)),
+            first_wave_at: Time::ZERO + Duration::from_secs_f64(span / 4.0),
+            flash_crowd: 3,
+            flash_at: Time::ZERO + Duration::from_secs_f64(span * 0.75),
+            gossip,
+            orderer: OrdererConfig::kafka(BatchConfig::paper_dissemination()),
+            main_workload: PayloadWorkload::shortened(txs),
+            side_workload: PayloadWorkload::shortened(txs),
+            network: NetworkConfig::lan(0), // resized to the deployment below
+            drain: Duration::from_secs(45),
+            seed: 1,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Total peers the plan needs: the side-channel blocks, one reserved
+    /// joiner per (wave, channel, slot), and the flash crowd.
+    pub fn peers(&self) -> usize {
+        self.side_channels * self.side_members
+            + self.waves * self.side_channels * self.wave_size
+            + self.flash_crowd
+    }
+
+    /// Initial members of side channel `c` (1-based): the contiguous
+    /// block `[(c-1)·N, c·N)`.
+    fn initial_members(&self, c: usize) -> Vec<PeerId> {
+        let start = (c - 1) * self.side_members;
+        (start..start + self.side_members)
+            .map(|i| PeerId(i as u32))
+            .collect()
+    }
+
+    /// The reserved joiner for wave `w`, channel `c` (1-based), slot `j`.
+    fn wave_joiner(&self, w: usize, c: usize, j: usize) -> PeerId {
+        let base = self.side_channels * self.side_members;
+        let idx = (w * self.side_channels + (c - 1)) * self.wave_size + j;
+        PeerId((base + idx) as u32)
+    }
+
+    /// The flash-crowd joiners (the tail of the peer range).
+    fn flash_joiners(&self) -> Vec<PeerId> {
+        let base = self.peers() - self.flash_crowd;
+        (base..self.peers()).map(|i| PeerId(i as u32)).collect()
+    }
+
+    /// Checks the wave plan is feasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a side channel would lose its endorser or all members,
+    /// or when no side channel exists.
+    pub fn validate(&self) {
+        assert!(self.side_channels >= 1, "need at least one side channel");
+        assert!(
+            self.waves * self.wave_size < self.side_members,
+            "waves would drain a side channel below its endorser"
+        );
+        assert!(
+            self.side_members >= 2,
+            "side channels need a leader and an endorser"
+        );
+    }
+
+    /// The churn schedule the plan expands to: per wave and channel,
+    /// `wave_size` joins (reserved peers) and `wave_size` leaves (the
+    /// most senior sitting initial members — the current leader first;
+    /// the endorser, pinned at the block's top id, never leaves), plus
+    /// the flash crowd on channel 1.
+    pub fn churn_events(&self) -> Vec<ChurnEvent> {
+        let mut events = Vec::new();
+        for w in 0..self.waves {
+            let at = self.first_wave_at + self.wave_interval * w as u64;
+            for c in 1..=self.side_channels {
+                let channel = ChannelId(c as u16);
+                let initial = self.initial_members(c);
+                for j in 0..self.wave_size {
+                    events.push(ChurnEvent {
+                        at,
+                        peer: self.wave_joiner(w, c, j),
+                        channel,
+                        action: ChurnAction::Join,
+                    });
+                    // Leavers walk the initial block from the senior end:
+                    // wave w removes members w·W .. (w+1)·W, so every
+                    // wave beheads the sitting leader.
+                    events.push(ChurnEvent {
+                        at,
+                        peer: initial[w * self.wave_size + j],
+                        channel,
+                        action: ChurnAction::Leave,
+                    });
+                }
+            }
+        }
+        for peer in self.flash_joiners() {
+            events.push(ChurnEvent {
+                at: self.flash_at,
+                peer,
+                channel: ChannelId(1),
+                action: ChurnAction::Join,
+            });
+        }
+        events
+    }
+}
+
+/// One channel's outcome.
+#[derive(Debug, Clone)]
+pub struct WaveChannelReport {
+    /// The channel.
+    pub channel: ChannelId,
+    /// Members at end of run.
+    pub members: usize,
+    /// Blocks cut on the channel.
+    pub blocks: u64,
+    /// Leadership acquisitions (every wave beheads the leader, so the
+    /// side channels collect one per wave).
+    pub handoffs: u64,
+    /// Closed leader-gap windows, in event order.
+    pub leader_gaps: Vec<Duration>,
+    /// Peers claiming leadership at end of run.
+    pub leaders: Vec<PeerId>,
+    /// Share of the channel's gossip bytes spent on discovery
+    /// (heartbeats + anti-entropy), in `[0, 1]`.
+    pub discovery_share: f64,
+}
+
+/// What a churn-waves run produces.
+#[derive(Debug)]
+pub struct ChurnWavesResult {
+    /// Per-channel outcomes, channel order (default channel first).
+    pub channels: Vec<WaveChannelReport>,
+    /// Discovery-convergence records of every join and leave, event
+    /// order per channel.
+    pub convergence: Vec<ViewConvergence>,
+    /// Ledger catch-up records, one per join.
+    pub catchups: Vec<Catchup>,
+    /// Per-channel and overall Jain fairness over per-member gossip
+    /// bytes, discovery overhead included.
+    pub fairness: FairnessReport,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Final virtual time.
+    pub sim_end: Time,
+    /// The final protocol state, for custom inspection.
+    pub net: FabricNet,
+}
+
+impl ChurnWavesResult {
+    /// Join-convergence latencies (event order); `None` = unconverged.
+    pub fn join_convergence(&self) -> Vec<Option<Duration>> {
+        self.convergence
+            .iter()
+            .filter(|r| r.join)
+            .map(|r| r.latency())
+            .collect()
+    }
+
+    /// Stale-view durations of the leaves (event order).
+    pub fn stale_views(&self) -> Vec<Option<Duration>> {
+        self.convergence
+            .iter()
+            .filter(|r| !r.join)
+            .map(|r| r.latency())
+            .collect()
+    }
+}
+
+/// Runs one churn-waves experiment to completion.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (see [`ChurnWavesConfig::validate`]).
+pub fn run_churn_waves(cfg: &ChurnWavesConfig) -> ChurnWavesResult {
+    cfg.validate();
+    assert!(
+        cfg.gossip.discovery.protocol,
+        "churn_waves runs the discovery protocol; use ChurnWavesConfig::standard"
+    );
+    let peers = cfg.peers();
+
+    let main_sched = payload_schedule(&cfg.main_workload);
+    let mut schedules = vec![main_sched];
+    for c in 1..=cfg.side_channels {
+        schedules.push(retarget_schedule(
+            payload_schedule(&cfg.side_workload),
+            ChannelId(c as u16),
+        ));
+    }
+    let schedule = merge_schedules(schedules);
+    let last_issue = schedule.last().map(|s| s.at).unwrap_or(Time::ZERO);
+
+    let mut params = NetParams::new(peers, cfg.gossip.clone(), cfg.orderer.clone());
+    params.validation_per_tx = Duration::from_micros(300);
+    params.discovery = DiscoveryMode::Protocol;
+    params.extra_channels = (1..=cfg.side_channels)
+        .map(|c| {
+            let members = cfg.initial_members(c);
+            // The endorser sits at the top of the block: the wave plan
+            // removes members from the senior (low-id) end, so the
+            // endorser never leaves and blocks keep flowing.
+            let endorser = *members.last().expect("side channels are non-empty");
+            ChannelSpec {
+                channel: ChannelId(c as u16),
+                members,
+                orgs: 1,
+                endorsers: vec![endorser],
+                policy: EndorsementPolicy::AnyMember,
+            }
+        })
+        .collect();
+    params.churn = cfg.churn_events();
+
+    let mut network = cfg.network.clone();
+    network.nodes = FabricNet::node_count(&params);
+    let net = FabricNet::new(params, schedule);
+    let mut sim = Simulation::new(net, network, cfg.seed);
+    sim.with_ctx(|net, ctx| net.start(ctx));
+    sim.run_until(last_issue + cfg.drain);
+    let events = sim.events_processed();
+    let sim_end = sim.now();
+    let net = sim.into_protocol();
+
+    let mut channels = Vec::with_capacity(1 + cfg.side_channels);
+    let mut convergence = Vec::new();
+    let mut fairness_rows: Vec<(String, Vec<(usize, f64)>)> = Vec::new();
+    for c in 0..=cfg.side_channels {
+        let channel = ChannelId(c as u16);
+        let members = net.members_on(channel).to_vec();
+        let mut total_bytes = 0u64;
+        let mut discovery_bytes = 0u64;
+        let shares: Vec<(usize, f64)> = members
+            .iter()
+            .map(|m| {
+                let bytes = net.gossip(m.index()).stats_on(channel).map_or(0, |s| {
+                    total_bytes += s.bytes_sent();
+                    discovery_bytes += DISCOVERY_KINDS
+                        .iter()
+                        .map(|k| s.bytes_of_kind(k))
+                        .sum::<u64>();
+                    s.bytes_sent()
+                });
+                (m.index(), bytes as f64)
+            })
+            .collect();
+        channels.push(WaveChannelReport {
+            channel,
+            members: members.len(),
+            blocks: net.blocks_cut_on(channel),
+            handoffs: net.handoffs_on(channel),
+            leader_gaps: net.leader_gaps_on(channel).to_vec(),
+            leaders: net.current_leaders_on(channel),
+            discovery_share: if total_bytes == 0 {
+                0.0
+            } else {
+                discovery_bytes as f64 / total_bytes as f64
+            },
+        });
+        convergence.extend(net.convergence_on(channel).iter().cloned());
+        fairness_rows.push((channel.to_string(), shares));
+    }
+    let fairness = FairnessReport::from_per_channel(&fairness_rows);
+    ChurnWavesResult {
+        channels,
+        convergence,
+        catchups: net.catchups().to_vec(),
+        fairness,
+        events,
+        sim_end,
+        net,
+    }
+}
+
+/// Plain-text rendering of a churn-waves run, preset-report style.
+pub fn render_churn_waves(title: &str, result: &ChurnWavesResult) -> String {
+    let mut out = format!("== {title} ==\n");
+    for c in &result.channels {
+        let gaps: Vec<String> = c.leader_gaps.iter().map(|g| g.to_string()).collect();
+        out.push_str(&format!(
+            "{} {:>3} members | {:>4} blocks | handoffs {} | leaders {:?} | \
+             discovery share {:.3} | gaps [{}]\n",
+            c.channel,
+            c.members,
+            c.blocks,
+            c.handoffs,
+            c.leaders,
+            c.discovery_share,
+            gaps.join(", "),
+        ));
+    }
+    for r in &result.convergence {
+        let kind = if r.join { "join" } else { "leave" };
+        match r.latency() {
+            Some(lat) => out.push_str(&format!(
+                "{kind} {} on {} at {} | converged in {lat} ({} observers)\n",
+                r.peer,
+                r.channel,
+                r.at,
+                r.expected.len(),
+            )),
+            None => out.push_str(&format!(
+                "{kind} {} on {} at {} | NOT CONVERGED ({:.2} of {} observers)\n",
+                r.peer,
+                r.channel,
+                r.at,
+                r.fraction_at(result.sim_end),
+                r.expected.len(),
+            )),
+        }
+    }
+    for cu in &result.catchups {
+        match cu.latency() {
+            Some(lat) => out.push_str(&format!(
+                "{} caught up on {} (head {}) in {lat}\n",
+                cu.peer, cu.channel, cu.target,
+            )),
+            None => out.push_str(&format!(
+                "{} on {} (head {}) STILL CATCHING UP\n",
+                cu.peer, cu.channel, cu.target,
+            )),
+        }
+    }
+    out.push_str(&result.fairness.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(seed: u64) -> ChurnWavesResult {
+        let mut cfg = ChurnWavesConfig::standard(2, 8, 20);
+        cfg.seed = seed;
+        run_churn_waves(&cfg)
+    }
+
+    #[test]
+    fn plan_reserves_distinct_joiners_and_never_drains_a_channel() {
+        let cfg = ChurnWavesConfig::standard(2, 8, 20);
+        assert_eq!(cfg.peers(), 2 * 8 + 2 * 2 * 2 + 3);
+        let events = cfg.churn_events();
+        let mut joiners: Vec<PeerId> = events
+            .iter()
+            .filter(|e| e.action == ChurnAction::Join)
+            .map(|e| e.peer)
+            .collect();
+        let unique = {
+            let mut u = joiners.clone();
+            u.sort_unstable();
+            u.dedup();
+            u.len()
+        };
+        assert_eq!(unique, joiners.len(), "every joiner is a fresh peer");
+        joiners.sort_unstable();
+        // Joins and leaves balance per wave; the flash crowd is extra.
+        let leaves = events
+            .iter()
+            .filter(|e| e.action == ChurnAction::Leave)
+            .count();
+        assert_eq!(joiners.len(), leaves + cfg.flash_crowd);
+    }
+
+    #[test]
+    fn every_join_and_leave_converges_with_finite_latency() {
+        let res = quick(2);
+        assert!(!res.convergence.is_empty());
+        for r in &res.convergence {
+            assert!(
+                r.latency().is_some(),
+                "unconverged {} of {} on {} (saw {:.2})",
+                if r.join { "join" } else { "leave" },
+                r.peer,
+                r.channel,
+                r.fraction_at(res.sim_end)
+            );
+        }
+        // Joins converge within a couple of heartbeat/anti-entropy rounds;
+        // leaves take at least the alive timeout (silence detection).
+        let timeout = Duration::from_secs(3);
+        for lat in res.stale_views().into_iter().flatten() {
+            assert!(
+                lat >= timeout,
+                "a leave cannot be detected before the alive timeout: {lat}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_wave_beheads_the_leader_and_a_successor_stands_up() {
+        let res = quick(3);
+        for c in &res.channels[1..] {
+            assert_eq!(c.handoffs, 2, "one hand-off per wave on {}", c.channel);
+            assert_eq!(c.leader_gaps.len(), 2);
+            for gap in &c.leader_gaps {
+                assert!(
+                    *gap >= Duration::from_secs(3),
+                    "a silent leader cannot be succeeded before the alive timeout: {gap}"
+                );
+                assert!(
+                    *gap < Duration::from_secs(10),
+                    "leader gap must close promptly after expiry: {gap}"
+                );
+            }
+            assert_eq!(c.leaders.len(), 1, "exactly one leader on {}", c.channel);
+        }
+        // The stable main channel never elects.
+        assert_eq!(res.channels[0].handoffs, 0);
+        assert!(res.channels[0].leader_gaps.is_empty());
+    }
+
+    #[test]
+    fn flash_crowd_catches_up_and_discovery_bytes_are_counted() {
+        let res = quick(5);
+        let flash: Vec<&Catchup> = res
+            .catchups
+            .iter()
+            .filter(|c| c.channel == ChannelId(1))
+            .collect();
+        assert!(flash.len() >= 3, "flash crowd recorded");
+        for cu in &res.catchups {
+            assert!(
+                cu.latency().is_some(),
+                "catch-up incomplete for {} on {}",
+                cu.peer,
+                cu.channel
+            );
+        }
+        // Discovery overhead is visible in the byte economy but does not
+        // drown dissemination.
+        for c in &res.channels {
+            assert!(
+                c.discovery_share > 0.0,
+                "no discovery bytes on {}",
+                c.channel
+            );
+            assert!(
+                c.discovery_share < 0.9,
+                "discovery swamped {}: {}",
+                c.channel,
+                c.discovery_share
+            );
+        }
+        assert_eq!(res.fairness.channels.len(), res.channels.len());
+        assert!(res.fairness.overall_jain > 0.2);
+    }
+
+    #[test]
+    fn waves_are_deterministic_in_the_seed() {
+        let a = quick(7);
+        let b = quick(7);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.join_convergence(), b.join_convergence());
+        assert_eq!(a.stale_views(), b.stale_views());
+        assert_eq!(a.fairness.overall_jain, b.fairness.overall_jain);
+    }
+
+    #[test]
+    fn render_reports_convergence_gaps_and_fairness() {
+        let res = quick(1);
+        let text = render_churn_waves("waves", &res);
+        assert!(text.contains("discovery share"));
+        assert!(text.contains("converged in"));
+        assert!(text.contains("caught up"));
+        assert!(text.contains("jain"));
+    }
+}

@@ -17,6 +17,10 @@
 //! * [`churn`] — beyond the paper: runtime channel membership over the
 //!   full pipeline — late joiners catching up via StateInfo + recovery
 //!   (catch-up latency) and a departing leader forcing a hand-off;
+//! * [`churn_waves`] — churn at scale under the gossiped **discovery
+//!   protocol** (no membership oracle): waves of joiners/leavers and a
+//!   flash crowd, reporting discovery convergence, stale-view windows,
+//!   leader gaps and fairness including discovery overhead;
 //! * [`report`] — paper-style text rendering of every figure and table.
 //!
 //! ```no_run
@@ -29,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod churn;
+pub mod churn_waves;
 pub mod conflicts;
 pub mod dissemination;
 pub mod multichannel;
@@ -37,10 +42,14 @@ pub mod parallel;
 pub mod report;
 
 pub use churn::{run_churn, ChurnConfig, ChurnResult};
+pub use churn_waves::{run_churn_waves, ChurnWavesConfig, ChurnWavesResult};
 pub use conflicts::{run_conflicts, run_table2, ConflictConfig, ConflictResult, Table2Row};
 pub use dissemination::{run_dissemination, DisseminationConfig, DisseminationResult};
 pub use multichannel::{
     run_multichannel, ChannelPlan, MultiChannelConfig, MultiChannelNet, MultiChannelResult,
 };
-pub use net::{ChannelSpec, ChurnAction, ChurnEvent, FabricNet, NetMsg, NetParams, NetTimer};
+pub use net::{
+    ChannelSpec, ChurnAction, ChurnEvent, DiscoveryMode, FabricNet, NetMsg, NetParams, NetTimer,
+    ViewConvergence,
+};
 pub use parallel::{run_conflicts_batch, run_dissemination_batch, run_seed_sweep};

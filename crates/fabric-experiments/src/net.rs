@@ -164,6 +164,26 @@ pub struct ChannelSpec {
     pub policy: EndorsementPolicy,
 }
 
+/// How runtime membership changes propagate through the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiscoveryMode {
+    /// The synchronous oracle of the pre-discovery pipeline: a churn event
+    /// invokes `on_peer_joined` / `on_peer_left` on every sitting member
+    /// instantly. Kept as an escape hatch (and as the baseline the
+    /// oracle-equivalence test compares against).
+    #[default]
+    Oracle,
+    /// The gossiped discovery protocol: a joiner announces itself through
+    /// its `AliveMsg` heartbeats, a leaver just goes silent, and every
+    /// sitting member converges through heartbeats, anti-entropy and
+    /// expiry — no oracle callbacks anywhere. Requires
+    /// [`fabric_gossip::config::DiscoveryConfig::protocol`] in the gossip
+    /// configuration; discovery traffic is counted in
+    /// [`fabric_gossip::peer::PeerStats`] (and therefore fairness) like
+    /// any other message kind.
+    Protocol,
+}
+
 /// What a churn event does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChurnAction {
@@ -216,6 +236,69 @@ impl Catchup {
     }
 }
 
+/// Discovery-convergence record of one protocol-mode churn event: how the
+/// news of a join (or leave) spread through the sitting members' views.
+///
+/// For a **join**, an observation is the instant a member's discovery
+/// engine admitted the joiner (the `discovery_event(..., joined = true)`
+/// hook). For a **leave**, it is the instant a member reaped the leaver
+/// (`joined = false`) — so the full-convergence latency of a leave *is*
+/// the stale-view duration: how long some member still believed the
+/// departed peer alive.
+#[derive(Debug, Clone)]
+pub struct ViewConvergence {
+    /// The peer that joined or left.
+    pub peer: PeerId,
+    /// The channel affected.
+    pub channel: ChannelId,
+    /// When the churn event happened.
+    pub at: Time,
+    /// `true` for a join, `false` for a leave.
+    pub join: bool,
+    /// Sitting members that must observe the change. Pruned when an
+    /// expected observer itself leaves before observing.
+    pub expected: Vec<PeerId>,
+    /// First observation instant per member.
+    pub observed: Vec<(PeerId, Time)>,
+}
+
+impl ViewConvergence {
+    /// Whether every expected member has observed the change.
+    pub fn complete(&self) -> bool {
+        self.expected
+            .iter()
+            .all(|m| self.observed.iter().any(|(p, _)| p == m))
+    }
+
+    /// Event → last expected observation (full convergence; the
+    /// stale-view duration for a leave). `None` while incomplete.
+    pub fn latency(&self) -> Option<Duration> {
+        if !self.complete() {
+            return None;
+        }
+        self.observed
+            .iter()
+            .filter(|(p, _)| self.expected.contains(p))
+            .map(|(_, t)| *t)
+            .max()
+            .map(|t| t.since(self.at))
+            .or(Some(Duration::ZERO)) // nobody to convince: instant
+    }
+
+    /// Fraction of expected members whose view includes the change at `t`.
+    pub fn fraction_at(&self, t: Time) -> f64 {
+        if self.expected.is_empty() {
+            return 1.0;
+        }
+        let seen = self
+            .expected
+            .iter()
+            .filter(|m| self.observed.iter().any(|(p, obs)| p == *m && *obs <= t))
+            .count();
+        seen as f64 / self.expected.len() as f64
+    }
+}
+
 /// Static parameters of the simulated deployment.
 #[derive(Debug, Clone)]
 pub struct NetParams {
@@ -249,6 +332,9 @@ pub struct NetParams {
     /// Runtime membership changes, any order (each is armed as its own
     /// timer).
     pub churn: Vec<ChurnEvent>,
+    /// How churn propagates: the synchronous oracle (default, the PR 3
+    /// pipeline) or the gossiped discovery protocol.
+    pub discovery: DiscoveryMode,
 }
 
 impl NetParams {
@@ -267,6 +353,7 @@ impl NetParams {
             policy: EndorsementPolicy::AnyMember,
             extra_channels: Vec::new(),
             churn: Vec::new(),
+            discovery: DiscoveryMode::Oracle,
         }
     }
 
@@ -304,6 +391,13 @@ struct ChannelRuntime {
     /// Leadership acquisitions observed on this channel (initial election
     /// plus every hand-off).
     handoffs: u64,
+    /// Discovery-convergence records of protocol-mode churn events.
+    convergence: Vec<ViewConvergence>,
+    /// Instant a leader-leave opened a leadership gap, until the next
+    /// acquisition closes it.
+    gap_open: Option<Time>,
+    /// Closed leadership-gap windows (leader leave → successor claim).
+    leader_gaps: Vec<Duration>,
 }
 
 struct PeerNode {
@@ -446,6 +540,13 @@ impl FabricNet {
             );
         }
 
+        assert_eq!(
+            params.discovery == DiscoveryMode::Protocol,
+            params.gossip.discovery.protocol,
+            "discovery mode and gossip config must agree: DiscoveryMode::Protocol requires \
+             gossip.discovery.protocol (and vice versa)"
+        );
+
         // MSP identities follow the default channel's organization split,
         // as in the historical single-channel deployment.
         let mut msp = Msp::new();
@@ -489,6 +590,9 @@ impl FabricNet {
                     org_of,
                     latency,
                     handoffs: 0,
+                    convergence: Vec::new(),
+                    gap_open: None,
+                    leader_gaps: Vec::new(),
                     spec,
                 }
             })
@@ -622,6 +726,23 @@ impl FabricNet {
     /// Catch-up records of every runtime join so far, in event order.
     pub fn catchups(&self) -> &[Catchup] {
         &self.catchups
+    }
+
+    /// Discovery-convergence records of `channel`'s protocol-mode churn
+    /// events, in event order (empty under [`DiscoveryMode::Oracle`]).
+    pub fn convergence_on(&self, channel: ChannelId) -> &[ViewConvergence] {
+        &self.channels[channel.index()].convergence
+    }
+
+    /// Closed leadership-gap windows of `channel` (leader leave →
+    /// successor claim), in event order.
+    pub fn leader_gaps_on(&self, channel: ChannelId) -> &[Duration] {
+        &self.channels[channel.index()].leader_gaps
+    }
+
+    /// Whether `channel` currently has an unclosed leadership gap.
+    pub fn leader_gap_open_on(&self, channel: ChannelId) -> bool {
+        self.channels[channel.index()].gap_open.is_some()
     }
 
     /// The gossip state of peer `i`.
@@ -770,10 +891,19 @@ impl FabricNet {
 
     /// Applies churn event `index`: runtime join (with catch-up tracking)
     /// or leave (with roster removal and forced re-election).
+    ///
+    /// In [`DiscoveryMode::Oracle`] the event is broadcast synchronously
+    /// (`on_peer_joined` / `on_peer_left` on every sitting member). In
+    /// [`DiscoveryMode::Protocol`] **only the churning peer acts** — a
+    /// joiner joins live and lets its discovery engine announce it, a
+    /// leaver just drops its instance and goes silent — and a
+    /// [`ViewConvergence`] record starts tracking how the news spreads
+    /// through the sitting members' views.
     fn apply_churn(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>, index: usize) {
         let ev = self.params.churn[index].clone();
         let now = ctx.now();
         let validation = self.params.validation_per_tx;
+        let protocol = self.params.discovery == DiscoveryMode::Protocol;
         let c = ev.channel.index();
         match ev.action {
             ChurnAction::Join => {
@@ -800,30 +930,43 @@ impl FabricNet {
                         channels: &mut self.channels,
                         validation_per_tx: validation,
                     };
-                    gossip.join_channel_live(&mut fx, ev.channel, roster);
+                    gossip.join_channel_live(&mut fx, ev.channel, roster.clone());
                 }
                 self.channels[c].members.push(ev.peer);
-                // Discovery propagates the join to every sitting member.
-                let members = self.channels[c].members.clone();
-                for m in members {
-                    if m == ev.peer {
-                        continue;
+                if protocol {
+                    // Nobody else is told: the join propagates through the
+                    // joiner's announcement heartbeats and anti-entropy.
+                    self.channels[c].convergence.push(ViewConvergence {
+                        peer: ev.peer,
+                        channel: ev.channel,
+                        at: now,
+                        join: true,
+                        expected: roster,
+                        observed: Vec::new(),
+                    });
+                } else {
+                    // Oracle: every sitting member learns instantly.
+                    let members = self.channels[c].members.clone();
+                    for m in members {
+                        if m == ev.peer {
+                            continue;
+                        }
+                        let PeerNode {
+                            gossip,
+                            pending_commits,
+                            validation_free,
+                            ..
+                        } = &mut self.peers[m.index()];
+                        let mut fx = SimFx {
+                            ctx,
+                            me: NodeId(m.0),
+                            pending_commits,
+                            validation_free,
+                            channels: &mut self.channels,
+                            validation_per_tx: validation,
+                        };
+                        gossip.on_peer_joined(&mut fx, ev.channel, ev.peer);
                     }
-                    let PeerNode {
-                        gossip,
-                        pending_commits,
-                        validation_free,
-                        ..
-                    } = &mut self.peers[m.index()];
-                    let mut fx = SimFx {
-                        ctx,
-                        me: NodeId(m.0),
-                        pending_commits,
-                        validation_free,
-                        channels: &mut self.channels,
-                        validation_per_tx: validation,
-                    };
-                    gossip.on_peer_joined(&mut fx, ev.channel, ev.peer);
                 }
                 let target = self.orderer.chain_head_on(ev.channel);
                 self.catchups.push(Catchup {
@@ -838,25 +981,50 @@ impl FabricNet {
                 let Some(pos) = self.channels[c].members.iter().position(|m| *m == ev.peer) else {
                     return; // not a member — stale or duplicate event
                 };
+                let led = self.peers[ev.peer.index()].gossip.is_leader_on(ev.channel);
                 self.channels[c].members.remove(pos);
                 self.peers[ev.peer.index()].gossip.leave_channel(ev.channel);
-                let members = self.channels[c].members.clone();
-                for m in members {
-                    let PeerNode {
-                        gossip,
-                        pending_commits,
-                        validation_free,
-                        ..
-                    } = &mut self.peers[m.index()];
-                    let mut fx = SimFx {
-                        ctx,
-                        me: NodeId(m.0),
-                        pending_commits,
-                        validation_free,
-                        channels: &mut self.channels,
-                        validation_per_tx: validation,
-                    };
-                    gossip.on_peer_left(&mut fx, ev.channel, ev.peer);
+                if led && self.channels[c].gap_open.is_none() {
+                    // A leadership gap opens the instant the leader leaves
+                    // and closes when any successor claims (instantly
+                    // under the oracle, by expiry under the protocol).
+                    self.channels[c].gap_open = Some(now);
+                }
+                if protocol {
+                    // The leaver goes silent; the sitting members must
+                    // detect the departure by alive-timeout expiry. A
+                    // member that leaves before observing is excused.
+                    let remaining = self.channels[c].members.clone();
+                    for record in &mut self.channels[c].convergence {
+                        record.expected.retain(|p| *p != ev.peer);
+                    }
+                    self.channels[c].convergence.push(ViewConvergence {
+                        peer: ev.peer,
+                        channel: ev.channel,
+                        at: now,
+                        join: false,
+                        expected: remaining,
+                        observed: Vec::new(),
+                    });
+                } else {
+                    let members = self.channels[c].members.clone();
+                    for m in members {
+                        let PeerNode {
+                            gossip,
+                            pending_commits,
+                            validation_free,
+                            ..
+                        } = &mut self.peers[m.index()];
+                        let mut fx = SimFx {
+                            ctx,
+                            me: NodeId(m.0),
+                            pending_commits,
+                            validation_free,
+                            channels: &mut self.channels,
+                            validation_per_tx: validation,
+                        };
+                        gossip.on_peer_left(&mut fx, ev.channel, ev.peer);
+                    }
                 }
             }
         }
@@ -1259,7 +1427,27 @@ impl Effects for SimFx<'_, '_> {
 
     fn leadership_changed(&mut self, channel: ChannelId, is_leader: bool) {
         if is_leader {
-            self.channels[channel.index()].handoffs += 1;
+            let rt = &mut self.channels[channel.index()];
+            rt.handoffs += 1;
+            if let Some(opened) = rt.gap_open.take() {
+                rt.leader_gaps.push(self.ctx.now().since(opened));
+            }
+        }
+    }
+
+    fn discovery_event(&mut self, channel: ChannelId, peer: PeerId, joined: bool) {
+        // This member's view just admitted (or reaped) `peer`: complete
+        // the oldest matching convergence record that still waits on us.
+        let me = PeerId(self.me.0);
+        let now = self.ctx.now();
+        let rt = &mut self.channels[channel.index()];
+        if let Some(record) = rt.convergence.iter_mut().find(|r| {
+            r.peer == peer
+                && r.join == joined
+                && r.expected.contains(&me)
+                && !r.observed.iter().any(|(p, _)| *p == me)
+        }) {
+            record.observed.push((me, now));
         }
     }
 }

@@ -5,6 +5,13 @@
 //! byte of any metric: same seed ⇒ identical latency CDFs, bandwidth
 //! series, per-kind byte counts and per-peer duplicate accounting, whether
 //! cells run serially or fanned out across cores.
+//!
+//! The discovery **golden trace** at the bottom goes further: a fixed-seed
+//! two-channel protocol-discovery churn run is pinned to exact event
+//! counts and discovery-byte totals, so any future engine change that
+//! perturbs discovery traffic — an extra heartbeat, a differently-sized
+//! digest, a reordered RNG draw — fails loudly instead of sliding into
+//! the baseline.
 
 use desim::{Duration, NetworkConfig, Simulation};
 use fabric_experiments::dissemination::{run_dissemination, DisseminationConfig};
@@ -158,6 +165,62 @@ fn duplicate_block_accounting_is_unchanged_across_runs() {
         assert_eq!(sa.digests_received, sb.digests_received);
         assert_eq!(sa.first_seen, sb.first_seen);
     }
+}
+
+/// The discovery golden trace: exact numbers from the fixed-seed
+/// two-channel protocol-discovery churn run (16 peers, side channel of 8,
+/// one runtime joiner, the side leader leaving, seed 42).
+///
+/// If this test fails after an intentional protocol change, re-derive the
+/// constants from the new run and update them **in the same commit** as
+/// the change — the point is that discovery traffic never shifts
+/// silently.
+#[test]
+fn discovery_golden_trace_pins_events_and_byte_totals() {
+    use fabric_experiments::churn::{run_churn, ChurnConfig};
+    use fabric_types::ids::ChannelId;
+
+    let mut cfg = ChurnConfig::standard(16, 8, 20).with_protocol_discovery();
+    cfg.network = NetworkConfig::lan(18);
+    cfg.seed = 42;
+    let res = run_churn(&cfg);
+
+    assert_eq!(res.events, 137_405, "simulation event count shifted");
+
+    let discovery_bytes = |ch: ChannelId| -> (u64, u64, u64) {
+        let mut alive = 0;
+        let mut req = 0;
+        let mut resp = 0;
+        for i in 0..16 {
+            if let Some(s) = res.net.gossip(i).stats_on(ch) {
+                alive += s.bytes_of_kind("alive-msg");
+                req += s.bytes_of_kind("membership-request");
+                resp += s.bytes_of_kind("membership-response");
+            }
+        }
+        (alive, req, resp)
+    };
+    // Main channel: all 16 peers heartbeat and anti-entropy for the whole
+    // run; request and response totals match exactly (every request is
+    // answered, and both carry the same full-view payload on a channel
+    // with no churn).
+    assert_eq!(
+        discovery_bytes(ChannelId(0)),
+        (7_443_440, 2_283_576, 2_283_576)
+    );
+    // Side channel: fewer members, and tombstone probes to the departed
+    // leader go unanswered — responses total less than requests.
+    assert_eq!(
+        discovery_bytes(ChannelId(1)),
+        (3_656_648, 1_118_976, 651_912)
+    );
+
+    // The trace stays meaningful: both chains advanced and the leader
+    // leave handed off exactly once.
+    assert_eq!(res.channels[0].blocks, 21);
+    assert_eq!(res.channels[1].blocks, 21);
+    assert_eq!(res.channels[0].handoffs, 0);
+    assert_eq!(res.channels[1].handoffs, 1);
 }
 
 #[test]

@@ -17,6 +17,7 @@ use fabric_types::block::BlockRef;
 use fabric_types::ids::{ChannelId, PeerId};
 
 use crate::config::GossipConfig;
+use crate::discovery::{DiscoveryDelta, DiscoveryEngine};
 use crate::effects::Effects;
 use crate::leadership::LeadershipEngine;
 use crate::membership::Membership;
@@ -206,6 +207,7 @@ pub struct ChannelState {
     push: PushEngine,
     pull: PullEngine,
     leadership: LeadershipEngine,
+    discovery: DiscoveryEngine,
 }
 
 impl ChannelState {
@@ -218,7 +220,14 @@ impl ChannelState {
             push: PushEngine::default(),
             pull: PullEngine::default(),
             leadership: LeadershipEngine::new(is_leader),
+            discovery: DiscoveryEngine::default(),
         }
+    }
+
+    /// The discovery engine's state (claims, obituaries, incarnation) —
+    /// read-only, for tests and embeddings that inspect convergence.
+    pub fn discovery(&self) -> &DiscoveryEngine {
+        &self.discovery
     }
 
     /// The shared core (membership views, store, counters).
@@ -251,8 +260,16 @@ impl ChannelState {
         let si_phase = random_phase(fx, self.core.cfg.recovery.state_info_interval);
         self.core
             .schedule(fx, si_phase, GossipTimer::StateInfoRound);
-        let alive_phase = random_phase(fx, self.core.cfg.membership.alive_interval);
-        self.core.schedule(fx, alive_phase, GossipTimer::AliveRound);
+        if self.core.cfg.discovery.protocol {
+            // Protocol discovery subsumes the legacy alive traffic: its
+            // heartbeats both announce this peer (a runtime joiner's join
+            // propagates through them, not through an oracle) and keep
+            // liveness fresh.
+            self.discovery.init(&mut self.core, fx);
+        } else {
+            let alive_phase = random_phase(fx, self.core.cfg.membership.alive_interval);
+            self.core.schedule(fx, alive_phase, GossipTimer::AliveRound);
+        }
         if self.core.cfg.election.dynamic {
             let tick = random_phase(fx, self.core.cfg.election.heartbeat_interval);
             self.core.schedule(fx, tick, GossipTimer::ElectionTick);
@@ -266,6 +283,7 @@ impl ChannelState {
         self.push.clear_volatile();
         self.pull.clear_volatile();
         self.leadership.clear_volatile();
+        self.discovery.clear_volatile();
     }
 
     /// Entry point for a block delivered by the ordering service (the
@@ -317,6 +335,22 @@ impl ChannelState {
                 }
             }
             GossipMsg::Alive => {} // mark_alive above is the whole effect
+            GossipMsg::AliveMsg(claim) => {
+                let delta = self.discovery.on_alive(&mut self.core, fx, claim);
+                self.apply_discovery(fx, delta);
+            }
+            GossipMsg::MembershipRequest { entries, dead } => {
+                let delta =
+                    self.discovery
+                        .on_membership_request(&mut self.core, fx, from, entries, dead);
+                self.apply_discovery(fx, delta);
+            }
+            GossipMsg::MembershipResponse { entries, dead } => {
+                let delta =
+                    self.discovery
+                        .on_membership_response(&mut self.core, fx, entries, dead);
+                self.apply_discovery(fx, delta);
+            }
             GossipMsg::LeaderHeartbeat { leader } => {
                 self.leadership
                     .on_leader_heartbeat(&mut self.core, fx, leader, now)
@@ -336,6 +370,13 @@ impl ChannelState {
             GossipTimer::RecoveryRound => self.leadership.on_recovery_round(&mut self.core, fx),
             GossipTimer::StateInfoRound => self.leadership.on_state_info_round(&mut self.core, fx),
             GossipTimer::AliveRound => self.on_alive_round(fx),
+            GossipTimer::DiscoveryRound => {
+                let delta = self.discovery.on_round(&mut self.core, fx);
+                self.apply_discovery(fx, delta);
+            }
+            GossipTimer::AntiEntropyRound => {
+                self.discovery.on_anti_entropy_round(&mut self.core, fx)
+            }
             GossipTimer::ElectionTick => self.leadership.on_election_tick(&mut self.core, fx),
             GossipTimer::FetchRetry { block_num, attempt } => {
                 self.push
@@ -377,6 +418,60 @@ impl ChannelState {
         self.core.membership.remove_peer(peer);
         self.core.channel_view.remove_peer(peer);
         self.leadership.on_peer_left(&mut self.core, fx, peer);
+    }
+
+    /// Applies the membership consequences of one discovery step:
+    /// discovered joins and reaps run through the same local machinery the
+    /// oracle path uses ([`ChannelState::on_peer_joined`] /
+    /// [`ChannelState::on_peer_left`]) — membership changes are now a
+    /// *consequence of received gossip*, and each one is reported through
+    /// [`Effects::discovery_event`] so the embedding can measure
+    /// convergence.
+    ///
+    /// A refuted self-obituary additionally demotes this peer to roster
+    /// juniority (matching where every other peer re-seats a resurrected
+    /// member) and, under static election, drops any leadership claim —
+    /// the seat was reassigned while this peer was presumed dead.
+    fn apply_discovery(&mut self, fx: &mut dyn Effects, delta: DiscoveryDelta) {
+        if delta.self_deposed {
+            let me = self.core.self_id;
+            self.core.roster.retain(|p| *p != me);
+            self.core.roster.push(me);
+            self.leadership.on_self_deposed(&mut self.core, fx);
+        }
+        for peer in delta.joined {
+            self.on_peer_joined(fx, peer);
+            fx.discovery_event(self.core.channel, peer, true);
+        }
+        for peer in delta.renewed {
+            // A rejoin this view never saw as a leave: membership is
+            // already correct, but both halves must reach the embedding
+            // (leave observed, then join observed) or its convergence
+            // accounting dangles forever.
+            fx.discovery_event(self.core.channel, peer, false);
+            fx.discovery_event(self.core.channel, peer, true);
+        }
+        for peer in &delta.left {
+            let peer = *peer;
+            if peer == self.core.self_id {
+                continue;
+            }
+            // The membership half of `on_peer_left`, but NOT its
+            // roster-order promotion: reaps arrive in different orders on
+            // different peers, so protocol-mode static election follows
+            // discovery seniority instead (below).
+            self.core.roster.retain(|p| *p != peer);
+            self.core.membership.remove_peer(peer);
+            self.core.channel_view.remove_peer(peer);
+            self.leadership.forget_peer(peer);
+            fx.discovery_event(self.core.channel, peer, false);
+        }
+        // Re-enforce `is_leader == most-senior-in-view` on every discovery
+        // step: eventually-consistent views then drive leadership to
+        // exactly one claimant (reaped leaders are succeeded, stale
+        // claimants step down).
+        let senior = self.discovery.self_is_most_senior(&self.core);
+        self.leadership.set_static_claim(&mut self.core, fx, senior);
     }
 
     /// Membership heartbeats: the background "alive" traffic that keeps the

@@ -108,6 +108,43 @@ impl Default for MembershipConfig {
     }
 }
 
+/// Gossiped-discovery parameters (the membership *protocol* that replaces
+/// the embedding's synchronous join/leave oracle).
+///
+/// When `protocol` is `false` (the default), membership changes reach a
+/// peer only through the embedding's oracle callbacks
+/// ([`crate::peer::GossipPeer::on_peer_joined`] /
+/// [`crate::peer::GossipPeer::on_peer_left`]) and the channel keeps the
+/// legacy payload-less `Alive` heartbeat. When `true`, the channel runs
+/// the [`crate::discovery::DiscoveryEngine`]: periodic
+/// [`crate::messages::GossipMsg::AliveMsg`] heartbeats carrying a
+/// monotonic `(incarnation, seq)` pair, push–pull
+/// `MembershipRequest`/`MembershipResponse` anti-entropy, expiry of
+/// silent peers via [`crate::membership::Membership::believes_alive`],
+/// and reaping — joins and leaves then become *local consequences of
+/// received gossip*.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiscoveryConfig {
+    /// Run discovery as a gossip protocol instead of relying on oracle
+    /// callbacks.
+    pub protocol: bool,
+    /// Heartbeat ([`crate::messages::GossipMsg::AliveMsg`]) period. Also
+    /// the cadence of the expiry/reap sweep.
+    pub heartbeat_interval: Duration,
+    /// Anti-entropy (membership digest exchange) period.
+    pub anti_entropy_interval: Duration,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            protocol: false,
+            heartbeat_interval: Duration::from_secs(5),
+            anti_entropy_interval: Duration::from_secs(4),
+        }
+    }
+}
+
 /// Leader election parameters.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ElectionConfig {
@@ -165,6 +202,9 @@ pub struct GossipConfig {
     pub recovery: RecoveryConfig,
     /// Membership heartbeats.
     pub membership: MembershipConfig,
+    /// Gossiped discovery (off by default: the embedding's oracle drives
+    /// membership, as in every pre-discovery deployment).
+    pub discovery: DiscoveryConfig,
     /// Leader election.
     pub election: ElectionConfig,
     /// Push-digest fetch retries.
@@ -185,6 +225,7 @@ impl GossipConfig {
             pull: Some(PullConfig::default()),
             recovery: RecoveryConfig::default(),
             membership: MembershipConfig::default(),
+            discovery: DiscoveryConfig::default(),
             election: ElectionConfig::default(),
             fetch: FetchConfig::default(),
         }
@@ -217,9 +258,18 @@ impl GossipConfig {
             pull: None,
             recovery: RecoveryConfig::default(),
             membership: MembershipConfig::default(),
+            discovery: DiscoveryConfig::default(),
             election: ElectionConfig::default(),
             fetch: FetchConfig::default(),
         }
+    }
+
+    /// Flips discovery into protocol mode (see [`DiscoveryConfig`]):
+    /// membership is then maintained by gossiped heartbeats and
+    /// anti-entropy instead of oracle callbacks.
+    pub fn with_discovery_protocol(mut self) -> Self {
+        self.discovery.protocol = true;
+        self
     }
 
     /// Figure 10's ablation: enhanced protocol but the leader keeps the
@@ -301,6 +351,12 @@ impl GossipConfig {
         if self.membership.alive_interval.is_zero() {
             return Err("alive interval must be positive".into());
         }
+        if self.discovery.heartbeat_interval.is_zero() {
+            return Err("discovery heartbeat interval must be positive".into());
+        }
+        if self.discovery.anti_entropy_interval.is_zero() {
+            return Err("discovery anti-entropy interval must be positive".into());
+        }
         if self.fetch.max_attempts == 0 {
             return Err("fetch max_attempts must be positive".into());
         }
@@ -372,6 +428,22 @@ mod tests {
         let mut c = GossipConfig::original_fabric();
         c.recovery.batch_max = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn discovery_defaults_to_oracle_mode_and_validates() {
+        let cfg = GossipConfig::enhanced_f4();
+        assert!(!cfg.discovery.protocol, "oracle mode is the default");
+        let proto = GossipConfig::enhanced_f4().with_discovery_protocol();
+        assert!(proto.discovery.protocol);
+        assert!(proto.validate().is_ok());
+
+        let mut bad = GossipConfig::enhanced_f4();
+        bad.discovery.heartbeat_interval = Duration::ZERO;
+        assert!(bad.validate().is_err());
+        let mut bad = GossipConfig::enhanced_f4();
+        bad.discovery.anti_entropy_interval = Duration::ZERO;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

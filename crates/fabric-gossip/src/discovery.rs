@@ -1,0 +1,709 @@
+//! Gossiped discovery: the membership protocol that replaces the
+//! embedding's synchronous join/leave oracle.
+//!
+//! Fabric peers do not learn channel membership from an omniscient
+//! coordinator; they learn it from each other. Each peer periodically
+//! gossips an [`GossipMsg::AliveMsg`] heartbeat carrying its own
+//! [`PeerAlive`] claim — a `(incarnation, seq)` pair that is strictly
+//! monotonic across that peer's lives — and periodically push–pulls its
+//! whole alive view with one random peer
+//! ([`GossipMsg::MembershipRequest`] / [`GossipMsg::MembershipResponse`]).
+//! Receivers merge claims by freshness, so:
+//!
+//! * a **join** is simply the first claim heard about an unknown peer
+//!   (directly from the joiner's announcement heartbeat, or relayed by
+//!   anti-entropy);
+//! * a **leave** is silence: the departed peer's claim stops refreshing,
+//!   [`crate::membership::Membership::believes_alive`] turns false after
+//!   the alive timeout, and the sweep **reaps** the entry — recording an
+//!   obituary (the incarnation the peer died at) that anti-entropy then
+//!   spreads, so one peer's timeout detection becomes everyone's;
+//! * a **false death** (drops or a partition) is refuted: a peer that
+//!   learns it was declared dead bumps its incarnation above the obituary
+//!   and resurrects in every view, while demoting itself to the junior end
+//!   of the roster — matching where every other peer re-seats it — so
+//!   static-leadership seniority stays consistent.
+//!
+//! The engine owns only discovery-private state (claims, obituaries, its
+//! own incarnation/seq). Everything shared lives in the
+//! [`ChannelCore`]; membership *consequences* — roster edits, view edits,
+//! leader re-election — are returned as a [`DiscoveryDelta`] and applied
+//! by [`crate::channel::ChannelState`], which also fires
+//! [`Effects::discovery_event`] per change so embeddings can measure
+//! convergence and stale-view windows.
+
+use std::collections::BTreeMap;
+
+use rand::RngExt;
+
+use crate::channel::{random_phase, ChannelCore};
+use crate::effects::Effects;
+use crate::messages::{GossipMsg, GossipTimer, PeerAlive};
+use fabric_types::ids::PeerId;
+
+/// Membership consequences of one discovery step, to be applied by the
+/// channel dispatcher (the engine cannot reach its sibling engines).
+#[derive(Debug, Default)]
+pub struct DiscoveryDelta {
+    /// Peers that entered the alive view (joins and resurrections).
+    pub joined: Vec<PeerId>,
+    /// Peers reaped from the alive view (expired silent or learned dead).
+    pub left: Vec<PeerId>,
+    /// Peers observed starting a **new life without ever being reaped
+    /// here**: a strictly higher incarnation displaced a live claim (the
+    /// peer left and rejoined faster than this view could expire it).
+    /// Membership is untouched — the entry just stays — but the embedding
+    /// is told about both halves (a leave observation, then a join
+    /// observation) so convergence accounting never dangles.
+    pub renewed: Vec<PeerId>,
+    /// This peer learned it was declared dead and refuted the obituary:
+    /// it must demote itself to roster juniority and, under static
+    /// election, drop any leadership claim (its seat was reassigned).
+    pub self_deposed: bool,
+}
+
+impl DiscoveryDelta {
+    /// Whether the step changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.joined.is_empty()
+            && self.left.is_empty()
+            && self.renewed.is_empty()
+            && !self.self_deposed
+    }
+}
+
+/// Discovery state of one channel instance.
+#[derive(Debug, Default)]
+pub struct DiscoveryEngine {
+    /// This life's incarnation; 0 until [`DiscoveryEngine::init`] runs.
+    incarnation: u64,
+    /// Heartbeats emitted this life.
+    seq: u64,
+    /// Freshest claim held per peer (self excluded).
+    view: BTreeMap<PeerId, PeerAlive>,
+    /// Obituaries: the incarnation each reaped peer died at. A claim only
+    /// resurrects its peer when its incarnation is **strictly** higher.
+    dead: BTreeMap<PeerId, u64>,
+    /// An observer life: this peer was handed a roster excluding itself
+    /// (a deliberate non-member), so it ranks junior to every member and
+    /// never claims static seniority while anyone else sits.
+    junior: bool,
+}
+
+impl DiscoveryEngine {
+    /// This life's incarnation (0 before init).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// The freshest claim held about `peer`, if any.
+    pub fn claim_of(&self, peer: PeerId) -> Option<&PeerAlive> {
+        self.view.get(&peer)
+    }
+
+    /// The obituary incarnation of `peer`, if it was reaped.
+    pub fn obituary_of(&self, peer: PeerId) -> Option<u64> {
+        self.dead.get(&peer).copied()
+    }
+
+    /// Drops what a process crash would lose: the merged view, the
+    /// obituaries and the heartbeat counter. The incarnation is kept so
+    /// the next [`DiscoveryEngine::init`] picks a strictly higher one.
+    pub fn clear_volatile(&mut self) {
+        self.view.clear();
+        self.dead.clear();
+        self.seq = 0;
+    }
+
+    /// Starts this life: picks a fresh incarnation (strictly above any
+    /// previous one), seeds the view with the roster handed at join time
+    /// (first contact counts from `now`, mirroring the membership grace),
+    /// **announces itself** with an immediate heartbeat to `fout` members
+    /// — this is how a runtime joiner propagates its own join, with no
+    /// oracle broadcasting on its behalf — and arms the periodic timers.
+    pub fn init(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) {
+        let now = fx.now();
+        self.incarnation = now.as_nanos().max(1).max(self.incarnation + 1);
+        self.seq = 0;
+        self.junior = self.junior || !core.roster.contains(&core.self_id);
+        for peer in core.membership.peers().to_vec() {
+            self.view.entry(peer).or_insert(PeerAlive {
+                peer,
+                incarnation: 0,
+                seq: 0,
+            });
+            core.membership.mark_alive(peer, now);
+            core.channel_view.mark_alive(peer, now);
+        }
+        self.heartbeat(core, fx);
+        let hb_phase = random_phase(fx, core.cfg.discovery.heartbeat_interval);
+        core.schedule(fx, hb_phase, GossipTimer::DiscoveryRound);
+        let ae_phase = random_phase(fx, core.cfg.discovery.anti_entropy_interval);
+        core.schedule(fx, ae_phase, GossipTimer::AntiEntropyRound);
+    }
+
+    /// The DiscoveryRound timer: heartbeat, then sweep — reap every view
+    /// entry whose silence outlived the alive timeout (the
+    /// `believes_alive` machinery is the single source of expiry truth).
+    pub fn on_round(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) -> DiscoveryDelta {
+        self.heartbeat(core, fx);
+        let mut delta = DiscoveryDelta::default();
+        let now = fx.now();
+        let expired: Vec<PeerId> = self
+            .view
+            .keys()
+            .copied()
+            .filter(|p| !core.membership.believes_alive(*p, now))
+            .collect();
+        for peer in expired {
+            self.reap(peer, &mut delta);
+        }
+        let interval = core.cfg.discovery.heartbeat_interval;
+        core.schedule(fx, interval, GossipTimer::DiscoveryRound);
+        delta
+    }
+
+    /// The AntiEntropyRound timer: push the full view (and obituaries) to
+    /// one random live member and solicit its view back — plus one
+    /// **tombstone probe** to a random reaped peer. If the "dead" peer is
+    /// in fact alive (a false death, e.g. across a healed partition), the
+    /// obituary about itself it finds in the probe lets it refute, which
+    /// is the only way two sides that reaped each other ever reconnect.
+    pub fn on_anti_entropy_round(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) {
+        let mut targets = core.membership.sample(fx.rng(), 1);
+        if !self.dead.is_empty() {
+            let keys: Vec<PeerId> = self.dead.keys().copied().collect();
+            let pick = fx.rng().random_range(0..keys.len());
+            targets.push(keys[pick]);
+        }
+        for to in targets {
+            let request = GossipMsg::MembershipRequest {
+                entries: self.entries_with_self(core),
+                dead: self.obituaries(),
+            };
+            core.send(fx, to, request);
+        }
+        let interval = core.cfg.discovery.anti_entropy_interval;
+        core.schedule(fx, interval, GossipTimer::AntiEntropyRound);
+    }
+
+    /// An [`GossipMsg::AliveMsg`] heartbeat arrived.
+    pub fn on_alive(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        claim: PeerAlive,
+    ) -> DiscoveryDelta {
+        let mut delta = DiscoveryDelta::default();
+        self.merge(core, fx, claim, &mut delta);
+        delta
+    }
+
+    /// A [`GossipMsg::MembershipRequest`] arrived: merge the requester's
+    /// view and obituaries, answer with ours.
+    pub fn on_membership_request(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        from: PeerId,
+        entries: Vec<PeerAlive>,
+        dead: Vec<PeerAlive>,
+    ) -> DiscoveryDelta {
+        let mut delta = DiscoveryDelta::default();
+        for claim in entries {
+            self.merge(core, fx, claim, &mut delta);
+        }
+        for obituary in dead {
+            self.apply_death(core, fx, obituary, &mut delta);
+        }
+        let response = GossipMsg::MembershipResponse {
+            entries: self.entries_with_self(core),
+            dead: self.obituaries(),
+        };
+        core.send(fx, from, response);
+        delta
+    }
+
+    /// A [`GossipMsg::MembershipResponse`] arrived: merge the responder's
+    /// view and apply its obituaries.
+    pub fn on_membership_response(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        entries: Vec<PeerAlive>,
+        dead: Vec<PeerAlive>,
+    ) -> DiscoveryDelta {
+        let mut delta = DiscoveryDelta::default();
+        for claim in entries {
+            self.merge(core, fx, claim, &mut delta);
+        }
+        for obituary in dead {
+            self.apply_death(core, fx, obituary, &mut delta);
+        }
+        delta
+    }
+
+    /// Emits one heartbeat: bump `seq`, gossip the fresh claim to `fout`
+    /// random members.
+    fn heartbeat(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) {
+        self.seq += 1;
+        let claim = PeerAlive {
+            peer: core.self_id,
+            incarnation: self.incarnation,
+            seq: self.seq,
+        };
+        let targets = {
+            let k = core.cfg.fout;
+            core.membership.sample(fx.rng(), k)
+        };
+        for t in targets {
+            core.send(fx, t, GossipMsg::AliveMsg(claim));
+        }
+    }
+
+    /// Whether this peer is the most **senior** member it knows of:
+    /// seniority ranks by `(incarnation, id)` — initial members (who all
+    /// share the deployment-start incarnation) rank in id order, runtime
+    /// joiners rank by join time, and a refuted false death demotes (the
+    /// refutation bumps the incarnation). This is the static-leadership
+    /// rule of protocol-discovery channels: because it is computed from
+    /// the gossiped view, it converges to exactly one claimant as the
+    /// views converge — something a roster-order rule cannot promise when
+    /// peers reap and resurrect each other in different orders.
+    ///
+    /// Seeded entries (incarnation 0, placed at init for the handed
+    /// roster) and genuine deployment-start claims (incarnation ≥ 1, all
+    /// equal) are ranked alike via `max(1)`, so holding a seed instead of
+    /// the real claim never changes the order.
+    pub fn self_is_most_senior(&self, core: &ChannelCore) -> bool {
+        let me = if self.junior {
+            (u64::MAX, core.self_id)
+        } else {
+            (self.incarnation.max(1), core.self_id)
+        };
+        core.membership.peers().iter().all(|p| {
+            let rank = self
+                .view
+                .get(p)
+                .map_or((1, *p), |c| (c.incarnation.max(1), *p));
+            me < rank
+        })
+    }
+
+    /// The recorded obituaries, serialized for the wire.
+    fn obituaries(&self) -> Vec<PeerAlive> {
+        self.dead
+            .iter()
+            .map(|(p, inc)| PeerAlive {
+                peer: *p,
+                incarnation: *inc,
+                seq: 0,
+            })
+            .collect()
+    }
+
+    /// Every claim this peer would share: its own (current incarnation and
+    /// seq) plus the whole merged view.
+    fn entries_with_self(&self, core: &ChannelCore) -> Vec<PeerAlive> {
+        let mut entries = Vec::with_capacity(1 + self.view.len());
+        entries.push(PeerAlive {
+            peer: core.self_id,
+            incarnation: self.incarnation,
+            seq: self.seq,
+        });
+        entries.extend(self.view.values().copied());
+        entries
+    }
+
+    /// Merges one alive claim by freshness. A claim about an unknown (or
+    /// reaped-then-renewed) peer is a join; a strictly fresher claim about
+    /// a known peer refreshes its liveness; anything else is stale noise.
+    fn merge(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        claim: PeerAlive,
+        delta: &mut DiscoveryDelta,
+    ) {
+        let peer = claim.peer;
+        if peer == core.self_id {
+            return; // nobody knows this peer's life better than itself
+        }
+        if let Some(obituary) = self.dead.get(&peer).copied() {
+            if claim.incarnation <= obituary {
+                return; // no resurrection without a strictly higher life
+            }
+            self.dead.remove(&peer);
+            self.view.insert(peer, claim);
+            delta.joined.push(peer);
+            return;
+        }
+        match self.view.get(&peer) {
+            None => {
+                self.view.insert(peer, claim);
+                if !core.membership.peers().contains(&peer) {
+                    delta.joined.push(peer);
+                } else {
+                    // Already a member (seeded roster raced the claim):
+                    // just refresh.
+                    let now = fx.now();
+                    core.membership.mark_alive(peer, now);
+                    core.channel_view.mark_alive(peer, now);
+                }
+            }
+            Some(held) if claim.fresher_than(held) => {
+                // A higher incarnation over a *live* claim is a rejoin
+                // this view never saw as a leave — report the renewal so
+                // the embedding's leave/join accounting completes. Seed
+                // displacement (incarnation 0 → first real claim) is
+                // first contact, not a renewal.
+                if claim.incarnation > held.incarnation && held.incarnation > 0 {
+                    delta.renewed.push(peer);
+                }
+                self.view.insert(peer, claim);
+                let now = fx.now();
+                core.membership.mark_alive(peer, now);
+                core.channel_view.mark_alive(peer, now);
+            }
+            Some(_) => {} // stale relay: must not refresh liveness
+        }
+    }
+
+    /// Applies one obituary: deaths win ties (equal incarnation means the
+    /// peer really fell silent in that life), refutation beats both (a
+    /// live peer bumps above its own obituary).
+    fn apply_death(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        obituary: PeerAlive,
+        delta: &mut DiscoveryDelta,
+    ) {
+        let peer = obituary.peer;
+        if peer == core.self_id {
+            if obituary.incarnation >= self.incarnation {
+                // Refute: claim a strictly higher life and accept the
+                // demotion (the seat was reassigned while we were
+                // presumed dead).
+                self.incarnation = (obituary.incarnation + 1).max(fx.now().as_nanos().max(1));
+                self.seq = 0;
+                delta.self_deposed = true;
+            }
+            return;
+        }
+        match self.view.get(&peer) {
+            Some(held) if held.incarnation > obituary.incarnation => {
+                // We know a newer life: the obituary is history.
+            }
+            Some(_) => self.reap_at(peer, obituary.incarnation, delta),
+            None => {
+                let entry = self.dead.entry(peer).or_insert(obituary.incarnation);
+                *entry = (*entry).max(obituary.incarnation);
+            }
+        }
+    }
+
+    /// Reaps `peer` at the incarnation currently held for it.
+    fn reap(&mut self, peer: PeerId, delta: &mut DiscoveryDelta) {
+        let at = self.view.get(&peer).map_or(0, |c| c.incarnation);
+        self.reap_at(peer, at, delta);
+    }
+
+    fn reap_at(&mut self, peer: PeerId, incarnation: u64, delta: &mut DiscoveryDelta) {
+        self.view.remove(&peer);
+        let entry = self.dead.entry(peer).or_insert(incarnation);
+        *entry = (*entry).max(incarnation);
+        delta.left.push(peer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GossipConfig;
+    use crate::testing::MockEffects;
+    use desim::{Duration, Time};
+    use fabric_types::ids::ChannelId;
+
+    fn core(self_id: u32, n: u32) -> ChannelCore {
+        ChannelCore::new(
+            ChannelId::DEFAULT,
+            PeerId(self_id),
+            (0..n).map(PeerId).collect(),
+            GossipConfig::enhanced_f4().with_discovery_protocol(),
+        )
+    }
+
+    #[test]
+    fn init_announces_and_arms_both_timers() {
+        let mut c = core(1, 4);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(1);
+        fx.now = Time::from_secs(30);
+        e.init(&mut c, &mut fx);
+        assert!(e.incarnation() >= Time::from_secs(30).as_nanos());
+        let sent = fx.take_sent();
+        assert!(
+            sent.iter()
+                .all(|(_, m)| matches!(m, GossipMsg::AliveMsg(c) if c.peer == PeerId(1))),
+            "init announces this peer's own claim"
+        );
+        assert!(!sent.is_empty());
+        let timers: Vec<GossipTimer> = fx.take_scheduled().into_iter().map(|(_, t)| t).collect();
+        assert!(timers.contains(&GossipTimer::DiscoveryRound));
+        assert!(timers.contains(&GossipTimer::AntiEntropyRound));
+        // The seeded roster got join-time grace: nobody is reaped yet.
+        let delta = e.on_round(&mut c, &mut fx);
+        assert!(delta.left.is_empty());
+    }
+
+    #[test]
+    fn reinit_always_picks_a_strictly_higher_incarnation() {
+        let mut c = core(0, 3);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(2);
+        e.init(&mut c, &mut fx); // at t = 0: incarnation is the 1 floor
+        let first = e.incarnation();
+        e.clear_volatile();
+        e.init(&mut c, &mut fx); // clock did not move
+        assert!(e.incarnation() > first, "a reboot is a strictly newer life");
+    }
+
+    #[test]
+    fn unknown_claim_is_a_join_and_stale_claims_do_not_refresh() {
+        let mut c = core(0, 3);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(3);
+        e.init(&mut c, &mut fx);
+        let newcomer = PeerAlive {
+            peer: PeerId(9),
+            incarnation: 50,
+            seq: 4,
+        };
+        let delta = e.on_alive(&mut c, &mut fx, newcomer);
+        assert_eq!(delta.joined, vec![PeerId(9)]);
+        // The dispatcher (ChannelState) is who adds it to the membership;
+        // at engine level the claim is now held.
+        assert_eq!(e.claim_of(PeerId(9)), Some(&newcomer));
+
+        // A stale relay (same claim again) is not a join and must not
+        // refresh anything.
+        let delta = e.on_alive(&mut c, &mut fx, newcomer);
+        assert!(delta.is_empty());
+    }
+
+    #[test]
+    fn silence_reaps_and_equal_incarnation_cannot_resurrect() {
+        let mut c = core(0, 3);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(4);
+        e.init(&mut c, &mut fx);
+        let life = PeerAlive {
+            peer: PeerId(1),
+            incarnation: 10,
+            seq: 3,
+        };
+        e.on_alive(&mut c, &mut fx, life);
+        // Silence past the alive timeout (25 s default): the sweep reaps.
+        fx.now = Time::from_secs(60);
+        let delta = e.on_round(&mut c, &mut fx);
+        assert!(delta.left.contains(&PeerId(1)));
+        assert_eq!(e.obituary_of(PeerId(1)), Some(10));
+
+        // Same-incarnation claims are stale echoes of the dead life.
+        let echo = PeerAlive {
+            peer: PeerId(1),
+            incarnation: 10,
+            seq: 99,
+        };
+        assert!(e.on_alive(&mut c, &mut fx, echo).is_empty());
+        // A strictly higher incarnation is a genuine new life.
+        let reborn = PeerAlive {
+            peer: PeerId(1),
+            incarnation: 11,
+            seq: 1,
+        };
+        let delta = e.on_alive(&mut c, &mut fx, reborn);
+        assert_eq!(delta.joined, vec![PeerId(1)]);
+        assert_eq!(e.obituary_of(PeerId(1)), None);
+    }
+
+    #[test]
+    fn faster_than_timeout_rejoin_is_reported_as_a_renewal() {
+        let mut c = core(0, 3);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(11);
+        e.init(&mut c, &mut fx);
+        let first_life = PeerAlive {
+            peer: PeerId(1),
+            incarnation: 10,
+            seq: 5,
+        };
+        // Displacing the seed (incarnation 0) is first contact, never a
+        // renewal.
+        assert!(e.on_alive(&mut c, &mut fx, first_life).renewed.is_empty());
+        // The peer leaves and rejoins before this view's timeout expires:
+        // the higher incarnation over a live claim is the only trace.
+        let second_life = PeerAlive {
+            peer: PeerId(1),
+            incarnation: 20,
+            seq: 1,
+        };
+        let delta = e.on_alive(&mut c, &mut fx, second_life);
+        assert_eq!(delta.renewed, vec![PeerId(1)]);
+        assert!(delta.joined.is_empty() && delta.left.is_empty());
+        // Same-incarnation progress is an ordinary refresh.
+        let heartbeat = PeerAlive {
+            peer: PeerId(1),
+            incarnation: 20,
+            seq: 2,
+        };
+        assert!(e.on_alive(&mut c, &mut fx, heartbeat).is_empty());
+    }
+
+    #[test]
+    fn channel_reports_a_renewal_as_leave_then_join_events() {
+        use crate::peer::GossipPeer;
+        use fabric_types::ids::ChannelId;
+
+        let roster: Vec<PeerId> = (0..3).map(PeerId).collect();
+        let cfg = GossipConfig::enhanced_f4().with_discovery_protocol();
+        let mut peer = GossipPeer::new(PeerId(0), roster, cfg);
+        let mut fx = MockEffects::new(12);
+        peer.init(&mut fx);
+        let alive = |inc, seq| {
+            GossipMsg::AliveMsg(PeerAlive {
+                peer: PeerId(1),
+                incarnation: inc,
+                seq,
+            })
+        };
+        peer.on_channel_message(&mut fx, ChannelId::DEFAULT, PeerId(1), alive(10, 3));
+        fx.discovery_events.clear();
+        peer.on_channel_message(&mut fx, ChannelId::DEFAULT, PeerId(1), alive(20, 1));
+        assert_eq!(
+            fx.discovery_events,
+            vec![
+                (ChannelId::DEFAULT, PeerId(1), false),
+                (ChannelId::DEFAULT, PeerId(1), true),
+            ],
+            "a renewal must surface as leave-observed then join-observed"
+        );
+        // Membership itself never flinched.
+        assert!(peer.membership().peers().contains(&PeerId(1)));
+    }
+
+    #[test]
+    fn request_answers_with_view_and_obituaries() {
+        let mut c = core(0, 3);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(5);
+        e.init(&mut c, &mut fx);
+        fx.take_sent();
+        // Reap peer 2 first so the response carries an obituary.
+        fx.now = Time::from_secs(60);
+        e.on_round(&mut c, &mut fx);
+        fx.take_sent();
+        fx.take_scheduled();
+        let delta = e.on_membership_request(&mut c, &mut fx, PeerId(1), vec![], vec![]);
+        assert!(delta.is_empty(), "an empty digest teaches nothing");
+        let sent = fx.take_sent();
+        assert_eq!(sent.len(), 1);
+        let (to, msg) = &sent[0];
+        assert_eq!(*to, PeerId(1));
+        match msg {
+            GossipMsg::MembershipResponse { entries, dead } => {
+                assert!(entries.iter().any(|e| e.peer == PeerId(0)), "self included");
+                assert!(!dead.is_empty(), "obituaries travel with the response");
+            }
+            other => panic!("expected a membership response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn obituary_about_self_is_refuted_with_a_higher_life() {
+        let mut c = core(0, 3);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(6);
+        e.init(&mut c, &mut fx);
+        let my_death = PeerAlive {
+            peer: PeerId(0),
+            incarnation: e.incarnation(),
+            seq: 0,
+        };
+        let delta = e.on_membership_response(&mut c, &mut fx, vec![], vec![my_death]);
+        assert!(delta.self_deposed, "a refutation concedes the old seat");
+        assert!(e.incarnation() > my_death.incarnation);
+        // An obituary for a life we already outgrew is ignored.
+        let old_death = PeerAlive {
+            peer: PeerId(0),
+            incarnation: 1,
+            seq: 0,
+        };
+        let delta = e.on_membership_response(&mut c, &mut fx, vec![], vec![old_death]);
+        assert!(!delta.self_deposed);
+    }
+
+    #[test]
+    fn obituaries_spread_deaths_but_newer_lives_survive_them() {
+        let mut c = core(0, 4);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(7);
+        e.init(&mut c, &mut fx);
+        e.on_alive(
+            &mut c,
+            &mut fx,
+            PeerAlive {
+                peer: PeerId(1),
+                incarnation: 7,
+                seq: 2,
+            },
+        );
+        e.on_alive(
+            &mut c,
+            &mut fx,
+            PeerAlive {
+                peer: PeerId(2),
+                incarnation: 9,
+                seq: 1,
+            },
+        );
+        let deaths = vec![
+            PeerAlive {
+                peer: PeerId(1),
+                incarnation: 7,
+                seq: 0,
+            },
+            PeerAlive {
+                peer: PeerId(2),
+                incarnation: 8, // we hold incarnation 9: obituary is history
+                seq: 0,
+            },
+        ];
+        let delta = e.on_membership_response(&mut c, &mut fx, vec![], deaths);
+        assert_eq!(delta.left, vec![PeerId(1)]);
+        assert!(e.claim_of(PeerId(2)).is_some(), "newer life survives");
+    }
+
+    #[test]
+    fn anti_entropy_round_targets_one_member() {
+        let mut c = core(0, 5);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(8);
+        e.init(&mut c, &mut fx);
+        fx.take_sent();
+        fx.take_scheduled();
+        e.on_anti_entropy_round(&mut c, &mut fx);
+        let sent = fx.take_sent();
+        assert_eq!(sent.len(), 1);
+        assert!(matches!(sent[0].1, GossipMsg::MembershipRequest { .. }));
+        let timers: Vec<(Duration, GossipTimer)> = fx.take_scheduled();
+        assert_eq!(
+            timers,
+            vec![(
+                c.cfg.discovery.anti_entropy_interval,
+                GossipTimer::AntiEntropyRound
+            )]
+        );
+    }
+}

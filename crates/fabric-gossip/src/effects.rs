@@ -51,4 +51,17 @@ pub trait Effects {
     fn leadership_changed(&mut self, channel: ChannelId, is_leader: bool) {
         let _ = (channel, is_leader);
     }
+
+    /// Called when the **discovery protocol** changes this peer's view of
+    /// `channel`'s membership: `joined = true` when `peer` entered the view
+    /// through received gossip (a heartbeat or anti-entropy claim about an
+    /// unknown or resurrected peer), `false` when it was reaped (expired
+    /// silent or learned dead). Oracle-driven changes
+    /// ([`crate::peer::GossipPeer::on_peer_joined`] /
+    /// [`crate::peer::GossipPeer::on_peer_left`]) do **not** fire this hook
+    /// — the embedding already knows what it did itself. The measurement
+    /// point of discovery convergence and stale-view metrics.
+    fn discovery_event(&mut self, channel: ChannelId, peer: PeerId, joined: bool) {
+        let _ = (channel, peer, joined);
+    }
 }

@@ -140,17 +140,56 @@ impl LeadershipEngine {
     ///   (min-over-roster cannot promise that, because a joiner's own
     ///   roster legitimately ranks it last).
     pub fn on_peer_left(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects, peer: PeerId) {
-        self.peer_heights.remove(&peer);
-        let leader_left = matches!(self.last_leader_seen, Some((l, _)) if l == peer);
-        if leader_left {
-            self.last_leader_seen = None;
-        }
+        self.forget_peer(peer);
         if !core.cfg.election.dynamic
             && !self.is_leader
             && core.roster.first() == Some(&core.self_id)
         {
             self.is_leader = true;
             fx.leadership_changed(core.channel, true);
+        }
+    }
+
+    /// Drops everything remembered about `peer` — its advertised height
+    /// and, when it was the last leader heard, the heartbeat memory (so a
+    /// dynamic election re-runs on the next tick instead of waiting out
+    /// `leader_timeout`). The bookkeeping half of [`Self::on_peer_left`],
+    /// shared with the discovery-protocol reap path, which runs its own
+    /// promotion rule ([`Self::set_static_claim`]) instead of the
+    /// roster-order one.
+    pub fn forget_peer(&mut self, peer: PeerId) {
+        self.peer_heights.remove(&peer);
+        if matches!(self.last_leader_seen, Some((l, _)) if l == peer) {
+            self.last_leader_seen = None;
+        }
+    }
+
+    /// Protocol-discovery static election: enforce `is_leader == senior`,
+    /// where `senior` is the caller's discovery-seniority verdict
+    /// ([`crate::discovery::DiscoveryEngine::self_is_most_senior`]). Runs
+    /// on every discovery step, so leadership converges with the views:
+    /// the senior survivor claims within one heartbeat period of reaping
+    /// its predecessor, and a stale claimant (deposed while presumed
+    /// dead) steps down as soon as its view shows somebody more senior.
+    /// Inert under dynamic election.
+    pub fn set_static_claim(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects, senior: bool) {
+        if core.cfg.election.dynamic || self.is_leader == senior {
+            return;
+        }
+        self.is_leader = senior;
+        fx.leadership_changed(core.channel, senior);
+    }
+
+    /// Discovery refuted an obituary about **this** peer: while it was
+    /// presumed dead, the other members reassigned its seat (static
+    /// re-election promoted the next senior member), so any leadership
+    /// claim it still holds is stale and must be dropped. Under dynamic
+    /// election nothing is forced — the ordinary heartbeat machinery
+    /// already resolves competing claimants (the lower id wins).
+    pub fn on_self_deposed(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) {
+        if !core.cfg.election.dynamic && self.is_leader {
+            self.is_leader = false;
+            fx.leadership_changed(core.channel, false);
         }
     }
 

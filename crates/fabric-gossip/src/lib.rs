@@ -42,6 +42,13 @@
 //!     request → response);
 //!   * [`leadership::LeadershipEngine`] — election plus state transfer
 //!     (StateInfo heights and recovery);
+//!   * [`discovery::DiscoveryEngine`] — gossiped membership (when
+//!     [`config::DiscoveryConfig::protocol`] is on): `AliveMsg`
+//!     heartbeats with monotonic `(incarnation, seq)` claims,
+//!     `MembershipRequest`/`MembershipResponse` anti-entropy, expiry of
+//!     silent peers and obituary spreading — joins and leaves become
+//!     local consequences of received gossip instead of oracle
+//!     callbacks;
 //! * [`effects::Effects`] — the side-effect boundary every engine drives;
 //!   all I/O is tagged with its [`fabric_types::ids::ChannelId`], and the
 //!   wire unit is [`messages::ChannelMsg`] (channel tag + payload).
@@ -72,6 +79,7 @@
 
 pub mod channel;
 pub mod config;
+pub mod discovery;
 pub mod effects;
 pub mod leadership;
 pub mod membership;
@@ -84,11 +92,12 @@ pub mod store;
 pub mod testing;
 
 pub use channel::{ChannelCore, ChannelState};
-pub use config::{GossipConfig, PullConfig, PushMode, RecoveryConfig};
+pub use config::{DiscoveryConfig, GossipConfig, PullConfig, PushMode, RecoveryConfig};
+pub use discovery::{DiscoveryDelta, DiscoveryEngine};
 pub use effects::Effects;
 pub use leadership::LeadershipEngine;
 pub use membership::Membership;
-pub use messages::{ChannelMsg, GossipMsg, GossipTimer};
+pub use messages::{ChannelMsg, GossipMsg, GossipTimer, PeerAlive};
 pub use peer::{GossipPeer, PeerStats};
 pub use pull::PullEngine;
 pub use push::PushEngine;

@@ -40,6 +40,36 @@ impl desim::Message for ChannelMsg {
     }
 }
 
+/// One peer's liveness claim, as carried by the discovery protocol.
+///
+/// Freshness is judged lexicographically on `(incarnation, seq)`:
+/// `incarnation` is fixed for one life of the peer on the channel (a
+/// rejoin or reboot picks a strictly higher one), `seq` increments with
+/// every heartbeat of that life. A claim only displaces a stored one when
+/// strictly fresher, so stale relays can never resurrect a reaped peer —
+/// only a genuinely new life (higher incarnation) can.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerAlive {
+    /// The peer the claim is about (not necessarily the sender: anti-
+    /// entropy relays third-party claims).
+    pub peer: PeerId,
+    /// The claimed life of the peer; strictly increases across rejoins.
+    pub incarnation: u64,
+    /// Heartbeat counter within the incarnation.
+    pub seq: u64,
+}
+
+impl PeerAlive {
+    /// Whether this claim is strictly fresher than `other` (same peer
+    /// assumed).
+    pub fn fresher_than(&self, other: &PeerAlive) -> bool {
+        (self.incarnation, self.seq) > (other.incarnation, other.seq)
+    }
+
+    /// Wire bytes of one serialized claim (peer id + incarnation + seq).
+    pub(crate) const WIRE: usize = 24;
+}
+
 /// A gossip message between two peers of the same organization.
 #[derive(Debug, Clone)]
 pub enum GossipMsg {
@@ -109,8 +139,33 @@ pub enum GossipMsg {
         /// The served blocks, in height order.
         blocks: Vec<BlockRef>,
     },
-    /// Membership heartbeat.
+    /// Membership heartbeat (legacy oracle-mode liveness traffic; carries
+    /// no payload — reception alone refreshes the sender's entry).
     Alive,
+    /// Discovery-protocol heartbeat: the sender's own liveness claim.
+    /// Replaces [`GossipMsg::Alive`] when
+    /// [`crate::config::DiscoveryConfig::protocol`] is on.
+    AliveMsg(PeerAlive),
+    /// Discovery anti-entropy, phase 1: the requester pushes its full
+    /// alive view and obituaries and solicits the responder's. Also sent
+    /// as a **tombstone probe** to one reaped peer per round — if that
+    /// peer is in fact alive (a false death), the obituary it finds in
+    /// here lets it refute, which is what reconnects healed partitions.
+    MembershipRequest {
+        /// Every alive claim the requester holds (its own included).
+        entries: Vec<PeerAlive>,
+        /// Reaped peers with the incarnation they died at.
+        dead: Vec<PeerAlive>,
+    },
+    /// Discovery anti-entropy, phase 2: the responder's view plus its
+    /// obituaries.
+    MembershipResponse {
+        /// Every alive claim the responder holds (its own included).
+        entries: Vec<PeerAlive>,
+        /// Reaped peers with the incarnation they died at; receivers apply
+        /// the death unless they know a strictly higher incarnation.
+        dead: Vec<PeerAlive>,
+    },
     /// Leader-election heartbeat from the peer currently acting as leader.
     LeaderHeartbeat {
         /// The claiming leader (equals the sender; explicit for clarity).
@@ -138,6 +193,15 @@ impl desim::Message for GossipMsg {
             }
             // Alive messages carry identity, endpoint and a signature.
             GossipMsg::Alive => ENVELOPE + 134,
+            // AliveMsg adds the (incarnation, seq) pair to the legacy
+            // identity + endpoint + signature payload.
+            GossipMsg::AliveMsg(_) => ENVELOPE + 134 + 16,
+            GossipMsg::MembershipRequest { entries, dead } => {
+                ENVELOPE + 8 + PeerAlive::WIRE * (entries.len() + dead.len())
+            }
+            GossipMsg::MembershipResponse { entries, dead } => {
+                ENVELOPE + 8 + PeerAlive::WIRE * (entries.len() + dead.len())
+            }
             GossipMsg::LeaderHeartbeat { .. } => ENVELOPE + 48,
         }
     }
@@ -155,6 +219,9 @@ impl desim::Message for GossipMsg {
             GossipMsg::RecoveryRequest { .. } => "recovery-request",
             GossipMsg::RecoveryResponse { .. } => "block-recovery",
             GossipMsg::Alive => "alive",
+            GossipMsg::AliveMsg(_) => "alive-msg",
+            GossipMsg::MembershipRequest { .. } => "membership-request",
+            GossipMsg::MembershipResponse { .. } => "membership-response",
             GossipMsg::LeaderHeartbeat { .. } => "leadership",
         }
     }
@@ -179,6 +246,12 @@ pub enum GossipTimer {
     StateInfoRound,
     /// Send membership heartbeats.
     AliveRound,
+    /// Discovery protocol: emit an [`GossipMsg::AliveMsg`] heartbeat and
+    /// run the expiry/reap sweep.
+    DiscoveryRound,
+    /// Discovery protocol: exchange membership digests with one random
+    /// peer.
+    AntiEntropyRound,
     /// Leader-election bookkeeping tick.
     ElectionTick,
     /// Retry fetching block content announced by a digest.
@@ -255,6 +328,36 @@ mod tests {
     }
 
     #[test]
+    fn discovery_sizes_scale_with_entries_and_freshness_orders() {
+        let entry = |inc, seq| PeerAlive {
+            peer: PeerId(3),
+            incarnation: inc,
+            seq,
+        };
+        // A heartbeat costs one fixed claim; digests grow per entry.
+        assert_eq!(GossipMsg::AliveMsg(entry(1, 1)).wire_size(), 166);
+        let small = GossipMsg::MembershipRequest {
+            entries: vec![entry(1, 1); 2],
+            dead: vec![],
+        };
+        let large = GossipMsg::MembershipRequest {
+            entries: vec![entry(1, 1); 10],
+            dead: vec![],
+        };
+        assert_eq!(large.wire_size() - small.wire_size(), 8 * PeerAlive::WIRE);
+        let resp = GossipMsg::MembershipResponse {
+            entries: vec![entry(1, 1); 3],
+            dead: vec![entry(2, 0); 2],
+        };
+        assert_eq!(resp.wire_size(), 16 + 8 + 5 * PeerAlive::WIRE);
+        assert_eq!(resp.kind(), "membership-response");
+        // Freshness: incarnation dominates, then seq.
+        assert!(entry(2, 0).fresher_than(&entry(1, 99)));
+        assert!(entry(1, 2).fresher_than(&entry(1, 1)));
+        assert!(!entry(1, 1).fresher_than(&entry(1, 1)));
+    }
+
+    #[test]
     fn channel_tag_is_free_on_the_wire() {
         // The channel MAC lives inside ENVELOPE: tagging an envelope with
         // any channel must not change its size or kind — single-channel
@@ -314,6 +417,22 @@ mod tests {
             GossipMsg::RecoveryRequest { from: 0, to: 0 }.kind(),
             GossipMsg::RecoveryResponse { blocks: vec![] }.kind(),
             GossipMsg::Alive.kind(),
+            GossipMsg::AliveMsg(PeerAlive {
+                peer: PeerId(0),
+                incarnation: 0,
+                seq: 0,
+            })
+            .kind(),
+            GossipMsg::MembershipRequest {
+                entries: vec![],
+                dead: vec![],
+            }
+            .kind(),
+            GossipMsg::MembershipResponse {
+                entries: vec![],
+                dead: vec![],
+            }
+            .kind(),
             GossipMsg::LeaderHeartbeat { leader: PeerId(0) }.kind(),
         ];
         let mut unique = kinds.to_vec();

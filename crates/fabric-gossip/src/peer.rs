@@ -181,6 +181,14 @@ impl GossipPeer {
     /// configured) right away — the existing state-transfer machinery
     /// bootstraps it to the channel head with no extra protocol.
     ///
+    /// Under protocol discovery
+    /// ([`crate::config::DiscoveryConfig::protocol`]) the joiner also
+    /// **announces itself**: its discovery engine immediately heartbeats
+    /// its own `(incarnation, seq)` claim to the sitting members, who
+    /// treat the unknown claim as the join — no oracle broadcasts
+    /// [`GossipPeer::on_peer_joined`] on its behalf, and the rest of the
+    /// channel converges through heartbeats and anti-entropy.
+    ///
     /// Works before `init` too (equivalent to the builder form).
     ///
     /// # Panics
@@ -523,6 +531,12 @@ impl GossipPeer {
     /// The organization membership view of `channel`, if joined.
     pub fn membership_on(&self, channel: ChannelId) -> Option<&Membership> {
         self.state(channel).map(|s| &s.core().membership)
+    }
+
+    /// The discovery engine of `channel`, if joined — claims, obituaries
+    /// and this life's incarnation, for convergence inspection.
+    pub fn discovery_on(&self, channel: ChannelId) -> Option<&crate::discovery::DiscoveryEngine> {
+        self.state(channel).map(|s| s.discovery())
     }
 
     /// Peer-global counters: every per-channel [`PeerStats`] summed

@@ -349,6 +349,36 @@ mod tests {
     }
 
     #[test]
+    fn discovery_protocol_runs_on_threads_and_still_disseminates() {
+        // The protocol-discovery timers (DiscoveryRound / AntiEntropyRound)
+        // replace the legacy AliveRound under the real-threads runtime too;
+        // heartbeat traffic must coexist with block dissemination.
+        let mut cfg = GossipConfig::enhanced_f4().with_discovery_protocol();
+        cfg.discovery.heartbeat_interval = Duration::from_millis(50);
+        cfg.discovery.anti_entropy_interval = Duration::from_millis(80);
+        let net = ThreadedNet::spawn(6, cfg, 13);
+        let b1 = BlockRef::new(Block::new(1, Block::genesis().hash(), vec![]));
+        net.inject_block(b1);
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let outcomes = net.shutdown();
+        for o in &outcomes {
+            assert_eq!(
+                o.delivered,
+                vec![1],
+                "peer {} missed the block",
+                o.peer.id()
+            );
+            let stats = o.peer.stats();
+            assert!(
+                stats.bytes_of_kind("alive-msg") > 0,
+                "peer {} sent no discovery heartbeats",
+                o.peer.id()
+            );
+            assert_eq!(stats.bytes_of_kind("alive"), 0, "legacy alive replaced");
+        }
+    }
+
+    #[test]
     fn original_protocol_also_runs_on_threads() {
         // With 8 peers and fout=3, push alone may miss someone; pull (4 s)
         // would be too slow for a unit test, so shrink it.
