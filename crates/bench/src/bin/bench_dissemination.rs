@@ -1,27 +1,35 @@
 //! `bench_dissemination` — the perf-trajectory emitter.
 //!
 //! Times the fig04 and fig07 dissemination presets plus the multi-channel,
-//! churn and churn-waves presets (wall-clock and events/second) and the
-//! clone-per-hop vs zero-copy payload comparison, then writes
+//! churn and churn-waves presets (wall-clock and events/second), the
+//! delta-discovery churn-waves variant (with its discovery byte share),
+//! the `scheduler` microbench (seed-style binary heap vs timing wheel)
+//! and the clone-per-hop vs zero-copy payload comparison, then writes
 //! `BENCH_dissemination.json` so future changes have a baseline to compare
 //! against.
 //!
 //! ```text
 //! bench_dissemination [smoke|quick|full] [output.json]
-//! bench_dissemination compare <new.json> <baseline.json>
+//! bench_dissemination compare <new.json> <baseline.json> [--fail-over <pct>]
 //! ```
 //!
-//! `compare` is CI's warn-only perf gate: it diffs the two files'
-//! events/second and wall-clock per preset, prints `::warning::` lines on
-//! regressions past the thresholds, and always exits 0 — wall-clock noise
-//! must not fail a PR, only surface on it.
+//! `compare` is CI's perf gate: it diffs the two files' events/second and
+//! wall-clock per preset and prints `::warning::` lines on regressions
+//! past the noise thresholds. By default it always exits 0 (wall-clock
+//! noise must not fail a PR, only surface on it); with `--fail-over <pct>`
+//! it exits 1 when any preset loses more than `pct` percent events/second
+//! against the baseline.
 
 use std::time::Instant;
 
+use bench::sched_bench::run_sched_bench;
 use bench::zero_copy::{compare, FloodConfig};
-use bench::{churn_preset, churn_waves_preset, multichannel_preset, run_scaled, Scale};
+use bench::{
+    churn_preset, churn_waves_delta_preset, churn_waves_preset, multichannel_preset, run_scaled,
+    scheduler_bench_ops, Scale,
+};
 use fabric_experiments::churn::run_churn;
-use fabric_experiments::churn_waves::run_churn_waves;
+use fabric_experiments::churn_waves::{run_churn_waves, ChurnWavesConfig};
 use fabric_experiments::dissemination::DisseminationConfig;
 use fabric_experiments::multichannel::run_multichannel;
 
@@ -32,6 +40,8 @@ struct PresetRow {
     events_per_sec: f64,
     blocks: u64,
     completeness: f64,
+    /// Discovery byte share of the run (churn-waves rows only).
+    discovery_share: Option<f64>,
 }
 
 fn time_preset(name: &'static str, preset: DisseminationConfig, scale: Scale) -> PresetRow {
@@ -45,6 +55,7 @@ fn time_preset(name: &'static str, preset: DisseminationConfig, scale: Scale) ->
         events_per_sec: result.events as f64 / wall.max(1e-9),
         blocks: result.blocks,
         completeness: result.completeness,
+        discovery_share: None,
     }
 }
 
@@ -64,6 +75,7 @@ fn time_multichannel(scale: Scale) -> PresetRow {
             .iter()
             .map(|c| c.completeness)
             .fold(1.0f64, f64::min),
+        discovery_share: None,
     }
 }
 
@@ -92,13 +104,13 @@ fn time_churn(scale: Scale) -> PresetRow {
             .iter()
             .map(|c| c.completeness)
             .fold(1.0f64, f64::min),
+        discovery_share: None,
     }
 }
 
-fn time_churn_waves(scale: Scale) -> PresetRow {
-    let cfg = churn_waves_preset(scale);
+fn time_churn_waves(name: &'static str, cfg: &ChurnWavesConfig) -> PresetRow {
     let start = Instant::now();
-    let result = run_churn_waves(&cfg);
+    let result = run_churn_waves(cfg);
     let wall = start.elapsed().as_secs_f64();
     // Meaningfulness guard: every join/leave must converge through the
     // discovery protocol and every wave must hand leadership off.
@@ -114,11 +126,11 @@ fn time_churn_waves(scale: Scale) -> PresetRow {
         .all(|c| c.handoffs as usize == cfg.waves);
     if !converged || !handed_off {
         eprintln!(
-            "::warning::churn_waves preset degenerated: converged={converged} handed_off={handed_off}"
+            "::warning::{name} preset degenerated: converged={converged} handed_off={handed_off}"
         );
     }
     PresetRow {
-        name: "churn_waves",
+        name,
         wall_secs: wall,
         events: result.events,
         events_per_sec: result.events as f64 / wall.max(1e-9),
@@ -126,6 +138,7 @@ fn time_churn_waves(scale: Scale) -> PresetRow {
         // Convergence completeness stands in for delivery completeness:
         // the fraction of join/leave records that fully converged.
         completeness: done as f64 / total as f64,
+        discovery_share: Some(result.overall_discovery_share()),
     }
 }
 
@@ -161,17 +174,30 @@ fn preset_rows(path: &str) -> Vec<(String, f64, f64)> {
         .collect()
 }
 
-/// Warn-only perf diff: tolerate 25 % wall-clock growth / 20 % events-per-
-/// second loss before flagging (CI machines are noisy; the thresholds catch
-/// engine regressions, not scheduler jitter).
-fn run_compare(new_path: &str, baseline_path: &str) {
+/// Perf diff: tolerate 25 % wall-clock growth / 20 % events-per-second
+/// loss before flagging (CI machines are noisy; the thresholds catch
+/// engine regressions, not scheduler jitter). Warn-only by default; with
+/// `fail_over = Some(pct)` any preset losing more than `pct` percent
+/// events/second fails the run.
+fn run_compare(new_path: &str, baseline_path: &str, fail_over: Option<f64>) {
     let new = preset_rows(new_path);
     let base = preset_rows(baseline_path);
     if new.is_empty() || base.is_empty() {
+        // Warn-only mode tolerates a broken input (noise must not fail a
+        // PR), but a hard gate that compared nothing must not pass green.
+        if fail_over.is_some() {
+            eprintln!("::error::perf-diff: missing preset rows; refusing to gate on nothing");
+            std::process::exit(1);
+        }
         eprintln!("::warning::perf-diff: missing preset rows; skipping comparison");
         return;
     }
-    eprintln!("# perf diff: {new_path} vs baseline {baseline_path} (warn-only)");
+    let mode = match fail_over {
+        Some(pct) => format!("fail over {pct} % events/s loss"),
+        None => "warn-only".to_owned(),
+    };
+    eprintln!("# perf diff: {new_path} vs baseline {baseline_path} ({mode})");
+    let mut hard_regressions = Vec::new();
     for (name, wall, eps) in &new {
         let Some((_, base_wall, base_eps)) = base.iter().find(|(n, _, _)| n == name) else {
             eprintln!("{name:<22} NEW (no baseline row)");
@@ -190,23 +216,57 @@ fn run_compare(new_path: &str, baseline_path: &str) {
                  {base_eps:.0} -> {eps:.0} events/s"
             );
         }
+        if let Some(pct) = fail_over {
+            if eps_ratio < 1.0 - pct / 100.0 {
+                hard_regressions.push(format!(
+                    "{name}: {base_eps:.0} -> {eps:.0} events/s ({:+.1} %)",
+                    (eps_ratio - 1.0) * 100.0
+                ));
+            }
+        }
     }
     for (name, _, _) in &base {
         if !new.iter().any(|(n, _, _)| n == name) {
             eprintln!("::warning::perf-diff: preset {name} disappeared from the new run");
         }
     }
+    if !hard_regressions.is_empty() {
+        for r in &hard_regressions {
+            eprintln!("::error::perf regression past --fail-over threshold: {r}");
+        }
+        std::process::exit(1);
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("compare") {
-        let new_path = args.get(1).map(String::as_str).unwrap_or("BENCH_new.json");
-        let baseline = args
-            .get(2)
-            .map(String::as_str)
+        // Split flags (and their values) from positional paths so
+        // `compare --fail-over 60 new.json baseline.json` parses the same
+        // as the trailing-flag order.
+        let mut positional: Vec<&str> = Vec::new();
+        let mut fail_over: Option<f64> = None;
+        let mut rest = args[1..].iter();
+        while let Some(arg) = rest.next() {
+            if arg == "--fail-over" {
+                fail_over = rest.next().and_then(|v| v.parse::<f64>().ok());
+                if fail_over.is_none() {
+                    eprintln!("error: --fail-over requires a numeric percentage");
+                    std::process::exit(2);
+                }
+            } else if arg.starts_with("--") {
+                eprintln!("error: unknown compare flag {arg}");
+                std::process::exit(2);
+            } else {
+                positional.push(arg);
+            }
+        }
+        let new_path = positional.first().copied().unwrap_or("BENCH_new.json");
+        let baseline = positional
+            .get(1)
+            .copied()
             .unwrap_or("BENCH_dissemination.json");
-        run_compare(new_path, baseline);
+        run_compare(new_path, baseline, fail_over);
         return;
     }
     let scale = args
@@ -233,14 +293,40 @@ fn main() {
         ),
         time_multichannel(scale),
         time_churn(scale),
-        time_churn_waves(scale),
+        time_churn_waves("churn_waves", &churn_waves_preset(scale)),
+        time_churn_waves("churn_waves_delta", &churn_waves_delta_preset(scale)),
     ];
     for row in &presets {
+        let share = row
+            .discovery_share
+            .map(|s| format!(" | discovery share {s:.4}"))
+            .unwrap_or_default();
         eprintln!(
-            "{:<22} wall {:>8.3} s | {:>9} events | {:>12.0} events/s | {} blocks | completeness {:.4}",
+            "{:<22} wall {:>8.3} s | {:>9} events | {:>12.0} events/s | {} blocks | completeness {:.4}{share}",
             row.name, row.wall_secs, row.events, row.events_per_sec, row.blocks, row.completeness
         );
     }
+    let shares: Vec<(f64, &str)> = presets
+        .iter()
+        .filter_map(|r| r.discovery_share.map(|s| (s, r.name)))
+        .collect();
+    if let [(full, _), (delta, _)] = shares.as_slice() {
+        if delta >= full {
+            eprintln!(
+                "::warning::delta discovery did not shrink the byte share: {delta:.4} vs {full:.4}"
+            );
+        }
+    }
+
+    // Scheduler microbench: the seed's binary heap vs the timing wheel on
+    // an identical gossip-shaped op mix.
+    let sched = run_sched_bench(scheduler_bench_ops(scale), 3);
+    eprintln!(
+        "scheduler microbench: heap {:>12.0} ops/s | wheel {:>12.0} ops/s | {:.2}x",
+        sched.heap.ops_per_sec,
+        sched.wheel.ops_per_sec,
+        sched.speedup()
+    );
 
     // Zero-copy vs clone-per-hop on the fig04 flood shape.
     let flood = FloodConfig::fig04(20);
@@ -254,8 +340,12 @@ fn main() {
     json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     json.push_str("  \"presets\": [\n");
     for (i, row) in presets.iter().enumerate() {
+        let share = row
+            .discovery_share
+            .map(|s| format!(", \"discovery_share\": {s:.6}"))
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}, \"blocks\": {}, \"completeness\": {:.6}}}{}\n",
+            "    {{\"name\": \"{}\", \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}, \"blocks\": {}, \"completeness\": {:.6}{share}}}{}\n",
             row.name,
             row.wall_secs,
             row.events,
@@ -266,6 +356,13 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"scheduler\": {{\"heap_ops_per_sec\": {:.1}, \"wheel_ops_per_sec\": {:.1}, \"speedup\": {:.3}, \"ops\": {}}},\n",
+        sched.heap.ops_per_sec,
+        sched.wheel.ops_per_sec,
+        sched.speedup(),
+        sched.heap.ops
+    ));
     json.push_str(&format!(
         "  \"zero_copy\": {{\"baseline_secs\": {:.6}, \"shared_secs\": {:.6}, \"speedup\": {:.3}, \"peers\": {}, \"blocks\": {}}}\n",
         owned.as_secs_f64(),

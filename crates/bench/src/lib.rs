@@ -12,6 +12,7 @@ use fabric_experiments::dissemination::{
 };
 use fabric_experiments::multichannel::MultiChannelConfig;
 
+pub mod sched_bench;
 pub mod zero_copy;
 
 /// Scale of a reproduction run.
@@ -86,6 +87,28 @@ pub fn churn_waves_preset(scale: Scale) -> ChurnWavesConfig {
         Scale::Full => ChurnWavesConfig::standard(3, 16, 300),
         Scale::Quick => ChurnWavesConfig::standard(2, 10, 100),
         Scale::Smoke => ChurnWavesConfig::standard(2, 6, 20),
+    }
+}
+
+/// The churn-waves preset under the byte-lean discovery wire format —
+/// delta anti-entropy plus adaptive heartbeat cadence (see
+/// [`ChurnWavesConfig::standard_delta`]). Same shape and seed as
+/// [`churn_waves_preset`], so the two rows' discovery byte shares compare
+/// one-to-one in `BENCH_dissemination.json`.
+pub fn churn_waves_delta_preset(scale: Scale) -> ChurnWavesConfig {
+    match scale {
+        Scale::Full => ChurnWavesConfig::standard_delta(3, 16, 300),
+        Scale::Quick => ChurnWavesConfig::standard_delta(2, 10, 100),
+        Scale::Smoke => ChurnWavesConfig::standard_delta(2, 6, 20),
+    }
+}
+
+/// Steady-state ops for the `scheduler` microbench at this scale.
+pub fn scheduler_bench_ops(scale: Scale) -> u64 {
+    match scale {
+        Scale::Full => 4_000_000,
+        Scale::Quick => 1_500_000,
+        Scale::Smoke => 200_000,
     }
 }
 

@@ -1,0 +1,163 @@
+//! The `scheduler` microbench: seed-style binary heap vs timing wheel.
+//!
+//! Drives both [`desim::sched`] implementations through an identical
+//! gossip-shaped event mix — dense same-bucket chatter, periodic
+//! seconds-scale timers, a sprinkle of cancellations, pops interleaved
+//! with pushes at a steady queue depth — and times raw operations per
+//! second. The workload is deterministic (fixed splitmix stream), so two
+//! runs measure the same instruction mix and the heap/wheel ratio is a
+//! clean scheduler comparison, uncontaminated by protocol logic.
+
+use std::time::Instant;
+
+use desim::sched::{HeapScheduler, Popped, Scheduler, TimingWheel};
+use desim::{Duration, Time};
+
+/// What one scheduler measured on the shared workload.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedRun {
+    /// Total push/cancel/pop operations performed.
+    pub ops: u64,
+    /// Wall-clock seconds for the whole workload.
+    pub wall_secs: f64,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+    /// Checksum over the pop stream (equality across schedulers proves
+    /// both executed the same event order).
+    pub checksum: u64,
+}
+
+/// The heap-vs-wheel comparison recorded in `BENCH_dissemination.json`.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedBench {
+    /// The seed-style `BinaryHeap` + cancel-bitset reference.
+    pub heap: SchedRun,
+    /// The production timing wheel.
+    pub wheel: SchedRun,
+}
+
+impl SchedBench {
+    /// Wheel ops/s over heap ops/s.
+    pub fn speedup(&self) -> f64 {
+        self.wheel.ops_per_sec / self.heap.ops_per_sec.max(1e-9)
+    }
+}
+
+/// Payload sized like a mid-size engine event (message headers + ids), so
+/// the heap pays the full-entry sift cost the real engine paid.
+type Payload = [u64; 6];
+
+fn drive<S: Scheduler<Payload>>(mut sched: S, events: u64) -> SchedRun {
+    let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 11
+    };
+    let start = Instant::now();
+    let mut now = Time::ZERO;
+    let mut ops = 0u64;
+    let mut checksum = 0u64;
+    let mut ids = Vec::with_capacity(4096);
+    // Warm a realistic queue depth before the steady-state loop.
+    for i in 0..4096u64 {
+        ids.push(sched.push(now + Duration::from_nanos(next() % 2_000_000_000), [i; 6]));
+        ops += 1;
+    }
+    for i in 0..events {
+        let r = next();
+        match r % 16 {
+            // Dense near-future chatter: the zero-to-few-ms deliveries
+            // that dominate a dissemination run.
+            0..=5 => {
+                ids.push(sched.push(now + Duration::from_nanos(r % 3_000_000), [i; 6]));
+            }
+            // Protocol timers: hundreds of ms to tens of seconds out.
+            6 | 7 => {
+                ids.push(sched.push(
+                    now + Duration::from_nanos(400_000_000 + r % 20_000_000_000),
+                    [i; 6],
+                ));
+            }
+            // Occasional cancellation of an arbitrary (possibly fired) id.
+            8 => {
+                if !ids.is_empty() {
+                    sched.cancel(ids[(r as usize) % ids.len()]);
+                }
+            }
+            // Pops balance the pushes, holding the warmed queue depth
+            // roughly steady — the shape of a real dissemination run.
+            _ => {
+                if let Some(p) = sched.pop() {
+                    match p {
+                        Popped::Event { at, seq, payload } => {
+                            now = at;
+                            checksum = checksum
+                                .wrapping_mul(31)
+                                .wrapping_add(at.as_nanos() ^ seq ^ payload[0]);
+                        }
+                        Popped::Cancelled { at } => {
+                            now = at;
+                            checksum = checksum.wrapping_mul(31).wrapping_add(at.as_nanos());
+                        }
+                    }
+                }
+            }
+        }
+        ops += 1;
+    }
+    while let Some(p) = sched.pop() {
+        if let Popped::Event { at, seq, payload } = p {
+            checksum = checksum
+                .wrapping_mul(31)
+                .wrapping_add(at.as_nanos() ^ seq ^ payload[0]);
+        }
+        ops += 1;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    SchedRun {
+        ops,
+        wall_secs: wall,
+        ops_per_sec: ops as f64 / wall.max(1e-9),
+        checksum,
+    }
+}
+
+/// Runs the microbench at `events` steady-state operations per scheduler,
+/// best-of-`reps` to shave scheduler-external noise.
+pub fn run_sched_bench(events: u64, reps: usize) -> SchedBench {
+    let mut heap: Option<SchedRun> = None;
+    let mut wheel: Option<SchedRun> = None;
+    for _ in 0..reps.max(1) {
+        let h = drive(HeapScheduler::new(), events);
+        let w = drive(TimingWheel::new(), events);
+        assert_eq!(
+            h.checksum, w.checksum,
+            "heap and wheel diverged on the microbench workload"
+        );
+        if heap.is_none_or(|b| h.wall_secs < b.wall_secs) {
+            heap = Some(h);
+        }
+        if wheel.is_none_or(|b| w.wall_secs < b.wall_secs) {
+            wheel = Some(w);
+        }
+    }
+    SchedBench {
+        heap: heap.expect("reps >= 1"),
+        wheel: wheel.expect("reps >= 1"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microbench_runs_and_schedulers_agree() {
+        let bench = run_sched_bench(20_000, 1);
+        assert_eq!(bench.heap.checksum, bench.wheel.checksum);
+        assert!(bench.heap.ops > 20_000 && bench.wheel.ops > 20_000);
+        assert!(bench.heap.ops_per_sec > 0.0 && bench.wheel.ops_per_sec > 0.0);
+    }
+}

@@ -109,6 +109,10 @@ impl<P: BlockPayload> Message for FloodMsg<P> {
     fn kind(&self) -> &'static str {
         "block"
     }
+    fn kind_id(&self) -> desim::KindId {
+        static ID: std::sync::OnceLock<desim::KindId> = std::sync::OnceLock::new();
+        *ID.get_or_init(|| desim::KindId::intern("block"))
+    }
 }
 
 /// Infect-and-die flood over one organization: every first reception

@@ -5,16 +5,23 @@
 //! handle that can send messages, arm timers and manipulate the network.
 //! Events are totally ordered by `(time, insertion sequence)`, so a given
 //! seed always replays the exact same execution.
+//!
+//! The event queue is a hierarchical [`TimingWheel`] (see [`crate::sched`]):
+//! payloads sit still in a slab while 24-byte stubs move through time
+//! buckets, cancellation is an O(1) generation bump, and the pop order is
+//! the exact `(time, seq)` total order the seed's global `BinaryHeap`
+//! produced — the scheduler-equivalence proptest in `tests/scheduler.rs`
+//! pins the two against each other.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::kind::KindId;
 use crate::metrics::NetMetrics;
 use crate::net::{NetState, NetworkConfig, NodeId};
+use crate::sched::{EventId, Popped, Scheduler, TimingWheel};
 use crate::time::{Duration, Time};
 
 /// A wire message: anything the engine can transmit between nodes.
@@ -28,6 +35,16 @@ pub trait Message: Clone + fmt::Debug {
     /// A short static tag used to group metrics (e.g. `"block"`, `"digest"`).
     fn kind(&self) -> &'static str {
         "message"
+    }
+
+    /// The interned id of [`Message::kind`], recorded per sent message.
+    ///
+    /// The default interns on every call, which takes a registry lock —
+    /// correct everywhere, cheap in tests. High-volume message types
+    /// should override this with a `OnceLock`-cached match so the hot
+    /// path pays one atomic load instead.
+    fn kind_id(&self) -> KindId {
+        KindId::intern(self.kind())
     }
 }
 
@@ -70,7 +87,7 @@ pub trait Protocol: Sized {
 
 /// Handle to a pending timer, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TimerId(u64);
+pub struct TimerId(EventId);
 
 enum EventKind<M, T> {
     /// Message reached `to`'s NIC; ingress processing not yet applied.
@@ -87,7 +104,6 @@ enum EventKind<M, T> {
     },
     Timer {
         node: NodeId,
-        id: TimerId,
         timer: T,
     },
     NodeStatus {
@@ -96,92 +112,12 @@ enum EventKind<M, T> {
     },
 }
 
-struct HeapEntry<M, T> {
-    at: Time,
-    seq: u64,
-    kind: EventKind<M, T>,
-}
-
-impl<M, T> PartialEq for HeapEntry<M, T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M, T> Eq for HeapEntry<M, T> {}
-impl<M, T> PartialOrd for HeapEntry<M, T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M, T> Ord for HeapEntry<M, T> {
-    // Inverted so that `BinaryHeap` (a max-heap) pops the earliest event.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// Cancelled-timer tracking as a growable bitset.
-///
-/// Timer ids are dense (allocated from zero), so one bit per armed timer
-/// replaces the seed's per-event `HashSet<u64>` lookup on the hot path:
-/// `remove` is a shift-and-mask, and the common no-cancellation case is a
-/// single integer compare (`live == 0`).
-#[derive(Debug, Default)]
-struct CancelSet {
-    words: Vec<u64>,
-    /// Number of bits currently set; lets the hot path skip entirely when
-    /// nothing is cancelled.
-    live: usize,
-}
-
-impl CancelSet {
-    fn insert(&mut self, id: u64) {
-        let word = (id / 64) as usize;
-        if self.words.len() <= word {
-            self.words.resize(word + 1, 0);
-        }
-        let bit = 1u64 << (id % 64);
-        if self.words[word] & bit == 0 {
-            self.words[word] |= bit;
-            self.live += 1;
-        }
-    }
-
-    fn remove(&mut self, id: u64) -> bool {
-        if self.live == 0 {
-            return false;
-        }
-        let word = (id / 64) as usize;
-        let Some(slot) = self.words.get_mut(word) else {
-            return false;
-        };
-        let bit = 1u64 << (id % 64);
-        if *slot & bit != 0 {
-            *slot &= !bit;
-            self.live -= 1;
-            true
-        } else {
-            false
-        }
-    }
-}
-
-/// Initial event-queue capacity: enough for the steady-state backlog of a
-/// 100-peer dissemination run, avoiding the doubling churn of a cold heap.
-const INITIAL_QUEUE_CAPACITY: usize = 4096;
-
 struct EngineCore<M, T> {
     time: Time,
-    seq: u64,
-    queue: BinaryHeap<HeapEntry<M, T>>,
+    queue: TimingWheel<EventKind<M, T>>,
     net: NetState,
     rng: StdRng,
     metrics: NetMetrics,
-    next_timer: u64,
-    cancelled: CancelSet,
     events_processed: u64,
     /// Loss probability hoisted out of the config for the per-send check.
     loss: f64,
@@ -189,9 +125,7 @@ struct EngineCore<M, T> {
 
 impl<M: Message, T> EngineCore<M, T> {
     fn push(&mut self, at: Time, kind: EventKind<M, T>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(HeapEntry { at, seq, kind });
+        self.queue.push(at, kind);
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
@@ -200,7 +134,7 @@ impl<M: Message, T> EngineCore<M, T> {
             return;
         }
         let size = msg.wire_size();
-        let kind = msg.kind();
+        let kind = msg.kind_id();
         let depart = self.net.egress_departure(from, self.time, size);
         self.metrics.record_sent(from, depart, size, kind);
         let loss = self.loss;
@@ -246,16 +180,14 @@ impl<M: Message, T> Ctx<'_, M, T> {
 
     /// Arms a timer for `node` that fires `after` from now.
     pub fn set_timer(&mut self, node: NodeId, after: Duration, timer: T) -> TimerId {
-        let id = TimerId(self.core.next_timer);
-        self.core.next_timer += 1;
         let at = self.core.time + after;
-        self.core.push(at, EventKind::Timer { node, id, timer });
-        id
+        TimerId(self.core.queue.push(at, EventKind::Timer { node, timer }))
     }
 
-    /// Cancels a pending timer. Cancelling an already-fired timer is a no-op.
+    /// Cancels a pending timer in O(1). Cancelling an already-fired timer
+    /// is a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.core.cancelled.insert(id.0);
+        self.core.queue.cancel(id.0);
     }
 
     /// Occupies `node`'s processing capacity for `dur`, queueing subsequent
@@ -356,13 +288,10 @@ impl<P: Protocol> Simulation<P> {
             protocol,
             core: EngineCore {
                 time: Time::ZERO,
-                seq: 0,
-                queue: BinaryHeap::with_capacity(INITIAL_QUEUE_CAPACITY),
+                queue: TimingWheel::new(),
                 net: NetState::new(config),
                 rng: StdRng::seed_from_u64(seed),
                 metrics,
-                next_timer: 0,
-                cancelled: CancelSet::default(),
                 events_processed: 0,
                 loss,
             },
@@ -385,18 +314,26 @@ impl<P: Protocol> Simulation<P> {
     /// empty.
     pub fn step(&mut self) -> bool {
         loop {
-            let Some(entry) = self.core.queue.pop() else {
-                return false;
+            let (at, kind) = match self.core.queue.pop() {
+                None => return false,
+                Some(Popped::Cancelled { at }) => {
+                    // Cancelled timers keep their queue position and still
+                    // advance the clock when popped — the seed engine's
+                    // behaviour, preserved bit for bit.
+                    debug_assert!(at >= self.core.time, "event from the past");
+                    self.core.time = at;
+                    continue;
+                }
+                Some(Popped::Event { at, payload, .. }) => (at, payload),
             };
-            debug_assert!(entry.at >= self.core.time, "event from the past");
-            self.core.time = entry.at;
-            match entry.kind {
+            debug_assert!(at >= self.core.time, "event from the past");
+            self.core.time = at;
+            match kind {
                 EventKind::Arrive { from, to, msg } => {
                     if !self.core.net.is_up(to) {
                         self.core.metrics.record_drop_down();
                         continue;
                     }
-                    let at = entry.at;
                     let deliver_at = {
                         let core = &mut self.core;
                         core.net.ingress_delivery(to, at, &mut core.rng)
@@ -419,19 +356,14 @@ impl<P: Protocol> Simulation<P> {
                         self.core.metrics.record_drop_down();
                         continue;
                     }
-                    self.core
-                        .metrics
-                        .record_received(to, entry.at, msg.wire_size());
+                    self.core.metrics.record_received(to, at, msg.wire_size());
                     self.core.events_processed += 1;
                     let mut ctx = Ctx {
                         core: &mut self.core,
                     };
                     self.protocol.on_message(&mut ctx, to, from, msg);
                 }
-                EventKind::Timer { node, id, timer } => {
-                    if self.core.cancelled.remove(id.0) {
-                        continue;
-                    }
+                EventKind::Timer { node, timer } => {
                     if !self.core.net.is_up(node) {
                         continue;
                     }
@@ -457,8 +389,8 @@ impl<P: Protocol> Simulation<P> {
     /// Processes every event scheduled at or before `t`, then advances the
     /// clock to exactly `t`.
     pub fn run_until(&mut self, t: Time) {
-        while let Some(entry) = self.core.queue.peek() {
-            if entry.at > t {
+        while let Some(at) = self.core.queue.peek_time() {
+            if at > t {
                 break;
             }
             self.step();

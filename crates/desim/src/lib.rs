@@ -50,12 +50,15 @@
 
 mod batch;
 mod engine;
+mod kind;
 mod metrics;
 mod net;
+pub mod sched;
 mod time;
 
 pub use batch::{run_batch, run_batch_with_workers};
 pub use engine::{Ctx, Message, Protocol, Simulation, TimerId};
+pub use kind::{KindBytes, KindId};
 pub use metrics::{KindStats, NetMetrics};
 pub use net::{LatencyModel, NetState, NetworkConfig, NodeId};
 pub use time::{Duration, Time};

@@ -1,0 +1,649 @@
+//! Event schedulers: the production hierarchical timing wheel and the
+//! seed-style binary-heap reference.
+//!
+//! Both implement [`Scheduler`] and are observationally identical: events
+//! pop in exact `(time, insertion sequence)` order, and a cancelled event
+//! still surfaces as [`Popped::Cancelled`] at its original instant (the
+//! engine advances its clock over cancelled timers, a seed behaviour the
+//! determinism suite pins). The equivalence is proptested in
+//! `tests/scheduler.rs` and the throughput difference is measured by the
+//! `scheduler` microbench in `bench_dissemination`.
+//!
+//! ## The wheel
+//!
+//! [`TimingWheel`] buckets pending events by discrete sim time: a ring of
+//! `NUM_BUCKETS` buckets of `2^BUCKET_SHIFT` ns each (≈2 ms buckets over a
+//! ≈17 s horizon), with a small binary heap holding the far-future
+//! overflow. Payloads live in a slab and never move; the wheel shuffles
+//! 24-byte `(time, seq, slot)` stubs only, so a pop costs an append-and-
+//! sort over one bucket's handful of entries instead of a sift through a
+//! multi-thousand-entry heap of full-size events. Cancellation is O(1):
+//! each slab slot carries a generation stamp, a cancel vacates the slot
+//! and bumps the stamp, and the stale stub is recognized (and reported as
+//! [`Popped::Cancelled`]) when its bucket drains.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::time::Time;
+
+/// log2 of the wheel bucket width in nanoseconds (≈2.1 ms).
+const BUCKET_SHIFT: u32 = 21;
+/// Number of ring buckets (power of two). Horizon ≈ 17.2 s: every periodic
+/// protocol timer of the gossip stack lands inside it; only genuinely
+/// far-future events (long drains, `Time::MAX` sentinels) hit the heap.
+const NUM_BUCKETS: usize = 8192;
+const BUCKET_MASK: u64 = (NUM_BUCKETS as u64) - 1;
+
+/// Handle to a scheduled event, usable for O(1) cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    fn wheel(slot: u32, gen: u32) -> Self {
+        EventId((u64::from(gen) << 32) | u64::from(slot))
+    }
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+    fn seq(self) -> u64 {
+        self.0
+    }
+}
+
+/// One scheduler pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Popped<E> {
+    /// A live event.
+    Event {
+        /// The instant the event was scheduled for.
+        at: Time,
+        /// Its global insertion sequence number.
+        seq: u64,
+        /// The scheduled payload.
+        payload: E,
+    },
+    /// The ghost of a cancelled event: its slot was vacated, but its queue
+    /// position still surfaces so the clock semantics match the seed
+    /// engine (which popped cancelled timers and advanced time over them).
+    Cancelled {
+        /// The instant the cancelled event had been scheduled for.
+        at: Time,
+    },
+}
+
+/// Common interface of the wheel and the reference heap.
+pub trait Scheduler<E> {
+    /// Schedules `payload` at `at`; `at` must be monotone with respect to
+    /// the pops observed so far (events are never scheduled in the past).
+    fn push(&mut self, at: Time, payload: E) -> EventId;
+    /// Cancels a pending event; a no-op once the event popped.
+    fn cancel(&mut self, id: EventId);
+    /// Pops the next entry in `(time, seq)` order (cancelled ghosts
+    /// included), or `None` when the queue is empty.
+    fn pop(&mut self) -> Option<Popped<E>>;
+    /// The instant of the next entry (cancelled ghosts included).
+    fn peek_time(&mut self) -> Option<Time>;
+    /// Entries still queued, cancelled-but-unpopped ghosts included.
+    fn len(&self) -> usize;
+    /// Whether nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A 24-byte event stub: everything the wheel moves around.
+#[derive(Debug, Clone, Copy)]
+struct Stub {
+    at_ns: u64,
+    seq: u64,
+    slot: u32,
+    gen: u32,
+}
+
+impl Stub {
+    fn key(&self) -> (u64, u64) {
+        (self.at_ns, self.seq)
+    }
+}
+
+/// Far-future stub with min-ordering for the overflow heap.
+#[derive(Debug)]
+struct FarStub(Stub);
+
+impl PartialEq for FarStub {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl Eq for FarStub {}
+impl PartialOrd for FarStub {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FarStub {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.key().cmp(&self.0.key()) // inverted: BinaryHeap is a max-heap
+    }
+}
+
+#[derive(Debug)]
+struct Slot<E> {
+    gen: u32,
+    payload: Option<E>,
+}
+
+/// The production scheduler (see module docs).
+#[derive(Debug)]
+pub struct TimingWheel<E> {
+    seq: u64,
+    /// Entries queued, cancelled ghosts included.
+    pending: usize,
+    slab: Vec<Slot<E>>,
+    /// Vacant slab slots, recycled FIFO. First-in-first-out matters: a
+    /// stale `EventId` only ever aliases a live event if its slot's u32
+    /// generation wraps all the way around while the id is retained, and
+    /// FIFO reuse spreads the generation bumps evenly across the slab —
+    /// the wrap horizon becomes `depth × 2^32` events (≥ 10^13 at any
+    /// realistic queue depth) instead of `2^32` on one hot LIFO slot.
+    free: VecDeque<u32>,
+    buckets: Vec<Vec<Stub>>,
+    /// One occupancy bit per ring bucket.
+    occupied: Vec<u64>,
+    /// Absolute index of the bucket currently draining through `cur`.
+    cursor: u64,
+    /// The draining bucket as a small min-heap on `(time, seq)`: loads
+    /// are O(k), pops O(log k) over a handful of entries, and — unlike a
+    /// sorted vector — a standing population of same-bucket events (a
+    /// long zero-latency burst) inserts in O(log k) instead of
+    /// memmove-per-push.
+    cur: BinaryHeap<FarStub>,
+    far: BinaryHeap<FarStub>,
+}
+
+impl<E> Default for TimingWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimingWheel<E> {
+    /// An empty wheel anchored at `Time::ZERO`.
+    pub fn new() -> Self {
+        TimingWheel {
+            seq: 0,
+            pending: 0,
+            slab: Vec::with_capacity(1024),
+            free: VecDeque::with_capacity(1024),
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: vec![0; NUM_BUCKETS / 64],
+            cursor: 0,
+            cur: BinaryHeap::new(),
+            far: BinaryHeap::new(),
+        }
+    }
+
+    fn alloc(&mut self, payload: E) -> (u32, u32) {
+        if let Some(s) = self.free.pop_front() {
+            let slot = &mut self.slab[s as usize];
+            debug_assert!(slot.payload.is_none());
+            slot.payload = Some(payload);
+            (s, slot.gen)
+        } else {
+            let s = self.slab.len() as u32;
+            self.slab.push(Slot {
+                gen: 0,
+                payload: Some(payload),
+            });
+            (s, 0)
+        }
+    }
+
+    fn insert(&mut self, stub: Stub) {
+        let b = stub.at_ns >> BUCKET_SHIFT;
+        if b <= self.cursor {
+            // The event lands in (or before) the bucket being drained.
+            // Everything already popped is strictly older (`at >= now` and
+            // `seq` is the global maximum), so pushing into the current
+            // min-heap keeps the pop order exact.
+            self.cur.push(FarStub(stub));
+        } else if b - self.cursor < NUM_BUCKETS as u64 {
+            let s = (b & BUCKET_MASK) as usize;
+            self.buckets[s].push(stub);
+            self.occupied[s >> 6] |= 1u64 << (s & 63);
+        } else {
+            self.far.push(FarStub(stub));
+        }
+    }
+
+    /// Ring-nearest occupied bucket strictly after the cursor, as an
+    /// absolute index. All occupied buckets live in `(cursor, cursor + H)`,
+    /// so the bitmap scan in ring order is also absolute order.
+    fn next_occupied(&self) -> Option<u64> {
+        let cursor_slot = (self.cursor & BUCKET_MASK) as usize;
+        let start = (cursor_slot + 1) & (NUM_BUCKETS - 1);
+        let words = self.occupied.len();
+        for step in 0..=words {
+            let wi = (start / 64 + step) % words;
+            let mut bits = self.occupied[wi];
+            if step == 0 {
+                bits &= !0u64 << (start & 63);
+            }
+            if step == words {
+                bits &= !(!0u64 << (start & 63));
+            }
+            if bits != 0 {
+                let slot = wi * 64 + bits.trailing_zeros() as usize;
+                let d = (slot + NUM_BUCKETS - cursor_slot) & (NUM_BUCKETS - 1);
+                debug_assert!(d > 0);
+                return Some(self.cursor + d as u64);
+            }
+        }
+        None
+    }
+
+    /// Moves the cursor to the next non-empty bucket (near ring or far
+    /// heap, whichever is earlier) and loads it into `cur`, sorted.
+    /// Returns `false` when nothing is queued anywhere.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.cur.is_empty(), "advance over live entries");
+        let near = self.next_occupied();
+        let far = self.far.peek().map(|f| f.0.at_ns >> BUCKET_SHIFT);
+        let target = match (near, far) {
+            (None, None) => return false,
+            (Some(n), None) => n,
+            (None, Some(f)) => f,
+            (Some(n), Some(f)) => n.min(f),
+        };
+        self.cursor = target;
+        let s = (target & BUCKET_MASK) as usize;
+        if self.occupied[s >> 6] & (1u64 << (s & 63)) != 0 {
+            self.cur.extend(self.buckets[s].drain(..).map(FarStub));
+            self.occupied[s >> 6] &= !(1u64 << (s & 63));
+        }
+        while let Some(f) = self.far.peek() {
+            if f.0.at_ns >> BUCKET_SHIFT == target {
+                let stub = self.far.pop().expect("peeked");
+                self.cur.push(stub);
+            } else {
+                break;
+            }
+        }
+        true
+    }
+}
+
+impl<E> Scheduler<E> for TimingWheel<E> {
+    fn push(&mut self, at: Time, payload: E) -> EventId {
+        let seq = self.seq;
+        self.seq += 1;
+        let (slot, gen) = self.alloc(payload);
+        self.insert(Stub {
+            at_ns: at.as_nanos(),
+            seq,
+            slot,
+            gen,
+        });
+        self.pending += 1;
+        EventId::wheel(slot, gen)
+    }
+
+    fn cancel(&mut self, id: EventId) {
+        let Some(slot) = self.slab.get_mut(id.slot() as usize) else {
+            return;
+        };
+        if slot.gen != id.gen() || slot.payload.is_none() {
+            return; // already fired, already cancelled, or slot reused
+        }
+        slot.payload = None;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push_back(id.slot());
+        // The stub stays queued and will pop as `Cancelled`.
+    }
+
+    fn pop(&mut self) -> Option<Popped<E>> {
+        loop {
+            if let Some(FarStub(stub)) = self.cur.pop() {
+                self.pending -= 1;
+                let at = Time::from_nanos(stub.at_ns);
+                let slot = &mut self.slab[stub.slot as usize];
+                if slot.gen == stub.gen {
+                    let payload = slot.payload.take().expect("live slot holds a payload");
+                    slot.gen = slot.gen.wrapping_add(1);
+                    self.free.push_back(stub.slot);
+                    return Some(Popped::Event {
+                        at,
+                        seq: stub.seq,
+                        payload,
+                    });
+                }
+                return Some(Popped::Cancelled { at });
+            }
+            if self.pending == 0 {
+                return None;
+            }
+            if !self.advance() {
+                debug_assert!(false, "pending entries but no occupied bucket");
+                return None;
+            }
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<Time> {
+        loop {
+            if let Some(FarStub(stub)) = self.cur.peek() {
+                return Some(Time::from_nanos(stub.at_ns));
+            }
+            if self.pending == 0 {
+                return None;
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.pending
+    }
+}
+
+/// Cancelled-event tracking as a growable bitset (the seed engine's
+/// `CancelSet`, preserved for the reference scheduler): sequence numbers
+/// are dense, so one bit per event replaces a hash lookup, and the common
+/// nothing-cancelled case is a single integer compare.
+#[derive(Debug, Default)]
+struct CancelSet {
+    words: Vec<u64>,
+    live: usize,
+}
+
+impl CancelSet {
+    fn insert(&mut self, id: u64) {
+        let word = (id / 64) as usize;
+        if self.words.len() <= word {
+            self.words.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (id % 64);
+        if self.words[word] & bit == 0 {
+            self.words[word] |= bit;
+            self.live += 1;
+        }
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        if self.live == 0 {
+            return false;
+        }
+        let word = (id / 64) as usize;
+        let Some(slot) = self.words.get_mut(word) else {
+            return false;
+        };
+        let bit = 1u64 << (id % 64);
+        if *slot & bit != 0 {
+            *slot &= !bit;
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Full-size heap entry of the reference scheduler: payload inline, as the
+/// seed engine stored it.
+#[derive(Debug)]
+struct HeapEntry<E> {
+    at_ns: u64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at_ns, self.seq) == (other.at_ns, other.seq)
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at_ns, other.seq).cmp(&(self.at_ns, self.seq)) // min-order
+    }
+}
+
+/// The seed engine's scheduler, kept as the reference implementation for
+/// the equivalence proptest and the `scheduler` microbench: one global
+/// `BinaryHeap` of full-size entries plus a cancel bitset consulted at pop.
+#[derive(Debug)]
+pub struct HeapScheduler<E> {
+    seq: u64,
+    heap: BinaryHeap<HeapEntry<E>>,
+    cancelled: CancelSet,
+}
+
+impl<E> Default for HeapScheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapScheduler<E> {
+    /// An empty reference scheduler.
+    pub fn new() -> Self {
+        HeapScheduler {
+            seq: 0,
+            heap: BinaryHeap::with_capacity(4096),
+            cancelled: CancelSet::default(),
+        }
+    }
+}
+
+impl<E> Scheduler<E> for HeapScheduler<E> {
+    fn push(&mut self, at: Time, payload: E) -> EventId {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapEntry {
+            at_ns: at.as_nanos(),
+            seq,
+            payload,
+        });
+        EventId(seq)
+    }
+
+    fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.seq());
+    }
+
+    fn pop(&mut self) -> Option<Popped<E>> {
+        let entry = self.heap.pop()?;
+        let at = Time::from_nanos(entry.at_ns);
+        if self.cancelled.remove(entry.seq) {
+            return Some(Popped::Cancelled { at });
+        }
+        Some(Popped::Event {
+            at,
+            seq: entry.seq,
+            payload: entry.payload,
+        })
+    }
+
+    fn peek_time(&mut self) -> Option<Time> {
+        self.heap.peek().map(|e| Time::from_nanos(e.at_ns))
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn t(ms: u64) -> Time {
+        Time::ZERO + Duration::from_millis(ms)
+    }
+
+    fn drain<E: Copy + std::fmt::Debug, S: Scheduler<E>>(s: &mut S) -> Vec<Popped<E>> {
+        let mut out = Vec::new();
+        while let Some(p) = s.pop() {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn wheel_pops_in_time_then_seq_order() {
+        let mut w = TimingWheel::new();
+        w.push(t(5), "b");
+        w.push(t(1), "a");
+        w.push(t(5), "c");
+        let popped = drain(&mut w);
+        let tags: Vec<_> = popped
+            .iter()
+            .map(|p| match p {
+                Popped::Event { payload, .. } => *payload,
+                Popped::Cancelled { .. } => "!",
+            })
+            .collect();
+        assert_eq!(tags, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_bucket_entries_respect_sub_bucket_times() {
+        // Entries 100 ns apart land in the same 2 ms bucket and must still
+        // pop in exact time order.
+        let mut w = TimingWheel::new();
+        for i in (0..50u64).rev() {
+            w.push(Time::from_nanos(1000 + i * 100), i);
+        }
+        let popped = drain(&mut w);
+        let vals: Vec<u64> = popped
+            .iter()
+            .map(|p| match p {
+                Popped::Event { payload, .. } => *payload,
+                Popped::Cancelled { .. } => unreachable!(),
+            })
+            .collect();
+        assert_eq!(vals, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn far_future_events_cross_the_horizon_correctly() {
+        let mut w = TimingWheel::new();
+        w.push(Time::from_secs(120), "far"); // beyond the ≈17 s horizon
+        w.push(t(1), "near");
+        w.push(Time::from_secs(119), "far-but-earlier");
+        assert_eq!(w.len(), 3);
+        let order: Vec<_> = drain(&mut w)
+            .iter()
+            .map(|p| match p {
+                Popped::Event { payload, .. } => *payload,
+                Popped::Cancelled { .. } => "!",
+            })
+            .collect();
+        assert_eq!(order, vec!["near", "far-but-earlier", "far"]);
+    }
+
+    #[test]
+    fn cancel_yields_a_ghost_and_slot_reuse_is_safe() {
+        let mut w = TimingWheel::new();
+        let id = w.push(t(2), 1u32);
+        w.push(t(1), 2u32);
+        w.cancel(id);
+        // The freed slot is immediately reused by a new event.
+        w.push(t(3), 3u32);
+        let popped = drain(&mut w);
+        assert_eq!(
+            popped,
+            vec![
+                Popped::Event {
+                    at: t(1),
+                    seq: 1,
+                    payload: 2
+                },
+                Popped::Cancelled { at: t(2) },
+                Popped::Event {
+                    at: t(3),
+                    seq: 2,
+                    payload: 3
+                },
+            ]
+        );
+        // Cancelling a long-gone id is a no-op (generation mismatch).
+        w.cancel(id);
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn inserts_into_the_draining_bucket_interleave_exactly() {
+        let mut w = TimingWheel::new();
+        w.push(Time::from_nanos(100), "first");
+        w.push(Time::from_nanos(300), "third");
+        assert!(matches!(
+            w.pop(),
+            Some(Popped::Event {
+                payload: "first",
+                ..
+            })
+        ));
+        // Same bucket, between the popped and the pending entry.
+        w.push(Time::from_nanos(200), "second");
+        assert!(matches!(
+            w.pop(),
+            Some(Popped::Event {
+                payload: "second",
+                ..
+            })
+        ));
+        assert!(matches!(
+            w.pop(),
+            Some(Popped::Event {
+                payload: "third",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn peek_advances_lazily_but_does_not_consume() {
+        let mut w = TimingWheel::new();
+        w.push(Time::from_secs(5), "x");
+        assert_eq!(w.peek_time(), Some(Time::from_secs(5)));
+        assert_eq!(w.peek_time(), Some(Time::from_secs(5)));
+        assert!(matches!(w.pop(), Some(Popped::Event { .. })));
+        assert_eq!(w.peek_time(), None);
+    }
+
+    #[test]
+    fn heap_reference_matches_wheel_on_a_small_script() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        let mut h: HeapScheduler<u32> = HeapScheduler::new();
+        let mut ids = Vec::new();
+        for (ms, v) in [(4u64, 1u32), (1, 2), (9, 3), (4, 4), (30_000, 5)] {
+            ids.push((w.push(t(ms), v), h.push(t(ms), v)));
+        }
+        w.cancel(ids[2].0);
+        h.cancel(ids[2].1);
+        assert_eq!(drain(&mut w), drain(&mut h));
+    }
+
+    #[test]
+    fn time_max_sentinel_is_schedulable() {
+        let mut w = TimingWheel::new();
+        w.push(Time::MAX, "eventually");
+        w.push(t(1), "now");
+        assert_eq!(w.peek_time(), Some(t(1)));
+        assert_eq!(drain(&mut w).len(), 2);
+    }
+}

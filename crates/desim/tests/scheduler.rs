@@ -1,0 +1,193 @@
+//! Scheduler equivalence: the production timing wheel and the seed-style
+//! binary-heap reference must pop identical `(time, seq, event)` streams —
+//! cancelled-ghost positions included — on arbitrary workloads.
+//!
+//! The engine's determinism contract (same seed ⇒ byte-identical traces)
+//! rests on the queue's exact `(time, insertion seq)` total order; these
+//! properties pin the wheel to the reference under random pushes spanning
+//! the near ring and the far-future heap, random cancellations (of live,
+//! fired and double-cancelled events alike), and pops interleaved at
+//! arbitrary points — the same interleaving a protocol produces when its
+//! handlers schedule new work mid-drain.
+
+use desim::sched::{HeapScheduler, Popped, Scheduler, TimingWheel};
+use desim::{Duration, Time};
+use proptest::prelude::*;
+
+/// One scripted workload step.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule an event `offset_ns` after the last popped instant.
+    Push { offset_ns: u64, tag: u32 },
+    /// Cancel the `nth` pushed event (mod pushes so far), live or not.
+    Cancel { nth: usize },
+    /// Pop once.
+    Pop,
+}
+
+/// Raw op tuples (the vendored proptest has no mapped strategies):
+/// `(selector, offset_ns, tag, nth)` decoded by [`decode`].
+fn raw_ops() -> impl Strategy<Value = Vec<(u8, u64, u32, usize)>> {
+    proptest::collection::vec(
+        (0u8..8, 0u64..40_000_000_000, 0u32..1_000_000, 0usize..512),
+        1..300,
+    )
+}
+
+fn decode(raw: &[(u8, u64, u32, usize)]) -> Vec<Op> {
+    raw.iter()
+        .map(|(sel, offset_ns, tag, nth)| match sel {
+            // Half the pushes stay within one wheel bucket of "now" so the
+            // draining-bucket insert path is exercised hard.
+            0 | 1 => Op::Push {
+                offset_ns: offset_ns % 2_000_000,
+                tag: *tag,
+            },
+            2 | 3 => Op::Push {
+                offset_ns: *offset_ns,
+                tag: *tag,
+            },
+            4 => Op::Cancel { nth: *nth },
+            _ => Op::Pop,
+        })
+        .collect()
+}
+
+/// Drives one scheduler through the script. Pushes are anchored at the
+/// last observed pop time (events are never scheduled in the past, as in
+/// the engine), and the full pop stream — mid-script pops plus the final
+/// drain — is returned for comparison.
+fn run<S: Scheduler<u32>>(mut sched: S, script: &[Op]) -> Vec<Popped<u32>> {
+    let mut now = Time::ZERO;
+    let mut ids = Vec::new();
+    let mut stream = Vec::new();
+    let observe = |popped: Popped<u32>, now: &mut Time| {
+        let at = match &popped {
+            Popped::Event { at, .. } | Popped::Cancelled { at } => *at,
+        };
+        assert!(at >= *now, "pops must be monotone");
+        *now = at;
+        popped
+    };
+    for op in script {
+        match op {
+            Op::Push { offset_ns, tag } => {
+                ids.push(sched.push(now + Duration::from_nanos(*offset_ns), *tag));
+            }
+            Op::Cancel { nth } => {
+                if !ids.is_empty() {
+                    sched.cancel(ids[nth % ids.len()]);
+                }
+            }
+            Op::Pop => {
+                if let Some(p) = sched.pop() {
+                    stream.push(observe(p, &mut now));
+                }
+            }
+        }
+    }
+    while let Some(p) = sched.pop() {
+        stream.push(observe(p, &mut now));
+    }
+    assert!(sched.is_empty(), "drained schedulers report empty");
+    stream
+}
+
+proptest! {
+    /// The core property: identical pop streams on random workloads.
+    #[test]
+    fn wheel_and_heap_pop_identical_streams(raw in raw_ops()) {
+        let script = decode(&raw);
+        let wheel = run(TimingWheel::new(), &script);
+        let heap = run(HeapScheduler::new(), &script);
+        prop_assert_eq!(wheel, heap);
+    }
+
+    /// Without cancellations, every pushed event pops exactly once, in
+    /// global `(time, seq)` order.
+    #[test]
+    fn all_live_events_pop_sorted(
+        offsets in proptest::collection::vec(0u64..60_000_000_000, 1..200)
+    ) {
+        let mut wheel = TimingWheel::new();
+        for (i, off) in offsets.iter().enumerate() {
+            wheel.push(Time::from_nanos(*off), i as u32);
+        }
+        let mut popped = Vec::new();
+        while let Some(p) = wheel.pop() {
+            match p {
+                Popped::Event { at, seq, payload } => popped.push((at, seq, payload)),
+                Popped::Cancelled { .. } => prop_assert!(false, "nothing was cancelled"),
+            }
+        }
+        prop_assert_eq!(popped.len(), offsets.len());
+        for w in popped.windows(2) {
+            prop_assert!((w[0].0, w[0].1) < (w[1].0, w[1].1), "out of order: {w:?}");
+        }
+    }
+
+    /// Cancelling everything leaves only ghosts, at the right instants.
+    #[test]
+    fn cancel_all_yields_only_ghosts(
+        offsets in proptest::collection::vec(0u64..60_000_000_000, 1..100)
+    ) {
+        let mut wheel = TimingWheel::new();
+        let ids: Vec<_> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, off)| wheel.push(Time::from_nanos(*off), i as u32))
+            .collect();
+        for id in ids {
+            wheel.cancel(id);
+        }
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        let mut ghost_times = Vec::new();
+        while let Some(p) = wheel.pop() {
+            match p {
+                Popped::Cancelled { at } => ghost_times.push(at.as_nanos()),
+                Popped::Event { .. } => prop_assert!(false, "everything was cancelled"),
+            }
+        }
+        prop_assert_eq!(ghost_times, sorted);
+    }
+}
+
+/// A deterministic heavy mix shaped like a gossip run: dense same-bucket
+/// bursts, periodic far-future timers, cancels of both live and dead ids.
+#[test]
+fn dense_gossip_shaped_workload_matches() {
+    let mut script = Vec::new();
+    let mut x: u64 = 0x243f_6a88_85a3_08d3; // fixed splitmix-style stream
+    let mut next = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 16
+    };
+    for i in 0..4000u32 {
+        let r = next();
+        match r % 10 {
+            0..=4 => script.push(Op::Push {
+                offset_ns: r % 3_000_000, // same-bucket chatter
+                tag: i,
+            }),
+            5 => script.push(Op::Push {
+                offset_ns: 4_000_000_000 + r % 30_000_000_000, // periodic timers
+                tag: i,
+            }),
+            6 => script.push(Op::Cancel {
+                nth: (r % 997) as usize,
+            }),
+            _ => script.push(Op::Pop),
+        }
+    }
+    let wheel = run(TimingWheel::new(), &script);
+    let heap = run(HeapScheduler::new(), &script);
+    assert_eq!(wheel.len(), heap.len());
+    assert_eq!(wheel, heap);
+    assert!(
+        wheel.iter().any(|p| matches!(p, Popped::Cancelled { .. })),
+        "the mix must exercise cancellation ghosts"
+    );
+}

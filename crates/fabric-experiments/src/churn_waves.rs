@@ -42,7 +42,13 @@ use crate::net::{
 };
 
 /// The per-kind metric tags that count as discovery overhead.
-pub const DISCOVERY_KINDS: [&str; 3] = ["alive-msg", "membership-request", "membership-response"];
+pub const DISCOVERY_KINDS: [&str; 5] = [
+    "alive-msg",
+    "membership-request",
+    "membership-response",
+    "membership-digest",
+    "membership-delta",
+];
 
 /// Everything a churn-waves run needs.
 #[derive(Debug, Clone)]
@@ -122,6 +128,19 @@ impl ChurnWavesConfig {
             seed: 1,
         };
         cfg.validate();
+        cfg
+    }
+
+    /// The standard shape with the byte-lean discovery wire format: delta
+    /// anti-entropy (digest requests, missing-claims-only responses, full
+    /// exchange every 8th round as fallback) and adaptive heartbeat
+    /// cadence. Same churn plan, same workloads — only the discovery byte
+    /// economy changes, so runs compare one-to-one against
+    /// [`ChurnWavesConfig::standard`].
+    pub fn standard_delta(side_channels: usize, side_members: usize, blocks: u64) -> Self {
+        let mut cfg = Self::standard(side_channels, side_members, blocks);
+        cfg.gossip.discovery.delta = true;
+        cfg.gossip.discovery.adaptive_heartbeat = true;
         cfg
     }
 
@@ -232,6 +251,10 @@ pub struct WaveChannelReport {
     pub leader_gaps: Vec<Duration>,
     /// Peers claiming leadership at end of run.
     pub leaders: Vec<PeerId>,
+    /// Total gossip bytes sent by the channel's members on this channel.
+    pub gossip_bytes: u64,
+    /// Bytes of that total spent on discovery (heartbeats + anti-entropy).
+    pub discovery_bytes: u64,
     /// Share of the channel's gossip bytes spent on discovery
     /// (heartbeats + anti-entropy), in `[0, 1]`.
     pub discovery_share: f64,
@@ -275,6 +298,19 @@ impl ChurnWavesResult {
             .filter(|r| !r.join)
             .map(|r| r.latency())
             .collect()
+    }
+
+    /// Discovery byte share across every channel of the run: total
+    /// discovery bytes over total gossip bytes — the headline number the
+    /// delta wire format shrinks.
+    pub fn overall_discovery_share(&self) -> f64 {
+        let total: u64 = self.channels.iter().map(|c| c.gossip_bytes).sum();
+        let disc: u64 = self.channels.iter().map(|c| c.discovery_bytes).sum();
+        if total == 0 {
+            0.0
+        } else {
+            disc as f64 / total as f64
+        }
     }
 }
 
@@ -362,6 +398,8 @@ pub fn run_churn_waves(cfg: &ChurnWavesConfig) -> ChurnWavesResult {
             handoffs: net.handoffs_on(channel),
             leader_gaps: net.leader_gaps_on(channel).to_vec(),
             leaders: net.current_leaders_on(channel),
+            gossip_bytes: total_bytes,
+            discovery_bytes,
             discovery_share: if total_bytes == 0 {
                 0.0
             } else {
@@ -554,6 +592,55 @@ mod tests {
         }
         assert_eq!(res.fairness.channels.len(), res.channels.len());
         assert!(res.fairness.overall_jain > 0.2);
+    }
+
+    #[test]
+    fn delta_discovery_converges_like_full_and_spends_strictly_fewer_bytes() {
+        let full_cfg = ChurnWavesConfig::standard(2, 8, 20);
+        let full = run_churn_waves(&full_cfg);
+        let mut delta_cfg = ChurnWavesConfig::standard_delta(2, 8, 20);
+        delta_cfg.seed = full_cfg.seed;
+        let delta = run_churn_waves(&delta_cfg);
+
+        // Same churn plan, same convergence guarantees: every join and
+        // leave still converges under the lean wire format.
+        assert_eq!(delta.convergence.len(), full.convergence.len());
+        for r in &delta.convergence {
+            assert!(
+                r.latency().is_some(),
+                "delta mode failed to converge {} of {} on {}",
+                if r.join { "join" } else { "leave" },
+                r.peer,
+                r.channel
+            );
+        }
+        for cu in &delta.catchups {
+            assert!(cu.latency().is_some(), "delta-mode catch-up incomplete");
+        }
+        for c in &delta.channels[1..] {
+            assert_eq!(c.handoffs, 2, "one hand-off per wave on {}", c.channel);
+            assert_eq!(c.leaders.len(), 1);
+        }
+
+        // The headline: strictly fewer discovery bytes, channel by channel
+        // and overall — digests halve the request, deltas shrink the
+        // response to the missing claims, adaptive cadence thins quiet
+        // heartbeats.
+        for (d, f) in delta.channels.iter().zip(&full.channels) {
+            assert!(
+                d.discovery_bytes < f.discovery_bytes,
+                "{}: delta {} >= full {}",
+                d.channel,
+                d.discovery_bytes,
+                f.discovery_bytes
+            );
+        }
+        assert!(
+            delta.overall_discovery_share() < full.overall_discovery_share(),
+            "delta share {:.4} not below full share {:.4}",
+            delta.overall_discovery_share(),
+            full.overall_discovery_share()
+        );
     }
 
     #[test]

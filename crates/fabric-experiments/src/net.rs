@@ -102,6 +102,32 @@ impl desim::Message for NetMsg {
             NetMsg::DeliverBlock { .. } => "orderer-deliver",
         }
     }
+
+    fn kind_id(&self) -> desim::KindId {
+        // Cached interning: the engine records a kind id per send, so the
+        // default (registry lookup per call) would put a lock on the hot
+        // path.
+        struct PipelineKindIds {
+            propose: desim::KindId,
+            endorsed: desim::KindId,
+            submit: desim::KindId,
+            deliver: desim::KindId,
+        }
+        static IDS: std::sync::OnceLock<PipelineKindIds> = std::sync::OnceLock::new();
+        let ids = IDS.get_or_init(|| PipelineKindIds {
+            propose: desim::KindId::intern("propose"),
+            endorsed: desim::KindId::intern("endorsed"),
+            submit: desim::KindId::intern("submit"),
+            deliver: desim::KindId::intern("orderer-deliver"),
+        });
+        match self {
+            NetMsg::Gossip(g) => g.kind_id(),
+            NetMsg::Propose { .. } => ids.propose,
+            NetMsg::Endorsed { .. } => ids.endorsed,
+            NetMsg::Submit { .. } => ids.submit,
+            NetMsg::DeliverBlock { .. } => ids.deliver,
+        }
+    }
 }
 
 /// Timers of the simulated network.

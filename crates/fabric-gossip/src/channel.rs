@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use desim::{Duration, Message as _, Time};
+use desim::{Duration, KindBytes, Message as _, Time};
 use rand::RngExt;
 
 use fabric_types::block::BlockRef;
@@ -52,20 +52,22 @@ pub struct PeerStats {
     /// Recovery requests issued.
     pub recovery_requests: u64,
     /// Bytes put on the wire by this channel instance, per message kind
-    /// (the metrics tags of [`GossipMsg::kind`]). Dissemination fairness is
+    /// (the metrics tags of [`GossipMsg::kind`]), indexed by interned
+    /// [`desim::KindId`] — a dense array add per send instead of the
+    /// seed's string-keyed `BTreeMap` walk. Dissemination fairness is
     /// judged on this breakdown; per-channel values sum to the peer totals.
-    pub bytes_sent_by_kind: BTreeMap<&'static str, u64>,
+    pub bytes_sent_by_kind: KindBytes,
 }
 
 impl PeerStats {
     /// Total bytes sent across every message kind.
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent_by_kind.values().sum()
+        self.bytes_sent_by_kind.total()
     }
 
     /// Bytes sent for one message kind (0 when the kind never occurred).
     pub fn bytes_of_kind(&self, kind: &str) -> u64 {
-        self.bytes_sent_by_kind.get(kind).copied().unwrap_or(0)
+        self.bytes_sent_by_kind.get_named(kind)
     }
 
     /// Adds `other`'s numeric and byte counters into `self`.
@@ -81,9 +83,7 @@ impl PeerStats {
         self.fetch_requests += other.fetch_requests;
         self.pull_rounds += other.pull_rounds;
         self.recovery_requests += other.recovery_requests;
-        for (kind, bytes) in &other.bytes_sent_by_kind {
-            *self.bytes_sent_by_kind.entry(kind).or_insert(0) += bytes;
-        }
+        self.bytes_sent_by_kind.absorb(&other.bytes_sent_by_kind);
     }
 }
 
@@ -155,7 +155,9 @@ impl ChannelCore {
     /// in the per-kind breakdown. Every engine send goes through here so
     /// the fairness accounting can never miss a message.
     pub fn send(&mut self, fx: &mut dyn Effects, to: PeerId, msg: GossipMsg) {
-        *self.stats.bytes_sent_by_kind.entry(msg.kind()).or_insert(0) += msg.wire_size() as u64;
+        self.stats
+            .bytes_sent_by_kind
+            .add(msg.kind_id(), msg.wire_size() as u64);
         fx.send(self.channel, to, msg);
     }
 
@@ -351,6 +353,20 @@ impl ChannelState {
                         .on_membership_response(&mut self.core, fx, entries, dead);
                 self.apply_discovery(fx, delta);
             }
+            GossipMsg::MembershipDigest { entries, dead } => {
+                let delta =
+                    self.discovery
+                        .on_membership_digest(&mut self.core, fx, from, entries, dead);
+                self.apply_discovery(fx, delta);
+            }
+            GossipMsg::MembershipDelta { entries, dead } => {
+                // A delta is merged exactly like a full-view response: it
+                // carries only claims the digest proved this peer lacks.
+                let delta =
+                    self.discovery
+                        .on_membership_response(&mut self.core, fx, entries, dead);
+                self.apply_discovery(fx, delta);
+            }
             GossipMsg::LeaderHeartbeat { leader } => {
                 self.leadership
                     .on_leader_heartbeat(&mut self.core, fx, leader, now)
@@ -504,18 +520,19 @@ mod tests {
 
     #[test]
     fn stats_absorb_sums_counters_and_bytes() {
+        use desim::KindId;
         let mut a = PeerStats {
             blocks_sent: 3,
             ..PeerStats::default()
         };
-        a.bytes_sent_by_kind.insert("block", 1000);
+        a.bytes_sent_by_kind.add(KindId::intern("block"), 1000);
         let mut b = PeerStats {
             blocks_sent: 2,
             duplicate_blocks: 7,
             ..PeerStats::default()
         };
-        b.bytes_sent_by_kind.insert("block", 500);
-        b.bytes_sent_by_kind.insert("alive", 150);
+        b.bytes_sent_by_kind.add(KindId::intern("block"), 500);
+        b.bytes_sent_by_kind.add(KindId::intern("alive"), 150);
         a.absorb(&b);
         assert_eq!(a.blocks_sent, 5);
         assert_eq!(a.duplicate_blocks, 7);

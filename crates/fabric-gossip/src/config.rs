@@ -133,6 +133,30 @@ pub struct DiscoveryConfig {
     pub heartbeat_interval: Duration,
     /// Anti-entropy (membership digest exchange) period.
     pub anti_entropy_interval: Duration,
+    /// Delta anti-entropy: requests carry a compact view digest
+    /// ([`crate::messages::GossipMsg::MembershipDigest`]) and responses
+    /// return only the claims the requester is missing or holds stale
+    /// ([`crate::messages::GossipMsg::MembershipDelta`]) instead of the
+    /// full view both ways. Off by default: the PR 4 full-view exchange
+    /// stays byte-identical unless a deployment opts in.
+    pub delta: bool,
+    /// In delta mode, every Nth anti-entropy round still runs the classic
+    /// full-view [`crate::messages::GossipMsg::MembershipRequest`] as a
+    /// self-healing fallback (guards against any divergence a compact
+    /// digest could ever hide). Must be ≥ 1; 1 degenerates to always-full.
+    pub full_exchange_every: u32,
+    /// Adaptive heartbeat cadence: a channel whose discovery state has
+    /// been quiet for [`DiscoveryConfig::quiet_rounds_to_backoff`]
+    /// consecutive rounds doubles its heartbeat interval (up to
+    /// [`DiscoveryConfig::max_heartbeat_backoff`]×, and never beyond a
+    /// third of the alive timeout so liveness refresh and true-death
+    /// detection keep their bounds); any membership change snaps the
+    /// cadence back to the configured base. Off by default.
+    pub adaptive_heartbeat: bool,
+    /// Quiet rounds before the first back-off step.
+    pub quiet_rounds_to_backoff: u32,
+    /// Cap on the heartbeat back-off multiplier.
+    pub max_heartbeat_backoff: u32,
 }
 
 impl Default for DiscoveryConfig {
@@ -141,6 +165,11 @@ impl Default for DiscoveryConfig {
             protocol: false,
             heartbeat_interval: Duration::from_secs(5),
             anti_entropy_interval: Duration::from_secs(4),
+            delta: false,
+            full_exchange_every: 8,
+            adaptive_heartbeat: false,
+            quiet_rounds_to_backoff: 3,
+            max_heartbeat_backoff: 4,
         }
     }
 }
@@ -272,6 +301,18 @@ impl GossipConfig {
         self
     }
 
+    /// Protocol discovery with the byte-lean wire format: delta
+    /// anti-entropy (digest requests, missing-claims-only responses, the
+    /// periodic full exchange kept as a fallback) plus adaptive heartbeat
+    /// cadence that backs off on quiet converged channels and snaps back
+    /// on churn.
+    pub fn with_delta_discovery(mut self) -> Self {
+        self.discovery.protocol = true;
+        self.discovery.delta = true;
+        self.discovery.adaptive_heartbeat = true;
+        self
+    }
+
     /// Figure 10's ablation: enhanced protocol but the leader keeps the
     /// full fan-out, overloading its NIC.
     pub fn enhanced_heavy_leader() -> Self {
@@ -356,6 +397,17 @@ impl GossipConfig {
         }
         if self.discovery.anti_entropy_interval.is_zero() {
             return Err("discovery anti-entropy interval must be positive".into());
+        }
+        if self.discovery.delta && self.discovery.full_exchange_every == 0 {
+            return Err("delta discovery needs full_exchange_every >= 1".into());
+        }
+        if self.discovery.adaptive_heartbeat {
+            if self.discovery.max_heartbeat_backoff == 0 {
+                return Err("adaptive heartbeat backoff cap must be positive".into());
+            }
+            if self.discovery.quiet_rounds_to_backoff == 0 {
+                return Err("adaptive heartbeat quiet threshold must be positive".into());
+            }
         }
         if self.fetch.max_attempts == 0 {
             return Err("fetch max_attempts must be positive".into());
@@ -443,6 +495,28 @@ mod tests {
         assert!(bad.validate().is_err());
         let mut bad = GossipConfig::enhanced_f4();
         bad.discovery.anti_entropy_interval = Duration::ZERO;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn delta_discovery_preset_enables_the_lean_wire_format() {
+        let cfg = GossipConfig::enhanced_f4().with_delta_discovery();
+        assert!(cfg.discovery.protocol);
+        assert!(cfg.discovery.delta);
+        assert!(cfg.discovery.adaptive_heartbeat);
+        assert!(cfg.validate().is_ok());
+        // Plain protocol mode keeps the PR 4 wire format untouched.
+        let plain = GossipConfig::enhanced_f4().with_discovery_protocol();
+        assert!(!plain.discovery.delta && !plain.discovery.adaptive_heartbeat);
+
+        let mut bad = GossipConfig::enhanced_f4().with_delta_discovery();
+        bad.discovery.full_exchange_every = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = GossipConfig::enhanced_f4().with_delta_discovery();
+        bad.discovery.max_heartbeat_backoff = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = GossipConfig::enhanced_f4().with_delta_discovery();
+        bad.discovery.quiet_rounds_to_backoff = 0;
         assert!(bad.validate().is_err());
     }
 

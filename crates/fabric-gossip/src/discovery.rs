@@ -34,6 +34,7 @@
 
 use std::collections::BTreeMap;
 
+use desim::Duration;
 use rand::RngExt;
 
 use crate::channel::{random_phase, ChannelCore};
@@ -88,6 +89,17 @@ pub struct DiscoveryEngine {
     /// (a deliberate non-member), so it ranks junior to every member and
     /// never claims static seniority while anyone else sits.
     junior: bool,
+    /// Anti-entropy rounds run this life (drives the delta mode's
+    /// periodic full-view fallback).
+    ae_round: u64,
+    /// A membership-level change (join, leave, renewal, refutation) was
+    /// observed since the last heartbeat round — adaptive cadence snaps
+    /// back to base when set.
+    churned: bool,
+    /// Consecutive quiet heartbeat rounds.
+    quiet_rounds: u32,
+    /// Current heartbeat back-off multiplier (1 = base cadence).
+    backoff: u32,
 }
 
 impl DiscoveryEngine {
@@ -113,6 +125,10 @@ impl DiscoveryEngine {
         self.view.clear();
         self.dead.clear();
         self.seq = 0;
+        self.ae_round = 0;
+        self.churned = false;
+        self.quiet_rounds = 0;
+        self.backoff = 1;
     }
 
     /// Starts this life: picks a fresh incarnation (strictly above any
@@ -125,6 +141,10 @@ impl DiscoveryEngine {
         let now = fx.now();
         self.incarnation = now.as_nanos().max(1).max(self.incarnation + 1);
         self.seq = 0;
+        self.ae_round = 0;
+        self.churned = true; // a fresh join is churn: start at base cadence
+        self.quiet_rounds = 0;
+        self.backoff = 1;
         self.junior = self.junior || !core.roster.contains(&core.self_id);
         for peer in core.membership.peers().to_vec() {
             self.view.entry(peer).or_insert(PeerAlive {
@@ -145,6 +165,8 @@ impl DiscoveryEngine {
     /// The DiscoveryRound timer: heartbeat, then sweep — reap every view
     /// entry whose silence outlived the alive timeout (the
     /// `believes_alive` machinery is the single source of expiry truth).
+    /// Under [`crate::config::DiscoveryConfig::adaptive_heartbeat`] the
+    /// next round is scheduled at the backed-off cadence.
     pub fn on_round(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) -> DiscoveryDelta {
         self.heartbeat(core, fx);
         let mut delta = DiscoveryDelta::default();
@@ -158,17 +180,56 @@ impl DiscoveryEngine {
         for peer in expired {
             self.reap(peer, &mut delta);
         }
-        let interval = core.cfg.discovery.heartbeat_interval;
+        let interval = self.next_round_interval(core, &delta);
         core.schedule(fx, interval, GossipTimer::DiscoveryRound);
         delta
     }
 
-    /// The AntiEntropyRound timer: push the full view (and obituaries) to
-    /// one random live member and solicit its view back — plus one
-    /// **tombstone probe** to a random reaped peer. If the "dead" peer is
-    /// in fact alive (a false death, e.g. across a healed partition), the
-    /// obituary about itself it finds in the probe lets it refute, which
-    /// is the only way two sides that reaped each other ever reconnect.
+    /// The cadence of the next heartbeat/sweep round. Base interval unless
+    /// adaptive cadence is on; then a channel quiet for
+    /// `quiet_rounds_to_backoff` consecutive rounds doubles its interval up
+    /// to `max_heartbeat_backoff`×, clamped to a third of the alive timeout
+    /// — everyone must keep hearing a backed-off peer well inside their
+    /// expiry window, and true-death detection lag stays bounded by one
+    /// (clamped) interval past the timeout. Any membership change —
+    /// observed mid-interval through gossip or by this round's sweep —
+    /// snaps straight back to base.
+    fn next_round_interval(&mut self, core: &ChannelCore, delta: &DiscoveryDelta) -> Duration {
+        let cfg = &core.cfg.discovery;
+        let base = cfg.heartbeat_interval;
+        if !cfg.adaptive_heartbeat {
+            return base;
+        }
+        let churned = self.churned || !delta.is_empty();
+        self.churned = false;
+        if churned {
+            self.quiet_rounds = 0;
+            self.backoff = 1;
+            return base;
+        }
+        self.quiet_rounds = self.quiet_rounds.saturating_add(1);
+        if self.quiet_rounds >= cfg.quiet_rounds_to_backoff
+            && self.backoff < cfg.max_heartbeat_backoff
+        {
+            self.backoff = (self.backoff.saturating_mul(2)).min(cfg.max_heartbeat_backoff);
+        }
+        let cap = core.cfg.membership.alive_timeout / 3;
+        (base * u64::from(self.backoff)).min(cap).max(base)
+    }
+
+    /// The AntiEntropyRound timer: exchange membership with one random
+    /// live member — plus one **tombstone probe** to a random reaped peer.
+    /// If the "dead" peer is in fact alive (a false death, e.g. across a
+    /// healed partition), the obituary about itself it finds in the probe
+    /// lets it refute, which is the only way two sides that reaped each
+    /// other ever reconnect.
+    ///
+    /// In the classic format the push is the full view
+    /// ([`GossipMsg::MembershipRequest`]); under
+    /// [`crate::config::DiscoveryConfig::delta`] it is the compact digest
+    /// ([`GossipMsg::MembershipDigest`]) — same claims, fewer bytes — with
+    /// the full request kept every `full_exchange_every`-th round as a
+    /// self-healing fallback.
     pub fn on_anti_entropy_round(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) {
         let mut targets = core.membership.sample(fx.rng(), 1);
         if !self.dead.is_empty() {
@@ -176,10 +237,18 @@ impl DiscoveryEngine {
             let pick = fx.rng().random_range(0..keys.len());
             targets.push(keys[pick]);
         }
+        let full = !core.cfg.discovery.delta
+            || self
+                .ae_round
+                .is_multiple_of(u64::from(core.cfg.discovery.full_exchange_every.max(1)));
+        self.ae_round += 1;
         for to in targets {
-            let request = GossipMsg::MembershipRequest {
-                entries: self.entries_with_self(core),
-                dead: self.obituaries(),
+            let entries = self.entries_with_self(core);
+            let dead = self.obituaries();
+            let request = if full {
+                GossipMsg::MembershipRequest { entries, dead }
+            } else {
+                GossipMsg::MembershipDigest { entries, dead }
             };
             core.send(fx, to, request);
         }
@@ -221,6 +290,89 @@ impl DiscoveryEngine {
             dead: self.obituaries(),
         };
         core.send(fx, from, response);
+        delta
+    }
+
+    /// A [`GossipMsg::MembershipDigest`] arrived (delta anti-entropy):
+    /// merge the requester's claims — the digest carries full
+    /// `(incarnation, seq)` freshness, so it teaches exactly what a
+    /// full-view request would — then answer with **only** the claims and
+    /// obituaries the digest proves the requester is missing or holds
+    /// stale. When there is nothing to teach, no response is sent at all
+    /// (a full-view response carrying no strictly-fresher claims would
+    /// have been merged into nothing anyway).
+    pub fn on_membership_digest(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        from: PeerId,
+        entries: Vec<PeerAlive>,
+        dead: Vec<PeerAlive>,
+    ) -> DiscoveryDelta {
+        // Index the digest before merging: the response must be judged
+        // against what the requester *claimed to know*, not against the
+        // view we are about to teach ourselves from it.
+        let claimed: BTreeMap<PeerId, (u64, u64)> = entries
+            .iter()
+            .map(|c| (c.peer, (c.incarnation, c.seq)))
+            .collect();
+        let claimed_dead: BTreeMap<PeerId, u64> =
+            dead.iter().map(|o| (o.peer, o.incarnation)).collect();
+
+        let mut delta = DiscoveryDelta::default();
+        for claim in entries {
+            self.merge(core, fx, claim, &mut delta);
+        }
+        for obituary in dead {
+            self.apply_death(core, fx, obituary, &mut delta);
+        }
+
+        let self_claim = PeerAlive {
+            peer: core.self_id,
+            incarnation: self.incarnation,
+            seq: self.seq,
+        };
+        let response_entries: Vec<PeerAlive> = std::iter::once(self_claim)
+            .chain(self.view.values().copied())
+            .filter(|claim| {
+                let fresher_than_digest = match claimed.get(&claim.peer) {
+                    Some(&(inc, seq)) => (claim.incarnation, claim.seq) > (inc, seq),
+                    None => true,
+                };
+                // A claim the requester's own obituary outranks would be
+                // rejected on arrival; skip it.
+                let outranked = claimed_dead
+                    .get(&claim.peer)
+                    .is_some_and(|&obit| claim.incarnation <= obit);
+                fresher_than_digest && !outranked
+            })
+            .collect();
+        let response_dead: Vec<PeerAlive> = self
+            .dead
+            .iter()
+            .filter(|(p, &inc)| {
+                let requester_knows = claimed_dead.get(p).is_some_and(|&theirs| theirs >= inc);
+                let superseded = claimed
+                    .get(p)
+                    .is_some_and(|&(their_inc, _)| their_inc > inc);
+                !requester_knows && !superseded
+            })
+            .map(|(p, &inc)| PeerAlive {
+                peer: *p,
+                incarnation: inc,
+                seq: 0,
+            })
+            .collect();
+        if !(response_entries.is_empty() && response_dead.is_empty()) {
+            core.send(
+                fx,
+                from,
+                GossipMsg::MembershipDelta {
+                    entries: response_entries,
+                    dead: response_dead,
+                },
+            );
+        }
         delta
     }
 
@@ -335,6 +487,7 @@ impl DiscoveryEngine {
             }
             self.dead.remove(&peer);
             self.view.insert(peer, claim);
+            self.churned = true;
             delta.joined.push(peer);
             return;
         }
@@ -342,6 +495,7 @@ impl DiscoveryEngine {
             None => {
                 self.view.insert(peer, claim);
                 if !core.membership.peers().contains(&peer) {
+                    self.churned = true;
                     delta.joined.push(peer);
                 } else {
                     // Already a member (seeded roster raced the claim):
@@ -358,6 +512,7 @@ impl DiscoveryEngine {
                 // displacement (incarnation 0 → first real claim) is
                 // first contact, not a renewal.
                 if claim.incarnation > held.incarnation && held.incarnation > 0 {
+                    self.churned = true;
                     delta.renewed.push(peer);
                 }
                 self.view.insert(peer, claim);
@@ -387,6 +542,7 @@ impl DiscoveryEngine {
                 // presumed dead).
                 self.incarnation = (obituary.incarnation + 1).max(fx.now().as_nanos().max(1));
                 self.seq = 0;
+                self.churned = true;
                 delta.self_deposed = true;
             }
             return;
@@ -413,6 +569,7 @@ impl DiscoveryEngine {
         self.view.remove(&peer);
         let entry = self.dead.entry(peer).or_insert(incarnation);
         *entry = (*entry).max(incarnation);
+        self.churned = true;
         delta.left.push(peer);
     }
 }
@@ -683,6 +840,238 @@ mod tests {
         let delta = e.on_membership_response(&mut c, &mut fx, vec![], deaths);
         assert_eq!(delta.left, vec![PeerId(1)]);
         assert!(e.claim_of(PeerId(2)).is_some(), "newer life survives");
+    }
+
+    fn delta_core(self_id: u32, n: u32) -> ChannelCore {
+        ChannelCore::new(
+            ChannelId::DEFAULT,
+            PeerId(self_id),
+            (0..n).map(PeerId).collect(),
+            GossipConfig::enhanced_f4().with_delta_discovery(),
+        )
+    }
+
+    #[test]
+    fn delta_rounds_send_digests_with_periodic_full_fallback() {
+        let mut c = delta_core(0, 5);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(21);
+        e.init(&mut c, &mut fx);
+        fx.take_sent();
+        fx.take_scheduled();
+        let every = c.cfg.discovery.full_exchange_every as usize;
+        let mut kinds = Vec::new();
+        for _ in 0..(2 * every) {
+            e.on_anti_entropy_round(&mut c, &mut fx);
+            for (_, msg) in fx.take_sent() {
+                kinds.push(match msg {
+                    GossipMsg::MembershipRequest { .. } => "full",
+                    GossipMsg::MembershipDigest { .. } => "digest",
+                    other => panic!("unexpected anti-entropy message {other:?}"),
+                });
+            }
+        }
+        assert_eq!(kinds.iter().filter(|k| **k == "full").count(), 2);
+        assert_eq!(kinds[0], "full", "bootstrap round runs the full exchange");
+        assert!(kinds[1..every].iter().all(|k| *k == "digest"));
+        assert_eq!(kinds[every], "full", "every Nth round falls back to full");
+    }
+
+    #[test]
+    fn digest_reply_carries_only_missing_or_stale_claims() {
+        let mut c = delta_core(0, 3);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(22);
+        e.init(&mut c, &mut fx);
+        // Hold a fresh claim about 9 and a stale view of 1.
+        let nine = PeerAlive {
+            peer: PeerId(9),
+            incarnation: 40,
+            seq: 2,
+        };
+        e.on_alive(&mut c, &mut fx, nine);
+        let one_old = PeerAlive {
+            peer: PeerId(1),
+            incarnation: 10,
+            seq: 1,
+        };
+        e.on_alive(&mut c, &mut fx, one_old);
+        fx.take_sent();
+        // The requester's digest: current on 9, fresher on 1 and 2 (we
+        // hold only 2's roster seed), silent on us.
+        let digest = vec![
+            nine,
+            PeerAlive {
+                peer: PeerId(1),
+                incarnation: 10,
+                seq: 7,
+            },
+            PeerAlive {
+                peer: PeerId(2),
+                incarnation: 5,
+                seq: 5,
+            },
+        ];
+        let delta = e.on_membership_digest(&mut c, &mut fx, PeerId(2), digest, vec![]);
+        assert!(delta.is_empty(), "digest taught membership nothing new");
+        // We adopted the fresher claim about 1.
+        assert_eq!(e.claim_of(PeerId(1)).unwrap().seq, 7);
+        let sent = fx.take_sent();
+        assert_eq!(sent.len(), 1);
+        match &sent[0].1 {
+            GossipMsg::MembershipDelta { entries, dead } => {
+                // Only our self-claim is news to the requester: it already
+                // held 9 at our freshness and beat us on 1.
+                assert_eq!(entries.len(), 1, "delta over-shared: {entries:?}");
+                assert_eq!(entries[0].peer, PeerId(0));
+                assert!(dead.is_empty());
+            }
+            other => panic!("expected a delta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn digest_exchange_with_nothing_to_teach_sends_no_reply() {
+        let mut c = delta_core(0, 3);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(23);
+        e.init(&mut c, &mut fx);
+        fx.take_sent();
+        // The requester already knows our exact claim and everything else
+        // we hold (the seeded roster entries are incarnation-0 seeds the
+        // digest filter treats as stale-or-equal).
+        let digest = vec![
+            PeerAlive {
+                peer: PeerId(0),
+                incarnation: e.incarnation(),
+                seq: 1,
+            },
+            PeerAlive {
+                peer: PeerId(1),
+                incarnation: 5,
+                seq: 5,
+            },
+            PeerAlive {
+                peer: PeerId(2),
+                incarnation: 5,
+                seq: 5,
+            },
+        ];
+        e.on_membership_digest(&mut c, &mut fx, PeerId(1), digest, vec![]);
+        assert!(
+            fx.take_sent().is_empty(),
+            "a fully-current requester needs no delta"
+        );
+    }
+
+    #[test]
+    fn digest_obituaries_spread_and_refute_like_full_ones() {
+        let mut c = delta_core(0, 3);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(24);
+        e.init(&mut c, &mut fx);
+        // An obituary about us inside a digest triggers the refutation.
+        let my_death = PeerAlive {
+            peer: PeerId(0),
+            incarnation: e.incarnation(),
+            seq: 0,
+        };
+        let delta = e.on_membership_digest(&mut c, &mut fx, PeerId(1), vec![], vec![my_death]);
+        assert!(delta.self_deposed);
+        assert!(e.incarnation() > my_death.incarnation);
+        // A reaped peer we know about travels in the delta's dead list
+        // when the requester doesn't know it.
+        fx.now = Time::from_secs(60);
+        e.on_round(&mut c, &mut fx);
+        fx.take_sent();
+        let delta = e.on_membership_digest(&mut c, &mut fx, PeerId(1), vec![], vec![]);
+        let _ = delta;
+        let sent = fx.take_sent();
+        assert_eq!(sent.len(), 1);
+        match &sent[0].1 {
+            GossipMsg::MembershipDelta { dead, .. } => {
+                assert!(!dead.is_empty(), "unknown obituaries must travel");
+            }
+            other => panic!("expected a delta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_cadence_backs_off_when_quiet_and_snaps_back_on_churn() {
+        let mut c = delta_core(0, 4);
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(25);
+        e.init(&mut c, &mut fx);
+        fx.take_scheduled();
+        let base = c.cfg.discovery.heartbeat_interval;
+        let keep_alive = |e: &mut DiscoveryEngine, c: &mut ChannelCore, fx: &mut MockEffects| {
+            // Keep the roster fresh so the sweep itself stays quiet.
+            let now = fx.now;
+            for p in 1..4 {
+                c.membership.mark_alive(PeerId(p), now);
+                c.channel_view.mark_alive(PeerId(p), now);
+            }
+            let _ = e;
+        };
+        let mut intervals = Vec::new();
+        for _ in 0..8 {
+            keep_alive(&mut e, &mut c, &mut fx);
+            e.on_round(&mut c, &mut fx);
+            let timers = fx.take_scheduled();
+            let (after, _) = timers
+                .iter()
+                .find(|(_, t)| *t == GossipTimer::DiscoveryRound)
+                .expect("round rearms itself");
+            intervals.push(*after);
+            fx.advance(*after);
+        }
+        // First round still base (init counted as churn), later rounds
+        // backed off, and never beyond a third of the alive timeout.
+        assert_eq!(intervals[0], base);
+        let cap = c.cfg.membership.alive_timeout / 3;
+        let max = *intervals.iter().max().unwrap();
+        assert!(max > base, "quiet channel must back off: {intervals:?}");
+        assert!(max <= cap.max(base), "cap violated: {max} > {cap}");
+        // Churn — a brand-new joiner — snaps the cadence back to base.
+        let newcomer = PeerAlive {
+            peer: PeerId(9),
+            incarnation: 77,
+            seq: 1,
+        };
+        e.on_alive(&mut c, &mut fx, newcomer);
+        keep_alive(&mut e, &mut c, &mut fx);
+        c.membership.mark_alive(PeerId(9), fx.now);
+        e.on_round(&mut c, &mut fx);
+        let timers = fx.take_scheduled();
+        let (after, _) = timers
+            .iter()
+            .find(|(_, t)| *t == GossipTimer::DiscoveryRound)
+            .expect("round rearms itself");
+        assert_eq!(*after, base, "churn must snap the cadence back");
+    }
+
+    #[test]
+    fn fixed_cadence_is_untouched_without_the_adaptive_flag() {
+        let mut c = core(0, 4); // plain protocol mode: adaptive off
+        let mut e = DiscoveryEngine::default();
+        let mut fx = MockEffects::new(26);
+        e.init(&mut c, &mut fx);
+        fx.take_scheduled();
+        let base = c.cfg.discovery.heartbeat_interval;
+        for _ in 0..6 {
+            let now = fx.now;
+            for p in 1..4 {
+                c.membership.mark_alive(PeerId(p), now);
+            }
+            e.on_round(&mut c, &mut fx);
+            let timers = fx.take_scheduled();
+            let (after, _) = timers
+                .iter()
+                .find(|(_, t)| *t == GossipTimer::DiscoveryRound)
+                .expect("round rearms itself");
+            assert_eq!(*after, base, "PR 4 cadence must stay byte-identical");
+            fx.advance(*after);
+        }
     }
 
     #[test]

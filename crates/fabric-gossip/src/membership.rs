@@ -12,6 +12,12 @@ use rand::RngExt;
 use fabric_types::ids::PeerId;
 
 /// The local peer's view of its organization.
+///
+/// Lookups by peer id are O(1) through a dense id→position index:
+/// `mark_alive` runs twice per received gossip message, so the seed's
+/// linear roster scan was an O(n) tax on every single delivery at
+/// 100-peer scale. The index is pure bookkeeping — iteration order,
+/// sampling order and every observable result are unchanged.
 #[derive(Debug, Clone)]
 pub struct Membership {
     self_id: PeerId,
@@ -19,6 +25,8 @@ pub struct Membership {
     /// Last time each roster entry was heard from (index-aligned with
     /// `peers`); `None` until first contact, treated as alive at startup.
     last_heard: Vec<Option<Time>>,
+    /// Dense map `peer.0 → position + 1` in `peers` (0 = absent).
+    index: Vec<u32>,
     alive_timeout: Duration,
 }
 
@@ -28,11 +36,33 @@ impl Membership {
     pub fn new(self_id: PeerId, roster: Vec<PeerId>, alive_timeout: Duration) -> Self {
         let peers: Vec<PeerId> = roster.into_iter().filter(|p| *p != self_id).collect();
         let last_heard = vec![None; peers.len()];
-        Membership {
+        let mut m = Membership {
             self_id,
             peers,
             last_heard,
+            index: Vec::new(),
             alive_timeout,
+        };
+        m.reindex(0);
+        m
+    }
+
+    /// Rebuilds the id→position index for entries at `from` and beyond.
+    fn reindex(&mut self, from: usize) {
+        for i in from..self.peers.len() {
+            let id = self.peers[i].0 as usize;
+            if self.index.len() <= id {
+                self.index.resize(id + 1, 0);
+            }
+            self.index[id] = (i + 1) as u32;
+        }
+    }
+
+    /// Position of `peer` in `peers`, if present.
+    fn pos(&self, peer: PeerId) -> Option<usize> {
+        match self.index.get(peer.0 as usize) {
+            Some(&v) if v > 0 => Some((v - 1) as usize),
+            _ => None,
         }
     }
 
@@ -58,7 +88,7 @@ impl Membership {
 
     /// Records that `peer` was heard from at `now`.
     pub fn mark_alive(&mut self, peer: PeerId, now: Time) {
-        if let Some(idx) = self.peers.iter().position(|p| *p == peer) {
+        if let Some(idx) = self.pos(peer) {
             self.last_heard[idx] = Some(now);
         }
     }
@@ -67,7 +97,7 @@ impl Membership {
     /// timeout. Peers never heard from get a startup grace of one timeout
     /// from time zero, after which silence means death.
     pub fn believes_alive(&self, peer: PeerId, now: Time) -> bool {
-        match self.peers.iter().position(|p| *p == peer) {
+        match self.pos(peer) {
             Some(idx) => match self.last_heard[idx] {
                 None => now.since(Time::ZERO) <= self.alive_timeout,
                 Some(t) => now.since(t) <= self.alive_timeout,
@@ -93,11 +123,12 @@ impl Membership {
         if peer == self.self_id {
             return;
         }
-        match self.peers.iter().position(|p| *p == peer) {
+        match self.pos(peer) {
             Some(idx) => self.last_heard[idx] = Some(now),
             None => {
                 self.peers.push(peer);
                 self.last_heard.push(Some(now));
+                self.reindex(self.peers.len() - 1);
             }
         }
     }
@@ -106,10 +137,12 @@ impl Membership {
     /// whether the peer was present. A removed peer is never sampled again
     /// and is not believed alive.
     pub fn remove_peer(&mut self, peer: PeerId) -> bool {
-        match self.peers.iter().position(|p| *p == peer) {
+        match self.pos(peer) {
             Some(idx) => {
                 self.peers.remove(idx);
                 self.last_heard.remove(idx);
+                self.index[peer.0 as usize] = 0;
+                self.reindex(idx);
                 true
             }
             None => false,
@@ -122,7 +155,7 @@ impl Membership {
     /// peer look silent.
     pub fn adopt_liveness(&mut self, prev: &Membership) {
         for (idx, p) in self.peers.iter().enumerate() {
-            if let Some(prev_idx) = prev.peers.iter().position(|q| q == p) {
+            if let Some(prev_idx) = prev.pos(*p) {
                 if let Some(t) = prev.last_heard[prev_idx] {
                     self.last_heard[idx] = Some(match self.last_heard[idx] {
                         Some(cur) => cur.max(t),

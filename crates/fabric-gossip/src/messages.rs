@@ -5,6 +5,9 @@
 //! messages are dominated by the block payload. The byte accounting of the
 //! bandwidth figures rests on these sizes.
 
+use std::sync::OnceLock;
+
+use desim::KindId;
 use fabric_types::block::BlockRef;
 use fabric_types::ids::{ChannelId, PeerId};
 
@@ -38,6 +41,10 @@ impl desim::Message for ChannelMsg {
     fn kind(&self) -> &'static str {
         self.msg.kind()
     }
+
+    fn kind_id(&self) -> KindId {
+        self.msg.kind_id()
+    }
 }
 
 /// One peer's liveness claim, as carried by the discovery protocol.
@@ -68,6 +75,12 @@ impl PeerAlive {
 
     /// Wire bytes of one serialized claim (peer id + incarnation + seq).
     pub(crate) const WIRE: usize = 24;
+
+    /// Wire bytes of one claim in the delta anti-entropy's compact digest
+    /// encoding: the peer id plus a varint-packed `(incarnation, seq)`
+    /// freshness word — incarnations are wall-clock-derived and seqs
+    /// small, so the pair packs into 8 bytes in practice.
+    pub(crate) const DIGEST_WIRE: usize = 12;
 }
 
 /// A gossip message between two peers of the same organization.
@@ -166,6 +179,33 @@ pub enum GossipMsg {
         /// the death unless they know a strictly higher incarnation.
         dead: Vec<PeerAlive>,
     },
+    /// Delta anti-entropy, phase 1 (replaces [`GossipMsg::MembershipRequest`]
+    /// when [`crate::config::DiscoveryConfig::delta`] is on): the
+    /// requester's **view digest** — every claim it holds, compactly
+    /// encoded ([`PeerAlive::DIGEST_WIRE`] bytes per entry instead of
+    /// [`PeerAlive::WIRE`]) — plus its obituaries. The digest carries the
+    /// full `(incarnation, seq)` freshness of each claim, so the responder
+    /// both *learns* from it (exactly as it would from a full-view
+    /// request) and can answer with only what the requester is missing.
+    /// Also serves as the tombstone probe: a "dead" peer that finds its
+    /// own obituary in `dead` refutes it, reconnecting healed partitions.
+    MembershipDigest {
+        /// Every claim the requester holds (its own included), digest-
+        /// encoded.
+        entries: Vec<PeerAlive>,
+        /// Reaped peers with the incarnation they died at, digest-encoded.
+        dead: Vec<PeerAlive>,
+    },
+    /// Delta anti-entropy, phase 2: only the claims the requester's digest
+    /// was missing or held stale, plus the obituaries it lacked — in a
+    /// converged quiet channel this is one or two entries instead of the
+    /// whole membership.
+    MembershipDelta {
+        /// Claims strictly fresher than (or absent from) the digest.
+        entries: Vec<PeerAlive>,
+        /// Obituaries the requester did not know, digest-encoded.
+        dead: Vec<PeerAlive>,
+    },
     /// Leader-election heartbeat from the peer currently acting as leader.
     LeaderHeartbeat {
         /// The claiming leader (equals the sender; explicit for clarity).
@@ -202,6 +242,12 @@ impl desim::Message for GossipMsg {
             GossipMsg::MembershipResponse { entries, dead } => {
                 ENVELOPE + 8 + PeerAlive::WIRE * (entries.len() + dead.len())
             }
+            GossipMsg::MembershipDigest { entries, dead } => {
+                ENVELOPE + 8 + PeerAlive::DIGEST_WIRE * (entries.len() + dead.len())
+            }
+            GossipMsg::MembershipDelta { entries, dead } => {
+                ENVELOPE + 8 + PeerAlive::WIRE * entries.len() + PeerAlive::DIGEST_WIRE * dead.len()
+            }
             GossipMsg::LeaderHeartbeat { .. } => ENVELOPE + 48,
         }
     }
@@ -222,8 +268,82 @@ impl desim::Message for GossipMsg {
             GossipMsg::AliveMsg(_) => "alive-msg",
             GossipMsg::MembershipRequest { .. } => "membership-request",
             GossipMsg::MembershipResponse { .. } => "membership-response",
+            GossipMsg::MembershipDigest { .. } => "membership-digest",
+            GossipMsg::MembershipDelta { .. } => "membership-delta",
             GossipMsg::LeaderHeartbeat { .. } => "leadership",
         }
+    }
+
+    fn kind_id(&self) -> KindId {
+        let ids = GossipKindIds::get();
+        match self {
+            GossipMsg::BlockPush { .. } => ids.block,
+            GossipMsg::PushDigest { .. } => ids.push_digest,
+            GossipMsg::PushRequest { .. } => ids.push_request,
+            GossipMsg::PullHello { .. } => ids.pull_hello,
+            GossipMsg::PullDigestResponse { .. } => ids.pull_digest,
+            GossipMsg::PullRequest { .. } => ids.pull_request,
+            GossipMsg::PullResponse { .. } => ids.block_pull,
+            GossipMsg::StateInfo { .. } => ids.state_info,
+            GossipMsg::RecoveryRequest { .. } => ids.recovery_request,
+            GossipMsg::RecoveryResponse { .. } => ids.block_recovery,
+            GossipMsg::Alive => ids.alive,
+            GossipMsg::AliveMsg(_) => ids.alive_msg,
+            GossipMsg::MembershipRequest { .. } => ids.membership_request,
+            GossipMsg::MembershipResponse { .. } => ids.membership_response,
+            GossipMsg::MembershipDigest { .. } => ids.membership_digest,
+            GossipMsg::MembershipDelta { .. } => ids.membership_delta,
+            GossipMsg::LeaderHeartbeat { .. } => ids.leadership,
+        }
+    }
+}
+
+/// Interned [`KindId`]s of every gossip kind, resolved once per process so
+/// the per-send metrics tag is an atomic load plus a match instead of a
+/// registry lookup.
+#[derive(Debug)]
+struct GossipKindIds {
+    block: KindId,
+    push_digest: KindId,
+    push_request: KindId,
+    pull_hello: KindId,
+    pull_digest: KindId,
+    pull_request: KindId,
+    block_pull: KindId,
+    state_info: KindId,
+    recovery_request: KindId,
+    block_recovery: KindId,
+    alive: KindId,
+    alive_msg: KindId,
+    membership_request: KindId,
+    membership_response: KindId,
+    membership_digest: KindId,
+    membership_delta: KindId,
+    leadership: KindId,
+}
+
+impl GossipKindIds {
+    fn get() -> &'static GossipKindIds {
+        static IDS: OnceLock<GossipKindIds> = OnceLock::new();
+        IDS.get_or_init(|| GossipKindIds {
+            block: KindId::intern("block"),
+            push_digest: KindId::intern("push-digest"),
+            push_request: KindId::intern("push-request"),
+            pull_hello: KindId::intern("pull-hello"),
+            pull_digest: KindId::intern("pull-digest"),
+            pull_request: KindId::intern("pull-request"),
+            block_pull: KindId::intern("block-pull"),
+            state_info: KindId::intern("state-info"),
+            recovery_request: KindId::intern("recovery-request"),
+            block_recovery: KindId::intern("block-recovery"),
+            alive: KindId::intern("alive"),
+            alive_msg: KindId::intern("alive-msg"),
+            membership_request: KindId::intern("membership-request"),
+            membership_response: KindId::intern("membership-response"),
+            membership_digest: KindId::intern("membership-digest"),
+            membership_delta: KindId::intern("membership-delta"),
+            leadership: KindId::intern("leadership"),
+        })
     }
 }
 
@@ -433,11 +553,94 @@ mod tests {
                 dead: vec![],
             }
             .kind(),
+            GossipMsg::MembershipDigest {
+                entries: vec![],
+                dead: vec![],
+            }
+            .kind(),
+            GossipMsg::MembershipDelta {
+                entries: vec![],
+                dead: vec![],
+            }
+            .kind(),
             GossipMsg::LeaderHeartbeat { leader: PeerId(0) }.kind(),
         ];
         let mut unique = kinds.to_vec();
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), kinds.len());
+    }
+
+    #[test]
+    fn kind_ids_agree_with_kind_names() {
+        use desim::KindId;
+        let samples = [
+            GossipMsg::BlockPush {
+                block: block(0),
+                counter: 0,
+            },
+            GossipMsg::PullHello { nonce: 0 },
+            GossipMsg::AliveMsg(PeerAlive {
+                peer: PeerId(0),
+                incarnation: 1,
+                seq: 1,
+            }),
+            GossipMsg::MembershipDigest {
+                entries: vec![],
+                dead: vec![],
+            },
+            GossipMsg::MembershipDelta {
+                entries: vec![],
+                dead: vec![],
+            },
+            GossipMsg::LeaderHeartbeat { leader: PeerId(0) },
+        ];
+        for msg in samples {
+            assert_eq!(msg.kind_id(), KindId::intern(msg.kind()), "{}", msg.kind());
+        }
+        let tagged = ChannelMsg {
+            channel: ChannelId(3),
+            msg: GossipMsg::PullHello { nonce: 1 },
+        };
+        assert_eq!(tagged.kind_id(), KindId::intern("pull-hello"));
+    }
+
+    #[test]
+    fn digest_and_delta_are_cheaper_than_the_full_exchange() {
+        let entry = |inc, seq| PeerAlive {
+            peer: PeerId(3),
+            incarnation: inc,
+            seq,
+        };
+        let n = 20;
+        let full_request = GossipMsg::MembershipRequest {
+            entries: vec![entry(1, 1); n],
+            dead: vec![entry(2, 0); 2],
+        };
+        let digest = GossipMsg::MembershipDigest {
+            entries: vec![entry(1, 1); n],
+            dead: vec![entry(2, 0); 2],
+        };
+        // The digest carries the same claims at half the per-entry cost.
+        assert_eq!(
+            digest.wire_size(),
+            16 + 8 + PeerAlive::DIGEST_WIRE * (n + 2)
+        );
+        assert!(digest.wire_size() < full_request.wire_size());
+
+        // A converged responder answers with one fresher entry instead of
+        // the whole view.
+        let full_response = GossipMsg::MembershipResponse {
+            entries: vec![entry(1, 1); n],
+            dead: vec![],
+        };
+        let delta = GossipMsg::MembershipDelta {
+            entries: vec![entry(1, 2)],
+            dead: vec![],
+        };
+        assert_eq!(delta.wire_size(), 16 + 8 + PeerAlive::WIRE);
+        assert!(delta.wire_size() * 5 < full_response.wire_size());
+        assert_eq!(digest.kind(), "membership-digest");
+        assert_eq!(delta.kind(), "membership-delta");
     }
 }
