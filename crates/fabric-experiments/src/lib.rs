@@ -21,6 +21,10 @@
 //!   protocol** (no membership oracle): waves of joiners/leavers and a
 //!   flash crowd, reporting discovery convergence, stale-view windows,
 //!   leader gaps and fairness including discovery overhead;
+//! * [`adversarial`] — beyond the paper: Byzantine fault injection over
+//!   the discovery protocol (stale replay, obituary forgery, selective
+//!   forwarding, flooding, eclipse), reporting surviving guarantees and
+//!   measured degradation as a machine-readable report;
 //! * [`report`] — paper-style text rendering of every figure and table.
 //!
 //! ```no_run
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adversarial;
 pub mod churn;
 pub mod churn_waves;
 pub mod conflicts;
@@ -41,6 +46,10 @@ pub mod net;
 pub mod parallel;
 pub mod report;
 
+pub use adversarial::{
+    render_adversarial, run_adversarial, AdversarialConfig, AdversarialReport, AttackOutcome,
+    Guarantee, Metric,
+};
 pub use churn::{run_churn, ChurnConfig, ChurnResult};
 pub use churn_waves::{run_churn_waves, ChurnWavesConfig, ChurnWavesResult};
 pub use conflicts::{run_conflicts, run_table2, ConflictConfig, ConflictResult, Table2Row};

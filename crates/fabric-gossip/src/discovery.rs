@@ -118,6 +118,17 @@ impl DiscoveryEngine {
         self.dead.get(&peer).copied()
     }
 
+    /// Every claim currently held about other peers, in id order.
+    pub fn claims(&self) -> impl Iterator<Item = &PeerAlive> {
+        self.view.values()
+    }
+
+    /// Every obituary held, as `(peer, incarnation-it-died-at)`, in id
+    /// order.
+    pub fn obituary_iter(&self) -> impl Iterator<Item = (PeerId, u64)> + '_ {
+        self.dead.iter().map(|(p, inc)| (*p, *inc))
+    }
+
     /// Drops what a process crash would lose: the merged view, the
     /// obituaries and the heartbeat counter. The incarnation is kept so
     /// the next [`DiscoveryEngine::init`] picks a strictly higher one.

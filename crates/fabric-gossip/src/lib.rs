@@ -88,6 +88,7 @@ pub mod peer;
 pub mod pull;
 pub mod push;
 pub mod runtime;
+pub mod scenario;
 pub mod store;
 pub mod testing;
 

@@ -1,5 +1,4 @@
-//! Test support: a scriptable [`Effects`] implementation and a scripted
-//! multi-peer discovery harness.
+//! Test support: a scriptable [`Effects`] implementation.
 //!
 //! `MockEffects` records everything the protocol asks for — sends, timers,
 //! deliveries — so unit and integration tests can assert on the exact
@@ -9,27 +8,22 @@
 //! [`MockEffects::sent_of_kind`]) project the tag away so single-channel
 //! tests read exactly as before.
 //!
-//! [`DiscoveryHarness`] drives a whole network of peers under a **scripted
-//! clock**: it owns every peer's timer queue, fires due timers in
-//! deterministic order, delivers messages with zero latency, and supports
-//! drop/partition injection — the substrate for convergence tests of the
-//! gossiped discovery protocol, where joins and leaves must propagate
-//! through `AliveMsg`/anti-entropy alone (no oracle callbacks).
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+//! The scripted multi-peer network that used to live here grew into the
+//! adversarial scenario engine and moved to [`crate::scenario`];
+//! [`DiscoveryHarness`] is re-exported so existing test imports keep
+//! working.
 
 use desim::{Duration, Time};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 
 use fabric_types::block::BlockRef;
 use fabric_types::ids::{ChannelId, PeerId};
 
-use crate::config::GossipConfig;
 use crate::effects::Effects;
 use crate::messages::{GossipMsg, GossipTimer};
-use crate::peer::GossipPeer;
+
+pub use crate::scenario::DiscoveryHarness;
 
 /// A recording [`Effects`] for tests.
 #[derive(Debug)]
@@ -157,304 +151,5 @@ impl Effects for MockEffects {
 
     fn discovery_event(&mut self, channel: ChannelId, peer: PeerId, joined: bool) {
         self.discovery_events.push((channel, peer, joined));
-    }
-}
-
-/// One armed timer of the harness, ordered by `(at, seq)` so same-instant
-/// timers fire in arming order (deterministic, like the simulator).
-#[derive(Debug)]
-struct HarnessTimer {
-    at: Time,
-    seq: u64,
-    peer: usize,
-    channel: ChannelId,
-    timer: GossipTimer,
-}
-
-impl PartialEq for HarnessTimer {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for HarnessTimer {}
-impl PartialOrd for HarnessTimer {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HarnessTimer {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at
-            .cmp(&other.at)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
-}
-
-/// A scripted multi-peer network for discovery-protocol tests.
-///
-/// Unlike the oracle-style lockstep routers used before the discovery
-/// protocol existed, the harness **never** calls
-/// [`GossipPeer::on_peer_joined`] / [`GossipPeer::on_peer_left`] on
-/// sitting members: a join is only the joiner's own
-/// [`GossipPeer::join_channel_live`] (whose discovery engine announces
-/// it), and a leave is only the leaver dropping its instance — everyone
-/// else must find out through gossip. The clock is scripted: timers fire
-/// under [`DiscoveryHarness::run_for`] in deterministic `(time, arming)`
-/// order, messages deliver with zero latency, and links can drop
-/// ([`DiscoveryHarness::set_loss`]) or partition
-/// ([`DiscoveryHarness::partition`]).
-#[derive(Debug)]
-pub struct DiscoveryHarness {
-    peers: Vec<GossipPeer>,
-    fxs: Vec<MockEffects>,
-    now: Time,
-    timers: BinaryHeap<Reverse<HarnessTimer>>,
-    timer_seq: u64,
-    /// Ground-truth membership per channel (what the script did), for
-    /// convergence assertions.
-    members: Vec<Vec<PeerId>>,
-    /// Symmetric blocked links (partition injection).
-    blocked: HashSet<(u32, u32)>,
-    /// Independent per-message loss probability.
-    loss: f64,
-    loss_rng: StdRng,
-    outbox: VecDeque<(PeerId, ChannelId, PeerId, GossipMsg)>,
-}
-
-impl DiscoveryHarness {
-    /// Builds and initializes `n` peers; peer `i` starts joined to every
-    /// channel whose member list contains it. Every peer's timers are
-    /// armed (discovery announces each initial member to its samples) and
-    /// the resulting traffic is routed to quiescence at `t = 0`.
-    pub fn new(n: usize, memberships: Vec<Vec<PeerId>>, cfg: &GossipConfig) -> Self {
-        let peers: Vec<GossipPeer> = (0..n as u32)
-            .map(|i| {
-                let mut peer = GossipPeer::with_channels(PeerId(i), cfg.clone());
-                for (c, members) in memberships.iter().enumerate() {
-                    if members.contains(&PeerId(i)) {
-                        peer = peer.join_channel(ChannelId(c as u16), members.clone());
-                    }
-                }
-                peer
-            })
-            .collect();
-        let fxs: Vec<MockEffects> = (0..n as u64).map(|i| MockEffects::new(9_000 + i)).collect();
-        let mut harness = DiscoveryHarness {
-            peers,
-            fxs,
-            now: Time::ZERO,
-            timers: BinaryHeap::new(),
-            timer_seq: 0,
-            members: memberships,
-            blocked: HashSet::new(),
-            loss: 0.0,
-            loss_rng: StdRng::seed_from_u64(77),
-            outbox: VecDeque::new(),
-        };
-        for i in 0..harness.peers.len() {
-            harness.fxs[i].now = harness.now;
-            harness.peers[i].init(&mut harness.fxs[i]);
-            harness.drain_effects(i);
-        }
-        harness.route();
-        harness
-    }
-
-    /// The scripted clock's current instant.
-    pub fn now(&self) -> Time {
-        self.now
-    }
-
-    /// The gossip state of peer `i`.
-    pub fn gossip(&self, i: usize) -> &GossipPeer {
-        &self.peers[i]
-    }
-
-    /// The recorded effects of peer `i` (deliveries, discovery events...).
-    pub fn effects(&self, i: usize) -> &MockEffects {
-        &self.fxs[i]
-    }
-
-    /// Ground-truth members of channel `c` (what the script enacted).
-    pub fn members(&self, c: usize) -> &[PeerId] {
-        &self.members[c]
-    }
-
-    /// Sets the independent per-message loss probability.
-    pub fn set_loss(&mut self, loss: f64) {
-        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
-        self.loss = loss;
-    }
-
-    /// Blocks (or unblocks) the link between `a` and `b`, both directions.
-    pub fn set_link(&mut self, a: PeerId, b: PeerId, up: bool) {
-        let key = (a.0.min(b.0), a.0.max(b.0));
-        if up {
-            self.blocked.remove(&key);
-        } else {
-            self.blocked.insert(key);
-        }
-    }
-
-    /// Partitions the network into `groups`: every link between two
-    /// different groups is blocked (links inside a group are restored).
-    pub fn partition(&mut self, groups: &[Vec<PeerId>]) {
-        self.heal();
-        for (gi, ga) in groups.iter().enumerate() {
-            for gb in groups.iter().skip(gi + 1) {
-                for a in ga {
-                    for b in gb {
-                        self.set_link(*a, *b, false);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Removes every block and resets loss to zero.
-    pub fn heal(&mut self) {
-        self.blocked.clear();
-        self.loss = 0.0;
-    }
-
-    /// Runs the network for `d` of scripted time: fires every timer due in
-    /// the window (in deterministic order), routing all resulting traffic
-    /// with zero latency.
-    pub fn run_for(&mut self, d: Duration) {
-        let deadline = self.now + d;
-        loop {
-            match self.timers.peek() {
-                Some(Reverse(entry)) if entry.at <= deadline => {
-                    let Reverse(entry) = self.timers.pop().expect("peeked");
-                    self.now = self.now.max(entry.at);
-                    let i = entry.peer;
-                    self.fxs[i].now = self.now;
-                    self.peers[i].on_channel_timer(&mut self.fxs[i], entry.channel, entry.timer);
-                    self.drain_effects(i);
-                    self.route();
-                }
-                _ => break,
-            }
-        }
-        self.now = deadline;
-    }
-
-    /// Runtime join, discovery-style: **only the joiner acts** — it joins
-    /// live with the sitting membership as its roster and its discovery
-    /// engine announces the join; nobody else is told anything.
-    pub fn join(&mut self, c: usize, peer: PeerId) {
-        if self.members[c].contains(&peer) {
-            return;
-        }
-        let roster = self.members[c].clone();
-        let idx = peer.index();
-        self.fxs[idx].now = self.now;
-        self.peers[idx].join_channel_live(&mut self.fxs[idx], ChannelId(c as u16), roster);
-        self.drain_effects(idx);
-        self.members[c].push(peer);
-        self.route();
-    }
-
-    /// Runtime leave, discovery-style: **only the leaver acts** — it drops
-    /// its instance and goes silent; the sitting members must detect the
-    /// departure by alive-timeout expiry and spread the obituary.
-    pub fn leave(&mut self, c: usize, peer: PeerId) {
-        let Some(pos) = self.members[c].iter().position(|m| *m == peer) else {
-            return;
-        };
-        self.members[c].remove(pos);
-        self.peers[peer.index()].leave_channel(ChannelId(c as u16));
-    }
-
-    /// Injects block `num` of channel `c` at its lowest current member (as
-    /// the ordering service would) and routes to quiescence.
-    pub fn inject(&mut self, c: usize, block: BlockRef) {
-        let Some(seed_peer) = self.members[c].iter().min().copied() else {
-            return;
-        };
-        let idx = seed_peer.index();
-        self.fxs[idx].now = self.now;
-        self.peers[idx].on_block_from_orderer_on(&mut self.fxs[idx], ChannelId(c as u16), block);
-        self.drain_effects(idx);
-        self.route();
-    }
-
-    /// Peer `m`'s organization view of channel `c`, in id order.
-    pub fn view_of(&self, m: PeerId, c: usize) -> Vec<PeerId> {
-        let mut view = self.peers[m.index()]
-            .membership_on(ChannelId(c as u16))
-            .map(|mem| mem.peers().to_vec())
-            .unwrap_or_default();
-        view.sort_unstable();
-        view
-    }
-
-    /// Whether every current member of channel `c` sees exactly the other
-    /// current members — the convergence predicate of the discovery
-    /// protocol.
-    pub fn views_converged(&self, c: usize) -> bool {
-        self.divergent_views(c).is_empty()
-    }
-
-    /// Members of channel `c` whose view does **not** match the ground
-    /// truth, with their views — for assertion messages.
-    pub fn divergent_views(&self, c: usize) -> Vec<(PeerId, Vec<PeerId>)> {
-        self.members[c]
-            .iter()
-            .filter_map(|m| {
-                let mut expected: Vec<PeerId> =
-                    self.members[c].iter().copied().filter(|p| p != m).collect();
-                expected.sort_unstable();
-                let got = self.view_of(*m, c);
-                (got != expected).then_some((*m, got))
-            })
-            .collect()
-    }
-
-    /// Current leaders of channel `c` among its current members.
-    pub fn leaders(&self, c: usize) -> Vec<PeerId> {
-        self.members[c]
-            .iter()
-            .copied()
-            .filter(|m| self.peers[m.index()].is_leader_on(ChannelId(c as u16)))
-            .collect()
-    }
-
-    /// Moves peer `i`'s recorded sends and timers into the harness queues.
-    fn drain_effects(&mut self, i: usize) {
-        for (after, channel, timer) in self.fxs[i].take_scheduled_on() {
-            self.timer_seq += 1;
-            self.timers.push(Reverse(HarnessTimer {
-                at: self.fxs[i].now + after,
-                seq: self.timer_seq,
-                peer: i,
-                channel,
-                timer,
-            }));
-        }
-        for (channel, to, msg) in self.fxs[i].take_sent_on() {
-            self.outbox.push_back((PeerId(i as u32), channel, to, msg));
-        }
-    }
-
-    /// Delivers queued messages (and whatever they trigger) until quiet,
-    /// applying loss and blocked links.
-    fn route(&mut self) {
-        while let Some((from, channel, to, msg)) = self.outbox.pop_front() {
-            let key = (from.0.min(to.0), from.0.max(to.0));
-            if self.blocked.contains(&key) {
-                continue;
-            }
-            if self.loss > 0.0 && self.loss_rng.random_bool(self.loss) {
-                continue;
-            }
-            let i = to.index();
-            if i >= self.peers.len() {
-                continue;
-            }
-            self.fxs[i].now = self.now;
-            self.peers[i].on_channel_message(&mut self.fxs[i], channel, from, msg);
-            self.drain_effects(i);
-        }
     }
 }

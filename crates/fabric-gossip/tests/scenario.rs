@@ -1,0 +1,444 @@
+//! The adversarial suite: scripted and seeded-random scenarios over the
+//! [`fabric_gossip::scenario`] DSL, with Byzantine fault injection.
+//!
+//! Each of the five attackers gets (at least) one **asserted surviving
+//! guarantee** and one **measured degradation**:
+//!
+//! | attacker             | survives (asserted)                       | degrades (measured)        |
+//! |----------------------|-------------------------------------------|----------------------------|
+//! | stale replay         | no resurrection below obituary            | alive-msg byte inflation   |
+//! | obituary forgery     | refuted via incarnation bump, views heal  | disruption window seconds  |
+//! | selective forwarding | joiner still converges                    | join convergence seconds   |
+//! | flood amplification  | view agreement + one leader               | discovery byte inflation   |
+//! | eclipse              | one honest seed defeats it                | time-to-escape seconds     |
+//!
+//! The random proptests compose loss, partitions, crashes and a random
+//! attacker and still demand post-heal convergence, for both the full
+//! and the delta anti-entropy wire formats. `FAIR_GOSSIP_ADVERSARIAL_SEED`
+//! shifts the generated scenario space (the CI seed matrix).
+
+use desim::Duration;
+use fabric_gossip::config::GossipConfig;
+use fabric_gossip::scenario::{
+    random_scenario, Byzantine, DiscoveryHarness, Eclipser, Flooder, ObituaryForger, Predicate,
+    ScenarioOp, ScenarioShape, SelectiveForwarder, StaleReplayer,
+};
+use fabric_types::block::{Block, BlockRef};
+use fabric_types::crypto::Hash256;
+use fabric_types::ids::{ChannelId, PeerId};
+use proptest::prelude::*;
+
+/// Discovery timers tightened so convergence happens in seconds of
+/// scripted time (same shape as the discovery suite).
+fn discovery_cfg() -> GossipConfig {
+    let mut cfg = GossipConfig::enhanced_f4().with_discovery_protocol();
+    cfg.discovery.heartbeat_interval = Duration::from_secs(1);
+    cfg.discovery.anti_entropy_interval = Duration::from_secs(1);
+    cfg.membership.alive_timeout = Duration::from_secs(5);
+    cfg
+}
+
+/// [`discovery_cfg`] with the byte-lean wire format: delta anti-entropy
+/// plus adaptive heartbeat cadence.
+fn delta_cfg() -> GossipConfig {
+    let mut cfg = discovery_cfg();
+    cfg.discovery.delta = true;
+    cfg.discovery.adaptive_heartbeat = true;
+    cfg
+}
+
+/// The CI seed matrix knob: shifts which random scenarios a run explores
+/// without touching the test code.
+fn env_seed() -> u64 {
+    std::env::var("FAIR_GOSSIP_ADVERSARIAL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Polls `done` once per scripted second (running time in between) and
+/// returns the first second at which it held, up to `limit`.
+fn secs_until(
+    net: &mut DiscoveryHarness,
+    limit: u64,
+    mut done: impl FnMut(&DiscoveryHarness) -> bool,
+) -> Option<u64> {
+    for elapsed in 0..=limit {
+        if done(net) {
+            return Some(elapsed);
+        }
+        if elapsed < limit {
+            net.run_for(Duration::from_secs(1));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// DSL ports of the hand-written discovery tests: the scenario engine
+// subsumes the old harness style.
+// ---------------------------------------------------------------------
+
+#[test]
+fn dsl_subsumes_the_partition_heal_refutation_test() {
+    // Port of `a_partitioned_minority_is_reaped_and_resurrects_on_heal`:
+    // the same timeline as a script, the same guarantees as predicates.
+    let members: Vec<PeerId> = (0..6).map(PeerId).collect();
+    let mut net = DiscoveryHarness::new(6, vec![members], &discovery_cfg());
+    net.run_script(&[
+        ScenarioOp::Wait { secs: 3 },
+        ScenarioOp::Partition {
+            groups: vec![(0..5).map(PeerId).collect::<Vec<_>>(), vec![PeerId(5)]],
+        },
+        ScenarioOp::Wait { secs: 12 },
+    ])
+    .expect("no asserts yet");
+    assert!(
+        !net.view_of(PeerId(0), 0).contains(&PeerId(5)),
+        "majority reaps the cut-off peer"
+    );
+    net.run_script(&[
+        ScenarioOp::Heal,
+        ScenarioOp::Assert(Predicate::ConvergenceWithin {
+            channel: 0,
+            secs: 20,
+        }),
+        ScenarioOp::Assert(Predicate::ExactlyOneLeader { channel: 0 }),
+        ScenarioOp::Assert(Predicate::NoResurrectionBelowObituary { channel: 0 }),
+    ])
+    .expect("the refutation machinery heals the partition");
+}
+
+#[test]
+fn dsl_subsumes_the_false_death_incarnation_bump_test() {
+    // Port of `rejoin_after_reap_carries_a_strictly_higher_incarnation`.
+    let members: Vec<PeerId> = (0..4).map(PeerId).collect();
+    let mut net = DiscoveryHarness::new(4, vec![members], &discovery_cfg());
+    net.run_script(&[ScenarioOp::Wait { secs: 3 }]).unwrap();
+    let first_life = net
+        .gossip(0)
+        .discovery_on(ChannelId(0))
+        .unwrap()
+        .claim_of(PeerId(3))
+        .expect("peer 3 heartbeated")
+        .incarnation;
+
+    net.run_script(&[
+        ScenarioOp::Leave {
+            channel: 0,
+            peer: PeerId(3),
+        },
+        ScenarioOp::Wait { secs: 15 },
+        ScenarioOp::Assert(Predicate::ViewAgreement { channel: 0 }),
+        ScenarioOp::Join {
+            channel: 0,
+            peer: PeerId(3),
+        },
+        ScenarioOp::Wait { secs: 15 },
+        ScenarioOp::Assert(Predicate::ViewAgreement { channel: 0 }),
+        ScenarioOp::Assert(Predicate::ExactlyOneLeader { channel: 0 }),
+        ScenarioOp::Assert(Predicate::NoResurrectionBelowObituary { channel: 0 }),
+    ])
+    .expect("leave, reap, rejoin");
+
+    let second_life = net
+        .gossip(0)
+        .discovery_on(ChannelId(0))
+        .unwrap()
+        .claim_of(PeerId(3))
+        .expect("second life visible")
+        .incarnation;
+    assert!(
+        second_life > first_life,
+        "no resurrection without a higher incarnation: {first_life} -> {second_life}"
+    );
+}
+
+#[test]
+fn gap_free_catchup_holds_for_a_late_joiner_under_the_dsl() {
+    let mut cfg = discovery_cfg();
+    cfg.recovery.interval = Duration::from_secs(2);
+    cfg.recovery.state_info_interval = Duration::from_secs(1);
+    let members: Vec<PeerId> = (0..4).map(PeerId).collect();
+    let mut net = DiscoveryHarness::new(5, vec![members], &cfg);
+    let mut prev = Hash256::ZERO;
+    for num in 1..=5u64 {
+        let block = BlockRef::new(Block::new(num, prev, vec![]).with_padding(200));
+        prev = block.hash();
+        net.inject(0, block);
+        net.run_for(Duration::from_millis(200));
+    }
+    net.run_script(&[
+        ScenarioOp::Assert(Predicate::GapFreeCatchup { channel: 0 }),
+        ScenarioOp::Join {
+            channel: 0,
+            peer: PeerId(4),
+        },
+        ScenarioOp::Wait { secs: 15 },
+        ScenarioOp::Assert(Predicate::ViewAgreement { channel: 0 }),
+        ScenarioOp::Assert(Predicate::GapFreeCatchup { channel: 0 }),
+    ])
+    .expect("the late joiner catches up gap-free");
+    assert_eq!(net.head(0), 5);
+}
+
+// ---------------------------------------------------------------------
+// The attacker catalog, one scenario each.
+// ---------------------------------------------------------------------
+
+#[test]
+fn stale_replay_never_resurrects_a_reaped_peer_and_its_spam_is_measured() {
+    let run = |attach: bool| -> (Result<(), String>, u64) {
+        let members: Vec<PeerId> = (0..6).map(PeerId).collect();
+        let mut net = DiscoveryHarness::new(6, vec![members], &discovery_cfg());
+        if attach {
+            net.set_byzantine(PeerId(4), Box::new(StaleReplayer::new(2)));
+        }
+        // Let the replayer record peer 3's first-life claims, then reap
+        // peer 3: every replay of its stale claims must stay inert.
+        let res = net
+            .run_script(&[
+                ScenarioOp::Wait { secs: 3 },
+                ScenarioOp::Leave {
+                    channel: 0,
+                    peer: PeerId(3),
+                },
+                ScenarioOp::Wait { secs: 20 },
+                ScenarioOp::Assert(Predicate::ViewAgreement { channel: 0 }),
+                ScenarioOp::Assert(Predicate::ExactlyOneLeader { channel: 0 }),
+                ScenarioOp::Assert(Predicate::NoResurrectionBelowObituary { channel: 0 }),
+            ])
+            .map_err(|e| e.to_string());
+        (res, net.wire_bytes_of_kind("alive-msg"))
+    };
+    let (baseline, baseline_bytes) = run(false);
+    baseline.expect("benign run holds");
+    let (attacked, attacked_bytes) = run(true);
+    attacked.expect("replay must not resurrect the reaped peer or split views");
+    // The surviving guarantee is not free: the replays are real traffic.
+    assert!(
+        attacked_bytes > baseline_bytes,
+        "replay spam must show up in the alive-msg bytes: {attacked_bytes} vs {baseline_bytes}"
+    );
+}
+
+#[test]
+fn forged_obituaries_are_refuted_within_the_incarnation_bump_bound() {
+    let members: Vec<PeerId> = (0..6).map(PeerId).collect();
+    let victim = PeerId(2);
+    let mut net = DiscoveryHarness::new(6, vec![members], &discovery_cfg());
+    net.run_for(Duration::from_secs(3));
+    let inc_before = net
+        .gossip(0)
+        .discovery_on(ChannelId(0))
+        .unwrap()
+        .claim_of(victim)
+        .expect("victim heartbeated")
+        .incarnation;
+
+    net.set_byzantine(PeerId(4), Box::new(ObituaryForger::new(victim, 2)));
+    // Walk time in steps, observing the attack land (some honest view
+    // drops the live victim) and measuring the disruption window until
+    // the refutation heals every view again.
+    let mut disrupted_at = None;
+    let mut healed_at = None;
+    for tick in 0..60u64 {
+        net.run_for(Duration::from_millis(500));
+        let converged = net.views_converged(0);
+        if !converged && disrupted_at.is_none() {
+            disrupted_at = Some(tick);
+        }
+        if converged && disrupted_at.is_some() {
+            healed_at = Some(tick);
+            break;
+        }
+    }
+    let disrupted_at = disrupted_at.expect("the forged obituary must actually disrupt views");
+    let healed_at = healed_at.expect("views must heal: the victim refutes the forgery");
+    let disruption_ms = (healed_at - disrupted_at) * 500;
+    assert!(
+        disruption_ms <= 20_000,
+        "refutation exceeded the bump bound: {disruption_ms} ms of disruption"
+    );
+    let inc_after = net
+        .gossip(0)
+        .discovery_on(ChannelId(0))
+        .unwrap()
+        .claim_of(victim)
+        .expect("victim re-entered the views")
+        .incarnation;
+    assert!(
+        inc_after > inc_before,
+        "the refutation is an incarnation bump: {inc_before} -> {inc_after}"
+    );
+    assert_eq!(net.leaders(0).len(), 1);
+    net.check(&Predicate::NoResurrectionBelowObituary { channel: 0 })
+        .expect("the bump is a new life, not a resurrection of the old one");
+}
+
+#[test]
+fn selective_forwarding_slows_but_does_not_stop_a_joiner() {
+    // The attacker drops anti-entropy toward peers 0 and 1; a runtime
+    // joiner must still converge through the redundant honest paths.
+    let join_secs = |attach: bool| -> u64 {
+        let members: Vec<PeerId> = (0..6).map(PeerId).collect();
+        let mut net = DiscoveryHarness::new(8, vec![members], &discovery_cfg());
+        if attach {
+            net.set_byzantine(
+                PeerId(4),
+                Box::new(SelectiveForwarder::new(vec![PeerId(0), PeerId(1)])),
+            );
+        }
+        net.run_for(Duration::from_secs(3));
+        net.join(0, PeerId(6));
+        let secs = net
+            .converge_within(0, 30)
+            .expect("selective forwarding must not stop convergence");
+        assert_eq!(net.leaders(0).len(), 1);
+        secs
+    };
+    let baseline = join_secs(false);
+    let attacked = join_secs(true);
+    assert!(
+        attacked >= baseline,
+        "dropping anti-entropy cannot speed convergence up: {attacked} < {baseline}"
+    );
+}
+
+#[test]
+fn flood_amplification_inflates_bytes_but_not_views() {
+    let run = |attach: bool| -> u64 {
+        let members: Vec<PeerId> = (0..6).map(PeerId).collect();
+        let mut net = DiscoveryHarness::new(6, vec![members], &discovery_cfg());
+        if attach {
+            net.set_byzantine(PeerId(4), Box::new(Flooder::new(6)));
+        }
+        net.run_script(&[
+            ScenarioOp::Wait { secs: 30 },
+            ScenarioOp::Assert(Predicate::ViewAgreement { channel: 0 }),
+            ScenarioOp::Assert(Predicate::ExactlyOneLeader { channel: 0 }),
+        ])
+        .expect("the flood is protocol-valid: views and leadership hold");
+        net.discovery_wire_bytes()
+    };
+    let baseline = run(false);
+    let attacked = run(true);
+    assert!(
+        attacked > baseline + baseline / 2,
+        "a 6x flooder must inflate discovery bytes well past the benign run: \
+         {attacked} vs {baseline}"
+    );
+}
+
+#[test]
+fn a_fully_eclipsed_joiner_sees_only_the_attacker() {
+    // Peer 5 bootstraps through the attacker alone: the attacker answers
+    // with an attacker-only world and scrubs the victim from its honest
+    // traffic. With no honest seed there is no escape path.
+    let members: Vec<PeerId> = (0..5).map(PeerId).collect();
+    let attacker = PeerId(3);
+    let victim = PeerId(5);
+    let mut net = DiscoveryHarness::new(6, vec![members.clone()], &discovery_cfg());
+    net.run_for(Duration::from_secs(3));
+    net.set_byzantine(attacker, Box::new(Eclipser::new(victim)));
+    net.join_via(0, victim, &[attacker]);
+    net.run_for(Duration::from_secs(20));
+    assert_eq!(
+        net.view_of(victim, 0),
+        vec![attacker],
+        "the victim's world is the attacker"
+    );
+    // The honest majority is untouched: it still agrees on the pre-join
+    // membership (it never learned the victim exists).
+    let honest: Vec<PeerId> = members.iter().copied().filter(|p| *p != attacker).collect();
+    assert!(
+        net.views_agree_among(0, &honest, &members),
+        "the eclipse must not leak into honest views"
+    );
+}
+
+#[test]
+fn one_honest_seed_defeats_the_eclipse_in_measured_time() {
+    let members: Vec<PeerId> = (0..5).map(PeerId).collect();
+    let attacker = PeerId(3);
+    let victim = PeerId(5);
+    let mut net = DiscoveryHarness::new(6, vec![members.clone()], &discovery_cfg());
+    net.run_for(Duration::from_secs(3));
+    net.set_byzantine(attacker, Box::new(Eclipser::new(victim)));
+    // One honest bootstrap contact is the whole difference.
+    net.join_via(0, victim, &[attacker, PeerId(0)]);
+    let honest: Vec<PeerId> = members.iter().copied().filter(|p| *p != attacker).collect();
+    let escape_secs = secs_until(&mut net, 60, |net| {
+        let view = net.view_of(victim, 0);
+        honest.iter().any(|h| view.contains(h))
+    })
+    .expect("an honest seed must break the eclipse");
+    assert!(
+        escape_secs <= 30,
+        "escape took {escape_secs}s — the refutation path is too slow"
+    );
+    // Once the attacker is detected and cut off, full convergence follows.
+    net.clear_byzantine(attacker);
+    assert!(
+        net.converge_within(0, 40).is_some(),
+        "post-eclipse recovery: {:?}",
+        net.divergent_views(0)
+    );
+    assert_eq!(net.leaders(0).len(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Seeded-random scenarios: loss + partitions + crashes + a random
+// attacker, for both wire formats. Shrinking reduces a failing seed's
+// script automatically (the script is a pure function of the seed).
+// ---------------------------------------------------------------------
+
+/// Runs one random scenario with the given attacker under `cfg`; the
+/// script's epilogue (heal, settle, the three core invariants) is the
+/// assertion.
+fn run_random_adversarial(seed: u64, attacker_kind: u8, cfg: &GossipConfig) -> Result<(), String> {
+    let initial: Vec<PeerId> = (0..5).map(PeerId).collect();
+    let attacker = PeerId(4);
+    let shape = ScenarioShape {
+        deployment: 8,
+        ops: 10,
+        protected: vec![attacker],
+        settle_secs: 40,
+        ..ScenarioShape::default()
+    };
+    let mixed = seed.wrapping_add(env_seed().wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let script = random_scenario(mixed, &initial, &shape);
+    let mut net = DiscoveryHarness::new(8, vec![initial], cfg);
+    let behavior: Box<dyn Byzantine> = match attacker_kind {
+        0 => Box::new(StaleReplayer::new(2)),
+        1 => Box::new(ObituaryForger::new(PeerId(1), 2)),
+        2 => Box::new(SelectiveForwarder::new(vec![PeerId(0), PeerId(2)])),
+        _ => Box::new(Flooder::new(4)),
+    };
+    net.set_byzantine(attacker, behavior);
+    net.run_script(&script).map_err(|e| e.to_string())
+}
+
+proptest! {
+    /// Random op sequences composed with a random attacker still settle
+    /// to view agreement, one leader and no resurrection under the full
+    /// anti-entropy wire format.
+    #[test]
+    fn random_adversarial_scenarios_converge_under_full_exchange(
+        seed in 0u64..1 << 32,
+        attacker_kind in 0u8..4,
+    ) {
+        let res = run_random_adversarial(seed, attacker_kind, &discovery_cfg());
+        prop_assert!(res.is_ok(), "attacker {attacker_kind}: {}", res.unwrap_err());
+    }
+
+    /// The delta wire format inherits the same adversarial robustness.
+    #[test]
+    fn random_adversarial_scenarios_converge_under_delta_anti_entropy(
+        seed in 0u64..1 << 32,
+        attacker_kind in 0u8..4,
+    ) {
+        let res = run_random_adversarial(seed, attacker_kind, &delta_cfg());
+        prop_assert!(res.is_ok(), "attacker {attacker_kind}: {}", res.unwrap_err());
+    }
+}

@@ -5,8 +5,14 @@
 //! [`sample::subsequence`] strategies, [`any`], and the `prop_assert*` /
 //! `prop_assume!` macros. Each test runs a fixed number of deterministic
 //! cases; the RNG is seeded from the test's name, so failures replay
-//! exactly and CI runs are stable. No shrinking — a failing case reports
-//! its case index instead.
+//! exactly and CI runs are stable.
+//!
+//! Failing cases **shrink**: every strategy can propose simpler variants
+//! of a failing value ([`Strategy::shrink`]) — integers walk toward the
+//! range start, vectors drop chunks and elements, tuples simplify one
+//! component at a time — and the runner greedily re-runs candidates
+//! (bounded by [`MAX_SHRINK_EVALS`]) until no candidate still fails. The
+//! panic reports the minimal failing value alongside the original one.
 
 #![warn(missing_docs)]
 
@@ -18,6 +24,11 @@ use rand::{RngExt, SeedableRng};
 
 /// Number of generated cases per property test.
 pub const NUM_CASES: u32 = 64;
+
+/// Upper bound on candidate evaluations during one shrink search: value-
+/// level shrinking re-runs the (possibly expensive) test body per
+/// candidate, so the search is budgeted rather than exhaustive.
+pub const MAX_SHRINK_EVALS: u32 = 256;
 
 /// The deterministic RNG driving strategy generation.
 #[derive(Debug, Clone)]
@@ -47,6 +58,16 @@ pub trait Strategy {
 
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly simpler variants of a failing `value`, simplest
+    /// first. An empty vector means the value is fully shrunk. Candidates
+    /// must stay inside the strategy's own domain (a range strategy never
+    /// proposes out-of-range integers, a vec strategy never goes below
+    /// its minimum length).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! impl_int_range_strategy {
@@ -55,6 +76,26 @@ macro_rules! impl_int_range_strategy {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.rng().random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let lo = self.start;
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mut out = Vec::new();
+                // Simplest first: the range start, then the midpoint
+                // (bisection), then one step down (completeness).
+                out.push(lo);
+                let mid = lo + (v - lo) / 2;
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+                let down = v - 1;
+                if down != lo && down != mid {
+                    out.push(down);
+                }
+                out
             }
         }
     )+};
@@ -69,6 +110,21 @@ macro_rules! impl_float_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.rng().random_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // One bisection step per round toward the range start;
+                // stop once the step is negligible.
+                let v = *value;
+                let lo = self.start;
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let mid = lo + (v - lo) / 2.0;
+                if mid > lo && mid < v {
+                    out.push(mid);
+                }
+                out
+            }
         }
     )+};
 }
@@ -76,24 +132,43 @@ macro_rules! impl_float_range_strategy {
 impl_float_range_strategy!(f32, f64);
 
 macro_rules! impl_tuple_strategy {
-    ($(($($name:ident),+)),+ $(,)?) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                #[allow(non_snake_case)]
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                // Shrink one component at a time, holding the rest fixed.
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )+};
 }
 
-impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+impl_tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
 
 /// Types with a canonical "anything goes" strategy.
 pub trait Arbitrary: Sized {
     /// Generates one arbitrary value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Proposes simpler variants of `value` (see [`Strategy::shrink`]).
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_uint {
@@ -102,11 +177,33 @@ macro_rules! impl_arbitrary_uint {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.rng().random::<$t>()
             }
+            fn shrink_value(value: &Self) -> Vec<Self> {
+                let v = *value;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2];
+                out.dedup();
+                out
+            }
         }
     )+};
 }
 
-impl_arbitrary_uint!(u8, u16, u32, u64, usize, bool);
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng().random::<bool>()
+    }
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
 
 /// Strategy wrapper produced by [`any`].
 #[derive(Debug, Clone, Copy)]
@@ -121,6 +218,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_value(value)
     }
 }
 
@@ -144,7 +244,10 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let len = {
@@ -152,6 +255,36 @@ pub mod collection {
                 super::rng_of(rng).random_range(r)
             };
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let min = self.size.start;
+            let mut out = Vec::new();
+            // Structural shrinks first (shorter is simpler): drop the
+            // whole tail, drop either half, drop single elements.
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = min.max(value.len() / 2);
+                if half < value.len() && half > min {
+                    out.push(value[..half].to_vec());
+                    out.push(value[value.len() - half..].to_vec());
+                }
+                if value.len() > min {
+                    for i in 0..value.len() {
+                        let mut shorter = value.clone();
+                        shorter.remove(i);
+                        out.push(shorter);
+                    }
+                }
+            }
+            // Then element-wise shrinks, length preserved.
+            for (i, v) in value.iter().enumerate() {
+                for candidate in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -199,12 +332,95 @@ pub mod sample {
             idx.sort_unstable();
             idx.into_iter().map(|i| self.values[i].clone()).collect()
         }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            // Dropping elements keeps it a valid subsequence; elements
+            // themselves never change (they come from the fixed pool).
+            let min = self.size.start.min(self.values.len());
+            if value.len() <= min {
+                return Vec::new();
+            }
+            let mut out = vec![value[..min].to_vec()];
+            for i in 0..value.len() {
+                let mut shorter = value.clone();
+                shorter.remove(i);
+                if shorter.len() >= min {
+                    out.push(shorter);
+                }
+            }
+            out
+        }
     }
 }
 
 #[doc(hidden)]
 pub fn rng_of(rng: &mut TestRng) -> &mut StdRng {
     rng.rng()
+}
+
+#[doc(hidden)]
+pub mod runner {
+    //! The case loop behind [`crate::proptest!`]: generate, run, and on
+    //! failure greedily shrink within the [`crate::MAX_SHRINK_EVALS`]
+    //! budget.
+
+    use super::{Strategy, TestRng, MAX_SHRINK_EVALS, NUM_CASES};
+
+    /// Runs `body` over [`NUM_CASES`] generated values, shrinking the
+    /// first failure to a local minimum before panicking.
+    pub fn run<S, F>(name: &str, strategy: &S, mut body: F)
+    where
+        S: Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: FnMut(&S::Value) -> Result<(), String>,
+    {
+        let mut rng = TestRng::for_test(name);
+        for case in 0..NUM_CASES {
+            let value = strategy.generate(&mut rng);
+            if let Err(message) = body(&value) {
+                let (minimal, final_message, evals) =
+                    shrink_failure(strategy, value.clone(), message.clone(), &mut body);
+                panic!(
+                    "proptest {name} failed at case {case}: {message}\n\
+                     original input: {value:?}\n\
+                     shrunk input ({evals} candidate runs): {minimal:?}\n\
+                     shrunk failure: {final_message}"
+                );
+            }
+        }
+    }
+
+    /// Greedy descent: take the first shrink candidate that still fails,
+    /// restart from it, stop when no candidate fails or the budget runs
+    /// out. Returns the minimal failing value, its failure message and
+    /// the number of candidate evaluations spent.
+    fn shrink_failure<S, F>(
+        strategy: &S,
+        mut current: S::Value,
+        mut message: String,
+        body: &mut F,
+    ) -> (S::Value, String, u32)
+    where
+        S: Strategy,
+        S::Value: Clone,
+        F: FnMut(&S::Value) -> Result<(), String>,
+    {
+        let mut evals = 0u32;
+        'outer: loop {
+            for candidate in strategy.shrink(&current) {
+                if evals >= MAX_SHRINK_EVALS {
+                    break 'outer;
+                }
+                evals += 1;
+                if let Err(m) = body(&candidate) {
+                    current = candidate;
+                    message = m;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (current, message, evals)
+    }
 }
 
 /// Everything a property test needs in scope.
@@ -214,24 +430,21 @@ pub mod prelude {
 }
 
 /// Declares property tests: each `pattern in strategy` argument is drawn
-/// fresh per case and the body runs [`NUM_CASES`] times.
+/// fresh per case and the body runs [`NUM_CASES`] times. A failing case
+/// is shrunk (see [`Strategy::shrink`]) before the panic reports it.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
         $(
             $(#[$meta])*
             fn $name() {
-                let mut __rng = $crate::TestRng::for_test(stringify!($name));
-                for __case in 0..$crate::NUM_CASES {
-                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
-                    let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                    if let ::std::result::Result::Err(message) = __outcome {
-                        panic!("proptest {} failed at case {}: {}", stringify!($name), __case, message);
-                    }
-                }
+                let __strategy = ($($strat,)+);
+                $crate::runner::run(stringify!($name), &__strategy, |__value| {
+                    let ($($pat,)+) = ::std::clone::Clone::clone(__value);
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                });
             }
         )+
     };
@@ -337,5 +550,68 @@ mod tests {
         for _ in 0..32 {
             assert_eq!(s.generate(&mut a), s.generate(&mut b));
         }
+    }
+
+    #[test]
+    fn int_range_shrinks_toward_start() {
+        let s = 10u32..100;
+        let candidates = s.shrink(&40);
+        assert!(candidates.contains(&10), "range start is always proposed");
+        assert!(candidates.iter().all(|c| (10..40).contains(c)));
+        assert!(s.shrink(&10).is_empty(), "the start is fully shrunk");
+    }
+
+    #[test]
+    fn vec_shrinks_remove_and_simplify_elements() {
+        let s = crate::collection::vec(0u8..10, 1..6);
+        let candidates = s.shrink(&vec![5, 7, 3]);
+        assert!(
+            candidates.iter().any(|c| c.len() < 3),
+            "structural shrinks propose shorter vectors"
+        );
+        assert!(
+            candidates.iter().any(|c| c.len() == 3 && c[0] == 0),
+            "element shrinks simplify in place"
+        );
+        assert!(candidates.iter().all(|c| !c.is_empty()), "min length holds");
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let s = (0u32..10, 0u32..10);
+        for (a, b) in s.shrink(&(4, 6)) {
+            assert!((a, b) != (4, 6));
+            assert!(a == 4 || b == 6, "only one component moves per candidate");
+        }
+    }
+
+    #[test]
+    fn failing_case_is_shrunk_to_the_boundary() {
+        // The property "x < 25" fails for x in [25, 100); greedy shrinking
+        // must land exactly on the boundary value 25.
+        let strategy = (0u32..100,);
+        let mut first_failure = None;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::runner::run(
+                "failing_case_is_shrunk_to_the_boundary",
+                &strategy,
+                |(x,)| {
+                    if *x >= 25 {
+                        if first_failure.is_none() {
+                            first_failure = Some(*x);
+                        }
+                        Err(format!("x = {x} too big"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let panic = outcome.expect_err("the property must fail");
+        let text = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            text.contains("shrunk input") && text.contains("(25,)"),
+            "panic must report the minimal failing value: {text}"
+        );
     }
 }
