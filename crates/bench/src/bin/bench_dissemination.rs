@@ -3,10 +3,13 @@
 //! Times the fig04 and fig07 dissemination presets plus the multi-channel,
 //! churn and churn-waves presets (wall-clock and events/second), the
 //! delta-discovery churn-waves variant (with its discovery byte share),
-//! the `scheduler` microbench (seed-style binary heap vs timing wheel)
-//! and the clone-per-hop vs zero-copy payload comparison, then writes
-//! `BENCH_dissemination.json` so future changes have a baseline to compare
-//! against.
+//! the `large` cross-core sharded preset (with its shard count), the
+//! `scheduler` microbench (seed-style binary heap vs timing wheel), the
+//! `sampling` microbench (scalar vs batched latency draws) and the
+//! clone-per-hop vs zero-copy payload comparison, then writes
+//! `BENCH_dissemination.json` (including the box's `threads` count, so
+//! cross-machine numbers are interpretable) so future changes have a
+//! baseline to compare against.
 //!
 //! ```text
 //! bench_dissemination [smoke|quick|full] [output.json]
@@ -22,16 +25,18 @@
 
 use std::time::Instant;
 
+use bench::sample_bench::run_sample_bench;
 use bench::sched_bench::run_sched_bench;
 use bench::zero_copy::{compare, FloodConfig};
 use bench::{
     churn_preset, churn_waves_delta_preset, churn_waves_preset, multichannel_preset, run_scaled,
-    scheduler_bench_ops, Scale,
+    sampling_bench_ops, scheduler_bench_ops, sharded_preset, Scale,
 };
 use fabric_experiments::churn::run_churn;
 use fabric_experiments::churn_waves::{run_churn_waves, ChurnWavesConfig};
 use fabric_experiments::dissemination::DisseminationConfig;
 use fabric_experiments::multichannel::run_multichannel;
+use fabric_experiments::shard::run_sharded;
 
 struct PresetRow {
     name: &'static str,
@@ -42,6 +47,8 @@ struct PresetRow {
     completeness: f64,
     /// Discovery byte share of the run (churn-waves rows only).
     discovery_share: Option<f64>,
+    /// Worker shards the run used (sharded rows only).
+    shards: Option<usize>,
 }
 
 fn time_preset(name: &'static str, preset: DisseminationConfig, scale: Scale) -> PresetRow {
@@ -56,6 +63,7 @@ fn time_preset(name: &'static str, preset: DisseminationConfig, scale: Scale) ->
         blocks: result.blocks,
         completeness: result.completeness,
         discovery_share: None,
+        shards: None,
     }
 }
 
@@ -76,6 +84,7 @@ fn time_multichannel(scale: Scale) -> PresetRow {
             .map(|c| c.completeness)
             .fold(1.0f64, f64::min),
         discovery_share: None,
+        shards: None,
     }
 }
 
@@ -105,6 +114,7 @@ fn time_churn(scale: Scale) -> PresetRow {
             .map(|c| c.completeness)
             .fold(1.0f64, f64::min),
         discovery_share: None,
+        shards: None,
     }
 }
 
@@ -139,6 +149,30 @@ fn time_churn_waves(name: &'static str, cfg: &ChurnWavesConfig) -> PresetRow {
         // the fraction of join/leave records that fully converged.
         completeness: done as f64 / total as f64,
         discovery_share: Some(result.overall_discovery_share()),
+        shards: None,
+    }
+}
+
+fn time_sharded(scale: Scale) -> PresetRow {
+    let cfg = sharded_preset(scale);
+    let start = Instant::now();
+    let result = run_sharded(&cfg);
+    let wall = start.elapsed().as_secs_f64();
+    if result.completeness < 1.0 {
+        eprintln!(
+            "::warning::large preset incomplete: completeness {:.4}",
+            result.completeness
+        );
+    }
+    PresetRow {
+        name: "large_sharded",
+        wall_secs: wall,
+        events: result.events,
+        events_per_sec: result.events as f64 / wall.max(1e-9),
+        blocks: result.blocks,
+        completeness: result.completeness,
+        discovery_share: None,
+        shards: Some(cfg.shards),
     }
 }
 
@@ -295,14 +329,19 @@ fn main() {
         time_churn(scale),
         time_churn_waves("churn_waves", &churn_waves_preset(scale)),
         time_churn_waves("churn_waves_delta", &churn_waves_delta_preset(scale)),
+        time_sharded(scale),
     ];
     for row in &presets {
         let share = row
             .discovery_share
             .map(|s| format!(" | discovery share {s:.4}"))
             .unwrap_or_default();
+        let shards = row
+            .shards
+            .map(|s| format!(" | {s} shards"))
+            .unwrap_or_default();
         eprintln!(
-            "{:<22} wall {:>8.3} s | {:>9} events | {:>12.0} events/s | {} blocks | completeness {:.4}{share}",
+            "{:<22} wall {:>8.3} s | {:>9} events | {:>12.0} events/s | {} blocks | completeness {:.4}{share}{shards}",
             row.name, row.wall_secs, row.events, row.events_per_sec, row.blocks, row.completeness
         );
     }
@@ -328,6 +367,15 @@ fn main() {
         sched.speedup()
     );
 
+    // Sampling microbench: scalar latency draws vs the batched stream.
+    let sampling = run_sample_bench(sampling_bench_ops(scale), 3);
+    eprintln!(
+        "sampling microbench: scalar {:>6.2} ns/op | batched {:>6.2} ns/op | {:.2}x",
+        sampling.scalar.ns_per_op,
+        sampling.batched.ns_per_op,
+        sampling.speedup()
+    );
+
     // Zero-copy vs clone-per-hop on the fig04 flood shape.
     let flood = FloodConfig::fig04(20);
     let (owned, shared) = compare(flood, 3);
@@ -336,14 +384,25 @@ fn main() {
         "zero-copy speedup over clone-per-hop baseline: {speedup:.2}x (baseline {owned:?}, zero-copy {shared:?})"
     );
 
+    let threads = std::thread::available_parallelism()
+        .map(|cores| cores.get())
+        .unwrap_or(1);
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str("  \"presets\": [\n");
     for (i, row) in presets.iter().enumerate() {
         let share = row
             .discovery_share
             .map(|s| format!(", \"discovery_share\": {s:.6}"))
             .unwrap_or_default();
+        let share = format!(
+            "{share}{}",
+            row.shards
+                .map(|s| format!(", \"shards\": {s}"))
+                .unwrap_or_default()
+        );
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}, \"blocks\": {}, \"completeness\": {:.6}{share}}}{}\n",
             row.name,
@@ -362,6 +421,13 @@ fn main() {
         sched.wheel.ops_per_sec,
         sched.speedup(),
         sched.heap.ops
+    ));
+    json.push_str(&format!(
+        "  \"sampling\": {{\"scalar_ns_per_op\": {:.3}, \"batched_ns_per_op\": {:.3}, \"speedup\": {:.3}, \"ops\": {}}},\n",
+        sampling.scalar.ns_per_op,
+        sampling.batched.ns_per_op,
+        sampling.speedup(),
+        sampling.scalar.ops
     ));
     json.push_str(&format!(
         "  \"zero_copy\": {{\"baseline_secs\": {:.6}, \"shared_secs\": {:.6}, \"speedup\": {:.3}, \"peers\": {}, \"blocks\": {}}}\n",

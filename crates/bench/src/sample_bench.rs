@@ -1,0 +1,135 @@
+//! The `sampling` microbench: scalar vs batched latency sampling.
+//!
+//! PR 5 took the scheduler off the critical path; per-event cost then
+//! concentrates in [`desim::LatencyModel::sample`]'s `-u.ln()` and spike
+//! draws. [`desim::SampleStream`] amortizes those across
+//! [`desim::SampleStream::BATCH`]-sized refills (tight RNG pass, then the
+//! ln-heavy arithmetic pass). This bench times both against the same Lan
+//! model and verifies they produce the identical duration sequence — the
+//! position-pinned stream contract that keeps golden traces stable.
+
+use std::time::Instant;
+
+use desim::{Duration, LatencyModel, SampleStream};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// What one sampling strategy measured.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleRun {
+    /// Samples drawn.
+    pub ops: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Nanoseconds per sample.
+    pub ns_per_op: f64,
+}
+
+/// The scalar-vs-batched comparison recorded in
+/// `BENCH_dissemination.json`.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleBench {
+    /// One `sample()` call (two RNG draws + one `ln`) per event.
+    pub scalar: SampleRun,
+    /// `SampleStream::next_sample` over chunked `fill` refills.
+    pub batched: SampleRun,
+}
+
+impl SampleBench {
+    /// Scalar ns/op over batched ns/op.
+    pub fn speedup(&self) -> f64 {
+        self.scalar.ns_per_op / self.batched.ns_per_op.max(1e-9)
+    }
+}
+
+/// The latency model both strategies sample: the Lan shape every preset's
+/// network template uses (exponential jitter plus rare spikes).
+fn bench_model() -> LatencyModel {
+    LatencyModel::Lan {
+        base: Duration::from_micros(120),
+        jitter: Duration::from_micros(80),
+        spike_prob: 0.001,
+        spike_mult: 20,
+    }
+}
+
+fn run_scalar(ops: u64, seed: u64) -> (SampleRun, u64) {
+    let model = bench_model();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        acc = acc.wrapping_add(model.sample(&mut rng).as_nanos());
+    }
+    let wall = start.elapsed().as_secs_f64();
+    (
+        SampleRun {
+            ops,
+            wall_secs: wall,
+            ns_per_op: wall * 1e9 / ops.max(1) as f64,
+        },
+        acc,
+    )
+}
+
+fn run_batched(ops: u64, seed: u64) -> (SampleRun, u64) {
+    let mut stream = SampleStream::new(bench_model(), seed);
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        acc = acc.wrapping_add(stream.next_sample().as_nanos());
+    }
+    let wall = start.elapsed().as_secs_f64();
+    (
+        SampleRun {
+            ops,
+            wall_secs: wall,
+            ns_per_op: wall * 1e9 / ops.max(1) as f64,
+        },
+        acc,
+    )
+}
+
+/// Runs the microbench at `ops` samples per strategy, best-of-`reps`.
+///
+/// # Panics
+///
+/// Panics if the two strategies' duration checksums diverge — they draw
+/// from the same seeded stream, so inequality means the batched refill
+/// broke the position-pinned contract.
+pub fn run_sample_bench(ops: u64, reps: usize) -> SampleBench {
+    let mut scalar: Option<SampleRun> = None;
+    let mut batched: Option<SampleRun> = None;
+    for rep in 0..reps.max(1) {
+        let seed = 0x53414d50u64 + rep as u64;
+        let (s, s_acc) = run_scalar(ops, seed);
+        let (b, b_acc) = run_batched(ops, seed);
+        assert_eq!(
+            s_acc, b_acc,
+            "scalar and batched sampling diverged at seed {seed}"
+        );
+        if scalar.is_none_or(|best| s.wall_secs < best.wall_secs) {
+            scalar = Some(s);
+        }
+        if batched.is_none_or(|best| b.wall_secs < best.wall_secs) {
+            batched = Some(b);
+        }
+    }
+    SampleBench {
+        scalar: scalar.expect("reps >= 1"),
+        batched: batched.expect("reps >= 1"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_agree_and_measure() {
+        let bench = run_sample_bench(50_000, 1);
+        assert_eq!(bench.scalar.ops, 50_000);
+        assert!(bench.scalar.ns_per_op > 0.0 && bench.batched.ns_per_op > 0.0);
+        assert!(bench.speedup() > 0.0);
+    }
+}

@@ -7,11 +7,18 @@
 //! RNG, so a parallel sweep is byte-identical to the serial loop it
 //! replaces.
 //!
-//! Implemented with scoped threads and an atomic work index — no external
-//! thread-pool dependency, no job cloning, results returned in order.
+//! Work runs on a **persistent worker pool** spawned once per process
+//! (lazily, on the first parallel batch) instead of fresh scoped threads
+//! per call: a figure sweep issues dozens of batches back to back, and the
+//! spawn/join cost of per-call threads is pure overhead. The submitting
+//! thread always participates in its own batch, which both saturates the
+//! machine with `cores - 1` pool workers and makes nested submissions
+//! deadlock-free: a job that itself calls [`run_batch`] simply drains the
+//! inner batch on its own thread if every pool worker is busy.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Runs every job, fanning out across available cores, and returns the
 /// results in input order.
@@ -39,6 +46,9 @@ where
 /// jobs on the calling thread. Exposed so the concurrent path can be
 /// exercised deterministically even on single-core machines (and so
 /// callers can cap the fan-out below the core count).
+///
+/// `workers` counts the submitting thread: at most `workers - 1` pool
+/// threads join the batch alongside it.
 pub fn run_batch_with_workers<J, R, F>(jobs: Vec<J>, workers: usize, run: F) -> Vec<R>
 where
     J: Send,
@@ -56,25 +66,65 @@ where
 
     let slots: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                if index >= total {
-                    break;
-                }
-                let job = slots[index]
-                    .lock()
-                    .expect("job slot poisoned")
-                    .take()
-                    .expect("each job is claimed exactly once");
-                let result = run(job);
-                *results[index].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
+    let run_one = |index: usize| {
+        let job = slots[index]
+            .lock()
+            .expect("job slot poisoned")
+            .take()
+            .expect("each job is claimed exactly once");
+        let result = run(job);
+        *results[index].lock().expect("result slot poisoned") = Some(result);
+    };
+    let job_ref: &(dyn Fn(usize) + Sync) = &run_one;
+    // SAFETY: the fat pointer is only dereferenced by workers between
+    // joining the batch and decrementing `running`; this function does not
+    // return (and so `run_one` and its borrows stay live) until the batch
+    // is removed from the queue with `completed == total && running == 0`,
+    // observed under the pool lock that also orders the decrements.
+    let job = unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(job_ref)
+    };
+
+    let batch = Arc::new(BatchState {
+        job,
+        total,
+        max_pool_workers: workers - 1,
+        joined: AtomicUsize::new(0),
+        running: AtomicUsize::new(0),
+        cursor: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        panic: Mutex::new(None),
     });
+
+    let pool = pool();
+    {
+        let mut queue = pool.queue.lock().expect("pool queue poisoned");
+        queue.push_back(Arc::clone(&batch));
+        pool.work.notify_all();
+    }
+
+    // The submitter works its own batch; pool workers join as they free up.
+    drain(&batch);
+
+    {
+        let mut queue = pool.queue.lock().expect("pool queue poisoned");
+        while batch.completed.load(Ordering::Acquire) < total
+            || batch.running.load(Ordering::Acquire) != 0
+        {
+            queue = pool.done.wait(queue).expect("pool queue poisoned");
+        }
+        queue.retain(|b| !Arc::ptr_eq(b, &batch));
+    }
+
+    if let Some(payload) = batch
+        .panic
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+    {
+        std::panic::resume_unwind(payload);
+    }
 
     results
         .into_iter()
@@ -84,6 +134,127 @@ where
                 .expect("every job completed")
         })
         .collect()
+}
+
+/// One submitted batch: a lifetime-erased job closure plus the counters
+/// that coordinate claiming, completion and panic propagation.
+struct BatchState {
+    /// `run_one` of the submitting call, lifetime-erased. Valid until the
+    /// submitter observes `completed == total && running == 0`.
+    job: *const (dyn Fn(usize) + Sync),
+    total: usize,
+    /// Pool workers allowed to join (the submitter participates on top).
+    max_pool_workers: usize,
+    /// Pool workers that ever joined this batch.
+    joined: AtomicUsize,
+    /// Pool workers currently inside the batch (holding the job pointer).
+    running: AtomicUsize,
+    /// Next unclaimed job index.
+    cursor: AtomicUsize,
+    /// Jobs fully executed (success or panic).
+    completed: AtomicUsize,
+    /// First panic payload observed, re-raised by the submitter.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: the raw job pointer targets a `Sync` closure, and the
+// completion protocol above bounds every dereference to the submitting
+// call's lifetime; all other fields are thread-safe primitives.
+unsafe impl Send for BatchState {}
+unsafe impl Sync for BatchState {}
+
+/// Claims and executes indices until the batch's cursor is exhausted.
+fn drain(batch: &BatchState) {
+    loop {
+        let index = batch.cursor.fetch_add(1, Ordering::Relaxed);
+        if index >= batch.total {
+            return;
+        }
+        // SAFETY: see `BatchState::job`.
+        let job = unsafe { &*batch.job };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(index)));
+        if let Err(payload) = outcome {
+            let mut slot = batch
+                .panic
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot.get_or_insert(payload);
+        }
+        batch.completed.fetch_add(1, Ordering::Release);
+    }
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Arc<BatchState>>>,
+    /// Wakes idle workers when a batch is submitted.
+    work: Condvar,
+    /// Wakes submitters when a worker leaves a batch.
+    done: Condvar,
+}
+
+/// Worker threads spawned so far (pinned by the reuse test: a second batch
+/// must not grow it).
+static SPAWNED_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|cores| cores.get())
+            .unwrap_or(1);
+        // The submitter always works its own batch, so `cores - 1` pool
+        // workers saturate the machine; keep at least one so the
+        // cross-thread path exists even on single-core boxes.
+        let workers = cores.saturating_sub(1).max(1);
+        for i in 0..workers {
+            SPAWNED_WORKERS.fetch_add(1, Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name(format!("desim-batch-{i}"))
+                .spawn(worker_loop)
+                .expect("spawn batch pool worker");
+        }
+        Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    })
+}
+
+/// Pool workers spawned by [`pool`] (for diagnostics and the reuse test).
+pub fn pool_workers_spawned() -> usize {
+    SPAWNED_WORKERS.load(Ordering::Relaxed)
+}
+
+fn worker_loop() {
+    // Blocks until the pool finishes initializing — `OnceLock::get_or_init`
+    // makes late callers wait, and the initializer never waits on workers.
+    let pool = pool();
+    loop {
+        let batch = {
+            let mut queue = pool.queue.lock().expect("pool queue poisoned");
+            loop {
+                let open = queue.iter().find(|b| {
+                    b.cursor.load(Ordering::Relaxed) < b.total
+                        && b.joined.load(Ordering::Relaxed) < b.max_pool_workers
+                });
+                if let Some(b) = open {
+                    let b = Arc::clone(b);
+                    b.joined.fetch_add(1, Ordering::Relaxed);
+                    b.running.fetch_add(1, Ordering::Relaxed);
+                    break b;
+                }
+                queue = pool.work.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        drain(&batch);
+        {
+            let _queue = pool.queue.lock().expect("pool queue poisoned");
+            batch.running.fetch_sub(1, Ordering::Release);
+            pool.done.notify_all();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,8 +276,8 @@ mod tests {
 
     #[test]
     fn forced_multi_worker_path_matches_serial() {
-        // Exercises the scoped-thread machinery even on one-core machines,
-        // where `run_batch` would otherwise take the serial fallback.
+        // Exercises the pool machinery even on one-core machines, where
+        // `run_batch` would otherwise take the serial fallback.
         let jobs: Vec<u64> = (0..50).collect();
         let serial: Vec<u64> = jobs.iter().map(|j| j * 3 + 1).collect();
         let threaded = run_batch_with_workers(jobs, 4, |j| j * 3 + 1);
@@ -135,5 +306,54 @@ mod tests {
         let serial: Vec<u64> = jobs.iter().map(|&j| work(j)).collect();
         let parallel = run_batch(jobs, work);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_batches() {
+        let _ = run_batch_with_workers((0..16u64).collect(), 4, |j| j + 1);
+        let after_first = pool_workers_spawned();
+        assert!(after_first >= 1, "first parallel batch spawns the pool");
+        for _ in 0..5 {
+            let _ = run_batch_with_workers((0..16u64).collect(), 4, |j| j * 2);
+        }
+        assert_eq!(
+            pool_workers_spawned(),
+            after_first,
+            "subsequent batches must reuse the pool, not spawn threads"
+        );
+    }
+
+    #[test]
+    fn nested_batches_complete_without_deadlock() {
+        // Jobs that themselves fan out: the submitter-participates rule
+        // guarantees progress even when every pool worker is occupied by
+        // the outer batch.
+        let outer: Vec<u64> = (0..8).collect();
+        let out = run_batch_with_workers(outer, 4, |j| {
+            let inner: Vec<u64> = (0..8).map(|k| j * 10 + k).collect();
+            run_batch_with_workers(inner, 4, |k| k + 1)
+                .iter()
+                .sum::<u64>()
+        });
+        let expected: Vec<u64> = (0..8)
+            .map(|j| (0..8).map(|k| j * 10 + k + 1).sum::<u64>())
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            run_batch_with_workers((0..16u64).collect(), 4, |j| {
+                if j == 7 {
+                    panic!("boom at {j}");
+                }
+                j
+            })
+        });
+        assert!(result.is_err(), "the job panic must reach the submitter");
+        // The pool must stay serviceable afterwards.
+        let out = run_batch_with_workers(vec![1u64, 2, 3], 4, |j| j * 2);
+        assert_eq!(out, vec![2, 4, 6]);
     }
 }

@@ -56,9 +56,9 @@ mod net;
 pub mod sched;
 mod time;
 
-pub use batch::{run_batch, run_batch_with_workers};
-pub use engine::{Ctx, Message, Protocol, Simulation, TimerId};
+pub use batch::{pool_workers_spawned, run_batch, run_batch_with_workers};
+pub use engine::{Ctx, Message, Protocol, RngMode, Simulation, TimerId, TraceEvent};
 pub use kind::{KindBytes, KindId};
 pub use metrics::{KindStats, NetMetrics};
-pub use net::{LatencyModel, NetState, NetworkConfig, NodeId};
+pub use net::{LatencyModel, LossStream, NetState, NetworkConfig, NodeId, SampleStream};
 pub use time::{Duration, Time};

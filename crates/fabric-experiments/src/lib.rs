@@ -45,6 +45,7 @@ pub mod multichannel;
 pub mod net;
 pub mod parallel;
 pub mod report;
+pub mod shard;
 
 pub use adversarial::{
     render_adversarial, run_adversarial, AdversarialConfig, AdversarialReport, AttackOutcome,
@@ -62,3 +63,7 @@ pub use net::{
     ViewConvergence,
 };
 pub use parallel::{run_conflicts_batch, run_dissemination_batch, run_seed_sweep};
+pub use shard::{
+    plan_groups, run_sharded, MergedEvent, ShardChannel, ShardChannelOutcome, ShardGroup,
+    ShardedConfig, ShardedResult,
+};

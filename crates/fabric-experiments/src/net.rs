@@ -352,6 +352,11 @@ pub struct NetParams {
     pub full_ledgers: bool,
     /// The **default channel's** endorsement policy.
     pub policy: EndorsementPolicy,
+    /// The **default channel's** members, in ascending id order. `None`
+    /// (the historical shape) joins every peer of the deployment; sharded
+    /// runners set an explicit subset so a shard-local default channel can
+    /// coexist with other channels over the same peer pool.
+    pub default_members: Option<Vec<PeerId>>,
     /// Further channels beyond the default one. Ids must continue the
     /// dense range (`ChannelId(1)`, `ChannelId(2)`, …).
     pub extra_channels: Vec<ChannelSpec>,
@@ -377,6 +382,7 @@ impl NetParams {
             endorsers: vec![PeerId(1)],
             full_ledgers: false,
             policy: EndorsementPolicy::AnyMember,
+            default_members: None,
             extra_channels: Vec::new(),
             churn: Vec::new(),
             discovery: DiscoveryMode::Oracle,
@@ -389,7 +395,10 @@ impl NetParams {
         let mut specs = Vec::with_capacity(1 + self.extra_channels.len());
         specs.push(ChannelSpec {
             channel: ChannelId::DEFAULT,
-            members: (0..self.peers as u32).map(PeerId).collect(),
+            members: self
+                .default_members
+                .clone()
+                .unwrap_or_else(|| (0..self.peers as u32).map(PeerId).collect()),
             orgs: self.orgs,
             endorsers: self.endorsers.clone(),
             policy: self.policy.clone(),

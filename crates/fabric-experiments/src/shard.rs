@@ -1,0 +1,522 @@
+//! Cross-core channel sharding: one logical multichannel deployment,
+//! partitioned over worker shards within a single run.
+//!
+//! Fabric scopes every protocol interaction — gossip, ordering, endorsement
+//! — per channel. Channels interact only where they share peers (a shared
+//! peer's serial validation pipeline, its per-peer stats, its discovery
+//! view), so the channel-overlap graph is the exact coupling structure of a
+//! deployment: two channels with no member in common cannot influence each
+//! other's events in any way. [`plan_groups`] computes the connected
+//! components of that graph, and [`run_sharded`] simulates each component
+//! as its own [`FabricNet`] (own client, own ordering service, own virtual
+//! clock and timing wheel) on the persistent worker pool
+//! ([`desim::run_batch_with_workers`]), then merges the per-group event
+//! streams deterministically by `(time, group, seq)`.
+//!
+//! # Determinism
+//!
+//! The merged stream is a pure function of the configuration and seed,
+//! **independent of the shard count**: each group's RNG seed mixes only the
+//! run seed and the group's index (never a worker id), each group's
+//! simulation is bit-for-bit replayable on its own, and the merge key
+//! `(time, group, seq)` is unique per event. `shards = 1` and `shards = N`
+//! therefore produce identical results — the property the sharding
+//! proptest pins.
+//!
+//! Components that share peers stay on one shard by construction; the
+//! narrow seams the ISSUE calls out (shared per-peer stats, discovery,
+//! ledger heads) never cross a shard boundary, which is what makes the
+//! merge auditable: it is a k-way merge of already-closed event streams,
+//! not a synchronization protocol.
+
+use desim::{
+    run_batch_with_workers, Duration, NetworkConfig, RngMode, Simulation, Time, TraceEvent,
+};
+use fabric_gossip::config::GossipConfig;
+use fabric_orderer::cutter::BatchConfig;
+use fabric_orderer::service::OrdererConfig;
+use fabric_types::ids::{ChannelId, PeerId};
+use fabric_types::transaction::EndorsementPolicy;
+use fabric_workload::schedule::{
+    merge_schedules, payload_schedule, retarget_schedule, PayloadWorkload,
+};
+use gossip_metrics::cdf::Cdf;
+
+use crate::net::{ChannelSpec, FabricNet, NetParams};
+
+/// One channel of a sharded deployment: its global membership and its
+/// workload.
+#[derive(Debug, Clone)]
+pub struct ShardChannel {
+    /// Members in ascending **global** peer-id order.
+    pub members: Vec<PeerId>,
+    /// Transactions the client issues on this channel (50 per block).
+    pub txs: usize,
+    /// Issue rate, transactions per second.
+    pub rate_per_sec: f64,
+    /// Wire padding per transaction.
+    pub tx_padding: u32,
+}
+
+/// Everything a sharded multichannel run needs.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Total peers in the logical deployment (global ids `0..peers`).
+    pub peers: usize,
+    /// The channels; channel `c` keeps global index `c` in the results.
+    pub channels: Vec<ShardChannel>,
+    /// Gossip configuration shared by every channel instance.
+    pub gossip: GossipConfig,
+    /// Ordering service configuration, shared by every group's orderer.
+    pub orderer: OrdererConfig,
+    /// Physical network template; `nodes` is overridden per group.
+    pub network: NetworkConfig,
+    /// Engine RNG mode. New-scale presets run [`RngMode::Streams`] to get
+    /// batched latency/ingress/loss sampling; [`RngMode::Unified`] keeps
+    /// the historical draw ordering.
+    pub rng_mode: RngMode,
+    /// Worker shards (1 = serial reference run; results are identical).
+    pub shards: usize,
+    /// Record the merged `(time, group, seq, event)` stream. Costs a
+    /// string per event — leave off for throughput measurements.
+    pub record_trace: bool,
+    /// Extra idle time simulated after each group's drain window.
+    pub idle_tail: Duration,
+    /// Run seed; group `g` derives its own seed from `(seed, g)` only.
+    pub seed: u64,
+}
+
+impl ShardedConfig {
+    /// A deployment of `groups` disjoint clusters, each `cluster_peers`
+    /// wide with two overlapping channels (the consortium shape: an
+    /// interior band of peers serves both), issuing `txs` transactions per
+    /// channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_peers < 8` (the overlap windows need room).
+    pub fn clustered(groups: usize, cluster_peers: usize, txs: usize) -> Self {
+        assert!(cluster_peers >= 8, "clusters need at least 8 peers");
+        let window = cluster_peers * 2 / 3;
+        let mut channels = Vec::with_capacity(groups * 2);
+        for g in 0..groups {
+            let base = (g * cluster_peers) as u32;
+            let lo_a = base;
+            let hi_a = base + window as u32;
+            let lo_b = base + (cluster_peers - window) as u32;
+            let hi_b = base + cluster_peers as u32;
+            for (lo, hi) in [(lo_a, hi_a), (lo_b, hi_b)] {
+                channels.push(ShardChannel {
+                    members: (lo..hi).map(PeerId).collect(),
+                    txs,
+                    rate_per_sec: 50.0 / 1.5,
+                    tx_padding: 3_100,
+                });
+            }
+        }
+        let peers = groups * cluster_peers;
+        ShardedConfig {
+            peers,
+            channels,
+            gossip: GossipConfig::enhanced_f4(),
+            orderer: OrdererConfig::kafka(BatchConfig::paper_dissemination()),
+            network: NetworkConfig::lan(0),
+            rng_mode: RngMode::Streams,
+            shards: std::thread::available_parallelism()
+                .map(|cores| cores.get())
+                .unwrap_or(1),
+            record_trace: false,
+            idle_tail: Duration::from_secs(5),
+            seed: 1,
+        }
+    }
+
+    /// The `large` preset: thousands of peers across hundreds of channels
+    /// — the production-scale class the serial engine cannot reach in a
+    /// bench-job budget.
+    pub fn large() -> Self {
+        Self::clustered(126, 16, 600)
+    }
+
+    /// `large` scaled to a quick-bench budget (same shape, shorter
+    /// workload).
+    pub fn large_quick() -> Self {
+        Self::clustered(126, 16, 150)
+    }
+
+    /// A smoke-sized `large` slice for tests and golden pins.
+    pub fn large_smoke() -> Self {
+        Self::clustered(6, 16, 100)
+    }
+}
+
+/// One connected component of the channel-overlap graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardGroup {
+    /// Global channel indices in this component, ascending.
+    pub channels: Vec<usize>,
+    /// Union of the channels' members, ascending global ids.
+    pub members: Vec<PeerId>,
+}
+
+/// Partitions channels into connected components of the overlap graph:
+/// channels sharing any member land in the same group (transitively).
+/// Groups come back ordered by their smallest channel index.
+pub fn plan_groups(memberships: &[Vec<PeerId>]) -> Vec<ShardGroup> {
+    let mut parent: Vec<usize> = (0..memberships.len()).collect();
+    fn find(parent: &mut [usize], mut c: usize) -> usize {
+        while parent[c] != c {
+            parent[c] = parent[parent[c]];
+            c = parent[c];
+        }
+        c
+    }
+    let mut first_channel_of_peer: std::collections::HashMap<PeerId, usize> =
+        std::collections::HashMap::new();
+    for (c, members) in memberships.iter().enumerate() {
+        for &peer in members {
+            match first_channel_of_peer.entry(peer) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(c);
+                }
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    let a = find(&mut parent, *slot.get());
+                    let b = find(&mut parent, c);
+                    // Root at the smaller index so group order is stable.
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    parent[hi] = lo;
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, ShardGroup> =
+        std::collections::BTreeMap::new();
+    for c in 0..memberships.len() {
+        let root = find(&mut parent, c);
+        let group = groups.entry(root).or_insert_with(|| ShardGroup {
+            channels: Vec::new(),
+            members: Vec::new(),
+        });
+        group.channels.push(c);
+    }
+    for group in groups.values_mut() {
+        let mut members: Vec<PeerId> = group
+            .channels
+            .iter()
+            .flat_map(|&c| memberships[c].iter().copied())
+            .collect();
+        members.sort_unstable();
+        members.dedup();
+        group.members = members;
+    }
+    groups.into_values().collect()
+}
+
+/// One channel's measured outcome, in global channel order.
+#[derive(Debug, Clone)]
+pub struct ShardChannelOutcome {
+    /// Global channel index (position in [`ShardedConfig::channels`]).
+    pub channel: usize,
+    /// The group (shard unit) that simulated it.
+    pub group: usize,
+    /// Member count.
+    pub members: usize,
+    /// Blocks cut on this channel's chain.
+    pub blocks: u64,
+    /// Fraction of (block, member) deliveries that happened.
+    pub completeness: f64,
+    /// Median dissemination latency over all (block, member) cells.
+    pub p50: Duration,
+    /// 99.9th percentile of the same pool.
+    pub p999: Duration,
+}
+
+/// One event of the merged cross-shard stream. Ordered by
+/// `(time, group, seq)` — unique per event, independent of shard count.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MergedEvent {
+    /// Virtual instant within the event's group.
+    pub at: Time,
+    /// The group whose simulation processed it.
+    pub group: usize,
+    /// The group-local total-order sequence number.
+    pub seq: u64,
+    /// Rendered event (delivery, timer or status change).
+    pub what: String,
+}
+
+/// What a sharded run produces.
+#[derive(Debug)]
+pub struct ShardedResult {
+    /// Per-channel outcomes, global channel order.
+    pub channels: Vec<ShardChannelOutcome>,
+    /// Connected components simulated (the parallelism grain).
+    pub groups: usize,
+    /// Delivery-weighted overall completeness.
+    pub completeness: f64,
+    /// Blocks cut across all channels.
+    pub blocks: u64,
+    /// Simulation events processed across all groups.
+    pub events: u64,
+    /// Latest virtual end time over the groups.
+    pub sim_end: Time,
+    /// The merged event stream, when [`ShardedConfig::record_trace`] was
+    /// set.
+    pub trace: Option<Vec<MergedEvent>>,
+}
+
+struct GroupOutcome {
+    channels: Vec<ShardChannelOutcome>,
+    blocks: u64,
+    events: u64,
+    end: Time,
+    trace: Vec<TraceEvent>,
+}
+
+/// Runs one sharded multichannel experiment to completion.
+///
+/// # Panics
+///
+/// Panics on an empty channel list, unsorted or out-of-range memberships,
+/// or an empty workload.
+pub fn run_sharded(cfg: &ShardedConfig) -> ShardedResult {
+    assert!(!cfg.channels.is_empty(), "need at least one channel");
+    for (c, chan) in cfg.channels.iter().enumerate() {
+        assert!(!chan.members.is_empty(), "channel {c} has no members");
+        assert!(
+            chan.members.windows(2).all(|w| w[0] < w[1]),
+            "channel {c} members must be ascending"
+        );
+        assert!(
+            chan.members.iter().all(|p| p.index() < cfg.peers),
+            "channel {c} member outside the deployment"
+        );
+        assert!(chan.txs >= 1, "channel {c} has an empty workload");
+    }
+    let memberships: Vec<Vec<PeerId>> = cfg.channels.iter().map(|c| c.members.clone()).collect();
+    let groups = plan_groups(&memberships);
+
+    let outcomes: Vec<GroupOutcome> =
+        run_batch_with_workers((0..groups.len()).collect(), cfg.shards.max(1), |g| {
+            run_group(cfg, &groups[g], g)
+        });
+
+    let mut channels: Vec<ShardChannelOutcome> =
+        outcomes.iter().flat_map(|o| o.channels.clone()).collect();
+    channels.sort_by_key(|c| c.channel);
+    let mut expected = 0.0f64;
+    let mut seen = 0.0f64;
+    for c in &channels {
+        let cells = (c.blocks * c.members as u64) as f64;
+        expected += cells;
+        seen += cells * c.completeness;
+    }
+    let trace = if cfg.record_trace {
+        let mut merged: Vec<MergedEvent> = outcomes
+            .iter()
+            .enumerate()
+            .flat_map(|(g, o)| {
+                o.trace.iter().map(move |e| MergedEvent {
+                    at: e.at,
+                    group: g,
+                    seq: e.seq,
+                    what: e.what.clone(),
+                })
+            })
+            .collect();
+        merged.sort();
+        Some(merged)
+    } else {
+        None
+    };
+    ShardedResult {
+        groups: groups.len(),
+        completeness: if expected > 0.0 { seen / expected } else { 1.0 },
+        blocks: outcomes.iter().map(|o| o.blocks).sum(),
+        events: outcomes.iter().map(|o| o.events).sum(),
+        sim_end: outcomes.iter().map(|o| o.end).max().unwrap_or(Time::ZERO),
+        channels,
+        trace,
+    }
+}
+
+/// Simulates one connected component as its own [`FabricNet`] deployment
+/// with densely remapped local peer ids (ascending order preserved, so
+/// leader election picks the same relative peer as it would globally).
+fn run_group(cfg: &ShardedConfig, group: &ShardGroup, group_index: usize) -> GroupOutcome {
+    let local_of = |peer: PeerId| -> PeerId {
+        let slot = group
+            .members
+            .binary_search(&peer)
+            .expect("group members cover its channels");
+        PeerId(slot as u32)
+    };
+    let local_members: Vec<Vec<PeerId>> = group
+        .channels
+        .iter()
+        .map(|&c| {
+            cfg.channels[c]
+                .members
+                .iter()
+                .map(|&p| local_of(p))
+                .collect()
+        })
+        .collect();
+
+    let mut params = NetParams::new(group.members.len(), cfg.gossip.clone(), cfg.orderer.clone());
+    // Dissemination-style commit cost, as in `run_dissemination`.
+    params.validation_per_tx = Duration::from_micros(300);
+    params.full_ledgers = false;
+    params.orgs = 1;
+    params.default_members = Some(local_members[0].clone());
+    params.endorsers = vec![local_members[0][0]];
+    params.policy = EndorsementPolicy::AnyMember;
+    params.extra_channels = local_members[1..]
+        .iter()
+        .enumerate()
+        .map(|(i, members)| ChannelSpec {
+            channel: ChannelId((i + 1) as u16),
+            members: members.clone(),
+            orgs: 1,
+            endorsers: vec![members[0]],
+            policy: EndorsementPolicy::AnyMember,
+        })
+        .collect();
+
+    let schedule = merge_schedules(
+        group
+            .channels
+            .iter()
+            .enumerate()
+            .map(|(local, &c)| {
+                let chan = &cfg.channels[c];
+                let workload = PayloadWorkload {
+                    total_txs: chan.txs,
+                    rate_per_sec: chan.rate_per_sec,
+                    tx_padding: chan.tx_padding,
+                };
+                retarget_schedule(payload_schedule(&workload), ChannelId(local as u16))
+            })
+            .collect(),
+    );
+    let last_issue = schedule.last().map(|s| s.at).unwrap_or(Time::ZERO);
+
+    let mut network = cfg.network.clone();
+    network.nodes = FabricNet::node_count(&params);
+    let net = FabricNet::new(params, schedule);
+    // Group seeds mix the run seed with the group index only — never a
+    // worker or shard id — so results cannot depend on the shard count.
+    let seed = cfg
+        .seed
+        .wrapping_add((group_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut sim = Simulation::with_rng_mode(net, network, seed, cfg.rng_mode);
+    if cfg.record_trace {
+        sim.set_trace(true);
+    }
+    sim.with_ctx(|net, ctx| net.start(ctx));
+    sim.run_until(last_issue + Duration::from_secs(40));
+    sim.run_for(cfg.idle_tail);
+
+    let events = sim.events_processed();
+    let end = sim.now();
+    let trace = sim.take_trace();
+    let net = sim.into_protocol();
+    let channels = group
+        .channels
+        .iter()
+        .enumerate()
+        .map(|(local, &c)| {
+            let channel = ChannelId(local as u16);
+            let rec = net.latency_on(channel).expect("group channel exists");
+            let members = local_members[local].len();
+            let mut pool = Vec::new();
+            for slot in 0..members {
+                pool.extend(rec.peer_latencies(slot));
+            }
+            let cdf = Cdf::new(pool);
+            let (p50, p999) = if cdf.is_empty() {
+                (Duration::ZERO, Duration::ZERO)
+            } else {
+                (cdf.quantile(0.5), cdf.quantile(0.999))
+            };
+            ShardChannelOutcome {
+                channel: c,
+                group: group_index,
+                members,
+                blocks: net.blocks_cut_on(channel),
+                completeness: rec.completeness(),
+                p50,
+                p999,
+            }
+        })
+        .collect();
+    GroupOutcome {
+        channels,
+        blocks: net.blocks_cut(),
+        events,
+        end,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peers(ids: &[u32]) -> Vec<PeerId> {
+        ids.iter().copied().map(PeerId).collect()
+    }
+
+    #[test]
+    fn disjoint_channels_form_their_own_groups() {
+        let groups = plan_groups(&[peers(&[0, 1]), peers(&[2, 3]), peers(&[4, 5])]);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].channels, vec![0]);
+        assert_eq!(groups[1].members, peers(&[2, 3]));
+    }
+
+    #[test]
+    fn overlap_is_transitive() {
+        // 0 ~ 1 (share peer 2), 1 ~ 2 (share peer 4) ⇒ one component,
+        // channel 3 stays alone.
+        let groups = plan_groups(&[
+            peers(&[0, 1, 2]),
+            peers(&[2, 3, 4]),
+            peers(&[4, 5]),
+            peers(&[9]),
+        ]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].channels, vec![0, 1, 2]);
+        assert_eq!(groups[0].members, peers(&[0, 1, 2, 3, 4, 5]));
+        assert_eq!(groups[1].channels, vec![3]);
+    }
+
+    #[test]
+    fn sharded_smoke_run_is_complete_and_deterministic() {
+        let mut cfg = ShardedConfig::clustered(3, 9, 60);
+        cfg.shards = 2;
+        let a = run_sharded(&cfg);
+        let b = run_sharded(&cfg);
+        assert_eq!(a.groups, 3);
+        assert_eq!(a.channels.len(), 6);
+        assert_eq!(a.completeness, 1.0, "every member must get every block");
+        assert!(a.blocks > 0);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.sim_end, b.sim_end);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_merged_stream() {
+        let mut cfg = ShardedConfig::clustered(3, 9, 40);
+        cfg.record_trace = true;
+        cfg.shards = 1;
+        let serial = run_sharded(&cfg);
+        cfg.shards = 4;
+        let sharded = run_sharded(&cfg);
+        assert_eq!(serial.events, sharded.events);
+        assert_eq!(serial.trace, sharded.trace);
+        let trace = serial.trace.unwrap();
+        assert!(!trace.is_empty());
+        assert!(trace.windows(2).all(|w| w[0] < w[1]), "strict merge order");
+    }
+}
