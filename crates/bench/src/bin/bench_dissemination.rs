@@ -29,12 +29,14 @@ use bench::sample_bench::run_sample_bench;
 use bench::sched_bench::run_sched_bench;
 use bench::zero_copy::{compare, FloodConfig};
 use bench::{
-    churn_preset, churn_waves_delta_preset, churn_waves_preset, multichannel_preset, run_scaled,
-    sampling_bench_ops, scheduler_bench_ops, sharded_preset, Scale,
+    churn_preset, churn_waves_delta_preset, churn_waves_preset, long_chain_preset,
+    multichannel_preset, run_scaled, sampling_bench_ops, scheduler_bench_ops, sharded_preset,
+    Scale,
 };
 use fabric_experiments::churn::run_churn;
 use fabric_experiments::churn_waves::{run_churn_waves, ChurnWavesConfig};
 use fabric_experiments::dissemination::DisseminationConfig;
+use fabric_experiments::long_chain::run_long_chain;
 use fabric_experiments::multichannel::run_multichannel;
 use fabric_experiments::shard::run_sharded;
 
@@ -49,6 +51,12 @@ struct PresetRow {
     discovery_share: Option<f64>,
     /// Worker shards the run used (sharded rows only).
     shards: Option<usize>,
+    /// Snapshot-bootstrap catch-up bytes at the tallest sweep point
+    /// (long-chain row only).
+    catchup_bytes: Option<u64>,
+    /// Snapshot-bootstrap join -> serving seconds at the tallest sweep
+    /// point (long-chain row only).
+    time_to_serving: Option<f64>,
 }
 
 fn time_preset(name: &'static str, preset: DisseminationConfig, scale: Scale) -> PresetRow {
@@ -64,6 +72,8 @@ fn time_preset(name: &'static str, preset: DisseminationConfig, scale: Scale) ->
         completeness: result.completeness,
         discovery_share: None,
         shards: None,
+        catchup_bytes: None,
+        time_to_serving: None,
     }
 }
 
@@ -85,6 +95,8 @@ fn time_multichannel(scale: Scale) -> PresetRow {
             .fold(1.0f64, f64::min),
         discovery_share: None,
         shards: None,
+        catchup_bytes: None,
+        time_to_serving: None,
     }
 }
 
@@ -115,6 +127,8 @@ fn time_churn(scale: Scale) -> PresetRow {
             .fold(1.0f64, f64::min),
         discovery_share: None,
         shards: None,
+        catchup_bytes: None,
+        time_to_serving: None,
     }
 }
 
@@ -150,6 +164,8 @@ fn time_churn_waves(name: &'static str, cfg: &ChurnWavesConfig) -> PresetRow {
         completeness: done as f64 / total as f64,
         discovery_share: Some(result.overall_discovery_share()),
         shards: None,
+        catchup_bytes: None,
+        time_to_serving: None,
     }
 }
 
@@ -173,6 +189,37 @@ fn time_sharded(scale: Scale) -> PresetRow {
         completeness: result.completeness,
         discovery_share: None,
         shards: Some(cfg.shards),
+        catchup_bytes: None,
+        time_to_serving: None,
+    }
+}
+
+fn time_long_chain(scale: Scale) -> PresetRow {
+    let cfg = long_chain_preset(scale);
+    let start = Instant::now();
+    let result = run_long_chain(&cfg);
+    let wall = start.elapsed().as_secs_f64();
+    // Meaningfulness guard: the sweep exists to show the snapshot path
+    // growing strictly slower than genesis replay.
+    let (genesis_growth, snapshot_growth) = result.bytes_growth();
+    if snapshot_growth >= genesis_growth {
+        eprintln!(
+            "::warning::long_chain preset degenerated: snapshot byte growth \
+             {snapshot_growth:.2}x did not trail genesis {genesis_growth:.2}x"
+        );
+    }
+    let tallest = result.rows.last().expect("sweep is non-empty");
+    PresetRow {
+        name: "long_chain",
+        wall_secs: wall,
+        events: result.events,
+        events_per_sec: result.events as f64 / wall.max(1e-9),
+        blocks: result.blocks,
+        completeness: 1.0, // run_long_chain panics on an incomplete catch-up
+        discovery_share: None,
+        shards: None,
+        catchup_bytes: Some(tallest.snapshot_bytes),
+        time_to_serving: Some(tallest.snapshot_time_to_serving.as_secs_f64()),
     }
 }
 
@@ -330,6 +377,7 @@ fn main() {
         time_churn_waves("churn_waves", &churn_waves_preset(scale)),
         time_churn_waves("churn_waves_delta", &churn_waves_delta_preset(scale)),
         time_sharded(scale),
+        time_long_chain(scale),
     ];
     for row in &presets {
         let share = row
@@ -340,8 +388,13 @@ fn main() {
             .shards
             .map(|s| format!(" | {s} shards"))
             .unwrap_or_default();
+        let catchup = row
+            .catchup_bytes
+            .zip(row.time_to_serving)
+            .map(|(b, t)| format!(" | catch-up {b} B, {t:.2} s to serving"))
+            .unwrap_or_default();
         eprintln!(
-            "{:<22} wall {:>8.3} s | {:>9} events | {:>12.0} events/s | {} blocks | completeness {:.4}{share}{shards}",
+            "{:<22} wall {:>8.3} s | {:>9} events | {:>12.0} events/s | {} blocks | completeness {:.4}{share}{shards}{catchup}",
             row.name, row.wall_secs, row.events, row.events_per_sec, row.blocks, row.completeness
         );
     }
@@ -398,9 +451,13 @@ fn main() {
             .map(|s| format!(", \"discovery_share\": {s:.6}"))
             .unwrap_or_default();
         let share = format!(
-            "{share}{}",
+            "{share}{}{}",
             row.shards
                 .map(|s| format!(", \"shards\": {s}"))
+                .unwrap_or_default(),
+            row.catchup_bytes
+                .zip(row.time_to_serving)
+                .map(|(b, t)| format!(", \"catchup_bytes\": {b}, \"time_to_serving\": {t:.6}"))
                 .unwrap_or_default()
         );
         json.push_str(&format!(

@@ -10,6 +10,7 @@ use fabric_experiments::churn_waves::ChurnWavesConfig;
 use fabric_experiments::dissemination::{
     run_dissemination, DisseminationConfig, DisseminationResult,
 };
+use fabric_experiments::long_chain::LongChainConfig;
 use fabric_experiments::multichannel::MultiChannelConfig;
 use fabric_experiments::shard::ShardedConfig;
 
@@ -102,6 +103,24 @@ pub fn churn_waves_delta_preset(scale: Scale) -> ChurnWavesConfig {
         Scale::Full => ChurnWavesConfig::standard_delta(3, 16, 300),
         Scale::Quick => ChurnWavesConfig::standard_delta(2, 10, 100),
         Scale::Smoke => ChurnWavesConfig::standard_delta(2, 6, 20),
+    }
+}
+
+/// The long-chain benchmark preset at this scale: joiner catch-up cost
+/// swept over chain height, genesis replay vs checkpoint-snapshot
+/// bootstrap (see [`LongChainConfig::standard`]). The recorded
+/// `catchup_bytes` / `time_to_serving` columns are the snapshot path at
+/// the tallest sweep point — the number the O(tail) claim bounds.
+pub fn long_chain_preset(scale: Scale) -> LongChainConfig {
+    match scale {
+        Scale::Full => LongChainConfig::standard(),
+        Scale::Quick => LongChainConfig::quick(),
+        Scale::Smoke => LongChainConfig {
+            heights: vec![16, 24],
+            peers: 10,
+            side_members: 5,
+            ..LongChainConfig::standard()
+        },
     }
 }
 

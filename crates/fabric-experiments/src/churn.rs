@@ -71,6 +71,14 @@ pub struct ChurnConfig {
     /// How join/leave propagates: the synchronous oracle (the PR 3
     /// baseline) or the gossiped discovery protocol.
     pub discovery: DiscoveryMode,
+    /// Joiners enter knowing only the channel's lowest-id sitting member
+    /// (anchor-peer entry) instead of the full roster. Requires
+    /// [`DiscoveryMode::Protocol`].
+    pub anchor_join: bool,
+    /// Maintain a ledger on every member of every channel, so checkpoint
+    /// snapshots can be built and installed anywhere (off by default —
+    /// the historical shape keeps ledgers on endorsers only).
+    pub full_ledgers: bool,
 }
 
 impl ChurnConfig {
@@ -107,6 +115,8 @@ impl ChurnConfig {
             drain: Duration::from_secs(40),
             seed: 1,
             discovery: DiscoveryMode::Oracle,
+            anchor_join: false,
+            full_ledgers: false,
         }
     }
 
@@ -124,6 +134,22 @@ impl ChurnConfig {
         self.gossip.discovery.heartbeat_interval = Duration::from_millis(100);
         self.gossip.discovery.anti_entropy_interval = Duration::from_millis(200);
         self.gossip.membership.alive_timeout = Duration::from_secs(1);
+        self
+    }
+
+    /// Turns on checkpoint snapshots at the given cadence and gives every
+    /// member a ledger, so a late joiner bootstraps from the freshest
+    /// snapshot and replays only the tail (O(tail) instead of O(chain)).
+    pub fn with_snapshots(mut self, interval: u64) -> Self {
+        self.gossip = self.gossip.with_snapshots(interval);
+        self.full_ledgers = true;
+        self
+    }
+
+    /// Hands joiners a single anchor peer instead of the full roster
+    /// (requires [`ChurnConfig::with_protocol_discovery`] first).
+    pub fn with_anchor_join(mut self) -> Self {
+        self.anchor_join = true;
         self
     }
 
@@ -190,6 +216,8 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnResult {
     let mut params = NetParams::new(cfg.peers, cfg.gossip.clone(), cfg.orderer.clone());
     params.validation_per_tx = Duration::from_micros(300);
     params.discovery = cfg.discovery;
+    params.anchor_join = cfg.anchor_join;
+    params.full_ledgers = cfg.full_ledgers;
     params.extra_channels = vec![ChannelSpec {
         channel: side,
         members: (0..cfg.side_members as u32).map(PeerId).collect(),
@@ -304,13 +332,23 @@ pub fn render_churn(title: &str, result: &ChurnResult) -> String {
     }
     for cu in &result.catchups {
         match cu.latency() {
-            Some(lat) => out.push_str(&format!(
-                "{} joined {} at {} | head {} | caught up in {lat}\n",
-                cu.peer, cu.channel, cu.joined_at, cu.target,
-            )),
+            Some(lat) => {
+                let via = if cu.snapshot_height > 0 {
+                    format!(
+                        "snapshot@{} + {} replayed",
+                        cu.snapshot_height, cu.blocks_replayed
+                    )
+                } else {
+                    format!("{} replayed", cu.blocks_replayed)
+                };
+                out.push_str(&format!(
+                    "{} joined {} at {} | head {} | caught up in {lat} | {} catch-up bytes | {via}\n",
+                    cu.peer, cu.channel, cu.joined_at, cu.target, cu.bytes,
+                ));
+            }
             None => out.push_str(&format!(
-                "{} joined {} at {} | head {} | STILL CATCHING UP\n",
-                cu.peer, cu.channel, cu.joined_at, cu.target,
+                "{} joined {} at {} | head {} | {} catch-up bytes so far | STILL CATCHING UP\n",
+                cu.peer, cu.channel, cu.joined_at, cu.target, cu.bytes,
             )),
         }
     }
@@ -483,7 +521,114 @@ mod tests {
         assert!(text.contains("ch0"));
         assert!(text.contains("ch1"));
         assert!(text.contains("caught up in"));
+        assert!(text.contains("catch-up bytes"));
+        assert!(text.contains("replayed"));
         assert!(text.contains("handoffs"));
         assert!(text.contains("jain"));
+    }
+
+    #[test]
+    fn catchup_records_transfer_bytes_and_replayed_blocks() {
+        let res = quick(3);
+        let cu = &res.catchups[0];
+        assert!(
+            cu.bytes > 0,
+            "a genesis-replay catch-up must receive recovery bytes"
+        );
+        assert_eq!(cu.snapshot_height, 0, "snapshots are off by default");
+        assert!(
+            cu.blocks_replayed >= cu.target,
+            "genesis replay pulls the whole chain: {} replayed, head {}",
+            cu.blocks_replayed,
+            cu.target
+        );
+        assert_eq!(cu.time_to_serving(), cu.latency());
+    }
+
+    /// The snapshot-on churn smoke: same deployment, checkpoints every 8
+    /// blocks — the joiner bootstraps from a snapshot and replays only the
+    /// tail, with fewer catch-up bytes than the genesis-replay run.
+    #[test]
+    fn snapshot_bootstrap_replays_only_the_tail() {
+        let mut base = ChurnConfig::standard(16, 8, 30);
+        base.network = NetworkConfig::lan(18);
+        base.seed = 9;
+        let genesis = run_churn(&base);
+        let snap = run_churn(&base.clone().with_snapshots(8));
+
+        let g = &genesis.catchups[0];
+        let s = &snap.catchups[0];
+        assert_eq!(g.target, s.target, "both runs chase the same head");
+        g.latency().expect("genesis catch-up completes");
+        s.latency().expect("snapshot catch-up completes");
+        assert!(
+            s.snapshot_height >= 8,
+            "the joiner must have installed a checkpoint snapshot, got floor {}",
+            s.snapshot_height
+        );
+        assert!(
+            s.blocks_replayed < g.blocks_replayed,
+            "snapshot run must replay only the tail: {} vs {}",
+            s.blocks_replayed,
+            g.blocks_replayed
+        );
+        assert!(
+            s.bytes < g.bytes,
+            "snapshot catch-up must move fewer bytes: {} vs {}",
+            s.bytes,
+            g.bytes
+        );
+        assert_eq!(snap.net.commit_errors(), 0);
+
+        // The joiner's ledger was stood up from the snapshot, not genesis.
+        let joiner = &snap.catchups[0].peer;
+        let ledger = snap
+            .net
+            .ledger_on(joiner.index(), ChannelId(1))
+            .expect("full_ledgers gives the joiner a side-channel ledger");
+        assert!(
+            ledger.base_height() > 1,
+            "the joiner's ledger must be snapshot-based, base {}",
+            ledger.base_height()
+        );
+        assert_eq!(
+            ledger.height(),
+            snap.net.gossip(joiner.index()).height_on(ChannelId(1)),
+            "ledger and gossip store agree on the contiguous height"
+        );
+    }
+
+    /// Anchor-peer entry: the joiner knows a single sitting member and
+    /// still catches up — the rest of the roster arrives via discovery
+    /// push-pull.
+    #[test]
+    fn anchored_join_catches_up_from_one_seed() {
+        let mut cfg = ChurnConfig::standard(16, 8, 20)
+            .with_protocol_discovery()
+            .with_anchor_join();
+        cfg.network = NetworkConfig::lan(18);
+        cfg.seed = 3;
+        let res = run_churn(&cfg);
+        let cu = &res.catchups[0];
+        assert!(cu.target > 0);
+        cu.latency().expect("anchored catch-up completes");
+        // Discovery converged: every sitting member admitted the joiner.
+        let records = res.net.convergence_on(ChannelId(1));
+        let join = records.iter().find(|r| r.join).expect("join record");
+        assert!(
+            join.latency().is_some(),
+            "all sitting members must learn of the anchored joiner"
+        );
+        // And the joiner's own view grew past its single anchor.
+        let view = res
+            .net
+            .gossip(cu.peer.index())
+            .membership_on(ChannelId(1))
+            .expect("joiner is on the side channel")
+            .len();
+        assert!(
+            view > 2,
+            "the joiner must discover members beyond its anchor, saw {view}"
+        );
     }
 }

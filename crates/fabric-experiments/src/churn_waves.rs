@@ -460,13 +460,23 @@ pub fn render_churn_waves(title: &str, result: &ChurnWavesResult) -> String {
     }
     for cu in &result.catchups {
         match cu.latency() {
-            Some(lat) => out.push_str(&format!(
-                "{} caught up on {} (head {}) in {lat}\n",
-                cu.peer, cu.channel, cu.target,
-            )),
+            Some(lat) => {
+                let via = if cu.snapshot_height > 0 {
+                    format!(
+                        "snapshot@{} + {} replayed",
+                        cu.snapshot_height, cu.blocks_replayed
+                    )
+                } else {
+                    format!("{} replayed", cu.blocks_replayed)
+                };
+                out.push_str(&format!(
+                    "{} caught up on {} (head {}) in {lat} | {} catch-up bytes | {via}\n",
+                    cu.peer, cu.channel, cu.target, cu.bytes,
+                ));
+            }
             None => out.push_str(&format!(
-                "{} on {} (head {}) STILL CATCHING UP\n",
-                cu.peer, cu.channel, cu.target,
+                "{} on {} (head {}) | {} catch-up bytes so far | STILL CATCHING UP\n",
+                cu.peer, cu.channel, cu.target, cu.bytes,
             )),
         }
     }
@@ -660,6 +670,7 @@ mod tests {
         assert!(text.contains("discovery share"));
         assert!(text.contains("converged in"));
         assert!(text.contains("caught up"));
+        assert!(text.contains("catch-up bytes"));
         assert!(text.contains("jain"));
     }
 }

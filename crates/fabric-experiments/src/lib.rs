@@ -21,6 +21,9 @@
 //!   protocol** (no membership oracle): waves of joiners/leavers and a
 //!   flash crowd, reporting discovery convergence, stale-view windows,
 //!   leader gaps and fairness including discovery overhead;
+//! * [`long_chain`] — beyond the paper: joiner catch-up cost vs chain
+//!   height, genesis replay against checkpoint-snapshot bootstrap
+//!   (O(chain) vs O(tail) bytes and time-to-serving);
 //! * [`adversarial`] — beyond the paper: Byzantine fault injection over
 //!   the discovery protocol (stale replay, obituary forgery, selective
 //!   forwarding, flooding, eclipse), reporting surviving guarantees and
@@ -41,6 +44,7 @@ pub mod churn;
 pub mod churn_waves;
 pub mod conflicts;
 pub mod dissemination;
+pub mod long_chain;
 pub mod multichannel;
 pub mod net;
 pub mod parallel;
@@ -55,6 +59,9 @@ pub use churn::{run_churn, ChurnConfig, ChurnResult};
 pub use churn_waves::{run_churn_waves, ChurnWavesConfig, ChurnWavesResult};
 pub use conflicts::{run_conflicts, run_table2, ConflictConfig, ConflictResult, Table2Row};
 pub use dissemination::{run_dissemination, DisseminationConfig, DisseminationResult};
+pub use long_chain::{
+    render_long_chain, run_long_chain, LongChainConfig, LongChainResult, LongChainRow,
+};
 pub use multichannel::{
     run_multichannel, ChannelPlan, MultiChannelConfig, MultiChannelNet, MultiChannelResult,
 };

@@ -1,0 +1,338 @@
+//! Joiner catch-up cost as a function of chain height: genesis replay vs
+//! snapshot bootstrap.
+//!
+//! The dissemination experiments measure steady state; this sweep measures
+//! the **cost of entering late**. For each chain height in the sweep, the
+//! same deployment runs twice — snapshots off (the joiner replays the
+//! whole chain through recovery) and snapshots on (the joiner installs
+//! the freshest checkpoint snapshot and replays only the tail) — and the
+//! per-join [`Catchup`] record reports the transfer bytes, the
+//! time-to-serving and the blocks actually replayed.
+//!
+//! The paper's enhancement makes steady-state dissemination fair and
+//! cheap; this sweep shows the complementary claim for bootstrap: genesis
+//! replay grows O(chain) in bytes and time, snapshot bootstrap O(tail) —
+//! the gap widens as the chain grows, which is exactly what the
+//! `long_chain` bench preset pins.
+
+use desim::{Duration, NetworkConfig};
+
+use crate::churn::{run_churn, ChurnConfig};
+use crate::net::Catchup;
+
+/// The sweep: chain heights, deployment shape, checkpoint cadence.
+#[derive(Debug, Clone)]
+pub struct LongChainConfig {
+    /// Blocks the side channel cuts per sweep point (the joiner enters at
+    /// two thirds of the run, so the head it chases grows with this).
+    pub heights: Vec<u64>,
+    /// Total peers of each deployment.
+    pub peers: usize,
+    /// Initial members of the churned side channel.
+    pub side_members: usize,
+    /// Checkpoint cadence of the snapshot-on runs.
+    pub checkpoint_interval: u64,
+    /// Simulation seed (shared by every run of the sweep).
+    pub seed: u64,
+}
+
+impl LongChainConfig {
+    /// The standard sweep: 20 → 40 → 80 blocks over a 12-peer deployment,
+    /// checkpoints every 8 blocks.
+    pub fn standard() -> Self {
+        LongChainConfig {
+            heights: vec![20, 40, 80],
+            peers: 12,
+            side_members: 6,
+            checkpoint_interval: 8,
+            seed: 1,
+        }
+    }
+
+    /// A two-point sweep for tests and quick bench runs.
+    pub fn quick() -> Self {
+        LongChainConfig {
+            heights: vec![16, 32],
+            ..Self::standard()
+        }
+    }
+}
+
+/// One sweep point: the same join measured under both bootstrap modes.
+#[derive(Debug, Clone)]
+pub struct LongChainRow {
+    /// Blocks scheduled on the side channel at this sweep point.
+    pub blocks: u64,
+    /// The head the genesis-replay joiner chased (its catch-up target).
+    pub genesis_target: u64,
+    /// Catch-up transfer bytes of the genesis-replay joiner.
+    pub genesis_bytes: u64,
+    /// Join → serving the head, genesis replay.
+    pub genesis_time_to_serving: Duration,
+    /// Blocks the genesis-replay joiner received and replayed.
+    pub genesis_blocks_replayed: u64,
+    /// The head the snapshot-bootstrapped joiner chased.
+    pub snapshot_target: u64,
+    /// Catch-up transfer bytes of the snapshot-bootstrapped joiner
+    /// (snapshot response + tail recovery).
+    pub snapshot_bytes: u64,
+    /// Join → serving the head, snapshot bootstrap.
+    pub snapshot_time_to_serving: Duration,
+    /// Blocks the snapshot-bootstrapped joiner replayed (the tail).
+    pub snapshot_blocks_replayed: u64,
+    /// Height the installed snapshot absorbed (0 = none was installed).
+    pub snapshot_height: u64,
+}
+
+/// What a sweep produces.
+#[derive(Debug, Clone)]
+pub struct LongChainResult {
+    /// One row per sweep height, in sweep order.
+    pub rows: Vec<LongChainRow>,
+    /// The checkpoint cadence the snapshot runs used.
+    pub checkpoint_interval: u64,
+    /// Simulation events across every run of the sweep (both modes) —
+    /// the bench throughput denominator.
+    pub events: u64,
+    /// Blocks cut across every run of the sweep (both modes).
+    pub blocks: u64,
+}
+
+impl LongChainResult {
+    /// Bytes growth factor across the sweep (last / first), per mode.
+    /// The acceptance claim is `snapshot < genesis`: snapshot catch-up
+    /// grows strictly slower than genesis replay as the chain grows.
+    pub fn bytes_growth(&self) -> (f64, f64) {
+        let first = self.rows.first().expect("sweep is non-empty");
+        let last = self.rows.last().expect("sweep is non-empty");
+        (
+            last.genesis_bytes as f64 / first.genesis_bytes.max(1) as f64,
+            last.snapshot_bytes as f64 / first.snapshot_bytes.max(1) as f64,
+        )
+    }
+
+    /// Time-to-serving growth factor across the sweep (last / first).
+    pub fn time_growth(&self) -> (f64, f64) {
+        let first = self.rows.first().expect("sweep is non-empty");
+        let last = self.rows.last().expect("sweep is non-empty");
+        (
+            last.genesis_time_to_serving.as_secs_f64()
+                / first.genesis_time_to_serving.as_secs_f64().max(1e-9),
+            last.snapshot_time_to_serving.as_secs_f64()
+                / first.snapshot_time_to_serving.as_secs_f64().max(1e-9),
+        )
+    }
+}
+
+fn completed_catchup(catchups: &[Catchup], blocks: u64, mode: &str) -> Catchup {
+    let cu = catchups
+        .first()
+        .unwrap_or_else(|| panic!("{mode} run at {blocks} blocks recorded no join"));
+    assert!(
+        cu.completed_at.is_some(),
+        "{mode} catch-up at {blocks} blocks did not complete within the run"
+    );
+    cu.clone()
+}
+
+/// Runs the sweep: each height twice (snapshots off, then on), same seed
+/// and workload, one late joiner chasing the side channel's head.
+///
+/// # Panics
+///
+/// Panics when a catch-up fails to complete within its run — the sweep's
+/// numbers would be meaningless.
+pub fn run_long_chain(cfg: &LongChainConfig) -> LongChainResult {
+    let mut rows = Vec::with_capacity(cfg.heights.len());
+    let mut events = 0u64;
+    let mut total_blocks = 0u64;
+    for &blocks in &cfg.heights {
+        let mut base = ChurnConfig::standard(cfg.peers, cfg.side_members, blocks);
+        base.network = NetworkConfig::lan(cfg.peers + 2);
+        base.seed = cfg.seed;
+        base.leader_leave_at = None;
+        base.full_ledgers = true;
+        // Join late so the chain the joiner faces scales with the
+        // sweep: two thirds of the issue span (standard joins at one
+        // third).
+        let third = base.join_at.since(desim::Time::ZERO);
+        base.join_at = desim::Time::ZERO + third * 2;
+        // Catch-up must finish even at the tallest sweep point.
+        base.drain = Duration::from_secs(60);
+
+        let genesis = run_churn(&base);
+        let g = completed_catchup(&genesis.catchups, blocks, "genesis");
+
+        let snap_run = run_churn(&base.clone().with_snapshots(cfg.checkpoint_interval));
+        let s = completed_catchup(&snap_run.catchups, blocks, "snapshot");
+
+        for run in [&genesis, &snap_run] {
+            events += run.events;
+            total_blocks += run.channels.iter().map(|c| c.blocks).sum::<u64>();
+        }
+        rows.push(LongChainRow {
+            blocks,
+            genesis_target: g.target,
+            genesis_bytes: g.bytes,
+            genesis_time_to_serving: g.time_to_serving().expect("checked above"),
+            genesis_blocks_replayed: g.blocks_replayed,
+            snapshot_target: s.target,
+            snapshot_bytes: s.bytes,
+            snapshot_time_to_serving: s.time_to_serving().expect("checked above"),
+            snapshot_blocks_replayed: s.blocks_replayed,
+            snapshot_height: s.snapshot_height,
+        });
+    }
+    LongChainResult {
+        rows,
+        checkpoint_interval: cfg.checkpoint_interval,
+        events,
+        blocks: total_blocks,
+    }
+}
+
+/// Plain-text rendering of a sweep, preset-report style.
+pub fn render_long_chain(title: &str, result: &LongChainResult) -> String {
+    let mut out = format!(
+        "== {title} (checkpoints every {} blocks) ==\n",
+        result.checkpoint_interval
+    );
+    for r in &result.rows {
+        out.push_str(&format!(
+            "{:>4} blocks | genesis: head {:>4}, {:>8} B, {} to serving, {:>4} replayed | \
+             snapshot: head {:>4}, {:>8} B, {} to serving, {:>4} replayed (floor {})\n",
+            r.blocks,
+            r.genesis_target,
+            r.genesis_bytes,
+            r.genesis_time_to_serving,
+            r.genesis_blocks_replayed,
+            r.snapshot_target,
+            r.snapshot_bytes,
+            r.snapshot_time_to_serving,
+            r.snapshot_blocks_replayed,
+            r.snapshot_height,
+        ));
+    }
+    let (gb, sb) = result.bytes_growth();
+    let (gt, st) = result.time_growth();
+    out.push_str(&format!(
+        "growth last/first | bytes: genesis {gb:.2}x vs snapshot {sb:.2}x | \
+         time-to-serving: genesis {gt:.2}x vs snapshot {st:.2}x\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_types::ids::ChannelId;
+
+    fn sweep() -> LongChainResult {
+        run_long_chain(&LongChainConfig::quick())
+    }
+
+    #[test]
+    fn snapshot_bootstrap_beats_genesis_replay_at_every_height() {
+        let res = sweep();
+        assert_eq!(res.rows.len(), 2);
+        for r in &res.rows {
+            assert!(r.genesis_target > 0, "the joiner must have a head to chase");
+            assert!(
+                r.snapshot_height >= res.checkpoint_interval,
+                "{} blocks: no snapshot was installed (floor {})",
+                r.blocks,
+                r.snapshot_height
+            );
+            assert!(
+                r.snapshot_blocks_replayed < r.genesis_blocks_replayed,
+                "{} blocks: tail replay {} not below full replay {}",
+                r.blocks,
+                r.snapshot_blocks_replayed,
+                r.genesis_blocks_replayed
+            );
+            assert!(
+                r.snapshot_bytes < r.genesis_bytes,
+                "{} blocks: snapshot bytes {} not below genesis bytes {}",
+                r.blocks,
+                r.snapshot_bytes,
+                r.genesis_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_cost_grows_strictly_slower_with_chain_height() {
+        let res = sweep();
+        let (genesis_bytes, snapshot_bytes) = res.bytes_growth();
+        assert!(
+            snapshot_bytes < genesis_bytes,
+            "snapshot byte growth {snapshot_bytes:.2}x must trail genesis {genesis_bytes:.2}x"
+        );
+        // Genesis replay cost meaningfully tracks the chain; the snapshot
+        // path is dominated by the (bounded) tail.
+        assert!(
+            genesis_bytes > 1.2,
+            "the sweep must actually grow the genesis cost, got {genesis_bytes:.2}x"
+        );
+    }
+
+    #[test]
+    fn render_tabulates_both_modes_and_growth() {
+        let res = sweep();
+        let text = render_long_chain("long_chain", &res);
+        eprintln!("{text}");
+        assert!(text.contains("genesis:"));
+        assert!(text.contains("snapshot:"));
+        assert!(text.contains("growth last/first"));
+        assert!(text.contains("to serving"));
+    }
+
+    #[test]
+    fn joiner_state_is_byte_identical_across_bootstrap_modes() {
+        // The determinism contract end to end, within one run: the side
+        // endorser replays every block from genesis while the joiner
+        // bootstraps from a snapshot — their checkpoint streams must agree
+        // on every common height, and at equal final height their state
+        // hashes are byte-identical.
+        let mut base = ChurnConfig::standard(10, 5, 24);
+        base.network = NetworkConfig::lan(12);
+        base.leader_leave_at = None;
+        base.drain = Duration::from_secs(60);
+        // Join at two thirds of the run so the chain is deep enough for a
+        // checkpoint to exist and the joiner's lag to clear min_lag.
+        let third = base.join_at.since(desim::Time::ZERO);
+        base.join_at = desim::Time::ZERO + third * 2;
+        let snap = run_churn(&base.clone().with_snapshots(8));
+        let side = ChannelId(1);
+        let joiner = snap.catchups[0].peer.index();
+
+        let genesis_ledger = snap.net.ledger_on(1, side).expect("endorser ledger");
+        let joiner_ledger = snap.net.ledger_on(joiner, side).expect("joiner ledger");
+        assert_eq!(genesis_ledger.base_height(), 0, "the endorser replays all");
+        assert!(
+            joiner_ledger.base_height() > 1,
+            "the joiner must have bootstrapped from a snapshot"
+        );
+        assert!(
+            !joiner_ledger.checkpoints().is_empty(),
+            "the joiner keeps checkpointing past the installed snapshot"
+        );
+        for cp in joiner_ledger.checkpoints() {
+            assert!(
+                genesis_ledger.checkpoints().contains(cp),
+                "checkpoint at height {} diverged between replay and bootstrap",
+                cp.height
+            );
+        }
+        assert_eq!(
+            genesis_ledger.height(),
+            joiner_ledger.height(),
+            "both must converge to the full chain within the drain window"
+        );
+        assert_eq!(
+            genesis_ledger.state().state_hash(),
+            joiner_ledger.state().state_hash(),
+            "equal heights must hash to byte-identical states"
+        );
+    }
+}

@@ -253,12 +253,30 @@ pub struct Catchup {
     /// When the joiner's contiguous height first covered `target`
     /// (`None` while still catching up).
     pub completed_at: Option<Time>,
+    /// Catch-up transfer bytes received while open: recovery-response and
+    /// snapshot-response wire bytes addressed to the joiner on this
+    /// channel. Steady-state push/pull traffic is not counted — this is
+    /// the cost of the bootstrap itself.
+    pub bytes: u64,
+    /// Blocks the joiner individually received and replayed to reach the
+    /// head (filled at completion). Equals the full chain under genesis
+    /// replay; only the tail above the snapshot floor with snapshots on.
+    pub blocks_replayed: u64,
+    /// Highest block number absorbed through an installed snapshot
+    /// (0 = genesis replay; filled at completion).
+    pub snapshot_height: u64,
 }
 
 impl Catchup {
     /// Catch-up latency (join → head reached), when complete.
     pub fn latency(&self) -> Option<Duration> {
         self.completed_at.map(|t| t.since(self.joined_at))
+    }
+
+    /// Time from join until the peer serves the join-time head — the
+    /// report-facing name for [`Catchup::latency`].
+    pub fn time_to_serving(&self) -> Option<Duration> {
+        self.latency()
     }
 }
 
@@ -366,6 +384,11 @@ pub struct NetParams {
     /// How churn propagates: the synchronous oracle (default, the PR 3
     /// pipeline) or the gossiped discovery protocol.
     pub discovery: DiscoveryMode,
+    /// Runtime joiners enter knowing **one anchor peer** (the channel's
+    /// lowest-id sitting member) instead of the full roster, and learn the
+    /// rest through discovery push-pull. Requires
+    /// [`DiscoveryMode::Protocol`].
+    pub anchor_join: bool,
 }
 
 impl NetParams {
@@ -386,6 +409,7 @@ impl NetParams {
             extra_channels: Vec::new(),
             churn: Vec::new(),
             discovery: DiscoveryMode::Oracle,
+            anchor_join: false,
         }
     }
 
@@ -581,6 +605,11 @@ impl FabricNet {
             "discovery mode and gossip config must agree: DiscoveryMode::Protocol requires \
              gossip.discovery.protocol (and vice versa)"
         );
+        assert!(
+            !params.anchor_join || params.discovery == DiscoveryMode::Protocol,
+            "anchor-peer joins learn the roster through discovery push-pull: \
+             anchor_join requires DiscoveryMode::Protocol"
+        );
 
         // MSP identities follow the default channel's organization split,
         // as in the historical single-channel deployment.
@@ -655,7 +684,11 @@ impl FabricNet {
                         .join_channel(spec.channel, org_roster)
                         .widen_channel_view(spec.channel, spec.members.clone());
                     if params.full_ledgers || spec.endorsers.contains(&id) {
-                        ledgers.push((spec.channel, Ledger::new(msp.clone(), spec.policy.clone())));
+                        let mut ledger = Ledger::new(msp.clone(), spec.policy.clone());
+                        if params.gossip.snapshot.enabled {
+                            ledger = ledger.with_checkpoints(params.gossip.snapshot.interval);
+                        }
+                        ledgers.push((spec.channel, ledger));
                     }
                 }
                 PeerNode {
@@ -763,6 +796,17 @@ impl FabricNet {
         &self.catchups
     }
 
+    /// The ledger checkpoint cadence, when the gossip layer has snapshots
+    /// on (`None` keeps ledgers checkpoint-free — the byte-identical
+    /// historical pipeline).
+    fn checkpoint_interval(&self) -> Option<u64> {
+        self.params
+            .gossip
+            .snapshot
+            .enabled
+            .then_some(self.params.gossip.snapshot.interval)
+    }
+
     /// Discovery-convergence records of `channel`'s protocol-mode churn
     /// events, in event order (empty under [`DiscoveryMode::Oracle`]).
     pub fn convergence_on(&self, channel: ChannelId) -> &[ViewConvergence] {
@@ -851,10 +895,12 @@ impl FabricNet {
     /// `Simulation::with_ctx`.
     pub fn start(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>) {
         let validation = self.params.validation_per_tx;
+        let ckpt = self.checkpoint_interval();
         for i in 0..self.peers.len() {
             let node = NodeId(i as u32);
             let PeerNode {
                 gossip,
+                ledgers,
                 pending_commits,
                 validation_free,
                 ..
@@ -864,8 +910,11 @@ impl FabricNet {
                 me: node,
                 pending_commits,
                 validation_free,
+                ledgers,
+                msp: &self.msp,
                 channels: &mut self.channels,
                 validation_per_tx: validation,
+                checkpoint_interval: ckpt,
             };
             gossip.init(&mut fx);
         }
@@ -890,8 +939,25 @@ impl FabricNet {
         envelope: ChannelMsg,
     ) {
         let validation = self.params.validation_per_tx;
+        let ckpt = self.checkpoint_interval();
+        // Catch-up transfer accounting: recovery batches and snapshot
+        // responses addressed to a still-catching-up joiner are the bytes
+        // its bootstrap costs (steady-state push/pull is not).
+        {
+            use desim::Message as _;
+            let kind = envelope.msg.kind();
+            if kind == "block-recovery" || kind == "snapshot" {
+                let peer = PeerId(to.0);
+                if let Some(c) = self.catchups.iter_mut().find(|c| {
+                    c.completed_at.is_none() && c.peer == peer && c.channel == envelope.channel
+                }) {
+                    c.bytes += envelope.wire_size() as u64;
+                }
+            }
+        }
         let PeerNode {
             gossip,
+            ledgers,
             pending_commits,
             validation_free,
             ..
@@ -901,15 +967,20 @@ impl FabricNet {
             me: to,
             pending_commits,
             validation_free,
+            ledgers,
+            msp: &self.msp,
             channels: &mut self.channels,
             validation_per_tx: validation,
+            checkpoint_interval: ckpt,
         };
         gossip.on_channel_message(&mut fx, envelope.channel, PeerId(from.0), envelope.msg);
         self.check_catchups(to, ctx.now());
     }
 
     /// Marks pending catch-ups of this peer complete once its contiguous
-    /// height covers the join-time head.
+    /// height covers the join-time head, recording how the head was
+    /// reached: blocks individually replayed vs absorbed through a
+    /// snapshot.
     fn check_catchups(&mut self, node: NodeId, now: Time) {
         let peer = PeerId(node.0);
         for c in self
@@ -917,9 +988,13 @@ impl FabricNet {
             .iter_mut()
             .filter(|c| c.completed_at.is_none() && c.peer == peer)
         {
-            let height = self.peers[node.index()].gossip.height_on(c.channel);
+            let gossip = &self.peers[node.index()].gossip;
+            let height = gossip.height_on(c.channel);
             if height > c.target {
                 c.completed_at = Some(now);
+                let floor = gossip.store_on(c.channel).map_or(0, |s| s.snapshot_floor());
+                c.snapshot_height = floor;
+                c.blocks_replayed = (height - 1).saturating_sub(floor);
             }
         }
     }
@@ -938,6 +1013,7 @@ impl FabricNet {
         let ev = self.params.churn[index].clone();
         let now = ctx.now();
         let validation = self.params.validation_per_tx;
+        let ckpt = self.checkpoint_interval();
         let protocol = self.params.discovery == DiscoveryMode::Protocol;
         let c = ev.channel.index();
         match ev.action {
@@ -948,11 +1024,30 @@ impl FabricNet {
                 // The joiner's organization roster is the membership as it
                 // stood before the join (a roster excluding self never
                 // self-elects statically — the late-joiner rule of
-                // `GossipPeer::new`).
+                // `GossipPeer::new`). Under anchor_join the joiner is
+                // handed only the lowest-id sitting member and discovers
+                // the rest through push-pull.
                 let roster = self.channels[c].members.clone();
+                let anchor_join = self.params.anchor_join;
+                // Under full_ledgers a runtime joiner materializes its
+                // ledger at join (build-time ledgers cover initial members
+                // only), so a verified snapshot can seed it.
+                if self.params.full_ledgers
+                    && self.peers[ev.peer.index()].ledger(ev.channel).is_none()
+                {
+                    let mut ledger =
+                        Ledger::new(self.msp.clone(), self.channels[c].spec.policy.clone());
+                    if let Some(every) = ckpt {
+                        ledger = ledger.with_checkpoints(every);
+                    }
+                    self.peers[ev.peer.index()]
+                        .ledgers
+                        .push((ev.channel, ledger));
+                }
                 {
                     let PeerNode {
                         gossip,
+                        ledgers,
                         pending_commits,
                         validation_free,
                         ..
@@ -962,10 +1057,21 @@ impl FabricNet {
                         me: NodeId(ev.peer.0),
                         pending_commits,
                         validation_free,
+                        ledgers,
+                        msp: &self.msp,
                         channels: &mut self.channels,
                         validation_per_tx: validation,
+                        checkpoint_interval: ckpt,
                     };
-                    gossip.join_channel_live(&mut fx, ev.channel, roster.clone());
+                    if anchor_join {
+                        let anchor = *roster
+                            .iter()
+                            .min()
+                            .expect("an anchored joiner needs a sitting member to seed from");
+                        gossip.join_channel_anchored(&mut fx, ev.channel, anchor);
+                    } else {
+                        gossip.join_channel_live(&mut fx, ev.channel, roster.clone());
+                    }
                 }
                 self.channels[c].members.push(ev.peer);
                 if protocol {
@@ -988,6 +1094,7 @@ impl FabricNet {
                         }
                         let PeerNode {
                             gossip,
+                            ledgers,
                             pending_commits,
                             validation_free,
                             ..
@@ -997,8 +1104,11 @@ impl FabricNet {
                             me: NodeId(m.0),
                             pending_commits,
                             validation_free,
+                            ledgers,
+                            msp: &self.msp,
                             channels: &mut self.channels,
                             validation_per_tx: validation,
+                            checkpoint_interval: ckpt,
                         };
                         gossip.on_peer_joined(&mut fx, ev.channel, ev.peer);
                     }
@@ -1010,6 +1120,9 @@ impl FabricNet {
                     joined_at: now,
                     target,
                     completed_at: (target == 0).then_some(now),
+                    bytes: 0,
+                    blocks_replayed: 0,
+                    snapshot_height: 0,
                 });
             }
             ChurnAction::Leave => {
@@ -1046,6 +1159,7 @@ impl FabricNet {
                     for m in members {
                         let PeerNode {
                             gossip,
+                            ledgers,
                             pending_commits,
                             validation_free,
                             ..
@@ -1055,8 +1169,11 @@ impl FabricNet {
                             me: NodeId(m.0),
                             pending_commits,
                             validation_free,
+                            ledgers,
+                            msp: &self.msp,
                             channels: &mut self.channels,
                             validation_per_tx: validation,
+                            checkpoint_interval: ckpt,
                         };
                         gossip.on_peer_left(&mut fx, ev.channel, ev.peer);
                     }
@@ -1280,8 +1397,10 @@ impl desim::Protocol for FabricNet {
                     .latency
                     .start_block(block.number(), ctx.now());
                 let validation = self.params.validation_per_tx;
+                let ckpt = self.checkpoint_interval();
                 let PeerNode {
                     gossip,
+                    ledgers,
                     pending_commits,
                     validation_free,
                     ..
@@ -1291,8 +1410,11 @@ impl desim::Protocol for FabricNet {
                     me: to,
                     pending_commits,
                     validation_free,
+                    ledgers,
+                    msp: &self.msp,
                     channels: &mut self.channels,
                     validation_per_tx: validation,
+                    checkpoint_interval: ckpt,
                 };
                 gossip.on_block_from_orderer_on(&mut fx, channel, block);
                 self.check_catchups(to, ctx.now());
@@ -1313,8 +1435,10 @@ impl desim::Protocol for FabricNet {
         match timer {
             NetTimer::Peer { channel, timer } => {
                 let validation = self.params.validation_per_tx;
+                let ckpt = self.checkpoint_interval();
                 let PeerNode {
                     gossip,
+                    ledgers,
                     pending_commits,
                     validation_free,
                     ..
@@ -1324,8 +1448,11 @@ impl desim::Protocol for FabricNet {
                     me: node,
                     pending_commits,
                     validation_free,
+                    ledgers,
+                    msp: &self.msp,
                     channels: &mut self.channels,
                     validation_per_tx: validation,
+                    checkpoint_interval: ckpt,
                 };
                 gossip.on_channel_timer(&mut fx, channel, timer);
                 self.check_catchups(node, ctx.now());
@@ -1343,8 +1470,21 @@ impl desim::Protocol for FabricNet {
                     return;
                 };
                 if let Some(ledger) = peer.ledger_mut(channel) {
+                    if block.number() < ledger.height() {
+                        // Absorbed by a snapshot installed while the block
+                        // sat in the validation queue — its writes are
+                        // already part of the adopted state.
+                        return;
+                    }
                     if ledger.commit(block).is_err() {
                         peer.commit_errors += 1;
+                    }
+                    // A commit landing on a checkpoint boundary refreshes
+                    // the ledger's snapshot; hand it to gossip so this
+                    // peer can serve joiners (freshness-gated, so the
+                    // off-boundary case is a cheap height compare).
+                    if let Some(snapshot) = peer.ledger(channel).and_then(|l| l.snapshot()) {
+                        peer.gossip.publish_snapshot_on(channel, snapshot);
                     }
                 }
                 *peer.committed.entry(channel).or_insert(0) += 1;
@@ -1370,6 +1510,7 @@ impl desim::Protocol for FabricNet {
         // with it — the engine drops timers of down nodes) and re-validates
         // any stored blocks whose in-flight validation the crash destroyed.
         let validation = self.params.validation_per_tx;
+        let ckpt = self.checkpoint_interval();
         let PeerNode {
             gossip,
             ledgers,
@@ -1397,8 +1538,11 @@ impl desim::Protocol for FabricNet {
             me: node,
             pending_commits,
             validation_free,
+            ledgers,
+            msp: &self.msp,
             channels: &mut self.channels,
             validation_per_tx: validation,
+            checkpoint_interval: ckpt,
         };
         gossip.init(&mut fx);
     }
@@ -1410,8 +1554,11 @@ struct SimFx<'a, 'c> {
     me: NodeId,
     pending_commits: &'a mut VecDeque<(ChannelId, BlockRef)>,
     validation_free: &'a mut Time,
+    ledgers: &'a mut Vec<(ChannelId, Ledger)>,
+    msp: &'a Arc<Msp>,
     channels: &'a mut [ChannelRuntime],
     validation_per_tx: Duration,
+    checkpoint_interval: Option<u64>,
 }
 
 impl Effects for SimFx<'_, '_> {
@@ -1467,6 +1614,32 @@ impl Effects for SimFx<'_, '_> {
             if let Some(opened) = rt.gap_open.take() {
                 rt.leader_gaps.push(self.ctx.now().since(opened));
             }
+        }
+    }
+
+    fn snapshot_installed(
+        &mut self,
+        channel: ChannelId,
+        snapshot: &fabric_types::snapshot::SnapshotRef,
+    ) {
+        // The gossip layer verified and adopted the snapshot; if this peer
+        // maintains a ledger for the channel, stand it up from the same
+        // snapshot so tail blocks commit against the adopted state instead
+        // of replaying the whole chain.
+        let Some(entry) = self.ledgers.iter_mut().find(|(ch, _)| *ch == channel) else {
+            return;
+        };
+        if snapshot.checkpoint.height < entry.1.height() {
+            return; // the ledger already replayed past the checkpoint
+        }
+        let policy = self.channels[channel.index()].spec.policy.clone();
+        if let Ok(ledger) = Ledger::from_snapshot(
+            self.msp.clone(),
+            policy,
+            snapshot.clone(),
+            self.checkpoint_interval,
+        ) {
+            entry.1 = ledger;
         }
     }
 

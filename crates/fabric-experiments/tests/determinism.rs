@@ -223,6 +223,48 @@ fn discovery_golden_trace_pins_events_and_byte_totals() {
     assert_eq!(res.channels[1].handoffs, 1);
 }
 
+/// The snapshot subsystem ships default-off, and off means *byte*-off:
+/// every preset's gossip config leaves it disabled, and a disabled run's
+/// StateInfo carries no checkpoint — zero extra wire bytes — so the
+/// golden trace above (and every other pinned trace) is provably
+/// untouched by the snapshot code paths.
+#[test]
+fn snapshots_default_off_cannot_perturb_the_golden_traces() {
+    use desim::Message as _;
+    use fabric_experiments::churn::ChurnConfig;
+    use fabric_gossip::messages::GossipMsg;
+    use fabric_types::snapshot::Checkpoint;
+
+    for cfg in [
+        GossipConfig::enhanced_f4(),
+        GossipConfig::enhanced_f2(),
+        GossipConfig::original_fabric(),
+    ] {
+        assert!(!cfg.snapshot.enabled, "snapshot bootstrap must ship off");
+    }
+    let golden = ChurnConfig::standard(16, 8, 20).with_protocol_discovery();
+    assert!(
+        !golden.gossip.snapshot.enabled,
+        "the golden-trace churn preset must run with snapshots off"
+    );
+    // With snapshots off the recovery engine never advertises a
+    // checkpoint, and an absent checkpoint costs nothing on the wire —
+    // the default-off StateInfo format is byte-identical to the
+    // pre-snapshot one.
+    let bare = GossipMsg::StateInfo {
+        height: 9,
+        checkpoint: None,
+    };
+    let advertising = GossipMsg::StateInfo {
+        height: 9,
+        checkpoint: Some(Checkpoint {
+            height: 8,
+            state_hash: fabric_types::crypto::Hash256::ZERO,
+        }),
+    };
+    assert_eq!(bare.wire_size() + Checkpoint::WIRE, advertising.wire_size());
+}
+
 #[test]
 fn every_peer_shares_one_block_allocation() {
     // The zero-copy claim, observed directly: after a run, the same block

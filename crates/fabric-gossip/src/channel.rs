@@ -51,6 +51,12 @@ pub struct PeerStats {
     pub pull_rounds: u64,
     /// Recovery requests issued.
     pub recovery_requests: u64,
+    /// Snapshot requests issued (snapshot bootstrap).
+    pub snapshot_requests: u64,
+    /// Snapshots served to other peers.
+    pub snapshots_served: u64,
+    /// Snapshots verified and installed locally.
+    pub snapshots_installed: u64,
     /// Bytes put on the wire by this channel instance, per message kind
     /// (the metrics tags of [`GossipMsg::kind`]), indexed by interned
     /// [`desim::KindId`] — a dense array add per send instead of the
@@ -83,6 +89,9 @@ impl PeerStats {
         self.fetch_requests += other.fetch_requests;
         self.pull_rounds += other.pull_rounds;
         self.recovery_requests += other.recovery_requests;
+        self.snapshot_requests += other.snapshot_requests;
+        self.snapshots_served += other.snapshots_served;
+        self.snapshots_installed += other.snapshots_installed;
         self.bytes_sent_by_kind.absorb(&other.bytes_sent_by_kind);
     }
 }
@@ -116,6 +125,12 @@ pub struct ChannelCore {
     pub forwarding: bool,
     /// The channel's block store.
     pub store: BlockStore,
+    /// The latest snapshot this peer can serve: published by the embedding
+    /// when its ledger checkpoints ([`crate::peer::GossipPeer::
+    /// publish_snapshot_on`]) or installed from a received
+    /// [`GossipMsg::SnapshotResponse`]. `None` unless snapshot bootstrap
+    /// produced one.
+    pub snapshot: Option<fabric_types::snapshot::SnapshotRef>,
     /// Per-channel protocol counters.
     pub stats: PeerStats,
 }
@@ -147,6 +162,7 @@ impl ChannelCore {
             channel_view,
             forwarding: true,
             store: BlockStore::new(),
+            snapshot: None,
             stats: PeerStats::default(),
         }
     }
@@ -326,7 +342,9 @@ impl ChannelState {
                     self.core.accept_content(fx, &block);
                 }
             }
-            GossipMsg::StateInfo { height } => self.leadership.on_state_info(from, height),
+            GossipMsg::StateInfo { height, checkpoint } => {
+                self.leadership.on_state_info(from, height, checkpoint)
+            }
             GossipMsg::RecoveryRequest { from: lo, to } => {
                 self.leadership
                     .on_recovery_request(&mut self.core, fx, from, lo, to)
@@ -335,6 +353,14 @@ impl ChannelState {
                 for block in blocks {
                     self.core.accept_content(fx, &block);
                 }
+            }
+            GossipMsg::SnapshotRequest { height } => {
+                self.leadership
+                    .on_snapshot_request(&mut self.core, fx, from, height)
+            }
+            GossipMsg::SnapshotResponse { snapshot } => {
+                self.leadership
+                    .on_snapshot_response(&mut self.core, fx, snapshot)
             }
             GossipMsg::Alive => {} // mark_alive above is the whole effect
             GossipMsg::AliveMsg(claim) => {

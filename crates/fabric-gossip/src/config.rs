@@ -196,6 +196,40 @@ impl Default for ElectionConfig {
     }
 }
 
+/// Snapshot-bootstrap parameters (checkpoints + snapshot transfer in the
+/// recovery phase).
+///
+/// Off by default: StateInfo broadcasts then carry no checkpoint and every
+/// joiner catches up by block replay, byte-identical to the pre-snapshot
+/// wire format. When enabled, StateInfo messages piggyback the sender's
+/// latest [`fabric_types::Checkpoint`] (+40 wire bytes when present), and
+/// a peer whose height trails the best advertised checkpoint by at least
+/// `min_lag` blocks requests the snapshot instead of replaying the chain —
+/// O(state + tail) instead of O(chain).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotConfig {
+    /// Advertise checkpoints and bootstrap joiners from snapshots.
+    pub enabled: bool,
+    /// Checkpoint cadence in blocks: the embedding's ledger emits a
+    /// checkpoint every `interval` blocks (see
+    /// `fabric_ledger::Ledger::with_checkpoints`).
+    pub interval: u64,
+    /// Minimum lag (best advertised checkpoint height + 1 − own height)
+    /// before a peer prefers a snapshot over block replay. Keeps
+    /// steady-state stragglers on the cheap block-recovery path.
+    pub min_lag: u64,
+}
+
+impl Default for SnapshotConfig {
+    fn default() -> Self {
+        SnapshotConfig {
+            enabled: false,
+            interval: 32,
+            min_lag: 32,
+        }
+    }
+}
+
 /// Retry policy for fetching block content announced by a push digest.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FetchConfig {
@@ -238,6 +272,9 @@ pub struct GossipConfig {
     pub election: ElectionConfig,
     /// Push-digest fetch retries.
     pub fetch: FetchConfig,
+    /// Snapshot bootstrap (off by default: wire format and golden traces
+    /// are unchanged unless a deployment opts in).
+    pub snapshot: SnapshotConfig,
 }
 
 impl GossipConfig {
@@ -257,6 +294,7 @@ impl GossipConfig {
             discovery: DiscoveryConfig::default(),
             election: ElectionConfig::default(),
             fetch: FetchConfig::default(),
+            snapshot: SnapshotConfig::default(),
         }
     }
 
@@ -290,6 +328,7 @@ impl GossipConfig {
             discovery: DiscoveryConfig::default(),
             election: ElectionConfig::default(),
             fetch: FetchConfig::default(),
+            snapshot: SnapshotConfig::default(),
         }
     }
 
@@ -310,6 +349,17 @@ impl GossipConfig {
         self.discovery.protocol = true;
         self.discovery.delta = true;
         self.discovery.adaptive_heartbeat = true;
+        self
+    }
+
+    /// Turns on snapshot bootstrap with checkpoints every `interval`
+    /// blocks. `min_lag` is set to the interval: a joiner more than one
+    /// checkpoint behind takes the snapshot path, a steady-state straggler
+    /// keeps cheap block recovery.
+    pub fn with_snapshots(mut self, interval: u64) -> Self {
+        self.snapshot.enabled = true;
+        self.snapshot.interval = interval;
+        self.snapshot.min_lag = interval;
         self
     }
 
@@ -411,6 +461,14 @@ impl GossipConfig {
         }
         if self.fetch.max_attempts == 0 {
             return Err("fetch max_attempts must be positive".into());
+        }
+        if self.snapshot.enabled {
+            if self.snapshot.interval == 0 {
+                return Err("snapshot checkpoint interval must be positive".into());
+            }
+            if self.snapshot.min_lag == 0 {
+                return Err("snapshot min_lag must be positive".into());
+            }
         }
         Ok(())
     }
@@ -518,6 +576,28 @@ mod tests {
         let mut bad = GossipConfig::enhanced_f4().with_delta_discovery();
         bad.discovery.quiet_rounds_to_backoff = 0;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn snapshots_default_off_and_builder_validates() {
+        let cfg = GossipConfig::enhanced_f4();
+        assert!(!cfg.snapshot.enabled, "wire format unchanged by default");
+        let snap = GossipConfig::enhanced_f4().with_snapshots(16);
+        assert!(snap.snapshot.enabled);
+        assert_eq!(snap.snapshot.interval, 16);
+        assert_eq!(snap.snapshot.min_lag, 16);
+        assert!(snap.validate().is_ok());
+
+        let mut bad = GossipConfig::enhanced_f4().with_snapshots(16);
+        bad.snapshot.interval = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = GossipConfig::enhanced_f4().with_snapshots(16);
+        bad.snapshot.min_lag = 0;
+        assert!(bad.validate().is_err());
+        // Disabled snapshots never fail validation, whatever the fields say.
+        let mut off = GossipConfig::enhanced_f4();
+        off.snapshot.interval = 0;
+        assert!(off.validate().is_ok());
     }
 
     #[test]

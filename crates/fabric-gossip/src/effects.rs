@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 
 use fabric_types::block::BlockRef;
 use fabric_types::ids::{ChannelId, PeerId};
+use fabric_types::snapshot::SnapshotRef;
 
 use crate::messages::{GossipMsg, GossipTimer};
 
@@ -63,5 +64,14 @@ pub trait Effects {
     /// point of discovery convergence and stale-view metrics.
     fn discovery_event(&mut self, channel: ChannelId, peer: PeerId, joined: bool) {
         let _ = (channel, peer, joined);
+    }
+
+    /// Called when this peer verified and installed a received `snapshot`
+    /// on `channel` — before the buffered tail above it is delivered. The
+    /// embedding seeds its ledger from the snapshot here
+    /// (`fabric_ledger::Ledger::from_snapshot`) so the tail commits have a
+    /// state to land on.
+    fn snapshot_installed(&mut self, channel: ChannelId, snapshot: &SnapshotRef) {
+        let _ = (channel, snapshot);
     }
 }

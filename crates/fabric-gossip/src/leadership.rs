@@ -16,6 +16,7 @@ use desim::Time;
 use rand::RngExt;
 
 use fabric_types::ids::PeerId;
+use fabric_types::snapshot::{Checkpoint, SnapshotRef};
 
 use crate::channel::ChannelCore;
 use crate::effects::Effects;
@@ -28,6 +29,8 @@ pub struct LeadershipEngine {
     last_leader_seen: Option<(PeerId, Time)>,
     /// Last advertised ledger height per peer.
     peer_heights: BTreeMap<PeerId, u64>,
+    /// Latest checkpoint advertised per peer (snapshot bootstrap only).
+    peer_checkpoints: BTreeMap<PeerId, Checkpoint>,
 }
 
 impl LeadershipEngine {
@@ -37,6 +40,7 @@ impl LeadershipEngine {
             is_leader,
             last_leader_seen: None,
             peer_heights: BTreeMap::new(),
+            peer_checkpoints: BTreeMap::new(),
         }
     }
 
@@ -51,33 +55,82 @@ impl LeadershipEngine {
         self.is_leader = false;
         self.last_leader_seen = None;
         self.peer_heights.clear();
+        self.peer_checkpoints.clear();
     }
 
-    /// A peer advertised its ledger height.
-    pub fn on_state_info(&mut self, from: PeerId, height: u64) {
+    /// A peer advertised its ledger height (and, under snapshot bootstrap,
+    /// possibly its latest checkpoint).
+    pub fn on_state_info(&mut self, from: PeerId, height: u64, checkpoint: Option<Checkpoint>) {
         let entry = self.peer_heights.entry(from).or_insert(0);
         *entry = (*entry).max(height);
+        if let Some(cp) = checkpoint {
+            match self.peer_checkpoints.entry(from) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(cp);
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    if cp.height > o.get().height {
+                        o.insert(cp);
+                    }
+                }
+            }
+        }
     }
 
-    /// The StateInfoRound timer: broadcast our height across the channel.
+    /// The StateInfoRound timer: broadcast our height across the channel
+    /// (piggybacking our latest checkpoint under snapshot bootstrap).
     pub fn on_state_info_round(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) {
         let height = core.store.height();
+        let checkpoint = if core.cfg.snapshot.enabled {
+            core.snapshot.as_ref().map(|s| s.checkpoint)
+        } else {
+            None
+        };
         // StateInfo metadata crosses organization boundaries (§III).
         let targets = {
             let k = core.cfg.fout;
             core.channel_view.sample(fx.rng(), k)
         };
         for t in targets {
-            core.send(fx, t, GossipMsg::StateInfo { height });
+            core.send(fx, t, GossipMsg::StateInfo { height, checkpoint });
         }
         let interval = core.cfg.recovery.state_info_interval;
         core.schedule(fx, interval, GossipTimer::StateInfoRound);
     }
 
     /// The RecoveryRound timer: if somebody is ahead, ask one of the most
-    /// advanced peers for the missing run.
+    /// advanced peers for the missing run. Under snapshot bootstrap, a peer
+    /// lagging the best advertised checkpoint by at least
+    /// [`crate::config::SnapshotConfig::min_lag`] blocks requests the
+    /// snapshot instead — O(state + tail) rather than O(chain) replay.
     pub fn on_recovery_round(&mut self, core: &mut ChannelCore, fx: &mut dyn Effects) {
         let my_height = core.store.height();
+        if core.cfg.snapshot.enabled {
+            let best_cp = self
+                .peer_checkpoints
+                .values()
+                .map(|c| c.height)
+                .max()
+                .unwrap_or(0);
+            if best_cp + 1 >= my_height + core.cfg.snapshot.min_lag {
+                let candidates: Vec<PeerId> = self
+                    .peer_checkpoints
+                    .iter()
+                    .filter(|(_, c)| c.height == best_cp)
+                    .map(|(p, _)| *p)
+                    .collect();
+                let pick = fx.rng().random_range(0..candidates.len());
+                core.stats.snapshot_requests += 1;
+                core.send(
+                    fx,
+                    candidates[pick],
+                    GossipMsg::SnapshotRequest { height: best_cp },
+                );
+                let interval = core.cfg.recovery.interval;
+                core.schedule(fx, interval, GossipTimer::RecoveryRound);
+                return;
+            }
+        }
         let best = self.peer_heights.values().copied().max().unwrap_or(0);
         if best > my_height {
             let candidates: Vec<PeerId> = self
@@ -118,6 +171,50 @@ impl LeadershipEngine {
         if !blocks.is_empty() {
             core.stats.blocks_sent += blocks.len() as u64;
             core.send(fx, from, GossipMsg::RecoveryResponse { blocks });
+        }
+    }
+
+    /// Serves a snapshot request from the channel's retained snapshot.
+    /// The served snapshot may be newer than the requested height (the
+    /// server checkpointed again since advertising) — never older, so the
+    /// requester always gains at least the height it asked for.
+    pub fn on_snapshot_request(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        from: PeerId,
+        height: u64,
+    ) {
+        if let Some(snapshot) = core.snapshot.clone() {
+            if snapshot.checkpoint.height >= height {
+                core.stats.snapshots_served += 1;
+                core.send(fx, from, GossipMsg::SnapshotResponse { snapshot });
+            }
+        }
+    }
+
+    /// A snapshot arrived: verify it, install it (jumping the store's
+    /// delivery cursor past the absorbed prefix), notify the embedding so
+    /// it can seed its ledger, retain the snapshot for re-serving, and
+    /// deliver whatever buffered tail just became contiguous.
+    pub fn on_snapshot_response(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        snapshot: SnapshotRef,
+    ) {
+        if snapshot.checkpoint.height < core.store.height() {
+            return; // stale: we already have everything it covers
+        }
+        if !snapshot.verify() {
+            return; // entries don't hash to the checkpoint — discard
+        }
+        let run = core.store.adopt_snapshot(snapshot.checkpoint.height);
+        core.stats.snapshots_installed += 1;
+        fx.snapshot_installed(core.channel, &snapshot);
+        core.snapshot = Some(snapshot);
+        for block in run {
+            fx.deliver(core.channel, block);
         }
     }
 
@@ -272,8 +369,8 @@ mod tests {
         let mut c = core(1);
         let mut e = LeadershipEngine::new(false);
         let mut fx = MockEffects::new(1);
-        e.on_state_info(PeerId(2), 6);
-        e.on_state_info(PeerId(2), 4); // heights never regress
+        e.on_state_info(PeerId(2), 6, None);
+        e.on_state_info(PeerId(2), 4, None); // heights never regress
         e.on_recovery_round(&mut c, &mut fx);
         let sent = fx.take_sent();
         let req = sent
@@ -312,6 +409,138 @@ mod tests {
         assert_eq!(fx.leadership, vec![false]);
     }
 
+    fn test_snapshot(height: u64) -> SnapshotRef {
+        use fabric_types::rwset::{Key, Value, Version};
+        use fabric_types::snapshot::{hash_state_entries, Snapshot};
+        let entries: Vec<_> = (0..height)
+            .map(|i| {
+                (
+                    Key::from(format!("k{i}").as_str()),
+                    Value::from_u64(i),
+                    Version::new(i.max(1), 0),
+                )
+            })
+            .collect();
+        let state_hash = hash_state_entries(entries.iter().map(|(k, v, ver)| (k, v, *ver)));
+        SnapshotRef::new(Snapshot {
+            checkpoint: Checkpoint { height, state_hash },
+            last_block_hash: fabric_types::crypto::Hash256([height as u8; 32]),
+            entries,
+        })
+    }
+
+    #[test]
+    fn lagging_peer_requests_the_snapshot_instead_of_blocks() {
+        let mut c = core(1);
+        c.cfg = GossipConfig::enhanced_f4().with_snapshots(8);
+        let mut e = LeadershipEngine::new(false);
+        let mut fx = MockEffects::new(1);
+        let snap = test_snapshot(16);
+        e.on_state_info(PeerId(2), 17, Some(snap.checkpoint));
+        e.on_recovery_round(&mut c, &mut fx);
+        let sent = fx.take_sent();
+        assert!(
+            matches!(
+                sent.as_slice(),
+                [(to, GossipMsg::SnapshotRequest { height: 16 })] if *to == PeerId(2)
+            ),
+            "a fresh joiner far behind the checkpoint asks for the snapshot"
+        );
+        assert_eq!(c.stats.snapshot_requests, 1);
+        assert_eq!(c.stats.recovery_requests, 0);
+    }
+
+    #[test]
+    fn straggler_within_min_lag_keeps_block_recovery() {
+        let mut c = core(1);
+        c.cfg = GossipConfig::enhanced_f4().with_snapshots(8);
+        let mut e = LeadershipEngine::new(false);
+        let mut fx = MockEffects::new(1);
+        // Height 12 of 17: only 5 behind the checkpoint at 16 — under the
+        // min_lag of 8 once the store is at 12.
+        for n in 1..=11 {
+            c.store.insert(BlockRef::new(Block::new(
+                n,
+                fabric_types::crypto::Hash256::ZERO,
+                vec![],
+            )));
+        }
+        assert_eq!(c.store.height(), 12);
+        e.on_state_info(PeerId(2), 17, Some(test_snapshot(16).checkpoint));
+        e.on_recovery_round(&mut c, &mut fx);
+        let sent = fx.take_sent();
+        assert!(
+            sent.iter()
+                .any(|(_, m)| matches!(m, GossipMsg::RecoveryRequest { .. })),
+            "a near straggler replays blocks, not the snapshot"
+        );
+        assert_eq!(c.stats.snapshot_requests, 0);
+    }
+
+    #[test]
+    fn snapshot_request_is_served_from_the_retained_snapshot() {
+        let mut c = core(1);
+        c.cfg = GossipConfig::enhanced_f4().with_snapshots(8);
+        let mut e = LeadershipEngine::new(false);
+        let mut fx = MockEffects::new(1);
+        // Nothing to serve yet: the request is dropped.
+        e.on_snapshot_request(&mut c, &mut fx, PeerId(3), 8);
+        assert!(fx.take_sent().is_empty());
+        let snap = test_snapshot(16);
+        c.snapshot = Some(snap.clone());
+        e.on_snapshot_request(&mut c, &mut fx, PeerId(3), 8);
+        let sent = fx.take_sent();
+        assert!(matches!(
+            &sent[..],
+            [(to, GossipMsg::SnapshotResponse { snapshot })]
+                if *to == PeerId(3) && SnapshotRef::ptr_eq(snapshot, &snap)
+        ));
+        assert_eq!(c.stats.snapshots_served, 1);
+        // A request for a height above what we hold is not served.
+        e.on_snapshot_request(&mut c, &mut fx, PeerId(3), 24);
+        assert!(fx.take_sent().is_empty());
+    }
+
+    #[test]
+    fn snapshot_response_installs_verifies_and_delivers_the_tail() {
+        let mut c = core(1);
+        c.cfg = GossipConfig::enhanced_f4().with_snapshots(8);
+        let mut e = LeadershipEngine::new(false);
+        let mut fx = MockEffects::new(1);
+        // A buffered tail block above the snapshot waits for contiguity.
+        c.store.insert(BlockRef::new(Block::new(
+            17,
+            fabric_types::crypto::Hash256::ZERO,
+            vec![],
+        )));
+        let snap = test_snapshot(16);
+        e.on_snapshot_response(&mut c, &mut fx, snap.clone());
+        assert_eq!(c.store.height(), 18, "floor 16 plus the buffered 17");
+        assert_eq!(c.store.snapshot_floor(), 16);
+        assert_eq!(c.stats.snapshots_installed, 1);
+        assert_eq!(fx.installed.len(), 1, "embedding hook fired");
+        assert_eq!(fx.delivered_numbers(), vec![17]);
+        assert!(
+            c.snapshot
+                .as_ref()
+                .is_some_and(|s| SnapshotRef::ptr_eq(s, &snap)),
+            "the installed snapshot is re-servable"
+        );
+
+        // A stale snapshot is ignored wholesale.
+        e.on_snapshot_response(&mut c, &mut fx, test_snapshot(8));
+        assert_eq!(c.stats.snapshots_installed, 1);
+        assert_eq!(c.store.height(), 18);
+
+        // A tampered snapshot is rejected before touching the store.
+        let mut forged = (*test_snapshot(32)).clone();
+        forged.entries[0].1 = fabric_types::rwset::Value::from_u64(999);
+        e.on_snapshot_response(&mut c, &mut fx, forged.into());
+        assert_eq!(c.stats.snapshots_installed, 1);
+        assert_eq!(c.store.height(), 18);
+        assert_eq!(fx.installed.len(), 1);
+    }
+
     #[test]
     fn static_departure_of_the_leader_promotes_the_new_lowest_member() {
         // Peer 1 in a {0, 1, 2, 3} roster: peer 0 statically leads.
@@ -335,7 +564,7 @@ mod tests {
         c.cfg.election.dynamic = true;
         let mut e = LeadershipEngine::new(false);
         let mut fx = MockEffects::new(1);
-        e.on_state_info(PeerId(0), 12);
+        e.on_state_info(PeerId(0), 12, None);
         e.on_leader_heartbeat(&mut c, &mut fx, PeerId(0), Time::from_secs(1));
         e.on_peer_left(&mut c, &mut fx, PeerId(0));
         assert!(!e.is_leader(), "dynamic mode re-elects on the next tick");

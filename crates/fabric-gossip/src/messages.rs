@@ -10,6 +10,7 @@ use std::sync::OnceLock;
 use desim::KindId;
 use fabric_types::block::BlockRef;
 use fabric_types::ids::{ChannelId, PeerId};
+use fabric_types::snapshot::{Checkpoint, SnapshotRef};
 
 /// Framing overhead per gossip envelope (signature, channel MAC, tags).
 ///
@@ -139,6 +140,11 @@ pub enum GossipMsg {
     StateInfo {
         /// The sender's contiguous ledger height.
         height: u64,
+        /// The sender's latest ledger checkpoint, when snapshot bootstrap
+        /// is on ([`crate::config::SnapshotConfig::enabled`]) and one
+        /// exists. `None` adds zero wire bytes, so the default-off format
+        /// is byte-identical to the pre-snapshot one.
+        checkpoint: Option<Checkpoint>,
     },
     /// Recovery: request blocks `[from, to]` (inclusive).
     RecoveryRequest {
@@ -151,6 +157,20 @@ pub enum GossipMsg {
     RecoveryResponse {
         /// The served blocks, in height order.
         blocks: Vec<BlockRef>,
+    },
+    /// Snapshot bootstrap: request the snapshot behind an advertised
+    /// checkpoint.
+    SnapshotRequest {
+        /// Height of the checkpoint whose snapshot is wanted.
+        height: u64,
+    },
+    /// Snapshot bootstrap: the served snapshot (full state at its
+    /// checkpoint height; the requester verifies the state hash before
+    /// installing).
+    SnapshotResponse {
+        /// The served snapshot (a shared handle — serving N joiners clones
+        /// a reference count, not the state).
+        snapshot: SnapshotRef,
     },
     /// Membership heartbeat (legacy oracle-mode liveness traffic; carries
     /// no payload — reception alone refreshes the sender's entry).
@@ -225,12 +245,17 @@ impl desim::Message for GossipMsg {
             GossipMsg::PullResponse { blocks, .. } => {
                 ENVELOPE + 8 + blocks.iter().map(|b| b.wire_size()).sum::<usize>()
             }
-            // StateInfo carries channel MAC, ledger height and a signature.
-            GossipMsg::StateInfo { .. } => ENVELOPE + 104,
+            // StateInfo carries channel MAC, ledger height and a signature;
+            // an advertised checkpoint piggybacks its height + state hash.
+            GossipMsg::StateInfo { checkpoint, .. } => {
+                ENVELOPE + 104 + checkpoint.map_or(0, |_| Checkpoint::WIRE)
+            }
             GossipMsg::RecoveryRequest { .. } => ENVELOPE + 16,
             GossipMsg::RecoveryResponse { blocks } => {
                 ENVELOPE + 8 + blocks.iter().map(|b| b.wire_size()).sum::<usize>()
             }
+            GossipMsg::SnapshotRequest { .. } => ENVELOPE + 16,
+            GossipMsg::SnapshotResponse { snapshot } => ENVELOPE + snapshot.wire_size(),
             // Alive messages carry identity, endpoint and a signature.
             GossipMsg::Alive => ENVELOPE + 134,
             // AliveMsg adds the (incarnation, seq) pair to the legacy
@@ -264,6 +289,8 @@ impl desim::Message for GossipMsg {
             GossipMsg::StateInfo { .. } => "state-info",
             GossipMsg::RecoveryRequest { .. } => "recovery-request",
             GossipMsg::RecoveryResponse { .. } => "block-recovery",
+            GossipMsg::SnapshotRequest { .. } => "snapshot-request",
+            GossipMsg::SnapshotResponse { .. } => "snapshot",
             GossipMsg::Alive => "alive",
             GossipMsg::AliveMsg(_) => "alive-msg",
             GossipMsg::MembershipRequest { .. } => "membership-request",
@@ -287,6 +314,8 @@ impl desim::Message for GossipMsg {
             GossipMsg::StateInfo { .. } => ids.state_info,
             GossipMsg::RecoveryRequest { .. } => ids.recovery_request,
             GossipMsg::RecoveryResponse { .. } => ids.block_recovery,
+            GossipMsg::SnapshotRequest { .. } => ids.snapshot_request,
+            GossipMsg::SnapshotResponse { .. } => ids.snapshot,
             GossipMsg::Alive => ids.alive,
             GossipMsg::AliveMsg(_) => ids.alive_msg,
             GossipMsg::MembershipRequest { .. } => ids.membership_request,
@@ -313,6 +342,8 @@ struct GossipKindIds {
     state_info: KindId,
     recovery_request: KindId,
     block_recovery: KindId,
+    snapshot_request: KindId,
+    snapshot: KindId,
     alive: KindId,
     alive_msg: KindId,
     membership_request: KindId,
@@ -336,6 +367,8 @@ impl GossipKindIds {
             state_info: KindId::intern("state-info"),
             recovery_request: KindId::intern("recovery-request"),
             block_recovery: KindId::intern("block-recovery"),
+            snapshot_request: KindId::intern("snapshot-request"),
+            snapshot: KindId::intern("snapshot"),
             alive: KindId::intern("alive"),
             alive_msg: KindId::intern("alive-msg"),
             membership_request: KindId::intern("membership-request"),
@@ -439,12 +472,72 @@ mod tests {
 
     #[test]
     fn metadata_sizes_are_fixed() {
-        assert_eq!(
-            GossipMsg::StateInfo { height: 9 }.wire_size(),
-            GossipMsg::StateInfo { height: 1_000_000 }.wire_size()
-        );
+        let info = |height| GossipMsg::StateInfo {
+            height,
+            checkpoint: None,
+        };
+        assert_eq!(info(9).wire_size(), info(1_000_000).wire_size());
         assert_eq!(GossipMsg::Alive.wire_size(), 150);
         assert_eq!(GossipMsg::Alive.kind(), "alive");
+    }
+
+    #[test]
+    fn state_info_checkpoint_costs_bytes_only_when_present() {
+        use fabric_types::crypto::Hash256;
+        let bare = GossipMsg::StateInfo {
+            height: 64,
+            checkpoint: None,
+        };
+        let advertising = GossipMsg::StateInfo {
+            height: 64,
+            checkpoint: Some(Checkpoint {
+                height: 64,
+                state_hash: Hash256([5; 32]),
+            }),
+        };
+        // None is byte-identical to the pre-snapshot wire format.
+        assert_eq!(bare.wire_size(), 16 + 104);
+        assert_eq!(advertising.wire_size(), bare.wire_size() + Checkpoint::WIRE);
+        assert_eq!(advertising.kind(), "state-info");
+    }
+
+    #[test]
+    fn snapshot_messages_size_and_kind() {
+        use fabric_types::crypto::Hash256;
+        use fabric_types::rwset::{Key, Value, Version};
+        use fabric_types::snapshot::{hash_state_entries, Snapshot};
+        let req = GossipMsg::SnapshotRequest { height: 128 };
+        assert_eq!(req.wire_size(), 16 + 16);
+        assert_eq!(req.kind(), "snapshot-request");
+
+        let entries: Vec<_> = (0..10)
+            .map(|i| {
+                (
+                    Key::from(format!("k{i}").as_str()),
+                    Value::from_u64(i),
+                    Version::new(i, 0),
+                )
+            })
+            .collect();
+        let state_hash = hash_state_entries(entries.iter().map(|(k, v, ver)| (k, v, *ver)));
+        let snap = SnapshotRef::new(Snapshot {
+            checkpoint: Checkpoint {
+                height: 10,
+                state_hash,
+            },
+            last_block_hash: Hash256([7; 32]),
+            entries,
+        });
+        let resp = GossipMsg::SnapshotResponse {
+            snapshot: snap.clone(),
+        };
+        // The response is dominated by the state payload, and serving it
+        // again reuses the same allocation.
+        assert_eq!(resp.wire_size(), 16 + snap.wire_size());
+        assert_eq!(resp.kind(), "snapshot");
+        if let GossipMsg::SnapshotResponse { snapshot } = &resp {
+            assert!(SnapshotRef::ptr_eq(snapshot, &snap));
+        }
     }
 
     #[test]
@@ -533,9 +626,25 @@ mod tests {
                 blocks: vec![],
             }
             .kind(),
-            GossipMsg::StateInfo { height: 0 }.kind(),
+            GossipMsg::StateInfo {
+                height: 0,
+                checkpoint: None,
+            }
+            .kind(),
             GossipMsg::RecoveryRequest { from: 0, to: 0 }.kind(),
             GossipMsg::RecoveryResponse { blocks: vec![] }.kind(),
+            GossipMsg::SnapshotRequest { height: 0 }.kind(),
+            GossipMsg::SnapshotResponse {
+                snapshot: SnapshotRef::new(fabric_types::snapshot::Snapshot {
+                    checkpoint: Checkpoint {
+                        height: 0,
+                        state_hash: fabric_types::crypto::Hash256::ZERO,
+                    },
+                    last_block_hash: fabric_types::crypto::Hash256::ZERO,
+                    entries: vec![],
+                }),
+            }
+            .kind(),
             GossipMsg::Alive.kind(),
             GossipMsg::AliveMsg(PeerAlive {
                 peer: PeerId(0),
@@ -594,6 +703,17 @@ mod tests {
                 dead: vec![],
             },
             GossipMsg::LeaderHeartbeat { leader: PeerId(0) },
+            GossipMsg::SnapshotRequest { height: 1 },
+            GossipMsg::SnapshotResponse {
+                snapshot: SnapshotRef::new(fabric_types::snapshot::Snapshot {
+                    checkpoint: Checkpoint {
+                        height: 0,
+                        state_hash: fabric_types::crypto::Hash256::ZERO,
+                    },
+                    last_block_hash: fabric_types::crypto::Hash256::ZERO,
+                    entries: vec![],
+                }),
+            },
         ];
         for msg in samples {
             assert_eq!(msg.kind_id(), KindId::intern(msg.kind()), "{}", msg.kind());

@@ -234,6 +234,70 @@ impl GossipPeer {
         }
     }
 
+    /// Joins `channel` at runtime knowing only **one seed peer** — the
+    /// anchor-peer entry of a Fabric channel configuration. The joiner's
+    /// roster starts as `{anchor}` and the rest of the membership is
+    /// learned through the ordinary discovery push–pull (heartbeats +
+    /// anti-entropy), so no oracle hands over the sitting roster.
+    ///
+    /// Requires protocol discovery
+    /// ([`crate::config::DiscoveryConfig::protocol`]): without it nothing
+    /// would ever widen the single-peer view. The static-leadership rule
+    /// evaluates over `{anchor}` before self is appended, so an anchored
+    /// joiner never self-elects — exactly the late-joiner semantics of
+    /// [`GossipPeer::join_channel_live`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is already joined or when the configuration
+    /// does not run protocol discovery.
+    pub fn join_channel_anchored(
+        &mut self,
+        fx: &mut dyn Effects,
+        channel: ChannelId,
+        anchor: PeerId,
+    ) {
+        assert!(
+            self.cfg.discovery.protocol,
+            "anchor-peer join needs protocol discovery: \
+             a single-seed roster can only widen through gossiped membership"
+        );
+        self.join_channel_live(fx, channel, vec![anchor]);
+    }
+
+    /// Publishes `snapshot` as the one this peer serves on `channel`
+    /// (typically right after the embedding's ledger emitted a checkpoint).
+    /// Freshness-gated: an older snapshot than the current one is ignored.
+    /// Returns whether the snapshot was adopted (false when the channel is
+    /// not joined or the snapshot is stale).
+    pub fn publish_snapshot_on(
+        &mut self,
+        channel: ChannelId,
+        snapshot: fabric_types::snapshot::SnapshotRef,
+    ) -> bool {
+        match self.state_mut(channel) {
+            None => false,
+            Some(state) => {
+                let core = state.core_mut();
+                let stale = core
+                    .snapshot
+                    .as_ref()
+                    .is_some_and(|held| held.checkpoint.height >= snapshot.checkpoint.height);
+                if stale {
+                    return false;
+                }
+                core.snapshot = Some(snapshot);
+                true
+            }
+        }
+    }
+
+    /// The snapshot this peer currently serves on `channel` (published by
+    /// the embedding or installed from gossip), if any.
+    pub fn snapshot_on(&self, channel: ChannelId) -> Option<&fabric_types::snapshot::SnapshotRef> {
+        self.state(channel).and_then(|s| s.core().snapshot.as_ref())
+    }
+
     /// Leaves `channel` at runtime: the instance is dropped wholesale —
     /// store, views, counters and engines. Pending timers of the departed
     /// channel become inert ([`GossipPeer::on_channel_timer`] drops timers
@@ -825,6 +889,70 @@ mod tests {
         // Notifications for unjoined channels are inert.
         peer.on_peer_joined(&mut fx, ChannelId(9), PeerId(3));
         assert!(!peer.has_channel(ChannelId(9)));
+    }
+
+    #[test]
+    fn publish_snapshot_is_freshness_gated_per_channel() {
+        use fabric_types::snapshot::{Checkpoint, Snapshot, SnapshotRef};
+        let snap = |height| {
+            let entries = Vec::new();
+            let state_hash = fabric_types::snapshot::hash_state_entries(std::iter::empty());
+            SnapshotRef::new(Snapshot {
+                checkpoint: Checkpoint { height, state_hash },
+                last_block_hash: fabric_types::crypto::Hash256::ZERO,
+                entries,
+            })
+        };
+        let mut peer = GossipPeer::new(PeerId(0), peers(&[0, 1, 2]), GossipConfig::enhanced_f4());
+        assert!(peer.snapshot_on(ChannelId::DEFAULT).is_none());
+        assert!(!peer.publish_snapshot_on(ChannelId(9), snap(8)), "unjoined");
+        assert!(peer.publish_snapshot_on(ChannelId::DEFAULT, snap(8)));
+        assert!(
+            !peer.publish_snapshot_on(ChannelId::DEFAULT, snap(8)),
+            "same height is not fresher"
+        );
+        assert!(peer.publish_snapshot_on(ChannelId::DEFAULT, snap(16)));
+        assert_eq!(
+            peer.snapshot_on(ChannelId::DEFAULT)
+                .map(|s| s.checkpoint.height),
+            Some(16)
+        );
+        assert!(!peer.publish_snapshot_on(ChannelId::DEFAULT, snap(12)));
+    }
+
+    #[test]
+    fn anchored_join_starts_from_a_single_seed_without_leading() {
+        let mut peer = GossipPeer::with_channels(
+            PeerId(9),
+            GossipConfig::enhanced_f4().with_discovery_protocol(),
+        );
+        let mut fx = MockEffects::new(1);
+        peer.init(&mut fx);
+        peer.join_channel_anchored(&mut fx, ChannelId(0), PeerId(3));
+        assert!(peer.has_channel(ChannelId(0)));
+        assert!(
+            !peer.is_leader_on(ChannelId(0)),
+            "an anchored joiner must never self-elect, even with a low id"
+        );
+        let state = peer.state(ChannelId(0)).unwrap();
+        assert_eq!(
+            state.core().roster,
+            vec![PeerId(3), PeerId(9)],
+            "roster starts as anchor + self, discovery widens it"
+        );
+        assert!(
+            !fx.take_scheduled_on().is_empty(),
+            "a live anchored join arms timers immediately"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol discovery")]
+    fn anchored_join_without_discovery_protocol_is_rejected() {
+        let mut peer = GossipPeer::with_channels(PeerId(9), GossipConfig::enhanced_f4());
+        let mut fx = MockEffects::new(1);
+        peer.init(&mut fx);
+        peer.join_channel_anchored(&mut fx, ChannelId(0), PeerId(3));
     }
 
     #[test]

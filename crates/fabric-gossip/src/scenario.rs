@@ -1138,17 +1138,25 @@ impl DiscoveryHarness {
     /// kept).
     pub fn join(&mut self, c: usize, peer: PeerId) {
         let roster = self.members[c].clone();
-        self.join_with_roster(c, peer, roster);
+        self.join_with_roster(c, peer, roster, false);
     }
 
     /// Runtime join whose bootstrap roster is `seeds` instead of the full
     /// sitting membership — the eclipse surface: a joiner that only knows
     /// the attacker can only learn the world through the attacker.
     pub fn join_via(&mut self, c: usize, peer: PeerId, seeds: &[PeerId]) {
-        self.join_with_roster(c, peer, seeds.to_vec());
+        self.join_with_roster(c, peer, seeds.to_vec(), false);
     }
 
-    fn join_with_roster(&mut self, c: usize, peer: PeerId, roster: Vec<PeerId>) {
+    /// Runtime join through the anchor-peer entry
+    /// ([`GossipPeer::join_channel_anchored`]): the joiner knows exactly
+    /// one seed and must learn the rest of the world through discovery
+    /// push-pull. Requires protocol discovery.
+    pub fn join_anchored(&mut self, c: usize, peer: PeerId, anchor: PeerId) {
+        self.join_with_roster(c, peer, vec![anchor], true);
+    }
+
+    fn join_with_roster(&mut self, c: usize, peer: PeerId, roster: Vec<PeerId>, anchored: bool) {
         if self.members[c].contains(&peer) {
             return;
         }
@@ -1166,10 +1174,32 @@ impl DiscoveryHarness {
         // a fresh engine), so its resurrection floor restarts too.
         self.clear_floors_of(idx, Some(c as u16));
         self.fxs[idx].now = self.now;
-        self.peers[idx].join_channel_live(&mut self.fxs[idx], ChannelId(c as u16), roster);
+        if anchored {
+            let anchor = roster[0];
+            self.peers[idx].join_channel_anchored(&mut self.fxs[idx], ChannelId(c as u16), anchor);
+        } else {
+            self.peers[idx].join_channel_live(&mut self.fxs[idx], ChannelId(c as u16), roster);
+        }
         self.drain_effects(idx);
         self.members[c].push(peer);
         self.route();
+    }
+
+    /// Publishes `snapshot` as the one `peer` serves on channel `c` (what
+    /// the embedding does after its ledger emits a checkpoint). Returns
+    /// whether the peer adopted it (see
+    /// [`GossipPeer::publish_snapshot_on`]).
+    pub fn publish_snapshot(
+        &mut self,
+        c: usize,
+        peer: PeerId,
+        snapshot: fabric_types::snapshot::SnapshotRef,
+    ) -> bool {
+        let idx = peer.index();
+        if idx >= self.peers.len() || self.crashed.contains(&idx) {
+            return false;
+        }
+        self.peers[idx].publish_snapshot_on(ChannelId(c as u16), snapshot)
     }
 
     /// Runtime leave, discovery-style: **only the leaver acts** — it drops

@@ -17,6 +17,9 @@ use fabric_types::block::BlockRef;
 pub struct BlockStore {
     blocks: BTreeMap<u64, BlockRef>,
     next_expected: u64,
+    /// Highest block number absorbed through a snapshot (0: none). Blocks
+    /// at or below the floor are logically delivered without being held.
+    snapshot_floor: u64,
 }
 
 impl BlockStore {
@@ -25,12 +28,41 @@ impl BlockStore {
         BlockStore {
             blocks: BTreeMap::new(),
             next_expected: 1,
+            snapshot_floor: 0,
         }
     }
 
-    /// Whether block `num` is present.
+    /// Whether block `num` is present (snapshot-absorbed numbers count).
     pub fn has(&self, num: u64) -> bool {
-        num == 0 || self.blocks.contains_key(&num)
+        num <= self.snapshot_floor || self.blocks.contains_key(&num)
+    }
+
+    /// Highest block number absorbed through a snapshot (0 when the peer
+    /// never installed one). Everything above it was individually
+    /// received and replayed.
+    pub fn snapshot_floor(&self) -> u64 {
+        self.snapshot_floor
+    }
+
+    /// Installs a snapshot covering every block up to and including
+    /// `height`: jumps the delivery cursor past the floor, drops any
+    /// individually held block the snapshot absorbs, and returns the run
+    /// of already-buffered tail blocks that just became deliverable (in
+    /// order). No-op returning an empty run when the store is already at
+    /// or past `height + 1`.
+    pub fn adopt_snapshot(&mut self, height: u64) -> Vec<BlockRef> {
+        if height < self.next_expected {
+            return Vec::new();
+        }
+        self.snapshot_floor = self.snapshot_floor.max(height);
+        self.blocks = self.blocks.split_off(&(height + 1));
+        self.next_expected = height + 1;
+        let mut deliverable = Vec::new();
+        while let Some(next) = self.blocks.get(&self.next_expected) {
+            deliverable.push(next.clone());
+            self.next_expected += 1;
+        }
+        deliverable
     }
 
     /// The block at height `num`, if present.
@@ -64,7 +96,7 @@ impl BlockStore {
     /// empty while a gap remains).
     pub fn insert(&mut self, block: BlockRef) -> Option<Vec<BlockRef>> {
         let num = block.number();
-        if num == 0 || self.blocks.contains_key(&num) {
+        if num <= self.snapshot_floor || self.blocks.contains_key(&num) {
             return None;
         }
         self.blocks.insert(num, block);
@@ -187,6 +219,45 @@ mod tests {
         let capped = store.consecutive_run(1, 6, 2);
         assert_eq!(capped.len(), 2);
         assert!(store.consecutive_run(4, 6, 10).is_empty());
+    }
+
+    #[test]
+    fn adopt_snapshot_jumps_cursor_and_frees_absorbed_blocks() {
+        let mut store = BlockStore::new();
+        // Buffered out-of-order tail plus some blocks the snapshot absorbs.
+        for n in [1u64, 2, 9, 10, 12] {
+            store.insert(block(n));
+        }
+        assert_eq!(store.height(), 3);
+        let run = store.adopt_snapshot(8);
+        assert_eq!(
+            run.iter().map(|b| b.number()).collect::<Vec<_>>(),
+            vec![9, 10],
+            "buffered tail above the floor delivers immediately"
+        );
+        assert_eq!(store.height(), 11);
+        assert_eq!(store.snapshot_floor(), 8);
+        assert_eq!(store.len(), 3, "absorbed 1 and 2 are dropped, tail stays");
+        assert!(store.has(5), "absorbed numbers count as present");
+        assert!(store.has(12));
+        assert!(!store.has(11));
+        // Re-pushing an absorbed block is a no-op, the tail still works.
+        assert!(store.insert(block(3)).is_none());
+        assert_eq!(store.insert(block(11)).unwrap().len(), 2);
+        assert_eq!(store.height(), 13);
+    }
+
+    #[test]
+    fn adopt_snapshot_behind_the_cursor_is_a_no_op() {
+        let mut store = BlockStore::new();
+        for n in 1..=6 {
+            store.insert(block(n));
+        }
+        assert_eq!(store.height(), 7);
+        assert!(store.adopt_snapshot(4).is_empty());
+        assert_eq!(store.height(), 7);
+        assert_eq!(store.snapshot_floor(), 0, "stale snapshot leaves no floor");
+        assert_eq!(store.len(), 6);
     }
 
     #[test]

@@ -48,6 +48,8 @@ pub struct MockEffects {
     pub leadership_on: Vec<(ChannelId, bool)>,
     /// Discovery-driven view changes: `(channel, peer, joined)`.
     pub discovery_events: Vec<(ChannelId, PeerId, bool)>,
+    /// Snapshots verified and installed, tagged with their channel.
+    pub installed: Vec<(ChannelId, fabric_types::snapshot::SnapshotRef)>,
     rng: StdRng,
 }
 
@@ -65,6 +67,7 @@ impl MockEffects {
             leadership: Vec::new(),
             leadership_on: Vec::new(),
             discovery_events: Vec::new(),
+            installed: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -151,5 +154,13 @@ impl Effects for MockEffects {
 
     fn discovery_event(&mut self, channel: ChannelId, peer: PeerId, joined: bool) {
         self.discovery_events.push((channel, peer, joined));
+    }
+
+    fn snapshot_installed(
+        &mut self,
+        channel: ChannelId,
+        snapshot: &fabric_types::snapshot::SnapshotRef,
+    ) {
+        self.installed.push((channel, snapshot.clone()));
     }
 }

@@ -199,7 +199,7 @@ proptest! {
                 &mut net.fxs[joiner.index()],
                 ChannelId(0),
                 teacher,
-                GossipMsg::StateInfo { height: h },
+                GossipMsg::StateInfo { height: h, checkpoint: None },
             );
             net.peers[joiner.index()].on_channel_timer(
                 &mut net.fxs[joiner.index()],

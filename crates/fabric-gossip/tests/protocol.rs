@@ -695,7 +695,14 @@ fn recovery_catches_up_from_the_highest_peer() {
     assert_eq!(ahead.height(), 6);
 
     // The behind peer learns the height, then runs its recovery round.
-    behind.on_message(&mut bfx, PeerId(2), GossipMsg::StateInfo { height: 6 });
+    behind.on_message(
+        &mut bfx,
+        PeerId(2),
+        GossipMsg::StateInfo {
+            height: 6,
+            checkpoint: None,
+        },
+    );
     behind.on_timer(&mut bfx, GossipTimer::RecoveryRound);
     let sent = bfx.take_sent();
     let req = sent
@@ -723,7 +730,14 @@ fn recovery_stays_quiet_when_caught_up() {
     let ids = roster(3);
     let mut peer = GossipPeer::new(PeerId(1), ids, cfg);
     let mut fx = MockEffects::new(1);
-    peer.on_message(&mut fx, PeerId(2), GossipMsg::StateInfo { height: 1 });
+    peer.on_message(
+        &mut fx,
+        PeerId(2),
+        GossipMsg::StateInfo {
+            height: 1,
+            checkpoint: None,
+        },
+    );
     peer.on_timer(&mut fx, GossipTimer::RecoveryRound);
     let sent = fx.take_sent();
     assert!(

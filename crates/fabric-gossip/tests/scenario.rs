@@ -388,6 +388,221 @@ fn one_honest_seed_defeats_the_eclipse_in_measured_time() {
 }
 
 // ---------------------------------------------------------------------
+// Anchor-peer entry composed with the eclipse surface: the joiner starts
+// with a single anchor instead of a roster.
+// ---------------------------------------------------------------------
+
+#[test]
+fn an_anchored_joiner_whose_anchor_is_the_attacker_is_eclipsed() {
+    // The anchor entry narrows the bootstrap surface to one peer — when
+    // that one peer is the attacker, the eclipse is total (the honest
+    // majority never learns the victim exists).
+    let members: Vec<PeerId> = (0..5).map(PeerId).collect();
+    let attacker = PeerId(3);
+    let victim = PeerId(5);
+    let mut net = DiscoveryHarness::new(6, vec![members.clone()], &discovery_cfg());
+    net.run_for(Duration::from_secs(3));
+    net.set_byzantine(attacker, Box::new(Eclipser::new(victim)));
+    net.join_anchored(0, victim, attacker);
+    net.run_for(Duration::from_secs(20));
+    assert_eq!(
+        net.view_of(victim, 0),
+        vec![attacker],
+        "an attacker anchor owns the victim's world"
+    );
+    let honest: Vec<PeerId> = members.iter().copied().filter(|p| *p != attacker).collect();
+    assert!(
+        net.views_agree_among(0, &honest, &members),
+        "the eclipse must not leak into honest views"
+    );
+}
+
+#[test]
+fn one_honest_anchor_defeats_the_eclipse() {
+    // The flip side: the joiner still knows only ONE peer — but it is
+    // honest, and discovery push-pull widens the single-anchor roster to
+    // the full membership despite the Eclipser scrubbing the victim from
+    // the attacker's traffic.
+    let members: Vec<PeerId> = (0..5).map(PeerId).collect();
+    let attacker = PeerId(3);
+    let victim = PeerId(5);
+    let mut net = DiscoveryHarness::new(6, vec![members.clone()], &discovery_cfg());
+    net.run_for(Duration::from_secs(3));
+    net.set_byzantine(attacker, Box::new(Eclipser::new(victim)));
+    net.join_anchored(0, victim, PeerId(0));
+    let honest: Vec<PeerId> = members.iter().copied().filter(|p| *p != attacker).collect();
+    let escape_secs = secs_until(&mut net, 60, |net| {
+        let view = net.view_of(victim, 0);
+        honest.iter().all(|h| view.contains(h))
+    })
+    .expect("one honest anchor must widen to the full honest membership");
+    assert!(
+        escape_secs <= 30,
+        "anchored bootstrap took {escape_secs}s to learn the honest world"
+    );
+    assert!(
+        !net.gossip(victim.index()).is_leader_on(ChannelId(0)),
+        "an anchored joiner must not grab leadership while bootstrapping"
+    );
+    // With the attacker cut off, the widened roster converges fully.
+    net.clear_byzantine(attacker);
+    assert!(
+        net.converge_within(0, 40).is_some(),
+        "post-eclipse recovery: {:?}",
+        net.divergent_views(0)
+    );
+    assert_eq!(net.leaders(0).len(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot-equivalence under faults: the ledger-level proptest
+// (fabric-ledger/tests/snapshot_equivalence.rs) pins the contract on a
+// quiet network; here the same contract must survive loss and
+// partitions injected through the scenario DSL.
+// ---------------------------------------------------------------------
+
+/// [`discovery_cfg`] with snapshot bootstrap on and recovery timers
+/// tightened (the catch-up happens within the scripted run).
+fn snapshot_cfg(every: u64) -> GossipConfig {
+    let mut cfg = discovery_cfg();
+    cfg.recovery.interval = Duration::from_secs(2);
+    cfg.recovery.state_info_interval = Duration::from_secs(1);
+    cfg.with_snapshots(every)
+}
+
+fn endorsed_write(
+    msp: &fabric_types::msp::Msp,
+    led: &fabric_ledger::ledger::Ledger,
+    id: u64,
+    key: &str,
+    value: u64,
+) -> fabric_types::transaction::Transaction {
+    use fabric_ledger::state::StateReader;
+    let rwset = fabric_types::rwset::RwSet::builder()
+        .read(key, led.state().get_version(&key.into()))
+        .write_u64(key, value)
+        .build();
+    let mut tx = fabric_types::transaction::Transaction::new(
+        fabric_types::ids::TxId(id),
+        "increment",
+        fabric_types::ids::ClientId(0),
+        rwset,
+    );
+    tx.endorse(msp, PeerId(0));
+    tx
+}
+
+proptest! {
+    /// A chain streamed under message loss and a mid-stream partition,
+    /// then a late joiner that bootstraps from a published snapshot: the
+    /// ledger it reconstructs (snapshot + delivered tail) must be
+    /// byte-identical in state hash to the genesis-replay ledger, while
+    /// never having seen the absorbed prefix.
+    #[test]
+    fn snapshot_bootstrap_is_state_identical_under_loss_and_partitions(
+        height in 8u64..22,
+        every in 2u64..7,
+        loss_milli in 50u32..250,
+        cut in 1usize..3,
+    ) {
+        use fabric_ledger::ledger::Ledger;
+        use fabric_types::msp::Msp;
+        use fabric_types::transaction::EndorsementPolicy;
+        use std::sync::Arc;
+
+        let members: Vec<PeerId> = (0..4).map(PeerId).collect();
+        let joiner = PeerId(4);
+        let mut net = DiscoveryHarness::new(5, vec![members.clone()], &snapshot_cfg(every));
+        let msp = Arc::new(Msp::single_org(3));
+        let mut genesis =
+            Ledger::new(msp.clone(), EndorsementPolicy::AnyMember).with_checkpoints(every);
+
+        // Stream the chain lossy, cutting `cut` sitting peers off for the
+        // middle third of it.
+        net.run_script(&[ScenarioOp::SetLoss { loss_milli }])
+            .expect("no asserts");
+        let mut published = 0u64;
+        for n in 1..=height {
+            if n == height / 3 {
+                let keep = members[..members.len() - cut].to_vec();
+                let lost = members[members.len() - cut..].to_vec();
+                net.run_script(&[ScenarioOp::Partition { groups: vec![keep, lost] }])
+                    .expect("no asserts");
+            }
+            if n == 2 * height / 3 {
+                // Heal the links but keep the catch-up itself lossy.
+                net.run_script(&[
+                    ScenarioOp::Heal,
+                    ScenarioOp::SetLoss { loss_milli: loss_milli / 2 },
+                ])
+                .expect("no asserts");
+            }
+            let tx = endorsed_write(&msp, &genesis, n, "k", n);
+            let block = BlockRef::new(Block::new(n, genesis.latest_hash(), vec![tx]));
+            genesis.commit(block.clone()).expect("endorsed write commits");
+            net.inject(0, block);
+            net.run_for(Duration::from_millis(300));
+            if let Some(snap) = genesis.snapshot() {
+                if snap.checkpoint.height > published {
+                    published = snap.checkpoint.height;
+                    for m in &members {
+                        net.publish_snapshot(0, *m, snap.clone());
+                    }
+                }
+            }
+        }
+        prop_assert!(published >= every, "the stream must emit a checkpoint");
+
+        // The joiner enters under residual loss and catches up.
+        net.join(0, joiner);
+        let caught = secs_until(&mut net, 120, |net| {
+            net.gossip(joiner.index()).height_on(ChannelId(0)) > height
+        });
+        prop_assert!(caught.is_some(), "catch-up stalled under residual loss");
+
+        // It bootstrapped from a snapshot, not genesis replay...
+        let fx = net.effects(joiner.index());
+        let (_, installed) = fx
+            .installed
+            .last()
+            .expect("the lagging joiner must have installed a snapshot");
+        let floor = installed.checkpoint.height;
+        prop_assert!(floor >= every, "installed snapshot below the first boundary");
+        // ...and reconstructs a ledger byte-identical to genesis replay
+        // from the snapshot plus only the delivered tail.
+        let mut bootstrapped = Ledger::from_snapshot(
+            msp.clone(),
+            EndorsementPolicy::AnyMember,
+            installed.clone(),
+            Some(every),
+        )
+        .expect("a published snapshot verifies");
+        let mut tail: Vec<BlockRef> = fx
+            .delivered
+            .iter()
+            .filter(|b| b.number() > floor)
+            .cloned()
+            .collect();
+        tail.sort_by_key(|b| b.number());
+        tail.dedup_by_key(|b| b.number());
+        for block in tail {
+            bootstrapped.commit(block).expect("tail replay commits");
+        }
+        prop_assert_eq!(bootstrapped.height(), genesis.height());
+        prop_assert_eq!(bootstrapped.latest_hash(), genesis.latest_hash());
+        prop_assert_eq!(
+            bootstrapped.state().state_hash(),
+            genesis.state().state_hash(),
+            "loss/partitions must not break snapshot equivalence"
+        );
+        prop_assert!(
+            fx.delivered.iter().all(|b| b.number() > floor),
+            "the absorbed prefix must never have been delivered"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Seeded-random scenarios: loss + partitions + crashes + a random
 // attacker, for both wire formats. Shrinking reduces a failing seed's
 // script automatically (the script is a pure function of the seed).

@@ -7,6 +7,7 @@ use fabric_types::block::{Block, BlockRef};
 use fabric_types::crypto::Hash256;
 use fabric_types::msp::Msp;
 use fabric_types::rwset::Version;
+use fabric_types::snapshot::{Checkpoint, Snapshot, SnapshotRef};
 use fabric_types::transaction::EndorsementPolicy;
 
 use crate::state::StateDb;
@@ -44,6 +45,25 @@ impl fmt::Display for CommitError {
 }
 
 impl std::error::Error for CommitError {}
+
+/// Why a snapshot was rejected at installation time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The entries do not hash to the advertised checkpoint.
+    StateHashMismatch,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::StateHashMismatch => {
+                write!(f, "snapshot entries do not hash to the checkpoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 /// Summary of one committed block.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,9 +115,25 @@ impl LedgerStats {
 pub struct Ledger {
     msp: Arc<Msp>,
     policy: EndorsementPolicy,
+    /// Physically held blocks: the whole chain for a genesis ledger, only
+    /// the tail above `base - 1` for a snapshot-seeded one.
     blocks: Vec<BlockRef>,
+    /// Number of blocks below `blocks[0]` that were absorbed through a
+    /// snapshot (0 for a genesis ledger). `height() = base + blocks.len()`.
+    base: u64,
+    /// Header hash of block `base - 1`, the link `blocks[0]` must match
+    /// when the physical prefix is empty. Unused for genesis ledgers.
+    base_hash: Hash256,
     state: StateDb,
     stats: LedgerStats,
+    /// Emit a checkpoint every this many blocks (`None`: never).
+    checkpoint_interval: Option<u64>,
+    /// The latest snapshot, shared for serving (see [`Ledger::snapshot`]).
+    snapshot: Option<SnapshotRef>,
+    /// Every checkpoint emitted by this ledger, in height order — the
+    /// cross-run equivalence trail (40 bytes each, so keeping all is
+    /// cheap).
+    checkpoint_log: Vec<Checkpoint>,
 }
 
 impl Ledger {
@@ -107,37 +143,125 @@ impl Ledger {
             msp,
             policy,
             blocks: vec![BlockRef::new(Block::genesis())],
+            base: 0,
+            base_hash: Hash256::ZERO,
             state: StateDb::new(),
             stats: LedgerStats::default(),
+            checkpoint_interval: None,
+            snapshot: None,
+            checkpoint_log: Vec::new(),
         }
+    }
+
+    /// Turns on checkpoint emission: after committing block `n` with
+    /// `n % every == 0`, the ledger records a [`Checkpoint`] (state hash +
+    /// height) and retains the matching [`Snapshot`] for serving. The work
+    /// happens inside `commit` of the boundary block only — in a real
+    /// deployment it would run on a background thread (cf. Solana's
+    /// accounts-background-service); in the simulation it adds no events
+    /// and no virtual time, so dissemination timing is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `every` is zero.
+    pub fn with_checkpoints(mut self, every: u64) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.checkpoint_interval = Some(every);
+        self
+    }
+
+    /// Stands up a ledger from a snapshot: verifies the state hash, adopts
+    /// the state at `checkpoint.height`, and resumes committing at
+    /// `checkpoint.height + 1`. Blocks at or below the checkpoint are
+    /// logically committed but not physically held ([`Ledger::block`]
+    /// returns `None` for them).
+    ///
+    /// The resulting ledger re-serves the installed snapshot and keeps
+    /// emitting its own checkpoints at the same cadence, so equivalence
+    /// with a genesis-replay ledger is checkable checkpoint by checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::StateHashMismatch`] when the entries do not hash to
+    /// the advertised checkpoint.
+    pub fn from_snapshot(
+        msp: Arc<Msp>,
+        policy: EndorsementPolicy,
+        snapshot: SnapshotRef,
+        checkpoint_interval: Option<u64>,
+    ) -> Result<Self, SnapshotError> {
+        if !snapshot.verify() {
+            return Err(SnapshotError::StateHashMismatch);
+        }
+        Ok(Ledger {
+            msp,
+            policy,
+            blocks: Vec::new(),
+            base: snapshot.checkpoint.height + 1,
+            base_hash: snapshot.last_block_hash,
+            state: StateDb::from_entries(snapshot.entries.clone()),
+            stats: LedgerStats::default(),
+            checkpoint_interval,
+            checkpoint_log: vec![snapshot.checkpoint],
+            snapshot: Some(snapshot),
+        })
     }
 
     /// Chain height: number of blocks committed, genesis included.
     pub fn height(&self) -> u64 {
-        self.blocks.len() as u64
+        self.base + self.blocks.len() as u64
+    }
+
+    /// Number of blocks absorbed through a snapshot instead of replay
+    /// (0 for a genesis ledger).
+    pub fn base_height(&self) -> u64 {
+        self.base
     }
 
     /// Hash of the chain tip.
     pub fn latest_hash(&self) -> Hash256 {
         self.blocks
             .last()
-            .expect("ledger always holds genesis")
-            .hash()
+            .map(|b| b.hash())
+            .unwrap_or(self.base_hash)
     }
 
-    /// The block at height `number`, if committed.
+    /// The block at height `number`, if committed **and physically held**
+    /// (snapshot-absorbed blocks are not).
     pub fn block(&self, number: u64) -> Option<&BlockRef> {
-        self.blocks.get(number as usize)
+        let at = number.checked_sub(self.base)?;
+        self.blocks.get(at as usize)
     }
 
-    /// Whether the block at height `number` is committed.
+    /// Whether the block at height `number` is committed (snapshot-absorbed
+    /// blocks count: their writes are in the state).
     pub fn contains(&self, number: u64) -> bool {
-        (number as usize) < self.blocks.len()
+        number < self.height()
     }
 
-    /// All committed blocks in height order.
+    /// All physically held blocks in height order (the whole chain for a
+    /// genesis ledger, the post-snapshot tail otherwise).
     pub fn blocks(&self) -> &[BlockRef] {
         &self.blocks
+    }
+
+    /// The latest checkpoint emitted or installed, if any.
+    pub fn latest_checkpoint(&self) -> Option<Checkpoint> {
+        self.checkpoint_log.last().copied()
+    }
+
+    /// Every checkpoint this ledger has emitted or installed, in height
+    /// order — byte-identical across a genesis-replay ledger and a
+    /// snapshot-bootstrapped one for all common heights (the equivalence
+    /// contract).
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        &self.checkpoint_log
+    }
+
+    /// The latest snapshot, ready to serve (a reference-count bump, never
+    /// a state copy). `None` until the first checkpoint boundary.
+    pub fn snapshot(&self) -> Option<SnapshotRef> {
+        self.snapshot.clone()
     }
 
     /// The materialized world state.
@@ -190,10 +314,31 @@ impl Ledger {
         }
         let block_num = block.number();
         self.blocks.push(block);
+        if let Some(every) = self.checkpoint_interval {
+            if block_num > 0 && block_num.is_multiple_of(every) {
+                self.emit_checkpoint(block_num);
+            }
+        }
         Ok(CommitSummary {
             block_num,
             validation,
         })
+    }
+
+    /// Records the checkpoint for the just-committed `height` and retains
+    /// its snapshot for serving. Only the latest snapshot is kept (full
+    /// state); the checkpoint log keeps every fingerprint.
+    fn emit_checkpoint(&mut self, height: u64) {
+        let checkpoint = Checkpoint {
+            height,
+            state_hash: self.state.state_hash(),
+        };
+        self.checkpoint_log.push(checkpoint);
+        self.snapshot = Some(SnapshotRef::new(Snapshot {
+            checkpoint,
+            last_block_hash: self.latest_hash(),
+            entries: self.state.export_entries(),
+        }));
     }
 }
 
@@ -304,6 +449,117 @@ mod tests {
         let summary = led.commit(b2).unwrap();
         assert_eq!(summary.validation.mvcc_conflicts(), 1);
         assert_eq!(led.stats().invalid_txs(), 1);
+    }
+
+    fn grow(led: &mut Ledger, from: u64, to: u64) {
+        for n in from..=to {
+            let tx = endorsed_increment(led, n, "k", led.state().get_version(&"k".into()), n);
+            let block = BlockRef::new(Block::new(n, led.latest_hash(), vec![tx]));
+            led.commit(block).unwrap();
+        }
+    }
+
+    #[test]
+    fn checkpoints_fire_on_interval_boundaries_only() {
+        let mut led = ledger().with_checkpoints(4);
+        assert!(led.latest_checkpoint().is_none());
+        grow(&mut led, 1, 3);
+        assert!(led.latest_checkpoint().is_none(), "below the boundary");
+        grow(&mut led, 4, 4);
+        let cp = led.latest_checkpoint().unwrap();
+        assert_eq!(cp.height, 4);
+        assert_eq!(cp.state_hash, led.state().state_hash());
+        grow(&mut led, 5, 9);
+        assert_eq!(led.latest_checkpoint().unwrap().height, 8);
+        assert_eq!(
+            led.checkpoints()
+                .iter()
+                .map(|c| c.height)
+                .collect::<Vec<_>>(),
+            vec![4, 8]
+        );
+        let snap = led.snapshot().unwrap();
+        assert_eq!(snap.checkpoint.height, 8);
+        assert!(snap.verify());
+        // Serving is a pointer bump, not a state copy.
+        let again = led.snapshot().unwrap();
+        assert!(fabric_types::snapshot::SnapshotRef::ptr_eq(&snap, &again));
+    }
+
+    #[test]
+    fn snapshot_bootstrap_replays_tail_to_identical_state() {
+        let mut full = ledger().with_checkpoints(5);
+        grow(&mut full, 1, 12);
+        let snap = full.snapshot().unwrap();
+        assert_eq!(snap.checkpoint.height, 10);
+
+        let mut joiner = Ledger::from_snapshot(
+            Arc::new(Msp::single_org(3)),
+            EndorsementPolicy::AnyMember,
+            snap,
+            Some(5),
+        )
+        .unwrap();
+        assert_eq!(joiner.height(), 11, "resumes above the checkpoint");
+        assert_eq!(joiner.base_height(), 11);
+        assert!(joiner.contains(10), "absorbed blocks count as committed");
+        assert!(joiner.block(10).is_none(), "but are not physically held");
+
+        // Replay only the tail: blocks 11 and 12 from the full ledger.
+        for n in 11..=12 {
+            joiner.commit(full.block(n).unwrap().clone()).unwrap();
+        }
+        assert_eq!(joiner.height(), full.height());
+        assert_eq!(joiner.latest_hash(), full.latest_hash());
+        assert_eq!(joiner.state().state_hash(), full.state().state_hash());
+        assert_eq!(joiner.state().counter_sum(), full.state().counter_sum());
+        assert_eq!(joiner.blocks().len(), 2, "O(tail), not O(chain)");
+    }
+
+    #[test]
+    fn snapshot_ledger_rejects_wrong_tail() {
+        let mut full = ledger().with_checkpoints(4);
+        grow(&mut full, 1, 6);
+        let snap = full.snapshot().unwrap();
+        let mut joiner = Ledger::from_snapshot(
+            Arc::new(Msp::single_org(3)),
+            EndorsementPolicy::AnyMember,
+            snap,
+            None,
+        )
+        .unwrap();
+        // Wrong height and broken link are both caught above the snapshot.
+        assert!(matches!(
+            joiner.commit(full.block(6).unwrap().clone()),
+            Err(CommitError::NotNext {
+                expected: 5,
+                got: 6
+            })
+        ));
+        let forged = BlockRef::new(Block::new(5, Hash256([9; 32]), vec![]));
+        assert_eq!(joiner.commit(forged), Err(CommitError::BrokenLink));
+        // The genuine block 5 links to the snapshot's tip hash.
+        joiner.commit(full.block(5).unwrap().clone()).unwrap();
+        assert_eq!(joiner.height(), 6);
+    }
+
+    #[test]
+    fn tampered_snapshot_is_rejected() {
+        let mut full = ledger().with_checkpoints(2);
+        grow(&mut full, 1, 2);
+        let snap = full.snapshot().unwrap();
+        let mut forged = (*snap).clone();
+        forged.entries[0].1 = fabric_types::rwset::Value::from_u64(1_000_000);
+        assert_eq!(
+            Ledger::from_snapshot(
+                Arc::new(Msp::single_org(3)),
+                EndorsementPolicy::AnyMember,
+                forged.into(),
+                None,
+            )
+            .err(),
+            Some(SnapshotError::StateHashMismatch)
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod crypto;
 pub mod ids;
 pub mod msp;
 pub mod rwset;
+pub mod snapshot;
 pub mod transaction;
 
 pub use block::{Block, BlockHeader, BlockRef};
@@ -44,4 +45,5 @@ pub use crypto::{sha256, Hash256, Signature};
 pub use ids::{ClientId, OrgId, PeerId, TxId};
 pub use msp::{Identity, Msp};
 pub use rwset::{Key, RwSet, Value, Version};
+pub use snapshot::{Checkpoint, Snapshot, SnapshotRef};
 pub use transaction::{Endorsement, EndorsementPolicy, Transaction};

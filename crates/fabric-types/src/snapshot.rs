@@ -1,0 +1,251 @@
+//! Ledger checkpoints and state snapshots.
+//!
+//! A **checkpoint** is the deterministic fingerprint of a ledger prefix:
+//! the height of its last block plus a hash over the entire materialized
+//! state at that height. A **snapshot** is the transferable artifact behind
+//! a checkpoint — the full key/value/version state plus the chain-tip hash,
+//! enough for a joiner to reconstruct a ledger at `height` and replay only
+//! the tail above it instead of the whole chain.
+//!
+//! The determinism contract: two ledgers that committed the same blocks in
+//! the same order hold byte-identical state, so [`hash_state_entries`] over
+//! their key-ordered entries yields the same [`Hash256`]. A
+//! snapshot-bootstrapped ledger that replays the tail therefore ends at the
+//! exact state hash of a genesis-replay ledger — this is proptested in
+//! `fabric-ledger`.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::crypto::{Hash256, Sha256};
+use crate::rwset::{Key, Value, Version};
+
+/// One key of the snapshotted state: the key, its latest value, and the
+/// `(block, tx)` coordinate of the write that produced it.
+pub type StateEntry = (Key, Value, Version);
+
+/// The fingerprint of a ledger prefix: its height and the hash of the
+/// materialized state after committing block `height`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Number of the last block covered by this checkpoint.
+    pub height: u64,
+    /// [`hash_state_entries`] over the state at `height`.
+    pub state_hash: Hash256,
+}
+
+impl Checkpoint {
+    /// Wire bytes of one checkpoint (height + state hash).
+    pub const WIRE: usize = 8 + 32;
+}
+
+/// The transferable state behind a [`Checkpoint`]: everything a joiner
+/// needs to stand up a ledger at `checkpoint.height` and resume committing
+/// at `checkpoint.height + 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The checkpoint this snapshot materializes.
+    pub checkpoint: Checkpoint,
+    /// Header hash of block `checkpoint.height` — the link the first tail
+    /// block must match.
+    pub last_block_hash: Hash256,
+    /// The complete state in key order.
+    pub entries: Vec<StateEntry>,
+}
+
+impl Snapshot {
+    /// Whether the entries hash to the advertised checkpoint — a receiver
+    /// must reject a snapshot that fails this before seeding a ledger.
+    pub fn verify(&self) -> bool {
+        hash_state_entries(self.entries.iter().map(|(k, v, ver)| (k, v, *ver)))
+            == self.checkpoint.state_hash
+    }
+
+    /// Size of the snapshot on the wire: checkpoint, tip hash, framing,
+    /// and a length-prefixed key/value/version triple per entry.
+    pub fn wire_size(&self) -> usize {
+        const FRAMING: usize = 16;
+        const PER_ENTRY: usize = 8 + 8 + 12; // two length prefixes + version
+        Checkpoint::WIRE
+            + 32
+            + FRAMING
+            + self
+                .entries
+                .iter()
+                .map(|(k, v, _)| k.wire_size() + v.wire_size() + PER_ENTRY)
+                .sum::<usize>()
+    }
+}
+
+/// Shared, zero-copy handle to an immutable snapshot — the same idiom as
+/// [`crate::block::BlockRef`]: serving a snapshot to N joiners clones a
+/// reference count, never the state, and the wire size is cached at
+/// construction.
+#[derive(Debug, Clone)]
+pub struct SnapshotRef {
+    inner: Arc<Snapshot>,
+    wire_size: usize,
+}
+
+impl SnapshotRef {
+    /// Wraps `snapshot` in a shared handle, precomputing its wire size.
+    pub fn new(snapshot: Snapshot) -> Self {
+        let wire_size = snapshot.wire_size();
+        SnapshotRef {
+            inner: Arc::new(snapshot),
+            wire_size,
+        }
+    }
+
+    /// Cached size of the snapshot on the wire, in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.wire_size
+    }
+
+    /// Whether two handles share the same allocation.
+    pub fn ptr_eq(a: &SnapshotRef, b: &SnapshotRef) -> bool {
+        Arc::ptr_eq(&a.inner, &b.inner)
+    }
+}
+
+impl std::ops::Deref for SnapshotRef {
+    type Target = Snapshot;
+    fn deref(&self) -> &Snapshot {
+        &self.inner
+    }
+}
+
+impl From<Snapshot> for SnapshotRef {
+    fn from(snapshot: Snapshot) -> Self {
+        SnapshotRef::new(snapshot)
+    }
+}
+
+impl PartialEq for SnapshotRef {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || *self.inner == *other.inner
+    }
+}
+
+/// The canonical state digest: a [`Sha256`] over the count and the
+/// length-prefixed `(key, value, version)` triples **in key order**. Both
+/// the ledger (computing a checkpoint) and a snapshot receiver (verifying
+/// one) use this exact function; any divergence in iteration order or
+/// framing would break the snapshot-equivalence contract.
+pub fn hash_state_entries<'a, I>(entries: I) -> Hash256
+where
+    I: Iterator<Item = (&'a Key, &'a Value, Version)>,
+{
+    let mut h = Sha256::new();
+    let mut count: u64 = 0;
+    for (key, value, version) in entries {
+        h.update_u64(key.0.len() as u64);
+        h.update(key.0.as_bytes());
+        h.update_u64(value.0.len() as u64);
+        h.update(&value.0);
+        h.update_u64(version.block_num);
+        h.update_u32(version.tx_num);
+        count += 1;
+    }
+    h.update_u64(count);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: &str, val: u64, block: u64) -> StateEntry {
+        (Key::from(key), Value::from_u64(val), Version::new(block, 0))
+    }
+
+    fn snapshot(entries: Vec<StateEntry>, height: u64) -> Snapshot {
+        let state_hash = hash_state_entries(entries.iter().map(|(k, v, ver)| (k, v, *ver)));
+        Snapshot {
+            checkpoint: Checkpoint { height, state_hash },
+            last_block_hash: Hash256([7; 32]),
+            entries,
+        }
+    }
+
+    #[test]
+    fn state_hash_is_order_and_content_sensitive() {
+        let a = hash_state_entries(
+            [entry("a", 1, 1), entry("b", 2, 2)]
+                .iter()
+                .map(|(k, v, ver)| (k, v, *ver)),
+        );
+        let same = hash_state_entries(
+            [entry("a", 1, 1), entry("b", 2, 2)]
+                .iter()
+                .map(|(k, v, ver)| (k, v, *ver)),
+        );
+        assert_eq!(a, same);
+        let reordered = hash_state_entries(
+            [entry("b", 2, 2), entry("a", 1, 1)]
+                .iter()
+                .map(|(k, v, ver)| (k, v, *ver)),
+        );
+        assert_ne!(a, reordered);
+        let other_value = hash_state_entries(
+            [entry("a", 9, 1), entry("b", 2, 2)]
+                .iter()
+                .map(|(k, v, ver)| (k, v, *ver)),
+        );
+        assert_ne!(a, other_value);
+        let other_version = hash_state_entries(
+            [entry("a", 1, 3), entry("b", 2, 2)]
+                .iter()
+                .map(|(k, v, ver)| (k, v, *ver)),
+        );
+        assert_ne!(a, other_version);
+        let empty = hash_state_entries(std::iter::empty());
+        assert_ne!(a, empty);
+    }
+
+    #[test]
+    fn length_prefixing_prevents_boundary_ambiguity() {
+        // ("ab", "c") and ("a", "bc") concatenate identically; the length
+        // prefixes must keep their digests apart.
+        let one = hash_state_entries(
+            [(Key::from("ab"), Value(b"c".to_vec()), Version::new(1, 0))]
+                .iter()
+                .map(|(k, v, ver)| (k, v, *ver)),
+        );
+        let two = hash_state_entries(
+            [(Key::from("a"), Value(b"bc".to_vec()), Version::new(1, 0))]
+                .iter()
+                .map(|(k, v, ver)| (k, v, *ver)),
+        );
+        assert_ne!(one, two);
+    }
+
+    #[test]
+    fn snapshot_verify_detects_tampering() {
+        let snap = snapshot(vec![entry("a", 1, 1), entry("b", 2, 1)], 8);
+        assert!(snap.verify());
+        let mut bad = snap.clone();
+        bad.entries[0].1 = Value::from_u64(99);
+        assert!(!bad.verify());
+        let mut wrong_claim = snap;
+        wrong_claim.checkpoint.state_hash = Hash256([1; 32]);
+        assert!(!wrong_claim.verify());
+    }
+
+    #[test]
+    fn wire_size_grows_with_state_and_is_cached_by_ref() {
+        let small = snapshot(vec![entry("a", 1, 1)], 4);
+        let large = snapshot((0..50).map(|i| entry(&format!("k{i}"), i, 1)).collect(), 4);
+        assert!(large.wire_size() > small.wire_size());
+        let computed = large.wire_size();
+        let shared = SnapshotRef::new(large);
+        assert_eq!(shared.wire_size(), computed);
+        let served = shared.clone();
+        assert!(
+            SnapshotRef::ptr_eq(&shared, &served),
+            "serving a snapshot must be a pointer bump"
+        );
+        assert_eq!(shared, served);
+    }
+}
