@@ -57,6 +57,15 @@ struct PresetRow {
     /// Snapshot-bootstrap join -> serving seconds at the tallest sweep
     /// point (long-chain row only).
     time_to_serving: Option<f64>,
+    /// Largest single snapshot-transfer wire message across the chunked
+    /// sweep runs (long-chain row only; bounded by the chunk size).
+    max_msg_bytes: Option<u64>,
+    /// Per-checkpoint delta retention at the tallest sweep point
+    /// (long-chain row only; flat where full exports grow linearly).
+    delta_bytes: Option<u64>,
+    /// Chunked-transfer resumes across the sweep (long-chain row only;
+    /// 0 on the lossless LAN).
+    resumes: Option<u64>,
 }
 
 fn time_preset(name: &'static str, preset: DisseminationConfig, scale: Scale) -> PresetRow {
@@ -74,6 +83,9 @@ fn time_preset(name: &'static str, preset: DisseminationConfig, scale: Scale) ->
         shards: None,
         catchup_bytes: None,
         time_to_serving: None,
+        max_msg_bytes: None,
+        delta_bytes: None,
+        resumes: None,
     }
 }
 
@@ -97,6 +109,9 @@ fn time_multichannel(scale: Scale) -> PresetRow {
         shards: None,
         catchup_bytes: None,
         time_to_serving: None,
+        max_msg_bytes: None,
+        delta_bytes: None,
+        resumes: None,
     }
 }
 
@@ -129,6 +144,9 @@ fn time_churn(scale: Scale) -> PresetRow {
         shards: None,
         catchup_bytes: None,
         time_to_serving: None,
+        max_msg_bytes: None,
+        delta_bytes: None,
+        resumes: None,
     }
 }
 
@@ -166,6 +184,9 @@ fn time_churn_waves(name: &'static str, cfg: &ChurnWavesConfig) -> PresetRow {
         shards: None,
         catchup_bytes: None,
         time_to_serving: None,
+        max_msg_bytes: None,
+        delta_bytes: None,
+        resumes: None,
     }
 }
 
@@ -191,6 +212,9 @@ fn time_sharded(scale: Scale) -> PresetRow {
         shards: Some(cfg.shards),
         catchup_bytes: None,
         time_to_serving: None,
+        max_msg_bytes: None,
+        delta_bytes: None,
+        resumes: None,
     }
 }
 
@@ -209,6 +233,16 @@ fn time_long_chain(scale: Scale) -> PresetRow {
         );
     }
     let tallest = result.rows.last().expect("sweep is non-empty");
+    // Meaningfulness guard: chunking exists to bound the wire — the
+    // largest chunked snapshot message must stay within the chunk size.
+    if result.max_msg_bytes() > cfg.chunk_size as u64 {
+        eprintln!(
+            "::warning::long_chain preset degenerated: chunked max message \
+             {} B exceeds chunk size {} B",
+            result.max_msg_bytes(),
+            cfg.chunk_size
+        );
+    }
     PresetRow {
         name: "long_chain",
         wall_secs: wall,
@@ -220,6 +254,9 @@ fn time_long_chain(scale: Scale) -> PresetRow {
         shards: None,
         catchup_bytes: Some(tallest.snapshot_bytes),
         time_to_serving: Some(tallest.snapshot_time_to_serving.as_secs_f64()),
+        max_msg_bytes: Some(result.max_msg_bytes()),
+        delta_bytes: Some(result.delta_bytes()),
+        resumes: Some(result.resumes()),
     }
 }
 
@@ -236,7 +273,7 @@ fn field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn preset_rows(path: &str) -> Vec<(String, f64, f64)> {
+fn preset_rows(path: &str) -> Vec<(String, f64, f64, Option<f64>)> {
     let Ok(text) = std::fs::read_to_string(path) else {
         eprintln!("::warning::perf-diff: cannot read {path}");
         return Vec::new();
@@ -250,7 +287,12 @@ fn preset_rows(path: &str) -> Vec<(String, f64, f64)> {
                 .split('"')
                 .next()?
                 .to_owned();
-            Some((name, field(l, "wall_secs")?, field(l, "events_per_sec")?))
+            Some((
+                name,
+                field(l, "wall_secs")?,
+                field(l, "events_per_sec")?,
+                field(l, "max_msg_bytes"),
+            ))
         })
         .collect()
 }
@@ -279,8 +321,10 @@ fn run_compare(new_path: &str, baseline_path: &str, fail_over: Option<f64>) {
     };
     eprintln!("# perf diff: {new_path} vs baseline {baseline_path} ({mode})");
     let mut hard_regressions = Vec::new();
-    for (name, wall, eps) in &new {
-        let Some((_, base_wall, base_eps)) = base.iter().find(|(n, _, _)| n == name) else {
+    for (name, wall, eps, max_msg) in &new {
+        let Some((_, base_wall, base_eps, base_max_msg)) =
+            base.iter().find(|(n, _, _, _)| n == name)
+        else {
             eprintln!("{name:<22} NEW (no baseline row)");
             continue;
         };
@@ -297,6 +341,16 @@ fn run_compare(new_path: &str, baseline_path: &str, fail_over: Option<f64>) {
                  {base_eps:.0} -> {eps:.0} events/s"
             );
         }
+        // Warn-only wire-bound check: the chunked snapshot ceiling is a
+        // correctness-ish number (it tracks the configured chunk size), so
+        // any growth is suspicious even when throughput holds.
+        if let (Some(m), Some(bm)) = (max_msg, base_max_msg) {
+            if m > bm {
+                eprintln!(
+                    "::warning::perf-diff: {name} chunked max message grew {bm:.0} -> {m:.0} B"
+                );
+            }
+        }
         if let Some(pct) = fail_over {
             if eps_ratio < 1.0 - pct / 100.0 {
                 hard_regressions.push(format!(
@@ -306,8 +360,8 @@ fn run_compare(new_path: &str, baseline_path: &str, fail_over: Option<f64>) {
             }
         }
     }
-    for (name, _, _) in &base {
-        if !new.iter().any(|(n, _, _)| n == name) {
+    for (name, _, _, _) in &base {
+        if !new.iter().any(|(n, _, _, _)| n == name) {
             eprintln!("::warning::perf-diff: preset {name} disappeared from the new run");
         }
     }
@@ -393,8 +447,14 @@ fn main() {
             .zip(row.time_to_serving)
             .map(|(b, t)| format!(" | catch-up {b} B, {t:.2} s to serving"))
             .unwrap_or_default();
+        let chunked = row
+            .max_msg_bytes
+            .zip(row.delta_bytes)
+            .zip(row.resumes)
+            .map(|((m, d), r)| format!(" | chunked max {m} B, delta/ckpt {d} B, {r} resumes"))
+            .unwrap_or_default();
         eprintln!(
-            "{:<22} wall {:>8.3} s | {:>9} events | {:>12.0} events/s | {} blocks | completeness {:.4}{share}{shards}{catchup}",
+            "{:<22} wall {:>8.3} s | {:>9} events | {:>12.0} events/s | {} blocks | completeness {:.4}{share}{shards}{catchup}{chunked}",
             row.name, row.wall_secs, row.events, row.events_per_sec, row.blocks, row.completeness
         );
     }
@@ -458,6 +518,16 @@ fn main() {
             row.catchup_bytes
                 .zip(row.time_to_serving)
                 .map(|(b, t)| format!(", \"catchup_bytes\": {b}, \"time_to_serving\": {t:.6}"))
+                .unwrap_or_default()
+        );
+        let share = format!(
+            "{share}{}",
+            row.max_msg_bytes
+                .zip(row.delta_bytes)
+                .zip(row.resumes)
+                .map(|((m, d), r)| format!(
+                    ", \"max_msg_bytes\": {m}, \"delta_bytes\": {d}, \"resumes\": {r}"
+                ))
                 .unwrap_or_default()
         );
         json.push_str(&format!(

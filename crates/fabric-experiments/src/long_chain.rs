@@ -32,6 +32,12 @@ pub struct LongChainConfig {
     pub side_members: usize,
     /// Checkpoint cadence of the snapshot-on runs.
     pub checkpoint_interval: u64,
+    /// Chunk size of the chunked+delta runs: no snapshot-transfer wire
+    /// message may exceed this many bytes.
+    pub chunk_size: usize,
+    /// Full-export cadence of the chunked+delta runs: one full snapshot
+    /// every this many checkpoints, deltas in between.
+    pub delta_full_every: u64,
     /// Simulation seed (shared by every run of the sweep).
     pub seed: u64,
 }
@@ -45,6 +51,8 @@ impl LongChainConfig {
             peers: 12,
             side_members: 6,
             checkpoint_interval: 8,
+            chunk_size: 512,
+            delta_full_every: 2,
             seed: 1,
         }
     }
@@ -82,6 +90,23 @@ pub struct LongChainRow {
     pub snapshot_blocks_replayed: u64,
     /// Height the installed snapshot absorbed (0 = none was installed).
     pub snapshot_height: u64,
+    /// Largest single snapshot-transfer wire message of the whole-snapshot
+    /// run — grows with state size, the spike chunking removes.
+    pub snapshot_max_msg_bytes: u64,
+    /// Largest single snapshot-transfer wire message of the chunked+delta
+    /// run — bounded by the configured chunk size.
+    pub chunked_max_msg_bytes: u64,
+    /// Snapshot chunks the chunked-run joiner accepted.
+    pub chunked_chunks: u64,
+    /// Transfers the chunked-run joiner re-requested after a timeout or
+    /// server loss (0 on a lossless sweep).
+    pub chunked_resumes: u64,
+    /// Largest full snapshot export a sitting endorser retained during the
+    /// whole-snapshot run — grows linearly with state size.
+    pub full_bytes_per_checkpoint: u64,
+    /// Largest delta snapshot a sitting endorser retained during the
+    /// chunked+delta run — flat in steady state.
+    pub delta_bytes_per_checkpoint: u64,
 }
 
 /// What a sweep produces.
@@ -111,6 +136,28 @@ impl LongChainResult {
         )
     }
 
+    /// Largest single snapshot-transfer wire message across the sweep's
+    /// chunked runs (the bench column pinned against the chunk size).
+    pub fn max_msg_bytes(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.chunked_max_msg_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-checkpoint delta retention at the tallest sweep point — flat
+    /// while `full_bytes_per_checkpoint` keeps growing with state size.
+    pub fn delta_bytes(&self) -> u64 {
+        self.rows.last().map_or(0, |r| r.delta_bytes_per_checkpoint)
+    }
+
+    /// Chunked-transfer resumes across the sweep (0 on a lossless LAN —
+    /// loss-driven resumes are pinned by the unit and scenario suites).
+    pub fn resumes(&self) -> u64 {
+        self.rows.iter().map(|r| r.chunked_resumes).sum()
+    }
+
     /// Time-to-serving growth factor across the sweep (last / first).
     pub fn time_growth(&self) -> (f64, f64) {
         let first = self.rows.first().expect("sweep is non-empty");
@@ -135,8 +182,22 @@ fn completed_catchup(catchups: &[Catchup], blocks: u64, mode: &str) -> Catchup {
     cu.clone()
 }
 
-/// Runs the sweep: each height twice (snapshots off, then on), same seed
-/// and workload, one late joiner chasing the side channel's head.
+/// The largest retained full export and delta snapshot of a sitting
+/// endorser's side-channel ledger after a run.
+fn retention_peaks(run: &crate::churn::ChurnResult) -> (u64, u64) {
+    let log = run
+        .net
+        .ledger_on(1, ChurnConfig::side_channel())
+        .expect("sitting members keep side-channel ledgers under full_ledgers")
+        .retention_log();
+    let full = log.iter().map(|r| r.full_bytes).max().unwrap_or(0);
+    let delta = log.iter().map(|r| r.delta_bytes).max().unwrap_or(0);
+    (full, delta)
+}
+
+/// Runs the sweep: each height three times (snapshots off, whole-snapshot
+/// bootstrap, chunked transfer + delta retention), same seed and workload,
+/// one late joiner chasing the side channel's head.
 ///
 /// # Panics
 ///
@@ -165,8 +226,18 @@ pub fn run_long_chain(cfg: &LongChainConfig) -> LongChainResult {
 
         let snap_run = run_churn(&base.clone().with_snapshots(cfg.checkpoint_interval));
         let s = completed_catchup(&snap_run.catchups, blocks, "snapshot");
+        let (full_bytes, _) = retention_peaks(&snap_run);
 
-        for run in [&genesis, &snap_run] {
+        let chunked_run = run_churn(
+            &base
+                .clone()
+                .with_chunked_snapshots(cfg.checkpoint_interval, cfg.chunk_size)
+                .with_delta_snapshots(cfg.delta_full_every),
+        );
+        let c = completed_catchup(&chunked_run.catchups, blocks, "chunked");
+        let (_, delta_bytes) = retention_peaks(&chunked_run);
+
+        for run in [&genesis, &snap_run, &chunked_run] {
             events += run.events;
             total_blocks += run.channels.iter().map(|c| c.blocks).sum::<u64>();
         }
@@ -181,6 +252,12 @@ pub fn run_long_chain(cfg: &LongChainConfig) -> LongChainResult {
             snapshot_time_to_serving: s.time_to_serving().expect("checked above"),
             snapshot_blocks_replayed: s.blocks_replayed,
             snapshot_height: s.snapshot_height,
+            snapshot_max_msg_bytes: s.max_msg_bytes,
+            chunked_max_msg_bytes: c.max_msg_bytes,
+            chunked_chunks: c.chunks,
+            chunked_resumes: c.resumes,
+            full_bytes_per_checkpoint: full_bytes,
+            delta_bytes_per_checkpoint: delta_bytes,
         });
     }
     LongChainResult {
@@ -211,6 +288,16 @@ pub fn render_long_chain(title: &str, result: &LongChainResult) -> String {
             r.snapshot_time_to_serving,
             r.snapshot_blocks_replayed,
             r.snapshot_height,
+        ));
+        out.push_str(&format!(
+            "            | chunked: max msg {:>6} B (whole {:>6} B), {:>3} chunks, \
+             {} resumes | retained/ckpt: full {:>6} B vs delta {:>5} B\n",
+            r.chunked_max_msg_bytes,
+            r.snapshot_max_msg_bytes,
+            r.chunked_chunks,
+            r.chunked_resumes,
+            r.full_bytes_per_checkpoint,
+            r.delta_bytes_per_checkpoint,
         ));
     }
     let (gb, sb) = result.bytes_growth();
@@ -283,8 +370,72 @@ mod tests {
         eprintln!("{text}");
         assert!(text.contains("genesis:"));
         assert!(text.contains("snapshot:"));
+        assert!(text.contains("chunked:"));
+        assert!(text.contains("retained/ckpt"));
         assert!(text.contains("growth last/first"));
         assert!(text.contains("to serving"));
+    }
+
+    #[test]
+    fn chunking_bounds_the_wire_while_the_whole_snapshot_grows_unbounded() {
+        let cfg = LongChainConfig::quick();
+        let res = run_long_chain(&cfg);
+        for r in &res.rows {
+            assert!(
+                r.chunked_max_msg_bytes as usize <= cfg.chunk_size,
+                "{} blocks: chunked message {} exceeds the {} budget",
+                r.blocks,
+                r.chunked_max_msg_bytes,
+                cfg.chunk_size
+            );
+            assert!(r.chunked_chunks > 1, "the transfer must actually chunk");
+        }
+        let last = res.rows.last().unwrap();
+        assert!(
+            last.snapshot_max_msg_bytes as usize > cfg.chunk_size,
+            "the whole-snapshot spike must outgrow the chunk budget, got {}",
+            last.snapshot_max_msg_bytes
+        );
+        assert!(res.max_msg_bytes() as usize <= cfg.chunk_size);
+        assert_eq!(res.resumes(), 0, "a lossless LAN sweep needs no resumes");
+    }
+
+    #[test]
+    fn delta_retention_stays_flat_while_full_exports_grow_linearly() {
+        let res = sweep();
+        let first = res.rows.first().unwrap();
+        let last = res.rows.last().unwrap();
+        // Full exports track state size — the doubled chain costs
+        // meaningfully more per checkpoint.
+        assert!(
+            last.full_bytes_per_checkpoint > first.full_bytes_per_checkpoint,
+            "full retention must grow with the chain: {} vs {}",
+            first.full_bytes_per_checkpoint,
+            last.full_bytes_per_checkpoint
+        );
+        // Deltas carry only the writes since the previous checkpoint, so
+        // per-checkpoint retention is independent of the chain height
+        // (give a small allowance for longer key names at taller heights).
+        assert!(
+            (last.delta_bytes_per_checkpoint as f64)
+                < first.delta_bytes_per_checkpoint as f64 * 1.25,
+            "delta retention must stay flat across the sweep: {} vs {}",
+            first.delta_bytes_per_checkpoint,
+            last.delta_bytes_per_checkpoint
+        );
+        for r in &res.rows {
+            assert!(
+                r.delta_bytes_per_checkpoint > 0,
+                "{} blocks: delta boundaries must have fired",
+                r.blocks
+            );
+            assert!(
+                r.delta_bytes_per_checkpoint < r.full_bytes_per_checkpoint,
+                "{} blocks: a delta must undercut the full export",
+                r.blocks
+            );
+        }
+        assert_eq!(res.delta_bytes(), last.delta_bytes_per_checkpoint);
     }
 
     #[test]

@@ -35,7 +35,7 @@ use fabric_gossip::config::GossipConfig;
 use fabric_gossip::effects::Effects;
 use fabric_gossip::messages::{ChannelMsg, GossipMsg, GossipTimer};
 use fabric_gossip::peer::GossipPeer;
-use fabric_ledger::ledger::Ledger;
+use fabric_ledger::ledger::{Ledger, SnapshotPolicy};
 use fabric_orderer::service::{OrdererConfig, OrderingService};
 use fabric_types::block::{Block, BlockRef};
 use fabric_types::ids::{ChannelId, ClientId, PeerId, TxId};
@@ -265,6 +265,17 @@ pub struct Catchup {
     /// Highest block number absorbed through an installed snapshot
     /// (0 = genesis replay; filled at completion).
     pub snapshot_height: u64,
+    /// Largest single snapshot-transfer wire message addressed to the
+    /// joiner while open — under chunked transfer this stays within the
+    /// configured chunk size instead of spiking to the whole serialized
+    /// snapshot (block-recovery batches are not chunked and not counted).
+    pub max_msg_bytes: u64,
+    /// Snapshot chunks the joiner accepted (filled at completion;
+    /// 0 under whole-snapshot transfer).
+    pub chunks: u64,
+    /// Snapshot transfers re-requested after a timeout or server
+    /// departure (filled at completion).
+    pub resumes: u64,
 }
 
 impl Catchup {
@@ -685,8 +696,8 @@ impl FabricNet {
                         .widen_channel_view(spec.channel, spec.members.clone());
                     if params.full_ledgers || spec.endorsers.contains(&id) {
                         let mut ledger = Ledger::new(msp.clone(), spec.policy.clone());
-                        if params.gossip.snapshot.enabled {
-                            ledger = ledger.with_checkpoints(params.gossip.snapshot.interval);
+                        if let Some(policy) = ledger_snapshot_policy(&params.gossip) {
+                            ledger = ledger.with_snapshot_policy(policy);
                         }
                         ledgers.push((spec.channel, ledger));
                     }
@@ -796,15 +807,12 @@ impl FabricNet {
         &self.catchups
     }
 
-    /// The ledger checkpoint cadence, when the gossip layer has snapshots
+    /// The ledger snapshot policy, when the gossip layer has snapshots
     /// on (`None` keeps ledgers checkpoint-free — the byte-identical
-    /// historical pipeline).
-    fn checkpoint_interval(&self) -> Option<u64> {
-        self.params
-            .gossip
-            .snapshot
-            .enabled
-            .then_some(self.params.gossip.snapshot.interval)
+    /// historical pipeline). Delta-snapshot gossip configs map onto the
+    /// delta retention policy at the same cadence.
+    fn checkpoint_policy(&self) -> Option<SnapshotPolicy> {
+        ledger_snapshot_policy(&self.params.gossip)
     }
 
     /// Discovery-convergence records of `channel`'s protocol-mode churn
@@ -895,7 +903,7 @@ impl FabricNet {
     /// `Simulation::with_ctx`.
     pub fn start(&mut self, ctx: &mut Ctx<'_, NetMsg, NetTimer>) {
         let validation = self.params.validation_per_tx;
-        let ckpt = self.checkpoint_interval();
+        let ckpt = self.checkpoint_policy();
         for i in 0..self.peers.len() {
             let node = NodeId(i as u32);
             let PeerNode {
@@ -914,7 +922,7 @@ impl FabricNet {
                 msp: &self.msp,
                 channels: &mut self.channels,
                 validation_per_tx: validation,
-                checkpoint_interval: ckpt,
+                snapshot_policy: ckpt,
             };
             gossip.init(&mut fx);
         }
@@ -939,19 +947,23 @@ impl FabricNet {
         envelope: ChannelMsg,
     ) {
         let validation = self.params.validation_per_tx;
-        let ckpt = self.checkpoint_interval();
+        let ckpt = self.checkpoint_policy();
         // Catch-up transfer accounting: recovery batches and snapshot
         // responses addressed to a still-catching-up joiner are the bytes
         // its bootstrap costs (steady-state push/pull is not).
         {
             use desim::Message as _;
             let kind = envelope.msg.kind();
-            if kind == "block-recovery" || kind == "snapshot" {
+            if kind == "block-recovery" || kind == "snapshot" || kind == "snapshot-chunk" {
                 let peer = PeerId(to.0);
                 if let Some(c) = self.catchups.iter_mut().find(|c| {
                     c.completed_at.is_none() && c.peer == peer && c.channel == envelope.channel
                 }) {
-                    c.bytes += envelope.wire_size() as u64;
+                    let wire = envelope.wire_size() as u64;
+                    c.bytes += wire;
+                    if kind != "block-recovery" {
+                        c.max_msg_bytes = c.max_msg_bytes.max(wire);
+                    }
                 }
             }
         }
@@ -971,7 +983,7 @@ impl FabricNet {
             msp: &self.msp,
             channels: &mut self.channels,
             validation_per_tx: validation,
-            checkpoint_interval: ckpt,
+            snapshot_policy: ckpt,
         };
         gossip.on_channel_message(&mut fx, envelope.channel, PeerId(from.0), envelope.msg);
         self.check_catchups(to, ctx.now());
@@ -995,6 +1007,10 @@ impl FabricNet {
                 let floor = gossip.store_on(c.channel).map_or(0, |s| s.snapshot_floor());
                 c.snapshot_height = floor;
                 c.blocks_replayed = (height - 1).saturating_sub(floor);
+                if let Some(stats) = gossip.stats_on(c.channel) {
+                    c.chunks = stats.snapshot_chunks_received;
+                    c.resumes = stats.snapshot_resumes;
+                }
             }
         }
     }
@@ -1013,7 +1029,7 @@ impl FabricNet {
         let ev = self.params.churn[index].clone();
         let now = ctx.now();
         let validation = self.params.validation_per_tx;
-        let ckpt = self.checkpoint_interval();
+        let ckpt = self.checkpoint_policy();
         let protocol = self.params.discovery == DiscoveryMode::Protocol;
         let c = ev.channel.index();
         match ev.action {
@@ -1037,8 +1053,8 @@ impl FabricNet {
                 {
                     let mut ledger =
                         Ledger::new(self.msp.clone(), self.channels[c].spec.policy.clone());
-                    if let Some(every) = ckpt {
-                        ledger = ledger.with_checkpoints(every);
+                    if let Some(policy) = ckpt {
+                        ledger = ledger.with_snapshot_policy(policy);
                     }
                     self.peers[ev.peer.index()]
                         .ledgers
@@ -1061,7 +1077,7 @@ impl FabricNet {
                         msp: &self.msp,
                         channels: &mut self.channels,
                         validation_per_tx: validation,
-                        checkpoint_interval: ckpt,
+                        snapshot_policy: ckpt,
                     };
                     if anchor_join {
                         let anchor = *roster
@@ -1108,7 +1124,7 @@ impl FabricNet {
                             msp: &self.msp,
                             channels: &mut self.channels,
                             validation_per_tx: validation,
-                            checkpoint_interval: ckpt,
+                            snapshot_policy: ckpt,
                         };
                         gossip.on_peer_joined(&mut fx, ev.channel, ev.peer);
                     }
@@ -1123,6 +1139,9 @@ impl FabricNet {
                     bytes: 0,
                     blocks_replayed: 0,
                     snapshot_height: 0,
+                    max_msg_bytes: 0,
+                    chunks: 0,
+                    resumes: 0,
                 });
             }
             ChurnAction::Leave => {
@@ -1173,7 +1192,7 @@ impl FabricNet {
                             msp: &self.msp,
                             channels: &mut self.channels,
                             validation_per_tx: validation,
-                            checkpoint_interval: ckpt,
+                            snapshot_policy: ckpt,
                         };
                         gossip.on_peer_left(&mut fx, ev.channel, ev.peer);
                     }
@@ -1397,7 +1416,7 @@ impl desim::Protocol for FabricNet {
                     .latency
                     .start_block(block.number(), ctx.now());
                 let validation = self.params.validation_per_tx;
-                let ckpt = self.checkpoint_interval();
+                let ckpt = self.checkpoint_policy();
                 let PeerNode {
                     gossip,
                     ledgers,
@@ -1414,7 +1433,7 @@ impl desim::Protocol for FabricNet {
                     msp: &self.msp,
                     channels: &mut self.channels,
                     validation_per_tx: validation,
-                    checkpoint_interval: ckpt,
+                    snapshot_policy: ckpt,
                 };
                 gossip.on_block_from_orderer_on(&mut fx, channel, block);
                 self.check_catchups(to, ctx.now());
@@ -1435,7 +1454,7 @@ impl desim::Protocol for FabricNet {
         match timer {
             NetTimer::Peer { channel, timer } => {
                 let validation = self.params.validation_per_tx;
-                let ckpt = self.checkpoint_interval();
+                let ckpt = self.checkpoint_policy();
                 let PeerNode {
                     gossip,
                     ledgers,
@@ -1452,7 +1471,7 @@ impl desim::Protocol for FabricNet {
                     msp: &self.msp,
                     channels: &mut self.channels,
                     validation_per_tx: validation,
-                    checkpoint_interval: ckpt,
+                    snapshot_policy: ckpt,
                 };
                 gossip.on_channel_timer(&mut fx, channel, timer);
                 self.check_catchups(node, ctx.now());
@@ -1510,7 +1529,7 @@ impl desim::Protocol for FabricNet {
         // with it — the engine drops timers of down nodes) and re-validates
         // any stored blocks whose in-flight validation the crash destroyed.
         let validation = self.params.validation_per_tx;
-        let ckpt = self.checkpoint_interval();
+        let ckpt = self.checkpoint_policy();
         let PeerNode {
             gossip,
             ledgers,
@@ -1542,7 +1561,7 @@ impl desim::Protocol for FabricNet {
             msp: &self.msp,
             channels: &mut self.channels,
             validation_per_tx: validation,
-            checkpoint_interval: ckpt,
+            snapshot_policy: ckpt,
         };
         gossip.init(&mut fx);
     }
@@ -1558,7 +1577,21 @@ struct SimFx<'a, 'c> {
     msp: &'a Arc<Msp>,
     channels: &'a mut [ChannelRuntime],
     validation_per_tx: Duration,
-    checkpoint_interval: Option<u64>,
+    snapshot_policy: Option<SnapshotPolicy>,
+}
+
+/// The ledger-side snapshot policy implied by a gossip config: `None`
+/// with snapshots off (checkpoint-free ledgers, the byte-identical
+/// historical pipeline), the delta retention policy when delta snapshots
+/// are on, the full-only policy otherwise.
+fn ledger_snapshot_policy(g: &GossipConfig) -> Option<SnapshotPolicy> {
+    g.snapshot.enabled.then(|| {
+        if g.snapshot.delta {
+            SnapshotPolicy::delta(g.snapshot.interval, g.snapshot.full_every)
+        } else {
+            SnapshotPolicy::full(g.snapshot.interval)
+        }
+    })
 }
 
 impl Effects for SimFx<'_, '_> {
@@ -1633,11 +1666,11 @@ impl Effects for SimFx<'_, '_> {
             return; // the ledger already replayed past the checkpoint
         }
         let policy = self.channels[channel.index()].spec.policy.clone();
-        if let Ok(ledger) = Ledger::from_snapshot(
+        if let Ok(ledger) = Ledger::from_snapshot_with_policy(
             self.msp.clone(),
             policy,
             snapshot.clone(),
-            self.checkpoint_interval,
+            self.snapshot_policy,
         ) {
             entry.1 = ledger;
         }

@@ -57,6 +57,14 @@ pub struct PeerStats {
     pub snapshots_served: u64,
     /// Snapshots verified and installed locally.
     pub snapshots_installed: u64,
+    /// Snapshot chunks put on the wire (chunked transfer).
+    pub snapshot_chunks_sent: u64,
+    /// Distinct snapshot chunks absorbed into an assembly (duplicates and
+    /// foreign-checkpoint chunks excluded).
+    pub snapshot_chunks_received: u64,
+    /// Snapshot transfers re-requested after an in-flight timeout — the
+    /// server crashed, the response was lost, or the floor was pruned.
+    pub snapshot_resumes: u64,
     /// Bytes put on the wire by this channel instance, per message kind
     /// (the metrics tags of [`GossipMsg::kind`]), indexed by interned
     /// [`desim::KindId`] — a dense array add per send instead of the
@@ -92,6 +100,9 @@ impl PeerStats {
         self.snapshot_requests += other.snapshot_requests;
         self.snapshots_served += other.snapshots_served;
         self.snapshots_installed += other.snapshots_installed;
+        self.snapshot_chunks_sent += other.snapshot_chunks_sent;
+        self.snapshot_chunks_received += other.snapshot_chunks_received;
+        self.snapshot_resumes += other.snapshot_resumes;
         self.bytes_sent_by_kind.absorb(&other.bytes_sent_by_kind);
     }
 }
@@ -354,13 +365,15 @@ impl ChannelState {
                     self.core.accept_content(fx, &block);
                 }
             }
-            GossipMsg::SnapshotRequest { height } => {
-                self.leadership
-                    .on_snapshot_request(&mut self.core, fx, from, height)
-            }
+            GossipMsg::SnapshotRequest { height, from_chunk } => self
+                .leadership
+                .on_snapshot_request(&mut self.core, fx, from, height, from_chunk),
             GossipMsg::SnapshotResponse { snapshot } => {
                 self.leadership
                     .on_snapshot_response(&mut self.core, fx, snapshot)
+            }
+            GossipMsg::SnapshotChunk { chunk } => {
+                self.leadership.on_snapshot_chunk(&mut self.core, fx, chunk)
             }
             GossipMsg::Alive => {} // mark_alive above is the whole effect
             GossipMsg::AliveMsg(claim) => {

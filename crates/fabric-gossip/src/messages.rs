@@ -10,14 +10,18 @@ use std::sync::OnceLock;
 use desim::KindId;
 use fabric_types::block::BlockRef;
 use fabric_types::ids::{ChannelId, PeerId};
-use fabric_types::snapshot::{Checkpoint, SnapshotRef};
+use fabric_types::snapshot::{Checkpoint, SnapshotChunk, SnapshotRef};
 
 /// Framing overhead per gossip envelope (signature, channel MAC, tags).
 ///
 /// The channel MAC is part of this fixed overhead, so routing a message on
 /// a non-default channel does not change its wire size — byte accounting is
 /// identical whether a deployment runs one channel or many.
-const ENVELOPE: usize = 16;
+///
+/// `pub(crate)` so the chunked snapshot server can budget chunk payloads at
+/// `chunk_size - ENVELOPE`, guaranteeing no chunk *message* exceeds the
+/// configured `chunk_size`.
+pub(crate) const ENVELOPE: usize = 16;
 
 /// The wire unit between two peers: a [`GossipMsg`] tagged with the channel
 /// it belongs to.
@@ -163,6 +167,11 @@ pub enum GossipMsg {
     SnapshotRequest {
         /// Height of the checkpoint whose snapshot is wanted.
         height: u64,
+        /// Resume offset under chunked transfer: serve chunks starting at
+        /// this index (0: the whole snapshot). A non-zero offset requires
+        /// the server to hold *exactly* the requested checkpoint — chunk
+        /// plans only line up across servers at identical checkpoints.
+        from_chunk: u32,
     },
     /// Snapshot bootstrap: the served snapshot (full state at its
     /// checkpoint height; the requester verifies the state hash before
@@ -171,6 +180,15 @@ pub enum GossipMsg {
         /// The served snapshot (a shared handle — serving N joiners clones
         /// a reference count, not the state).
         snapshot: SnapshotRef,
+    },
+    /// Chunked snapshot bootstrap: one slice of a snapshot transfer
+    /// ([`crate::config::SnapshotConfig::chunked`]). The receiver
+    /// reassembles the full plan, verifies the state hash, then installs
+    /// atomically.
+    SnapshotChunk {
+        /// The served chunk (an entry-range view over a shared snapshot —
+        /// serving N chunks clones a reference count, not the entries).
+        chunk: SnapshotChunk,
     },
     /// Membership heartbeat (legacy oracle-mode liveness traffic; carries
     /// no payload — reception alone refreshes the sender's entry).
@@ -254,8 +272,9 @@ impl desim::Message for GossipMsg {
             GossipMsg::RecoveryResponse { blocks } => {
                 ENVELOPE + 8 + blocks.iter().map(|b| b.wire_size()).sum::<usize>()
             }
-            GossipMsg::SnapshotRequest { .. } => ENVELOPE + 16,
+            GossipMsg::SnapshotRequest { .. } => ENVELOPE + 20,
             GossipMsg::SnapshotResponse { snapshot } => ENVELOPE + snapshot.wire_size(),
+            GossipMsg::SnapshotChunk { chunk } => ENVELOPE + chunk.wire_size(),
             // Alive messages carry identity, endpoint and a signature.
             GossipMsg::Alive => ENVELOPE + 134,
             // AliveMsg adds the (incarnation, seq) pair to the legacy
@@ -291,6 +310,7 @@ impl desim::Message for GossipMsg {
             GossipMsg::RecoveryResponse { .. } => "block-recovery",
             GossipMsg::SnapshotRequest { .. } => "snapshot-request",
             GossipMsg::SnapshotResponse { .. } => "snapshot",
+            GossipMsg::SnapshotChunk { .. } => "snapshot-chunk",
             GossipMsg::Alive => "alive",
             GossipMsg::AliveMsg(_) => "alive-msg",
             GossipMsg::MembershipRequest { .. } => "membership-request",
@@ -316,6 +336,7 @@ impl desim::Message for GossipMsg {
             GossipMsg::RecoveryResponse { .. } => ids.block_recovery,
             GossipMsg::SnapshotRequest { .. } => ids.snapshot_request,
             GossipMsg::SnapshotResponse { .. } => ids.snapshot,
+            GossipMsg::SnapshotChunk { .. } => ids.snapshot_chunk,
             GossipMsg::Alive => ids.alive,
             GossipMsg::AliveMsg(_) => ids.alive_msg,
             GossipMsg::MembershipRequest { .. } => ids.membership_request,
@@ -344,6 +365,7 @@ struct GossipKindIds {
     block_recovery: KindId,
     snapshot_request: KindId,
     snapshot: KindId,
+    snapshot_chunk: KindId,
     alive: KindId,
     alive_msg: KindId,
     membership_request: KindId,
@@ -369,6 +391,7 @@ impl GossipKindIds {
             block_recovery: KindId::intern("block-recovery"),
             snapshot_request: KindId::intern("snapshot-request"),
             snapshot: KindId::intern("snapshot"),
+            snapshot_chunk: KindId::intern("snapshot-chunk"),
             alive: KindId::intern("alive"),
             alive_msg: KindId::intern("alive-msg"),
             membership_request: KindId::intern("membership-request"),
@@ -506,8 +529,11 @@ mod tests {
         use fabric_types::crypto::Hash256;
         use fabric_types::rwset::{Key, Value, Version};
         use fabric_types::snapshot::{hash_state_entries, Snapshot};
-        let req = GossipMsg::SnapshotRequest { height: 128 };
-        assert_eq!(req.wire_size(), 16 + 16);
+        let req = GossipMsg::SnapshotRequest {
+            height: 128,
+            from_chunk: 0,
+        };
+        assert_eq!(req.wire_size(), 16 + 20, "height + resume offset");
         assert_eq!(req.kind(), "snapshot-request");
 
         let entries: Vec<_> = (0..10)
@@ -538,6 +564,21 @@ mod tests {
         if let GossipMsg::SnapshotResponse { snapshot } = &resp {
             assert!(SnapshotRef::ptr_eq(snapshot, &snap));
         }
+
+        // Chunk messages: header + their entry slice, never the whole state.
+        let chunks = SnapshotChunk::plan(&snap, SnapshotChunk::HEADER + 80);
+        assert!(chunks.len() > 1);
+        let total: usize = chunks
+            .iter()
+            .map(|c| {
+                let msg = GossipMsg::SnapshotChunk { chunk: c.clone() };
+                assert_eq!(msg.kind(), "snapshot-chunk");
+                assert_eq!(msg.wire_size(), 16 + c.wire_size());
+                assert!(msg.wire_size() < resp.wire_size());
+                c.entries().len()
+            })
+            .sum();
+        assert_eq!(total, snap.entries.len());
     }
 
     #[test]
@@ -633,7 +674,11 @@ mod tests {
             .kind(),
             GossipMsg::RecoveryRequest { from: 0, to: 0 }.kind(),
             GossipMsg::RecoveryResponse { blocks: vec![] }.kind(),
-            GossipMsg::SnapshotRequest { height: 0 }.kind(),
+            GossipMsg::SnapshotRequest {
+                height: 0,
+                from_chunk: 0,
+            }
+            .kind(),
             GossipMsg::SnapshotResponse {
                 snapshot: SnapshotRef::new(fabric_types::snapshot::Snapshot {
                     checkpoint: Checkpoint {
@@ -643,6 +688,21 @@ mod tests {
                     last_block_hash: fabric_types::crypto::Hash256::ZERO,
                     entries: vec![],
                 }),
+            }
+            .kind(),
+            GossipMsg::SnapshotChunk {
+                chunk: SnapshotChunk::plan(
+                    &SnapshotRef::new(fabric_types::snapshot::Snapshot {
+                        checkpoint: Checkpoint {
+                            height: 0,
+                            state_hash: fabric_types::crypto::Hash256::ZERO,
+                        },
+                        last_block_hash: fabric_types::crypto::Hash256::ZERO,
+                        entries: vec![],
+                    }),
+                    1024,
+                )
+                .remove(0),
             }
             .kind(),
             GossipMsg::Alive.kind(),
@@ -703,7 +763,10 @@ mod tests {
                 dead: vec![],
             },
             GossipMsg::LeaderHeartbeat { leader: PeerId(0) },
-            GossipMsg::SnapshotRequest { height: 1 },
+            GossipMsg::SnapshotRequest {
+                height: 1,
+                from_chunk: 0,
+            },
             GossipMsg::SnapshotResponse {
                 snapshot: SnapshotRef::new(fabric_types::snapshot::Snapshot {
                     checkpoint: Checkpoint {
@@ -713,6 +776,20 @@ mod tests {
                     last_block_hash: fabric_types::crypto::Hash256::ZERO,
                     entries: vec![],
                 }),
+            },
+            GossipMsg::SnapshotChunk {
+                chunk: SnapshotChunk::plan(
+                    &SnapshotRef::new(fabric_types::snapshot::Snapshot {
+                        checkpoint: Checkpoint {
+                            height: 0,
+                            state_hash: fabric_types::crypto::Hash256::ZERO,
+                        },
+                        last_block_hash: fabric_types::crypto::Hash256::ZERO,
+                        entries: vec![],
+                    }),
+                    1024,
+                )
+                .remove(0),
             },
         ];
         for msg in samples {

@@ -602,6 +602,107 @@ proptest! {
     }
 }
 
+/// Chunked transfer under fire: the joiner bootstraps through a lossy
+/// link and a mid-transfer partition that cuts it off entirely. The
+/// transfer must survive by resuming — re-requesting the missing chunk
+/// suffix after the timeout instead of restarting or storming — and still
+/// install exactly one verified snapshot.
+#[test]
+fn chunked_transfer_resumes_under_loss_and_a_mid_transfer_partition() {
+    use fabric_ledger::ledger::Ledger;
+    use fabric_types::msp::Msp;
+    use fabric_types::transaction::EndorsementPolicy;
+    use std::sync::Arc;
+
+    let mut cfg = snapshot_cfg(4);
+    cfg = cfg.with_chunked_snapshots(4, 256);
+    cfg.snapshot.request_timeout = Duration::from_secs(4);
+
+    let members: Vec<PeerId> = (0..4).map(PeerId).collect();
+    let joiner = PeerId(4);
+    let mut net = DiscoveryHarness::new(5, vec![members.clone()], &cfg);
+    let msp = Arc::new(Msp::single_org(3));
+    let mut genesis = Ledger::new(msp.clone(), EndorsementPolicy::AnyMember).with_checkpoints(4);
+
+    // Stream 16 blocks cleanly, one unique key per block so the snapshot
+    // spans several chunks at a 256-byte budget, publishing each fresh
+    // checkpoint export to every sitting member.
+    let height = 16u64;
+    for n in 1..=height {
+        let tx = endorsed_write(&msp, &genesis, n, &format!("k{n}"), n);
+        let block = BlockRef::new(Block::new(n, genesis.latest_hash(), vec![tx]));
+        genesis
+            .commit(block.clone())
+            .expect("endorsed write commits");
+        net.inject(0, block);
+        net.run_for(Duration::from_millis(300));
+        if let Some(snap) = genesis.snapshot() {
+            for m in &members {
+                net.publish_snapshot(0, *m, snap.clone());
+            }
+        }
+    }
+
+    // The joiner enters on a 30%-lossy link; a few seconds in, a
+    // partition cuts it off from every member mid-transfer.
+    net.run_script(&[ScenarioOp::SetLoss { loss_milli: 300 }])
+        .expect("no asserts");
+    net.join(0, joiner);
+    net.run_for(Duration::from_secs(4));
+    net.run_script(&[ScenarioOp::Partition {
+        groups: vec![members.clone(), vec![joiner]],
+    }])
+    .expect("no asserts");
+    net.run_for(Duration::from_secs(12));
+    net.run_script(&[ScenarioOp::Heal, ScenarioOp::SetLoss { loss_milli: 100 }])
+        .expect("no asserts");
+
+    let caught = secs_until(&mut net, 120, |net| {
+        net.gossip(joiner.index()).height_on(ChannelId(0)) > height
+    });
+    assert!(
+        caught.is_some(),
+        "chunked catch-up stalled after the partition healed"
+    );
+
+    let stats = net
+        .gossip(joiner.index())
+        .stats_on(ChannelId(0))
+        .expect("joiner is on the channel");
+    assert_eq!(
+        stats.snapshots_installed, 1,
+        "loss and partition must not double-install"
+    );
+    assert!(
+        stats.snapshot_chunks_received > 1,
+        "the snapshot must have streamed as chunks, got {}",
+        stats.snapshot_chunks_received
+    );
+    assert!(
+        stats.snapshot_resumes >= 1,
+        "a transfer interrupted by loss and a partition must resume, got {}",
+        stats.snapshot_resumes
+    );
+    assert!(
+        stats.snapshot_requests < 2 + 2 * stats.snapshot_resumes,
+        "every request past the first must be a timed-out resume, not a storm: \
+         {} requests for {} resumes",
+        stats.snapshot_requests,
+        stats.snapshot_resumes
+    );
+
+    // The install is the verified one: floor at a published boundary and
+    // nothing below it was ever delivered as a block.
+    let fx = net.effects(joiner.index());
+    let (_, installed) = fx.installed.last().expect("one installed snapshot");
+    let floor = installed.checkpoint.height;
+    assert!(floor >= 4, "installed snapshot below the first boundary");
+    assert!(
+        fx.delivered.iter().all(|b| b.number() > floor),
+        "the absorbed prefix must never have been delivered"
+    );
+}
+
 // ---------------------------------------------------------------------
 // Seeded-random scenarios: loss + partitions + crashes + a random
 // attacker, for both wire formats. Shrinking reduces a failing seed's

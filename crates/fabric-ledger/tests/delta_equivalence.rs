@@ -1,0 +1,148 @@
+//! Property: a delta-chain bootstrap is byte-identical to a full-snapshot
+//! bootstrap.
+//!
+//! For arbitrary chain heights, checkpoint cadences and full-export
+//! cadences, grow a ledger under the delta retention policy, stand one
+//! joiner up from its freshest *full* snapshot and another from the
+//! oldest retained full plus the delta chain on top of it, and replay the
+//! same tail into both. The delta-chain joiner must reach the same
+//! height, head hash and byte-identical state hash — deltas are a pure
+//! retention optimization, never a semantic fork.
+
+use std::sync::Arc;
+
+use fabric_ledger::ledger::{Ledger, SnapshotPolicy};
+use fabric_ledger::state::StateReader;
+use fabric_types::block::{Block, BlockRef};
+use fabric_types::ids::{ClientId, PeerId, TxId};
+use fabric_types::msp::Msp;
+use fabric_types::rwset::RwSet;
+use fabric_types::transaction::{EndorsementPolicy, Transaction};
+use proptest::prelude::*;
+
+fn msp() -> Arc<Msp> {
+    Arc::new(Msp::single_org(3))
+}
+
+fn endorsed_write(msp: &Msp, led: &Ledger, id: u64, key: &str, value: u64) -> Transaction {
+    let rwset = RwSet::builder()
+        .read(key, led.state().get_version(&key.into()))
+        .write_u64(key, value)
+        .build();
+    let mut tx = Transaction::new(TxId(id), "increment", ClientId(0), rwset);
+    tx.endorse(msp, PeerId(0));
+    tx
+}
+
+/// Commits blocks `from..=to`, spreading writes over `keys` keys so the
+/// delta entries overlap and supersede each other across boundaries.
+fn grow(msp: &Msp, led: &mut Ledger, from: u64, to: u64, keys: u64, salt: u64) {
+    for n in from..=to {
+        let key = format!("k{}", n % keys);
+        let tx = endorsed_write(msp, led, n, &key, n.wrapping_mul(31).wrapping_add(salt));
+        let block = BlockRef::new(Block::new(n, led.latest_hash(), vec![tx]));
+        led.commit(block).expect("endorsed write commits cleanly");
+    }
+}
+
+proptest! {
+    #[test]
+    fn delta_chain_bootstrap_matches_full_snapshot_bootstrap(
+        height in 1u64..61,
+        every in 1u64..13,
+        full_every in 1u64..5,
+        salt in 0u64..1_000,
+    ) {
+        // The vendored proptest derives strategies for up to 4-tuples;
+        // the key spread rides on the salt.
+        let keys = salt % 5 + 1;
+        let msp = msp();
+        let policy = SnapshotPolicy::delta(every, full_every);
+        let mut full = Ledger::new(msp.clone(), EndorsementPolicy::AnyMember)
+            .with_snapshot_policy(policy);
+        grow(&msp, &mut full, 1, height, keys, salt);
+
+        let Some(freshest) = full.snapshot() else {
+            // No full export was cut yet: nothing to bootstrap from.
+            prop_assert!(full.retained_deltas().is_empty() || height < every * 2);
+            return Ok(());
+        };
+        let floor = freshest.checkpoint.height;
+
+        // Joiner A: the freshest full snapshot, the whole-export path.
+        let mut direct = Ledger::from_snapshot_with_policy(
+            msp.clone(),
+            EndorsementPolicy::AnyMember,
+            freshest.clone(),
+            Some(policy),
+        )
+        .expect("a retained full snapshot must verify");
+
+        // Joiner B: the oldest retained full plus every delta chaining up
+        // to the same checkpoint — what a retention-lean server would
+        // hand out instead of a monolithic fresh export.
+        let base = full.retained_snapshots()[0].clone();
+        let deltas: Vec<_> = full
+            .retained_deltas()
+            .iter()
+            .filter(|d| d.base.height >= base.checkpoint.height && d.checkpoint.height <= floor)
+            .cloned()
+            .collect();
+        let mut chained = Ledger::from_delta_chain(
+            msp.clone(),
+            EndorsementPolicy::AnyMember,
+            base.clone(),
+            &deltas,
+            Some(policy),
+        )
+        .expect("the retained delta chain must verify link by link");
+        prop_assert_eq!(chained.height(), floor + 1, "the chain ends at the freshest full");
+        prop_assert_eq!(chained.height(), direct.height());
+
+        // Replay the same tail into both.
+        for n in (floor + 1)..=height {
+            let block = full.block(n).expect("the full ledger holds its whole chain");
+            direct.commit(block.clone()).expect("tail replay commits cleanly");
+            chained.commit(block.clone()).expect("tail replay commits cleanly");
+        }
+
+        // Byte-identical convergence of all three ledgers.
+        prop_assert_eq!(chained.height(), full.height());
+        prop_assert_eq!(chained.latest_hash(), full.latest_hash());
+        prop_assert_eq!(direct.state().state_hash(), full.state().state_hash());
+        prop_assert_eq!(
+            chained.state().state_hash(),
+            full.state().state_hash(),
+            "a delta-chain bootstrap must be byte-identical to the full export"
+        );
+        // Checkpoints emitted past the install agree with the replayer —
+        // the full-boundary cadence is height-based, so bootstrap modes
+        // can't drift.
+        for cp in chained.checkpoints() {
+            prop_assert!(
+                full.checkpoints().contains(cp),
+                "checkpoint at height {} diverged",
+                cp.height
+            );
+        }
+
+        // A tampered link must break the chain, not corrupt the state.
+        if let Some(first) = deltas.first() {
+            let mut forged = deltas.clone();
+            let mut bad = first.clone();
+            bad.base.height += 1; // no longer links to the base checkpoint
+            forged[0] = bad;
+            prop_assert!(
+                Ledger::from_delta_chain(
+                    msp.clone(),
+                    EndorsementPolicy::AnyMember,
+                    base,
+                    &forged,
+                    Some(policy),
+                )
+                .is_err(),
+                "a broken delta link must be rejected"
+            );
+        }
+    }
+}

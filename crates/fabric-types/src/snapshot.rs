@@ -14,6 +14,7 @@
 //! exact state hash of a genesis-replay ledger — this is proptested in
 //! `fabric-ledger`.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -128,6 +129,248 @@ impl PartialEq for SnapshotRef {
     }
 }
 
+/// One slice of a chunked snapshot transfer: a contiguous entry range of a
+/// shared [`SnapshotRef`], carrying the checkpoint it belongs to plus its
+/// `{chunk_index, total_chunks}` position. Serving N chunks clones the Arc
+/// N times, never the entries — the zero-copy idiom of [`SnapshotRef`]
+/// extended to partial views.
+///
+/// Chunk plans are deterministic in `(snapshot, budget)`: two servers
+/// holding the same snapshot produce identical plans, so a receiver can
+/// resume an interrupted transfer from a *different* server by asking for
+/// the missing index suffix.
+#[derive(Debug, Clone)]
+pub struct SnapshotChunk {
+    snapshot: SnapshotRef,
+    chunk_index: u32,
+    total_chunks: u32,
+    start: usize,
+    end: usize,
+    wire_size: usize,
+}
+
+impl SnapshotChunk {
+    /// Wire bytes of one chunk header: checkpoint, tip hash, and the
+    /// index/total/entry-count framing.
+    pub const HEADER: usize = Checkpoint::WIRE + 32 + 16;
+    const PER_ENTRY: usize = 8 + 8 + 12;
+
+    /// Greedily packs the snapshot's entries into chunks of at most
+    /// `budget` wire bytes each. Every chunk carries at least one entry, so
+    /// a single entry larger than the budget still ships (as an oversized
+    /// chunk of its own); an empty snapshot yields one header-only chunk.
+    pub fn plan(snapshot: &SnapshotRef, budget: usize) -> Vec<SnapshotChunk> {
+        let entry_wire = |(k, v, _): &StateEntry| k.wire_size() + v.wire_size() + Self::PER_ENTRY;
+        let entries = &snapshot.entries;
+        let mut ranges: Vec<(usize, usize, usize)> = Vec::new();
+        let mut start = 0;
+        while start < entries.len() {
+            let mut end = start + 1;
+            let mut wire = Self::HEADER + entry_wire(&entries[start]);
+            while end < entries.len() && wire + entry_wire(&entries[end]) <= budget {
+                wire += entry_wire(&entries[end]);
+                end += 1;
+            }
+            ranges.push((start, end, wire));
+            start = end;
+        }
+        if ranges.is_empty() {
+            ranges.push((0, 0, Self::HEADER));
+        }
+        let total_chunks = ranges.len() as u32;
+        ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, (start, end, wire_size))| SnapshotChunk {
+                snapshot: snapshot.clone(),
+                chunk_index: i as u32,
+                total_chunks,
+                start,
+                end,
+                wire_size,
+            })
+            .collect()
+    }
+
+    /// The checkpoint this chunk is a slice of.
+    pub fn checkpoint(&self) -> Checkpoint {
+        self.snapshot.checkpoint
+    }
+
+    /// Header hash of the block at the checkpoint height.
+    pub fn last_block_hash(&self) -> Hash256 {
+        self.snapshot.last_block_hash
+    }
+
+    /// Position of this chunk in the plan (0-based).
+    pub fn chunk_index(&self) -> u32 {
+        self.chunk_index
+    }
+
+    /// Number of chunks in the whole plan.
+    pub fn total_chunks(&self) -> u32 {
+        self.total_chunks
+    }
+
+    /// The entry slice this chunk carries.
+    pub fn entries(&self) -> &[StateEntry] {
+        &self.snapshot.entries[self.start..self.end]
+    }
+
+    /// Size of this chunk on the wire (header plus its entries), cached at
+    /// plan time.
+    pub fn wire_size(&self) -> usize {
+        self.wire_size
+    }
+}
+
+/// Reassembles a chunked snapshot on the receiving side. The first chunk
+/// pins the checkpoint, tip hash and chunk count; later chunks must match
+/// them exactly (chunks of a different checkpoint are rejected, duplicates
+/// are dropped). [`Self::first_missing`] is the resume offset to put in a
+/// follow-up request after a partial transfer.
+#[derive(Debug, Clone)]
+pub struct SnapshotAssembler {
+    checkpoint: Checkpoint,
+    last_block_hash: Hash256,
+    total_chunks: u32,
+    chunks: BTreeMap<u32, Vec<StateEntry>>,
+}
+
+impl SnapshotAssembler {
+    /// Starts assembly from the first chunk received (any index).
+    pub fn new(first: &SnapshotChunk) -> Self {
+        let mut a = SnapshotAssembler {
+            checkpoint: first.checkpoint(),
+            last_block_hash: first.last_block_hash(),
+            total_chunks: first.total_chunks(),
+            chunks: BTreeMap::new(),
+        };
+        a.accept(first);
+        a
+    }
+
+    /// Absorbs one chunk. Returns `false` (without mutating) for a chunk of
+    /// a different checkpoint/plan, an out-of-range index, or a duplicate.
+    pub fn accept(&mut self, chunk: &SnapshotChunk) -> bool {
+        if chunk.checkpoint() != self.checkpoint
+            || chunk.last_block_hash() != self.last_block_hash
+            || chunk.total_chunks() != self.total_chunks
+            || chunk.chunk_index() >= self.total_chunks
+            || self.chunks.contains_key(&chunk.chunk_index())
+        {
+            return false;
+        }
+        self.chunks
+            .insert(chunk.chunk_index(), chunk.entries().to_vec());
+        true
+    }
+
+    /// The checkpoint this assembly is pinned to.
+    pub fn checkpoint(&self) -> Checkpoint {
+        self.checkpoint
+    }
+
+    /// Chunks expected in total.
+    pub fn total_chunks(&self) -> u32 {
+        self.total_chunks
+    }
+
+    /// Distinct chunks absorbed so far.
+    pub fn received_chunks(&self) -> u32 {
+        self.chunks.len() as u32
+    }
+
+    /// Lowest chunk index not yet received — the resume offset for a
+    /// follow-up request. Equals [`Self::total_chunks`] when complete.
+    pub fn first_missing(&self) -> u32 {
+        (0..self.total_chunks)
+            .find(|i| !self.chunks.contains_key(i))
+            .unwrap_or(self.total_chunks)
+    }
+
+    /// Whether every chunk has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.chunks.len() as u32 == self.total_chunks
+    }
+
+    /// The reassembled snapshot once complete (`None` before). The caller
+    /// must still [`Snapshot::verify`] it before installing — assembly
+    /// checks framing, not the state hash.
+    pub fn assemble(&self) -> Option<Snapshot> {
+        if !self.is_complete() {
+            return None;
+        }
+        Some(Snapshot {
+            checkpoint: self.checkpoint,
+            last_block_hash: self.last_block_hash,
+            entries: self.chunks.values().flatten().cloned().collect(),
+        })
+    }
+}
+
+/// The state entries written between two consecutive checkpoints: applying
+/// the delta over the full state at `base` yields the full state at
+/// `checkpoint`. Retaining one delta per checkpoint costs O(writes in the
+/// interval) instead of O(total state), which is what keeps per-checkpoint
+/// retained bytes flat as the chain grows (the incremental-snapshot layout
+/// of Solana's `snapshot_utils`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaSnapshot {
+    /// The checkpoint this delta applies on top of.
+    pub base: Checkpoint,
+    /// The checkpoint the application produces.
+    pub checkpoint: Checkpoint,
+    /// Header hash of block `checkpoint.height`.
+    pub last_block_hash: Hash256,
+    /// Entries written in `(base.height, checkpoint.height]`, key order.
+    pub entries: Vec<StateEntry>,
+}
+
+impl DeltaSnapshot {
+    /// Size of the delta on the wire: two checkpoints, tip hash, framing,
+    /// and the per-entry cost of [`Snapshot::wire_size`].
+    pub fn wire_size(&self) -> usize {
+        const FRAMING: usize = 16;
+        const PER_ENTRY: usize = 8 + 8 + 12;
+        2 * Checkpoint::WIRE
+            + 32
+            + FRAMING
+            + self
+                .entries
+                .iter()
+                .map(|(k, v, _)| k.wire_size() + v.wire_size() + PER_ENTRY)
+                .sum::<usize>()
+    }
+
+    /// Applies the delta over its base snapshot, producing the next full
+    /// snapshot. `None` when the base checkpoint doesn't match or when the
+    /// merged entries fail to hash to the claimed checkpoint — the chain
+    /// link a receiver must verify before trusting a delta.
+    pub fn apply_to(&self, base: &Snapshot) -> Option<Snapshot> {
+        if base.checkpoint != self.base {
+            return None;
+        }
+        let mut merged: BTreeMap<Key, (Value, Version)> = base
+            .entries
+            .iter()
+            .map(|(k, v, ver)| (k.clone(), (v.clone(), *ver)))
+            .collect();
+        for (k, v, ver) in &self.entries {
+            merged.insert(k.clone(), (v.clone(), *ver));
+        }
+        let snapshot = Snapshot {
+            checkpoint: self.checkpoint,
+            last_block_hash: self.last_block_hash,
+            entries: merged
+                .into_iter()
+                .map(|(k, (v, ver))| (k, v, ver))
+                .collect(),
+        };
+        snapshot.verify().then_some(snapshot)
+    }
+}
+
 /// The canonical state digest: a [`Sha256`] over the count and the
 /// length-prefixed `(key, value, version)` triples **in key order**. Both
 /// the ledger (computing a checkpoint) and a snapshot receiver (verifying
@@ -231,6 +474,132 @@ mod tests {
         let mut wrong_claim = snap;
         wrong_claim.checkpoint.state_hash = Hash256([1; 32]);
         assert!(!wrong_claim.verify());
+    }
+
+    #[test]
+    fn chunk_plan_respects_budget_and_reassembles_out_of_order() {
+        let snap = SnapshotRef::new(snapshot(
+            (0..40)
+                .map(|i| entry(&format!("key{i:03}"), i, 1))
+                .collect(),
+            8,
+        ));
+        let budget = SnapshotChunk::HEADER + 120;
+        let chunks = SnapshotChunk::plan(&snap, budget);
+        assert!(chunks.len() > 1, "a small budget must split the snapshot");
+        for c in &chunks {
+            assert!(c.wire_size() <= budget, "chunk exceeds its budget");
+            assert!(!c.entries().is_empty());
+            assert_eq!(c.total_chunks() as usize, chunks.len());
+            assert_eq!(c.checkpoint(), snap.checkpoint);
+        }
+        assert_eq!(
+            chunks.iter().map(|c| c.entries().len()).sum::<usize>(),
+            snap.entries.len(),
+            "the plan covers every entry exactly once"
+        );
+        // Identical inputs yield an identical plan — the property that lets
+        // a receiver resume a transfer from a different server.
+        let replanned = SnapshotChunk::plan(&snap, budget);
+        assert_eq!(replanned.len(), chunks.len());
+        assert!(chunks
+            .iter()
+            .zip(&replanned)
+            .all(|(a, b)| a.entries() == b.entries()));
+
+        // Reassemble out of order, dropping duplicates along the way.
+        let mut asm = SnapshotAssembler::new(chunks.last().unwrap());
+        assert_eq!(asm.first_missing(), 0);
+        assert!(!asm.accept(chunks.last().unwrap()), "duplicate rejected");
+        for c in chunks.iter().rev().skip(1) {
+            assert!(asm.accept(c));
+        }
+        assert!(asm.is_complete());
+        assert_eq!(asm.first_missing(), asm.total_chunks());
+        let rebuilt = asm.assemble().unwrap();
+        assert!(rebuilt.verify());
+        assert_eq!(rebuilt, *snap);
+    }
+
+    #[test]
+    fn assembler_tracks_the_resume_offset_and_rejects_foreign_chunks() {
+        let snap = SnapshotRef::new(snapshot(
+            (0..12).map(|i| entry(&format!("k{i:02}"), i, 1)).collect(),
+            8,
+        ));
+        let chunks = SnapshotChunk::plan(&snap, SnapshotChunk::HEADER + 60);
+        assert!(chunks.len() >= 3);
+        let mut asm = SnapshotAssembler::new(&chunks[0]);
+        assert!(asm.accept(&chunks[1]));
+        assert_eq!(
+            asm.first_missing(),
+            2,
+            "the missing suffix starts after the received prefix"
+        );
+        assert!(
+            asm.assemble().is_none(),
+            "incomplete assembly yields nothing"
+        );
+        // Chunks of a different snapshot (other checkpoint) never mix in.
+        let other = SnapshotRef::new(snapshot(vec![entry("x", 1, 1)], 16));
+        let foreign = SnapshotChunk::plan(&other, 4096);
+        assert!(!asm.accept(&foreign[0]));
+        assert_eq!(asm.received_chunks(), 2);
+    }
+
+    #[test]
+    fn oversized_entry_and_empty_snapshot_still_plan() {
+        let big = Value(vec![7u8; 512]);
+        let snap = SnapshotRef::new(snapshot(
+            vec![
+                (Key::from("a"), big.clone(), Version::new(1, 0)),
+                (Key::from("b"), big, Version::new(1, 0)),
+            ],
+            4,
+        ));
+        let chunks = SnapshotChunk::plan(&snap, 64);
+        assert_eq!(chunks.len(), 2, "one oversized entry per chunk");
+        assert!(chunks.iter().all(|c| c.entries().len() == 1));
+
+        let empty = SnapshotRef::new(snapshot(vec![], 0));
+        let chunks = SnapshotChunk::plan(&empty, 4096);
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].entries().is_empty());
+        let asm = SnapshotAssembler::new(&chunks[0]);
+        assert!(asm.is_complete());
+        assert!(asm.assemble().unwrap().verify());
+    }
+
+    #[test]
+    fn delta_applies_over_its_base_and_verifies_the_chain_link() {
+        let base = snapshot(vec![entry("a", 1, 1), entry("b", 2, 2)], 4);
+        // Block 5..8 rewrote "b" and introduced "c".
+        let next_entries = vec![entry("a", 1, 1), entry("b", 9, 6), entry("c", 3, 7)];
+        let next_hash = hash_state_entries(next_entries.iter().map(|(k, v, ver)| (k, v, *ver)));
+        let delta = DeltaSnapshot {
+            base: base.checkpoint,
+            checkpoint: Checkpoint {
+                height: 8,
+                state_hash: next_hash,
+            },
+            last_block_hash: Hash256([8; 32]),
+            entries: vec![entry("b", 9, 6), entry("c", 3, 7)],
+        };
+        assert!(
+            delta.wire_size() < snapshot(next_entries.clone(), 8).wire_size() + Checkpoint::WIRE
+        );
+        let applied = delta.apply_to(&base).expect("chained delta applies");
+        assert_eq!(applied.entries, next_entries);
+        assert_eq!(applied.checkpoint.height, 8);
+        assert!(applied.verify());
+
+        // A delta over the wrong base is refused outright.
+        let wrong_base = snapshot(vec![entry("a", 5, 1)], 4);
+        assert!(delta.apply_to(&wrong_base).is_none());
+        // A tampered delta fails the chain-link hash.
+        let mut forged = delta.clone();
+        forged.entries[0].1 = Value::from_u64(999);
+        assert!(forged.apply_to(&base).is_none());
     }
 
     #[test]
