@@ -1,0 +1,70 @@
+//! `tolerance_report` — the quantitative Byzantine-tolerance emitter.
+//!
+//! Sweeps every attacker family (obituary coalitions, adaptive leader
+//! hunters, dissemination-layer withholders and equivocators) across
+//! growing attacker counts `f` at each deployment size `N`, under both
+//! anti-entropy wire formats, and writes `TOLERANCE_report.json`: the
+//! measured `f*(N)` frontier plus the degradation curve below it.
+//!
+//! ```text
+//! tolerance_report [output.json]
+//! ```
+//!
+//! Exits non-zero when any family's measured `f*` falls below the pinned
+//! frontier: the sweep is deterministic, so a shrunken bound is a
+//! regression, never noise.
+
+use fabric_experiments::tolerance::{render_tolerance, run_tolerance, ToleranceConfig};
+
+/// The pinned frontier: `(family, deployment N, measured f*)`. A change
+/// that shrinks any of these bounds fails CI.
+const FLOORS: &[(&str, u32, u32)] = &[
+    ("obituary-coalition", 6, 3),
+    ("adaptive-leader-hunt", 6, 3),
+    ("withholder", 6, 3),
+    ("equivocator", 6, 3),
+    ("obituary-coalition", 9, 6),
+    ("adaptive-leader-hunt", 9, 6),
+    ("withholder", 9, 6),
+    ("equivocator", 9, 6),
+];
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "TOLERANCE_report.json".to_owned());
+
+    let full = run_tolerance(&ToleranceConfig::standard());
+    eprint!("{}", render_tolerance(&full));
+    let mut delta_cfg = ToleranceConfig::standard();
+    delta_cfg.mode = "delta";
+    delta_cfg.gossip.discovery.delta = true;
+    let delta = run_tolerance(&delta_cfg);
+    eprint!("{}", render_tolerance(&delta));
+
+    let mut json = String::from("{\n  \"sweeps\": [\n");
+    for (i, report) in [&full, &delta].iter().enumerate() {
+        // Indent each sweep's own rendering under the wrapper array.
+        let body = report
+            .to_json()
+            .trim_end()
+            .lines()
+            .map(|l| format!("    {l}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        json.push_str(&body);
+        json.push_str(if i == 0 { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+
+    if !full.meets_floors(FLOORS) || !delta.meets_floors(FLOORS) {
+        eprintln!("::error::tolerance frontier shrank below the pinned f* (see {out_path})");
+        std::process::exit(1);
+    }
+}

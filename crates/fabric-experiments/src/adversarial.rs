@@ -92,17 +92,19 @@ pub struct Metric {
 }
 
 impl Metric {
-    /// Attacked over baseline — how many times worse the attack made it
-    /// (1.0 when the baseline is zero and the attack added nothing).
+    /// Attacked over baseline — how many times worse the attack made it.
+    /// Always finite, so it can live inside the JSON artifact (JSON has
+    /// no `inf`/`NaN`): a zero-cost baseline (e.g. a disruption window
+    /// that simply does not exist in the benign run) reports the attacked
+    /// value itself as the factor, clamped to at least 1.0, and 1.0 when
+    /// the attack added nothing either.
     pub fn inflation(&self) -> f64 {
-        if self.baseline == 0.0 {
-            if self.attacked == 0.0 {
-                1.0
-            } else {
-                f64::INFINITY
-            }
-        } else {
+        if self.baseline > 0.0 {
             self.attacked / self.baseline
+        } else if self.attacked == 0.0 {
+            1.0
+        } else {
+            self.attacked.max(1.0)
         }
     }
 }
@@ -112,6 +114,9 @@ impl Metric {
 pub struct AttackOutcome {
     /// The attacker's stable name (matches [`fabric_gossip::scenario`]).
     pub attacker: &'static str,
+    /// Which peer ran which Byzantine behavior in the attacked run — the
+    /// part of the setup the attacker name alone doesn't pin down.
+    pub roster: Vec<(PeerId, &'static str)>,
     /// The asserted guarantees.
     pub guarantees: Vec<Guarantee>,
     /// The measured degradations.
@@ -130,6 +135,12 @@ impl AttackOutcome {
 pub struct AdversarialReport {
     /// Wire-format label of the sweep (`"full"` / `"delta"`).
     pub mode: &'static str,
+    /// The harness attack-RNG seed the sweep ran under. Together with the
+    /// wire format and each outcome's roster, the artifact pins down the
+    /// whole setup: re-running the sweep from the file alone reproduces
+    /// it byte-identically (per-peer engine seeds are `9000 + index` by
+    /// the harness determinism contract).
+    pub seed: u64,
     /// One outcome per attacker, in catalog order.
     pub outcomes: Vec<AttackOutcome>,
 }
@@ -145,10 +156,17 @@ impl AdversarialReport {
     /// dependency exists in this offline workspace).
     pub fn to_json(&self) -> String {
         let mut json = String::from("{\n");
-        json.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        json.push_str(&format!("  \"wire_format\": \"{}\",\n", self.mode));
+        json.push_str(&format!("  \"seed\": {},\n", self.seed));
         json.push_str(&format!("  \"all_held\": {},\n", self.all_held()));
         json.push_str("  \"attacks\": [\n");
         for (i, o) in self.outcomes.iter().enumerate() {
+            let roster = o
+                .roster
+                .iter()
+                .map(|(p, behavior)| format!("{{\"peer\": {}, \"behavior\": \"{behavior}\"}}", p.0))
+                .collect::<Vec<_>>()
+                .join(", ");
             let guarantees = o
                 .guarantees
                 .iter()
@@ -167,16 +185,17 @@ impl AdversarialReport {
                 .iter()
                 .map(|m| {
                     format!(
-                        "{{\"name\": \"{}\", \"baseline\": {:.3}, \"attacked\": {:.3}, \"unit\": \"{}\"}}",
-                        m.name, m.baseline, m.attacked, m.unit
+                        "{{\"name\": \"{}\", \"baseline\": {:.3}, \"attacked\": {:.3}, \"inflation\": {:.3}, \"unit\": \"{}\"}}",
+                        m.name, m.baseline, m.attacked, m.inflation(), m.unit
                     )
                 })
                 .collect::<Vec<_>>()
                 .join(", ");
             json.push_str(&format!(
-                "    {{\"attacker\": \"{}\", \"all_held\": {}, \"guarantees\": [{}], \"metrics\": [{}]}}{}\n",
+                "    {{\"attacker\": \"{}\", \"all_held\": {}, \"roster\": [{}], \"guarantees\": [{}], \"metrics\": [{}]}}{}\n",
                 o.attacker,
                 o.all_held(),
+                roster,
                 guarantees,
                 metrics,
                 if i + 1 < self.outcomes.len() { "," } else { "" }
@@ -203,6 +222,7 @@ fn escape(s: &str) -> String {
 pub fn run_adversarial(cfg: &AdversarialConfig) -> AdversarialReport {
     AdversarialReport {
         mode: cfg.mode,
+        seed: DiscoveryHarness::ATTACK_SEED,
         outcomes: vec![
             stale_replay(cfg),
             obituary_forgery(cfg),
@@ -284,6 +304,7 @@ fn stale_replay(cfg: &AdversarialConfig) -> AttackOutcome {
     let (attacked, attacked_bytes) = run(true);
     AttackOutcome {
         attacker: "stale-replay",
+        roster: vec![(PeerId(4), "stale-replay")],
         guarantees: vec![Guarantee {
             name: "no-resurrection-below-obituary",
             held: attacked.is_ok(),
@@ -343,6 +364,7 @@ fn obituary_forgery(cfg: &AdversarialConfig) -> AttackOutcome {
     let settled = net.check(&Predicate::NoResurrectionBelowObituary { channel: 0 });
     AttackOutcome {
         attacker: "obituary-forgery",
+        roster: vec![(PeerId(4), "obituary-forger")],
         guarantees: vec![
             Guarantee {
                 name: "refutation-via-incarnation-bump",
@@ -392,6 +414,7 @@ fn selective_forwarding(cfg: &AdversarialConfig) -> AttackOutcome {
     let attacked = join_secs(true);
     AttackOutcome {
         attacker: "selective-forwarding",
+        roster: vec![(PeerId(4), "selective-forwarder")],
         guarantees: vec![Guarantee {
             name: "joiner-converges-on-redundancy",
             held: attacked.is_some(),
@@ -428,6 +451,7 @@ fn flood_amplification(cfg: &AdversarialConfig) -> AttackOutcome {
     let (attacked, attacked_bytes) = run(true);
     AttackOutcome {
         attacker: "flood-amplification",
+        roster: vec![(PeerId(4), "flooder")],
         guarantees: vec![Guarantee {
             name: "views-and-leadership-hold",
             held: attacked.is_ok(),
@@ -490,6 +514,7 @@ fn eclipse(cfg: &AdversarialConfig) -> AttackOutcome {
     let attacked = escape(true);
     AttackOutcome {
         attacker: "eclipse",
+        roster: vec![(attacker, "eclipser")],
         guarantees: vec![
             Guarantee {
                 name: "honest-views-stay-clean",
@@ -581,7 +606,8 @@ mod tests {
         let b = run_adversarial(&AdversarialConfig::standard());
         assert_eq!(a.to_json(), b.to_json(), "same config, same report");
         let json = a.to_json();
-        assert!(json.contains("\"mode\": \"full\""));
+        assert!(json.contains("\"wire_format\": \"full\""));
+        assert!(json.contains(&format!("\"seed\": {}", DiscoveryHarness::ATTACK_SEED)));
         assert!(json.contains("\"all_held\": true"));
         for name in [
             "stale-replay",
@@ -592,5 +618,46 @@ mod tests {
         ] {
             assert!(json.contains(name), "JSON must list {name}");
         }
+        // The roster makes the artifact self-describing: who ran what.
+        assert!(
+            json.contains("{\"peer\": 4, \"behavior\": \"obituary-forger\"}"),
+            "rosters must name the compromised peers"
+        );
+    }
+
+    #[test]
+    fn inflation_is_finite_even_on_a_zero_baseline_and_never_poisons_the_json() {
+        let zero_zero = Metric {
+            name: "m",
+            baseline: 0.0,
+            attacked: 0.0,
+            unit: "secs",
+        };
+        assert_eq!(zero_zero.inflation(), 1.0);
+        let zero_some = Metric {
+            name: "m",
+            baseline: 0.0,
+            attacked: 8.5,
+            unit: "secs",
+        };
+        assert!(zero_some.inflation().is_finite());
+        assert_eq!(zero_some.inflation(), 8.5);
+        let zero_tiny = Metric {
+            name: "m",
+            baseline: 0.0,
+            attacked: 0.25,
+            unit: "secs",
+        };
+        assert_eq!(zero_tiny.inflation(), 1.0, "clamped to at least 1.0");
+        // The forgery metric has a genuinely zero baseline (no disruption
+        // window exists in a benign run): the rendered artifact must stay
+        // valid JSON — no inf, no NaN.
+        let report = run_adversarial(&AdversarialConfig::standard());
+        let json = report.to_json();
+        assert!(
+            !json.contains(": inf") && !json.contains(": -inf") && !json.contains(": NaN"),
+            "non-finite values poison the JSON artifact"
+        );
+        assert!(json.contains("\"inflation\":"));
     }
 }

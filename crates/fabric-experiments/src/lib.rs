@@ -28,6 +28,11 @@
 //!   the discovery protocol (stale replay, obituary forgery, selective
 //!   forwarding, flooding, eclipse), reporting surviving guarantees and
 //!   measured degradation as a machine-readable report;
+//! * [`tolerance`] — beyond the paper: quantitative tolerance bounds —
+//!   grow the attacker count `f` per family (coalitions, adaptive
+//!   hunters, dissemination-layer withholding/equivocation) in
+//!   deployments of `N` until a guarantee first falls, reporting the
+//!   measured `f*(N)` frontier and degradation curves;
 //! * [`report`] — paper-style text rendering of every figure and table.
 //!
 //! ```no_run
@@ -50,6 +55,7 @@ pub mod net;
 pub mod parallel;
 pub mod report;
 pub mod shard;
+pub mod tolerance;
 
 pub use adversarial::{
     render_adversarial, run_adversarial, AdversarialConfig, AdversarialReport, AttackOutcome,
@@ -73,4 +79,8 @@ pub use parallel::{run_conflicts_batch, run_dissemination_batch, run_seed_sweep}
 pub use shard::{
     plan_groups, run_sharded, MergedEvent, ShardChannel, ShardChannelOutcome, ShardGroup,
     ShardedConfig, ShardedResult,
+};
+pub use tolerance::{
+    render_tolerance, run_tolerance, FamilyFrontier, ToleranceConfig, TolerancePoint,
+    ToleranceReport,
 };

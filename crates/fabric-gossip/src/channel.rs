@@ -65,6 +65,15 @@ pub struct PeerStats {
     /// Snapshot transfers re-requested after an in-flight timeout — the
     /// server crashed, the response was lost, or the floor was pruned.
     pub snapshot_resumes: u64,
+    /// Block payloads rejected because the data hash did not match the
+    /// transactions ([`fabric_types::block::Block::data_intact`]) — a
+    /// tampered or equivocated payload, never honest traffic.
+    pub invalid_payloads: u64,
+    /// Block payloads rejected because a *different* block already occupies
+    /// the same height ([`BlockStore::conflicts_with`]) — equivocation
+    /// between otherwise self-consistent payloads. Honest duplicates are
+    /// counted under `duplicate_blocks` instead.
+    pub equivocations_rejected: u64,
     /// Bytes put on the wire by this channel instance, per message kind
     /// (the metrics tags of [`GossipMsg::kind`]), indexed by interned
     /// [`desim::KindId`] — a dense array add per send instead of the
@@ -103,6 +112,8 @@ impl PeerStats {
         self.snapshot_chunks_sent += other.snapshot_chunks_sent;
         self.snapshot_chunks_received += other.snapshot_chunks_received;
         self.snapshot_resumes += other.snapshot_resumes;
+        self.invalid_payloads += other.invalid_payloads;
+        self.equivocations_rejected += other.equivocations_rejected;
         self.bytes_sent_by_kind.absorb(&other.bytes_sent_by_kind);
     }
 }
@@ -196,7 +207,22 @@ impl ChannelCore {
     /// Stores new content, fires the reception hook and delivers any newly
     /// contiguous run. Returns whether the content was new. Common to every
     /// arrival path (push, pull, recovery).
+    ///
+    /// Hash verification gates the store: a payload whose data hash does
+    /// not cover its transactions is forged or corrupted (a real peer
+    /// verifies the orderer's signature over the header; here the header
+    /// is the trusted part), and a self-consistent payload conflicting
+    /// with the block already held at its height is equivocation. Both are
+    /// rejected and counted — honest traffic never trips either check.
     pub fn accept_content(&mut self, fx: &mut dyn Effects, block: &BlockRef) -> bool {
+        if !block.data_intact() {
+            self.stats.invalid_payloads += 1;
+            return false;
+        }
+        if self.store.conflicts_with(block) {
+            self.stats.equivocations_rejected += 1;
+            return false;
+        }
         match self.store.insert(block.clone()) {
             None => {
                 self.stats.duplicate_blocks += 1;
@@ -349,9 +375,7 @@ impl ChannelState {
                     .on_request(&mut self.core, fx, from, nonce, block_nums)
             }
             GossipMsg::PullResponse { nonce: _, blocks } => {
-                for block in blocks {
-                    self.core.accept_content(fx, &block);
-                }
+                self.pull.on_response(&mut self.core, fx, blocks)
             }
             GossipMsg::StateInfo { height, checkpoint } => {
                 self.leadership.on_state_info(from, height, checkpoint)

@@ -251,6 +251,58 @@ pub enum GossipMsg {
     },
 }
 
+impl GossipMsg {
+    /// Whether this is a discovery anti-entropy exchange — the four
+    /// membership view-swap variants (full and delta, both phases).
+    /// Byzantine wiretap code classifies traffic through this instead of
+    /// enumerating variants, so a new exchange kind extends every attacker
+    /// at once.
+    pub fn is_membership_exchange(&self) -> bool {
+        matches!(
+            self,
+            GossipMsg::MembershipRequest { .. }
+                | GossipMsg::MembershipResponse { .. }
+                | GossipMsg::MembershipDigest { .. }
+                | GossipMsg::MembershipDelta { .. }
+        )
+    }
+
+    /// Whether this message carries full block payloads — push content,
+    /// pull phase 4, or recovery content. This is the dissemination
+    /// surface a withholding or equivocating attacker targets; digests and
+    /// requests deliberately stay out so advertisement traffic keeps
+    /// flowing while the payload is suppressed.
+    pub fn carries_blocks(&self) -> bool {
+        matches!(
+            self,
+            GossipMsg::BlockPush { .. }
+                | GossipMsg::PullResponse { .. }
+                | GossipMsg::RecoveryResponse { .. }
+        )
+    }
+
+    /// Applies `f` to every block payload this message carries, leaving
+    /// payload-free messages untouched — the wiretap hook a dissemination
+    /// attacker uses to doctor served content without re-implementing the
+    /// wire format.
+    pub fn map_blocks(self, mut f: impl FnMut(BlockRef) -> BlockRef) -> GossipMsg {
+        match self {
+            GossipMsg::BlockPush { block, counter } => GossipMsg::BlockPush {
+                block: f(block),
+                counter,
+            },
+            GossipMsg::PullResponse { nonce, blocks } => GossipMsg::PullResponse {
+                nonce,
+                blocks: blocks.into_iter().map(&mut f).collect(),
+            },
+            GossipMsg::RecoveryResponse { blocks } => GossipMsg::RecoveryResponse {
+                blocks: blocks.into_iter().map(&mut f).collect(),
+            },
+            other => other,
+        }
+    }
+}
+
 impl desim::Message for GossipMsg {
     fn wire_size(&self) -> usize {
         match self {

@@ -138,6 +138,23 @@ impl PullEngine {
             core.send(fx, from, GossipMsg::PullResponse { nonce, blocks });
         }
     }
+
+    /// Phase 4 (requester side): absorb the served content through the
+    /// common accept path. A forged or conflicting payload is rejected and
+    /// counted there ([`ChannelCore::accept_content`]); the block stays
+    /// missing, so the next round's digest wait re-offers it — possibly
+    /// from a different advertiser — and honest redundancy completes the
+    /// transfer.
+    pub fn on_response(
+        &mut self,
+        core: &mut ChannelCore,
+        fx: &mut dyn Effects,
+        blocks: Vec<BlockRef>,
+    ) {
+        for block in blocks {
+            core.accept_content(fx, &block);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -114,9 +114,22 @@ impl PushEngine {
     ) {
         let num = block.number();
         let is_new = core.accept_content(fx, &block);
+        if !is_new && !core.store.has(num) {
+            // Rejected payload (forged or conflicting), not a duplicate:
+            // never forward it, and leave any pending fetch armed so the
+            // retry rotation can reach an honest advertiser instead.
+            return;
+        }
         if !core.forwarding {
             return;
         }
+        // Forward only content the store vouches for — on a duplicate the
+        // held copy and the received one are identical unless the payload
+        // conflicted, in which case the held one wins.
+        let block = match core.store.get(num) {
+            Some(held) if !is_new => held.clone(),
+            _ => block,
+        };
         match core.cfg.push {
             PushMode::InfectAndDie { .. } => {
                 // Infect and die: forward only on first content reception.

@@ -29,8 +29,27 @@
 //!   grants an injection opportunity via [`Byzantine::on_step`]. The
 //!   underlying peer keeps running the honest protocol — the attacker is
 //!   a *man-on-its-own-wire*, exactly the power a compromised process
-//!   has. Five behaviors ship: [`StaleReplayer`], [`ObituaryForger`],
-//!   [`SelectiveForwarder`], [`Flooder`] and [`Eclipser`].
+//!   has. Five discovery-layer behaviors ship: [`StaleReplayer`],
+//!   [`ObituaryForger`], [`SelectiveForwarder`], [`Flooder`] and
+//!   [`Eclipser`]. On top of them:
+//!
+//!   - **Coalitions** — several Byzantine peers coordinate through a
+//!     shared [`SideChannel`] (pooled wiretap intel plus named signals):
+//!     [`CoalitionForger`] forges at the coalition's *pooled* freshest
+//!     incarnation and announces what it buried, and every
+//!     [`RefutationSuppressor`] scrubs exactly that refutation from its
+//!     own wire.
+//!   - **Adaptive attackers** — the [`Adaptive`] trait splits a campaign
+//!     into `observe` (wiretap) and `act` (react to what was observed);
+//!     [`Adaptively`] attaches one as a [`Byzantine`] behavior.
+//!     [`LeaderHunter`] targets whichever peer currently claims
+//!     leadership and re-forges after observing an incarnation bump.
+//!   - **Dissemination-layer attackers** — [`Withholder`] advertises
+//!     blocks but never serves payloads toward its targets;
+//!     [`Equivocator`] serves conflicting payloads for the same height to
+//!     different peers; [`SnapshotPoisoner`] serves corrupted snapshots.
+//!     All are classified through the wiretap hooks on
+//!     [`GossipMsg::carries_blocks`] / [`GossipMsg::map_blocks`].
 //!
 //! ## Determinism contract
 //!
@@ -46,16 +65,20 @@
 //! route, and a scenario prefix can be edited without scrambling the
 //! loss pattern of everything after the next `SetLoss`/`Heal`.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
 use std::fmt;
+use std::rc::Rc;
 
 use desim::{Duration, Message as _, Time};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use fabric_types::block::BlockRef;
-use fabric_types::ids::{ChannelId, PeerId};
+use fabric_types::ids::{ChannelId, ClientId, PeerId, TxId};
+use fabric_types::rwset::RwSet;
+use fabric_types::transaction::Transaction;
 
 use crate::config::GossipConfig;
 use crate::messages::{GossipMsg, GossipTimer, PeerAlive};
@@ -395,14 +418,7 @@ impl Byzantine for SelectiveForwarder {
         to: PeerId,
         msg: GossipMsg,
     ) -> Vec<(ChannelId, PeerId, GossipMsg)> {
-        let anti_entropy = matches!(
-            msg,
-            GossipMsg::MembershipRequest { .. }
-                | GossipMsg::MembershipResponse { .. }
-                | GossipMsg::MembershipDigest { .. }
-                | GossipMsg::MembershipDelta { .. }
-        );
-        if anti_entropy && self.targets.contains(&to) {
+        if msg.is_membership_exchange() && self.targets.contains(&to) {
             Vec::new()
         } else {
             vec![(channel, to, msg)]
@@ -548,27 +564,22 @@ impl Byzantine for Eclipser {
             // Any view the protocol would share with the victim is
             // replaced by the attacker-only world (no obituaries: a
             // tombstone would give the victim someone to probe).
-            return match msg {
-                GossipMsg::MembershipRequest { .. }
-                | GossipMsg::MembershipResponse { .. }
-                | GossipMsg::MembershipDigest { .. }
-                | GossipMsg::MembershipDelta { .. } => {
-                    let entries: Vec<PeerAlive> = self
-                        .intel
-                        .freshest_of(channel, ctx.self_id)
-                        .into_iter()
-                        .collect();
-                    vec![(
-                        channel,
-                        to,
-                        GossipMsg::MembershipResponse {
-                            entries,
-                            dead: Vec::new(),
-                        },
-                    )]
-                }
-                other => vec![(channel, to, other)],
-            };
+            if msg.is_membership_exchange() {
+                let entries: Vec<PeerAlive> = self
+                    .intel
+                    .freshest_of(channel, ctx.self_id)
+                    .into_iter()
+                    .collect();
+                return vec![(
+                    channel,
+                    to,
+                    GossipMsg::MembershipResponse {
+                        entries,
+                        dead: Vec::new(),
+                    },
+                )];
+            }
+            return vec![(channel, to, msg)];
         }
         // Toward honest peers: scrub every trace of the victim.
         let victim = self.victim;
@@ -596,6 +607,488 @@ impl Byzantine for Eclipser {
             other => other,
         };
         vec![(channel, to, scrubbed)]
+    }
+}
+
+/// Zero-latency coordination between the members of a Byzantine
+/// *coalition*: pooled wiretap intel plus a small board of named signals,
+/// shared outside the gossip wire (colluding processes talk out of band).
+/// Cloning the handle shares the underlying state, so every member wired
+/// with the same `SideChannel` reads and writes one pool. The harness is
+/// single-threaded (behaviors are plain `Box<dyn Byzantine>`), so an
+/// `Rc<RefCell<…>>` is the honest model of that shared blackboard.
+#[derive(Debug, Clone, Default)]
+pub struct SideChannel {
+    inner: Rc<RefCell<SideState>>,
+}
+
+#[derive(Debug, Default)]
+struct SideState {
+    intel: ClaimIntel,
+    signals: BTreeMap<&'static str, u64>,
+}
+
+impl SideChannel {
+    /// A fresh, empty coalition blackboard.
+    pub fn new() -> Self {
+        SideChannel::default()
+    }
+
+    /// Pools every claim carried by `msg` into the coalition's shared
+    /// intel — what *any* member hears, every member knows.
+    pub fn observe(&self, channel: ChannelId, msg: &GossipMsg) {
+        self.inner.borrow_mut().intel.observe(channel, msg);
+    }
+
+    /// The freshest claim any coalition member ever heard about `peer`.
+    pub fn freshest_of(&self, channel: ChannelId, peer: PeerId) -> Option<PeerAlive> {
+        self.inner.borrow().intel.freshest_of(channel, peer)
+    }
+
+    /// The stalest pooled claim per peer — replay ammunition.
+    pub fn stale_claims(&self, channel: ChannelId) -> Vec<PeerAlive> {
+        self.inner.borrow().intel.stale_claims(channel)
+    }
+
+    /// Posts a named signal (e.g. the incarnation a forger just buried)
+    /// for the rest of the coalition to read.
+    pub fn post(&self, key: &'static str, value: u64) {
+        self.inner.borrow_mut().signals.insert(key, value);
+    }
+
+    /// Reads a posted signal, if any member posted it.
+    pub fn read(&self, key: &'static str) -> Option<u64> {
+        self.inner.borrow().signals.get(key).copied()
+    }
+}
+
+/// Coalition attacker — **obituary forgery over pooled intel**: like
+/// [`ObituaryForger`], but the forged incarnation is the freshest claim
+/// *any* coalition member has wiretapped (via the shared
+/// [`SideChannel`]), and each shot posts the buried incarnation as the
+/// `"forged-incarnation"` signal so [`RefutationSuppressor`]s know
+/// exactly which refutation to hunt. Pair it with suppressors sitting on
+/// other wires and the victim's incarnation bump must fight through a
+/// thinner redundancy margin — the guarantee under test is that it still
+/// wins, at a measurably longer disruption window.
+#[derive(Debug)]
+pub struct CoalitionForger {
+    victim: PeerId,
+    shots: u32,
+    side: SideChannel,
+}
+
+impl CoalitionForger {
+    /// Forges `shots` obituary broadcasts against `victim`, coordinating
+    /// through `side`.
+    pub fn new(victim: PeerId, shots: u32, side: SideChannel) -> Self {
+        CoalitionForger {
+            victim,
+            shots,
+            side,
+        }
+    }
+}
+
+impl Byzantine for CoalitionForger {
+    fn name(&self) -> &'static str {
+        "coalition-forger"
+    }
+
+    fn on_inbound(
+        &mut self,
+        _ctx: &mut AttackCtx<'_>,
+        channel: ChannelId,
+        _from: PeerId,
+        msg: &GossipMsg,
+    ) -> Vec<(ChannelId, PeerId, GossipMsg)> {
+        self.side.observe(channel, msg);
+        Vec::new()
+    }
+
+    fn on_step(&mut self, ctx: &mut AttackCtx<'_>) -> Vec<(ChannelId, PeerId, GossipMsg)> {
+        if self.shots == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for c in 0..ctx.members.len() {
+            let channel = ChannelId(c as u16);
+            let Some(claim) = self.side.freshest_of(channel, self.victim) else {
+                continue;
+            };
+            let forged = PeerAlive {
+                peer: self.victim,
+                incarnation: claim.incarnation,
+                seq: 0,
+            };
+            self.side.post("forged-incarnation", claim.incarnation);
+            for target in ctx.honest(channel) {
+                if target != self.victim {
+                    out.push((
+                        channel,
+                        target,
+                        GossipMsg::MembershipResponse {
+                            entries: Vec::new(),
+                            dead: vec![forged],
+                        },
+                    ));
+                }
+            }
+        }
+        if !out.is_empty() {
+            self.shots -= 1;
+        }
+        out
+    }
+}
+
+/// Coalition attacker — **refutation suppression**: feeds its wiretap
+/// into the coalition's [`SideChannel`] and scrubs from its *own*
+/// outbound anti-entropy every claim about the victim strictly fresher
+/// than the incarnation the coalition's forger buried (the
+/// `"forged-incarnation"` signal) — the refutation path, selectively.
+/// Because [`Byzantine::on_inbound`] is wiretap-only (a compromised
+/// process cannot stop a packet that already reached its honest engine),
+/// the suppressor can only darken its own wire: the refutation must
+/// survive on the redundancy of the remaining honest paths.
+#[derive(Debug)]
+pub struct RefutationSuppressor {
+    victim: PeerId,
+    side: SideChannel,
+}
+
+impl RefutationSuppressor {
+    /// Suppresses `victim`'s refutations, coordinating through `side`.
+    pub fn new(victim: PeerId, side: SideChannel) -> Self {
+        RefutationSuppressor { victim, side }
+    }
+}
+
+impl Byzantine for RefutationSuppressor {
+    fn name(&self) -> &'static str {
+        "refutation-suppressor"
+    }
+
+    fn on_inbound(
+        &mut self,
+        _ctx: &mut AttackCtx<'_>,
+        channel: ChannelId,
+        _from: PeerId,
+        msg: &GossipMsg,
+    ) -> Vec<(ChannelId, PeerId, GossipMsg)> {
+        self.side.observe(channel, msg);
+        Vec::new()
+    }
+
+    fn on_outbound(
+        &mut self,
+        _ctx: &mut AttackCtx<'_>,
+        channel: ChannelId,
+        to: PeerId,
+        msg: GossipMsg,
+    ) -> Vec<(ChannelId, PeerId, GossipMsg)> {
+        let Some(floor) = self.side.read("forged-incarnation") else {
+            return vec![(channel, to, msg)];
+        };
+        if !msg.is_membership_exchange() {
+            return vec![(channel, to, msg)];
+        }
+        let victim = self.victim;
+        let scrub = |entries: Vec<PeerAlive>| -> Vec<PeerAlive> {
+            entries
+                .into_iter()
+                .filter(|c| c.peer != victim || c.incarnation <= floor)
+                .collect()
+        };
+        let scrubbed = match msg {
+            GossipMsg::MembershipRequest { entries, dead } => GossipMsg::MembershipRequest {
+                entries: scrub(entries),
+                dead,
+            },
+            GossipMsg::MembershipResponse { entries, dead } => GossipMsg::MembershipResponse {
+                entries: scrub(entries),
+                dead,
+            },
+            GossipMsg::MembershipDigest { entries, dead } => GossipMsg::MembershipDigest {
+                entries: scrub(entries),
+                dead,
+            },
+            GossipMsg::MembershipDelta { entries, dead } => GossipMsg::MembershipDelta {
+                entries: scrub(entries),
+                dead,
+            },
+            other => other,
+        };
+        vec![(channel, to, scrubbed)]
+    }
+}
+
+/// An **adaptive** attacker: instead of running a fixed campaign it
+/// watches the wire and decides each step from the observed state.
+/// [`Adaptive::observe`] sees every message delivered to the compromised
+/// peer; [`Adaptive::act`] fires on the attacker's own timers and returns
+/// the traffic to inject. Wrap an implementation in [`Adaptively`] to
+/// attach it through [`DiscoveryHarness::set_byzantine`].
+pub trait Adaptive: fmt::Debug {
+    /// Short stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Wiretaps one delivery to the compromised peer.
+    fn observe(&mut self, channel: ChannelId, from: PeerId, msg: &GossipMsg);
+
+    /// One reactive campaign step, clocked by the attacker's own timers.
+    fn act(&mut self, ctx: &mut AttackCtx<'_>) -> Vec<(ChannelId, PeerId, GossipMsg)>;
+}
+
+/// Adapter attaching an [`Adaptive`] campaign as a [`Byzantine`]
+/// behavior: inbound deliveries feed [`Adaptive::observe`], each timer
+/// fire runs [`Adaptive::act`], and outbound traffic passes untouched
+/// (the adaptive family attacks with injections, not with its own wire).
+#[derive(Debug)]
+pub struct Adaptively<A: Adaptive>(pub A);
+
+impl<A: Adaptive> Byzantine for Adaptively<A> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn on_inbound(
+        &mut self,
+        _ctx: &mut AttackCtx<'_>,
+        channel: ChannelId,
+        from: PeerId,
+        msg: &GossipMsg,
+    ) -> Vec<(ChannelId, PeerId, GossipMsg)> {
+        self.0.observe(channel, from, msg);
+        Vec::new()
+    }
+
+    fn on_step(&mut self, ctx: &mut AttackCtx<'_>) -> Vec<(ChannelId, PeerId, GossipMsg)> {
+        self.0.act(ctx)
+    }
+}
+
+/// Adaptive attacker — **leader hunting**: wiretaps `LeaderHeartbeat`s to
+/// learn who currently leads, forges *that* peer's obituary at the
+/// freshest incarnation it has heard, and adapts on both axes the issue
+/// demands: when leadership moves (say, because its own forgery deposed
+/// the previous leader) it re-targets the successor, and when a victim
+/// refutes by bumping its incarnation it re-forges at the bumped value —
+/// each `(victim, incarnation)` pair is shot at most once, so the
+/// campaign only ever acts on *new* observed state. `shots` bounds the
+/// total. The guarantees under test: leadership recovers to exactly one
+/// claimant and every deposed victim re-enters the view.
+#[derive(Debug)]
+pub struct LeaderHunter {
+    shots: u32,
+    intel: ClaimIntel,
+    /// Current leader per channel, as wiretapped.
+    leader: BTreeMap<u16, PeerId>,
+    /// `(channel, victim, incarnation)` triples already shot — firing
+    /// again would waste a shot on state the network already refuted.
+    fired: HashSet<(u16, u32, u64)>,
+}
+
+impl LeaderHunter {
+    /// Hunts leaders with a budget of `shots` forgeries.
+    pub fn new(shots: u32) -> Self {
+        LeaderHunter {
+            shots,
+            intel: ClaimIntel::default(),
+            leader: BTreeMap::new(),
+            fired: HashSet::new(),
+        }
+    }
+}
+
+impl Adaptive for LeaderHunter {
+    fn name(&self) -> &'static str {
+        "leader-hunter"
+    }
+
+    fn observe(&mut self, channel: ChannelId, _from: PeerId, msg: &GossipMsg) {
+        self.intel.observe(channel, msg);
+        if let GossipMsg::LeaderHeartbeat { leader } = msg {
+            self.leader.insert(channel.0, *leader);
+        }
+    }
+
+    fn act(&mut self, ctx: &mut AttackCtx<'_>) -> Vec<(ChannelId, PeerId, GossipMsg)> {
+        let mut out = Vec::new();
+        for c in 0..ctx.members.len() {
+            if self.shots == 0 {
+                break;
+            }
+            let channel = ChannelId(c as u16);
+            let Some(victim) = self.leader.get(&channel.0).copied() else {
+                continue; // no leader observed yet: nothing to react to
+            };
+            if victim == ctx.self_id {
+                continue;
+            }
+            let Some(claim) = self.intel.freshest_of(channel, victim) else {
+                continue;
+            };
+            if !self.fired.insert((channel.0, victim.0, claim.incarnation)) {
+                continue; // already shot this life; wait for new state
+            }
+            let forged = PeerAlive {
+                peer: victim,
+                incarnation: claim.incarnation,
+                seq: 0,
+            };
+            for target in ctx.honest(channel) {
+                if target != victim {
+                    out.push((
+                        channel,
+                        target,
+                        GossipMsg::MembershipResponse {
+                            entries: Vec::new(),
+                            dead: vec![forged],
+                        },
+                    ));
+                }
+            }
+            self.shots -= 1;
+        }
+        out
+    }
+}
+
+/// Dissemination-layer attacker — **withholding**: advertises blocks
+/// honestly (push digests and pull digests flow, so targets form fetch
+/// and pull plans around the attacker) but never serves the payload:
+/// outbound [`GossipMsg::BlockPush`], [`GossipMsg::PullResponse`] and
+/// [`GossipMsg::RecoveryResponse`] toward a target are dropped
+/// ([`GossipMsg::carries_blocks`]). A stalled pull round re-offers the
+/// block next round from a fresh random advertiser, and a stalled push
+/// fetch rotates advertisers per retry — completeness must still reach
+/// 1.0 through honest redundancy, measurably slower.
+#[derive(Debug)]
+pub struct Withholder {
+    targets: Vec<PeerId>,
+}
+
+impl Withholder {
+    /// Withholds payloads from `targets` (empty: from everyone).
+    pub fn new(targets: Vec<PeerId>) -> Self {
+        Withholder { targets }
+    }
+}
+
+impl Byzantine for Withholder {
+    fn name(&self) -> &'static str {
+        "withholder"
+    }
+
+    fn on_outbound(
+        &mut self,
+        _ctx: &mut AttackCtx<'_>,
+        channel: ChannelId,
+        to: PeerId,
+        msg: GossipMsg,
+    ) -> Vec<(ChannelId, PeerId, GossipMsg)> {
+        if msg.carries_blocks() && (self.targets.is_empty() || self.targets.contains(&to)) {
+            Vec::new()
+        } else {
+            vec![(channel, to, msg)]
+        }
+    }
+}
+
+/// Dissemination-layer attacker — **equivocation**: serves *conflicting*
+/// block payloads for the same height to different peers. The attacker
+/// cannot forge the ordering service's signature over the header, so its
+/// doctored payload keeps the original header (number, previous hash,
+/// data hash) with tampered transactions — peers with even ids receive
+/// the doctored copy, odd ids the genuine one. Hash verification
+/// ([`fabric_types::block::Block::data_intact`]) must reject every
+/// doctored payload at the receiver (counted in
+/// [`crate::channel::PeerStats::invalid_payloads`]), the store must
+/// never hold a non-matching block, and completeness must still reach
+/// 1.0 through honest redundancy.
+#[derive(Debug, Default)]
+pub struct Equivocator;
+
+impl Equivocator {
+    /// The doctored copy of `block`: original header, tampered
+    /// transaction list (an appended forged transaction the data hash
+    /// does not cover).
+    fn doctored(block: &BlockRef) -> BlockRef {
+        let mut forged = (**block).clone();
+        forged.txs.push(Transaction::new(
+            TxId(u64::MAX),
+            "equivocation",
+            ClientId(u32::MAX),
+            RwSet::default(),
+        ));
+        BlockRef::new(forged)
+    }
+}
+
+impl Byzantine for Equivocator {
+    fn name(&self) -> &'static str {
+        "equivocator"
+    }
+
+    fn on_outbound(
+        &mut self,
+        _ctx: &mut AttackCtx<'_>,
+        channel: ChannelId,
+        to: PeerId,
+        msg: GossipMsg,
+    ) -> Vec<(ChannelId, PeerId, GossipMsg)> {
+        if msg.carries_blocks() && to.0.is_multiple_of(2) {
+            vec![(channel, to, msg.map_blocks(|b| Self::doctored(&b)))]
+        } else {
+            vec![(channel, to, msg)]
+        }
+    }
+}
+
+/// Attacker — **snapshot poisoning**: a malicious bootstrap server. Every
+/// snapshot it serves has its state doctored *after* the checkpoint hash
+/// was taken, so [`fabric_types::snapshot::Snapshot::verify`] must fail
+/// at the joiner: the install is rejected, the in-flight transfer times
+/// out, the server lands on the failed list and the joiner resumes from
+/// another server (`snapshot_resumes` counts it). Chunked transfers are
+/// simply never served — a poisoned chunk would be rejected at assembly
+/// anyway; starving the transfer forces the same timeout-and-resume path.
+#[derive(Debug, Default)]
+pub struct SnapshotPoisoner;
+
+impl Byzantine for SnapshotPoisoner {
+    fn name(&self) -> &'static str {
+        "snapshot-poisoner"
+    }
+
+    fn on_outbound(
+        &mut self,
+        _ctx: &mut AttackCtx<'_>,
+        channel: ChannelId,
+        to: PeerId,
+        msg: GossipMsg,
+    ) -> Vec<(ChannelId, PeerId, GossipMsg)> {
+        match msg {
+            GossipMsg::SnapshotResponse { snapshot } => {
+                let mut forged = (*snapshot).clone();
+                match forged.entries.first_mut() {
+                    Some(entry) => entry.1 = fabric_types::rwset::Value::from_u64(u64::MAX),
+                    // An empty state cannot be doctored under the same
+                    // checkpoint; starve the transfer instead.
+                    None => return Vec::new(),
+                }
+                vec![(
+                    channel,
+                    to,
+                    GossipMsg::SnapshotResponse {
+                        snapshot: fabric_types::snapshot::SnapshotRef::new(forged),
+                    },
+                )]
+            }
+            GossipMsg::SnapshotChunk { .. } => Vec::new(),
+            other => vec![(channel, to, other)],
+        }
     }
 }
 
@@ -1705,6 +2198,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn side_channel_clones_share_intel_and_signals() {
+        let side = SideChannel::new();
+        let clone = side.clone();
+        let claim = PeerAlive {
+            peer: PeerId(3),
+            incarnation: 7,
+            seq: 2,
+        };
+        clone.observe(ChannelId(0), &GossipMsg::AliveMsg(claim));
+        assert_eq!(
+            side.freshest_of(ChannelId(0), PeerId(3)),
+            Some(claim),
+            "intel observed through one handle is visible through the other"
+        );
+        clone.post("forged-incarnation", 7);
+        assert_eq!(side.read("forged-incarnation"), Some(7));
+        assert_eq!(side.read("unposted"), None);
+        assert_eq!(side.stale_claims(ChannelId(0)), vec![claim]);
+    }
+
+    #[test]
+    fn equivocator_doctoring_keeps_the_header_and_breaks_the_data_hash() {
+        use fabric_types::block::Block;
+        use fabric_types::crypto::Hash256;
+        let honest = BlockRef::new(Block::new(5, Hash256::ZERO, vec![]));
+        let doctored = Equivocator::doctored(&honest);
+        assert_eq!(doctored.hash(), honest.hash(), "header is signature-bound");
+        assert!(honest.data_intact());
+        assert!(
+            !doctored.data_intact(),
+            "tampered txs must not match the data hash"
+        );
     }
 
     #[test]

@@ -91,6 +91,17 @@ impl BlockStore {
         self.blocks.is_empty()
     }
 
+    /// Whether `block` *conflicts* with what the store already holds at the
+    /// same height: a block is present at `block.number()` whose header
+    /// hash differs. Honest dissemination re-serves the identical block
+    /// (a plain duplicate, never a conflict); a conflicting payload is
+    /// equivocation and must be rejected, not merely deduplicated.
+    pub fn conflicts_with(&self, block: &BlockRef) -> bool {
+        self.blocks
+            .get(&block.number())
+            .is_some_and(|held| held.hash() != block.hash())
+    }
+
     /// Inserts a block. Returns `None` if it was already present; otherwise
     /// returns the blocks that just became deliverable in order (possibly
     /// empty while a gap remains).
@@ -175,6 +186,25 @@ mod tests {
         store.insert(block(1));
         assert!(store.insert(block(1)).is_none());
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_same_height_block_is_detected_duplicate_is_not() {
+        let mut store = BlockStore::new();
+        store.insert(block(1));
+        assert!(
+            !store.conflicts_with(&block(1)),
+            "the identical block is a duplicate, not a conflict"
+        );
+        let forged = BlockRef::new(Block::new(1, Hash256::ZERO, vec![]).with_padding(7));
+        // Padding is not hashed, so build a genuinely different header.
+        let conflicting = BlockRef::new(Block::new(1, Hash256([9u8; 32]), vec![]));
+        assert!(!store.conflicts_with(&forged), "same header: no conflict");
+        assert!(store.conflicts_with(&conflicting));
+        assert!(
+            !store.conflicts_with(&block(2)),
+            "absent height: no conflict"
+        );
     }
 
     #[test]

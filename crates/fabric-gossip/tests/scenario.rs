@@ -11,17 +11,25 @@
 //! | selective forwarding | joiner still converges                    | join convergence seconds   |
 //! | flood amplification  | view agreement + one leader               | discovery byte inflation   |
 //! | eclipse              | one honest seed defeats it                | time-to-escape seconds     |
+//! | forger+suppressors   | refutation still wins the coalition       | widened disruption window  |
+//! | leader hunter        | one leader after the adaptive campaign    | leadership churn observed  |
+//! | withholder           | completeness 1.0 via honest redundancy    | catch-up delay seconds     |
+//! | equivocator          | every conflicting payload hash-rejected   | rejected payload count     |
+//! | snapshot poisoner    | joiner resumes to an honest server        | extra bootstrap requests   |
 //!
 //! The random proptests compose loss, partitions, crashes and a random
-//! attacker and still demand post-heal convergence, for both the full
+//! attacker — or a random *coalition* (membership is part of the shrunk
+//! input) — and still demand post-heal convergence, for both the full
 //! and the delta anti-entropy wire formats. `FAIR_GOSSIP_ADVERSARIAL_SEED`
 //! shifts the generated scenario space (the CI seed matrix).
 
 use desim::Duration;
 use fabric_gossip::config::GossipConfig;
 use fabric_gossip::scenario::{
-    random_scenario, Byzantine, DiscoveryHarness, Eclipser, Flooder, ObituaryForger, Predicate,
-    ScenarioOp, ScenarioShape, SelectiveForwarder, StaleReplayer,
+    random_scenario, Adaptively, Byzantine, CoalitionForger, DiscoveryHarness, Eclipser,
+    Equivocator, Flooder, LeaderHunter, ObituaryForger, Predicate, RefutationSuppressor,
+    ScenarioOp, ScenarioShape, SelectiveForwarder, SideChannel, SnapshotPoisoner, StaleReplayer,
+    Withholder,
 };
 use fabric_types::block::{Block, BlockRef};
 use fabric_types::crypto::Hash256;
@@ -388,6 +396,270 @@ fn one_honest_seed_defeats_the_eclipse_in_measured_time() {
 }
 
 // ---------------------------------------------------------------------
+// Coalitions: several compromised peers coordinating over a SideChannel,
+// and an adaptive attacker whose campaign reacts to wiretapped state.
+// ---------------------------------------------------------------------
+
+#[test]
+fn a_forger_suppressor_coalition_widens_the_window_but_the_refutation_still_wins() {
+    // A lone forger buries the victim; paired with suppressors that scrub
+    // the victim's fresher-than-buried claims from their own wires, the
+    // refutation must fight through a thinner redundancy margin. The
+    // guarantee under test: it still wins, within the same bump bound.
+    let run = |suppressors: bool| -> (u64, Option<u64>) {
+        let members: Vec<PeerId> = (0..7).map(PeerId).collect();
+        let victim = PeerId(2);
+        let mut net = DiscoveryHarness::new(7, vec![members], &discovery_cfg());
+        net.run_for(Duration::from_secs(3));
+        let inc_before = net
+            .gossip(0)
+            .discovery_on(ChannelId(0))
+            .unwrap()
+            .claim_of(victim)
+            .expect("victim heartbeated")
+            .incarnation;
+        let side = SideChannel::new();
+        net.set_byzantine(
+            PeerId(4),
+            Box::new(CoalitionForger::new(victim, 2, side.clone())),
+        );
+        if suppressors {
+            net.set_byzantine(
+                PeerId(5),
+                Box::new(RefutationSuppressor::new(victim, side.clone())),
+            );
+            net.set_byzantine(
+                PeerId(6),
+                Box::new(RefutationSuppressor::new(victim, side.clone())),
+            );
+        }
+        // Integrate disruption over the whole campaign (both shots land
+        // inside the horizon): every 500 ms tick with divergent views is
+        // disruption the coalition bought.
+        let mut disrupted_ticks = 0u64;
+        for _ in 0..60u64 {
+            net.run_for(Duration::from_millis(500));
+            if !net.views_converged(0) {
+                disrupted_ticks += 1;
+            }
+        }
+        assert!(
+            disrupted_ticks > 0,
+            "the coalition forgery must disrupt views"
+        );
+        assert!(
+            net.converge_within(0, 40).is_some(),
+            "views must heal: the victim refutes the coalition: {:?}",
+            net.divergent_views(0)
+        );
+        let inc_after = net
+            .gossip(0)
+            .discovery_on(ChannelId(0))
+            .unwrap()
+            .claim_of(victim)
+            .expect("victim re-entered the views")
+            .incarnation;
+        assert!(
+            inc_after > inc_before,
+            "the refutation is an incarnation bump: {inc_before} -> {inc_after}"
+        );
+        assert_eq!(net.leaders(0).len(), 1);
+        net.check(&Predicate::NoResurrectionBelowObituary { channel: 0 })
+            .expect("the bump is a new life, not a resurrection");
+        (disrupted_ticks, side.read("forged-incarnation"))
+    };
+    // At this deployment (7 peers, 2 suppressors) the refutation's
+    // redundancy swamps the suppression: both runs must disrupt, both
+    // must heal fast. How the window *grows* with the suppressor count is
+    // the tolerance sweep's job (`fabric_experiments::tolerance`), where
+    // f increases until the bound falls — a single-trajectory comparison
+    // here would measure simulation noise, not the attack.
+    let (solo_ticks, _) = run(false);
+    let (coalition_ticks, signal) = run(true);
+    assert!(
+        signal.is_some(),
+        "the forger must coordinate through the side channel"
+    );
+    assert!(
+        solo_ticks <= 40 && coalition_ticks <= 40,
+        "the coalition must still lose well inside the horizon: \
+         solo {solo_ticks}, coalition {coalition_ticks} disrupted ticks of 60"
+    );
+}
+
+#[test]
+fn an_adaptive_leader_hunter_causes_churn_but_leadership_recovers_to_one() {
+    // Dynamic election so leadership is observable on the wire: the
+    // hunter wiretaps LeaderHeartbeats, forges the current leader's
+    // obituary at its freshest incarnation, and re-targets whatever new
+    // state it observes (a successor standing up, a victim's bump).
+    let mut cfg = discovery_cfg();
+    cfg.election.dynamic = true;
+    cfg.election.heartbeat_interval = Duration::from_secs(1);
+    cfg.election.leader_timeout = Duration::from_secs(4);
+    let members: Vec<PeerId> = (0..6).map(PeerId).collect();
+    let mut net = DiscoveryHarness::new(6, vec![members], &cfg);
+    net.run_for(Duration::from_secs(5));
+    assert_eq!(
+        net.leaders(0),
+        vec![PeerId(0)],
+        "warmup elects the lowest id"
+    );
+    let inc_before = net
+        .gossip(1)
+        .discovery_on(ChannelId(0))
+        .unwrap()
+        .claim_of(PeerId(0))
+        .expect("leader heartbeated")
+        .incarnation;
+
+    net.set_byzantine(PeerId(4), Box::new(Adaptively(LeaderHunter::new(2))));
+    let mut disrupted = false;
+    for _ in 0..80u64 {
+        net.run_for(Duration::from_millis(500));
+        if !net.views_converged(0) || net.leaders(0).len() != 1 {
+            disrupted = true;
+        }
+    }
+    assert!(
+        disrupted,
+        "the hunter must observe a leader and actually depose it"
+    );
+    // Shots exhausted: the campaign is over, the network settles.
+    assert!(
+        net.converge_within(0, 40).is_some(),
+        "post-campaign views: {:?}",
+        net.divergent_views(0)
+    );
+    assert_eq!(
+        net.leaders(0).len(),
+        1,
+        "exactly one leader after the hunt: {:?}",
+        net.leaders(0)
+    );
+    net.check(&Predicate::NoResurrectionBelowObituary { channel: 0 })
+        .expect("every deposed leader re-entered by bumping, not resurrecting");
+    let inc_after = net
+        .gossip(1)
+        .discovery_on(ChannelId(0))
+        .unwrap()
+        .claim_of(PeerId(0))
+        .expect("the hunted leader re-entered the views")
+        .incarnation;
+    assert!(
+        inc_after > inc_before,
+        "the hunted leader refuted by bumping: {inc_before} -> {inc_after}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Dissemination-layer attackers: the push/pull block engines under fire.
+// ---------------------------------------------------------------------
+
+#[test]
+fn a_withholder_stalls_but_cannot_stop_block_catch_up() {
+    // The attacker advertises blocks honestly but never serves a payload;
+    // a late joiner whose fetches land on it must rotate to honest
+    // advertisers. Completeness still reaches 1.0, measurably slower.
+    let catchup_secs = |attach: bool| -> u64 {
+        let mut cfg = discovery_cfg();
+        cfg.recovery.interval = Duration::from_secs(2);
+        cfg.recovery.state_info_interval = Duration::from_secs(1);
+        let members: Vec<PeerId> = (0..4).map(PeerId).collect();
+        let mut net = DiscoveryHarness::new(5, vec![members], &cfg);
+        if attach {
+            net.set_byzantine(PeerId(1), Box::new(Withholder::new(Vec::new())));
+        }
+        let mut prev = Hash256::ZERO;
+        for num in 1..=5u64 {
+            let block = BlockRef::new(Block::new(num, prev, vec![]).with_padding(200));
+            prev = block.hash();
+            net.inject(0, block);
+            net.run_for(Duration::from_millis(200));
+        }
+        net.run_script(&[
+            ScenarioOp::Wait { secs: 10 },
+            ScenarioOp::Assert(Predicate::GapFreeCatchup { channel: 0 }),
+        ])
+        .expect("sitting members complete through honest redundancy");
+        net.join(0, PeerId(4));
+        let secs = secs_until(&mut net, 60, |net| {
+            net.gossip(4).height_on(ChannelId(0)) > 5
+        })
+        .expect("withholding must not stop the joiner's catch-up");
+        net.run_script(&[ScenarioOp::Assert(Predicate::GapFreeCatchup { channel: 0 })])
+            .expect("completeness reaches 1.0 despite the withholder");
+        secs
+    };
+    let baseline = catchup_secs(false);
+    let attacked = catchup_secs(true);
+    assert!(
+        attacked >= baseline,
+        "withholding payloads cannot speed catch-up: {attacked} < {baseline}"
+    );
+}
+
+#[test]
+fn an_equivocators_conflicting_payloads_are_hash_rejected_and_completeness_holds() {
+    // The attacker serves doctored payloads (original orderer-signed
+    // header, tampered transactions) to even-id peers and genuine ones to
+    // odd ids. Every doctored copy must fail `data_intact()` at the
+    // receiver; the store must never hold one; completeness must still
+    // reach 1.0 through honest redundancy.
+    let members: Vec<PeerId> = (0..4).map(PeerId).collect();
+    let mut cfg = discovery_cfg();
+    cfg.recovery.interval = Duration::from_secs(2);
+    cfg.recovery.state_info_interval = Duration::from_secs(1);
+    let mut net = DiscoveryHarness::new(5, vec![members], &cfg);
+    net.set_byzantine(PeerId(1), Box::new(Equivocator));
+    let mut prev = Hash256::ZERO;
+    for num in 1..=5u64 {
+        let block = BlockRef::new(Block::new(num, prev, vec![]).with_padding(200));
+        prev = block.hash();
+        net.inject(0, block);
+        net.run_for(Duration::from_millis(200));
+    }
+    net.run_script(&[
+        ScenarioOp::Wait { secs: 10 },
+        ScenarioOp::Assert(Predicate::GapFreeCatchup { channel: 0 }),
+        ScenarioOp::Join {
+            channel: 0,
+            peer: PeerId(4),
+        },
+        ScenarioOp::Wait { secs: 30 },
+        ScenarioOp::Assert(Predicate::GapFreeCatchup { channel: 0 }),
+        ScenarioOp::Assert(Predicate::ViewAgreement { channel: 0 }),
+    ])
+    .expect("equivocation must not break completeness");
+    assert_eq!(net.head(0), 5);
+
+    // The rejections are visible and the stores are clean: every held or
+    // delivered block carries an intact payload.
+    let mut rejected = 0;
+    for i in 0..5usize {
+        if let Some(stats) = net.gossip(i).stats_on(ChannelId(0)) {
+            rejected += stats.invalid_payloads;
+        }
+        for n in 1..=5u64 {
+            if let Some(block) = net.gossip(i).store().get(n) {
+                assert!(
+                    block.data_intact(),
+                    "peer {i} stored a tampered payload for block {n}"
+                );
+            }
+        }
+        assert!(
+            net.effects(i).delivered.iter().all(|b| b.data_intact()),
+            "peer {i} delivered a tampered payload"
+        );
+    }
+    assert!(
+        rejected > 0,
+        "the doctored payloads must be rejected by hash verification somewhere"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Anchor-peer entry composed with the eclipse surface: the joiner starts
 // with a single anchor instead of a roster.
 // ---------------------------------------------------------------------
@@ -703,6 +975,112 @@ fn chunked_transfer_resumes_under_loss_and_a_mid_transfer_partition() {
     );
 }
 
+/// Byzantine bootstrap servers composed with snapshot entry: every
+/// sitting member serves doctored snapshot state (the checkpoint hash no
+/// longer covers it), so the joiner's verification must reject each
+/// install and the transfer must resume — until one server is cleaned and
+/// the honest payload lands. The reconstructed ledger must still be
+/// byte-identical in state hash to genesis replay.
+#[test]
+fn a_poisoned_bootstrap_is_rejected_and_the_joiner_resumes_to_an_honest_server() {
+    use fabric_ledger::ledger::Ledger;
+    use fabric_types::msp::Msp;
+    use fabric_types::transaction::EndorsementPolicy;
+    use std::sync::Arc;
+
+    let mut cfg = snapshot_cfg(4);
+    cfg.snapshot.request_timeout = Duration::from_secs(4);
+    let members: Vec<PeerId> = (0..4).map(PeerId).collect();
+    let joiner = PeerId(4);
+    let mut net = DiscoveryHarness::new(5, vec![members.clone()], &cfg);
+    let msp = Arc::new(Msp::single_org(3));
+    let mut genesis = Ledger::new(msp.clone(), EndorsementPolicy::AnyMember).with_checkpoints(4);
+
+    let height = 12u64;
+    for n in 1..=height {
+        let tx = endorsed_write(&msp, &genesis, n, &format!("k{n}"), n);
+        let block = BlockRef::new(Block::new(n, genesis.latest_hash(), vec![tx]));
+        genesis
+            .commit(block.clone())
+            .expect("endorsed write commits");
+        net.inject(0, block);
+        net.run_for(Duration::from_millis(300));
+        if let Some(snap) = genesis.snapshot() {
+            for m in &members {
+                net.publish_snapshot(0, *m, snap.clone());
+            }
+        }
+    }
+
+    // Every server is malicious when the joiner arrives: the first
+    // transfer is guaranteed to hit a poisoner and be rejected by
+    // `Snapshot::verify()` at install time.
+    for m in &members {
+        net.set_byzantine(*m, Box::new(SnapshotPoisoner));
+    }
+    net.join(0, joiner);
+    net.run_for(Duration::from_secs(5));
+    // The fleet is cleaned after the first poisoned payload was rejected:
+    // the timed-out transfer must resume — and this time land honestly.
+    for m in &members {
+        net.clear_byzantine(*m);
+    }
+
+    let caught = secs_until(&mut net, 120, |net| {
+        net.gossip(joiner.index()).height_on(ChannelId(0)) > height
+    });
+    assert!(caught.is_some(), "catch-up stalled on poisoned servers");
+
+    let stats = net
+        .gossip(joiner.index())
+        .stats_on(ChannelId(0))
+        .expect("joiner is on the channel");
+    assert_eq!(
+        stats.snapshots_installed, 1,
+        "exactly one verified install; every poisoned payload rejected"
+    );
+    assert!(
+        stats.snapshot_resumes >= 1,
+        "a rejected install must time out and resume elsewhere, got {}",
+        stats.snapshot_resumes
+    );
+    assert!(
+        stats.snapshot_requests > 1,
+        "the poisoned first attempt must cost an extra request"
+    );
+
+    // The installed snapshot is the honest one: reconstructing from it
+    // plus the delivered tail is byte-identical to genesis replay.
+    let fx = net.effects(joiner.index());
+    let (_, installed) = fx.installed.last().expect("one installed snapshot");
+    let floor = installed.checkpoint.height;
+    assert!(floor >= 4, "installed snapshot below the first boundary");
+    let mut bootstrapped = Ledger::from_snapshot(
+        msp.clone(),
+        EndorsementPolicy::AnyMember,
+        installed.clone(),
+        Some(4),
+    )
+    .expect("the honest snapshot verifies");
+    let mut tail: Vec<BlockRef> = fx
+        .delivered
+        .iter()
+        .filter(|b| b.number() > floor)
+        .cloned()
+        .collect();
+    tail.sort_by_key(|b| b.number());
+    tail.dedup_by_key(|b| b.number());
+    for block in tail {
+        bootstrapped.commit(block).expect("tail replay commits");
+    }
+    assert_eq!(bootstrapped.height(), genesis.height());
+    assert_eq!(
+        bootstrapped.state().state_hash(),
+        genesis.state().state_hash(),
+        "poisoned servers must not corrupt the reconstructed state"
+    );
+}
+
 // ---------------------------------------------------------------------
 // Seeded-random scenarios: loss + partitions + crashes + a random
 // attacker, for both wire formats. Shrinking reduces a failing seed's
@@ -756,5 +1134,59 @@ proptest! {
     ) {
         let res = run_random_adversarial(seed, attacker_kind, &delta_cfg());
         prop_assert!(res.is_ok(), "attacker {attacker_kind}: {}", res.unwrap_err());
+    }
+}
+
+/// Runs one random scenario against a random *coalition*: the `mask` bits
+/// pick which members of the forger/suppressor/flooder trio are live, so
+/// a failing case shrinks over coalition membership (toward the smallest
+/// colluding set that still breaks the guarantee) as well as over the
+/// script.
+fn run_random_coalition(seed: u64, mask: u8, cfg: &GossipConfig) -> Result<(), String> {
+    let initial: Vec<PeerId> = (0..7).map(PeerId).collect();
+    let coalition = [PeerId(4), PeerId(5), PeerId(6)];
+    let victim = PeerId(1);
+    let shape = ScenarioShape {
+        deployment: 8,
+        ops: 10,
+        protected: coalition.to_vec(),
+        settle_secs: 40,
+        ..ScenarioShape::default()
+    };
+    let mixed = seed.wrapping_add(env_seed().wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let script = random_scenario(mixed, &initial, &shape);
+    let mut net = DiscoveryHarness::new(8, vec![initial], cfg);
+    let side = SideChannel::new();
+    if mask & 1 != 0 {
+        net.set_byzantine(
+            coalition[0],
+            Box::new(CoalitionForger::new(victim, 2, side.clone())),
+        );
+    }
+    if mask & 2 != 0 {
+        net.set_byzantine(
+            coalition[1],
+            Box::new(RefutationSuppressor::new(victim, side.clone())),
+        );
+    }
+    if mask & 4 != 0 {
+        // A flooder screening the coalition: protocol-valid noise that
+        // the forged-obituary traffic hides inside.
+        net.set_byzantine(coalition[2], Box::new(Flooder::new(3)));
+    }
+    net.run_script(&script).map_err(|e| e.to_string())
+}
+
+proptest! {
+    /// Random op sequences composed with a random coalition still settle
+    /// to view agreement, one leader and no resurrection; a failure
+    /// shrinks over the coalition membership mask too.
+    #[test]
+    fn random_coalition_scenarios_converge_and_shrink_over_membership(
+        seed in 0u64..1 << 32,
+        mask in 0u8..8,
+    ) {
+        let res = run_random_coalition(seed, mask, &discovery_cfg());
+        prop_assert!(res.is_ok(), "coalition mask {mask:03b}: {}", res.unwrap_err());
     }
 }
